@@ -1,0 +1,105 @@
+"""E10 — is the XPath fragment cheap enough for coverage? (Sections
+4.5 and 7: "is XPath sufficient for expressing the partitioning...").
+
+CPU microbenchmarks of containment/overlap decisions vs path depth,
+predicate count and wildcards, plus the full coverage-resolution cost
+as registrations per user grow. The point of restricting to the
+fragment is that these stay microseconds — which is what makes a
+referral server cheap.
+"""
+
+import time
+
+from repro.core import CoverageMap
+from repro.pxml import parse_path, subtree_covers, subtree_overlaps
+
+
+def make_path(depth, predicates, wildcard=False):
+    steps = []
+    for index in range(depth):
+        name = "*" if wildcard and index == 1 else "n%d" % index
+        step = name
+        for p in range(predicates):
+            step += "[@a%d='v%d']" % (p, p)
+        steps.append(step)
+    return parse_path("/" + "/".join(steps))
+
+
+def test_e10_containment_microbench(benchmark, report):
+    cases = [
+        ("depth 2, no preds", make_path(2, 0), make_path(2, 0)),
+        ("depth 4, no preds", make_path(4, 0), make_path(4, 0)),
+        ("depth 8, no preds", make_path(8, 0), make_path(8, 0)),
+        ("depth 4, 2 preds", make_path(4, 2), make_path(4, 2)),
+        ("depth 4, wildcard", make_path(4, 0, wildcard=True),
+         make_path(4, 0)),
+    ]
+
+    def run_all():
+        for _label, outer, inner in cases:
+            subtree_covers(outer, inner)
+            subtree_overlaps(outer, inner)
+
+    benchmark(run_all)
+    per_case_us = benchmark.stats.stats.mean * 1e6 / len(cases) / 2
+
+    # Per-shape timing for the table.
+    rows = []
+    for label, outer, inner in cases:
+        iterations = 20000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            subtree_covers(outer, inner)
+        elapsed = time.perf_counter() - start
+        rows.append((label, 1e6 * elapsed / iterations))
+    report(
+        "e10_containment",
+        "E10 — subtree_covers cost by path shape (us/decision)",
+        ["path shape", "us per decision"],
+        rows,
+        notes="Overall mean across shapes: %.2f us. The fragment "
+              "keeps containment linear in path length — no "
+              "exponential homomorphism search." % per_case_us,
+    )
+    assert all(cost < 50.0 for _label, cost in rows)
+    # Depth scales roughly linearly (8 steps < 8x the 2-step cost).
+    by_label = dict(rows)
+    assert by_label["depth 8, no preds"] < (
+        8.0 * by_label["depth 2, no preds"]
+    )
+
+
+def test_e10_coverage_resolution_scaling(benchmark, report):
+    def run():
+        rows = []
+        for per_user in (2, 8, 32, 128):
+            cov = CoverageMap()
+            for index in range(per_user):
+                component = [
+                    "address-book", "presence", "calendar", "devices"
+                ][index % 4]
+                path = "/user[@id='u']/%s" % component
+                if index >= 4:
+                    path += "/item[@k%d='v']" % index
+                cov.register(path, "store%d" % index)
+            request = "/user[@id='u']/address-book"
+            iterations = 5000
+            start = time.perf_counter()
+            for _ in range(iterations):
+                cov.resolve(request)
+            elapsed = time.perf_counter() - start
+            rows.append((per_user, 1e6 * elapsed / iterations))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e10_resolution_scaling",
+        "E10 — coverage.resolve cost vs registrations per user",
+        ["registrations/user", "us per resolve"],
+        rows,
+        notes="Linear in the user's own registrations (every entry is "
+              "checked for overlap), independent of other users.",
+    )
+    assert rows[0][1] < 100.0
+    # Cost is linear-ish in per-user entries, not worse.
+    assert rows[-1][1] < rows[0][1] * 128

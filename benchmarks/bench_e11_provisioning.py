@@ -1,0 +1,136 @@
+"""E11 — "enter once, use everywhere" vs per-store manual provisioning
+(requirement 11).
+
+Sweeps the number of stores replicating a component and compares the
+user-visible actions, messages, bytes, and the divergence left behind
+when the user forgets one store (the paper's "wasteful re-entry ...
+leads to inconsistencies").
+"""
+
+from repro.core import GupsterServer, QueryExecutor
+from repro.provisioning import Provisioner
+from repro.simnet import Network
+from repro.workloads import SyntheticAdapter
+
+
+ENTRY = {
+    "@id": "n1", "@type": "personal", "name": "Nadia",
+    "number": "908-555-7777", "number.@type": "cell",
+}
+
+
+def build(n_stores):
+    network = Network(seed=55)
+    network.add_node("gupster", region="core")
+    network.add_node("client", region="internet")
+    server = GupsterServer("gupster", enforce_policies=False)
+    store_ids = []
+    for index in range(n_stores):
+        store_id = "gup.store%d.com" % index
+        network.add_node(store_id, region="internet")
+        store = SyntheticAdapter(store_id, seed=index)
+        store.add_user("u1", ["address-book"])
+        server.join(store)
+        store_ids.append(store_id)
+    executor = QueryExecutor(network, server)
+    return Provisioner(server, executor), store_ids
+
+
+def test_e11_enter_once_vs_manual(benchmark, report):
+    def run():
+        rows = []
+        for n_stores in (2, 3, 5, 8):
+            provisioner, store_ids = build(n_stores)
+            once = provisioner.enter_once(
+                "client", "u1", "address-book", [ENTRY]
+            )
+            divergence_once = provisioner.replica_divergence(
+                "u1", "address-book", store_ids
+            )
+            provisioner, store_ids = build(n_stores)
+            manual = provisioner.provision_manually(
+                "client", "u1", "address-book", [ENTRY],
+                store_ids=store_ids,
+            )
+            divergence_manual = provisioner.replica_divergence(
+                "u1", "address-book", store_ids
+            )
+            provisioner, store_ids = build(n_stores)
+            forgetful = provisioner.provision_manually(
+                "client", "u1", "address-book", [ENTRY],
+                store_ids=store_ids, forget=[store_ids[-1]],
+            )
+            divergence_forgot = provisioner.replica_divergence(
+                "u1", "address-book", store_ids
+            )
+            rows.append(
+                (
+                    n_stores,
+                    once.user_actions, once.trace.hops,
+                    divergence_once,
+                    manual.user_actions, manual.trace.hops,
+                    divergence_manual,
+                    forgetful.user_actions, divergence_forgot,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e11_provisioning",
+        "E11 — enter-once vs manual provisioning across replicas",
+        ["stores", "once acts", "once hops", "once div",
+         "manual acts", "manual hops", "manual div",
+         "forgot acts", "forgot div"],
+        rows,
+        notes=(
+            "Enter-once: always ONE user action, zero divergence. "
+            "Manual: O(stores) user actions; forgetting one store "
+            "leaves (stores-1) divergent pairs."
+        ),
+    )
+    for row in rows:
+        n_stores = row[0]
+        assert row[1] == 1              # one user action
+        assert row[3] == 0              # no divergence
+        assert row[4] == n_stores       # manual actions scale
+        assert row[6] == 0
+        assert row[8] == n_stores - 1   # forgotten store diverges
+
+
+def test_e11_constraint_checking_gate(benchmark, report):
+    """Bad input never reaches any store — the 'guarantees' half of
+    requirement 11."""
+    from repro.errors import ValidationError
+
+    def run():
+        provisioner, store_ids = build(3)
+        attempts = [
+            ("missing required id", {"name": "NoId"}),
+            ("bad enum", {"@id": "1", "@type": "imaginary"}),
+            ("bad phone", {"@id": "1", "number": "12"}),
+            ("unknown field", {"@id": "1", "shoe-size": "42"}),
+            ("valid", dict(ENTRY)),
+        ]
+        rows = []
+        for label, entry in attempts:
+            try:
+                provisioner.enter_once(
+                    "client", "u1", "address-book", [entry]
+                )
+                rows.append((label, "accepted"))
+            except ValidationError:
+                rows.append((label, "rejected at the form"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e11_constraints",
+        "E11 — schema constraint checking at the provisioning form",
+        ["input", "outcome"],
+        rows,
+    )
+    assert rows[-1] == ("valid", "accepted")
+    assert all(
+        outcome == "rejected at the form" for _label, outcome in rows[:-1]
+    )

@@ -1,0 +1,112 @@
+"""E14 (extension) — the mirrored constellation with real asynchronous
+replication (Section 4.2: "a constellation of connected servers ... a
+family of mirrored servers"; requirement 12 reliability).
+
+Measures the consistency/traffic trade-off: with registrations
+arriving continuously at one mirror and a periodic gossip round, how
+many reads at OTHER mirrors fail (stale referrals) as a function of
+the replication period, and what the replication traffic costs.
+"""
+
+from repro.access import RequestContext
+from repro.core import MirrorConstellation
+from repro.errors import NoCoverageError
+from repro.simnet import Network, Simulator
+from repro.workloads import SyntheticAdapter
+
+
+N_USERS = 40
+REGISTER_EVERY_MS = 500.0
+READ_EVERY_MS = 200.0
+RUN_MS = 20_000.0
+
+
+def run_period(replication_period_ms):
+    network = Network(seed=17)
+    sim = Simulator()
+    network.add_node("client", region="internet")
+    mirrors = ["mdm.us", "mdm.eu", "mdm.asia"]
+    for mirror in mirrors:
+        network.add_node(mirror, region="core")
+    network.add_node("gup.store.com", region="internet")
+    constellation = MirrorConstellation(network, mirrors)
+    store = SyntheticAdapter("gup.store.com")
+    context = RequestContext("app", relationship="third-party")
+
+    state = {"next_user": 0, "reads": 0, "stale": 0, "read_mirror": 0}
+
+    def register_one():
+        index = state["next_user"]
+        if index >= N_USERS:
+            return
+        state["next_user"] += 1
+        user = "user%03d" % index
+        store.add_user(user, ["presence"])
+        constellation.register_component(
+            "/user[@id='%s']/presence" % user, "gup.store.com",
+            via="mdm.us",
+        )
+
+    def read_one():
+        # Round-robin reads across the OTHER mirrors.
+        known = state["next_user"]
+        if known == 0:
+            return
+        user = "user%03d" % ((state["reads"] * 7) % known)
+        mirror = mirrors[1 + state["read_mirror"] % 2]
+        state["read_mirror"] += 1
+        state["reads"] += 1
+        try:
+            constellation.resolve(
+                "client", "/user[@id='%s']/presence" % user,
+                context, prefer=mirror,
+            )
+        except NoCoverageError:
+            state["stale"] += 1
+
+    sim.every(REGISTER_EVERY_MS, register_one, until=RUN_MS)
+    sim.every(READ_EVERY_MS, read_one, until=RUN_MS)
+    sim.every(replication_period_ms, constellation.replicate,
+              until=RUN_MS)
+    sim.run(until=RUN_MS)
+    constellation.replicate()
+    return (
+        replication_period_ms,
+        state["reads"],
+        state["stale"],
+        100.0 * state["stale"] / max(state["reads"], 1),
+        constellation.replication_messages,
+        constellation.replication_bytes,
+        constellation.consistent(),
+    )
+
+
+def test_e14_replication_period_sweep(benchmark, report):
+    def run():
+        return [
+            run_period(period)
+            for period in (250.0, 1_000.0, 4_000.0, 16_000.0)
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e14_constellation",
+        "E14 — mirror consistency vs replication period "
+        "(%d registrations, reads at non-home mirrors)" % N_USERS,
+        ["period ms", "reads", "stale reads", "stale %",
+         "repl msgs", "repl bytes", "converged at end"],
+        rows,
+        notes=(
+            "Faster gossip -> fewer stale referrals but more "
+            "replication messages; all settings converge once quiet "
+            "(eventual consistency)."
+        ),
+    )
+    # Staleness grows with the replication period...
+    assert rows[0][3] < rows[-1][3]
+    # ...message count shrinks with it...
+    assert rows[0][4] > rows[-1][4]
+    # ...and every setting converges in the end.
+    assert all(row[6] for row in rows)
+    # Bytes shipped are similar (same total news), messages differ.
+    assert rows[0][5] < 4 * rows[-1][5]

@@ -1,0 +1,68 @@
+"""E15 (extension) — the requirement-5 canonical lookup queries.
+
+"Most of them are lookup queries like 'retrieve presence information
+for Alice', 'retrieve Alice's appointments for today', 'retrieve
+Alice's buddies who are available'" — and "data integration of profile
+data [is] simpler than in the traditional setting, because
+profile-related queries do not typically require exotic joins".
+
+Measures all three shapes end-to-end, including the multi-user buddies
+fan-out, and shows the no-joins point: even the buddies query is a
+chain of indexed lookups, each a couple of round trips.
+"""
+
+from repro.access import RequestContext
+from repro.services import ProfileLookupService
+from repro.workloads import build_converged_world
+
+
+def test_e15_canonical_queries(benchmark, report):
+    def run():
+        world = build_converged_world()
+        lookup = ProfileLookupService(world.server, world.executor)
+        rows = []
+        ctx = RequestContext("arnaud", relationship="self")
+        status, trace = lookup.presence_of("arnaud", ctx)
+        rows.append(
+            ("presence of Arnaud", repr(status),
+             trace.elapsed_ms, trace.bytes_total, trace.hops)
+        )
+        alice_ctx = RequestContext("alice", relationship="self")
+        appointments, trace = lookup.appointments_on(
+            "alice", "2003-01-06", alice_ctx
+        )
+        rows.append(
+            ("Alice's appointments today",
+             "%d found" % len(appointments),
+             trace.elapsed_ms, trace.bytes_total, trace.hops)
+        )
+        available, trace = lookup.available_buddies("arnaud", ctx)
+        rows.append(
+            ("Arnaud's available buddies",
+             ", ".join(alias or bid for bid, alias in available)
+             or "(none)",
+             trace.elapsed_ms, trace.bytes_total, trace.hops)
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e15_lookup_queries",
+        "E15 — the paper's three canonical profile queries, "
+        "end-to-end",
+        ["query", "answer", "latency ms", "bytes", "hops"],
+        rows,
+        notes=(
+            "No joins anywhere: presence and calendar are single "
+            "component lookups; the buddies query is a list lookup "
+            "plus a parallel per-buddy presence fan-out, each leg "
+            "shielded by that buddy's own policies."
+        ),
+    )
+    assert rows[0][1] == "'available'"
+    assert rows[1][1] == "1 found"
+    assert "Alice" in rows[2][1]
+    # All three stay well inside interactive bounds.
+    assert all(row[2] < 1000.0 for row in rows)
+    # The multi-user query costs more hops than the single lookups.
+    assert rows[2][4] > rows[0][4]

@@ -1,0 +1,141 @@
+"""E1 — referral vs chaining vs recruiting vs direct (Section 5.2).
+
+Paper claims: GUPster's referral-only server is lightweight and the
+data flows client<->store; chaining exists "in the case of a client
+application with very limited capabilities (e.g., a cell phone)";
+recruiting migrates the query. This experiment measures latency and
+bytes moved for each pattern across (a) client link quality and (b)
+component size/split, exposing the crossover.
+
+Expected shape: a well-connected client prefers referral; a wireless
+client fetching a *split* component prefers chaining/recruiting (one
+slow-link round trip instead of several).
+"""
+
+from repro.access import RequestContext
+from repro.core import GupsterServer, QueryExecutor
+from repro.simnet import Network
+from repro.workloads import SyntheticAdapter
+
+
+def build_world(book_entries, split):
+    network = Network(seed=2003)
+    network.add_node("gupster", region="core")
+    network.add_node("client-fast", region="internet")
+    network.add_node("client-wireless", region="wireless")
+    server = GupsterServer("gupster", enforce_policies=False)
+    if split:
+        east = SyntheticAdapter(
+            "gup.east.com", book_entries=book_entries // 2, seed=1
+        )
+        west = SyntheticAdapter(
+            "gup.west.com", book_entries=book_entries // 2, seed=2
+        )
+        network.add_node("gup.east.com", region="internet")
+        network.add_node("gup.west.com", region="internet")
+        east.add_user("u1", ["address-book"])
+        west.add_user("u1", ["address-book"])
+        server.join(east, user_ids=[])
+        server.join(west, user_ids=[])
+        base = "/user[@id='u1']/address-book"
+        server.register_component(
+            base + "/item[@type='personal']", "gup.east.com"
+        )
+        server.register_component(
+            base + "/item[@type='corporate']", "gup.west.com"
+        )
+    else:
+        store = SyntheticAdapter(
+            "gup.east.com", book_entries=book_entries, seed=1
+        )
+        network.add_node("gup.east.com", region="internet")
+        store.add_user("u1", ["address-book"])
+        server.join(store)
+    executor = QueryExecutor(network, server)
+    return network, server, executor
+
+
+PATH = "/user[@id='u1']/address-book"
+
+
+def run_experiment():
+    rows = []
+    ctx = RequestContext("app", relationship="third-party")
+    for client, client_label in (
+        ("client-fast", "internet client"),
+        ("client-wireless", "wireless client"),
+    ):
+        for entries, split, scenario in (
+            (4, False, "small, one store"),
+            (40, False, "medium, one store"),
+            (40, True, "medium, SPLIT 2 stores"),
+            (400, True, "large, SPLIT 2 stores"),
+        ):
+            _network, server, executor = build_world(entries, split)
+            results = {}
+            for pattern in ("referral", "chaining", "recruiting"):
+                fragment, trace = getattr(executor, pattern)(
+                    client, PATH, ctx
+                )
+                assert fragment is not None
+                results[pattern] = trace
+            # Direct baseline: client magically knows the placement.
+            if split:
+                targets = [
+                    ("gup.east.com",
+                     PATH + "/item[@type='personal']"),
+                    ("gup.west.com",
+                     PATH + "/item[@type='corporate']"),
+                ]
+            else:
+                targets = [("gup.east.com", PATH)]
+            _fragment, direct_trace = executor.direct(client, targets)
+            results["direct"] = direct_trace
+            winner = min(
+                ("referral", "chaining", "recruiting"),
+                key=lambda p: results[p].elapsed_ms,
+            )
+            rows.append(
+                (
+                    client_label,
+                    scenario,
+                    results["referral"].elapsed_ms,
+                    results["chaining"].elapsed_ms,
+                    results["recruiting"].elapsed_ms,
+                    results["direct"].elapsed_ms,
+                    results["referral"].bytes_total,
+                    results["chaining"].bytes_total,
+                    winner,
+                )
+            )
+    return rows
+
+
+def test_e1_query_patterns(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e1_query_patterns",
+        "E1 — query patterns: latency (ms) and bytes by client link "
+        "and component shape",
+        ["client", "component", "referral", "chaining", "recruit",
+         "direct", "ref B", "chain B", "winner"],
+        rows,
+        notes=(
+            "Expected: referral wins for well-connected clients; "
+            "chaining/recruiting win for wireless clients on split "
+            "components (fewer slow-link round trips)."
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Internet client, single store: referral competitive (within 2x
+    # of direct, which skips GUPster entirely).
+    fast_small = by_key[("internet client", "small, one store")]
+    assert fast_small[2] < 2.5 * fast_small[5]
+    # Wireless client on a split component: chaining beats referral
+    # (the paper's limited-client motivation).
+    slow_split = by_key[("wireless client", "medium, SPLIT 2 stores")]
+    assert slow_split[3] < slow_split[2]
+    # Internet client, split: referral's parallel fetch keeps it close
+    # to or better than chaining.
+    fast_split = by_key[("internet client", "medium, SPLIT 2 stores")]
+    assert fast_split[2] < 1.5 * fast_split[3]

@@ -1,0 +1,78 @@
+"""E2 — GUPster overhead decomposition (Section 5.3: "expect very
+little overhead because of GUPster").
+
+Two measurements:
+
+* simulated: the GUPster-side share (rewrite + policy + sign + verify)
+  of the end-to-end fetch time at WAN latencies;
+* real CPU: pytest-benchmark timing of the resolve operation itself
+  (schema filter + PDP + rewrite + HMAC signing) on this machine.
+"""
+
+from repro.access import RequestContext
+from repro.core.query import QueryExecutor
+from repro.workloads import build_converged_world
+
+
+def test_e2_simulated_overhead_share(benchmark, report):
+    def run():
+        world = build_converged_world()
+        executor = world.executor
+        ctx = RequestContext("arnaud", relationship="self")
+        rows = []
+        gup_compute = (
+            QueryExecutor.RESOLVE_COMPUTE_MS
+            + QueryExecutor.VERIFY_COMPUTE_MS
+        )
+        for component in ("presence", "address-book", "calendar",
+                          "devices"):
+            path = "/user[@id='arnaud']/%s" % component
+            try:
+                _fragment, trace = executor.referral(
+                    "client-app", path, ctx
+                )
+            except Exception:
+                continue
+            share = 100.0 * gup_compute / trace.elapsed_ms
+            rows.append(
+                (component, gup_compute, trace.elapsed_ms, share)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e2_overhead_share",
+        "E2 — GUPster compute share of end-to-end fetch (simulated)",
+        ["component", "gupster ms", "end-to-end ms", "share %"],
+        rows,
+        notes="Paper: 'very little overhead because of GUPster' — "
+              "the share should stay in single digits at WAN latency.",
+    )
+    assert rows
+    assert all(share < 15.0 for *_rest, share in rows)
+
+
+def test_e2_resolve_cpu_cost(benchmark, report):
+    """Real CPU microbenchmark of one resolve (policy + rewrite +
+    sign)."""
+    world = build_converged_world()
+    ctx = RequestContext("mom", relationship="family")
+    path = "/user[@id='arnaud']/address-book"
+
+    def resolve_once():
+        return world.server.resolve(path, ctx)
+
+    referral = benchmark(resolve_once)
+    assert referral.parts
+    mean_us = benchmark.stats.stats.mean * 1e6
+    report(
+        "e2_resolve_cpu",
+        "E2 — real CPU cost of one policy-checked, signed resolve",
+        ["operation", "mean us/op", "ops/sec"],
+        [("resolve (policy+rewrite+sign)", mean_us,
+          1e6 / mean_us if mean_us else float("nan"))],
+        notes="Thousands of resolves/sec/core supports the paper's "
+              "lightweight-server claim.",
+    )
+    # Should be well under a millisecond.
+    assert mean_us < 2000

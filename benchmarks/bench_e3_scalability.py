@@ -1,0 +1,118 @@
+"""E3 — scalability of the meta-data server (Section 5.3, the Napster
+analogy: "more than 50m users").
+
+Grows a synthetic population across stores and measures: coverage
+registrations held, resolve throughput (should stay flat as users
+grow — per-user indexing), and referral correctness at every scale.
+"""
+
+import time
+
+from repro.access import RequestContext
+from repro.core import GupsterServer
+from repro.workloads import SyntheticAdapter, ZipfSampler, spread_users
+
+
+def build_population(n_users):
+    server = GupsterServer("gupster", enforce_policies=False)
+    stores = [
+        SyntheticAdapter("gup.store%d.com" % index, seed=index)
+        for index in range(8)
+    ]
+    users = spread_users(
+        n_users, stores, components_per_user=3, replicas=2, seed=99
+    )
+    for store in stores:
+        server.join(store)
+    return server, users
+
+
+def measure_throughput(server, users, n_requests=3000):
+    sampler = ZipfSampler(users, alpha=1.0, seed=7)
+    ctx = RequestContext("app", relationship="third-party")
+    # Pre-draw the request mix so sampling isn't timed.
+    requests = []
+    for user in sampler.sequence(n_requests):
+        for component in ("address-book", "presence", "calendar"):
+            path = "/user[@id='%s']/%s" % (user, component)
+            requests.append(path)
+            if len(requests) >= n_requests:
+                break
+        if len(requests) >= n_requests:
+            break
+    resolved = 0
+    start = time.perf_counter()
+    for path in requests:
+        try:
+            server.resolve(path, ctx)
+            resolved += 1
+        except Exception:
+            pass
+    elapsed = time.perf_counter() - start
+    return resolved / elapsed if elapsed > 0 else float("nan")
+
+
+def test_e3_scalability(benchmark, report):
+    def run():
+        rows = []
+        baseline = None
+        for n_users in (200, 1000, 5000, 20000):
+            server, users = build_population(n_users)
+            throughput = measure_throughput(server, users)
+            stats = server.stats()
+            if baseline is None:
+                baseline = throughput
+            rows.append(
+                (
+                    n_users,
+                    stats["coverage_entries"],
+                    stats["stores"],
+                    throughput,
+                    throughput / baseline,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e3_scalability",
+        "E3 — resolve throughput vs population size",
+        ["users", "coverage entries", "stores", "resolves/sec",
+         "vs smallest"],
+        rows,
+        notes=(
+            "Per-user coverage indexing keeps lookup cost independent "
+            "of population: throughput should stay within ~2x of the "
+            "smallest population (state grows linearly, time does "
+            "not)."
+        ),
+    )
+    smallest = rows[0][3]
+    largest = rows[-1][3]
+    # Flat-ish: the 100x population costs at most ~2.5x in throughput.
+    assert largest > smallest / 2.5
+    # State grows linearly with users.
+    assert rows[-1][1] > rows[0][1] * 50
+
+
+def test_e3_coverage_lookup_cpu(benchmark, report):
+    server, users = build_population(5000)
+    ctx = RequestContext("app", relationship="third-party")
+    paths = [
+        "/user[@id='%s']/address-book" % user for user in users[:64]
+    ]
+    counter = {"i": 0}
+
+    def one_lookup():
+        counter["i"] = (counter["i"] + 1) % len(paths)
+        return server.coverage.resolve(paths[counter["i"]])
+
+    benchmark(one_lookup)
+    mean_us = benchmark.stats.stats.mean * 1e6
+    report(
+        "e3_lookup_cpu",
+        "E3 — coverage lookup CPU cost at 5k users / 8 stores",
+        ["operation", "mean us/op"],
+        [("coverage.resolve", mean_us)],
+    )
+    assert mean_us < 500

@@ -1,0 +1,113 @@
+"""E4 — selective reach-me decision latency (Section 2.2: "a selective
+reach-me decision can be rendered in just a few seconds"; requirement
+13: call delivery "within hundreds of milliseconds").
+
+Measures the end-to-end decision latency: cold (every source fetched
+over the WAN), warm (through GUPster's component cache), and the
+wireless call-delivery HLR interrogation alone.
+"""
+
+from repro.services import ReachMeService
+from repro.workloads import build_converged_world
+
+
+def test_e4_reachme_decision_latency(benchmark, report):
+    def run():
+        world = build_converged_world()
+        service = ReachMeService(world.server, world.executor)
+        rows = []
+        # Cold decisions across the day (no cache).
+        cold = []
+        for hour in (8, 9, 11, 14, 18, 22):
+            decision = service.decide("alice", hour=hour, weekday=1)
+            cold.append(decision.trace.elapsed_ms)
+            rows.append(
+                ("cold %02d:00" % hour, decision.first_target,
+                 decision.sources_used, decision.trace.elapsed_ms)
+            )
+        # Warm decisions via the component cache.
+        service.decide("alice", hour=11, weekday=1,
+                       now=0.0, use_cache=True)  # fill
+        warm = []
+        for index, hour in enumerate((11, 11, 11)):
+            decision = service.decide(
+                "alice", hour=hour, weekday=1,
+                now=1000.0 * (index + 1), use_cache=True,
+            )
+            warm.append(decision.trace.elapsed_ms)
+            rows.append(
+                ("warm #%d" % (index + 1), decision.first_target,
+                 decision.sources_used, decision.trace.elapsed_ms)
+            )
+        # Call-delivery alone: one HLR interrogation round trip.
+        trace = world.network.trace()
+        trace.round_trip("gupster", "gup.spcs.com", 96, 128,
+                         "HLR interrogation")
+        rows.append(("HLR interrogation", "routing info", 1,
+                     trace.elapsed_ms))
+        return rows, max(cold), max(warm), trace.elapsed_ms
+
+    rows, worst_cold, worst_warm, hlr_ms = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "e4_reachme",
+        "E4 — reach-me decision latency (simulated end-to-end)",
+        ["scenario", "routed to", "sources", "latency ms"],
+        rows,
+        notes=(
+            "Bounds from the paper: decision in 'a few seconds' "
+            "(<3000 ms); call delivery 'within hundreds of ms'. "
+            "Worst cold=%.0f ms, worst warm=%.0f ms, HLR RT=%.0f ms."
+            % (worst_cold, worst_warm, hlr_ms)
+        ),
+    )
+    assert worst_cold < 3000.0     # the "few seconds" bound
+    assert worst_warm < worst_cold  # cache helps
+    assert hlr_ms < 500.0          # "hundreds of milliseconds"
+
+
+def test_e4_latency_vs_source_count(benchmark, report):
+    """Parallel aggregation: latency grows with the slowest source,
+    not the number of sources."""
+    from repro.services.reachme import ReachMeService
+
+    def run():
+        rows = []
+        singles = []
+        # Each source alone, then all five together.
+        for component in ReachMeService.SOURCES:
+            world = build_converged_world()
+            service = ReachMeService(world.server, world.executor)
+            service.SOURCES = (component,)
+            decision = service.decide("alice", hour=11, weekday=1)
+            singles.append(decision.trace.elapsed_ms)
+            rows.append(
+                ("only " + component, decision.sources_used,
+                 decision.trace.elapsed_ms,
+                 decision.trace.bytes_total)
+            )
+        world = build_converged_world()
+        service = ReachMeService(world.server, world.executor)
+        decision = service.decide("alice", hour=11, weekday=1)
+        rows.append(
+            ("ALL %d sources" % len(ReachMeService.SOURCES),
+             decision.sources_used, decision.trace.elapsed_ms,
+             decision.trace.bytes_total)
+        )
+        return rows, singles, decision.trace.elapsed_ms
+
+    rows, singles, combined = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "e4_source_scaling",
+        "E4 — decision latency: each source alone vs all aggregated",
+        ["sources", "reached", "latency ms", "bytes"],
+        rows,
+        notes="Parallel aggregation: the combined latency tracks the "
+              "slowest source (max), not the sum of all sources.",
+    )
+    # Combined ≈ max of singles (parallel), far below their sum.
+    assert combined < sum(singles)
+    assert combined < 2.0 * max(singles)

@@ -1,0 +1,158 @@
+"""E5 — where should access control live? (Section 5.3: "we think that
+GUPster should be in charge of access control because it offers a
+single point of access. Having access control at the level of the
+data-stores would require keeping access control policies in sync.")
+
+Compares the two deployments:
+
+* centralized — one policy repository at GUPster; a policy update is
+  one message; enforcement adds the resolve round trip (amortized by
+  signed queries);
+* per-store replicas — every store keeps a replica repository;
+  updates propagate to all S stores (messages, bytes, and a staleness
+  window during which a store may enforce the OLD policy).
+"""
+
+from repro.access import (
+    PolicyRepository,
+    PolicyRule,
+    relationship_in,
+)
+from repro.simnet import Network
+
+
+RULE_BYTES = 160  # serialized rule estimate
+
+
+def build_network(n_stores):
+    network = Network(seed=11)
+    network.add_node("user-portal", region="internet")
+    network.add_node("gupster", region="core")
+    for index in range(n_stores):
+        network.add_node("store%d" % index, region="internet")
+    return network
+
+
+def run_experiment():
+    rows = []
+    for n_stores in (2, 5, 10, 20):
+        network = build_network(n_stores)
+        master = PolicyRepository("gupster")
+        replicas = [
+            PolicyRepository("store%d" % index)
+            for index in range(n_stores)
+        ]
+
+        rule = PolicyRule(
+            "u", "/user[@id='u']/presence", "permit",
+            relationship_in("family"), rule_id="r1",
+        )
+
+        # --- centralized update: user -> GUPster, done. -----------------
+        central_trace = network.trace()
+        central_trace.round_trip(
+            "user-portal", "gupster", RULE_BYTES, 32, "provision rule"
+        )
+        master.store(rule)
+
+        # --- replicated update: user -> GUPster -> every store. ----------
+        replicated_trace = network.trace()
+        replicated_trace.round_trip(
+            "user-portal", "gupster", RULE_BYTES, 32, "provision rule"
+        )
+        lags = []
+        branches = []
+        for index, replica in enumerate(replicas):
+            branch = replicated_trace.fork()
+            branch.round_trip(
+                "gupster", "store%d" % index, RULE_BYTES, 32,
+                "replicate",
+            )
+            replica.apply_changes(
+                master.changes_since(replica.revision)
+            )
+            lags.append(branch.elapsed_ms)
+            branches.append(branch)
+        replicated_trace.join(branches)
+        staleness_window = max(lags)
+
+        rows.append(
+            (
+                n_stores,
+                2,                       # centralized messages
+                central_trace.elapsed_ms,
+                2 + 2 * n_stores,        # replicated messages
+                replicated_trace.bytes_total,
+                replicated_trace.elapsed_ms,
+                staleness_window,
+            )
+        )
+    return rows
+
+
+def test_e5_policy_update_propagation(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "e5_policy_placement",
+        "E5 — policy update cost: centralized vs per-store replicas",
+        ["stores", "central msgs", "central ms", "replicated msgs",
+         "replicated bytes", "replicated ms", "staleness window ms"],
+        rows,
+        notes=(
+            "Centralized: O(1) messages regardless of store count, "
+            "zero staleness. Replicated: O(S) messages and a window "
+            "during which some store still enforces the old policy."
+        ),
+    )
+    # Centralized message count is constant; replicated grows with S.
+    assert all(row[1] == 2 for row in rows)
+    assert rows[-1][3] > rows[0][3]
+    # Staleness window exists only in the replicated deployment.
+    assert all(row[6] > 0 for row in rows)
+
+
+def test_e5_enforcement_read_path(benchmark, report):
+    """Read-path cost of the two placements: the signed-query design
+    lets centralized enforcement piggyback on the resolve round trip
+    the client needs anyway."""
+    def run():
+        network = build_network(1)
+        rows = []
+        # Centralized: client -> GUPster (policy checked, signed) ->
+        # client -> store (verify) -> client.
+        central = network.trace()
+        central.round_trip("user-portal", "gupster", 200, 180,
+                           "resolve+sign")
+        central.round_trip("user-portal", "store0", 260, 900,
+                           "signed fetch")
+        central.compute(0.1, "verify at store")
+        rows.append(("centralized (referral + signed query)",
+                     central.elapsed_ms, central.hops))
+        # Per-store: client goes straight to the store, which checks
+        # its local replica — but first had to discover the store via
+        # GUPster anyway (meta-data lookup is unavoidable).
+        replicated = network.trace()
+        replicated.round_trip("user-portal", "gupster", 200, 180,
+                              "resolve (no policy)")
+        replicated.round_trip("user-portal", "store0", 200, 900,
+                              "fetch + local check")
+        replicated.compute(0.3, "local PDP at store")
+        rows.append(("per-store replica",
+                     replicated.elapsed_ms, replicated.hops))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e5_read_path",
+        "E5 — read-path latency under the two placements",
+        ["deployment", "latency ms", "hops"],
+        rows,
+        notes=(
+            "Near-identical read paths: the meta-data lookup is paid "
+            "either way, so centralizing enforcement there is free — "
+            "while the update path (above) strongly favors it."
+        ),
+    )
+    central_ms = rows[0][1]
+    replicated_ms = rows[1][1]
+    assert abs(central_ms - replicated_ms) < 0.3 * replicated_ms

@@ -1,0 +1,142 @@
+"""E8 — synchronization cost and reconciliation (requirements 6/7;
+Section 5.3: "SyncML is only a transport protocol. Issues like
+synchronization semantics need to be addressed").
+
+(a) Fast vs slow sync traffic as a function of change count on a
+100-entry address book — fast sync bytes should scale with *changes*,
+slow sync with *total entries*.
+(b) Outcome matrix of the five reconciliation policies on the same
+conflicting edit.
+"""
+
+from repro.pxml import PNode
+from repro.sync import Reconciler, SyncEndpoint, SyncSession
+
+
+BOOK_SIZE = 100
+
+
+def item(item_id, name, number=None):
+    node = PNode("item", {"id": item_id})
+    node.append(PNode("name", text=name))
+    if number:
+        node.append(PNode("number", {"type": "cell"}, number))
+    return node
+
+
+def paired_with_book():
+    phone = SyncEndpoint("phone")
+    network = SyncEndpoint("network")
+    for index in range(BOOK_SIZE):
+        network.put_item(item("c%03d" % index, "contact %d" % index),
+                         now=0.0)
+    session = SyncSession(phone, network)
+    session.run(now=1.0)  # initial slow sync seeds both sides
+    return phone, network, session
+
+
+def test_e8_fast_vs_slow_traffic(benchmark, report):
+    def run():
+        rows = []
+        for changes in (0, 1, 5, 20, 50):
+            phone, network, session = paired_with_book()
+            for index in range(changes):
+                phone.put_item(
+                    item("c%03d" % index, "renamed %d" % index),
+                    now=10.0 + index,
+                )
+            fast = session.run(now=100.0)
+            # Same starting point, but force a slow sync.
+            phone2, network2, session2 = paired_with_book()
+            for index in range(changes):
+                phone2.put_item(
+                    item("c%03d" % index, "renamed %d" % index),
+                    now=10.0 + index,
+                )
+            session2.corrupt_client_anchor()
+            slow = session2.run(now=100.0)
+            rows.append(
+                (changes, fast.mode, fast.messages, fast.bytes,
+                 slow.mode, slow.messages, slow.bytes,
+                 slow.bytes / fast.bytes)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e8_sync_traffic",
+        "E8 — fast vs slow sync traffic on a %d-entry book" % BOOK_SIZE,
+        ["changes", "mode", "msgs", "bytes", "mode", "msgs", "bytes",
+         "slow/fast"],
+        rows,
+        notes=(
+            "Fast-sync bytes scale with the number of changes; "
+            "slow-sync bytes with the book size — the anchors are "
+            "worth keeping."
+        ),
+    )
+    # Idle fast sync is tiny; slow sync always ships the whole book.
+    idle = rows[0]
+    assert idle[1] == "fast" and idle[4] == "slow"
+    assert idle[7] > 10.0
+    # Fast sync grows with changes but stays under slow until changes
+    # approach the book size.
+    assert rows[1][3] < rows[4][3]
+    assert all(row[3] <= row[6] for row in rows)
+
+
+def test_e8_reconciliation_matrix(benchmark, report):
+    def run():
+        rows = []
+        for policy in ("client-wins", "server-wins",
+                       "last-writer-wins", "merge", "duplicate"):
+            phone = SyncEndpoint("phone")
+            network = SyncEndpoint("network")
+            session = SyncSession(phone, network, Reconciler(policy))
+            phone.put_item(item("1", "Bob", "111"), now=0.0)
+            session.run(now=1.0)
+            # Conflict: phone renames (later), network adds a number
+            # (earlier).
+            phone.put_item(item("1", "Bobby"), now=10.0)
+            network.put_item(item("1", "Bob", "222"), now=5.0)
+            reports = session.run(now=20.0)
+            final = phone.item("1")
+            name = final.child("name").text
+            number_el = final.child("number")
+            number = number_el.text if number_el is not None else "-"
+            extra = (
+                "+" + ",".join(
+                    i for i in phone.item_ids() if i != "1"
+                )
+                if len(phone.item_ids()) > 1 else ""
+            )
+            converged = phone.item_ids() == network.item_ids() and all(
+                phone.item(i).deep_equal(network.item(i))
+                for i in phone.item_ids()
+            )
+            rows.append(
+                (policy, name, number, extra,
+                 len(reports.conflicts), converged)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e8_reconciliation",
+        "E8 — reconciliation policies on one conflicting edit "
+        "(phone renames later; network adds number earlier)",
+        ["policy", "final name", "final number", "extra items",
+         "conflicts", "replicas converge"],
+        rows,
+        notes="'merge' keeps the newer name AND the number only the "
+              "other replica had — the only policy losing nothing "
+              "without duplicating.",
+    )
+    by_policy = {row[0]: row for row in rows}
+    assert by_policy["client-wins"][1] == "Bobby"
+    assert by_policy["server-wins"][1] == "Bob"
+    assert by_policy["last-writer-wins"][1] == "Bobby"
+    assert by_policy["merge"][1] == "Bobby"
+    assert by_policy["merge"][2] == "222"
+    assert by_policy["duplicate"][3] != ""
+    assert all(row[5] for row in rows)  # convergence everywhere

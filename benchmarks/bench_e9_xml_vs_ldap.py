@@ -1,0 +1,196 @@
+"""E9 — XML vs LDAP for profile data (paper Section 6).
+
+Runs the paper's arguments as measurements against the same profile
+stored both ways:
+
+* opaque roaming-profile blobs "can only be accessed (retrieved or
+  updated) as a whole" — bytes moved to read ONE address-book entry,
+  vs the XML subtree projection;
+* "it is not possible to combine information from two separate
+  objects" — the calendar+address-book join ("phone number of the
+  people I am having a meeting with") succeeds over XML, and requires
+  fetching every blob whole over LDAP;
+* typed comparison — LDAP-style string equality vs the schema's
+  normalizing phone type.
+"""
+
+from repro.adapters import LdapAdapter
+from repro.pxml import PNode, evaluate, evaluate_values, extract
+from repro.pxml.schema import PHONE
+from repro.stores import DirectoryServer, LdapEntry
+
+
+def build_book(entries):
+    book = PNode("address-book")
+    for index in range(entries):
+        item = book.append(PNode("item", {"id": "c%03d" % index}))
+        item.append(PNode("name", text="Contact %03d" % index))
+        item.append(
+            PNode("number", {"type": "cell"},
+                  "908-555-%04d" % index)
+        )
+    return book
+
+
+def build_ldap(book_xml):
+    server = DirectoryServer("ldap", suffix="o=example")
+    server.add(
+        LdapEntry("o=example", ["organization"], {"o": ["example"]})
+    )
+    server.add(
+        LdapEntry(
+            "profileName=u1,o=example",
+            ["roamingProfileObject"],
+            {
+                "profileName": ["u1"],
+                "profileBlob": [book_xml.serialize()],
+            },
+        )
+    )
+    adapter = LdapAdapter("gup.ldap", server)
+    adapter.map_roaming_profile("u1", "profileName=u1,o=example")
+    return server, adapter
+
+
+def test_e9_access_granularity(benchmark, report):
+    def run():
+        rows = []
+        for entries in (10, 50, 200):
+            book = build_book(entries)
+            server, adapter = build_ldap(book)
+            # LDAP: one entry costs the whole blob.
+            before = adapter.native_bytes_read
+            adapter.get("/user[@id='u1']/address-book/item[@id='c001']")
+            ldap_bytes = adapter.native_bytes_read - before
+            # XML: subtree projection of the same request.
+            doc = PNode("user", {"id": "u1"})
+            doc.append(book.copy())
+            fragment = extract(
+                doc, "/user[@id='u1']/address-book/item[@id='c001']"
+            )
+            xml_bytes = fragment.byte_size()
+            rows.append(
+                (entries, ldap_bytes, xml_bytes,
+                 ldap_bytes / xml_bytes)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e9_granularity",
+        "E9 — bytes moved to read ONE address-book entry",
+        ["book entries", "LDAP blob bytes", "XML subtree bytes",
+         "blob/subtree"],
+        rows,
+        notes="The LDAP blob cost grows with the whole book; the XML "
+              "projection is constant — the paper's first drawback of "
+              "opaque storage, measured.",
+    )
+    # LDAP cost grows with book size; XML stays flat.
+    assert rows[-1][1] > rows[0][1] * 10
+    assert rows[-1][2] < rows[0][2] * 2
+    assert rows[-1][3] > 20
+
+
+def test_e9_cross_component_query(benchmark, report):
+    """The paper's example: 'combining calendar information with
+    address book information to find the phone number of the people I
+    am having a meeting with'."""
+
+    def run():
+        # One profile: a calendar naming attendees, plus the book.
+        doc = PNode("user", {"id": "u1"})
+        doc.append(build_book(50))
+        calendar = doc.append(PNode("calendar"))
+        appt = calendar.append(PNode("appointment", {"id": "a1"}))
+        appt.append(PNode("start", text="2003-01-06T09:00"))
+        appt.append(PNode("end", text="2003-01-06T10:00"))
+        appt.append(PNode("subject", text="review with Contact 007"))
+        # XML side: same data model -> navigate both components.
+        subjects = evaluate_values(
+            doc, "/user/calendar/appointment/subject"
+        )
+        attendee = subjects[0].split("with ")[1]
+        numbers = [
+            evaluate_values(node, "/item/number")[0]
+            for node in evaluate(doc, "/user/address-book/item")
+            if node.child("name").text == attendee
+        ]
+        xml_possible = bool(numbers)
+        xml_bytes = extract(
+            doc, "/user[@id='u1']/calendar"
+        ).byte_size() + 120  # projected calendar + one matching item
+        # LDAP side: calendar blob + book blob, both whole.
+        server = DirectoryServer("ldap", suffix="o=example")
+        server.add(LdapEntry("o=example", ["organization"],
+                             {"o": ["example"]}))
+        book_blob = doc.child("address-book").serialize()
+        cal_blob = doc.child("calendar").serialize()
+        server.add(
+            LdapEntry(
+                "profileName=book,o=example", ["roamingProfileObject"],
+                {"profileName": ["book"], "profileBlob": [book_blob]},
+            )
+        )
+        server.add(
+            LdapEntry(
+                "profileName=cal,o=example", ["roamingProfileObject"],
+                {"profileName": ["cal"], "profileBlob": [cal_blob]},
+            )
+        )
+        ldap_bytes = (
+            server.entry("profileName=book,o=example").byte_size()
+            + server.entry("profileName=cal,o=example").byte_size()
+        )
+        return [
+            ("XML (shared data model)", "yes", numbers[0], xml_bytes),
+            ("LDAP (opaque blobs)", "client-side only", "-",
+             ldap_bytes),
+        ], xml_bytes, ldap_bytes, xml_possible
+
+    rows, xml_bytes, ldap_bytes, xml_possible = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "e9_cross_component",
+        "E9 — 'phone number of the people I'm meeting': calendar x "
+        "address-book",
+        ["representation", "in-store combination", "answer",
+         "bytes moved"],
+        rows,
+        notes="XML answers with two subtree projections; LDAP must "
+              "ship both blobs whole and leave the combination to "
+              "the client.",
+    )
+    assert xml_possible
+    assert ldap_bytes > 3 * xml_bytes
+
+
+def test_e9_typed_comparison(benchmark, report):
+    def run():
+        pairs = [
+            ("908-582-4393", "(908) 582-4393"),
+            ("908-582-4393", "+1 908 582 4393"),
+            ("908-582-4393", "908.582.4393"),
+            ("908-582-4393", "908-582-9999"),
+        ]
+        rows = []
+        for a, b in pairs:
+            rows.append(
+                (a, b, str(a == b), str(PHONE.equal(a, b)))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e9_typed_comparison",
+        "E9 — typed phone comparison (schema types) vs raw string "
+        "equality (LDAP without matching rules)",
+        ["value a", "value b", "string ==", "PHONE.equal"],
+        rows,
+        notes="The paper's example: '908-582-4393 and (908) 582-4393 "
+              "should compare as equal despite their different "
+              "representation.'",
+    )
+    assert rows[0][2] == "False" and rows[0][3] == "True"
+    assert rows[3][3] == "False"

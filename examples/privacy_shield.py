@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The privacy shield (paper Section 4.6) and signed queries (5.3).
+
+Provisions the paper's example policies for a corporate user —
+
+    "any co-worker can access my presence information during
+    working-hours; my boss and my family can access my presence
+    information at any time; my family can access my personal address
+    book and calendar."
+
+— then exercises them from different requesters, times, and shows how
+GUPster *rewrites* a too-broad request down to the permitted slice,
+signs it, and how a data store rejects forged or stale queries.
+
+Run:  python examples/privacy_shield.py
+"""
+
+from repro.access import RequestContext
+from repro.errors import AccessDeniedError, SignatureError, StaleQueryError
+from repro.workloads import build_converged_world
+
+
+def attempt(server, label, path, context):
+    try:
+        referral = server.resolve(path, context)
+        print("  %-38s PERMIT -> %s" % (label, referral.render()))
+        return referral
+    except AccessDeniedError:
+        print("  %-38s DENY" % label)
+        return None
+
+
+def main() -> None:
+    world = build_converged_world()
+    server = world.server
+    presence = "/user[@id='arnaud']/presence"
+    book = "/user[@id='arnaud']/address-book"
+
+    print("Presence requests against Arnaud's shield:")
+    attempt(server, "co-worker, Tuesday 11:00", presence,
+            RequestContext("bob", relationship="co-worker",
+                           hour=11, weekday=1))
+    attempt(server, "co-worker, Tuesday 22:00", presence,
+            RequestContext("bob", relationship="co-worker",
+                           hour=22, weekday=1))
+    attempt(server, "boss, Sunday 23:00", presence,
+            RequestContext("rick", relationship="boss",
+                           hour=23, weekday=6))
+    attempt(server, "unknown third party", presence,
+            RequestContext("telemarketer"))
+
+    print("\nQuery rewriting — mom asks for the WHOLE address book:")
+    referral = attempt(
+        server, "family, whole book", book,
+        RequestContext("mom", relationship="family"),
+    )
+    print("  (narrowed to the personal slice, the corporate half is "
+          "invisible)")
+
+    print("\nSigned queries at the data store:")
+    part = referral.parts[0]
+    verifier = server.signer.verifier()
+    verifier.verify(part.signed_query, now=100.0)
+    print("  genuine signed query .......... accepted")
+    try:
+        verifier.verify(part.signed_query, now=10_000_000.0)
+    except StaleQueryError:
+        print("  same query replayed later ..... rejected (stale)")
+    forged = server.signer.sign(book, "mom", now=0.0)
+    forged.requester = "mallory"
+    try:
+        verifier.verify(forged, now=1.0)
+    except SignatureError:
+        print("  tampered requester ............ rejected (signature)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: GUPster in five minutes.
+
+Builds a tiny converged world, registers data stores, and walks the
+Napster-style flow of the paper's Section 4.3:
+
+1. data stores register the components they share;
+2. a client asks GUPster for a component;
+3. GUPster checks the privacy shield, rewrites, signs, and returns a
+   *referral* (never data);
+4. the client fetches directly from the stores and merges.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.access import PolicyRule, RequestContext, relationship_in
+from repro.core import GupsterServer, QueryExecutor
+from repro.simnet import Network
+from repro.stores import ContactRecord, WebPortal
+from repro.adapters import PortalAdapter
+
+
+def main() -> None:
+    # -- 1. a network with a GUPster server, a client, and two stores --
+    network = Network(seed=42)
+    network.add_node("gupster", region="core")
+    network.add_node("my-laptop", region="internet")
+    network.add_node("gup.yahoo.com", region="internet")
+    network.add_node("gup.spcs.com", region="core")
+
+    # Two portals hold (replicated) profile data for user 'arnaud'.
+    yahoo = WebPortal("portal.yahoo")
+    spcs = WebPortal("portal.spcs")
+    for portal in (yahoo, spcs):
+        portal.create_account("arnaud")
+        portal.put_contact(
+            "arnaud",
+            ContactRecord(
+                "1", "Rick Hull", kind="corporate",
+                phones={"work": "908-582-4393"},
+            ),
+        )
+    yahoo.set_score("arnaud", "chess", 1820)
+
+    # -- 2. GUP-enable the stores and register with GUPster ------------
+    server = GupsterServer("gupster")
+    server.join(PortalAdapter("gup.yahoo.com", yahoo))
+    server.join(PortalAdapter("gup.spcs.com", spcs))
+    print("Coverage for arnaud:")
+    for path, stores in server.coverage.component_graph("arnaud"):
+        print("  %-45s -> %s" % (path, ", ".join(stores)))
+
+    # -- 3. the owner provisions a privacy-shield rule ------------------
+    server.provision_policy(
+        "arnaud",
+        PolicyRule(
+            "arnaud", "/user[@id='arnaud']/address-book", "permit",
+            relationship_in("buddy"),
+        ),
+    )
+
+    # -- 4. a buddy's application resolves and fetches ------------------
+    executor = QueryExecutor(network, server)
+    context = RequestContext("paul", relationship="buddy")
+    referral = server.resolve(
+        "/user[@id='arnaud']/address-book", context
+    )
+    print("\nReferral returned to the client (choice of stores):")
+    print("  " + referral.render())
+
+    fragment, trace = executor.referral(
+        "my-laptop", "/user[@id='arnaud']/address-book", context
+    )
+    print("\nFetched fragment:")
+    print(fragment.serialize(indent=2))
+    print("\nEnd-to-end: %.1f simulated ms, %d bytes, %d hops"
+          % (trace.elapsed_ms, trace.bytes_total, trace.hops))
+
+    # -- 5. access control in action -------------------------------------
+    try:
+        server.resolve(
+            "/user[@id='arnaud']/address-book",
+            RequestContext("telemarketer"),
+        )
+    except Exception as err:  # AccessDeniedError
+        print("\nStranger denied, as provisioned: %s"
+              % type(err).__name__)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""GUPster — user profile management for converged networks.
+
+Reproduction of *Enter Once, Share Everywhere: User Profile Management
+in Converged Networks* (CIDR 2003). See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the experiment ledger.
+
+The public API re-exports the pieces a downstream application needs:
+
+* the profile data model (:mod:`repro.pxml`),
+* the simulated converged network and native stores
+  (:mod:`repro.simnet`, :mod:`repro.stores`, :mod:`repro.adapters`),
+* the GUPster server, coverage and query patterns (:mod:`repro.core`),
+* the privacy shield (:mod:`repro.access`),
+* synchronization and provisioning (:mod:`repro.sync`,
+  :mod:`repro.provisioning`),
+* converged services built on top (:mod:`repro.services`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.pxml import (  # noqa: F401
+    GUP_SCHEMA,
+    PNode,
+    Path,
+    element,
+    parse,
+    parse_path,
+)

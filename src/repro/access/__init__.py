@@ -1,0 +1,36 @@
+"""The privacy shield (paper Section 4.6): request contexts, policy
+rules with the extended (beyond-XACML) context conditions, and the
+PAP/PRP/PDP/PEP infrastructure of Figure 10."""
+
+from repro.access.context import PURPOSES, RELATIONSHIPS, RequestContext
+from repro.access.infrastructure import (
+    PolicyAdministrationPoint,
+    PolicyEnforcementPoint,
+    PolicyRepository,
+)
+from repro.access.policy import (
+    Condition,
+    Decision,
+    PolicyDecisionPoint,
+    PolicyRule,
+    all_of,
+    always,
+    any_of,
+    hour_between,
+    negate,
+    purpose_in,
+    relationship_in,
+    requester_is,
+    weekday_in,
+    working_hours,
+)
+
+__all__ = [
+    "RequestContext", "PURPOSES", "RELATIONSHIPS",
+    "Condition", "always", "requester_is", "relationship_in",
+    "purpose_in", "hour_between", "weekday_in", "working_hours",
+    "all_of", "any_of", "negate",
+    "PolicyRule", "Decision", "PolicyDecisionPoint",
+    "PolicyRepository", "PolicyAdministrationPoint",
+    "PolicyEnforcementPoint",
+]

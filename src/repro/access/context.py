@@ -1,0 +1,128 @@
+"""The request context — the half of a GUPster request that XACML lacks.
+
+Paper Section 4.6: "a request consists of two facets: a context and a
+path. ... The context provides some information about the context of
+the request, i.e. identity of the requester (e.g., third party
+application, end user, etc.), purpose of the request (e.g., plain
+request, caching request, subscription-based request, etc.). We
+envision the context to be an XML document as well, defined using a
+request context schema."
+
+And Section 6: "the notion of request context in XACML is too limited
+(restricted to principals)". This module is the extension the paper
+sketches: requester identity, the requester's *relationship* to the
+profile owner (co-worker / family / boss — the example policies need
+it), the purpose, and the request time (the "during working hours"
+policies need it).
+
+Contexts serialize to/from XML per the context schema, as the paper
+requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PolicyError
+from repro.pxml import PNode
+
+__all__ = ["RequestContext", "PURPOSES", "RELATIONSHIPS"]
+
+PURPOSES = ("query", "cache", "subscribe", "provision")
+
+RELATIONSHIPS = (
+    "self", "family", "boss", "co-worker", "buddy", "third-party",
+    "anonymous",
+)
+
+
+class RequestContext:
+    """Who is asking, in what capacity, why, and when."""
+
+    __slots__ = ("requester", "relationship", "purpose", "hour", "weekday")
+
+    def __init__(
+        self,
+        requester: str,
+        relationship: str = "third-party",
+        purpose: str = "query",
+        hour: int = 12,
+        weekday: int = 0,
+    ):
+        if relationship not in RELATIONSHIPS:
+            raise PolicyError("unknown relationship %r" % relationship)
+        if purpose not in PURPOSES:
+            raise PolicyError("unknown purpose %r" % purpose)
+        if not 0 <= hour <= 23:
+            raise PolicyError("hour must be 0..23")
+        if not 0 <= weekday <= 6:
+            raise PolicyError("weekday must be 0..6 (Monday=0)")
+        self.requester = requester
+        self.relationship = relationship
+        self.purpose = purpose
+        self.hour = hour
+        self.weekday = weekday
+
+    # -- derived -------------------------------------------------------------
+
+    def is_working_hours(self) -> bool:
+        """The 9am-6pm weekday window the paper's policies reference."""
+        return self.weekday < 5 and 9 <= self.hour < 18
+
+    def at(self, hour: int, weekday: Optional[int] = None):
+        """A copy of this context at a different time."""
+        return RequestContext(
+            self.requester,
+            self.relationship,
+            self.purpose,
+            hour,
+            self.weekday if weekday is None else weekday,
+        )
+
+    # -- XML (the request context schema) ----------------------------------------
+
+    def to_xml(self) -> PNode:
+        root = PNode("context")
+        root.append(PNode("requester", text=self.requester))
+        root.append(PNode("relationship", text=self.relationship))
+        root.append(PNode("purpose", text=self.purpose))
+        when = root.append(PNode("when"))
+        when.attrs["hour"] = str(self.hour)
+        when.attrs["weekday"] = str(self.weekday)
+        return root
+
+    @classmethod
+    def from_xml(cls, node: PNode) -> "RequestContext":
+        if node.tag != "context":
+            raise PolicyError("not a context document")
+
+        def text_of(tag: str, default: str) -> str:
+            child = node.child(tag)
+            return (
+                child.text if child is not None and child.text
+                else default
+            )
+
+        when = node.child("when")
+        hour = int(when.attrs.get("hour", "12")) if when is not None else 12
+        weekday = (
+            int(when.attrs.get("weekday", "0")) if when is not None else 0
+        )
+        return cls(
+            text_of("requester", "anonymous"),
+            text_of("relationship", "third-party"),
+            text_of("purpose", "query"),
+            hour,
+            weekday,
+        )
+
+    def byte_size(self) -> int:
+        """Wire size when attached to a request."""
+        return self.to_xml().byte_size()
+
+    def __repr__(self) -> str:
+        return (
+            "<RequestContext %s (%s) purpose=%s %02d:00 wd=%d>"
+            % (self.requester, self.relationship, self.purpose,
+               self.hour, self.weekday)
+        )

@@ -1,0 +1,302 @@
+"""The privacy-shield policy language.
+
+A policy rule says: for profile data under *target* (an XPath-fragment
+path), when the request *condition* holds over the context, *permit* or
+*deny*. The paper's running examples all fit this shape:
+
+    "any co-worker can access my presence information during
+    working-hours; my boss and my family can access my presence
+    information at any time; my family can access my personal address
+    book and calendar."
+
+Conditions are composable predicates over :class:`RequestContext`
+(XACML-style combinators, but over the *extended* context). Evaluation
+semantics are deny-overrides with default-deny: a request region is
+granted only if some permit rule covers it and no applicable deny rule
+overlaps it — the conservative reading, so the shield never over-grants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PolicyError
+from repro.pxml import Path, parse_path
+from repro.pxml.containment import (
+    intersect_regions,
+    subtree_covers,
+    subtree_overlaps,
+)
+from repro.access.context import RequestContext
+
+__all__ = [
+    "Condition", "always", "requester_is", "relationship_in",
+    "purpose_in", "hour_between", "weekday_in", "working_hours",
+    "all_of", "any_of", "negate",
+    "PolicyRule", "Decision", "PolicyDecisionPoint",
+]
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+class Condition:
+    """A named predicate over the request context."""
+
+    def __init__(
+        self, description: str, test: Callable[[RequestContext], bool]
+    ):
+        self.description = description
+        self._test = test
+
+    def holds(self, context: RequestContext) -> bool:
+        return self._test(context)
+
+    def __repr__(self) -> str:
+        return "<Condition %s>" % self.description
+
+
+def always() -> Condition:
+    """A condition that is always true."""
+    return Condition("always", lambda ctx: True)
+
+
+def requester_is(*requesters: str) -> Condition:
+    """True when the requester id is one of *requesters*."""
+    allowed = frozenset(requesters)
+    return Condition(
+        "requester in %s" % sorted(allowed),
+        lambda ctx: ctx.requester in allowed,
+    )
+
+
+def relationship_in(*relationships: str) -> Condition:
+    """True when the requester's relationship is listed."""
+    allowed = frozenset(relationships)
+    return Condition(
+        "relationship in %s" % sorted(allowed),
+        lambda ctx: ctx.relationship in allowed,
+    )
+
+
+def purpose_in(*purposes: str) -> Condition:
+    """True when the request purpose is listed."""
+    allowed = frozenset(purposes)
+    return Condition(
+        "purpose in %s" % sorted(allowed),
+        lambda ctx: ctx.purpose in allowed,
+    )
+
+
+def hour_between(start: int, end: int) -> Condition:
+    """True when start <= hour < end (no wrap-around)."""
+    if not 0 <= start < end <= 24:
+        raise PolicyError("bad hour range %d..%d" % (start, end))
+    return Condition(
+        "hour in [%d, %d)" % (start, end),
+        lambda ctx: start <= ctx.hour < end,
+    )
+
+
+def weekday_in(*days: int) -> Condition:
+    """True on the listed weekdays (Monday=0)."""
+    allowed = frozenset(days)
+    if not all(0 <= d <= 6 for d in allowed):
+        raise PolicyError("weekdays are 0..6")
+    return Condition(
+        "weekday in %s" % sorted(allowed),
+        lambda ctx: ctx.weekday in allowed,
+    )
+
+
+def working_hours() -> Condition:
+    """The paper's 9am-6pm weekday window."""
+    return Condition(
+        "working hours (Mon-Fri 9-18)",
+        lambda ctx: ctx.is_working_hours(),
+    )
+
+
+def all_of(*conditions: Condition) -> Condition:
+    """Conjunction of conditions."""
+    return Condition(
+        "(" + " and ".join(c.description for c in conditions) + ")",
+        lambda ctx: all(c.holds(ctx) for c in conditions),
+    )
+
+
+def any_of(*conditions: Condition) -> Condition:
+    """Disjunction of conditions."""
+    return Condition(
+        "(" + " or ".join(c.description for c in conditions) + ")",
+        lambda ctx: any(c.holds(ctx) for c in conditions),
+    )
+
+
+def negate(condition: Condition) -> Condition:
+    """Logical negation of a condition."""
+    return Condition(
+        "not " + condition.description,
+        lambda ctx: not condition.holds(ctx),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+class PolicyRule:
+    """One rule of a user's privacy shield."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        owner: str,
+        target: Union[str, Path],
+        effect: str,
+        condition: Optional[Condition] = None,
+        rule_id: Optional[str] = None,
+    ):
+        if effect not in ("permit", "deny"):
+            raise PolicyError("effect must be 'permit' or 'deny'")
+        self.owner = owner
+        self.target = parse_path(target)
+        target_owner = self.target.user_id()
+        if target_owner is not None and target_owner != owner:
+            raise PolicyError(
+                "rule owner %r cannot target %r's data"
+                % (owner, target_owner)
+            )
+        self.effect = effect
+        self.condition = condition if condition is not None else always()
+        if rule_id is None:
+            PolicyRule._counter += 1
+            rule_id = "rule-%d" % PolicyRule._counter
+        self.rule_id = rule_id
+        #: Bumped on every update; replication (E5) compares versions.
+        self.version = 1
+
+    def applies_to(
+        self, request: Union[str, Path], context: RequestContext
+    ) -> bool:
+        """Does this rule constrain any part of *request* now?"""
+        return subtree_overlaps(self.target, request) and (
+            self.condition.holds(context)
+        )
+
+    def __repr__(self) -> str:
+        return "<PolicyRule %s %s %s when %s>" % (
+            self.rule_id, self.effect, self.target,
+            self.condition.description,
+        )
+
+
+class Decision:
+    """PDP output: overall permit plus the permitted sub-paths.
+
+    ``permitted_paths`` is the rewrite set (paper Section 5.3: "It
+    rewrites the query accordingly (for instance only a subset of the
+    information asked for can be returned)"): each element is a path the
+    requester may see, each covered by the original request.
+    """
+
+    def __init__(
+        self,
+        permit: bool,
+        permitted_paths: Sequence[Path] = (),
+        reasons: Sequence[str] = (),
+    ):
+        self.permit = permit
+        self.permitted_paths = list(permitted_paths)
+        self.reasons = list(reasons)
+
+    def __repr__(self) -> str:
+        verdict = "PERMIT" if self.permit else "DENY"
+        return "<Decision %s %s>" % (verdict, self.permitted_paths)
+
+
+class PolicyDecisionPoint:
+    """The PDP of Figure 10: pure decision, no side effects.
+
+    Given the owner's rules, a request path and a context:
+
+    1. collect permit rules whose condition holds and whose target
+       overlaps the request;
+    2. narrow each to the intersection with the request (rule covers
+       request → whole request; request covers rule → the rule's
+       target; partial overlap → the rule's target, conservatively);
+    3. drop any narrowed grant that an applicable deny rule overlaps
+       (deny-overrides, conservative);
+    4. default deny when nothing survives.
+    """
+
+    def __init__(self):
+        self.decisions_made = 0
+
+    def decide(
+        self,
+        rules: Sequence[PolicyRule],
+        request: Union[str, Path],
+        context: RequestContext,
+    ) -> Decision:
+        self.decisions_made += 1
+        request_path = parse_path(request)
+        reasons: List[str] = []
+
+        grants: List[Tuple[Path, PolicyRule]] = []
+        denies: List[PolicyRule] = []
+        for rule in rules:
+            if not rule.applies_to(request_path, context):
+                continue
+            if rule.effect == "deny":
+                denies.append(rule)
+                reasons.append("deny by %s" % rule.rule_id)
+            else:
+                narrowed = self._narrow(rule.target, request_path)
+                if narrowed is not None:
+                    grants.append((narrowed, rule))
+
+        surviving: List[Path] = []
+        for narrowed, rule in grants:
+            blocked = any(
+                subtree_overlaps(deny.target, narrowed)
+                for deny in denies
+            )
+            if blocked:
+                reasons.append(
+                    "grant from %s blocked by deny" % rule.rule_id
+                )
+            else:
+                reasons.append("permit by %s" % rule.rule_id)
+                if not any(
+                    subtree_covers(existing, narrowed)
+                    for existing in surviving
+                ):
+                    surviving = [
+                        kept for kept in surviving
+                        if not subtree_covers(narrowed, kept)
+                    ]
+                    surviving.append(narrowed)
+
+        if not surviving:
+            if not reasons:
+                reasons.append("default deny (no applicable rule)")
+            return Decision(False, [], reasons)
+        return Decision(True, surviving, reasons)
+
+    @staticmethod
+    def _narrow(
+        target: Path, request: Path
+    ) -> Optional[Path]:
+        """Intersection of a rule target with the request region —
+        the grant never exceeds either the request or the rule."""
+        if subtree_covers(target, request):
+            return request
+        if subtree_covers(request, target):
+            return target
+        # Partial overlap (e.g. request /user/address-book/item[@x='1']
+        # vs target .../item[@type='personal']): grant exactly the
+        # region satisfying both constraints.
+        return intersect_regions(target, request)

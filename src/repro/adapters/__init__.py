@@ -1,0 +1,29 @@
+"""GUP adapters: wrappers that give native stores the GUP-compliant
+interface (paper Section 4.2)."""
+
+from repro.adapters.base import GupAdapter
+from repro.adapters.composite import CompositeAdapter
+from repro.adapters.hlr_adapter import HlrAdapter
+from repro.adapters.ldap_adapter import LdapAdapter
+from repro.adapters.portal_adapter import EnterpriseAdapter, PortalAdapter
+from repro.adapters.telephony_adapters import (
+    DeviceAdapter,
+    IspAdapter,
+    PresenceAdapter,
+    PstnAdapter,
+    SipAdapter,
+)
+
+__all__ = [
+    "GupAdapter",
+    "CompositeAdapter",
+    "HlrAdapter",
+    "LdapAdapter",
+    "PortalAdapter",
+    "EnterpriseAdapter",
+    "PstnAdapter",
+    "SipAdapter",
+    "PresenceAdapter",
+    "DeviceAdapter",
+    "IspAdapter",
+]

@@ -1,0 +1,144 @@
+"""GUP adapters: the "GUP-enabled" wrapper on top of native stores.
+
+Paper Section 4.2: "Data stores need to be GUP-enabled in order to
+participate in the GUP community. Concretely, this means that an
+adapter is put on top of the data store to offer a GUP-compliant
+interface (protocol and data model)."
+
+An adapter translates between a store's native records and GUP-schema
+XML components. The uniform surface is small:
+
+* :meth:`coverage_paths` — the component paths this store can register
+  with GUPster for a given user,
+* :meth:`get` — answer a (GUPster-signed, already-authorized) request
+  path with an XML fragment rooted at ``<user>``,
+* :meth:`put` — apply a provisioning fragment to the native store.
+
+Concrete adapters implement :meth:`export_user` (native → XML); the
+shared ``get`` projects the requested subtree out of that view with
+:func:`repro.pxml.evaluate.extract`, so every adapter automatically
+supports the whole path fragment. Writes are component-granular —
+subclasses override :meth:`apply_component`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import AdapterError
+from repro.pxml import GUP_SCHEMA, PNode, Path, extract, parse_path
+
+__all__ = ["GupAdapter"]
+
+
+class GupAdapter:
+    """Base class for store adapters."""
+
+    #: Component tags (children of <user>) this adapter can serve.
+    COMPONENTS: tuple = ()
+
+    #: Optional per-component *slice* suffixes appended to coverage
+    #: registrations when this store holds only part of a component —
+    #: e.g. ``{"call-status": "[@network='pstn']"}`` (a predicate on
+    #: the component element) or
+    #: ``{"address-book": "/item[@type='corporate']"}`` (a deeper
+    #: slice, Figure 9 style). Requests arriving for the sliced path
+    #: are answered by the shared ``get`` projection automatically.
+    COMPONENT_SLICES: dict = {}
+
+    def __init__(self, store_id: str, region: str = "internet"):
+        #: Node name on the simulated network (and referral target).
+        self.store_id = store_id
+        self.region = region
+        self.schema = GUP_SCHEMA
+        self.gets = 0
+        self.puts = 0
+
+    # -- abstract hooks ------------------------------------------------------
+
+    def users(self) -> List[str]:
+        """User ids with data at this store."""
+        raise NotImplementedError
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        """Full GUP view of *user_id*'s data at this store (or None)."""
+        raise NotImplementedError
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        """Write one component's new content into the native store."""
+        raise AdapterError(
+            "%s does not accept writes to <%s>"
+            % (type(self).__name__, component)
+        )
+
+    # -- the GUP interface -----------------------------------------------------
+
+    def coverage_paths(self, user_id: str) -> List[str]:
+        """Paths to register with GUPster for *user_id* (only components
+        the user actually has data for)."""
+        view = self.export_user(user_id)
+        if view is None:
+            return []
+        present = {child.tag for child in view.children}
+        return [
+            "/user[@id='%s']/%s%s"
+            % (user_id, tag, self.COMPONENT_SLICES.get(tag, ""))
+            for tag in self.COMPONENTS
+            if tag in present
+        ]
+
+    def get(self, path: Union[str, Path]) -> Optional[PNode]:
+        """Answer a request path with a ``<user>``-rooted fragment."""
+        parsed = parse_path(path)
+        user_id = parsed.user_id()
+        if user_id is None:
+            raise AdapterError(
+                "request must identify the user: %s" % parsed
+            )
+        self.gets += 1
+        view = self.export_user(user_id)
+        if view is None:
+            return None
+        return extract(view, parsed.element_path())
+
+    def put(self, path: Union[str, Path], fragment: PNode) -> None:
+        """Provision a component. *path* must address a whole component
+        (``/user[@id=..]/<component>``); *fragment* is the new content,
+        rooted at either ``<user>`` or the component element."""
+        parsed = parse_path(path)
+        user_id = parsed.user_id()
+        if user_id is None:
+            raise AdapterError("put path must identify the user")
+        if parsed.depth != 2 or parsed.attribute is not None:
+            raise AdapterError(
+                "writes are component-granular, got %s" % parsed
+            )
+        component = parsed.steps[1].name
+        if component not in self.COMPONENTS:
+            raise AdapterError(
+                "%s does not hold <%s>" % (self.store_id, component)
+            )
+        content = fragment
+        if fragment.tag == "user":
+            content = fragment.child(component)
+            if content is None:
+                raise AdapterError(
+                    "fragment does not contain <%s>" % component
+                )
+        elif fragment.tag != component:
+            raise AdapterError(
+                "fragment root <%s> does not match component <%s>"
+                % (fragment.tag, component)
+            )
+        self.puts += 1
+        self.apply_component(user_id, component, content)
+
+    # -- helpers for subclasses ---------------------------------------------------
+
+    def _user_root(self, user_id: str) -> PNode:
+        return PNode("user", {"id": user_id})
+
+    def __repr__(self) -> str:
+        return "<%s %s>" % (type(self).__name__, self.store_id)

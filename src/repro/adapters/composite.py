@@ -1,0 +1,86 @@
+"""Composite adapter: one GUP store id fronting several native stores.
+
+Real operators run many systems behind one brand — the paper's
+``gup.spcs.com`` serves Arnaud's address book *and* game scores *and*
+presence, which inside SprintPCS live in different boxes. A
+:class:`CompositeAdapter` unifies child adapters under a single store
+id: exports are deep-unioned, writes are routed to whichever child
+accepts the component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import AdapterError
+from repro.pxml import PNode
+from repro.pxml.merge import GUP_KEYSPEC, merge_all
+from repro.adapters.base import GupAdapter
+
+__all__ = ["CompositeAdapter"]
+
+
+class CompositeAdapter(GupAdapter):
+    """One GUP store id fronting several native stores; exports
+    are deep-unioned, writes route to the child that accepts the
+    component."""
+
+    def __init__(
+        self,
+        store_id: str,
+        children: Sequence[GupAdapter],
+        region: str = "core",
+    ):
+        super().__init__(store_id, region=region)
+        if not children:
+            raise ValueError("composite needs at least one child")
+        self.children = list(children)
+
+    @property
+    def COMPONENTS(self):  # type: ignore[override]
+        merged: List[str] = []
+        for child in self.children:
+            for tag in child.COMPONENTS:
+                if tag not in merged:
+                    merged.append(tag)
+        return tuple(merged)
+
+    def users(self) -> List[str]:
+        seen: List[str] = []
+        for child in self.children:
+            for user in child.users():
+                if user not in seen:
+                    seen.append(user)
+        return sorted(seen)
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        views = [
+            view
+            for view in (
+                child.export_user(user_id) for child in self.children
+            )
+            if view is not None
+        ]
+        if not views:
+            return None
+        return merge_all(views, GUP_KEYSPEC)
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        errors = []
+        for child in self.children:
+            if component in child.COMPONENTS:
+                try:
+                    child.apply_component(user_id, component, fragment)
+                    return
+                except AdapterError as err:
+                    errors.append(str(err))
+        raise AdapterError(
+            "no child of %s accepted <%s>%s"
+            % (
+                self.store_id,
+                component,
+                ": " + "; ".join(errors) if errors else "",
+            )
+        )

@@ -1,0 +1,125 @@
+"""Adapter for the wireless HLR: exports subscriber profile, location
+and service settings as GUP components.
+
+The HLR is read-mostly from GUPster's perspective — location comes from
+the mobility machinery — but service settings (call forwarding) accept
+writes, which is how "enter once" reaches the wireless network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AdapterError, UnknownSubscriberError
+from repro.pxml import PNode
+from repro.adapters.base import GupAdapter
+from repro.stores.hlr import HLR
+
+__all__ = ["HlrAdapter"]
+
+
+class HlrAdapter(GupAdapter):
+    """GUP-enables an HLR: exports identity/devices/location/
+    services; accepts writes to the service settings."""
+
+    COMPONENTS = ("self", "location", "services", "devices")
+
+    def __init__(self, store_id: str, hlr: HLR):
+        super().__init__(store_id, region="core")
+        self.hlr = hlr
+
+    def users(self) -> List[str]:
+        return self.hlr.user_ids()
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        try:
+            record = self.hlr.subscriber_by_user(user_id)
+        except UnknownSubscriberError:
+            return None
+        root = self._user_root(user_id)
+        self_el = root.append(PNode("self"))
+        self_el.append(
+            PNode("number", {"type": "cell"}, record.msisdn)
+        )
+        devices = root.append(PNode("devices"))
+        devices.append(
+            PNode(
+                "device",
+                {
+                    "id": record.imsi,
+                    "type": "cell-phone",
+                    "carrier": self.hlr.carrier,
+                },
+            )
+        )
+        location = root.append(PNode("location"))
+        location.append(
+            PNode("on-air", text="true" if record.on_air else "false")
+        )
+        if record.current_cell is not None:
+            location.append(PNode("cell", text=record.current_cell))
+        if record.current_vlr is not None:
+            location.append(PNode("zone", text=record.current_vlr))
+        services = root.append(PNode("services"))
+        forwarding = PNode(
+            "service",
+            {
+                "name": "call-forwarding",
+                "enabled": "true" if record.call_forwarding else "false",
+            },
+        )
+        if record.call_forwarding:
+            forwarding.append(
+                PNode("parameter", {"name": "target"},
+                      record.call_forwarding)
+            )
+        services.append(forwarding)
+        if record.barred_numbers:
+            barring = PNode(
+                "service", {"name": "call-barring", "enabled": "true"}
+            )
+            for index, number in enumerate(record.barred_numbers):
+                barring.append(
+                    PNode("parameter", {"name": "barred-%d" % index},
+                          number)
+                )
+            services.append(barring)
+        roaming = PNode(
+            "service",
+            {
+                "name": "roaming",
+                "enabled": "true" if record.roaming_allowed else "false",
+            },
+        )
+        services.append(roaming)
+        return root
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        if component != "services":
+            raise AdapterError(
+                "HLR only accepts writes to <services>, not <%s>"
+                % component
+            )
+        record = self.hlr.subscriber_by_user(user_id)
+        for service in fragment.children_named("service"):
+            name = service.attrs.get("name")
+            enabled = service.attrs.get("enabled") == "true"
+            if name == "call-forwarding":
+                target = None
+                if enabled:
+                    for param in service.children_named("parameter"):
+                        if param.attrs.get("name") == "target":
+                            target = param.text
+                self.hlr.set_call_forwarding(record.msisdn, target)
+            elif name == "call-barring":
+                barred = [
+                    param.text or ""
+                    for param in service.children_named("parameter")
+                ] if enabled else []
+                self.hlr.set_barring(record.msisdn, barred)
+            elif name == "roaming":
+                record.roaming_allowed = enabled
+            else:
+                raise AdapterError("unknown wireless service %r" % name)

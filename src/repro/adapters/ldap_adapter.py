@@ -1,0 +1,135 @@
+"""Adapter wrapping LDAP sites (paper Section 6: "we also plan ... to
+provide tools to wrap LDAP sites").
+
+Two translation paths, matching the paper's analysis:
+
+* **Structured entries** — ``inetOrgPerson`` attributes map cleanly to
+  the GUP ``<self>`` component (cn → name, mail → email,
+  telephoneNumber/mobile → numbers).
+* **Opaque roaming-profile blobs** — the Netscape workaround stores
+  nested data (address book) as one binary value. The adapter *can*
+  expose it as a GUP component by parsing the blob, but it must fetch
+  and re-write the whole object every time; ``native_bytes_read``
+  records that cost, which experiment E9 compares against XML's
+  subtree-granular access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AdapterError, ParseError, StoreError
+from repro.pxml import PNode, parse
+from repro.adapters.base import GupAdapter
+from repro.stores.directory import DirectoryServer, LdapEntry
+
+__all__ = ["LdapAdapter"]
+
+
+class LdapAdapter(GupAdapter):
+    """GUP-enables an LDAP site: person entries map to <self>,
+    roaming-profile blobs to <address-book> (whole-object cost)."""
+
+    COMPONENTS = ("self", "address-book")
+
+    def __init__(self, store_id: str, server: DirectoryServer):
+        super().__init__(store_id, region=server.region)
+        self.server = server
+        self._person_dns: Dict[str, str] = {}
+        self._profile_dns: Dict[str, str] = {}
+        #: Bytes of native entries fetched to answer GUP requests.
+        self.native_bytes_read = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def map_person(self, user_id: str, dn: str) -> None:
+        self.server.entry(dn)  # must exist
+        self._person_dns[user_id] = dn
+
+    def map_roaming_profile(self, user_id: str, dn: str) -> None:
+        entry = self.server.entry(dn)
+        if "roamingProfileObject" not in entry.object_classes:
+            raise AdapterError("%r is not a roaming profile" % dn)
+        self._profile_dns[user_id] = dn
+
+    def users(self) -> List[str]:
+        return sorted(set(self._person_dns) | set(self._profile_dns))
+
+    # -- export ----------------------------------------------------------------
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        person_dn = self._person_dns.get(user_id)
+        profile_dn = self._profile_dns.get(user_id)
+        if person_dn is None and profile_dn is None:
+            return None
+        root = self._user_root(user_id)
+        if person_dn is not None:
+            entry = self.server.entry(person_dn)
+            self.native_bytes_read += entry.byte_size()
+            root.append(self._person_to_self(entry))
+        if profile_dn is not None:
+            entry = self.server.entry(profile_dn)
+            # Opaque blob: the whole object moves, regardless of what
+            # part of the address book the request wants.
+            self.native_bytes_read += entry.byte_size()
+            book = self._blob_to_book(entry)
+            if book is not None:
+                root.append(book)
+        return root
+
+    @staticmethod
+    def _person_to_self(entry: LdapEntry) -> PNode:
+        self_el = PNode("self")
+        cn = entry.first("cn")
+        if cn:
+            self_el.append(PNode("name", text=cn))
+        for mail in entry.values("mail"):
+            self_el.append(
+                PNode("email", {"type": "corporate"}, mail)
+            )
+        for number in entry.values("telephoneNumber"):
+            self_el.append(PNode("number", {"type": "work"}, number))
+        for number in entry.values("mobile"):
+            self_el.append(PNode("number", {"type": "cell"}, number))
+        ou = entry.first("ou")
+        if ou:
+            self_el.append(PNode("employer", text=ou))
+        return self_el
+
+    @staticmethod
+    def _blob_to_book(entry: LdapEntry) -> Optional[PNode]:
+        blob = entry.first("profileBlob")
+        if not blob:
+            return None
+        try:
+            parsed = parse(blob)
+        except ParseError as err:
+            raise AdapterError(
+                "roaming blob of %r is not parseable: %s"
+                % (entry.dn, err)
+            ) from err
+        if parsed.tag != "address-book":
+            raise AdapterError(
+                "roaming blob of %r is not an address book" % entry.dn
+            )
+        return parsed
+
+    # -- import ----------------------------------------------------------------
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        if component != "address-book":
+            raise AdapterError(
+                "LDAP adapter only writes the roaming address book"
+            )
+        dn = self._profile_dns.get(user_id)
+        if dn is None:
+            raise AdapterError("no roaming profile for %r" % user_id)
+        # Whole-object update: serialize the complete new blob.
+        entry = self.server.entry(dn)
+        self.native_bytes_read += entry.byte_size()
+        try:
+            self.server.modify(dn, "profileBlob", [fragment.serialize()])
+        except StoreError as err:  # pragma: no cover - defensive
+            raise AdapterError(str(err)) from err

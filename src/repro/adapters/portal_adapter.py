@@ -1,0 +1,231 @@
+"""Adapter for web portals and enterprise servers (native records →
+GUP XML and back). This is the workhorse adapter: address book,
+calendar, game scores and bookmarks, with full write support."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AdapterError
+from repro.pxml import PNode
+from repro.adapters.base import GupAdapter
+from repro.stores.webportal import (
+    AppointmentRecord,
+    ContactRecord,
+    EnterpriseServer,
+    WebPortal,
+)
+
+__all__ = ["PortalAdapter", "EnterpriseAdapter"]
+
+
+class PortalAdapter(GupAdapter):
+    """GUP-enables a :class:`~repro.stores.webportal.WebPortal`."""
+
+    COMPONENTS = ("address-book", "calendar", "game-scores", "bookmarks")
+
+    def __init__(self, store_id: str, portal: WebPortal):
+        super().__init__(store_id, region=portal.region)
+        self.portal = portal
+
+    def users(self) -> List[str]:
+        return self.portal.accounts()
+
+    # -- export ----------------------------------------------------------------
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        if not self.portal.has_account(user_id):
+            return None
+        root = self._user_root(user_id)
+        contacts = self.portal.contacts(user_id)
+        if contacts:
+            book = root.append(PNode("address-book"))
+            for record in sorted(contacts, key=lambda c: c.contact_id):
+                book.append(_contact_to_item(record))
+        appointments = self.portal.appointments(user_id)
+        if appointments:
+            calendar = root.append(PNode("calendar"))
+            for appt in appointments:
+                calendar.append(_appointment_to_xml(appt))
+        scores = self.portal.scores(user_id)
+        if scores:
+            score_el = root.append(PNode("game-scores"))
+            for game in sorted(scores):
+                score_el.append(
+                    PNode("score", {"game": game}, str(scores[game]))
+                )
+        bookmarks = self.portal.bookmarks(user_id)
+        if bookmarks:
+            marks = root.append(PNode("bookmarks"))
+            for mark_id in sorted(bookmarks):
+                marks.append(
+                    PNode("bookmark", {"id": mark_id},
+                          bookmarks[mark_id])
+                )
+        return root
+
+    # -- import ----------------------------------------------------------------
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        if not self.portal.has_account(user_id):
+            self.portal.create_account(user_id)
+        if component == "address-book":
+            self._apply_address_book(user_id, fragment)
+        elif component == "calendar":
+            self._apply_calendar(user_id, fragment)
+        elif component == "game-scores":
+            for score in fragment.children_named("score"):
+                self.portal.set_score(
+                    user_id, score.attrs["game"], int(score.text or "0")
+                )
+        elif component == "bookmarks":
+            for mark in fragment.children_named("bookmark"):
+                self.portal.add_bookmark(
+                    user_id, mark.attrs["id"], mark.text or ""
+                )
+        else:  # pragma: no cover - guarded by GupAdapter.put
+            raise AdapterError("unsupported component %r" % component)
+
+    def _apply_address_book(self, user_id: str, book: PNode) -> None:
+        existing = {
+            c.contact_id for c in self.portal.contacts(user_id)
+        }
+        incoming = set()
+        for item in book.children_named("item"):
+            record = _item_to_contact(item)
+            incoming.add(record.contact_id)
+            self.portal.put_contact(user_id, record)
+        for stale in existing - incoming:
+            self.portal.delete_contact(user_id, stale)
+
+    def _apply_calendar(self, user_id: str, calendar: PNode) -> None:
+        for appt in calendar.children_named("appointment"):
+            self.portal.put_appointment(user_id, _xml_to_appointment(appt))
+
+
+class EnterpriseAdapter(PortalAdapter):
+    """Adapter for the corporate intranet: serves only corporate data
+    and tags exported items accordingly. Its coverage registrations are
+    *slices* (Figure 9 style) because the enterprise never holds the
+    personal half of anything."""
+
+    COMPONENTS = ("address-book", "calendar")
+    COMPONENT_SLICES = {
+        "address-book": "/item[@type='corporate']",
+        "calendar": "/appointment[@visibility='work']",
+    }
+
+    def __init__(self, store_id: str, server: EnterpriseServer):
+        super().__init__(store_id, server)
+        self.region = "enterprise"
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        """Writes crossing the firewall are filtered to the corporate
+        slice — personal entries silently stay outside."""
+        filtered = PNode(fragment.tag, dict(fragment.attrs))
+        for child in fragment.children:
+            if component == "address-book" and child.tag == "item":
+                if child.attrs.get("type") != "corporate":
+                    continue
+            if component == "calendar" and child.tag == "appointment":
+                if child.attrs.get("visibility") != "work":
+                    continue
+            filtered.append(child.copy())
+        super().apply_component(user_id, component, filtered)
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        root = super().export_user(user_id)
+        if root is None:
+            return None
+        # Drop the portal-only components; stamp corporate type.
+        for tag in ("game-scores", "bookmarks"):
+            extra = root.child(tag)
+            if extra is not None:
+                root.remove(extra)
+        book = root.child("address-book")
+        if book is not None:
+            for item in book.children:
+                item.attrs.setdefault("type", "corporate")
+        return root
+
+
+# ---------------------------------------------------------------------------
+# Record <-> XML translation
+# ---------------------------------------------------------------------------
+
+def _contact_to_item(record: ContactRecord) -> PNode:
+    item = PNode(
+        "item", {"id": record.contact_id, "type": record.kind}
+    )
+    item.append(PNode("name", text=record.display_name))
+    for kind in sorted(record.phones):
+        if record.phones[kind]:
+            item.append(
+                PNode("number", {"type": kind}, record.phones[kind])
+            )
+    for kind in sorted(record.emails):
+        if record.emails[kind]:
+            item.append(
+                PNode("email", {"type": kind}, record.emails[kind])
+            )
+    return item
+
+
+def _item_to_contact(item: PNode) -> ContactRecord:
+    if "id" not in item.attrs:
+        raise AdapterError("address-book item needs an id")
+    name_el = item.child("name")
+    # Empty values are dropped rather than stored: an empty <number>
+    # would be schema-invalid when exported again.
+    phones = {
+        n.attrs.get("type", "cell"): n.text
+        for n in item.children_named("number")
+        if n.text
+    }
+    emails = {
+        e.attrs.get("type", "personal"): e.text
+        for e in item.children_named("email")
+        if e.text
+    }
+    return ContactRecord(
+        item.attrs["id"],
+        name_el.text if name_el is not None and name_el.text else "",
+        kind=item.attrs.get("type", "personal"),
+        phones=phones,
+        emails=emails,
+    )
+
+
+def _appointment_to_xml(appt: AppointmentRecord) -> PNode:
+    node = PNode(
+        "appointment",
+        {"id": appt.appt_id, "visibility": appt.visibility},
+    )
+    node.append(PNode("start", text=appt.start))
+    node.append(PNode("end", text=appt.end))
+    node.append(PNode("subject", text=appt.subject))
+    if appt.where:
+        node.append(PNode("where", text=appt.where))
+    return node
+
+
+def _xml_to_appointment(node: PNode) -> AppointmentRecord:
+    if "id" not in node.attrs:
+        raise AdapterError("appointment needs an id")
+
+    def text_of(tag: str, default: str = "") -> str:
+        child = node.child(tag)
+        return child.text if child is not None and child.text else default
+
+    return AppointmentRecord(
+        node.attrs["id"],
+        text_of("start"),
+        text_of("end"),
+        text_of("subject"),
+        where=text_of("where"),
+        visibility=node.attrs.get("visibility", "private"),
+    )

@@ -1,0 +1,336 @@
+"""Adapters for the PSTN switch, SIP infrastructure, presence server,
+and end-user devices.
+
+Each is thin by design: the point (paper Section 4.2) is that *any*
+profile-bearing element can join the GUP community with a small wrapper,
+not that the wrapper is clever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AdapterError
+from repro.pxml import PNode
+from repro.adapters.base import GupAdapter
+from repro.stores.device import MobilePhone, PhoneBookEntry
+from repro.stores.presence import PresenceServer
+from repro.stores.pstn import Class5Switch
+from repro.stores.sip import SipProxy
+
+__all__ = [
+    "PstnAdapter",
+    "SipAdapter",
+    "IspAdapter",
+    "PresenceAdapter",
+    "DeviceAdapter",
+]
+
+
+class PstnAdapter(GupAdapter):
+    """Exports per-line switch features as <services> and <call-status>.
+
+    This adapter *is* the "web-based interface for self-provisioning"
+    the paper says is emerging: it holds operator authority, so writes
+    that would be denied at the keypad succeed through GUPster."""
+
+    COMPONENTS = ("services", "call-status")
+    COMPONENT_SLICES = {"call-status": "[@network='pstn']"}
+
+    def __init__(self, store_id: str, switch: Class5Switch):
+        super().__init__(store_id, region="core")
+        self.switch = switch
+        #: user_id -> line number on this switch.
+        self._lines: Dict[str, str] = {}
+
+    def attach_line(self, user_id: str, number: str) -> None:
+        if not self.switch.has_line(number):
+            raise AdapterError("switch has no line %r" % number)
+        self._lines[user_id] = number
+
+    def users(self) -> List[str]:
+        return sorted(self._lines)
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        number = self._lines.get(user_id)
+        if number is None:
+            return None
+        line = self.switch.line(number)
+        root = self._user_root(user_id)
+        status = root.append(PNode("call-status", {"network": "pstn"}))
+        status.append(
+            PNode("state", text=self.switch.call_status(number))
+        )
+        services = root.append(PNode("services"))
+        forwarding = PNode(
+            "service",
+            {
+                "name": "call-forwarding",
+                "enabled": "true" if line.call_forwarding else "false",
+            },
+        )
+        if line.call_forwarding:
+            forwarding.append(
+                PNode("parameter", {"name": "target"},
+                      line.call_forwarding)
+            )
+        services.append(forwarding)
+        services.append(
+            PNode(
+                "service",
+                {
+                    "name": "caller-id",
+                    "enabled": (
+                        "true" if line.caller_id_enabled else "false"
+                    ),
+                },
+            )
+        )
+        return root
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        if component != "services":
+            raise AdapterError("PSTN lines accept only <services> writes")
+        number = self._lines.get(user_id)
+        if number is None:
+            raise AdapterError("no line for user %r" % user_id)
+        for service in fragment.children_named("service"):
+            name = service.attrs.get("name")
+            enabled = service.attrs.get("enabled") == "true"
+            if name == "call-forwarding":
+                target = None
+                if enabled:
+                    for param in service.children_named("parameter"):
+                        if param.attrs.get("name") == "target":
+                            target = param.text
+                self.switch.provision(
+                    number, "call_forwarding", target, by_operator=True
+                )
+            elif name == "caller-id":
+                self.switch.provision(
+                    number, "caller_id_enabled", enabled,
+                    by_operator=True,
+                )
+            else:
+                raise AdapterError("unknown PSTN service %r" % name)
+
+
+class SipAdapter(GupAdapter):
+    """Exports VoIP reachability as <call-status>."""
+
+    COMPONENTS = ("call-status",)
+    COMPONENT_SLICES = {"call-status": "[@network='voip']"}
+
+    def __init__(self, store_id: str, proxy: SipProxy):
+        super().__init__(store_id, region="internet")
+        self.proxy = proxy
+        self._aors: Dict[str, str] = {}
+        #: Virtual clock supplier for binding expiry (settable by sims).
+        self.now = 0.0
+
+    def attach_aor(self, user_id: str, aor: str) -> None:
+        self._aors[user_id] = aor
+
+    def users(self) -> List[str]:
+        return sorted(self._aors)
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        aor = self._aors.get(user_id)
+        if aor is None:
+            return None
+        root = self._user_root(user_id)
+        status = root.append(PNode("call-status", {"network": "voip"}))
+        status.append(
+            PNode("state", text=self.proxy.call_status(aor, self.now))
+        )
+        return root
+
+
+class IspAdapter(GupAdapter):
+    """Exports the ISP's session state as <call-status
+    network='internet'> — the paper's "cross network info: ISP info
+    about a user being connected or not"."""
+
+    COMPONENTS = ("call-status",)
+    COMPONENT_SLICES = {"call-status": "[@network='internet']"}
+
+    def __init__(self, store_id: str, isp):
+        super().__init__(store_id, region="internet")
+        self.isp = isp
+        self._known: List[str] = []
+
+    def track_user(self, user_id: str) -> None:
+        if user_id not in self._known:
+            self._known.append(user_id)
+
+    def users(self) -> List[str]:
+        return sorted(self._known)
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        if user_id not in self._known:
+            return None
+        root = self._user_root(user_id)
+        status = root.append(
+            PNode("call-status", {"network": "internet"})
+        )
+        status.append(
+            PNode(
+                "state",
+                text=(
+                    "online" if self.isp.is_connected(user_id)
+                    else "offline"
+                ),
+            )
+        )
+        return root
+
+
+class PresenceAdapter(GupAdapter):
+    """Exports IM presence as <presence> and the IM provider's buddy
+    list as <buddy-list>; write-enabled so users can set status and
+    edit buddies through GUPster."""
+
+    COMPONENTS = ("presence", "buddy-list")
+
+    def __init__(self, store_id: str, server: PresenceServer):
+        super().__init__(store_id, region="internet")
+        self.server = server
+        self._known: List[str] = []
+
+    def track_user(self, user_id: str) -> None:
+        if user_id not in self._known:
+            self._known.append(user_id)
+
+    def users(self) -> List[str]:
+        return sorted(self._known)
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        if user_id not in self._known:
+            return None
+        root = self._user_root(user_id)
+        presence = root.append(PNode("presence"))
+        presence.append(
+            PNode("status", text=self.server.status(user_id))
+        )
+        note = self.server.note(user_id)
+        if note:
+            presence.append(PNode("note", text=note))
+        buddies = self.server.buddies(user_id)
+        if buddies:
+            buddy_list = root.append(PNode("buddy-list"))
+            for buddy_id in sorted(buddies):
+                buddy = buddy_list.append(
+                    PNode("buddy", {"id": buddy_id})
+                )
+                if buddies[buddy_id]:
+                    buddy.append(
+                        PNode("alias", text=buddies[buddy_id])
+                    )
+        return root
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        if component == "buddy-list":
+            incoming = {}
+            for buddy in fragment.children_named("buddy"):
+                alias_el = buddy.child("alias")
+                incoming[buddy.attrs.get("id", "")] = (
+                    alias_el.text
+                    if alias_el is not None and alias_el.text else ""
+                )
+            self.track_user(user_id)
+            for stale in self.server.buddies(user_id):
+                if stale not in incoming:
+                    self.server.remove_buddy(user_id, stale)
+            for buddy_id, alias in incoming.items():
+                if buddy_id:
+                    self.server.add_buddy(user_id, buddy_id, alias)
+            return
+        status = fragment.child("status")
+        if status is None or not status.text:
+            raise AdapterError("presence write needs a <status>")
+        note = fragment.child("note")
+        self.track_user(user_id)
+        self.server.set_status(
+            user_id, status.text,
+            note.text if note is not None and note.text else "",
+        )
+
+
+class DeviceAdapter(GupAdapter):
+    """Exports a mobile phone's book and preferences; write-enabled so
+    network-side books can sync down to the device."""
+
+    COMPONENTS = ("address-book", "preferences")
+
+    def __init__(self, store_id: str, phone: MobilePhone):
+        super().__init__(store_id, region="wireless")
+        self.phone = phone
+
+    def users(self) -> List[str]:
+        return [self.phone.user_id]
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        if user_id != self.phone.user_id:
+            return None
+        root = self._user_root(user_id)
+        entries = self.phone.all_entries()
+        if entries:
+            book = root.append(PNode("address-book"))
+            for entry in entries:
+                # Devices carry the user's own (personal) book.
+                item = book.append(
+                    PNode("item",
+                          {"id": entry.entry_id, "type": "personal"})
+                )
+                item.append(PNode("name", text=entry.name))
+                if entry.number:
+                    item.append(
+                        PNode("number", {"type": entry.number_type},
+                              entry.number)
+                    )
+        if self.phone.preferences:
+            prefs = root.append(PNode("preferences"))
+            for name in sorted(self.phone.preferences):
+                prefs.append(
+                    PNode("preference", {"name": name},
+                          self.phone.preferences[name])
+                )
+        return root
+
+    def apply_component(
+        self, user_id: str, component: str, fragment: PNode
+    ) -> None:
+        if user_id != self.phone.user_id:
+            raise AdapterError("not this user's device")
+        if component == "address-book":
+            incoming = set()
+            for item in fragment.children_named("item"):
+                name_el = item.child("name")
+                number_el = item.child("number")
+                entry = PhoneBookEntry(
+                    item.attrs.get("id", ""),
+                    name_el.text if name_el is not None and name_el.text
+                    else "",
+                    number_el.text
+                    if number_el is not None and number_el.text else "",
+                    number_type=(
+                        number_el.attrs.get("type", "cell")
+                        if number_el is not None else "cell"
+                    ),
+                )
+                incoming.add(entry.entry_id)
+                self.phone.store_entry(entry)
+            for existing in list(self.phone.phonebook):
+                if existing not in incoming:
+                    self.phone.delete_entry(existing)
+        elif component == "preferences":
+            for pref in fragment.children_named("preference"):
+                self.phone.set_preference(
+                    pref.attrs["name"], pref.text or ""
+                )
+        else:  # pragma: no cover - guarded by GupAdapter.put
+            raise AdapterError("unsupported component %r" % component)

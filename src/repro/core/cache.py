@@ -1,0 +1,116 @@
+"""Component caching at GUPster (paper Sections 5.2/5.3).
+
+"GUPster should probably also offer some caching to make the access to
+user profile component faster" — with the classic staleness trade-off
+the paper flags in requirement 7 ("triggers to indicate when data has
+become stale").
+
+:class:`ComponentCache` is an LRU cache keyed by request path with two
+freshness mechanisms experiment E7 compares:
+
+* **TTL** — entries expire after a fixed virtual-time lifetime;
+* **invalidation triggers** — ``invalidate(path)`` drops every cached
+  entry overlapping an updated component, eliminating staleness at the
+  price of update-path signalling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Union
+
+from repro.pxml import PNode, Path, parse_path
+from repro.pxml.containment import subtree_overlaps
+
+__all__ = ["ComponentCache"]
+
+
+class _Entry:
+    __slots__ = ("fragment", "stored_at", "ttl_ms")
+
+    def __init__(self, fragment: PNode, stored_at: float, ttl_ms: float):
+        self.fragment = fragment
+        self.stored_at = stored_at
+        self.ttl_ms = ttl_ms
+
+    def fresh(self, now: float) -> bool:
+        return now - self.stored_at <= self.ttl_ms
+
+
+class ComponentCache:
+    """LRU + TTL cache of component fragments."""
+
+    def __init__(
+        self, capacity: int = 1024, default_ttl_ms: float = 60_000.0
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.default_ttl_ms = default_ttl_ms
+        self._entries: "OrderedDict[Path, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(
+        self, path: Union[str, Path], now: float
+    ) -> Optional[PNode]:
+        """Fresh cached fragment for *path*, or None."""
+        key = parse_path(path)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.fresh(now):
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.fragment.copy()
+
+    def put(
+        self,
+        path: Union[str, Path],
+        fragment: PNode,
+        now: float,
+        ttl_ms: Optional[float] = None,
+    ) -> None:
+        key = parse_path(path)
+        if key in self._entries:
+            del self._entries[key]
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = _Entry(
+            fragment.copy(),
+            now,
+            self.default_ttl_ms if ttl_ms is None else ttl_ms,
+        )
+
+    def invalidate(self, path: Union[str, Path]) -> int:
+        """Drop every cached entry overlapping *path* (the trigger fired
+        when a component is updated). Returns entries dropped."""
+        key = parse_path(path)
+        doomed = [
+            cached for cached in self._entries
+            if subtree_overlaps(cached, key)
+        ]
+        for cached in doomed:
+            del self._entries[cached]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,204 @@
+"""The mirrored GUPster constellation (paper Section 4.2).
+
+"'Central repository' has to be understood from a logical point of
+view and may be implemented as a constellation of connected servers
+... a family of mirrored servers hosted by a consortium of enterprises
+and freely available to all users."
+
+Unlike :class:`~repro.core.mdm.CentralizedMdm` (whose mirrors share one
+server object — an idealized always-consistent constellation), a
+:class:`MirrorConstellation` gives every mirror its **own** server
+state, replicated asynchronously from wherever a registration arrived.
+That makes the consistency question real: between a registration and
+the next replication round, some mirrors return stale referrals. The
+constellation experiment (E14) measures that window against the
+replication traffic.
+
+Reliability (requirement 12) follows from any-mirror reads; writes go
+to the mirror the registrant reached and propagate via the coverage
+changelog feed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import GupsterError, NodeUnreachableError
+from repro.pxml import Path, parse_path
+from repro.access import RequestContext
+from repro.core.referral import Referral
+from repro.core.server import GupsterServer
+from repro.simnet import Network, Trace
+
+__all__ = ["MirrorConstellation"]
+
+ENTRY_BYTES = 96  # serialized coverage-change estimate
+REQUEST_OVERHEAD_BYTES = 80
+RESOLVE_COMPUTE_MS = 0.3
+
+
+class MirrorConstellation:
+    """A set of peer GUPster mirrors with asynchronous replication."""
+
+    def __init__(
+        self,
+        network: Network,
+        mirror_nodes: List[str],
+        make_server=None,
+    ):
+        if len(mirror_nodes) < 1:
+            raise ValueError("need at least one mirror")
+        self.network = network
+        self.mirror_nodes = list(mirror_nodes)
+        factory = make_server or (
+            lambda name: GupsterServer(name, enforce_policies=False)
+        )
+        self.servers: Dict[str, GupsterServer] = {
+            node: factory(node) for node in mirror_nodes
+        }
+        #: (source, target) -> last revision target has seen of source.
+        self._sync_marks: Dict[Tuple[str, str], int] = {}
+        self.replication_messages = 0
+        self.replication_bytes = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def server_at(self, node: str) -> GupsterServer:
+        return self.servers[node]
+
+    def join_store(self, adapter, via: str) -> int:
+        """A data store registers at one mirror (the nearest one); the
+        registration spreads on the next replication round. All
+        mirrors need the adapter handle for chaining-mode fetches."""
+        count = self.servers[via].join(adapter)
+        for node, server in self.servers.items():
+            if node != via:
+                server.adapters[adapter.store_id] = adapter
+        return count
+
+    def register_component(
+        self, path: Union[str, Path], store_id: str, via: str
+    ) -> None:
+        self.servers[via].register_component(path, store_id)
+
+    # -- replication ------------------------------------------------------------
+
+    def replicate(self, trace: Optional[Trace] = None) -> int:
+        """One gossip round: every mirror ships its news to every
+        other. Returns the number of change entries applied; charges
+        messages/bytes to *trace* when given."""
+        applied_total = 0
+        for source in self.mirror_nodes:
+            source_cov = self.servers[source].coverage
+            for target in self.mirror_nodes:
+                if source == target:
+                    continue
+                mark = self._sync_marks.get((source, target), 0)
+                changes = source_cov.changes_since(mark)
+                if changes:
+                    payload = ENTRY_BYTES * len(changes)
+                    if trace is not None:
+                        trace.hop(source, target, payload,
+                                  "replicate %d entries" % len(changes))
+                    self.replication_messages += 1
+                    self.replication_bytes += payload
+                    applied_total += self._apply_foreign(
+                        target, changes
+                    )
+                self._sync_marks[(source, target)] = (
+                    source_cov.revision
+                )
+        return applied_total
+
+    def _apply_foreign(self, target: str, changes) -> int:
+        """Apply a peer's feed. Peer revisions live in a different
+        sequence, so entries are re-played through the target's own
+        register/unregister (idempotent for registers)."""
+        target_cov = self.servers[target].coverage
+        applied = 0
+        for _revision, op, path, store_id in changes:
+            if op == "register":
+                before = target_cov.registrations
+                target_cov.register(path, store_id)
+                if target_cov.registrations != before:
+                    applied += 1
+            else:
+                try:
+                    target_cov.unregister(path, store_id)
+                    applied += 1
+                except GupsterError:
+                    pass  # never had it — nothing to undo
+        return applied
+
+    # -- reads ------------------------------------------------------------------
+
+    def resolve(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+        prefer: Optional[str] = None,
+    ) -> Tuple[Referral, Trace, str]:
+        """Resolve at the preferred (or first reachable) mirror.
+        Returns (referral, trace, mirror used)."""
+        path = parse_path(request)
+        order = list(self.mirror_nodes)
+        if prefer is not None and prefer in order:
+            order.remove(prefer)
+            order.insert(0, prefer)
+        trace = self.network.trace()
+        last_error: Optional[Exception] = None
+        for node in order:
+            request_bytes = (
+                len(str(path)) + context.byte_size()
+                + REQUEST_OVERHEAD_BYTES
+            )
+            try:
+                trace.hop(client, node, request_bytes, "resolve")
+            except NodeUnreachableError as err:
+                last_error = err
+                continue
+            trace.compute(RESOLVE_COMPUTE_MS, "resolve")
+            referral = self.servers[node].resolve(path, context, now)
+            trace.hop(node, client,
+                      referral.byte_size() + REQUEST_OVERHEAD_BYTES,
+                      "referral")
+            return referral, trace, node
+        raise GupsterError(
+            "no mirror reachable: %s" % last_error
+        )
+
+    # -- consistency measurement ---------------------------------------------------
+
+    def consistent(self) -> bool:
+        """Do all mirrors hold identical coverage right now?"""
+        snapshots = []
+        for node in self.mirror_nodes:
+            coverage = self.servers[node].coverage
+            snapshot = tuple(
+                sorted(
+                    (user, str(path), tuple(sorted(
+                        coverage.stores_for(path)
+                    )))
+                    for user in coverage.users()
+                    for path in coverage.paths_for_user(user)
+                )
+            )
+            snapshots.append(snapshot)
+        return all(s == snapshots[0] for s in snapshots)
+
+    def stale_mirrors(
+        self, request: Union[str, Path]
+    ) -> List[str]:
+        """Mirrors that currently cannot answer *request* although
+        some mirror can."""
+        path = parse_path(request)
+        havers = []
+        lackers = []
+        for node in self.mirror_nodes:
+            if self.servers[node].coverage.resolve(path).is_covered:
+                havers.append(node)
+            else:
+                lackers.append(node)
+        return lackers if havers else []

@@ -1,0 +1,288 @@
+"""Meta-data-manager topologies (paper Section 5.1).
+
+The basic architecture assumes "a UDDI-like universally available,
+mirrored meta-data store". Section 5.1 explores alternatives driven by
+privacy and business-model pressure:
+
+* :class:`CentralizedMdm` — one logical server implemented by a
+  constellation of mirrors; clients fail over between mirrors.
+* :class:`UserDistributedMdm` — each user picks the organization that
+  manages their meta-data; a universal "white pages" maps user → MDM,
+  with support for **unlisted** users who must hand out their pointer
+  themselves.
+* :class:`HierarchicalMdm` — a user's primary MDM delegates subtrees
+  (e.g. banking meta-data to the bank): the primary "knows *that* the
+  user has banking meta-data but knows essentially nothing about it".
+
+Experiment E6 measures lookup latency, availability under failures, and
+the meta-data privacy exposure of each topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import GupsterError, NodeUnreachableError
+from repro.pxml import Path, parse_path
+from repro.pxml.containment import subtree_covers
+from repro.access import RequestContext
+from repro.core.referral import Referral
+from repro.core.server import GupsterServer
+from repro.simnet import Network, Trace
+
+__all__ = ["CentralizedMdm", "UserDistributedMdm", "HierarchicalMdm"]
+
+REQUEST_OVERHEAD_BYTES = 80
+RESOLVE_COMPUTE_MS = 0.3
+WHITEPAGES_COMPUTE_MS = 0.05
+
+
+def _referral_round_trip(
+    trace: Trace,
+    client: str,
+    node: str,
+    server: GupsterServer,
+    request: Path,
+    context: RequestContext,
+    now: float,
+) -> Referral:
+    request_bytes = (
+        len(str(request)) + context.byte_size() + REQUEST_OVERHEAD_BYTES
+    )
+    trace.hop(client, node, request_bytes, "resolve at %s" % node)
+    trace.compute(RESOLVE_COMPUTE_MS, "resolve")
+    referral = server.resolve(request, context, now)
+    trace.hop(node, client,
+              referral.byte_size() + REQUEST_OVERHEAD_BYTES, "referral")
+    return referral
+
+
+class CentralizedMdm:
+    """The UDDI-like mirrored constellation.
+
+    All mirrors serve the same logical server state (the consortium
+    keeps them synchronized out of band); a client walks its mirror
+    list until one answers.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        server: GupsterServer,
+        mirror_nodes: List[str],
+    ):
+        if not mirror_nodes:
+            raise ValueError("need at least one mirror")
+        self.network = network
+        self.server = server
+        self.mirror_nodes = list(mirror_nodes)
+
+    def resolve(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Tuple[Referral, Trace]:
+        path = parse_path(request)
+        trace = self.network.trace()
+        last_error: Optional[Exception] = None
+        for mirror in self.mirror_nodes:
+            try:
+                referral = _referral_round_trip(
+                    trace, client, mirror, self.server, path, context,
+                    now,
+                )
+                return referral, trace
+            except NodeUnreachableError as err:
+                last_error = err
+                continue
+        raise GupsterError(
+            "all MDM mirrors unreachable: %s" % last_error
+        )
+
+    def meta_data_exposure(self) -> Dict[str, int]:
+        """Component paths visible per node: every mirror sees all."""
+        total = self.server.coverage.entry_count()
+        return {mirror: total for mirror in self.mirror_nodes}
+
+
+class UserDistributedMdm:
+    """Per-user choice of meta-data manager, found via white pages."""
+
+    def __init__(self, network: Network, whitepages_node: str):
+        self.network = network
+        self.whitepages_node = whitepages_node
+        #: user id -> (mdm node name, server); None node means unlisted
+        self._assignments: Dict[str, Tuple[str, GupsterServer]] = {}
+        self._unlisted: Dict[str, Tuple[str, GupsterServer]] = {}
+
+    def assign(
+        self,
+        user_id: str,
+        node: str,
+        server: GupsterServer,
+        unlisted: bool = False,
+    ) -> None:
+        if unlisted:
+            self._unlisted[user_id] = (node, server)
+        else:
+            self._assignments[user_id] = (node, server)
+
+    def server_for(self, user_id: str) -> Optional[GupsterServer]:
+        entry = self._assignments.get(user_id) or self._unlisted.get(
+            user_id
+        )
+        return entry[1] if entry else None
+
+    def resolve(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+        hint: Optional[str] = None,
+    ) -> Tuple[Referral, Trace]:
+        """Lookup via white pages, or via an explicit *hint* node name
+        for unlisted users (who told the application where to look)."""
+        path = parse_path(request)
+        user_id = path.user_id()
+        if user_id is None:
+            raise GupsterError("request must identify a user")
+        trace = self.network.trace()
+        if hint is not None:
+            entry = (
+                self._unlisted.get(user_id)
+                or self._assignments.get(user_id)
+            )
+            if entry is None or entry[0] != hint:
+                raise GupsterError(
+                    "hint %r does not match any MDM for %r"
+                    % (hint, user_id)
+                )
+            node, server = entry
+        else:
+            # White-pages round trip.
+            trace.hop(client, self.whitepages_node,
+                      len(user_id) + REQUEST_OVERHEAD_BYTES,
+                      "white pages lookup")
+            trace.compute(WHITEPAGES_COMPUTE_MS, "white pages")
+            entry = self._assignments.get(user_id)
+            if entry is None:
+                listed = user_id in self._unlisted
+                trace.hop(self.whitepages_node, client, 32, "miss")
+                raise GupsterError(
+                    "user %r is unlisted — a hint is required"
+                    % user_id
+                    if listed
+                    else "user %r has no meta-data manager" % user_id
+                )
+            node, server = entry
+            trace.hop(self.whitepages_node, client,
+                      len(node) + REQUEST_OVERHEAD_BYTES, "pointer")
+        referral = _referral_round_trip(
+            trace, client, node, server, path, context, now
+        )
+        return referral, trace
+
+    def meta_data_exposure(self) -> Dict[str, int]:
+        """Component paths visible per MDM node."""
+        exposure: Dict[str, int] = {}
+        for node, server in list(self._assignments.values()) + list(
+            self._unlisted.values()
+        ):
+            exposure[node] = server.coverage.entry_count()
+        return exposure
+
+
+class HierarchicalMdm:
+    """Per-user primary MDM with delegated subtrees (Section 5.1.2)."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        #: user -> (primary node, primary server)
+        self._primaries: Dict[str, Tuple[str, GupsterServer]] = {}
+        #: user -> list of (delegated path, node, server)
+        self._delegations: Dict[
+            str, List[Tuple[Path, str, GupsterServer]]
+        ] = {}
+
+    def set_primary(
+        self, user_id: str, node: str, server: GupsterServer
+    ) -> None:
+        self._primaries[user_id] = (node, server)
+
+    def delegate(
+        self,
+        user_id: str,
+        path: Union[str, Path],
+        node: str,
+        server: GupsterServer,
+    ) -> None:
+        """The primary learns only (path prefix, node) — the delegate's
+        server holds the actual coverage entries."""
+        parsed = parse_path(path)
+        if parsed.user_id() != user_id:
+            raise GupsterError("delegation path must belong to the user")
+        self._delegations.setdefault(user_id, []).append(
+            (parsed, node, server)
+        )
+
+    def resolve(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Tuple[Referral, Trace]:
+        path = parse_path(request)
+        user_id = path.user_id()
+        entry = self._primaries.get(user_id or "")
+        if entry is None:
+            raise GupsterError("no primary MDM for %r" % user_id)
+        primary_node, primary_server = entry
+        trace = self.network.trace()
+        # Ask the primary.
+        request_bytes = (
+            len(str(path)) + context.byte_size() + REQUEST_OVERHEAD_BYTES
+        )
+        trace.hop(client, primary_node, request_bytes, "ask primary")
+        trace.compute(RESOLVE_COMPUTE_MS, "primary lookup")
+        for delegated_path, node, server in self._delegations.get(
+            user_id or "", []
+        ):
+            if subtree_covers(delegated_path, path):
+                # Primary only returns the delegation pointer.
+                trace.hop(primary_node, client,
+                          len(node) + REQUEST_OVERHEAD_BYTES,
+                          "delegation pointer")
+                referral = _referral_round_trip(
+                    trace, client, node, server, path, context, now
+                )
+                return referral, trace
+        referral = primary_server.resolve(path, context, now)
+        trace.hop(primary_node, client,
+                  referral.byte_size() + REQUEST_OVERHEAD_BYTES,
+                  "referral")
+        return referral, trace
+
+    def meta_data_exposure(self) -> Dict[str, int]:
+        """What each node can see: primaries count their own coverage
+        entries plus one opaque pointer per delegation; delegates count
+        their delegated entries."""
+        exposure: Dict[str, int] = {}
+        for user_id, (node, server) in self._primaries.items():
+            exposure[node] = exposure.get(node, 0) + (
+                server.coverage.entry_count()
+            )
+            exposure[node] += len(self._delegations.get(user_id, []))
+        seen = set()
+        for delegations in self._delegations.values():
+            for _path, node, server in delegations:
+                if (node, id(server)) in seen:
+                    continue  # same delegate server counted once
+                seen.add((node, id(server)))
+                exposure[node] = exposure.get(node, 0) + (
+                    server.coverage.entry_count()
+                )
+        return exposure

@@ -1,0 +1,197 @@
+"""Data provenance (paper Section 7, third core challenge).
+
+"The third core challenge involves data provenance, that is, the
+tracking of where data (and meta-data) have come from, and where they
+have been used."
+
+Two trackers implement the challenge:
+
+* :class:`ProvenanceTracker` — an append-only access ledger at
+  GUPster: every referral, fetch and update is recorded with
+  (requester, purpose, component, stores, time). Users can audit who
+  touched their data (:meth:`disclosures_for`) and applications can
+  show where a fragment's pieces came from (:meth:`sources_of`).
+* :class:`SourceAnnotator` — stamps merged fragments with per-part
+  origins, answering "which store did this item come from?" for the
+  split-component case; this is also the hook for detecting when data
+  from one source would be redistributed against another source's
+  access controls (:meth:`redistribution_conflicts`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.pxml import PNode, Path, parse_path
+from repro.pxml.containment import subtree_covers, subtree_overlaps
+from repro.access import RequestContext
+from repro.access.policy import PolicyRule
+
+__all__ = ["AccessRecord", "ProvenanceTracker", "SourceAnnotator"]
+
+
+class AccessRecord:
+    """One entry of the access ledger."""
+
+    __slots__ = (
+        "at", "requester", "relationship", "purpose", "path",
+        "stores", "operation", "granted",
+    )
+
+    def __init__(
+        self,
+        at: float,
+        context: RequestContext,
+        path: Path,
+        stores: Sequence[str],
+        operation: str,
+        granted: bool,
+    ):
+        self.at = at
+        self.requester = context.requester
+        self.relationship = context.relationship
+        self.purpose = context.purpose
+        self.path = path
+        self.stores = list(stores)
+        self.operation = operation  # 'resolve' | 'fetch' | 'update'
+        self.granted = granted
+
+    def __repr__(self) -> str:
+        verdict = "granted" if self.granted else "denied"
+        return "<AccessRecord %.0f %s %s %s (%s)>" % (
+            self.at, self.requester, self.operation, self.path, verdict,
+        )
+
+
+class ProvenanceTracker:
+    """The access ledger: who touched which component, when, via
+    which stores."""
+
+    def __init__(self):
+        self._records: List[AccessRecord] = []
+
+    def record(
+        self,
+        at: float,
+        context: RequestContext,
+        path: Union[str, Path],
+        stores: Sequence[str],
+        operation: str = "resolve",
+        granted: bool = True,
+    ) -> AccessRecord:
+        entry = AccessRecord(
+            at, context, parse_path(path), stores, operation, granted
+        )
+        self._records.append(entry)
+        return entry
+
+    # -- the user-facing audit ------------------------------------------------
+
+    def disclosures_for(
+        self, user_id: str, component: Optional[str] = None
+    ) -> List[AccessRecord]:
+        """Everything that happened to *user_id*'s data (optionally one
+        component) — the e-commerce 'who has my credit card' question."""
+        picked = []
+        for record in self._records:
+            if record.path.user_id() != user_id:
+                continue
+            if (
+                component is not None
+                and record.path.steps[1].name != component
+            ):
+                continue
+            picked.append(record)
+        return picked
+
+    def requesters_of(self, user_id: str) -> Dict[str, int]:
+        """Access counts per requester for one user's data."""
+        counts: Dict[str, int] = {}
+        for record in self.disclosures_for(user_id):
+            if record.granted:
+                counts[record.requester] = (
+                    counts.get(record.requester, 0) + 1
+                )
+        return counts
+
+    def denied_attempts(self, user_id: str) -> List[AccessRecord]:
+        return [
+            r for r in self.disclosures_for(user_id) if not r.granted
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class SourceAnnotator:
+    """Per-fragment origin tracking for merged components."""
+
+    def __init__(self):
+        #: (user, item location path) -> store id it came from
+        self._origins: Dict[str, str] = {}
+
+    def annotate(
+        self, fragment: PNode, store_id: str
+    ) -> None:
+        """Record that every element of *fragment* came from
+        *store_id* (called once per referral part, pre-merge)."""
+        for node in fragment.walk():
+            self._origins[node.location_path()] = store_id
+
+    def sources_of(self, fragment: PNode) -> Dict[str, str]:
+        """Map each element location in (merged) *fragment* to its
+        origin store, where known."""
+        found = {}
+        for node in fragment.walk():
+            origin = self._origins.get(node.location_path())
+            if origin is not None:
+                found[node.location_path()] = origin
+        return found
+
+    def origin_of(self, node: PNode) -> Optional[str]:
+        return self._origins.get(node.location_path())
+
+    # -- the Section 7 redistribution question -----------------------------------
+
+    def redistribution_conflicts(
+        self,
+        fragment: PNode,
+        source_policies: Dict[str, Sequence[PolicyRule]],
+        context: RequestContext,
+    ) -> List[Tuple[str, str]]:
+        """Would handing *fragment* to *context* violate the access
+        controls of any store the pieces came from?
+
+        "What are systematic ways ... to avoid distribution of data
+        from one source that violates access controls given for
+        another source?" — each element is checked against ITS source
+        store's rules; returns (location, source store) pairs that no
+        permit rule of the source allows."""
+        conflicts = []
+        for node in fragment.walk():
+            location = node.location_path()
+            origin = self._origins.get(location)
+            if origin is None:
+                continue
+            rules = source_policies.get(origin, ())
+            if not rules:
+                continue
+            allowed = False
+            denied = False
+            for rule in rules:
+                try:
+                    applicable = rule.condition.holds(context) and (
+                        subtree_covers(rule.target, location)
+                        or subtree_overlaps(rule.target, location)
+                    )
+                except Exception:
+                    applicable = False
+                if not applicable:
+                    continue
+                if rule.effect == "deny":
+                    denied = True
+                else:
+                    allowed = True
+            if denied or not allowed:
+                conflicts.append((location, origin))
+        return conflicts

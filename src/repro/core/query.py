@@ -1,0 +1,444 @@
+"""Distributed query-processing patterns (paper Section 5.2).
+
+"Offering a larger variety of distributed query patterns like chaining,
+referral, recruiting (where the request is actually migrated to a
+different node) will be needed."
+
+:class:`QueryExecutor` runs one request end-to-end over the simulated
+network under each pattern, charging every hop and compute step to a
+:class:`~repro.simnet.Trace` so experiment E1 can compare them:
+
+* **referral** (the default) — GUPster returns a signed referral; the
+  client fetches fragments directly from stores and merges locally.
+* **chaining** — GUPster fetches from the stores itself, merges, and
+  returns data (for "a client application with very limited
+  capabilities (e.g., a cell phone)").
+* **recruiting** — GUPster migrates the query to one data store, which
+  gathers the other parts, merges, and replies to the client directly.
+* **direct** — the pre-GUPster baseline: the client must already know
+  where everything is and speaks to stores without access control.
+* **cached** — chaining through GUPster's component cache (E7).
+
+Per-message sizes come from real serialized fragment/referral sizes;
+per-step compute costs are explicit constants (class attributes) so
+ablations can turn them up or down.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import NodeUnreachableError, NoCoverageError
+from repro.pxml import PNode, Path, extract, parse_path
+from repro.pxml.merge import GUP_KEYSPEC, merge_all
+from repro.access import RequestContext
+from repro.core.referral import Referral, ReferralPart
+from repro.core.server import GupsterServer
+from repro.simnet import Network, Trace
+
+__all__ = ["QueryExecutor"]
+
+
+class QueryExecutor:
+    """Runs requests under the Section 5.2 query patterns."""
+
+    #: Fixed protocol overhead per message (headers, framing).
+    REQUEST_OVERHEAD_BYTES = 80
+    #: GUPster-side compute: schema filter + policy + rewrite + sign.
+    RESOLVE_COMPUTE_MS = 0.3
+    #: Store-side compute: signature + timestamp verification.
+    VERIFY_COMPUTE_MS = 0.1
+    #: Store-side compute: evaluate the path over the native store.
+    STORE_QUERY_COMPUTE_MS = 0.2
+    #: Merge cost per fragment at whichever node merges.
+    MERGE_COMPUTE_MS_PER_PART = 0.2
+    #: Cache probe/store cost at GUPster.
+    CACHE_COMPUTE_MS = 0.05
+
+    def __init__(
+        self,
+        network: Network,
+        server: GupsterServer,
+        server_node: Optional[str] = None,
+        provenance=None,
+        annotator=None,
+    ):
+        self.network = network
+        self.server = server
+        self.server_node = server_node or server.name
+        self.verifier = server.signer.verifier()
+        #: Optional :class:`~repro.core.provenance.ProvenanceTracker`;
+        #: when set, every resolve/fetch/update lands in the ledger.
+        self.provenance = provenance
+        #: Optional :class:`~repro.core.provenance.SourceAnnotator`;
+        #: when set, fetched fragments are stamped with their origin
+        #: store before merging.
+        self.annotator = annotator
+
+    # -- shared pieces -----------------------------------------------------------
+
+    def _request_bytes(
+        self, path: Path, context: RequestContext
+    ) -> int:
+        return (
+            len(str(path))
+            + context.byte_size()
+            + self.REQUEST_OVERHEAD_BYTES
+        )
+
+    def _fetch_part_from(
+        self,
+        origin: str,
+        part: ReferralPart,
+        now: float,
+        trace: Trace,
+    ) -> Tuple[Optional[PNode], str]:
+        """Fetch one referral part from the first reachable store.
+
+        Returns (fragment, store used). Tries the ``||`` choices in
+        order; a failed store charges the detection timeout and the
+        next choice is tried."""
+        last_error: Optional[Exception] = None
+        for store_id in part.store_ids:
+            adapter = self.server.adapters.get(store_id)
+            if adapter is None:
+                continue
+            query_bytes = (
+                part.signed_query.byte_size()
+                + self.REQUEST_OVERHEAD_BYTES
+                if part.signed_query is not None
+                else len(str(part.path)) + self.REQUEST_OVERHEAD_BYTES
+            )
+            try:
+                trace.hop(origin, store_id, query_bytes,
+                          "query %s" % part.path)
+            except NodeUnreachableError as err:
+                last_error = err
+                continue
+            if part.signed_query is not None:
+                self.verifier.verify(part.signed_query, now)
+                trace.compute(self.VERIFY_COMPUTE_MS, "verify signature")
+            trace.compute(self.STORE_QUERY_COMPUTE_MS, "evaluate path")
+            fragment = adapter.get(part.path)
+            if fragment is not None and self.annotator is not None:
+                self.annotator.annotate(fragment, store_id)
+            response_bytes = (
+                fragment.byte_size() if fragment is not None else 32
+            ) + self.REQUEST_OVERHEAD_BYTES
+            trace.hop(store_id, origin, response_bytes, "fragment")
+            return fragment, store_id
+        if last_error is not None:
+            raise last_error
+        raise NoCoverageError(
+            "no adapter registered for any of %s" % part.store_ids
+        )
+
+    def _merge_at(
+        self,
+        fragments: List[PNode],
+        trace: Trace,
+        where: str,
+    ) -> Optional[PNode]:
+        fragments = [f for f in fragments if f is not None]
+        if not fragments:
+            return None
+        if len(fragments) == 1:
+            return fragments[0]
+        trace.compute(
+            self.MERGE_COMPUTE_MS_PER_PART * len(fragments),
+            "merge %d fragments at %s" % (len(fragments), where),
+        )
+        return merge_all(fragments, GUP_KEYSPEC)
+
+    def _resolve_tracked(
+        self, path: Path, context: RequestContext, now: float
+    ):
+        """Resolve at the server, recording grants and denials in the
+        provenance ledger when one is attached."""
+        from repro.errors import AccessDeniedError
+
+        try:
+            referral = self.server.resolve(path, context, now)
+        except AccessDeniedError:
+            if self.provenance is not None:
+                self.provenance.record(
+                    now, context, path, [], "resolve", granted=False
+                )
+            raise
+        if self.provenance is not None:
+            stores = sorted(
+                {s for part in referral.parts for s in part.store_ids}
+            )
+            self.provenance.record(
+                now, context, path, stores, "resolve", granted=True
+            )
+        return referral
+
+    # -- patterns ------------------------------------------------------------------
+
+    def referral(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+        parallel: bool = True,
+    ) -> Tuple[Optional[PNode], Trace]:
+        """The default GUPster pattern: referral, then direct fetches."""
+        path = parse_path(request)
+        trace = self.network.trace()
+        trace.hop(client, self.server_node,
+                  self._request_bytes(path, context), "resolve request")
+        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = self._resolve_tracked(path, context, now)
+        trace.hop(self.server_node, client,
+                  referral.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                  "referral")
+        fragments: List[Optional[PNode]] = []
+        if parallel and len(referral.parts) > 1:
+            branches = []
+            for part in referral.parts:
+                branch = trace.fork()
+                fragment, _store = self._fetch_part_from(
+                    client, part, now, branch
+                )
+                fragments.append(fragment)
+                branches.append(branch)
+            trace.join(branches)
+        else:
+            for part in referral.parts:
+                fragment, _store = self._fetch_part_from(
+                    client, part, now, trace
+                )
+                fragments.append(fragment)
+        merged = self._merge_at(
+            [f for f in fragments if f is not None], trace, client
+        )
+        return merged, trace
+
+    def chaining(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Tuple[Optional[PNode], Trace]:
+        """GUPster fetches and merges on the client's behalf."""
+        path = parse_path(request)
+        trace = self.network.trace()
+        trace.hop(client, self.server_node,
+                  self._request_bytes(path, context), "chained request")
+        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = self._resolve_tracked(path, context, now)
+        fragments: List[Optional[PNode]] = []
+        branches = []
+        for part in referral.parts:
+            branch = trace.fork()
+            fragment, _store = self._fetch_part_from(
+                self.server_node, part, now, branch
+            )
+            fragments.append(fragment)
+            branches.append(branch)
+        trace.join(branches)
+        merged = self._merge_at(
+            [f for f in fragments if f is not None],
+            trace, self.server_node,
+        )
+        response_bytes = (
+            merged.byte_size() if merged is not None else 32
+        ) + self.REQUEST_OVERHEAD_BYTES
+        trace.hop(self.server_node, client, response_bytes,
+                  "merged result")
+        return merged, trace
+
+    def recruiting(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Tuple[Optional[PNode], Trace]:
+        """GUPster migrates the query to a data store, which gathers the
+        remaining parts and answers the client directly."""
+        path = parse_path(request)
+        trace = self.network.trace()
+        trace.hop(client, self.server_node,
+                  self._request_bytes(path, context),
+                  "recruited request")
+        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = self._resolve_tracked(path, context, now)
+        recruit = referral.parts[0].store_ids[0]
+        plan_bytes = (
+            referral.byte_size() + self.REQUEST_OVERHEAD_BYTES
+        )
+        trace.hop(self.server_node, recruit, plan_bytes,
+                  "migrate query plan")
+        fragments: List[Optional[PNode]] = []
+        # The recruit serves its own part locally...
+        self.verifier.verify(referral.parts[0].signed_query, now)
+        trace.compute(
+            self.VERIFY_COMPUTE_MS + self.STORE_QUERY_COMPUTE_MS,
+            "local part at recruit",
+        )
+        local_adapter = self.server.adapters.get(recruit)
+        if local_adapter is not None:
+            fragments.append(local_adapter.get(referral.parts[0].path))
+        # ...and fetches the remaining parts from their stores.
+        branches = []
+        for part in referral.parts[1:]:
+            branch = trace.fork()
+            fragment, _store = self._fetch_part_from(
+                recruit, part, now, branch
+            )
+            fragments.append(fragment)
+            branches.append(branch)
+        trace.join(branches)
+        merged = self._merge_at(
+            [f for f in fragments if f is not None], trace, recruit
+        )
+        response_bytes = (
+            merged.byte_size() if merged is not None else 32
+        ) + self.REQUEST_OVERHEAD_BYTES
+        trace.hop(recruit, client, response_bytes, "result to client")
+        return merged, trace
+
+    def direct(
+        self,
+        client: str,
+        targets: List[Tuple[str, Union[str, Path]]],
+        now: float = 0.0,
+    ) -> Tuple[Optional[PNode], Trace]:
+        """Pre-GUPster baseline: the client already knows the stores and
+        paths (no meta-data lookup, no access control, no signatures)."""
+        trace = self.network.trace()
+        fragments: List[Optional[PNode]] = []
+        for store_id, raw_path in targets:
+            path = parse_path(raw_path)
+            part = ReferralPart(path, [store_id])
+            fragment, _store = self._fetch_part_from(
+                client, part, now, trace
+            )
+            fragments.append(fragment)
+        merged = self._merge_at(
+            [f for f in fragments if f is not None], trace, client
+        )
+        return merged, trace
+
+    def cached(
+        self,
+        client: str,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Tuple[Optional[PNode], Trace, bool]:
+        """Chaining through GUPster's component cache.
+
+        Returns (fragment, trace, was_hit)."""
+        if self.server.cache is None:
+            raise ValueError("server has no cache configured")
+        path = parse_path(request)
+        trace = self.network.trace()
+        trace.hop(client, self.server_node,
+                  self._request_bytes(path, context), "cached request")
+        trace.compute(self.CACHE_COMPUTE_MS, "cache probe")
+        cached = self.server.cache.get(path, now)
+        if cached is not None:
+            trace.hop(
+                self.server_node, client,
+                cached.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                "cache hit",
+            )
+            return cached, trace, True
+        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = self._resolve_tracked(path, context, now)
+        fragments: List[Optional[PNode]] = []
+        branches = []
+        for part in referral.parts:
+            branch = trace.fork()
+            fragment, _store = self._fetch_part_from(
+                self.server_node, part, now, branch
+            )
+            fragments.append(fragment)
+            branches.append(branch)
+        trace.join(branches)
+        merged = self._merge_at(
+            [f for f in fragments if f is not None],
+            trace, self.server_node,
+        )
+        if merged is not None:
+            ttl = self.server.cache_ttl_for(path)
+            if ttl is None:
+                self.server.cache.put(path, merged, now)
+                trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
+            elif ttl > 0.0:
+                self.server.cache.put(path, merged, now, ttl_ms=ttl)
+                trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
+            # ttl == 0.0 (e.g. /user/wallet): never cached.
+        response_bytes = (
+            merged.byte_size() if merged is not None else 32
+        ) + self.REQUEST_OVERHEAD_BYTES
+        trace.hop(self.server_node, client, response_bytes,
+                  "filled result")
+        return merged, trace, False
+
+    # -- writes ----------------------------------------------------------------
+
+    def provision(
+        self,
+        client: str,
+        request: Union[str, Path],
+        fragment: PNode,
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Trace:
+        """Enter-once write: resolve for update, then fan the fragment
+        out to every store holding the component."""
+        path = parse_path(request)
+        trace = self.network.trace()
+        trace.hop(client, self.server_node,
+                  self._request_bytes(path, context), "update resolve")
+        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = self.server.resolve_for_update(path, context, now)
+        if self.provenance is not None:
+            stores = sorted(
+                {s for part in referral.parts for s in part.store_ids}
+            )
+            self.provenance.record(
+                now, context, path, stores, "update", granted=True
+            )
+        trace.hop(self.server_node, client,
+                  referral.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                  "update referral")
+        # Wrap the new component state in a user document so each
+        # store can be handed exactly its slice (a store registered
+        # for item[@type='corporate'] must not receive — nor lose —
+        # the personal half).
+        if fragment.tag == "user":
+            document = fragment.copy()
+        else:
+            document = PNode("user", {"id": path.user_id() or ""})
+            document.append(fragment.copy())
+        branches = []
+        for part in referral.parts:
+            branch = trace.fork()
+            store_id = part.store_ids[0]
+            component = part.path.steps[1].name
+            sliced = extract(document, part.path.element_path())
+            content = (
+                sliced.child(component) if sliced is not None else None
+            )
+            if content is None:
+                content = PNode(component)
+            branch.hop(client, store_id,
+                       content.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                       "write %s" % part.path)
+            if part.signed_query is not None:
+                self.verifier.verify(part.signed_query, now)
+                branch.compute(self.VERIFY_COMPUTE_MS, "verify")
+            adapter = self.server.adapters.get(store_id)
+            if adapter is not None:
+                adapter.put(part.path.prefix(2), content)
+            branch.hop(store_id, client, 32, "ack")
+            branches.append(branch)
+        trace.join(branches)
+        return trace

@@ -1,0 +1,88 @@
+"""Referrals: what GUPster returns instead of data.
+
+Paper Section 4.3: "GUPster does not return any data, just a referral
+to be used by the client application", e.g. ::
+
+    gup.yahoo.com/user[@id='arnaud']/address-book ||
+    gup.spcs.com/user[@id='arnaud']/address-book
+
+where ``||`` is a *choice*. When a component is split (Figure 9), the
+referral instead has several *parts*, each with its own choice set, and
+the client must merge the fragments ("as well as a way to merge the two
+XML fragments").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.signing import SignedQuery
+from repro.pxml import Path
+from repro.pxml.merge import ConflictPolicy
+
+__all__ = ["ReferralPart", "Referral"]
+
+
+class ReferralPart:
+    """One component (sub)path and the stores that can serve it."""
+
+    def __init__(
+        self,
+        path: Path,
+        store_ids: List[str],
+        signed_query: Optional[SignedQuery] = None,
+    ):
+        if not store_ids:
+            raise ValueError("a referral part needs at least one store")
+        self.path = path
+        self.store_ids = list(store_ids)
+        #: The GUPster-signed query the client presents to the store.
+        self.signed_query = signed_query
+
+    def render(self) -> str:
+        """The paper's notation for this part."""
+        return " || ".join(
+            "%s%s" % (store, self.path) for store in self.store_ids
+        )
+
+    def __repr__(self) -> str:
+        return "<ReferralPart %s>" % self.render()
+
+
+class Referral:
+    """GUPster's answer to a resolve request."""
+
+    def __init__(
+        self,
+        request: Path,
+        parts: List[ReferralPart],
+        merge_policy: ConflictPolicy = ConflictPolicy.PREFER_FIRST,
+    ):
+        if not parts:
+            raise ValueError("a referral needs at least one part")
+        self.request = request
+        self.parts = parts
+        #: How the client should reconcile multi-part fragments.
+        self.merge_policy = merge_policy
+
+    @property
+    def needs_merge(self) -> bool:
+        return len(self.parts) > 1
+
+    def render(self) -> str:
+        return "\n".join(part.render() for part in self.parts)
+
+    def byte_size(self) -> int:
+        """Wire size of the referral message (path text + store names
+        + signature overhead per part)."""
+        total = len(str(self.request))
+        for part in self.parts:
+            total += len(part.render())
+            if part.signed_query is not None:
+                total += part.signed_query.byte_size()
+        return total
+
+    def __repr__(self) -> str:
+        return "<Referral for %s: %d part(s)>" % (
+            self.request, len(self.parts),
+        )

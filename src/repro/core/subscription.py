@@ -1,0 +1,205 @@
+"""Subscriptions: pull/poll vs GUPster-internal push (paper Section 5.2).
+
+"In the current architecture, GUPster is a reactive (pull-based) not
+pro-active (push-based) system. It is always possible to push-enable a
+pull-based system using polling, but this may not be very efficient. In
+our case, every polling request needs to be checked to enforce the
+end-user's privacy shield. Having the subscription handled by GUPster
+internally would save this extra work."
+
+:class:`SubscriptionHub` runs both strategies on the event simulator:
+
+* **polling** — the client polls through GUPster at a fixed interval;
+  every poll pays a policy check and the full fetch path, and change
+  delivery latency averages half the interval.
+* **push** — the client subscribes once (one policy check); GUPster
+  hooks the store's native change notification and forwards changes as
+  they happen; delivery latency is just two hops.
+
+Experiment E12 reads the delivery records and counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import AccessDeniedError
+from repro.pxml import Path, parse_path
+from repro.pxml.evaluate import evaluate_values
+from repro.access import RequestContext
+from repro.core.query import QueryExecutor
+from repro.core.server import GupsterServer
+from repro.simnet import Network, Simulator
+
+__all__ = ["Delivery", "SubscriptionHub"]
+
+
+class Delivery:
+    """One observed change delivery."""
+
+    __slots__ = ("mode", "value", "changed_at", "delivered_at")
+
+    def __init__(
+        self, mode: str, value: str, changed_at: float,
+        delivered_at: float,
+    ):
+        self.mode = mode
+        self.value = value
+        self.changed_at = changed_at
+        self.delivered_at = delivered_at
+
+    @property
+    def latency_ms(self) -> float:
+        return self.delivered_at - self.changed_at
+
+    def __repr__(self) -> str:
+        return "<Delivery %s %r +%.1fms>" % (
+            self.mode, self.value, self.latency_ms,
+        )
+
+
+class SubscriptionHub:
+    """Runs polling and push subscriptions over the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        server: GupsterServer,
+        executor: QueryExecutor,
+    ):
+        self.sim = sim
+        self.network = network
+        self.server = server
+        self.executor = executor
+        self.deliveries: List[Delivery] = []
+        self.poll_messages = 0
+        self.push_messages = 0
+        #: value-path -> last value seen by each poller id
+        self._poll_state: Dict[int, Optional[str]] = {}
+        self._poller_seq = 0
+        self._change_log: Dict[str, List[tuple]] = {}
+
+    # -- change bookkeeping (benches call this when mutating stores) -----------
+
+    def note_change(self, value_path: str, value: str) -> None:
+        """Record that the profile value at *value_path* changed now."""
+        self._change_log.setdefault(value_path, []).append(
+            (self.sim.now, value)
+        )
+
+    def _changed_at(self, value_path: str, value: str) -> float:
+        """When did the change producing *value* happen?"""
+        for when, logged in reversed(
+            self._change_log.get(value_path, [])
+        ):
+            if logged == value:
+                return when
+        return self.sim.now
+
+    # -- polling ------------------------------------------------------------------
+
+    def start_polling(
+        self,
+        client: str,
+        request: Union[str, Path],
+        value_path: str,
+        context: RequestContext,
+        interval_ms: float,
+        until: float,
+    ) -> None:
+        """Poll *request* via chaining every *interval_ms*; deliver when
+        the value at *value_path* (within the fragment) changes."""
+        path = parse_path(request)
+        self._poller_seq += 1
+        poller_id = self._poller_seq
+        self._poll_state[poller_id] = None
+
+        def poll():
+            # Every poll is a full policy-checked fetch.
+            try:
+                fragment, trace = self.executor.chaining(
+                    client, path, context, now=self.sim.now
+                )
+            except AccessDeniedError:
+                return
+            self.poll_messages += trace.hops
+            value = None
+            if fragment is not None:
+                values = evaluate_values(fragment, value_path)
+                value = values[0] if values else None
+            previous = self._poll_state[poller_id]
+            if value is not None and value != previous:
+                self._poll_state[poller_id] = value
+                delivered_at = self.sim.now + trace.elapsed_ms
+                if previous is not None:  # skip the initial snapshot
+                    self.deliveries.append(
+                        Delivery(
+                            "poll", value,
+                            self._changed_at(value_path, value),
+                            delivered_at,
+                        )
+                    )
+
+        self.sim.every(interval_ms, poll, until=until)
+
+    # -- push ---------------------------------------------------------------------
+
+    def start_push(
+        self,
+        client: str,
+        request: Union[str, Path],
+        value_path: str,
+        context: RequestContext,
+        watch_hook: Callable[[Callable[[str], None]], None],
+        store_node: str,
+    ) -> None:
+        """Subscribe once; *watch_hook* is called with a callback that
+        the native store invokes on each change (e.g. wraps
+        ``PresenceServer.watch``). GUPster forwards changes to the
+        client as they arrive."""
+        path = parse_path(request)
+        # One policy check at subscription time (the saving the paper
+        # points out).
+        decision = self.server.pep.enforce(path, context)
+        if not decision.permit:
+            raise AccessDeniedError(
+                "subscription denied for %s" % context.requester
+            )
+
+        def on_change(value: str) -> None:
+            changed_at = self.sim.now
+            self.note_change(value_path, value)
+            # store -> GUPster -> client, each hop at its sampled latency.
+            to_gup = self.network.sample_hop(
+                store_node, self.executor.server_node, 128
+            )
+            self.push_messages += 1
+
+            def at_gupster():
+                to_client = self.network.sample_hop(
+                    self.executor.server_node, client, 128
+                )
+                self.push_messages += 1
+
+                def at_client():
+                    self.deliveries.append(
+                        Delivery("push", value, changed_at, self.sim.now)
+                    )
+
+                self.sim.schedule(to_client, at_client)
+
+            self.sim.schedule(to_gup, at_gupster)
+
+        watch_hook(on_change)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def deliveries_for(self, mode: str) -> List[Delivery]:
+        return [d for d in self.deliveries if d.mode == mode]
+
+    def mean_latency(self, mode: str) -> float:
+        picked = self.deliveries_for(mode)
+        if not picked:
+            return float("nan")
+        return sum(d.latency_ms for d in picked) / len(picked)

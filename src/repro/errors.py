@@ -1,0 +1,126 @@
+"""Exception hierarchy for the GUPster reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Sub-hierarchies mirror the major
+subsystems (data model, coverage, access control, synchronization, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Profile XML data model
+# --------------------------------------------------------------------------
+
+class PXMLError(ReproError):
+    """Base class for profile-XML data model errors."""
+
+
+class ParseError(PXMLError):
+    """Raised when XML text or an XPath expression cannot be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class PathSyntaxError(ParseError):
+    """Raised when an XPath fragment expression is syntactically invalid."""
+
+
+class UnsupportedPathError(PXMLError):
+    """Raised when a path uses features outside the supported fragment."""
+
+
+class SchemaError(PXMLError):
+    """Raised when a document violates the GUP schema."""
+
+
+class MergeConflictError(PXMLError):
+    """Raised when a merge cannot reconcile two nodes under the policy."""
+
+
+# --------------------------------------------------------------------------
+# Stores / adapters / network
+# --------------------------------------------------------------------------
+
+class StoreError(ReproError):
+    """Base class for native data-store errors."""
+
+
+class UnknownSubscriberError(StoreError):
+    """Raised when a store has no record for the requested subscriber."""
+
+
+class ProvisioningDeniedError(StoreError):
+    """Raised when a store rejects a provisioning operation (e.g. a PSTN
+    switch that only accepts operator-initiated provisioning)."""
+
+
+class AdapterError(ReproError):
+    """Raised when a GUP adapter cannot translate a native record."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network errors."""
+
+
+class NodeUnreachableError(NetworkError):
+    """Raised when a message is sent to a failed or unknown node."""
+
+
+class TimeoutError_(NetworkError):
+    """Raised when a simulated request exceeds its deadline."""
+
+
+# --------------------------------------------------------------------------
+# GUPster core
+# --------------------------------------------------------------------------
+
+class GupsterError(ReproError):
+    """Base class for GUPster server errors."""
+
+
+class CoverageError(GupsterError):
+    """Raised on invalid coverage registrations."""
+
+
+class NoCoverageError(GupsterError):
+    """Raised when no registered store covers the requested component."""
+
+
+class AccessDeniedError(GupsterError):
+    """Raised when the privacy shield denies a request."""
+
+
+class SignatureError(GupsterError):
+    """Raised when a signed query fails verification at a data store."""
+
+
+class StaleQueryError(SignatureError):
+    """Raised when a signed query's timestamp is outside the freshness
+    window accepted by the data store."""
+
+
+class PolicyError(GupsterError):
+    """Raised on malformed access-control policies."""
+
+
+# --------------------------------------------------------------------------
+# Synchronization / provisioning
+# --------------------------------------------------------------------------
+
+class SyncError(ReproError):
+    """Base class for synchronization errors."""
+
+
+class AnchorMismatchError(SyncError):
+    """Raised when sync anchors do not line up and a slow sync is needed."""
+
+
+class ValidationError(ReproError):
+    """Raised when provisioning input violates schema constraints."""

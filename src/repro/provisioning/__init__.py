@@ -1,0 +1,17 @@
+"""Self-provisioning (requirement 11): schema-generated forms with
+constraint checking, and the enter-once write path."""
+
+from repro.provisioning.forms import (
+    FormField,
+    ProvisioningForm,
+    generate_form,
+)
+from repro.provisioning.provisioner import ProvisionReport, Provisioner
+
+__all__ = [
+    "FormField",
+    "ProvisioningForm",
+    "generate_form",
+    "Provisioner",
+    "ProvisionReport",
+]

@@ -1,0 +1,226 @@
+"""Auto-generated provisioning interfaces (requirement 11).
+
+"Provisioning interfaces should be automatically generated and should
+provide some guarantees (e.g., constraint checking)."
+
+:func:`generate_form` walks the GUP schema declarations for one
+component and produces a :class:`ProvisioningForm` — an ordered list of
+typed fields a UI (web, WAP, voice) could render. ``fill`` turns user
+input back into a schema-valid XML fragment, rejecting bad values with
+field-level messages *before* anything touches the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.pxml import PNode
+from repro.pxml.schema import (
+    AttrDecl,
+    ElementDecl,
+    Schema,
+    ValueType,
+)
+
+__all__ = ["FormField", "ProvisioningForm", "generate_form"]
+
+
+class FormField:
+    """One input of a generated provisioning form."""
+
+    def __init__(
+        self,
+        key: str,
+        label: str,
+        vtype: ValueType,
+        required: bool = False,
+        options: Optional[Tuple[str, ...]] = None,
+        repeated: bool = False,
+    ):
+        #: Dotted location inside the component, e.g. ``item.name``
+        #: or ``item.@type``.
+        self.key = key
+        self.label = label
+        self.vtype = vtype
+        self.required = required
+        self.options = options
+        self.repeated = repeated
+
+    def check(self, value: str) -> Optional[str]:
+        """Problem string for a bad value, else None."""
+        if self.options is not None and value not in self.options:
+            return "%s must be one of %s" % (self.key, list(self.options))
+        if not self.vtype.is_valid(value):
+            return "%s is not a valid %s" % (self.key, self.vtype.name)
+        return None
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.required:
+            flags.append("required")
+        if self.repeated:
+            flags.append("repeated")
+        return "<FormField %s (%s)%s>" % (
+            self.key, self.vtype.name,
+            " " + ",".join(flags) if flags else "",
+        )
+
+
+class ProvisioningForm:
+    """A renderable, checkable form for one component."""
+
+    def __init__(
+        self,
+        component: str,
+        entry_tag: Optional[str],
+        fields: List[FormField],
+        schema: Schema,
+    ):
+        self.component = component
+        #: The repeated child (e.g. ``item``); None for scalar
+        #: components like <presence>.
+        self.entry_tag = entry_tag
+        self.fields = fields
+        self.schema = schema
+
+    def field(self, key: str) -> Optional[FormField]:
+        for candidate in self.fields:
+            if candidate.key == key:
+                return candidate
+        return None
+
+    def validate_entry(self, values: Dict[str, str]) -> List[str]:
+        """All problems with one entry's input (empty = OK)."""
+        problems = []
+        for form_field in self.fields:
+            provided = values.get(form_field.key)
+            if provided is None or provided == "":
+                if form_field.required:
+                    problems.append("%s is required" % form_field.key)
+                continue
+            issue = form_field.check(provided)
+            if issue is not None:
+                problems.append(issue)
+        for key in values:
+            if self.field(key) is None:
+                problems.append("unknown field %r" % key)
+        return problems
+
+    def fill(
+        self, entries: Sequence[Dict[str, str]]
+    ) -> PNode:
+        """Build the component fragment from form input.
+
+        Raises :class:`ValidationError` listing every problem.
+        """
+        problems: List[str] = []
+        for index, entry in enumerate(entries):
+            for issue in self.validate_entry(entry):
+                problems.append("entry %d: %s" % (index, issue))
+        if problems:
+            raise ValidationError("; ".join(problems))
+        component = PNode(self.component)
+        for entry in entries:
+            target = (
+                component.append(PNode(self.entry_tag))
+                if self.entry_tag is not None
+                else component
+            )
+            for key, value in entry.items():
+                if value == "":
+                    continue
+                self._place(target, key, value)
+        return component
+
+    def _place(self, target: PNode, key: str, value: str) -> None:
+        parts = key.split(".")
+        node = target
+        for part in parts[:-1]:
+            existing = node.child(part)
+            node = existing if existing is not None else node.append(
+                PNode(part)
+            )
+        leaf = parts[-1]
+        if leaf.startswith("@"):
+            node.attrs[leaf[1:]] = value
+        else:
+            form_field = self.field(key)
+            child = PNode(leaf, text=value)
+            if form_field is not None and form_field.options is not None:
+                pass
+            node.append(child)
+
+
+def generate_form(schema: Schema, component: str) -> ProvisioningForm:
+    """Generate the form for one component of the schema."""
+    decl = schema.decl(component)
+    if decl is None or not decl.component:
+        raise ValidationError(
+            "<%s> is not a profile component" % component
+        )
+    # A component is either a container of one repeated entry tag
+    # (address-book/item) or a scalar record (presence).
+    repeated = [
+        child.tag for child in decl.children.values()
+        if child.occurs == "many"
+    ]
+    if len(repeated) == 1:
+        entry_tag = repeated[0]
+        entry_decl = schema.decl(entry_tag)
+        fields = _fields_for(schema, entry_decl, prefix="")
+    else:
+        entry_tag = None
+        fields = _fields_for(schema, decl, prefix="", top=True)
+    return ProvisioningForm(component, entry_tag, fields, schema)
+
+
+def _fields_for(
+    schema: Schema,
+    decl: Optional[ElementDecl],
+    prefix: str,
+    top: bool = False,
+    depth: int = 0,
+) -> List[FormField]:
+    if decl is None or depth > 3:
+        return []
+    fields: List[FormField] = []
+    for attr in decl.attrs.values():
+        fields.append(_attr_field(prefix, attr))
+    if decl.text is not None and prefix:
+        # The element itself is a leaf input (its key is the prefix
+        # minus the trailing dot).
+        pass
+    for child in decl.children.values():
+        child_decl = schema.decl(child.tag)
+        key = prefix + child.tag
+        if child_decl is not None and child_decl.text is not None:
+            fields.append(
+                FormField(
+                    key,
+                    child.tag.replace("-", " "),
+                    child_decl.text,
+                    required=(child.occurs == "one"),
+                    repeated=(child.occurs == "many"),
+                )
+            )
+            # Text children can still carry attributes (number/@type).
+            for attr in child_decl.attrs.values():
+                fields.append(_attr_field(key + ".", attr))
+        else:
+            fields.extend(
+                _fields_for(
+                    schema, child_decl, key + ".", depth=depth + 1
+                )
+            )
+    return fields
+
+
+def _attr_field(prefix: str, attr: AttrDecl) -> FormField:
+    return FormField(
+        prefix + "@" + attr.name,
+        attr.name,
+        attr.vtype,
+        required=attr.required,
+        options=attr.values,
+    )

@@ -1,0 +1,159 @@
+"""Enter once, use everywhere: the provisioning front end.
+
+The Provisioner ties the generated forms to the GUPster write path:
+the user fills one form; the fragment is schema-checked; GUPster's
+update referral fans the write out to **every** store holding the
+component. The contrast class — :meth:`provision_manually` — is the
+pre-GUPster world where the user provisions each store separately (and
+forgets some, leaving replicas inconsistent); experiment E11 measures
+the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.pxml import PNode
+from repro.access import RequestContext
+from repro.core.query import QueryExecutor
+from repro.core.server import GupsterServer
+from repro.provisioning.forms import ProvisioningForm, generate_form
+from repro.simnet import Trace
+
+__all__ = ["Provisioner", "ProvisionReport"]
+
+
+class ProvisionReport:
+    """What one provisioning action cost and touched."""
+
+    def __init__(
+        self,
+        user_actions: int,
+        stores_updated: List[str],
+        trace: Optional[Trace],
+    ):
+        #: Distinct things the *human* had to do.
+        self.user_actions = user_actions
+        self.stores_updated = stores_updated
+        self.trace = trace
+
+    def __repr__(self) -> str:
+        return "<ProvisionReport %d action(s) -> %s>" % (
+            self.user_actions, self.stores_updated,
+        )
+
+
+class Provisioner:
+    """Schema-driven self-provisioning through GUPster."""
+
+    def __init__(
+        self, server: GupsterServer, executor: QueryExecutor
+    ):
+        self.server = server
+        self.executor = executor
+
+    def form_for(self, component: str) -> ProvisioningForm:
+        return generate_form(self.server.schema, component)
+
+    # -- the GUPster way ---------------------------------------------------------
+
+    def enter_once(
+        self,
+        client: str,
+        user_id: str,
+        component: str,
+        entries: Sequence[Dict[str, str]],
+        now: float = 0.0,
+    ) -> ProvisionReport:
+        """One user action: fill the form, write through GUPster."""
+        form = self.form_for(component)
+        fragment = form.fill(entries)  # raises ValidationError early
+        self._check_against_schema(user_id, fragment)
+        path = "/user[@id='%s']/%s" % (user_id, component)
+        context = RequestContext(
+            user_id, relationship="self", purpose="provision"
+        )
+        referral = self.server.resolve_for_update(path, context, now)
+        stores = [part.store_ids[0] for part in referral.parts]
+        trace = self.executor.provision(
+            client, path, fragment, context, now
+        )
+        return ProvisionReport(1, stores, trace)
+
+    # -- the pre-GUPster way (E11 baseline) -----------------------------------------
+
+    def provision_manually(
+        self,
+        client: str,
+        user_id: str,
+        component: str,
+        entries: Sequence[Dict[str, str]],
+        store_ids: Sequence[str],
+        forget: Sequence[str] = (),
+        now: float = 0.0,
+    ) -> ProvisionReport:
+        """The user logs into each store separately. Stores listed in
+        *forget* are the ones the user never gets around to (the paper's
+        'wasteful re-entry ... leads to inconsistencies')."""
+        form = self.form_for(component)
+        fragment = form.fill(entries)
+        self._check_against_schema(user_id, fragment)
+        path = "/user[@id='%s']/%s" % (user_id, component)
+        updated: List[str] = []
+        actions = 0
+        trace = self.executor.network.trace()
+        for store_id in store_ids:
+            if store_id in forget:
+                continue
+            actions += 1  # a separate login + form per store
+            adapter = self.server.adapters.get(store_id)
+            if adapter is None:
+                continue
+            trace.round_trip(
+                client, store_id,
+                fragment.byte_size() + 80, 32,
+                "manual provision",
+            )
+            adapter.put(path, fragment)
+            updated.append(store_id)
+        return ProvisionReport(actions, updated, trace)
+
+    # -- divergence measurement --------------------------------------------------
+
+    def replica_divergence(
+        self, user_id: str, component: str, store_ids: Sequence[str]
+    ) -> int:
+        """Number of store pairs whose copies of the component differ —
+        the inconsistency a forgotten manual update leaves behind."""
+        path = "/user[@id='%s']/%s" % (user_id, component)
+        copies: List[Tuple[str, Optional[PNode]]] = []
+        for store_id in store_ids:
+            adapter = self.server.adapters.get(store_id)
+            if adapter is None:
+                continue
+            copies.append((store_id, adapter.get(path)))
+        divergent = 0
+        for index, (_sid_a, copy_a) in enumerate(copies):
+            for _sid_b, copy_b in copies[index + 1:]:
+                if copy_a is None or copy_b is None:
+                    if copy_a is not copy_b:
+                        divergent += 1
+                elif copy_a.canonical_key() != copy_b.canonical_key():
+                    divergent += 1
+        return divergent
+
+    def _check_against_schema(
+        self, user_id: str, fragment: PNode
+    ) -> None:
+        """Constraint checking: wrap the fragment in a user document and
+        run the full validator (requirement 11's 'guarantees')."""
+        doc = PNode("user", {"id": user_id})
+        doc.append(fragment.copy())
+        violations = self.server.schema.validate(doc)
+        if violations:
+            raise ValidationError(
+                "; ".join(
+                    "%s: %s" % (v.path, v.message) for v in violations
+                )
+            )

@@ -1,0 +1,182 @@
+"""Containment and overlap for the GUPster XPath fragment.
+
+Coverage lookup (paper Section 4.5) reduces to deciding, for a request
+path ``p`` and a registered coverage path ``q``:
+
+* ``subtree_covers(q, p)`` — does the component registered at ``q``
+  contain everything ``p`` asks for? If yes, a referral to that store
+  alone can answer the request.
+* ``subtree_overlaps(q, p)`` — does the component hold *part* of what
+  ``p`` asks for? If only overlaps exist (e.g. the split address book of
+  Figure 9), the referral must list several stores plus a merge plan.
+
+For this fragment (child axis, ``*``, attribute-equality predicates)
+containment is decidable by a direct step-wise check — the homomorphism
+of [Deutsch & Tannen, KRDB 2001] degenerates to step alignment because
+there is no descendant axis. Experiment E10 measures its cost.
+
+All functions accept ``str`` or :class:`~repro.pxml.path.Path`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from typing import Optional
+
+from repro.pxml.path import WILDCARD, Path, Predicate, Step, parse_path
+
+__all__ = [
+    "step_contains",
+    "steps_compatible",
+    "node_contains",
+    "subtree_covers",
+    "subtree_overlaps",
+    "path_contains",
+    "intersect_regions",
+]
+
+PathLike = Union[str, Path]
+
+
+def step_contains(outer: Step, inner: Step) -> bool:
+    """Does *outer* select every element that *inner* selects?
+
+    True when outer's name test is no stricter (equal, or wildcard) and
+    outer's predicates are a subset of inner's.
+    """
+    if not outer.is_wildcard and outer.name != inner.name:
+        return False
+    if inner.is_wildcard and not outer.is_wildcard:
+        return False
+    inner_preds = inner.predicate_map()
+    return all(
+        inner_preds.get(p.attr) == p.value for p in outer.predicates
+    )
+
+
+def steps_compatible(a: Step, b: Step) -> bool:
+    """Can a single element satisfy both steps?
+
+    Names must be equal or one a wildcard; predicates must not bind the
+    same attribute to different values.
+    """
+    if not a.is_wildcard and not b.is_wildcard and a.name != b.name:
+        return False
+    b_preds = b.predicate_map()
+    for pred in a.predicates:
+        if pred.attr in b_preds and b_preds[pred.attr] != pred.value:
+            return False
+    return True
+
+
+def node_contains(outer: PathLike, inner: PathLike) -> bool:
+    """Node-set containment: every node selected by *inner* (in any
+    document) is selected by *outer*."""
+    q = parse_path(outer)
+    p = parse_path(inner)
+    if q.depth != p.depth or q.attribute != p.attribute:
+        return False
+    return all(
+        step_contains(qs, ps) for qs, ps in zip(q.steps, p.steps)
+    )
+
+
+def path_contains(outer: PathLike, inner: PathLike) -> bool:
+    """Alias for :func:`node_contains` (the classical p ⊒ q relation)."""
+    return node_contains(outer, inner)
+
+
+def subtree_covers(coverage: PathLike, request: PathLike) -> bool:
+    """Does the component registered at *coverage* fully answer *request*?
+
+    The component is the entire subtree rooted at nodes selected by
+    *coverage* (or just one attribute when *coverage* ends in ``/@a``).
+    """
+    q = parse_path(coverage)
+    p = parse_path(request)
+    if q.depth > p.depth:
+        return False
+    if not all(
+        step_contains(qs, ps) for qs, ps in zip(q.steps, p.steps)
+    ):
+        return False
+    if q.attribute is None:
+        # q owns the whole subtree: any deeper element path or attribute
+        # underneath is covered.
+        return True
+    # q owns a single attribute: only the identical attribute at the same
+    # depth is covered.
+    return q.depth == p.depth and p.attribute == q.attribute
+
+
+def intersect_regions(a: PathLike, b: PathLike) -> Optional[Path]:
+    """The largest region contained in both *a* and *b*, or None when
+    the regions are disjoint.
+
+    For this fragment the intersection is constructive: aligned steps
+    merge (the concrete name wins over ``*``, predicates union), and
+    the deeper path's remaining steps carry over. The privacy shield
+    uses this to rewrite a request down to exactly the permitted slice
+    (paper Section 5.3: "only a subset of the information asked for
+    can be returned").
+    """
+    p = parse_path(a)
+    q = parse_path(b)
+    if not subtree_overlaps(p, q):
+        return None
+    shallow, deep = (p, q) if p.depth <= q.depth else (q, p)
+    steps = []
+    for index, deep_step in enumerate(deep.steps):
+        if index < shallow.depth:
+            shallow_step = shallow.steps[index]
+            name = (
+                shallow_step.name
+                if not shallow_step.is_wildcard
+                else deep_step.name
+            )
+            if name == WILDCARD and not deep_step.is_wildcard:
+                name = deep_step.name
+            merged = dict(deep_step.predicate_map())
+            merged.update(shallow_step.predicate_map())
+            steps.append(
+                Step(
+                    name,
+                    tuple(
+                        Predicate(attr, value)
+                        for attr, value in merged.items()
+                    ),
+                )
+            )
+        else:
+            steps.append(deep_step)
+    # Attribute selector: the narrower (attribute) region wins; overlap
+    # already guaranteed consistency.
+    attribute = deep.attribute
+    if shallow.depth == deep.depth and shallow.attribute is not None:
+        attribute = shallow.attribute
+    return Path(tuple(steps), attribute)
+
+
+def subtree_overlaps(a: PathLike, b: PathLike) -> bool:
+    """Can the components at *a* and *b* share any data in some document?
+
+    Symmetric. True when a document can contain a node/attribute lying in
+    both subtree regions. Used to detect split components (Figure 9) and
+    conflicting registrations.
+    """
+    p = parse_path(a)
+    q = parse_path(b)
+    shallow, deep = (p, q) if p.depth <= q.depth else (q, p)
+    if not all(
+        steps_compatible(s, d)
+        for s, d in zip(shallow.steps, deep.steps)
+    ):
+        return False
+    if shallow.depth == deep.depth:
+        if shallow.attribute is None or deep.attribute is None:
+            return True
+        return shallow.attribute == deep.attribute
+    # Different depths: the shallower region must include whole subtrees
+    # to reach down into the deeper one.
+    return shallow.attribute is None

@@ -1,0 +1,265 @@
+"""Ordered-tree data model for GUP profile documents.
+
+The paper (Section 4.4) assumes an XML data model for all profile
+components. :class:`PNode` is a deliberately small ordered tree: an
+element has a tag, string attributes, an optional text value, and child
+elements. This is the common data model every adapter exports into and
+every GUPster operation (coverage, merge, access control) works over.
+
+Design notes
+------------
+* Text content and child elements are mutually exclusive (mixed content
+  never occurs in profile data and excluding it keeps merge semantics
+  clean).
+* Nodes know their parent, so subtree paths can be reconstructed — the
+  privacy shield uses this to narrow referrals to permitted subtrees.
+* ``deep_equal`` ignores child *order* only when comparing keyed children
+  via :func:`repro.pxml.merge.deep_union`; here equality is structural
+  and ordered, which is the strictest (safe) default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["PNode", "element"]
+
+
+class PNode:
+    """One element of a profile document tree."""
+
+    __slots__ = ("tag", "attrs", "text", "children", "parent")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, str]] = None,
+        text: Optional[str] = None,
+        children: Optional[Iterable["PNode"]] = None,
+    ):
+        if not tag or not _is_name(tag):
+            raise ValueError("invalid element tag: %r" % (tag,))
+        self.tag = tag
+        self.attrs: Dict[str, str] = dict(attrs) if attrs else {}
+        self.text: Optional[str] = text
+        self.children: List[PNode] = []
+        self.parent: Optional[PNode] = None
+        if children:
+            for child in children:
+                self.append(child)
+        if self.text is not None and self.children:
+            raise ValueError(
+                "mixed content not supported: %r has both text and children"
+                % (tag,)
+            )
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, child: "PNode") -> "PNode":
+        """Attach *child* as the last child and return it."""
+        if self.text is not None:
+            raise ValueError(
+                "cannot add children to text element %r" % (self.tag,)
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def extend(self, children: Iterable["PNode"]) -> None:
+        for child in children:
+            self.append(child)
+
+    def remove(self, child: "PNode") -> None:
+        """Detach *child*; raises ValueError if it is not a child."""
+        self.children.remove(child)
+        child.parent = None
+
+    def replace_children(self, children: Iterable["PNode"]) -> None:
+        for old in self.children:
+            old.parent = None
+        self.children = []
+        self.extend(children)
+
+    def set_text(self, text: Optional[str]) -> None:
+        if text is not None and self.children:
+            raise ValueError(
+                "cannot set text on element %r with children" % (self.tag,)
+            )
+        self.text = text
+
+    # -- navigation ---------------------------------------------------------
+
+    def child(self, tag: str) -> Optional["PNode"]:
+        """First child with the given tag, or None."""
+        for node in self.children:
+            if node.tag == tag:
+                return node
+        return None
+
+    def children_named(self, tag: str) -> List["PNode"]:
+        return [node for node in self.children if node.tag == tag]
+
+    def get(self, attr: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attrs.get(attr, default)
+
+    def walk(self) -> Iterator["PNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def root(self) -> "PNode":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def path_from_root(self) -> List["PNode"]:
+        """Ancestor chain from the document root down to this node."""
+        chain: List[PNode] = []
+        node: Optional[PNode] = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        return chain
+
+    def location_path(self) -> str:
+        """Absolute slash path of tags from the root to this node.
+
+        Predicates are added for ``id``/``type`` attributes when present,
+        so the result re-selects this node in most profile documents.
+        """
+        steps = []
+        for node in self.path_from_root():
+            step = node.tag
+            for key in ("id", "type", "name"):
+                if key in node.attrs:
+                    step += "[@%s='%s']" % (key, node.attrs[key])
+                    break
+            steps.append(step)
+        return "/" + "/".join(steps)
+
+    # -- measurement ---------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of elements in this subtree."""
+        return sum(1 for _ in self.walk())
+
+    def byte_size(self) -> int:
+        """Serialized size in bytes; used by the simulator for transport
+        cost accounting."""
+        return len(self.serialize().encode("utf-8"))
+
+    def depth(self) -> int:
+        """Height of this subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    # -- copying / equality ---------------------------------------------------
+
+    def copy(self) -> "PNode":
+        """Deep copy of this subtree (parent link of the copy is None)."""
+        dup = PNode(self.tag, dict(self.attrs), self.text)
+        for child in self.children:
+            dup.append(child.copy())
+        return dup
+
+    def deep_equal(self, other: "PNode") -> bool:
+        """Structural, ordered equality of two subtrees."""
+        if (
+            self.tag != other.tag
+            or self.attrs != other.attrs
+            or self.text != other.text
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        return all(
+            a.deep_equal(b) for a, b in zip(self.children, other.children)
+        )
+
+    def canonical_key(self) -> tuple:
+        """Hashable canonical form: children are sorted, so two subtrees
+        that differ only in sibling order get the same key. Used for
+        duplicate detection during deep union."""
+        return (
+            self.tag,
+            tuple(sorted(self.attrs.items())),
+            # Encode text as an always-comparable pair (None < "" < "x"
+            # would break tuple sorting otherwise).
+            (self.text is not None, self.text or ""),
+            tuple(sorted(child.canonical_key() for child in self.children)),
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def serialize(self, indent: Optional[int] = None) -> str:
+        """Render as XML text. With ``indent`` set, pretty-print."""
+        parts: List[str] = []
+        self._serialize_into(parts, indent, 0)
+        joiner = "\n" if indent is not None else ""
+        return joiner.join(parts)
+
+    def _serialize_into(
+        self, parts: List[str], indent: Optional[int], level: int
+    ) -> None:
+        pad = " " * (indent * level) if indent is not None else ""
+        attrs = "".join(
+            ' %s="%s"' % (key, _escape_attr(value))
+            for key, value in sorted(self.attrs.items())
+        )
+        if self.text is not None:
+            parts.append(
+                "%s<%s%s>%s</%s>"
+                % (pad, self.tag, attrs, _escape_text(self.text), self.tag)
+            )
+        elif not self.children:
+            parts.append("%s<%s%s/>" % (pad, self.tag, attrs))
+        else:
+            parts.append("%s<%s%s>" % (pad, self.tag, attrs))
+            for child in self.children:
+                child._serialize_into(parts, indent, level + 1)
+            parts.append("%s</%s>" % (pad, self.tag))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        summary = self.text if self.text is not None else (
+            "%d children" % len(self.children)
+        )
+        return "<PNode %s %r (%s)>" % (self.tag, self.attrs, summary)
+
+
+def element(
+    tag: str,
+    attrs: Optional[Dict[str, str]] = None,
+    text: Optional[str] = None,
+    *children: PNode,
+) -> PNode:
+    """Convenience builder: ``element('user', {'id': 'alice'}, None, kid)``."""
+    return PNode(tag, attrs, text, children or None)
+
+
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+
+
+def _is_name(name: str) -> bool:
+    return (
+        bool(name)
+        and name[0] in _NAME_START
+        and all(ch in _NAME_CHARS for ch in name)
+    )
+
+
+def _escape_text(value: str) -> str:
+    return (
+        value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _escape_attr(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")

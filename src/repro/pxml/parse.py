@@ -1,0 +1,233 @@
+"""A small XML parser for profile documents.
+
+Supports the subset of XML that profile components use: elements,
+attributes (single- or double-quoted), character data, entity references
+(&amp; &lt; &gt; &quot; &apos;), comments, and an optional XML
+declaration. No namespaces, CDATA, processing instructions, or DTDs —
+profile data never needs them, and keeping the grammar small keeps the
+parser honest and fully testable.
+
+The parser is the inverse of :meth:`repro.pxml.node.PNode.serialize`:
+``parse(node.serialize()).deep_equal(node)`` holds for every tree the
+data model can represent (a property test asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.pxml.node import PNode
+
+__all__ = ["parse"]
+
+_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def parse(text: str) -> PNode:
+    """Parse XML *text* into a :class:`PNode` tree.
+
+    Raises :class:`repro.errors.ParseError` with the offending position
+    on malformed input.
+    """
+    parser = _Parser(text)
+    return parser.parse_document()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- document --------------------------------------------------------
+
+    def parse_document(self) -> PNode:
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos != self.length:
+            self._fail("trailing content after document element")
+        return root
+
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace()
+        if self.text.startswith("<?xml", self.pos):
+            end = self.text.find("?>", self.pos)
+            if end < 0:
+                self._fail("unterminated XML declaration")
+            self.pos = end + 2
+        self._skip_misc()
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<!--", self.pos):
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        end = self.text.find("-->", self.pos + 4)
+        if end < 0:
+            self._fail("unterminated comment")
+        self.pos = end + 3
+
+    # -- elements ----------------------------------------------------------
+
+    def _parse_element(self) -> PNode:
+        if not self._consume("<"):
+            self._fail("expected element start '<'")
+        tag = self._parse_name("element name")
+        node = PNode(tag)
+        self._parse_attributes(node)
+        self._skip_whitespace()
+        if self._consume("/>"):
+            return node
+        if not self._consume(">"):
+            self._fail("expected '>' or '/>' in element %r" % tag)
+        self._parse_content(node)
+        return node
+
+    def _parse_attributes(self, node: PNode) -> None:
+        while True:
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch in (">", "/") or ch is None:
+                return
+            name = self._parse_name("attribute name")
+            self._skip_whitespace()
+            if not self._consume("="):
+                self._fail("expected '=' after attribute %r" % name)
+            self._skip_whitespace()
+            value = self._parse_quoted()
+            if name in node.attrs:
+                self._fail("duplicate attribute %r" % name)
+            node.attrs[name] = value
+
+    def _parse_content(self, node: PNode) -> None:
+        text_parts = []
+        closing = "</" + node.tag
+        while True:
+            if self.pos >= self.length:
+                self._fail("unexpected end of input inside %r" % node.tag)
+            if self.text.startswith("<!--", self.pos):
+                self._skip_comment()
+                continue
+            if self.text.startswith(closing, self.pos):
+                self.pos += len(closing)
+                self._skip_whitespace()
+                if not self._consume(">"):
+                    self._fail("malformed closing tag for %r" % node.tag)
+                break
+            if self.text.startswith("</", self.pos):
+                self._fail("mismatched closing tag inside %r" % node.tag)
+            if self._peek() == "<":
+                child = self._parse_element()
+                node.append(child)
+                continue
+            text_parts.append(self._parse_chardata())
+        text = "".join(text_parts)
+        if node.children:
+            if text.strip():
+                self._fail(
+                    "mixed content in %r is not supported" % node.tag
+                )
+        else:
+            # An explicit closing tag means the element has text
+            # content — possibly empty ("<a></a>" is text="", while
+            # "<a/>" is text=None), mirroring the serializer exactly.
+            node.set_text(text)
+
+    def _parse_chardata(self) -> str:
+        parts = []
+        while self.pos < self.length and self._peek() != "<":
+            ch = self.text[self.pos]
+            if ch == "&":
+                parts.append(self._parse_entity())
+            else:
+                parts.append(ch)
+                self.pos += 1
+        return "".join(parts)
+
+    def _parse_entity(self) -> str:
+        end = self.text.find(";", self.pos + 1)
+        if end < 0 or end - self.pos > 8:
+            self._fail("malformed entity reference")
+        name = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        if name.startswith("#"):
+            try:
+                code = (
+                    int(name[2:], 16) if name[1:2] in ("x", "X")
+                    else int(name[1:])
+                )
+            except ValueError:
+                self._fail("bad character reference &%s;" % name)
+            return chr(code)
+        if name not in _ENTITIES:
+            self._fail("unknown entity &%s;" % name)
+        return _ENTITIES[name]
+
+    # -- lexical helpers ---------------------------------------------------
+
+    def _parse_name(self, what: str) -> str:
+        start = self.pos
+        ch = self._peek()
+        if ch is None or not (ch.isalpha() or ch == "_"):
+            self._fail("expected %s" % what)
+        self.pos += 1
+        while True:
+            ch = self._peek()
+            if ch is not None and (ch.isalnum() or ch in "_-."):
+                self.pos += 1
+            else:
+                break
+        return self.text[start : self.pos]
+
+    def _parse_quoted(self) -> str:
+        quote = self._peek()
+        if quote not in ('"', "'"):
+            self._fail("expected quoted attribute value")
+        self.pos += 1
+        parts = []
+        while True:
+            if self.pos >= self.length:
+                self._fail("unterminated attribute value")
+            ch = self.text[self.pos]
+            if ch == quote:
+                self.pos += 1
+                return "".join(parts)
+            if ch == "&":
+                parts.append(self._parse_entity())
+            elif ch == "<":
+                self._fail("'<' not allowed in attribute value")
+            else:
+                parts.append(ch)
+                self.pos += 1
+
+    def _peek(self) -> Optional[str]:
+        if self.pos < self.length:
+            return self.text[self.pos]
+        return None
+
+    def _consume(self, token: str) -> bool:
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _fail(self, message: str) -> None:
+        raise ParseError(
+            "%s (at position %d)" % (message, self.pos), self.pos
+        )

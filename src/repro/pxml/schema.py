@@ -1,0 +1,751 @@
+"""The GUP profile schema (paper Section 4.4) and its validator.
+
+The paper assumes "a standardized schema for (most) user profile
+information will emerge from the activities of the 3GPP GUP standards
+body" and sketches a top-level structure (MySelf, MyDevices, MyContacts,
+MyLocations, MyEvents, MyWallet, MyApplications). Coverage examples use
+component names like ``address-book`` and ``presence`` under
+``/user[@id=...]``.
+
+This module defines that schema concretely:
+
+* a small schema language (:class:`ElementDecl` / :class:`AttrDecl` /
+  :class:`ChildDecl`) with occurrence constraints,
+* **typed values** — the Section 6 LDAP discussion notes that typing
+  exists "for deciding which comparison function to use (e.g. ... phone
+  numbers 908-582-4393 and (908) 582-4393 should compare as equal)";
+  :class:`ValueType` provides exactly those normalizing comparators,
+* validation producing a full list of violations (requirement 11:
+  provisioning interfaces "should provide some guarantees (e.g.
+  constraint checking)"),
+* schema evolution via optional elements (Section 4.4: "the schema can
+  be made more tolerant (or not) to evolutions").
+
+:data:`GUP_SCHEMA` is the normative instance shared by every data store
+adapter in this repository.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.pxml.node import PNode
+
+__all__ = [
+    "ValueType",
+    "AttrDecl",
+    "ChildDecl",
+    "ElementDecl",
+    "Violation",
+    "Schema",
+    "GUP_SCHEMA",
+    "build_gup_schema",
+]
+
+
+# ---------------------------------------------------------------------------
+# Value types with normalizing comparison
+# ---------------------------------------------------------------------------
+
+class ValueType:
+    """A named scalar type with a normalizer used for comparison."""
+
+    def __init__(self, name: str, normalizer=None, validator=None):
+        self.name = name
+        self._normalizer = normalizer
+        self._validator = validator
+
+    def normalize(self, value: str) -> str:
+        if self._normalizer is None:
+            return value
+        return self._normalizer(value)
+
+    def is_valid(self, value: str) -> bool:
+        if self._validator is None:
+            return True
+        return bool(self._validator(value))
+
+    def equal(self, a: str, b: str) -> bool:
+        """Typed equality — the comparison the LDAP discussion wants."""
+        return self.normalize(a) == self.normalize(b)
+
+    def __repr__(self) -> str:
+        return "<ValueType %s>" % self.name
+
+
+def _normalize_phone(value: str) -> str:
+    digits = re.sub(r"[^0-9+]", "", value)
+    if digits.startswith("+1"):
+        digits = digits[2:]
+    elif digits.startswith("1") and len(digits) == 11:
+        digits = digits[1:]
+    return digits
+
+
+def _normalize_datetime(value: str) -> str:
+    return value.strip().replace(" ", "T")
+
+
+_TIME_RE = re.compile(r"^\d{2}:\d{2}$")
+_DATETIME_RE = re.compile(r"^\d{4}-\d{2}-\d{2}(T\d{2}:\d{2}(:\d{2})?)?$")
+_EMAIL_RE = re.compile(r"^[^@\s]+@[^@\s]+\.[^@\s]+$")
+
+
+STRING = ValueType("string")
+TOKEN = ValueType("token", normalizer=lambda v: v.strip().lower())
+PHONE = ValueType(
+    "phone",
+    normalizer=_normalize_phone,
+    validator=lambda v: len(_normalize_phone(v).lstrip("+")) >= 7,
+)
+EMAIL = ValueType(
+    "email",
+    normalizer=lambda v: v.strip().lower(),
+    validator=lambda v: _EMAIL_RE.match(v.strip()) is not None,
+)
+BOOLEAN = ValueType(
+    "boolean",
+    normalizer=lambda v: v.strip().lower(),
+    validator=lambda v: v.strip().lower() in ("true", "false"),
+)
+INTEGER = ValueType(
+    "integer",
+    normalizer=lambda v: str(int(v)),
+    validator=lambda v: v.strip().lstrip("-").isdigit(),
+)
+DATETIME = ValueType(
+    "datetime",
+    normalizer=_normalize_datetime,
+    validator=lambda v: _DATETIME_RE.match(_normalize_datetime(v))
+    is not None,
+)
+TIME = ValueType(
+    "time", validator=lambda v: _TIME_RE.match(v.strip()) is not None
+)
+
+TYPES: Dict[str, ValueType] = {
+    t.name: t
+    for t in (STRING, TOKEN, PHONE, EMAIL, BOOLEAN, INTEGER, DATETIME, TIME)
+}
+
+
+# ---------------------------------------------------------------------------
+# Schema declarations
+# ---------------------------------------------------------------------------
+
+class AttrDecl:
+    """Declaration of one attribute of an element."""
+
+    def __init__(
+        self,
+        name: str,
+        required: bool = False,
+        values: Optional[Sequence[str]] = None,
+        vtype: ValueType = STRING,
+    ):
+        self.name = name
+        self.required = required
+        self.values = tuple(values) if values else None
+        self.vtype = vtype
+
+
+class ChildDecl:
+    """Declaration of a child element with an occurrence constraint.
+
+    ``occurs`` is one of ``'one'`` (exactly once), ``'opt'`` (zero or
+    one) or ``'many'`` (zero or more).
+    """
+
+    def __init__(self, tag: str, occurs: str = "opt"):
+        if occurs not in ("one", "opt", "many"):
+            raise ValueError("bad occurrence %r" % occurs)
+        self.tag = tag
+        self.occurs = occurs
+
+
+class ElementDecl:
+    """Declaration of an element: attributes, children, text type."""
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Sequence[AttrDecl] = (),
+        children: Sequence[ChildDecl] = (),
+        text: Optional[ValueType] = None,
+        component: bool = False,
+    ):
+        self.tag = tag
+        self.attrs = {a.name: a for a in attrs}
+        self.children = {c.tag: c for c in children}
+        self.text = text
+        #: Component elements are the units of storage, registration and
+        #: access control (GUP information model, Figure 6).
+        self.component = component
+
+    def child_decl(self, tag: str) -> Optional[ChildDecl]:
+        return self.children.get(tag)
+
+
+class Violation:
+    """One schema violation found during validation."""
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        self.message = message
+
+    def __repr__(self) -> str:
+        return "<Violation %s: %s>" % (self.path, self.message)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Violation)
+            and self.path == other.path
+            and self.message == other.message
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.path, self.message))
+
+
+class Schema:
+    """A GUP schema: element declarations plus a root tag and a version.
+
+    ``strict`` controls evolution tolerance (Section 4.4): a strict
+    schema rejects undeclared elements/attributes, a tolerant one
+    accepts them (they validate as opaque extensions).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        decls: Sequence[ElementDecl],
+        version: str = "1.0",
+        strict: bool = True,
+    ):
+        self.root = root
+        self.decls: Dict[str, ElementDecl] = {d.tag: d for d in decls}
+        self.version = version
+        self.strict = strict
+        if root not in self.decls:
+            raise SchemaError("root element %r is not declared" % root)
+
+    # -- queries ------------------------------------------------------------
+
+    def decl(self, tag: str) -> Optional[ElementDecl]:
+        return self.decls.get(tag)
+
+    def component_tags(self) -> List[str]:
+        """Tags declared as profile components (units of sharing)."""
+        return sorted(
+            tag for tag, decl in self.decls.items() if decl.component
+        )
+
+    def component_paths(self, user_id: str) -> List[str]:
+        """The registrable coverage paths for one user, e.g.
+        ``/user[@id='alice']/address-book``."""
+        prefix = "/%s[@id='%s']" % (self.root, user_id)
+        return [
+            "%s/%s" % (prefix, tag) for tag in self.component_tags()
+        ]
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, doc: PNode) -> List[Violation]:
+        """All violations in *doc* (empty list means valid)."""
+        violations: List[Violation] = []
+        if doc.tag != self.root:
+            violations.append(
+                Violation("/", "root must be <%s>, got <%s>"
+                          % (self.root, doc.tag))
+            )
+            return violations
+        self._validate_node(doc, "/" + doc.tag, violations)
+        return violations
+
+    def is_valid(self, doc: PNode) -> bool:
+        return not self.validate(doc)
+
+    def check(self, doc: PNode) -> None:
+        """Raise :class:`SchemaError` with every violation listed."""
+        violations = self.validate(doc)
+        if violations:
+            raise SchemaError(
+                "; ".join(
+                    "%s: %s" % (v.path, v.message) for v in violations
+                )
+            )
+
+    def _validate_node(
+        self, node: PNode, path: str, out: List[Violation]
+    ) -> None:
+        decl = self.decls.get(node.tag)
+        if decl is None:
+            if self.strict:
+                out.append(Violation(path, "undeclared element"))
+            return
+        # Attributes
+        for name, attr in decl.attrs.items():
+            value = node.attrs.get(name)
+            if value is None:
+                if attr.required:
+                    out.append(
+                        Violation(path, "missing attribute @%s" % name)
+                    )
+                continue
+            if attr.values is not None and value not in attr.values:
+                out.append(
+                    Violation(
+                        path,
+                        "@%s=%r not in %r" % (name, value, attr.values),
+                    )
+                )
+            elif not attr.vtype.is_valid(value):
+                out.append(
+                    Violation(
+                        path,
+                        "@%s=%r is not a valid %s"
+                        % (name, value, attr.vtype.name),
+                    )
+                )
+        if self.strict:
+            for name in node.attrs:
+                if name not in decl.attrs:
+                    out.append(
+                        Violation(path, "undeclared attribute @%s" % name)
+                    )
+        # Text
+        if node.text is not None:
+            if decl.text is None and decl.children:
+                out.append(Violation(path, "unexpected text content"))
+            elif decl.text is not None and not decl.text.is_valid(node.text):
+                out.append(
+                    Violation(
+                        path,
+                        "text %r is not a valid %s"
+                        % (node.text, decl.text.name),
+                    )
+                )
+        # Children occurrence
+        counts: Dict[str, int] = {}
+        for child in node.children:
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+        for tag, child_decl in decl.children.items():
+            n = counts.get(tag, 0)
+            if child_decl.occurs == "one" and n != 1:
+                out.append(
+                    Violation(
+                        path, "<%s> must occur exactly once (got %d)"
+                        % (tag, n)
+                    )
+                )
+            elif child_decl.occurs == "opt" and n > 1:
+                out.append(
+                    Violation(
+                        path, "<%s> may occur at most once (got %d)"
+                        % (tag, n)
+                    )
+                )
+        for tag in counts:
+            if tag not in decl.children and self.strict:
+                out.append(
+                    Violation(path, "undeclared child <%s>" % tag)
+                )
+        # Recurse
+        for child in node.children:
+            self._validate_node(
+                child, "%s/%s" % (path, child.tag), out
+            )
+
+    def validate_path(self, path) -> Optional[str]:
+        """Check that a request path can select anything under this
+        schema (GUPster uses this to "filter out spurious queries ...
+        which do not fit with the GUP schema", Section 5.3).
+
+        Returns None when the path is plausible, else a human-readable
+        problem description. Wildcard steps are accepted anywhere.
+        """
+        from repro.pxml.path import parse_path  # local to avoid cycle
+
+        parsed = parse_path(path)
+        first = parsed.steps[0]
+        if not first.is_wildcard and first.name != self.root:
+            return "path must start at <%s>" % self.root
+        if first.is_wildcard:
+            return None  # wildcard root: cannot track declarations
+        current = self.decls.get(self.root)
+        for step in parsed.steps[1:]:
+            if current is None:
+                # Below a wildcard (or an undeclared-but-allowed
+                # region in tolerant mode): nothing left to check.
+                return None
+            if step.is_wildcard:
+                current = None  # any child: stop tracking decls
+                continue
+            child_decl = current.child_decl(step.name)
+            if child_decl is None:
+                if self.strict:
+                    return (
+                        "<%s> has no child <%s>"
+                        % (current.tag, step.name)
+                    )
+                return None
+            current = self.decls.get(step.name)
+        if parsed.attribute is not None and current is not None:
+            if self.strict and parsed.attribute not in current.attrs:
+                return (
+                    "<%s> has no attribute @%s"
+                    % (current.tag, parsed.attribute)
+                )
+        return None
+
+    # -- evolution ------------------------------------------------------------
+
+    def evolved(
+        self,
+        version: str,
+        new_decls: Sequence[ElementDecl] = (),
+        new_children: Sequence[Tuple[str, ChildDecl]] = (),
+    ) -> "Schema":
+        """A new schema version with extra declarations.
+
+        Evolution is additive-only (new optional elements/attributes), so
+        documents valid under the old version stay valid under the new
+        one — the compatibility story Section 4.4 sketches.
+        """
+        decls = {tag: decl for tag, decl in self.decls.items()}
+        for decl in new_decls:
+            if decl.tag in decls:
+                raise SchemaError(
+                    "evolution cannot redefine <%s>" % decl.tag
+                )
+            decls[decl.tag] = decl
+        for parent_tag, child_decl in new_children:
+            parent = decls.get(parent_tag)
+            if parent is None:
+                raise SchemaError("unknown parent <%s>" % parent_tag)
+            if child_decl.occurs == "one":
+                raise SchemaError(
+                    "evolution may only add optional children"
+                )
+            updated = ElementDecl(
+                parent.tag,
+                list(parent.attrs.values()),
+                list(parent.children.values()) + [child_decl],
+                parent.text,
+                parent.component,
+            )
+            decls[parent.tag] = updated
+        return Schema(
+            self.root, list(decls.values()), version, self.strict
+        )
+
+    def skeleton(self, user_id: str) -> PNode:
+        """Minimal valid document for a new user (provisioning seed)."""
+        root = PNode(self.root, {"id": user_id})
+        decl = self.decls[self.root]
+        for tag, child_decl in decl.children.items():
+            if child_decl.occurs == "one":
+                root.append(PNode(tag))
+        return root
+
+
+# ---------------------------------------------------------------------------
+# The normative GUP schema instance
+# ---------------------------------------------------------------------------
+
+def build_gup_schema(strict: bool = True) -> Schema:
+    """Construct the GUP schema of Section 4.4.
+
+    The root is ``<user id=...>``; its children are the profile
+    *components* — units of storage, registration and access control.
+    The component set covers both the paper's "MyProfile" sketch and the
+    concrete component names used in its coverage examples
+    (``address-book``, ``presence``, ``game-scores``).
+    """
+    decls = [
+        ElementDecl(
+            "user",
+            attrs=[AttrDecl("id", required=True)],
+            children=[
+                ChildDecl("self", "opt"),
+                ChildDecl("devices", "opt"),
+                ChildDecl("address-book", "opt"),
+                ChildDecl("buddy-list", "opt"),
+                ChildDecl("presence", "opt"),
+                ChildDecl("location", "opt"),
+                ChildDecl("calendar", "opt"),
+                ChildDecl("wallet", "opt"),
+                ChildDecl("preferences", "opt"),
+                ChildDecl("services", "opt"),
+                ChildDecl("applications", "opt"),
+                ChildDecl("game-scores", "opt"),
+                ChildDecl("bookmarks", "opt"),
+                # One call-status per network the user touches.
+                ChildDecl("call-status", "many"),
+            ],
+        ),
+        # --- MySelf ---------------------------------------------------
+        ElementDecl(
+            "self",
+            children=[
+                ChildDecl("name", "opt"),
+                ChildDecl("address", "many"),
+                ChildDecl("email", "many"),
+                ChildDecl("number", "many"),
+                ChildDecl("employer", "opt"),
+            ],
+            component=True,
+        ),
+        ElementDecl("name", text=STRING),
+        ElementDecl(
+            "address",
+            attrs=[
+                AttrDecl("type", values=("home", "work", "shipping")),
+            ],
+            text=STRING,
+        ),
+        ElementDecl(
+            "email",
+            attrs=[AttrDecl("type", values=("personal", "corporate"))],
+            text=EMAIL,
+        ),
+        ElementDecl(
+            "number",
+            attrs=[
+                AttrDecl(
+                    "type",
+                    values=(
+                        "home", "work", "cell", "fax", "voip", "pager",
+                    ),
+                ),
+            ],
+            text=PHONE,
+        ),
+        ElementDecl("employer", text=STRING),
+        # --- MyDevices ------------------------------------------------
+        ElementDecl(
+            "devices",
+            children=[ChildDecl("device", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "device",
+            attrs=[
+                AttrDecl("id", required=True),
+                AttrDecl(
+                    "type",
+                    required=True,
+                    values=(
+                        "cell-phone", "gsm-phone", "pda", "laptop",
+                        "ip-phone", "softphone", "home-phone",
+                        "office-phone",
+                    ),
+                ),
+                AttrDecl("carrier"),
+            ],
+            children=[ChildDecl("capability", "many")],
+        ),
+        ElementDecl(
+            "capability",
+            attrs=[AttrDecl("name", required=True)],
+            text=STRING,
+        ),
+        # --- MyContacts -----------------------------------------------
+        ElementDecl(
+            "address-book",
+            children=[ChildDecl("item", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "item",
+            attrs=[
+                AttrDecl("id", required=True),
+                AttrDecl(
+                    "type", values=("personal", "corporate")
+                ),
+            ],
+            children=[
+                ChildDecl("name", "opt"),
+                ChildDecl("number", "many"),
+                ChildDecl("email", "many"),
+                ChildDecl("address", "many"),
+            ],
+        ),
+        ElementDecl(
+            "buddy-list",
+            children=[ChildDecl("buddy", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "buddy",
+            attrs=[AttrDecl("id", required=True)],
+            children=[
+                ChildDecl("alias", "opt"),
+                ChildDecl("im-address", "opt"),
+            ],
+        ),
+        ElementDecl("alias", text=STRING),
+        ElementDecl("im-address", text=STRING),
+        # --- Presence / location / call status --------------------------
+        ElementDecl(
+            "presence",
+            children=[
+                ChildDecl("status", "one"),
+                ChildDecl("since", "opt"),
+                ChildDecl("note", "opt"),
+            ],
+            component=True,
+        ),
+        ElementDecl(
+            "status", text=TOKEN
+        ),
+        ElementDecl("since", text=DATETIME),
+        ElementDecl("note", text=STRING),
+        ElementDecl(
+            "location",
+            children=[
+                ChildDecl("cell", "opt"),
+                ChildDecl("coordinates", "opt"),
+                ChildDecl("on-air", "opt"),
+                ChildDecl("zone", "opt"),
+            ],
+            component=True,
+        ),
+        ElementDecl("cell", text=STRING),
+        ElementDecl("coordinates", text=STRING),
+        ElementDecl("on-air", text=BOOLEAN),
+        ElementDecl("zone", text=TOKEN),
+        ElementDecl(
+            "call-status",
+            attrs=[
+                AttrDecl(
+                    "network",
+                    values=("pstn", "voip", "wireless", "internet"),
+                ),
+            ],
+            children=[ChildDecl("state", "one")],
+            component=True,
+        ),
+        ElementDecl("state", text=TOKEN),
+        # --- MyEvents ---------------------------------------------------
+        ElementDecl(
+            "calendar",
+            children=[ChildDecl("appointment", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "appointment",
+            attrs=[
+                AttrDecl("id", required=True),
+                AttrDecl(
+                    "visibility", values=("private", "public", "work")
+                ),
+            ],
+            children=[
+                ChildDecl("start", "one"),
+                ChildDecl("end", "one"),
+                ChildDecl("subject", "opt"),
+                ChildDecl("where", "opt"),
+            ],
+        ),
+        ElementDecl("start", text=DATETIME),
+        ElementDecl("end", text=DATETIME),
+        ElementDecl("subject", text=STRING),
+        ElementDecl("where", text=STRING),
+        # --- MyWallet ---------------------------------------------------
+        ElementDecl(
+            "wallet",
+            children=[
+                ChildDecl("card", "many"),
+                ChildDecl("account", "many"),
+            ],
+            component=True,
+        ),
+        ElementDecl(
+            "card",
+            attrs=[
+                AttrDecl("id", required=True),
+                AttrDecl("issuer"),
+            ],
+            children=[ChildDecl("expires", "opt")],
+        ),
+        ElementDecl("expires", text=STRING),
+        ElementDecl(
+            "account",
+            attrs=[
+                AttrDecl("id", required=True),
+                AttrDecl("bank"),
+                # Prepaid/stored-value accounts expose a balance.
+                AttrDecl("balance", vtype=INTEGER),
+                AttrDecl("currency"),
+            ],
+        ),
+        # --- Preferences / services / applications -----------------------
+        ElementDecl(
+            "preferences",
+            children=[ChildDecl("preference", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "preference",
+            attrs=[AttrDecl("name", required=True)],
+            text=STRING,
+        ),
+        ElementDecl(
+            "services",
+            children=[ChildDecl("service", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "service",
+            attrs=[
+                AttrDecl("name", required=True),
+                AttrDecl("enabled", vtype=BOOLEAN),
+            ],
+            children=[ChildDecl("parameter", "many")],
+        ),
+        ElementDecl(
+            "parameter",
+            attrs=[AttrDecl("name", required=True)],
+            text=STRING,
+        ),
+        ElementDecl(
+            "applications",
+            children=[ChildDecl("application", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "application",
+            attrs=[AttrDecl("name", required=True)],
+            children=[ChildDecl("parameter", "many")],
+        ),
+        ElementDecl(
+            "game-scores",
+            children=[ChildDecl("score", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "score",
+            attrs=[
+                AttrDecl("game", required=True),
+            ],
+            text=INTEGER,
+        ),
+        ElementDecl(
+            "bookmarks",
+            children=[ChildDecl("bookmark", "many")],
+            component=True,
+        ),
+        ElementDecl(
+            "bookmark",
+            attrs=[AttrDecl("id", required=True)],
+            text=STRING,
+        ),
+    ]
+    return Schema("user", decls, version="1.0", strict=strict)
+
+
+#: The schema every adapter in this repository exports into.
+GUP_SCHEMA = build_gup_schema()

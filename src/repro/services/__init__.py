@@ -1,0 +1,34 @@
+"""Converged services built on GUPster: selective reach-me (Example 2),
+the roaming profile (Example 1), and carrier portability."""
+
+from repro.services.lookup import ProfileLookupService
+from repro.services.prepay import (
+    PrepayAdapter,
+    PrePayService,
+    RatePlan,
+)
+from repro.services.portability import (
+    CarrierPortabilityService,
+    PortabilityReport,
+)
+from repro.services.reachme import (
+    ReachMeService,
+    ReachMeState,
+    RoutingDecision,
+    RoutingRule,
+    paper_rules,
+)
+from repro.services.roaming import RoamingProfileService
+
+__all__ = [
+    "ReachMeService",
+    "ReachMeState",
+    "RoutingRule",
+    "RoutingDecision",
+    "paper_rules",
+    "RoamingProfileService",
+    "CarrierPortabilityService",
+    "PortabilityReport",
+    "PrePayService", "PrepayAdapter", "RatePlan",
+    "ProfileLookupService",
+]

@@ -1,0 +1,159 @@
+"""The canonical profile lookup queries (paper requirement 5).
+
+"Most of them are lookup queries like 'retrieve presence information
+for Alice', 'retrieve Alice's appointments for today', 'retrieve
+Alice's buddies who are available'."
+
+:class:`ProfileLookupService` runs exactly those three query shapes
+through GUPster. The buddies query is the interesting one: it spans
+*multiple users' profiles* (the caller's buddy list, then each buddy's
+presence) — a fan-out the referral architecture handles without joins,
+which is the paper's argument for why profile integration is simpler
+than general data integration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import AccessDeniedError, NoCoverageError
+from repro.pxml import evaluate, evaluate_values
+from repro.access import RequestContext
+from repro.core.query import QueryExecutor
+from repro.core.server import GupsterServer
+from repro.simnet import Trace
+
+__all__ = ["ProfileLookupService"]
+
+
+class ProfileLookupService:
+    """Runs the requirement-5 canonical lookup queries through
+    GUPster (presence / today's appointments / available buddies)."""
+
+    def __init__(
+        self,
+        server: GupsterServer,
+        executor: QueryExecutor,
+        service_node: str = "client-app",
+    ):
+        self.server = server
+        self.executor = executor
+        self.service_node = service_node
+
+    # -- query 1: presence ----------------------------------------------------
+
+    def presence_of(
+        self, user_id: str, context: RequestContext, now: float = 0.0
+    ) -> Tuple[str, Trace]:
+        """'Retrieve presence information for Alice.'"""
+        path = "/user[@id='%s']/presence" % user_id
+        fragment, trace = self.executor.referral(
+            self.service_node, path, context, now
+        )
+        values = (
+            evaluate_values(fragment, "/user/presence/status")
+            if fragment is not None else []
+        )
+        return (values[0] if values else "offline"), trace
+
+    # -- query 2: today's appointments -------------------------------------------
+
+    def appointments_on(
+        self,
+        user_id: str,
+        date: str,
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Tuple[List[Tuple[str, str]], Trace]:
+        """'Retrieve Alice's appointments for today' — *date* is the
+        ``YYYY-MM-DD`` day; returns (start, subject) pairs."""
+        path = "/user[@id='%s']/calendar" % user_id
+        fragment, trace = self.executor.referral(
+            self.service_node, path, context, now
+        )
+        picked: List[Tuple[str, str]] = []
+        if fragment is not None:
+            for appt in evaluate(
+                fragment, "/user/calendar/appointment"
+            ):
+                start_el = appt.child("start")
+                start = (
+                    start_el.text
+                    if start_el is not None and start_el.text else ""
+                )
+                if not start.startswith(date):
+                    continue
+                subject_el = appt.child("subject")
+                picked.append(
+                    (start,
+                     subject_el.text
+                     if subject_el is not None and subject_el.text
+                     else "")
+                )
+        picked.sort()
+        return picked, trace
+
+    # -- query 3: available buddies -------------------------------------------------
+
+    def available_buddies(
+        self,
+        user_id: str,
+        context: RequestContext,
+        now: float = 0.0,
+    ) -> Tuple[List[Tuple[str, str]], Trace]:
+        """'Retrieve Alice's buddies who are available' — fetch the
+        buddy list, then each buddy's presence in parallel, filtered by
+        each buddy's own privacy shield (a buddy whose shield denies
+        the caller simply doesn't appear available)."""
+        trace = self.executor.network.trace()
+        list_path = "/user[@id='%s']/buddy-list" % user_id
+        fragment, list_trace = self.executor.referral(
+            self.service_node, list_path, context, now
+        )
+        trace.join([list_trace])
+        if fragment is None:
+            return [], trace
+        buddies: List[Tuple[str, str]] = []
+        for buddy in evaluate(fragment, "/user/buddy-list/buddy"):
+            alias_el = buddy.child("alias")
+            buddies.append(
+                (buddy.attrs.get("id", ""),
+                 alias_el.text
+                 if alias_el is not None and alias_el.text else "")
+            )
+        available: List[Tuple[str, str]] = []
+        branches = []
+        for buddy_id, alias in buddies:
+            branch = trace.fork()
+            buddy_context = RequestContext(
+                context.requester,
+                relationship="buddy",
+                purpose=context.purpose,
+                hour=context.hour,
+                weekday=context.weekday,
+            )
+            try:
+                presence, buddy_trace = self._buddy_presence(
+                    buddy_id, buddy_context, now
+                )
+            except (AccessDeniedError, NoCoverageError):
+                continue
+            branch.join([buddy_trace])
+            branches.append(branch)
+            if presence == "available":
+                available.append((buddy_id, alias))
+        trace.join(branches)
+        return available, trace
+
+    def _buddy_presence(
+        self, buddy_id: str, context: RequestContext, now: float
+    ) -> Tuple[Optional[str], Trace]:
+        path = "/user[@id='%s']/presence" % buddy_id
+        fragment, buddy_trace = self.executor.referral(
+            self.service_node, path, context, now
+        )
+        values = (
+            evaluate_values(fragment, "/user/presence/status")
+            if fragment is not None else []
+        )
+        return (values[0] if values else None), buddy_trace

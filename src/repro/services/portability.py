@@ -1,0 +1,95 @@
+"""Profile portability: switching carriers without losing your data
+(paper Section 2.1: Alice should be able to "keep her personal data and
+preferences if she decides to switch from SprintPCS to AT&T").
+
+With GUPster the move is mechanical: every component the old carrier
+registered for the user is fetched (one last time), written into the
+new carrier's GUP-enabled store, re-registered, and the old
+registrations dropped. The report shows what moved and what could not
+(components the new store does not support — the lock-in residue).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.adapters.base import GupAdapter
+from repro.core.server import GupsterServer
+from repro.pxml import Path
+
+__all__ = ["PortabilityReport", "CarrierPortabilityService"]
+
+
+class PortabilityReport:
+    """What a carrier switch moved, and what could not move."""
+
+    def __init__(self, user_id: str, source: str, target: str):
+        self.user_id = user_id
+        self.source = source
+        self.target = target
+        self.moved: List[str] = []
+        self.unsupported: List[str] = []
+        self.retained_elsewhere: List[str] = []
+
+    def __repr__(self) -> str:
+        return (
+            "<PortabilityReport %s %s->%s moved=%d unsupported=%d>"
+            % (self.user_id, self.source, self.target,
+               len(self.moved), len(self.unsupported))
+        )
+
+
+class CarrierPortabilityService:
+    """Moves a user's components from one carrier's store to
+    another, updating coverage registrations."""
+
+    def __init__(self, server: GupsterServer):
+        self.server = server
+
+    def port_user(
+        self,
+        user_id: str,
+        source_store_id: str,
+        target_adapter: GupAdapter,
+        drop_source: bool = True,
+    ) -> PortabilityReport:
+        """Move every component the source store holds for *user_id*
+        into *target_adapter*'s store, updating coverage."""
+        report = PortabilityReport(
+            user_id, source_store_id, target_adapter.store_id
+        )
+        source_adapter = self.server.adapters.get(source_store_id)
+        if source_adapter is None:
+            raise KeyError("unknown store %r" % source_store_id)
+        if target_adapter.store_id not in self.server.adapters:
+            self.server.adapters[target_adapter.store_id] = (
+                target_adapter
+            )
+
+        registered: List[Path] = [
+            path
+            for path in self.server.coverage.paths_for_user(user_id)
+            if source_store_id in self.server.coverage.stores_for(path)
+        ]
+        for path in registered:
+            component = path.steps[1].name
+            other_holders = [
+                store
+                for store in self.server.coverage.stores_for(path)
+                if store != source_store_id
+            ]
+            if component not in target_adapter.COMPONENTS:
+                report.unsupported.append(str(path))
+                if other_holders:
+                    report.retained_elsewhere.append(str(path))
+                continue
+            fragment = source_adapter.get(path)
+            if fragment is not None:
+                target_adapter.put(path.prefix(2), fragment)
+                self.server.coverage.register(
+                    path, target_adapter.store_id
+                )
+                report.moved.append(str(path))
+            if drop_source:
+                self.server.coverage.unregister(path, source_store_id)
+        return report

@@ -1,0 +1,169 @@
+"""Pre-paid billing (the "Pre-Pay" service inside the WSP, Figure 1).
+
+The paper lists pre-pay as a canonical converged service hosted by the
+wireless operator, and billing models ("pre-paid vs. post-paid") among
+the profile data converged services must see. This service:
+
+* keeps prepaid balances and a rated call ledger;
+* screens call delivery — a prepaid subscriber with an empty balance
+  is blocked *before* the HLR routing result is used;
+* exposes the billing slice as a GUP ``services`` component through
+  :class:`PrepayAdapter`, so third-party applications (and the user's
+  self-care portal) read balance like any other profile data;
+* fires a low-balance notification hook (the push path a top-up
+  reminder service would subscribe to).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.pxml import PNode
+from repro.adapters.base import GupAdapter
+from repro.stores.hlr import HLR, MSC
+
+__all__ = ["RatePlan", "PrePayService", "PrepayAdapter"]
+
+
+class RatePlan:
+    """Per-minute rates (cents) by network type."""
+
+    def __init__(self, rates: Optional[Dict[str, int]] = None):
+        self.rates = dict(rates or {
+            "wireless": 10, "pstn": 5, "voip": 2,
+        })
+
+    def rate_for(self, network: str) -> int:
+        if network not in self.rates:
+            raise StoreError("no rate for network %r" % network)
+        return self.rates[network]
+
+    def charge(self, network: str, minutes: int) -> int:
+        if minutes < 0:
+            raise ValueError("negative call duration")
+        return self.rate_for(network) * minutes
+
+
+class PrePayService:
+    """Balance management + call screening for prepaid subscribers."""
+
+    def __init__(
+        self,
+        hlr: HLR,
+        rates: Optional[RatePlan] = None,
+        low_balance_cents: int = 100,
+        on_low_balance: Optional[Callable[[str, int], None]] = None,
+    ):
+        self.hlr = hlr
+        self.rates = rates if rates is not None else RatePlan()
+        self.low_balance_cents = low_balance_cents
+        self.on_low_balance = on_low_balance
+        self._balances: Dict[str, int] = {}
+        #: user -> [(network, minutes, cents)]
+        self._ledger: Dict[str, List[Tuple[str, int, int]]] = {}
+        self.calls_blocked = 0
+
+    # -- account management ----------------------------------------------------
+
+    def open_account(
+        self, user_id: str, initial_cents: int = 0
+    ) -> None:
+        if user_id in self._balances:
+            raise StoreError("prepaid account %r exists" % user_id)
+        record = self.hlr.subscriber_by_user(user_id)
+        record.prepaid = True
+        self._balances[user_id] = initial_cents
+        self._ledger[user_id] = []
+
+    def has_account(self, user_id: str) -> bool:
+        return user_id in self._balances
+
+    def account_ids(self) -> List[str]:
+        return sorted(self._balances)
+
+    def balance(self, user_id: str) -> int:
+        if user_id not in self._balances:
+            raise StoreError("no prepaid account %r" % user_id)
+        return self._balances[user_id]
+
+    def top_up(self, user_id: str, cents: int) -> int:
+        if cents <= 0:
+            raise ValueError("top-up must be positive")
+        self.balance(user_id)  # existence check
+        self._balances[user_id] += cents
+        return self._balances[user_id]
+
+    def ledger(self, user_id: str) -> List[Tuple[str, int, int]]:
+        return list(self._ledger.get(user_id, ()))
+
+    # -- rating ---------------------------------------------------------------
+
+    def affordable_minutes(self, user_id: str, network: str) -> int:
+        rate = self.rates.rate_for(network)
+        return self.balance(user_id) // rate if rate else 0
+
+    def record_call(
+        self, user_id: str, network: str, minutes: int
+    ) -> int:
+        """Debit a completed call; returns the remaining balance."""
+        cost = self.rates.charge(network, minutes)
+        balance = self.balance(user_id)
+        if cost > balance:
+            cost = balance  # the switch cuts the call at zero
+        self._balances[user_id] = balance - cost
+        self._ledger[user_id].append((network, minutes, cost))
+        remaining = self._balances[user_id]
+        if (
+            remaining < self.low_balance_cents
+            and self.on_low_balance is not None
+        ):
+            self.on_low_balance(user_id, remaining)
+        return remaining
+
+    # -- call screening (the converged-service integration) ----------------------
+
+    def screened_delivery(
+        self, msc: MSC, caller: str, callee_msisdn: str
+    ) -> str:
+        """Call delivery with prepaid screening: the paper's point that
+        billing data participates in call handling."""
+        record = self.hlr.subscriber(callee_msisdn)
+        if record.prepaid and self.has_account(record.user_id):
+            if self.affordable_minutes(record.user_id, "wireless") < 1:
+                self.calls_blocked += 1
+                return "prepaid-blocked"
+        return msc.deliver_call(caller, callee_msisdn)
+
+
+class PrepayAdapter(GupAdapter):
+    """Exposes the prepaid balance as the GUP <wallet> component."""
+
+    COMPONENTS = ("wallet",)
+
+    def __init__(self, store_id: str, service: PrePayService):
+        super().__init__(store_id, region="core")
+        self.service = service
+
+    def users(self) -> List[str]:
+        return sorted(
+            user for user in self.service.account_ids()
+        )
+
+    def export_user(self, user_id: str) -> Optional[PNode]:
+        if not self.service.has_account(user_id):
+            return None
+        root = self._user_root(user_id)
+        wallet = root.append(PNode("wallet"))
+        wallet.append(
+            PNode(
+                "account",
+                {
+                    "id": "prepaid",
+                    "bank": self.service.hlr.carrier,
+                    "balance": str(self.service.balance(user_id)),
+                    "currency": "USD-cents",
+                },
+            )
+        )
+        return root

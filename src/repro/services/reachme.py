@@ -1,0 +1,344 @@
+"""Selective reach-me (paper Example 2, Section 2.2).
+
+"The selective reach-me service permits the network to optimally route
+a call ... to reach Alice. To do so, the service needs to aggregate
+information for all the networks Alice is in contact with" — location
+and on/off air from wireless, call status from the PSTN, presence from
+the internet, call status from VoIP, calendar from the portal or
+intranet, and the device list.
+
+The service gathers that state through GUPster (one parallel fan-out),
+then evaluates user-provisioned routing rules. The paper's example
+rules ship as :func:`paper_rules`:
+
+* working hours + presence "available" (verified with IM): office
+  phone first, then soft phone;
+* 8-9am and 6-7pm commute: cell phone;
+* Fridays working from home: home phone.
+
+Requirement: "the access and processing of the disparate and
+distributed data must have fast response time, so that a selective
+reach-me decision can be rendered in just a few seconds" — experiment
+E4 measures exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import NoCoverageError, AccessDeniedError
+from repro.pxml import PNode, evaluate_values
+from repro.access import RequestContext
+from repro.core.query import QueryExecutor
+from repro.core.server import GupsterServer
+from repro.simnet import Trace
+
+__all__ = [
+    "ReachMeState", "RoutingRule", "RoutingDecision", "ReachMeService",
+    "paper_rules",
+]
+
+
+class ReachMeState:
+    """The aggregated cross-network view of one user, right now."""
+
+    def __init__(self):
+        self.presence: str = "offline"
+        self.on_air: bool = False
+        self.location_zone: Optional[str] = None
+        self.pstn_status: Optional[str] = None       # idle | busy
+        self.voip_status: Optional[str] = None       # online | offline
+        self.internet_online: bool = False           # ISP session up
+        self.in_meeting: bool = False
+        self.devices: List[str] = []                 # device types
+        self.hour: int = 12
+        self.weekday: int = 0
+
+    def is_working_hours(self) -> bool:
+        return self.weekday < 5 and 9 <= self.hour < 18
+
+    def is_commute(self) -> bool:
+        return self.weekday < 5 and (
+            8 <= self.hour < 9 or 18 <= self.hour < 19
+        )
+
+    def __repr__(self) -> str:
+        return (
+            "<ReachMeState presence=%s on_air=%s pstn=%s voip=%s "
+            "meeting=%s %02d:00 wd=%d>"
+            % (self.presence, self.on_air, self.pstn_status,
+               self.voip_status, self.in_meeting, self.hour,
+               self.weekday)
+        )
+
+
+class RoutingRule:
+    """If *condition* holds over the state, try *targets* in order."""
+
+    def __init__(
+        self,
+        name: str,
+        condition: Callable[[ReachMeState], bool],
+        targets: List[str],
+    ):
+        self.name = name
+        self.condition = condition
+        self.targets = list(targets)
+
+    def __repr__(self) -> str:
+        return "<RoutingRule %s -> %s>" % (self.name, self.targets)
+
+
+class RoutingDecision:
+    """The service's answer: where to route, and what it cost."""
+
+    def __init__(
+        self,
+        targets: List[str],
+        rule_name: str,
+        state: ReachMeState,
+        trace: Trace,
+        sources_used: int,
+    ):
+        self.targets = targets
+        self.rule_name = rule_name
+        self.state = state
+        self.trace = trace
+        self.sources_used = sources_used
+
+    @property
+    def first_target(self) -> Optional[str]:
+        return self.targets[0] if self.targets else None
+
+    def __repr__(self) -> str:
+        return "<RoutingDecision %s via %r (%.1f ms)>" % (
+            self.targets, self.rule_name, self.trace.elapsed_ms,
+        )
+
+
+def paper_rules() -> List[RoutingRule]:
+    """The Section 2.2 example rule set, in order of priority."""
+    return [
+        RoutingRule(
+            "friday-home",
+            lambda s: s.weekday == 4 and 9 <= s.hour < 18,
+            ["home-phone", "cell-phone"],
+        ),
+        RoutingRule(
+            "commute-cell",
+            lambda s: s.is_commute() and s.on_air,
+            ["cell-phone"],
+        ),
+        RoutingRule(
+            "office-when-available",
+            lambda s: (
+                s.is_working_hours()
+                and s.presence == "available"
+                and not s.in_meeting
+            ),
+            ["office-phone", "softphone"],
+        ),
+        RoutingRule(
+            "meeting-or-busy",
+            lambda s: s.is_working_hours()
+            and (s.in_meeting or s.presence == "busy"),
+            ["voicemail"],
+        ),
+        RoutingRule(
+            "reachable-on-cell",
+            lambda s: s.on_air,
+            ["cell-phone", "voicemail"],
+        ),
+        # "When she is near a WiFi hot-spot she can be reached on her
+        # laptop via email, IM, and VoIP" (Section 2.2).
+        RoutingRule(
+            "online-off-hours",
+            lambda s: (
+                s.internet_online
+                and s.presence == "available"
+                and not s.is_working_hours()
+            ),
+            ["im", "email"],
+        ),
+        RoutingRule("fallback", lambda s: True, ["voicemail"]),
+    ]
+
+
+class ReachMeService:
+    """Aggregates profile state via GUPster and routes calls."""
+
+    #: (component, applier) pairs the service aggregates.
+    SOURCES = ("presence", "location", "call-status", "calendar",
+               "devices")
+
+    def __init__(
+        self,
+        server: GupsterServer,
+        executor: QueryExecutor,
+        service_node: str = "reachme-service",
+        rules: Optional[List[RoutingRule]] = None,
+    ):
+        self.server = server
+        self.executor = executor
+        self.service_node = service_node
+        self.rules = rules if rules is not None else paper_rules()
+        self.decisions = 0
+
+    # -- state aggregation ---------------------------------------------------------
+
+    def gather_state(
+        self,
+        user_id: str,
+        hour: int,
+        weekday: int,
+        now: float = 0.0,
+        use_cache: bool = False,
+    ) -> Tuple[ReachMeState, Trace, int]:
+        """Fetch every available source in parallel and fold into a
+        :class:`ReachMeState`. Missing components are skipped (not
+        every user has every network). Returns (state, trace, sources
+        actually reached)."""
+        state = ReachMeState()
+        state.hour = hour
+        state.weekday = weekday
+        # The service acts on the user's behalf (it is *their* reach-me
+        # provisioning) — so it runs with owner authority.
+        context = RequestContext(
+            user_id, relationship="self",
+            purpose="cache" if use_cache else "query",
+            hour=hour, weekday=weekday,
+        )
+        trace = self.executor.network.trace()
+        branches = []
+        fragments: List[Tuple[str, Optional[PNode]]] = []
+        reached = 0
+        for component in self.SOURCES:
+            path = "/user[@id='%s']/%s" % (user_id, component)
+            branch = trace.fork()
+            try:
+                if use_cache:
+                    fragment, sub_trace, _hit = self.executor.cached(
+                        self.service_node, path, context, now
+                    )
+                else:
+                    fragment, sub_trace = self.executor.referral(
+                        self.service_node, path, context, now
+                    )
+            except (NoCoverageError, AccessDeniedError):
+                continue
+            branch.join([sub_trace])
+            branches.append(branch)
+            fragments.append((component, fragment))
+            reached += 1
+        trace.join(branches)
+        for component, fragment in fragments:
+            if fragment is not None:
+                self._apply(state, component, fragment)
+        return state, trace, reached
+
+    def _apply(
+        self, state: ReachMeState, component: str, fragment: PNode
+    ) -> None:
+        if component == "presence":
+            values = evaluate_values(fragment, "/user/presence/status")
+            if values:
+                state.presence = values[0]
+        elif component == "location":
+            on_air = evaluate_values(fragment, "/user/location/on-air")
+            if on_air:
+                state.on_air = on_air[0] == "true"
+            zones = evaluate_values(fragment, "/user/location/zone")
+            if zones:
+                state.location_zone = zones[0]
+        elif component == "call-status":
+            from repro.pxml import evaluate
+            for status_el in evaluate(fragment, "/user/call-status"):
+                network = status_el.attrs.get("network")
+                state_el = status_el.child("state")
+                value = (
+                    state_el.text
+                    if state_el is not None and state_el.text else ""
+                )
+                if network == "pstn":
+                    state.pstn_status = value
+                elif network == "voip":
+                    state.voip_status = (
+                        "online" if value == "online" else "offline"
+                    )
+                elif network == "internet":
+                    state.internet_online = value == "online"
+        elif component == "calendar":
+            starts = evaluate_values(
+                fragment, "/user/calendar/appointment/start"
+            )
+            ends = evaluate_values(
+                fragment, "/user/calendar/appointment/end"
+            )
+            for start, end in zip(starts, ends):
+                start_hour = _hour_of(start)
+                end_hour = _hour_of(end)
+                if (
+                    start_hour is not None and end_hour is not None
+                    and start_hour <= state.hour < end_hour
+                ):
+                    state.in_meeting = True
+        elif component == "devices":
+            state.devices = evaluate_values(
+                fragment, "/user/devices/device/@type"
+            )
+
+    # -- routing ------------------------------------------------------------------
+
+    def decide(
+        self,
+        user_id: str,
+        hour: int,
+        weekday: int,
+        now: float = 0.0,
+        use_cache: bool = False,
+    ) -> RoutingDecision:
+        """Aggregate, evaluate the rules, adapt to live availability."""
+        self.decisions += 1
+        state, trace, reached = self.gather_state(
+            user_id, hour, weekday, now, use_cache
+        )
+        for rule in self.rules:
+            if rule.condition(state):
+                targets = self._filter_targets(rule.targets, state)
+                if targets:
+                    return RoutingDecision(
+                        targets, rule.name, state, trace, reached
+                    )
+        return RoutingDecision(
+            ["voicemail"], "fallback", state, trace, reached
+        )
+
+    @staticmethod
+    def _filter_targets(
+        targets: List[str], state: ReachMeState
+    ) -> List[str]:
+        """Drop targets the live state says are pointless."""
+        kept = []
+        for target in targets:
+            if target == "office-phone" and state.pstn_status == "busy":
+                continue
+            if target == "softphone" and state.voip_status == "offline":
+                continue
+            if target == "cell-phone" and not state.on_air:
+                continue
+            if (
+                target in ("im", "email")
+                and not state.internet_online
+            ):
+                continue
+            kept.append(target)
+        return kept
+
+
+def _hour_of(stamp: str) -> Optional[int]:
+    if "T" in stamp:
+        try:
+            return int(stamp.split("T")[1][:2])
+        except (ValueError, IndexError):
+            return None
+    return None

@@ -1,0 +1,21 @@
+"""Deterministic simulation substrate: virtual-time event engine and the
+converged-network latency/byte-accounting model every benchmark uses."""
+
+from repro.simnet.engine import Simulator, Timer
+from repro.simnet.network import (
+    DEFAULT_BANDWIDTH_BPMS,
+    LinkSpec,
+    Network,
+    NetworkNode,
+    Trace,
+)
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "Network",
+    "NetworkNode",
+    "LinkSpec",
+    "Trace",
+    "DEFAULT_BANDWIDTH_BPMS",
+]

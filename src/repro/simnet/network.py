@@ -1,0 +1,269 @@
+"""Simulated converged network: nodes, links, latency, byte accounting.
+
+Every distributed cost in the benchmarks comes from this module. Nodes
+(data stores, GUPster servers, client devices) are registered with the
+network; message hops sample a deterministic latency (base + seeded
+jitter + serialization time from a per-link bandwidth) and are charged
+to a :class:`Trace`.
+
+A Trace models one logical operation (e.g. "synchronize Arnaud's
+address book"): sequential hops add up; parallel fan-out is expressed
+with :meth:`Trace.fork`/:meth:`Trace.join` (elapsed time is the max of
+the branches, bytes are the sum — the standard latency/throughput
+split).
+
+Failures: a failed node refuses hops with
+:class:`~repro.errors.NodeUnreachableError` after a configurable detect
+timeout is charged, which is how the availability experiment (E6)
+measures the cost of retrying against a mirror.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.errors import NodeUnreachableError
+
+__all__ = ["NetworkNode", "LinkSpec", "Network", "Trace"]
+
+#: Default link bandwidth: 10 Mbit/s ≈ 1250 bytes per millisecond.
+DEFAULT_BANDWIDTH_BPMS = 1250.0
+
+#: Charged when a hop targets a failed node (failure detection timeout).
+DEFAULT_DETECT_TIMEOUT_MS = 200.0
+
+
+class NetworkNode:
+    """A named participant of the converged network."""
+
+    __slots__ = ("name", "region", "processing_ms", "failed")
+
+    def __init__(
+        self, name: str, region: str = "core", processing_ms: float = 0.1
+    ):
+        self.name = name
+        self.region = region
+        #: Fixed per-message handling cost at this node.
+        self.processing_ms = processing_ms
+        self.failed = False
+
+    def __repr__(self) -> str:
+        status = " FAILED" if self.failed else ""
+        return "<Node %s (%s)%s>" % (self.name, self.region, status)
+
+
+class LinkSpec:
+    """Latency/bandwidth description of one (directed) link."""
+
+    __slots__ = ("base_ms", "jitter_ms", "bandwidth_bpms")
+
+    def __init__(
+        self,
+        base_ms: float,
+        jitter_ms: float = 0.0,
+        bandwidth_bpms: float = DEFAULT_BANDWIDTH_BPMS,
+    ):
+        self.base_ms = base_ms
+        self.jitter_ms = jitter_ms
+        self.bandwidth_bpms = bandwidth_bpms
+
+
+#: Region-pair latency defaults reflecting the paper's world: managed
+#: telecom cores are fast; the public internet is the "weakest link"
+#: (requirement 13); cellular air interfaces are slow.
+DEFAULT_REGION_LATENCY: Dict[Tuple[str, str], LinkSpec] = {
+    ("core", "core"): LinkSpec(2.0, 0.5),
+    ("core", "internet"): LinkSpec(25.0, 10.0),
+    ("internet", "internet"): LinkSpec(40.0, 15.0),
+    ("core", "wireless"): LinkSpec(60.0, 20.0, 40.0),
+    ("internet", "wireless"): LinkSpec(90.0, 30.0, 40.0),
+    ("wireless", "wireless"): LinkSpec(120.0, 40.0, 40.0),
+    ("core", "enterprise"): LinkSpec(15.0, 5.0),
+    ("internet", "enterprise"): LinkSpec(30.0, 10.0),
+    ("enterprise", "enterprise"): LinkSpec(5.0, 1.0),
+    ("wireless", "enterprise"): LinkSpec(80.0, 25.0, 40.0),
+}
+
+
+class Network:
+    """The simulated converged network."""
+
+    def __init__(self, seed: int = 2003):
+        self._nodes: Dict[str, NetworkNode] = {}
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        self._region_links: Dict[Tuple[str, str], LinkSpec] = dict(
+            DEFAULT_REGION_LATENCY
+        )
+        self._rng = random.Random(seed)
+        self.detect_timeout_ms = DEFAULT_DETECT_TIMEOUT_MS
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        region: str = "core",
+        processing_ms: float = 0.1,
+    ) -> NetworkNode:
+        if name in self._nodes:
+            raise ValueError("node %r already exists" % name)
+        node = NetworkNode(name, region, processing_ms)
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> NetworkNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NodeUnreachableError("unknown node %r" % name) from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> List[NetworkNode]:
+        return list(self._nodes.values())
+
+    def link(
+        self,
+        a: str,
+        b: str,
+        base_ms: float,
+        jitter_ms: float = 0.0,
+        bandwidth_bpms: float = DEFAULT_BANDWIDTH_BPMS,
+    ) -> None:
+        """Explicit symmetric link overriding region defaults."""
+        spec = LinkSpec(base_ms, jitter_ms, bandwidth_bpms)
+        self._links[(a, b)] = spec
+        self._links[(b, a)] = spec
+
+    def set_region_latency(
+        self, region_a: str, region_b: str, spec: LinkSpec
+    ) -> None:
+        self._region_links[(region_a, region_b)] = spec
+        self._region_links[(region_b, region_a)] = spec
+
+    def _spec_for(self, src: NetworkNode, dst: NetworkNode) -> LinkSpec:
+        explicit = self._links.get((src.name, dst.name))
+        if explicit is not None:
+            return explicit
+        pair = (src.region, dst.region)
+        spec = self._region_links.get(pair)
+        if spec is None:
+            spec = self._region_links.get((dst.region, src.region))
+        if spec is None:
+            spec = LinkSpec(20.0, 5.0)
+        return spec
+
+    # -- failures -----------------------------------------------------------
+
+    def fail(self, name: str) -> None:
+        self.node(name).failed = True
+
+    def restore(self, name: str) -> None:
+        self.node(name).failed = False
+
+    # -- measurement ---------------------------------------------------------
+
+    def trace(self) -> "Trace":
+        """Start accounting for one logical operation."""
+        return Trace(self)
+
+    def sample_hop(
+        self, src: str, dst: str, nbytes: int
+    ) -> float:
+        """Latency of one message hop (ms), deterministic given the seed
+        and call order. Raises if either endpoint is failed/unknown
+        (the caller is charged the detection timeout first by Trace)."""
+        source = self.node(src)
+        target = self.node(dst)
+        spec = self._spec_for(source, target)
+        jitter = spec.jitter_ms * self._rng.random()
+        transfer = nbytes / spec.bandwidth_bpms
+        return (
+            spec.base_ms + jitter + transfer + target.processing_ms
+        )
+
+
+class Trace:
+    """Cost accumulator for one logical operation over the network."""
+
+    def __init__(self, network: Network):
+        self._network = network
+        self.elapsed_ms: float = 0.0
+        self.bytes_total: int = 0
+        self.hops: int = 0
+        self.log: List[str] = []
+
+    # -- sequential costs -----------------------------------------------------
+
+    def hop(
+        self, src: str, dst: str, nbytes: int, note: str = ""
+    ) -> None:
+        """One message from *src* to *dst* carrying *nbytes*."""
+        target = self._network.node(dst)
+        source = self._network.node(src)
+        if source.failed:
+            raise NodeUnreachableError("source %r is down" % src)
+        if target.failed:
+            self.elapsed_ms += self._network.detect_timeout_ms
+            self.log.append(
+                "%s -> %s: FAILED (timeout charged)" % (src, dst)
+            )
+            raise NodeUnreachableError("node %r is down" % dst)
+        latency = self._network.sample_hop(src, dst, nbytes)
+        self.elapsed_ms += latency
+        self.bytes_total += nbytes
+        self.hops += 1
+        if note:
+            self.log.append(
+                "%s -> %s: %d B, %.2f ms (%s)"
+                % (src, dst, nbytes, latency, note)
+            )
+        else:
+            self.log.append(
+                "%s -> %s: %d B, %.2f ms" % (src, dst, nbytes, latency)
+            )
+
+    def round_trip(
+        self,
+        src: str,
+        dst: str,
+        request_bytes: int,
+        response_bytes: int,
+        note: str = "",
+    ) -> None:
+        """Request + response over the same link."""
+        self.hop(src, dst, request_bytes, note + " (request)" if note else "")
+        self.hop(dst, src, response_bytes, note + " (response)" if note else "")
+
+    def compute(self, ms: float, note: str = "") -> None:
+        """Local processing time (query rewriting, policy evaluation...)."""
+        if ms < 0:
+            raise ValueError("negative compute time")
+        self.elapsed_ms += ms
+        if note:
+            self.log.append("compute: %.3f ms (%s)" % (ms, note))
+
+    # -- parallel composition ---------------------------------------------------
+
+    def fork(self) -> "Trace":
+        """A branch trace for one leg of a parallel fan-out."""
+        return Trace(self._network)
+
+    def join(self, branches: List["Trace"]) -> None:
+        """Merge parallel branches: elapsed += max, bytes/hops += sum."""
+        if not branches:
+            return
+        self.elapsed_ms += max(branch.elapsed_ms for branch in branches)
+        for branch in branches:
+            self.bytes_total += branch.bytes_total
+            self.hops += branch.hops
+            self.log.extend("| " + line for line in branch.log)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "elapsed_ms": self.elapsed_ms,
+            "bytes": float(self.bytes_total),
+            "hops": float(self.hops),
+        }

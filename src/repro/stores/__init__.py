@@ -1,0 +1,38 @@
+"""Native profile data stores of the four networks (paper Section 3.1):
+PSTN switches, wireless HLR/VLR/MSC, SIP registrar/proxy, web portals,
+presence servers, LDAP directories, and end-user devices."""
+
+from repro.stores.base import NativeStore, StoreDirectory
+from repro.stores.device import MobilePhone, Pda, PhoneBookEntry, SimCard
+from repro.stores.directory import (
+    STANDARD_CLASSES,
+    DirectoryServer,
+    Filter,
+    LdapEntry,
+    ObjectClass,
+    parse_filter,
+)
+from repro.stores.hlr import HLR, MSC, VLR, SubscriberRecord
+from repro.stores.presence import PresenceServer
+from repro.stores.pstn import Class5Switch, LineRecord
+from repro.stores.sip import Binding, SipProxy, SipRegistrar
+from repro.stores.support import AAAServer, BillingSystem, IspSessionStore
+from repro.stores.webportal import (
+    AppointmentRecord,
+    ContactRecord,
+    EnterpriseServer,
+    WebPortal,
+)
+
+__all__ = [
+    "NativeStore", "StoreDirectory",
+    "HLR", "VLR", "MSC", "SubscriberRecord",
+    "Class5Switch", "LineRecord",
+    "SipRegistrar", "SipProxy", "Binding",
+    "AAAServer", "BillingSystem", "IspSessionStore",
+    "WebPortal", "EnterpriseServer", "ContactRecord", "AppointmentRecord",
+    "PresenceServer",
+    "DirectoryServer", "LdapEntry", "ObjectClass", "Filter",
+    "parse_filter", "STANDARD_CLASSES",
+    "MobilePhone", "Pda", "SimCard", "PhoneBookEntry",
+]

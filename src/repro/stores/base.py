@@ -1,0 +1,92 @@
+"""Base class and registry for native profile data stores.
+
+Section 3.1 of the paper surveys where profile data lives today: PSTN
+class-5 switches, wireless HLR/VLR/MSC, SIP registrars/proxies, web
+portals, enterprise directories, and end-user devices. Each concrete
+store in this package models one of those locations **in its native
+data model** (feature bitmaps in switches, records in the HLR, bindings
+in registrars, dicts in portals, DIT entries in LDAP) — deliberately
+*not* XML, because the whole point of GUP adapters is bridging that
+heterogeneity (requirement 3).
+
+:class:`NativeStore` also carries the metadata that regenerates the
+paper's Figure 5 table ("where profile data is stored"): each store
+declares its network and the kinds of profile data it holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["NativeStore", "StoreDirectory"]
+
+
+class NativeStore:
+    """A profile-bearing element of some network.
+
+    Parameters
+    ----------
+    name:
+        Unique node name (also the simulated-network node name).
+    network:
+        One of ``'PSTN'``, ``'Wireless'``, ``'VoIP'``, ``'Web'`` —
+        the rows of Figure 5.
+    region:
+        Latency region for the network simulator.
+    """
+
+    #: Human-readable kinds of profile data this store class holds
+    #: (column 2 of Figure 5). Subclasses override.
+    PROFILE_DATA: Tuple[str, ...] = ()
+
+    def __init__(self, name: str, network: str, region: str):
+        self.name = name
+        self.network = network
+        self.region = region
+
+    def profile_data_kinds(self) -> Tuple[str, ...]:
+        return self.PROFILE_DATA
+
+    def __repr__(self) -> str:
+        return "<%s %s (%s)>" % (
+            type(self).__name__, self.name, self.network,
+        )
+
+
+class StoreDirectory:
+    """Registry of the native stores in one simulated world.
+
+    Used by the Figure 5 bench to regenerate the placement table, and by
+    scenario builders to wire adapters to stores.
+    """
+
+    def __init__(self):
+        self._stores: Dict[str, NativeStore] = {}
+
+    def add(self, store: NativeStore) -> NativeStore:
+        if store.name in self._stores:
+            raise ValueError("store %r already registered" % store.name)
+        self._stores[store.name] = store
+        return store
+
+    def get(self, name: str) -> Optional[NativeStore]:
+        return self._stores.get(name)
+
+    def all(self) -> List[NativeStore]:
+        return list(self._stores.values())
+
+    def by_network(self, network: str) -> List[NativeStore]:
+        return [
+            s for s in self._stores.values() if s.network == network
+        ]
+
+    def placement_table(self) -> List[Tuple[str, List[str]]]:
+        """Rows of Figure 5: (network, sorted location kinds)."""
+        table: Dict[str, set] = {}
+        for store in self._stores.values():
+            bucket = table.setdefault(store.network, set())
+            bucket.add(type(store).__name__)
+        return [
+            (network, sorted(kinds))
+            for network, kinds in sorted(table.items())
+        ]

@@ -1,0 +1,371 @@
+"""A miniature LDAP directory server (paper Section 6, "LDAP-based
+approaches").
+
+Implements just enough of LDAP to make the paper's XML-vs-LDAP
+comparison runnable rather than rhetorical:
+
+* a DIT of entries addressed by distinguished names,
+* object classes with required/optional attributes ("objects are
+  modeled with 'aspects' and can always implement a new objectclass"),
+* flat entries — each attribute maps to a *list of atomic values*
+  ("LDAP objects are very simple (and flat)"),
+* a search filter language ``(&(objectClass=person)(uid=a*))``,
+* **opaque blobs**, the Netscape roaming-profile workaround: nested
+  data (address book, bookmarks) stored as a single binary value that
+  "can only be accessed (retrieved or updated) as a whole",
+* subtree referral to another server, LDAP's scaling advantage
+  ("straightforward to move arbitrary sub-trees to different servers").
+
+Experiment E9 drives all of this against the GUP XML equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import StoreError
+from repro.stores.base import NativeStore
+
+__all__ = [
+    "ObjectClass", "LdapEntry", "Filter", "parse_filter",
+    "DirectoryServer", "STANDARD_CLASSES",
+]
+
+
+# ---------------------------------------------------------------------------
+# Schema: object classes
+# ---------------------------------------------------------------------------
+
+class ObjectClass:
+    """An LDAP object class: required (must) and optional (may) attrs."""
+
+    def __init__(
+        self,
+        name: str,
+        must: Sequence[str] = (),
+        may: Sequence[str] = (),
+    ):
+        self.name = name
+        self.must = tuple(must)
+        self.may = tuple(may)
+
+
+#: A small cut of the standard + DEN-ish classes the paper mentions.
+STANDARD_CLASSES: Dict[str, ObjectClass] = {
+    oc.name: oc
+    for oc in (
+        ObjectClass("top", may=("description",)),
+        ObjectClass(
+            "person",
+            must=("cn", "sn"),
+            may=("telephoneNumber", "userPassword", "seeAlso"),
+        ),
+        ObjectClass(
+            "organizationalPerson",
+            may=("title", "ou", "postalAddress", "mail"),
+        ),
+        ObjectClass(
+            "inetOrgPerson",
+            may=("uid", "mail", "mobile", "employeeNumber",
+                 "preferredLanguage"),
+        ),
+        ObjectClass("organizationalUnit", must=("ou",)),
+        ObjectClass("organization", must=("o",)),
+        # The Netscape roaming-profile style container: one opaque blob.
+        ObjectClass(
+            "roamingProfileObject",
+            must=("profileName", "profileBlob"),
+        ),
+        # DEN-ish device class.
+        ObjectClass(
+            "networkDevice",
+            must=("deviceId",),
+            may=("deviceType", "carrier", "capability"),
+        ),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Entries
+# ---------------------------------------------------------------------------
+
+def _normalize_dn(dn: str) -> str:
+    return ",".join(part.strip() for part in dn.split(",")).lower()
+
+
+class LdapEntry:
+    """One DIT entry: a flat bag of (attribute, [values])."""
+
+    def __init__(
+        self,
+        dn: str,
+        object_classes: Sequence[str],
+        attrs: Dict[str, List[str]],
+    ):
+        self.dn = _normalize_dn(dn)
+        self.object_classes: Set[str] = set(object_classes)
+        self.attrs: Dict[str, List[str]] = {
+            key.lower(): list(values) for key, values in attrs.items()
+        }
+
+    def values(self, attr: str) -> List[str]:
+        return self.attrs.get(attr.lower(), [])
+
+    def first(self, attr: str) -> Optional[str]:
+        values = self.values(attr)
+        return values[0] if values else None
+
+    def byte_size(self) -> int:
+        """Wire size of the whole entry (LDAP returns whole objects)."""
+        total = len(self.dn)
+        for key, values in self.attrs.items():
+            for value in values:
+                total += len(key) + len(value) + 2
+        return total
+
+    def parent_dn(self) -> Optional[str]:
+        if "," not in self.dn:
+            return None
+        return self.dn.split(",", 1)[1]
+
+
+# ---------------------------------------------------------------------------
+# Search filters
+# ---------------------------------------------------------------------------
+
+class Filter:
+    """Parsed LDAP search filter (eq / prefix / presence / and/or/not)."""
+
+    def __init__(self, kind: str, attr: str = "", value: str = "",
+                 children: Sequence["Filter"] = ()):
+        self.kind = kind
+        self.attr = attr.lower()
+        self.value = value
+        self.children = list(children)
+
+    def matches(self, entry: LdapEntry) -> bool:
+        if self.kind == "and":
+            return all(c.matches(entry) for c in self.children)
+        if self.kind == "or":
+            return any(c.matches(entry) for c in self.children)
+        if self.kind == "not":
+            return not self.children[0].matches(entry)
+        values = entry.values(self.attr)
+        if self.attr == "objectclass":
+            values = sorted(entry.object_classes)
+        if self.kind == "present":
+            return bool(values)
+        if self.kind == "eq":
+            return any(v.lower() == self.value.lower() for v in values)
+        if self.kind == "prefix":
+            return any(
+                v.lower().startswith(self.value.lower()) for v in values
+            )
+        raise StoreError("unknown filter kind %r" % self.kind)
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse an RFC-2254-style filter string."""
+    parser = _FilterParser(text.strip())
+    result = parser.parse()
+    if parser.pos != len(parser.text):
+        raise StoreError("trailing characters in filter %r" % text)
+    return result
+
+
+class _FilterParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Filter:
+        if not self._consume("("):
+            raise StoreError("filter must start with '('")
+        ch = self._peek()
+        if ch == "&":
+            self.pos += 1
+            return self._composite("and")
+        if ch == "|":
+            self.pos += 1
+            return self._composite("or")
+        if ch == "!":
+            self.pos += 1
+            inner = self.parse()
+            if not self._consume(")"):
+                raise StoreError("unterminated (!...) filter")
+            return Filter("not", children=[inner])
+        return self._simple()
+
+    def _composite(self, kind: str) -> Filter:
+        children = []
+        while self._peek() == "(":
+            children.append(self.parse())
+        if not self._consume(")"):
+            raise StoreError("unterminated composite filter")
+        if not children:
+            raise StoreError("empty composite filter")
+        return Filter(kind, children=children)
+
+    def _simple(self) -> Filter:
+        eq = self.text.find("=", self.pos)
+        close = self.text.find(")", self.pos)
+        if eq < 0 or close < 0 or eq > close:
+            raise StoreError("malformed simple filter")
+        attr = self.text[self.pos : eq].strip()
+        value = self.text[eq + 1 : close]
+        self.pos = close + 1
+        if not attr:
+            raise StoreError("empty attribute in filter")
+        if value == "*":
+            return Filter("present", attr)
+        if value.endswith("*") and "*" not in value[:-1]:
+            return Filter("prefix", attr, value[:-1])
+        if "*" in value:
+            raise StoreError("only trailing-* substring supported")
+        return Filter("eq", attr, value)
+
+    def _peek(self) -> Optional[str]:
+        return self.text[self.pos] if self.pos < len(self.text) else None
+
+    def _consume(self, token: str) -> bool:
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The server
+# ---------------------------------------------------------------------------
+
+class DirectoryServer(NativeStore):
+    """A mini LDAP server over one DIT (or a subtree of one)."""
+
+    PROFILE_DATA = (
+        "employee directory entries", "roaming profile blobs",
+        "device records",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        suffix: str,
+        classes: Optional[Dict[str, ObjectClass]] = None,
+        region: str = "enterprise",
+    ):
+        super().__init__(name, network="Web", region=region)
+        self.suffix = _normalize_dn(suffix)
+        self.classes = dict(classes or STANDARD_CLASSES)
+        self._entries: Dict[str, LdapEntry] = {}
+        #: Subtrees delegated to other servers: dn-suffix -> server name.
+        self._referrals: Dict[str, str] = {}
+        self.searches = 0
+
+    # -- updates ------------------------------------------------------------
+
+    def add(self, entry: LdapEntry) -> None:
+        if not entry.dn.endswith(self.suffix):
+            raise StoreError(
+                "dn %r outside suffix %r" % (entry.dn, self.suffix)
+            )
+        if entry.dn in self._entries:
+            raise StoreError("entry %r exists" % entry.dn)
+        self._validate(entry)
+        self._entries[entry.dn] = entry
+
+    def modify(self, dn: str, attr: str, values: List[str]) -> None:
+        entry = self.entry(dn)
+        entry.attrs[attr.lower()] = list(values)
+        self._validate(entry)
+
+    def delete(self, dn: str) -> None:
+        dn = _normalize_dn(dn)
+        if dn not in self._entries:
+            raise StoreError("no entry %r" % dn)
+        del self._entries[dn]
+
+    def entry(self, dn: str) -> LdapEntry:
+        found = self._entries.get(_normalize_dn(dn))
+        if found is None:
+            raise StoreError("no entry %r" % dn)
+        return found
+
+    def has_entry(self, dn: str) -> bool:
+        return _normalize_dn(dn) in self._entries
+
+    def _validate(self, entry: LdapEntry) -> None:
+        for class_name in entry.object_classes:
+            decl = self.classes.get(class_name)
+            if decl is None:
+                raise StoreError("unknown objectClass %r" % class_name)
+            for must in decl.must:
+                if not entry.values(must):
+                    raise StoreError(
+                        "entry %r missing required %r of %r"
+                        % (entry.dn, must, class_name)
+                    )
+        allowed = {"objectclass"}
+        for class_name in entry.object_classes:
+            decl = self.classes[class_name]
+            allowed.update(a.lower() for a in decl.must)
+            allowed.update(a.lower() for a in decl.may)
+        for attr in entry.attrs:
+            if attr not in allowed:
+                raise StoreError(
+                    "attribute %r not allowed by object classes of %r"
+                    % (attr, entry.dn)
+                )
+
+    # -- search ------------------------------------------------------------
+
+    def search(
+        self,
+        base: str,
+        scope: str = "sub",
+        filter_text: str = "(objectClass=*)",
+    ) -> List[LdapEntry]:
+        """LDAP search. ``scope`` is ``'base'``, ``'one'`` or ``'sub'``."""
+        if scope not in ("base", "one", "sub"):
+            raise StoreError("bad scope %r" % scope)
+        self.searches += 1
+        base = _normalize_dn(base)
+        parsed = parse_filter(filter_text)
+        results = []
+        for dn, entry in self._entries.items():
+            if scope == "base":
+                in_scope = dn == base
+            elif scope == "one":
+                in_scope = entry.parent_dn() == base
+            else:
+                in_scope = dn == base or dn.endswith("," + base)
+            if in_scope and parsed.matches(entry):
+                results.append(entry)
+        return sorted(results, key=lambda e: e.dn)
+
+    # -- subtree delegation ---------------------------------------------------
+
+    def delegate_subtree(self, subtree_dn: str, server_name: str) -> None:
+        """Record that *subtree_dn* now lives on another server (the
+        LDAP scaling move the paper credits)."""
+        self._referrals[_normalize_dn(subtree_dn)] = server_name
+
+    def referral_for(self, dn: str) -> Optional[str]:
+        dn = _normalize_dn(dn)
+        for subtree, server in self._referrals.items():
+            if dn == subtree or dn.endswith("," + subtree):
+                return server
+        return None
+
+    def export_subtree(self, subtree_dn: str) -> List[LdapEntry]:
+        """Entries of a subtree (used when moving it to a new server)."""
+        subtree_dn = _normalize_dn(subtree_dn)
+        return [
+            entry
+            for dn, entry in sorted(self._entries.items())
+            if dn == subtree_dn or dn.endswith("," + subtree_dn)
+        ]
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)

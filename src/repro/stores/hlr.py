@@ -1,0 +1,258 @@
+"""Wireless network elements: HLR, VLR, MSC (paper Section 3.1.2).
+
+The Home Location Register holds each subscriber's permanent profile
+(identity, numbers, service settings like forwarding/barring/roaming)
+plus the dynamic location pointer (which VLR currently serves them).
+Visitor Location Registers cache a snapshot of the profile for
+subscribers roaming in their area; Mobile Switching Centers interrogate
+the HLR for call delivery, exactly as the paper describes:
+
+    "When a user moves from one cell to another, a different VLR may be
+    used. The new VLR will send this new location information to the
+    HLR ... The HLR will cancel the location information in the old
+    VLR after it receives new location information."
+
+The records are plain Python objects — the native (non-XML) data model
+that :mod:`repro.adapters.hlr_adapter` later exports as GUP components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StoreError, UnknownSubscriberError
+from repro.stores.base import NativeStore
+
+__all__ = ["SubscriberRecord", "HLR", "VLR", "MSC"]
+
+
+class SubscriberRecord:
+    """Permanent subscriber data held in the HLR."""
+
+    def __init__(self, msisdn: str, imsi: str, user_id: str):
+        #: Telephone number.
+        self.msisdn = msisdn
+        #: SIM identity (authentication key surrogate).
+        self.imsi = imsi
+        #: Converged-network user identity (links records across stores).
+        self.user_id = user_id
+        # Service settings (the "subscriber profile" of Section 3.1.2).
+        self.call_forwarding: Optional[str] = None
+        self.barred_numbers: List[str] = []
+        self.roaming_allowed: bool = True
+        self.caller_id_enabled: bool = True
+        self.prepaid: bool = False
+        self.services: Dict[str, str] = {}
+        # Dynamic data.
+        self.current_vlr: Optional[str] = None
+        self.current_cell: Optional[str] = None
+        self.on_air: bool = False
+
+    def snapshot(self) -> "SubscriberRecord":
+        """Copy for VLR caching (the 'temporary information')."""
+        dup = SubscriberRecord(self.msisdn, self.imsi, self.user_id)
+        dup.call_forwarding = self.call_forwarding
+        dup.barred_numbers = list(self.barred_numbers)
+        dup.roaming_allowed = self.roaming_allowed
+        dup.caller_id_enabled = self.caller_id_enabled
+        dup.prepaid = self.prepaid
+        dup.services = dict(self.services)
+        dup.current_vlr = self.current_vlr
+        dup.current_cell = self.current_cell
+        dup.on_air = self.on_air
+        return dup
+
+
+class HLR(NativeStore):
+    """Home Location Register: the master wireless profile store."""
+
+    PROFILE_DATA = (
+        "subscriber identity", "telephone numbers", "call forwarding",
+        "call barring", "roaming settings", "location", "service list",
+    )
+
+    def __init__(self, name: str, carrier: str):
+        super().__init__(name, network="Wireless", region="core")
+        self.carrier = carrier
+        self._by_msisdn: Dict[str, SubscriberRecord] = {}
+        self._by_user: Dict[str, SubscriberRecord] = {}
+        #: VLR name -> VLR object; registered via attach_vlr.
+        self._vlrs: Dict[str, "VLR"] = {}
+        # Operation counters (benchmarks read these).
+        self.lookups = 0
+        self.updates = 0
+
+    # -- provisioning --------------------------------------------------------
+
+    def provision_subscriber(
+        self, msisdn: str, imsi: str, user_id: str
+    ) -> SubscriberRecord:
+        if msisdn in self._by_msisdn:
+            raise StoreError("msisdn %r already provisioned" % msisdn)
+        record = SubscriberRecord(msisdn, imsi, user_id)
+        self._by_msisdn[msisdn] = record
+        self._by_user[user_id] = record
+        self.updates += 1
+        return record
+
+    def remove_subscriber(self, msisdn: str) -> None:
+        record = self._record(msisdn)
+        del self._by_msisdn[msisdn]
+        self._by_user.pop(record.user_id, None)
+        self.updates += 1
+
+    def set_call_forwarding(
+        self, msisdn: str, target: Optional[str]
+    ) -> None:
+        self._record(msisdn).call_forwarding = target
+        self.updates += 1
+        self._refresh_vlr(msisdn)
+
+    def set_barring(self, msisdn: str, barred: List[str]) -> None:
+        self._record(msisdn).barred_numbers = list(barred)
+        self.updates += 1
+        self._refresh_vlr(msisdn)
+
+    # -- queries ------------------------------------------------------------
+
+    def subscriber(self, msisdn: str) -> SubscriberRecord:
+        self.lookups += 1
+        return self._record(msisdn)
+
+    def subscriber_by_user(self, user_id: str) -> SubscriberRecord:
+        self.lookups += 1
+        record = self._by_user.get(user_id)
+        if record is None:
+            raise UnknownSubscriberError("no subscriber for %r" % user_id)
+        return record
+
+    def has_subscriber(self, msisdn: str) -> bool:
+        return msisdn in self._by_msisdn
+
+    def all_subscribers(self) -> List[SubscriberRecord]:
+        return list(self._by_msisdn.values())
+
+    def user_ids(self) -> List[str]:
+        return sorted(self._by_user)
+
+    def routing_info(self, msisdn: str) -> Optional[str]:
+        """The MSC/VLR currently able to deliver a call (None if the
+        subscriber is detached) — the per-call HLR interrogation."""
+        record = self.subscriber(msisdn)
+        if not record.on_air or record.current_vlr is None:
+            return None
+        return record.current_vlr
+
+    # -- mobility ----------------------------------------------------------
+
+    def attach_vlr(self, vlr: "VLR") -> None:
+        self._vlrs[vlr.name] = vlr
+
+    def location_update(
+        self, msisdn: str, vlr_name: str, cell: str
+    ) -> None:
+        """Process a location-update request from a VLR: point the master
+        record at the new VLR, push a profile snapshot there, and cancel
+        the old VLR's copy."""
+        if vlr_name not in self._vlrs:
+            raise StoreError("unknown VLR %r" % vlr_name)
+        record = self._record(msisdn)
+        old_vlr = record.current_vlr
+        record.current_vlr = vlr_name
+        record.current_cell = cell
+        record.on_air = True
+        self.updates += 1
+        self._vlrs[vlr_name].install(record.snapshot())
+        if old_vlr is not None and old_vlr != vlr_name:
+            self._vlrs[old_vlr].cancel(msisdn)
+
+    def detach(self, msisdn: str) -> None:
+        record = self._record(msisdn)
+        if record.current_vlr is not None:
+            self._vlrs[record.current_vlr].cancel(msisdn)
+        record.current_vlr = None
+        record.on_air = False
+        self.updates += 1
+
+    # -- internals ------------------------------------------------------------
+
+    def _record(self, msisdn: str) -> SubscriberRecord:
+        record = self._by_msisdn.get(msisdn)
+        if record is None:
+            raise UnknownSubscriberError("unknown msisdn %r" % msisdn)
+        return record
+
+    def _refresh_vlr(self, msisdn: str) -> None:
+        """Keep the serving VLR's snapshot coherent after profile edits."""
+        record = self._by_msisdn[msisdn]
+        if record.current_vlr is not None:
+            self._vlrs[record.current_vlr].install(record.snapshot())
+
+
+class VLR(NativeStore):
+    """Visitor Location Register: temporary snapshots for visitors."""
+
+    PROFILE_DATA = ("visiting-subscriber snapshot", "current cell")
+
+    def __init__(self, name: str, served_cells: List[str]):
+        super().__init__(name, network="Wireless", region="core")
+        self.served_cells = list(served_cells)
+        self._visitors: Dict[str, SubscriberRecord] = {}
+
+    def serves(self, cell: str) -> bool:
+        return cell in self.served_cells
+
+    def install(self, snapshot: SubscriberRecord) -> None:
+        self._visitors[snapshot.msisdn] = snapshot
+
+    def cancel(self, msisdn: str) -> None:
+        self._visitors.pop(msisdn, None)
+
+    def visitor(self, msisdn: str) -> Optional[SubscriberRecord]:
+        return self._visitors.get(msisdn)
+
+    @property
+    def visitor_count(self) -> int:
+        return len(self._visitors)
+
+
+class MSC(NativeStore):
+    """Mobile Switching Center: call control, gateway to the PSTN."""
+
+    PROFILE_DATA = ("transient call state",)
+
+    def __init__(self, name: str, hlr: HLR, vlr: VLR):
+        super().__init__(name, network="Wireless", region="core")
+        self.hlr = hlr
+        self.vlr = vlr
+        self.delivered = 0
+        self.rejected = 0
+
+    def handle_power_on(self, msisdn: str, cell: str) -> None:
+        """Device registration: triggers the location-update flow."""
+        if not self.vlr.serves(cell):
+            raise StoreError(
+                "%s does not serve cell %r" % (self.vlr.name, cell)
+            )
+        self.hlr.location_update(msisdn, self.vlr.name, cell)
+
+    def deliver_call(self, caller: str, callee_msisdn: str) -> str:
+        """Call delivery per Section 3.1.2: interrogate the HLR, apply
+        barring/forwarding, route to the serving VLR/MSC.
+
+        Returns a routing decision string: ``'vlr:<name>'``,
+        ``'forwarded:<number>'``, ``'barred'``, or ``'unavailable'``.
+        """
+        record = self.hlr.subscriber(callee_msisdn)
+        if caller in record.barred_numbers:
+            self.rejected += 1
+            return "barred"
+        routing = self.hlr.routing_info(callee_msisdn)
+        if routing is not None:
+            self.delivered += 1
+            return "vlr:%s" % routing
+        if record.call_forwarding:
+            self.delivered += 1
+            return "forwarded:%s" % record.call_forwarding
+        self.rejected += 1
+        return "unavailable"

@@ -1,0 +1,81 @@
+"""Instant-messaging presence server.
+
+Presence is the most dynamic profile component the paper's reach-me
+service aggregates ("presence information (e.g., IM status ...) from
+the Internet"). The server keeps the current status per user and —
+crucial for experiment E12 — supports **native push**: watchers are
+called back on every status change, which GUPster's subscription layer
+compares against polling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.stores.base import NativeStore
+
+__all__ = ["PresenceServer"]
+
+Watcher = Callable[[str, str, str], None]  # (user_id, status, note)
+
+VALID_STATUSES = ("available", "busy", "away", "offline")
+
+
+class PresenceServer(NativeStore):
+    """IM presence: status per user, with change notification."""
+
+    PROFILE_DATA = ("presence status", "status note", "watcher lists")
+
+    def __init__(self, name: str):
+        super().__init__(name, network="Web", region="internet")
+        self._status: Dict[str, Tuple[str, str]] = {}
+        self._watchers: Dict[str, List[Watcher]] = {}
+        #: user -> {buddy id: alias} (IM providers own the buddy list)
+        self._buddies: Dict[str, Dict[str, str]] = {}
+        self.notifications_sent = 0
+
+    def set_status(
+        self, user_id: str, status: str, note: str = ""
+    ) -> None:
+        if status not in VALID_STATUSES:
+            raise ValueError("bad presence status %r" % status)
+        previous = self._status.get(user_id)
+        self._status[user_id] = (status, note)
+        if previous != (status, note):
+            for watcher in self._watchers.get(user_id, ()):  # push
+                watcher(user_id, status, note)
+                self.notifications_sent += 1
+
+    def status(self, user_id: str) -> str:
+        entry = self._status.get(user_id)
+        return entry[0] if entry else "offline"
+
+    def note(self, user_id: str) -> str:
+        entry = self._status.get(user_id)
+        return entry[1] if entry else ""
+
+    def watch(self, user_id: str, watcher: Watcher) -> None:
+        """Subscribe to status changes (native push)."""
+        self._watchers.setdefault(user_id, []).append(watcher)
+
+    def unwatch(self, user_id: str, watcher: Watcher) -> None:
+        watchers = self._watchers.get(user_id, [])
+        if watcher in watchers:
+            watchers.remove(watcher)
+
+    def watcher_count(self, user_id: str) -> int:
+        return len(self._watchers.get(user_id, ()))
+
+    # -- buddy lists -----------------------------------------------------------
+
+    def add_buddy(
+        self, user_id: str, buddy_id: str, alias: str = ""
+    ) -> None:
+        self._buddies.setdefault(user_id, {})[buddy_id] = alias
+
+    def remove_buddy(self, user_id: str, buddy_id: str) -> None:
+        self._buddies.get(user_id, {}).pop(buddy_id, None)
+
+    def buddies(self, user_id: str) -> Dict[str, str]:
+        """``{buddy id: alias}`` for one user."""
+        return dict(self._buddies.get(user_id, {}))

@@ -1,0 +1,142 @@
+"""PSTN class-5 switch (paper Section 3.1.1).
+
+The switch is the multi-purpose box holding per-line service data:
+call-forwarding numbers, barred numbers, the caller-id flag, 800-number
+resolution. Two properties of the real thing are modelled faithfully
+because the paper leans on them:
+
+* profile data is **inside the switch**, "hard to access and extend" —
+  there is no query interface beyond per-line feature reads;
+* provisioning is **operator-mediated**: end users can self-provision
+  only a small feature subset (call forwarding via the keypad), anything
+  else raises :class:`~repro.errors.ProvisioningDeniedError`. The
+  GUPster adapter (and experiment E11) quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ProvisioningDeniedError, StoreError
+from repro.stores.base import NativeStore
+
+__all__ = ["LineRecord", "Class5Switch"]
+
+#: Features an end user may set from the keypad (Section 3.1.1: "in some
+#: cases (e.g., to set call forwarding numbers) the end-user can
+#: self-provision through a phone's keypad").
+SELF_PROVISIONABLE = frozenset({"call_forwarding"})
+
+
+class LineRecord:
+    """Service data for one directory number."""
+
+    def __init__(self, number: str, user_id: str):
+        self.number = number
+        self.user_id = user_id
+        self.call_forwarding: Optional[str] = None
+        self.barred_numbers: List[str] = []
+        self.caller_id_enabled: bool = True
+        self.busy: bool = False
+
+
+class Class5Switch(NativeStore):
+    """A local exchange switch (5ESS-style) with its line database."""
+
+    PROFILE_DATA = (
+        "call forwarding number", "call barring numbers",
+        "caller id flag", "800-number resolution", "call state",
+    )
+
+    def __init__(self, name: str):
+        super().__init__(name, network="PSTN", region="core")
+        self._lines: Dict[str, LineRecord] = {}
+        self._tollfree: Dict[str, str] = {}
+        self.calls_routed = 0
+        self.calls_rejected = 0
+
+    # -- line management (operator console) ----------------------------------
+
+    def install_line(self, number: str, user_id: str) -> LineRecord:
+        if number in self._lines:
+            raise StoreError("line %r already installed" % number)
+        record = LineRecord(number, user_id)
+        self._lines[number] = record
+        return record
+
+    def line(self, number: str) -> LineRecord:
+        record = self._lines.get(number)
+        if record is None:
+            raise StoreError("no line %r on this switch" % number)
+        return record
+
+    def has_line(self, number: str) -> bool:
+        return number in self._lines
+
+    def map_tollfree(self, tollfree: str, target: str) -> None:
+        """800-number resolution entry (company profile data)."""
+        self._tollfree[tollfree] = target
+
+    # -- provisioning ----------------------------------------------------------
+
+    def provision(
+        self,
+        number: str,
+        feature: str,
+        value,
+        by_operator: bool = False,
+    ) -> None:
+        """Set a feature on a line.
+
+        End users (``by_operator=False``) may only touch the
+        self-provisionable subset; everything else needs the operator —
+        the asymmetry the paper calls "quite cumbersome".
+        """
+        if not by_operator and feature not in SELF_PROVISIONABLE:
+            raise ProvisioningDeniedError(
+                "feature %r requires operator provisioning" % feature
+            )
+        record = self.line(number)
+        if feature == "call_forwarding":
+            record.call_forwarding = value
+        elif feature == "barred_numbers":
+            record.barred_numbers = list(value)
+        elif feature == "caller_id_enabled":
+            record.caller_id_enabled = bool(value)
+        else:
+            raise StoreError("unknown feature %r" % feature)
+
+    # -- call processing ---------------------------------------------------------
+
+    def route_call(self, caller: str, callee: str) -> str:
+        """Route a call honoring line features.
+
+        Returns ``'connected'``, ``'forwarded:<number>'``, ``'barred'``,
+        ``'busy'``, or ``'no-such-line'``.
+        """
+        target = self._tollfree.get(callee, callee)
+        record = self._lines.get(target)
+        if record is None:
+            self.calls_rejected += 1
+            return "no-such-line"
+        if caller in record.barred_numbers:
+            self.calls_rejected += 1
+            return "barred"
+        if record.busy:
+            if record.call_forwarding:
+                self.calls_routed += 1
+                return "forwarded:%s" % record.call_forwarding
+            self.calls_rejected += 1
+            return "busy"
+        if record.call_forwarding:
+            self.calls_routed += 1
+            return "forwarded:%s" % record.call_forwarding
+        self.calls_routed += 1
+        return "connected"
+
+    def set_busy(self, number: str, busy: bool) -> None:
+        self.line(number).busy = busy
+
+    def call_status(self, number: str) -> str:
+        """The PSTN call-status signal the reach-me service aggregates."""
+        return "busy" if self.line(number).busy else "idle"

@@ -1,0 +1,110 @@
+"""VoIP network elements: SIP registrar and proxy (paper Section 3.1.3).
+
+"SIP registrars simply store a mapping between a SIP address (a VoIP
+phone number) and the corresponding IP address of the endpoint. SIP
+proxies are used for message routing and may store some user
+information." Both are modelled: the registrar with expiring contact
+bindings, the proxy with routing (and a hook for consulting profile
+data, the "future SIP-based services" direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.stores.base import NativeStore
+
+__all__ = ["Binding", "SipRegistrar", "SipProxy"]
+
+
+class Binding:
+    """One contact binding for an address-of-record."""
+
+    def __init__(self, contact: str, expires_at: float, user_id: str):
+        self.contact = contact
+        self.expires_at = expires_at
+        self.user_id = user_id
+
+
+class SipRegistrar(NativeStore):
+    """AOR → contact bindings with absolute expiry times.
+
+    Expiry is evaluated against a caller-supplied ``now`` (virtual
+    milliseconds), so the registrar composes with the simulator clock.
+    """
+
+    PROFILE_DATA = ("SIP address-of-record bindings",)
+
+    def __init__(self, name: str):
+        super().__init__(name, network="VoIP", region="internet")
+        self._bindings: Dict[str, List[Binding]] = {}
+        self.registrations = 0
+
+    def register(
+        self,
+        aor: str,
+        contact: str,
+        user_id: str,
+        now: float = 0.0,
+        expires_ms: float = 3_600_000.0,
+    ) -> Binding:
+        binding = Binding(contact, now + expires_ms, user_id)
+        bucket = self._bindings.setdefault(aor, [])
+        bucket[:] = [b for b in bucket if b.contact != contact]
+        bucket.append(binding)
+        self.registrations += 1
+        return binding
+
+    def unregister(self, aor: str, contact: str) -> None:
+        bucket = self._bindings.get(aor, [])
+        bucket[:] = [b for b in bucket if b.contact != contact]
+
+    def lookup(self, aor: str, now: float = 0.0) -> List[Binding]:
+        """Live bindings for *aor* (expired ones are dropped)."""
+        bucket = self._bindings.get(aor, [])
+        bucket[:] = [b for b in bucket if b.expires_at > now]
+        return list(bucket)
+
+    def is_registered(self, aor: str, now: float = 0.0) -> bool:
+        return bool(self.lookup(aor, now))
+
+
+class SipProxy(NativeStore):
+    """Routes SIP requests using the registrar's bindings."""
+
+    PROFILE_DATA = ("message routing state", "user routing hints")
+
+    def __init__(self, name: str, registrar: SipRegistrar):
+        super().__init__(name, network="VoIP", region="internet")
+        self.registrar = registrar
+        #: Optional per-user routing hints (the profile data "future
+        #: SIP-based services" would pull from other databases).
+        self._hints: Dict[str, str] = {}
+        self.routed = 0
+        self.failed = 0
+
+    def set_routing_hint(self, aor: str, hint: str) -> None:
+        self._hints[aor] = hint
+
+    def route(
+        self, aor: str, now: float = 0.0
+    ) -> Tuple[str, Optional[str]]:
+        """Route a SIP INVITE. Returns ``(outcome, contact)`` where
+        outcome is ``'proxied'``, ``'hinted'``, or ``'not-registered'``."""
+        bindings = self.registrar.lookup(aor, now)
+        if bindings:
+            self.routed += 1
+            return "proxied", bindings[-1].contact
+        hint = self._hints.get(aor)
+        if hint is not None:
+            self.routed += 1
+            return "hinted", hint
+        self.failed += 1
+        return "not-registered", None
+
+    def call_status(self, aor: str, now: float = 0.0) -> str:
+        """'online' when at least one live binding exists."""
+        return (
+            "online" if self.registrar.is_registered(aor, now)
+            else "offline"
+        )

@@ -1,0 +1,155 @@
+"""Supporting profile-bearing systems of Figure 5: AAA servers,
+billing systems, and ISP session stores.
+
+The paper's placement table lists these alongside the switches and
+registrars:
+
+* **AAA** (VoIP row; also §3.1.2 "authentication (using AAA servers)")
+  — credentials and per-service authorization;
+* **billing systems** (PSTN and Wireless rows) — call detail records
+  and the post-paid invoice view;
+* **ISP** (Web row: "cross network info: ISP info about a user being
+  connected or not and its IP address and calling phone number") —
+  dial-up session state, a presence-like signal the reach-me service
+  could aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.stores.base import NativeStore
+
+__all__ = ["AAAServer", "BillingSystem", "IspSessionStore"]
+
+
+class AAAServer(NativeStore):
+    """Authentication, Authorization, Accounting (RADIUS-style)."""
+
+    PROFILE_DATA = (
+        "credentials", "authorized services", "accounting records",
+    )
+
+    def __init__(self, name: str, network: str = "VoIP"):
+        super().__init__(name, network=network, region="core")
+        self._secrets: Dict[str, str] = {}
+        self._services: Dict[str, set] = {}
+        self._accounting: List[Tuple[str, str, float]] = []
+        self.rejected = 0
+
+    # -- provisioning ------------------------------------------------------
+
+    def enroll(self, user_id: str, secret: str) -> None:
+        if user_id in self._secrets:
+            raise StoreError("user %r already enrolled" % user_id)
+        self._secrets[user_id] = secret
+        self._services[user_id] = set()
+
+    def grant_service(self, user_id: str, service: str) -> None:
+        if user_id not in self._services:
+            raise StoreError("unknown user %r" % user_id)
+        self._services[user_id].add(service)
+
+    def revoke_service(self, user_id: str, service: str) -> None:
+        self._services.get(user_id, set()).discard(service)
+
+    # -- the three A's ---------------------------------------------------------
+
+    def authenticate(self, user_id: str, secret: str) -> bool:
+        ok = self._secrets.get(user_id) == secret
+        if not ok:
+            self.rejected += 1
+        return ok
+
+    def authorize(self, user_id: str, service: str) -> bool:
+        ok = service in self._services.get(user_id, ())
+        if not ok:
+            self.rejected += 1
+        return ok
+
+    def account(
+        self, user_id: str, event: str, at: float = 0.0
+    ) -> None:
+        self._accounting.append((user_id, event, at))
+
+    def accounting_records(
+        self, user_id: str
+    ) -> List[Tuple[str, str, float]]:
+        return [r for r in self._accounting if r[0] == user_id]
+
+
+class BillingSystem(NativeStore):
+    """Call-detail records and the post-paid invoice view."""
+
+    PROFILE_DATA = (
+        "call detail records", "billing plan", "invoice totals",
+    )
+
+    def __init__(self, name: str, network: str):
+        if network not in ("PSTN", "Wireless"):
+            raise StoreError(
+                "billing systems belong to PSTN or Wireless"
+            )
+        super().__init__(name, network=network, region="core")
+        #: user -> plan name ('flat', 'per-minute'...)
+        self._plans: Dict[str, str] = {}
+        #: (user, callee, minutes, cents)
+        self._cdrs: List[Tuple[str, str, int, int]] = []
+
+    def set_plan(self, user_id: str, plan: str) -> None:
+        self._plans[user_id] = plan
+
+    def plan_of(self, user_id: str) -> Optional[str]:
+        return self._plans.get(user_id)
+
+    def record_call(
+        self, user_id: str, callee: str, minutes: int,
+        rate_cents: int = 5,
+    ) -> None:
+        """Write one CDR; flat-plan calls rate to zero."""
+        cents = (
+            0 if self._plans.get(user_id) == "flat"
+            else minutes * rate_cents
+        )
+        self._cdrs.append((user_id, callee, minutes, cents))
+
+    def cdrs_for(
+        self, user_id: str
+    ) -> List[Tuple[str, str, int, int]]:
+        return [r for r in self._cdrs if r[0] == user_id]
+
+    def invoice_total(self, user_id: str) -> int:
+        """Cents owed this cycle."""
+        return sum(cents for _u, _c, _m, cents in self.cdrs_for(user_id))
+
+
+class IspSessionStore(NativeStore):
+    """Dial-up/broadband session state at the ISP (the Web row's
+    "cross network info")."""
+
+    PROFILE_DATA = (
+        "connection state", "assigned IP address",
+        "calling phone number",
+    )
+
+    def __init__(self, name: str):
+        super().__init__(name, network="Web", region="internet")
+        #: user -> (ip, calling number)
+        self._sessions: Dict[str, Tuple[str, str]] = {}
+
+    def connect(
+        self, user_id: str, ip_address: str, calling_number: str = ""
+    ) -> None:
+        self._sessions[user_id] = (ip_address, calling_number)
+
+    def disconnect(self, user_id: str) -> None:
+        self._sessions.pop(user_id, None)
+
+    def is_connected(self, user_id: str) -> bool:
+        return user_id in self._sessions
+
+    def session_of(
+        self, user_id: str
+    ) -> Optional[Tuple[str, str]]:
+        return self._sessions.get(user_id)

@@ -1,0 +1,172 @@
+"""Web-side profile stores: internet portal and enterprise intranet
+(paper Section 3.1.4).
+
+The portal (think Yahoo!) holds address books, calendars, game scores
+and bookmarks in its own record format; the enterprise server (think
+the Lucent intranet) holds the corporate address book and calendar
+behind a firewall flag. Neither speaks XML natively — the portal
+adapter does the GUP translation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StoreError
+from repro.stores.base import NativeStore
+
+__all__ = ["ContactRecord", "AppointmentRecord", "WebPortal",
+           "EnterpriseServer"]
+
+
+class ContactRecord:
+    """Native address-book entry (flat record, portal style)."""
+
+    def __init__(
+        self,
+        contact_id: str,
+        display_name: str,
+        kind: str = "personal",
+        phones: Optional[Dict[str, str]] = None,
+        emails: Optional[Dict[str, str]] = None,
+    ):
+        if kind not in ("personal", "corporate"):
+            raise StoreError("bad contact kind %r" % kind)
+        self.contact_id = contact_id
+        self.display_name = display_name
+        self.kind = kind
+        self.phones = dict(phones or {})
+        self.emails = dict(emails or {})
+
+
+class AppointmentRecord:
+    """Native calendar entry."""
+
+    def __init__(
+        self,
+        appt_id: str,
+        start: str,
+        end: str,
+        subject: str,
+        where: str = "",
+        visibility: str = "private",
+    ):
+        self.appt_id = appt_id
+        self.start = start
+        self.end = end
+        self.subject = subject
+        self.where = where
+        self.visibility = visibility
+
+
+class WebPortal(NativeStore):
+    """An internet portal hosting per-user profile slices."""
+
+    PROFILE_DATA = (
+        "address book", "calendar", "game scores", "bookmarks",
+        "e-commerce profile",
+    )
+
+    def __init__(self, name: str, region: str = "internet"):
+        super().__init__(name, network="Web", region=region)
+        self._contacts: Dict[str, Dict[str, ContactRecord]] = {}
+        self._calendar: Dict[str, Dict[str, AppointmentRecord]] = {}
+        self._scores: Dict[str, Dict[str, int]] = {}
+        self._bookmarks: Dict[str, Dict[str, str]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # -- accounts ----------------------------------------------------------
+
+    def create_account(self, user_id: str) -> None:
+        if user_id in self._contacts:
+            raise StoreError("account %r exists" % user_id)
+        self._contacts[user_id] = {}
+        self._calendar[user_id] = {}
+        self._scores[user_id] = {}
+        self._bookmarks[user_id] = {}
+
+    def has_account(self, user_id: str) -> bool:
+        return user_id in self._contacts
+
+    def accounts(self) -> List[str]:
+        return sorted(self._contacts)
+
+    def _require(self, user_id: str) -> None:
+        if user_id not in self._contacts:
+            raise StoreError("no account %r" % user_id)
+
+    # -- address book ---------------------------------------------------------
+
+    def put_contact(self, user_id: str, record: ContactRecord) -> None:
+        self._require(user_id)
+        self._contacts[user_id][record.contact_id] = record
+        self.writes += 1
+
+    def delete_contact(self, user_id: str, contact_id: str) -> None:
+        self._require(user_id)
+        self._contacts[user_id].pop(contact_id, None)
+        self.writes += 1
+
+    def contacts(self, user_id: str) -> List[ContactRecord]:
+        self._require(user_id)
+        self.reads += 1
+        return list(self._contacts[user_id].values())
+
+    # -- calendar ----------------------------------------------------------------
+
+    def put_appointment(
+        self, user_id: str, record: AppointmentRecord
+    ) -> None:
+        self._require(user_id)
+        self._calendar[user_id][record.appt_id] = record
+        self.writes += 1
+
+    def appointments(self, user_id: str) -> List[AppointmentRecord]:
+        self._require(user_id)
+        self.reads += 1
+        return sorted(
+            self._calendar[user_id].values(), key=lambda a: a.start
+        )
+
+    # -- game scores / bookmarks ---------------------------------------------------
+
+    def set_score(self, user_id: str, game: str, score: int) -> None:
+        self._require(user_id)
+        self._scores[user_id][game] = score
+        self.writes += 1
+
+    def scores(self, user_id: str) -> Dict[str, int]:
+        self._require(user_id)
+        self.reads += 1
+        return dict(self._scores[user_id])
+
+    def add_bookmark(self, user_id: str, mark_id: str, url: str) -> None:
+        self._require(user_id)
+        self._bookmarks[user_id][mark_id] = url
+        self.writes += 1
+
+    def bookmarks(self, user_id: str) -> Dict[str, str]:
+        self._require(user_id)
+        self.reads += 1
+        return dict(self._bookmarks[user_id])
+
+
+class EnterpriseServer(WebPortal):
+    """Corporate intranet server: same record model as a portal, but
+    only *corporate* data, behind a firewall (the adapter refuses
+    personal entries and external callers must be authorized)."""
+
+    PROFILE_DATA = ("corporate address book", "corporate calendar",
+                    "employee directory entry")
+
+    def __init__(self, name: str, company: str):
+        super().__init__(name, region="enterprise")
+        self.company = company
+
+    def put_contact(self, user_id: str, record: ContactRecord) -> None:
+        if record.kind != "corporate":
+            raise StoreError(
+                "enterprise server only stores corporate contacts"
+            )
+        super().put_contact(user_id, record)

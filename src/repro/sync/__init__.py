@@ -1,0 +1,16 @@
+"""Synchronization (requirements 6/7): syncable endpoints with change
+logs, SyncML-style fast/slow sessions, and reconciliation policies."""
+
+from repro.sync.endpoint import Change, SyncEndpoint
+from repro.sync.reconcile import POLICIES, Conflict, Reconciler
+from repro.sync.syncml import SyncReport, SyncSession
+
+__all__ = [
+    "Change",
+    "SyncEndpoint",
+    "Reconciler",
+    "Conflict",
+    "POLICIES",
+    "SyncSession",
+    "SyncReport",
+]

@@ -1,0 +1,153 @@
+"""Reconciliation policies for conflicting replicas (requirement 6).
+
+"Profile management must include mechanisms for reconciliation of
+slightly inconsistent data ... End-users should be able to provision
+the policies used to reconcile profile data."
+
+A conflict is the same item id modified on both replicas since the last
+sync. The provisioning-visible policies:
+
+* ``client-wins`` / ``server-wins`` — prioritize a site (Section 5.3:
+  "reconciliation can be handled by prioritizing sites");
+* ``last-writer-wins`` — compare the virtual update stamps;
+* ``merge`` — field-level deep union of the two items (the "more
+  sophisticated method");
+* ``duplicate`` — keep both, suffixing the loser's id (never lose
+  data; the user cleans up later).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SyncError
+from repro.pxml import PNode
+from repro.pxml.merge import ConflictPolicy, GUP_KEYSPEC, deep_union
+from repro.sync.endpoint import Change
+
+__all__ = ["POLICIES", "Conflict", "Reconciler"]
+
+POLICIES = (
+    "client-wins", "server-wins", "last-writer-wins", "merge",
+    "duplicate",
+)
+
+
+class Conflict:
+    """Record of one reconciled conflict (reports feed E8)."""
+
+    def __init__(
+        self,
+        item_id: str,
+        policy: str,
+        winner: str,
+    ):
+        self.item_id = item_id
+        self.policy = policy
+        self.winner = winner  # 'client' | 'server' | 'merged' | 'both'
+
+    def __repr__(self) -> str:
+        return "<Conflict %s -> %s (%s)>" % (
+            self.item_id, self.winner, self.policy,
+        )
+
+
+class Reconciler:
+    """Resolves conflicting changes under a named policy."""
+
+    def __init__(self, policy: str = "merge"):
+        if policy not in POLICIES:
+            raise SyncError("unknown reconciliation policy %r" % policy)
+        self.policy = policy
+
+    def resolve(
+        self,
+        client_change: Change,
+        server_change: Change,
+    ) -> Tuple[List[Change], List[Change], Conflict]:
+        """Resolve one conflict.
+
+        Returns ``(apply_to_client, apply_to_server, report)`` — the
+        change lists each side must apply to converge.
+        """
+        policy = self.policy
+        if policy == "client-wins":
+            return [], [client_change], Conflict(
+                client_change.item_id, policy, "client"
+            )
+        if policy == "server-wins":
+            return [server_change], [], Conflict(
+                client_change.item_id, policy, "server"
+            )
+        if policy == "last-writer-wins":
+            if client_change.at >= server_change.at:
+                return [], [client_change], Conflict(
+                    client_change.item_id, policy, "client"
+                )
+            return [server_change], [], Conflict(
+                client_change.item_id, policy, "server"
+            )
+        if policy == "merge":
+            merged = self._merge(client_change, server_change)
+            if merged is None:
+                # A delete vs an edit: the edit survives (data safety).
+                surviving = (
+                    client_change
+                    if client_change.op == "put" else server_change
+                )
+                return (
+                    [surviving] if surviving is server_change else [],
+                    [surviving] if surviving is client_change else [],
+                    Conflict(
+                        client_change.item_id, policy,
+                        "client" if surviving is client_change
+                        else "server",
+                    ),
+                )
+            at = max(client_change.at, server_change.at)
+            merged_change = Change(
+                0, "put", client_change.item_id, merged, at
+            )
+            return [merged_change], [merged_change], Conflict(
+                client_change.item_id, policy, "merged"
+            )
+        # duplicate
+        if client_change.op == "put" and server_change.op == "put":
+            renamed = client_change.payload.copy()
+            renamed.attrs["id"] = client_change.item_id + "-dup"
+            dup_change = Change(
+                0, "put", renamed.attrs["id"], renamed,
+                client_change.at,
+            )
+            # Server's version keeps the id; the client's version is
+            # renamed and installed on BOTH sides so replicas converge.
+            return (
+                [server_change, dup_change],
+                [dup_change],
+                Conflict(client_change.item_id, policy, "both"),
+            )
+        # delete vs put under 'duplicate': keep the put everywhere.
+        surviving = (
+            client_change if client_change.op == "put" else server_change
+        )
+        return (
+            [surviving] if surviving is server_change else [],
+            [surviving] if surviving is client_change else [],
+            Conflict(client_change.item_id, policy, "both"),
+        )
+
+    @staticmethod
+    def _merge(
+        client_change: Change, server_change: Change
+    ) -> Optional[PNode]:
+        if client_change.op != "put" or server_change.op != "put":
+            return None
+        newer, older = (
+            (client_change, server_change)
+            if client_change.at >= server_change.at
+            else (server_change, client_change)
+        )
+        return deep_union(
+            newer.payload, older.payload, GUP_KEYSPEC,
+            ConflictPolicy.PREFER_FIRST,
+        )

@@ -1,0 +1,211 @@
+"""SyncML-style two-way synchronization sessions.
+
+The GUP group "has already identified SyncML as the protocol for
+synchronization" (Section 3.2.2), but "SyncML is only a transport
+protocol. Issues like synchronization semantics need to be addressed"
+(Section 5.3). This module implements both halves:
+
+* the transport shape — anchor exchange, then change batches in both
+  directions, with per-message byte accounting;
+* the semantics — **fast sync** (deltas since the stored sequence
+  marks, valid only when anchors line up) vs **slow sync** (full
+  snapshot comparison after an anchor mismatch, e.g. a device reset),
+  plus conflict detection and pluggable reconciliation
+  (:mod:`repro.sync.reconcile`).
+
+Experiment E8 measures messages/bytes of fast vs slow sync as a
+function of change rate — the shape that justifies anchors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sync.endpoint import Change, SyncEndpoint
+from repro.sync.reconcile import Conflict, Reconciler
+
+__all__ = ["SyncReport", "SyncSession"]
+
+#: Fixed framing overhead per SyncML message.
+MESSAGE_OVERHEAD_BYTES = 120
+
+
+class SyncReport:
+    """What one sync session did."""
+
+    def __init__(self, mode: str):
+        self.mode = mode  # 'fast' | 'slow'
+        self.messages = 0
+        self.bytes = 0
+        self.sent_to_server = 0
+        self.sent_to_client = 0
+        self.conflicts: List[Conflict] = []
+
+    def add_message(self, payload_bytes: int) -> None:
+        self.messages += 1
+        self.bytes += payload_bytes + MESSAGE_OVERHEAD_BYTES
+
+    def __repr__(self) -> str:
+        return (
+            "<SyncReport %s: %d msgs, %d B, c->s %d, s->c %d, "
+            "%d conflicts>"
+            % (self.mode, self.messages, self.bytes,
+               self.sent_to_server, self.sent_to_client,
+               len(self.conflicts))
+        )
+
+
+class SyncSession:
+    """A persistent pairing of two endpoints (device <-> network)."""
+
+    def __init__(
+        self,
+        client: SyncEndpoint,
+        server: SyncEndpoint,
+        reconciler: Optional[Reconciler] = None,
+    ):
+        self.client = client
+        self.server = server
+        self.reconciler = (
+            reconciler if reconciler is not None else Reconciler()
+        )
+        # Anchors per SyncML: both sides remember the last agreed tag.
+        self._client_anchor: Optional[str] = None
+        self._server_anchor: Optional[str] = None
+        self._sync_count = 0
+        # High-water marks of each side's log at last sync.
+        self._client_mark = 0
+        self._server_mark = 0
+        self._ever_synced = False
+
+    # -- anchor management ------------------------------------------------------
+
+    def corrupt_client_anchor(self) -> None:
+        """Simulate a device reset / restore-from-backup."""
+        self._client_anchor = "corrupt"
+
+    @property
+    def anchors_match(self) -> bool:
+        return (
+            self._ever_synced
+            and self._client_anchor == self._server_anchor
+        )
+
+    # -- the session ---------------------------------------------------------------
+
+    def run(self, now: float = 0.0) -> SyncReport:
+        """One two-way synchronization. Chooses fast or slow sync by
+        the anchor comparison, applies changes both ways, reconciles
+        conflicts, and rolls the anchors forward."""
+        if self.anchors_match:
+            report = self._fast_sync(now)
+        else:
+            report = self._slow_sync(now)
+        self._sync_count += 1
+        anchor = "a%d" % self._sync_count
+        self._client_anchor = anchor
+        self._server_anchor = anchor
+        self._client_mark = self.client.seq
+        self._server_mark = self.server.seq
+        self._ever_synced = True
+        return report
+
+    # -- fast sync ----------------------------------------------------------------
+
+    def _fast_sync(self, now: float) -> SyncReport:
+        report = SyncReport("fast")
+        # Alert exchange (anchor comparison).
+        report.add_message(32)
+        report.add_message(32)
+        client_changes = self.client.changes_since(self._client_mark)
+        server_changes = self.server.changes_since(self._server_mark)
+        self._exchange(client_changes, server_changes, report, now)
+        # Map/ack message closing the session.
+        report.add_message(16)
+        return report
+
+    # -- slow sync ----------------------------------------------------------------
+
+    def _slow_sync(self, now: float) -> SyncReport:
+        report = SyncReport("slow")
+        report.add_message(32)  # alert: anchors mismatch -> slow
+        report.add_message(32)
+        # Both sides ship their full databases.
+        client_snapshot = self.client.snapshot()
+        server_snapshot = self.server.snapshot()
+        report.add_message(client_snapshot.byte_size())
+        report.add_message(server_snapshot.byte_size())
+        # Synthesize changes from the snapshot diff, then reuse the
+        # exchange machinery. A slow sync cannot distinguish "deleted
+        # here" from "added there", so deletions do not propagate —
+        # the documented SyncML slow-sync semantics.
+        client_changes = [
+            Change(0, "put", item_id, self.client.item(item_id),
+                   self.client.updated_at(item_id))
+            for item_id in self.client.item_ids()
+        ]
+        server_changes = [
+            Change(0, "put", item_id, self.server.item(item_id),
+                   self.server.updated_at(item_id))
+            for item_id in self.server.item_ids()
+        ]
+        self._exchange(
+            client_changes, server_changes, report, now,
+            skip_identical=True,
+        )
+        report.add_message(16)
+        return report
+
+    # -- shared exchange logic -------------------------------------------------------
+
+    def _exchange(
+        self,
+        client_changes: List[Change],
+        server_changes: List[Change],
+        report: SyncReport,
+        now: float,
+        skip_identical: bool = False,
+    ) -> None:
+        by_id_server: Dict[str, Change] = {
+            change.item_id: change for change in server_changes
+        }
+        conflict_ids = set()
+        to_server: List[Change] = []
+        to_client: List[Change] = []
+
+        for change in client_changes:
+            partner = by_id_server.get(change.item_id)
+            if partner is None:
+                to_server.append(change)
+                continue
+            conflict_ids.add(change.item_id)
+            if (
+                skip_identical
+                and change.op == "put" and partner.op == "put"
+                and change.payload.deep_equal(partner.payload)
+            ):
+                continue  # replicas already agree on this item
+            apply_client, apply_server, conflict = (
+                self.reconciler.resolve(change, partner)
+            )
+            to_client.extend(apply_client)
+            to_server.extend(apply_server)
+            report.conflicts.append(conflict)
+        for change in server_changes:
+            if change.item_id not in conflict_ids:
+                to_client.append(change)
+
+        if to_server:
+            report.add_message(
+                sum(change.byte_size() for change in to_server)
+            )
+        if to_client:
+            report.add_message(
+                sum(change.byte_size() for change in to_client)
+            )
+        for change in to_server:
+            self.server.apply_change(change, now)
+        for change in to_client:
+            self.client.apply_change(change, now)
+        report.sent_to_server = len(to_server)
+        report.sent_to_client = len(to_client)

@@ -1,0 +1,17 @@
+"""Workload generation: synthetic populations, skewed request streams,
+and builders for the paper's concrete scenarios."""
+
+from repro.workloads.scenarios import ConvergedWorld, build_converged_world
+from repro.workloads.synthetic import (
+    SyntheticAdapter,
+    ZipfSampler,
+    spread_users,
+)
+
+__all__ = [
+    "ConvergedWorld",
+    "build_converged_world",
+    "SyntheticAdapter",
+    "ZipfSampler",
+    "spread_users",
+]

@@ -1,0 +1,452 @@
+"""Scenario builders: the paper's worlds, assembled and wired.
+
+:func:`build_converged_world` constructs the full Figure 1 topology —
+a wireless carrier (HLR/VLR/MSC + portal + presence), a PSTN switch, a
+SIP deployment, an internet portal (Yahoo!-like), a corporate intranet
+(Lucent-like, with an LDAP directory), end-user devices — GUP-enables
+everything with adapters, registers the coverage of the paper's Section
+4.3 example, and provisions the Section 4.6 example privacy shield.
+
+Both running examples live here:
+
+* **Alice** (Section 2.1, roaming profile): SprintPCS cell phone,
+  Vodafone GSM phone with SIM, a PDA, Yahoo! personal data, Lucent
+  corporate data.
+* **Arnaud** (Sections 4.3/4.5): address book replicated at Yahoo! and
+  SprintPCS, game scores, presence at SprintPCS, and the Figure 9
+  variant where the book is split personal/corporate between Yahoo! and
+  Lucent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.access import (
+    PolicyRule,
+    all_of,
+    relationship_in,
+    working_hours,
+)
+from repro.adapters import (
+    CompositeAdapter,
+    DeviceAdapter,
+    IspAdapter,
+    EnterpriseAdapter,
+    GupAdapter,
+    HlrAdapter,
+    LdapAdapter,
+    PortalAdapter,
+    PresenceAdapter,
+    PstnAdapter,
+    SipAdapter,
+)
+from repro.core import GupsterServer, QueryExecutor
+from repro.simnet import Network, Simulator
+from repro.stores import (
+    AAAServer,
+    BillingSystem,
+    HLR,
+    MSC,
+    VLR,
+    AppointmentRecord,
+    Class5Switch,
+    ContactRecord,
+    DirectoryServer,
+    EnterpriseServer,
+    LdapEntry,
+    MobilePhone,
+    Pda,
+    PhoneBookEntry,
+    PresenceServer,
+    SimCard,
+    IspSessionStore,
+    SipProxy,
+    SipRegistrar,
+    StoreDirectory,
+    WebPortal,
+)
+
+__all__ = ["ConvergedWorld", "build_converged_world"]
+
+
+class ConvergedWorld:
+    """Everything a test/bench/example needs, in one bag."""
+
+    def __init__(self):
+        self.network = Network(seed=2003)
+        self.sim = Simulator()
+        self.directory = StoreDirectory()
+        # Native stores (populated by the builder).
+        self.hlr: Optional[HLR] = None
+        self.vlr: Optional[VLR] = None
+        self.msc: Optional[MSC] = None
+        self.switch: Optional[Class5Switch] = None
+        self.registrar: Optional[SipRegistrar] = None
+        self.proxy: Optional[SipProxy] = None
+        self.yahoo: Optional[WebPortal] = None
+        self.spcs_portal: Optional[WebPortal] = None
+        self.lucent: Optional[EnterpriseServer] = None
+        self.ldap: Optional[DirectoryServer] = None
+        self.presence: Optional[PresenceServer] = None
+        self.aaa: Optional[AAAServer] = None
+        self.pstn_billing: Optional[BillingSystem] = None
+        self.wireless_billing: Optional[BillingSystem] = None
+        self.isp: Optional[IspSessionStore] = None
+        self.phones: Dict[str, MobilePhone] = {}
+        self.pdas: Dict[str, Pda] = {}
+        # GUP layer.
+        self.adapters: Dict[str, GupAdapter] = {}
+        self.server: Optional[GupsterServer] = None
+        self.executor: Optional[QueryExecutor] = None
+        #: Pre-pay billing service (set by the builder).
+        self.prepay = None
+
+    def adapter(self, store_id: str) -> GupAdapter:
+        return self.adapters[store_id]
+
+
+def build_converged_world(
+    split_address_book: bool = False,
+    with_policies: bool = True,
+) -> ConvergedWorld:
+    """Build the paper's converged world.
+
+    Parameters
+    ----------
+    split_address_book:
+        False → Arnaud's whole book is replicated at Yahoo! and
+        SprintPCS (the Section 4.3 coverage). True → the Figure 9
+        split: personal items at Yahoo!, corporate items at Lucent.
+    with_policies:
+        Provision the Section 4.6 example privacy shield for Arnaud
+        and a matching one for Alice.
+    """
+    world = ConvergedWorld()
+    net = world.network
+
+    # ---- network nodes ---------------------------------------------------
+    net.add_node("gupster", region="core")
+    net.add_node("client-app", region="internet")
+    net.add_node("reachme-service", region="core")
+    for name, region in (
+        ("gup.yahoo.com", "internet"),
+        ("gup.spcs.com", "core"),
+        ("gup.lucent.com", "enterprise"),
+        ("gup.pstn.com", "core"),
+        ("gup.voip.com", "internet"),
+        ("gup.ldap.lucent.com", "enterprise"),
+        ("gup.isp.example.com", "internet"),
+        ("gup.device.alice", "wireless"),
+        ("gup.device.arnaud", "wireless"),
+    ):
+        net.add_node(name, region=region)
+
+    # ---- native stores ---------------------------------------------------
+    world.hlr = HLR("hlr.spcs", carrier="sprintpcs")
+    world.vlr = VLR("vlr.nj", served_cells=["nj-1", "nj-2"])
+    world.hlr.attach_vlr(world.vlr)
+    world.msc = MSC("msc.nj", world.hlr, world.vlr)
+    world.hlr.provision_subscriber("9085551111", "imsi-alice", "alice")
+    world.hlr.provision_subscriber("9085552222", "imsi-arnaud", "arnaud")
+
+    world.switch = Class5Switch("5ess.mh")
+    world.switch.install_line("9085820001", "alice")   # office line
+    world.switch.install_line("9085820099", "alice-home")
+
+    world.registrar = SipRegistrar("registrar.lucent")
+    world.proxy = SipProxy("proxy.lucent", world.registrar)
+
+    world.yahoo = WebPortal("portal.yahoo")
+    world.spcs_portal = WebPortal("portal.spcs")
+    world.lucent = EnterpriseServer("intranet.lucent", company="Lucent")
+    world.presence = PresenceServer("im.spcs")
+
+    world.aaa = AAAServer("aaa.lucent")
+    world.aaa.enroll("alice", "s3cret")
+    world.aaa.grant_service("alice", "voip")
+    world.pstn_billing = BillingSystem("billing.pstn", network="PSTN")
+    world.pstn_billing.set_plan("alice", "flat")
+    world.wireless_billing = BillingSystem(
+        "billing.spcs", network="Wireless"
+    )
+    world.wireless_billing.set_plan("alice", "per-minute")
+    world.isp = IspSessionStore("isp.example")
+
+    world.ldap = DirectoryServer(
+        "ldap.lucent", suffix="o=lucent", region="enterprise"
+    )
+    world.ldap.add(
+        LdapEntry("o=lucent", ["organization"], {"o": ["lucent"]})
+    )
+
+    for store in (
+        world.hlr, world.vlr, world.msc, world.switch,
+        world.registrar, world.proxy, world.yahoo, world.spcs_portal,
+        world.lucent, world.presence, world.ldap,
+        world.aaa, world.pstn_billing, world.wireless_billing,
+        world.isp,
+    ):
+        world.directory.add(store)
+
+    # ---- Alice (Example 1) --------------------------------------------------
+    alice_sim = SimCard("imsi-alice-eu", "447700900111", capacity=50)
+    alice_cell = MobilePhone(
+        "phone.alice.spcs", "alice", "sprintpcs"
+    )
+    alice_gsm = MobilePhone(
+        "phone.alice.voda", "alice", "vodafone", sim=alice_sim
+    )
+    alice_pda = Pda("pda.alice", "alice")
+    world.phones["alice-cell"] = alice_cell
+    world.phones["alice-gsm"] = alice_gsm
+    world.pdas["alice"] = alice_pda
+    for store in (alice_cell, alice_gsm, alice_pda):
+        world.directory.add(store)
+
+    alice_cell.store_entry(
+        PhoneBookEntry("c1", "Bob Cell", "908-582-1111")
+    )
+    alice_cell.set_preference("ring-tone", "vivaldi")
+    alice_cell.add_wap_bookmark("w1", "wap://weather")
+    alice_gsm.store_entry(
+        PhoneBookEntry("e1", "Maman", "+33-1-42-68-53-00"), on_sim=True
+    )
+
+    world.yahoo.create_account("alice")
+    world.yahoo.put_contact(
+        "alice",
+        ContactRecord("y1", "Mom", kind="personal",
+                      phones={"home": "+33-1-42-68-53-00"}),
+    )
+    world.yahoo.put_appointment(
+        "alice",
+        AppointmentRecord("ya1", "2003-01-10T19:00", "2003-01-10T21:00",
+                          "Dinner", visibility="private"),
+    )
+    world.lucent.create_account("alice")
+    world.lucent.put_contact(
+        "alice",
+        ContactRecord("l1", "Rick (manager)", kind="corporate",
+                      phones={"work": "908-582-4393"},
+                      emails={"corporate": "rick@lucent.com"}),
+    )
+    world.lucent.put_appointment(
+        "alice",
+        AppointmentRecord("la1", "2003-01-06T09:00", "2003-01-06T10:00",
+                          "Staff meeting", where="MH 2C-501",
+                          visibility="work"),
+    )
+    world.ldap.add(
+        LdapEntry(
+            "uid=alice,o=lucent",
+            ["person", "inetOrgPerson", "organizationalPerson"],
+            {
+                "cn": ["Alice Smith"], "sn": ["Smith"],
+                "uid": ["alice"], "mail": ["alice@lucent.com"],
+                "telephoneNumber": ["908-582-0001"],
+                "mobile": ["908-555-1111"],
+                "ou": ["Bell Labs"],
+            },
+        )
+    )
+    world.registrar.register(
+        "sip:alice@lucent.com", "135.104.3.7", "alice", now=0.0
+    )
+    world.presence.set_status("alice", "available")
+
+    # ---- Arnaud (Sections 4.3/4.5) ------------------------------------------
+    world.yahoo.create_account("arnaud")
+    world.spcs_portal.create_account("arnaud")
+    personal_contacts = [
+        ContactRecord("p1", "Maman", kind="personal",
+                      phones={"home": "+33-1-40-00-00-01"}),
+        ContactRecord("p2", "Paul", kind="personal",
+                      phones={"cell": "908-555-0002"}),
+    ]
+    corporate_contacts = [
+        ContactRecord("c1", "Rick Hull", kind="corporate",
+                      phones={"work": "908-582-4393"},
+                      emails={"corporate": "hull@lucent.com"}),
+        ContactRecord("c2", "Daniel Lieuwen", kind="corporate",
+                      phones={"work": "908-582-5544"}),
+    ]
+    if split_address_book:
+        # Figure 9: personal at Yahoo!, corporate at Lucent.
+        for record in personal_contacts:
+            world.yahoo.put_contact("arnaud", record)
+        world.lucent.create_account("arnaud")
+        for record in corporate_contacts:
+            world.lucent.put_contact("arnaud", record)
+    else:
+        # Section 4.3: the whole book replicated at Yahoo! and SprintPCS.
+        for record in personal_contacts + corporate_contacts:
+            world.yahoo.put_contact("arnaud", record)
+            world.spcs_portal.put_contact("arnaud", record)
+    world.yahoo.set_score("arnaud", "chess", 1820)
+    world.spcs_portal.set_score("arnaud", "chess", 1820)
+    world.presence.set_status("arnaud", "available")
+
+    arnaud_phone = MobilePhone(
+        "phone.arnaud.spcs", "arnaud", "sprintpcs"
+    )
+    world.phones["arnaud-cell"] = arnaud_phone
+    world.directory.add(arnaud_phone)
+
+    # ---- adapters ---------------------------------------------------------
+    yahoo_adapter = PortalAdapter("gup.yahoo.com", world.yahoo)
+    lucent_adapter = EnterpriseAdapter("gup.lucent.com", world.lucent)
+    presence_adapter = PresenceAdapter(
+        "gup.spcs.com#presence", world.presence
+    )
+    presence_adapter.track_user("arnaud")
+    presence_adapter.track_user("alice")
+    # IM buddy lists (requirement 5's "buddies who are available").
+    world.presence.add_buddy("arnaud", "alice", "Alice S.")
+    world.presence.add_buddy("arnaud", "paul", "Paul")
+    world.presence.add_buddy("alice", "arnaud", "Arnaud")
+    # The Figure 1 Pre-Pay service lives inside the WSP: Arnaud is a
+    # prepaid subscriber with a live balance.
+    from repro.services.prepay import PrePayService, PrepayAdapter
+
+    world.prepay = PrePayService(world.hlr)
+    world.prepay.open_account("arnaud", 1500)
+    spcs_adapter = CompositeAdapter(
+        "gup.spcs.com",
+        [
+            PortalAdapter("gup.spcs.com#portal", world.spcs_portal),
+            presence_adapter,
+            HlrAdapter("gup.spcs.com#hlr", world.hlr),
+            PrepayAdapter("gup.spcs.com#prepay", world.prepay),
+        ],
+        region="core",
+    )
+    pstn_adapter = PstnAdapter("gup.pstn.com", world.switch)
+    pstn_adapter.attach_line("alice", "9085820001")
+    sip_adapter = SipAdapter("gup.voip.com", world.proxy)
+    sip_adapter.attach_aor("alice", "sip:alice@lucent.com")
+    ldap_adapter = LdapAdapter("gup.ldap.lucent.com", world.ldap)
+    ldap_adapter.map_person("alice", "uid=alice,o=lucent")
+    isp_adapter = IspAdapter("gup.isp.example.com", world.isp)
+    isp_adapter.track_user("alice")
+    alice_device_adapter = DeviceAdapter("gup.device.alice", alice_cell)
+    arnaud_device_adapter = DeviceAdapter(
+        "gup.device.arnaud", arnaud_phone
+    )
+
+    for adapter in (
+        yahoo_adapter, lucent_adapter, spcs_adapter, pstn_adapter,
+        sip_adapter, ldap_adapter, isp_adapter, alice_device_adapter,
+        arnaud_device_adapter,
+    ):
+        world.adapters[adapter.store_id] = adapter
+
+    # ---- GUPster ------------------------------------------------------------
+    from repro.core.cache import ComponentCache
+
+    world.server = GupsterServer(
+        "gupster", cache=ComponentCache(capacity=256)
+    )
+    for adapter in world.adapters.values():
+        if isinstance(adapter, DeviceAdapter):
+            # Devices are sync clients, not shared network stores:
+            # reachable through their adapters but not registered as
+            # coverage (their books are replicas of network data).
+            world.server.join(adapter, user_ids=[])
+        else:
+            world.server.join(adapter)
+    # Yahoo! holds only Alice's *personal* data, so its registrations
+    # for her are slices (the enterprise side auto-slices via
+    # EnterpriseAdapter.COMPONENT_SLICES).
+    alice_book = "/user[@id='alice']/address-book"
+    alice_cal = "/user[@id='alice']/calendar"
+    world.server.unregister_component(alice_book, "gup.yahoo.com")
+    world.server.register_component(
+        alice_book + "/item[@type='personal']", "gup.yahoo.com"
+    )
+    world.server.unregister_component(alice_cal, "gup.yahoo.com")
+    world.server.register_component(
+        alice_cal + "/appointment[@visibility='private']",
+        "gup.yahoo.com",
+    )
+    if split_address_book:
+        # Figure 9: Arnaud's book is split — Yahoo! holds only the
+        # personal items (Lucent's corporate slice is already
+        # registered that way by the enterprise adapter).
+        book = "/user[@id='arnaud']/address-book"
+        world.server.unregister_component(book, "gup.yahoo.com")
+        world.server.register_component(
+            book + "/item[@type='personal']", "gup.yahoo.com"
+        )
+    world.executor = QueryExecutor(world.network, world.server)
+
+    # ---- privacy shields ------------------------------------------------------
+    if with_policies:
+        _provision_paper_policies(world.server)
+    return world
+
+
+def _provision_paper_policies(server: GupsterServer) -> None:
+    """The Section 4.6 example shield, for both users."""
+    for user in ("arnaud", "alice"):
+        prefix = "/user[@id='%s']" % user
+        server.provision_policy(
+            user,
+            PolicyRule(
+                user, prefix + "/presence", "permit",
+                all_of(relationship_in("co-worker"), working_hours()),
+                rule_id="%s-coworkers-presence" % user,
+            ),
+        )
+        server.provision_policy(
+            user,
+            PolicyRule(
+                user, prefix + "/presence", "permit",
+                relationship_in("boss", "family"),
+                rule_id="%s-boss-family-presence" % user,
+            ),
+        )
+        server.provision_policy(
+            user,
+            PolicyRule(
+                user,
+                prefix + "/address-book/item[@type='personal']",
+                "permit", relationship_in("family"),
+                rule_id="%s-family-book" % user,
+            ),
+        )
+        server.provision_policy(
+            user,
+            PolicyRule(
+                user, prefix + "/calendar", "permit",
+                relationship_in("family", "boss"),
+                rule_id="%s-family-calendar" % user,
+            ),
+        )
+        # IM buddies may see presence and the buddy list.
+        server.provision_policy(
+            user,
+            PolicyRule(
+                user, prefix + "/presence", "permit",
+                relationship_in("buddy"),
+                rule_id="%s-buddies-presence" % user,
+            ),
+        )
+        server.provision_policy(
+            user,
+            PolicyRule(
+                user, prefix + "/buddy-list", "permit",
+                relationship_in("buddy"),
+                rule_id="%s-buddies-list" % user,
+            ),
+        )
+        # The converged services themselves act with broad read access
+        # (they run inside the operator, Figure 1).
+        server.provision_policy(
+            user,
+            PolicyRule(
+                user, prefix, "permit",
+                relationship_in("self"),
+                rule_id="%s-self" % user,
+            ),
+        )

@@ -1,0 +1,361 @@
+"""Unit tests for the privacy shield: contexts, rules, PDP decisions,
+and the PAP/PRP/PEP infrastructure (Figure 10)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.pxml import parse_path
+from repro.access import (
+    Decision,
+    PolicyAdministrationPoint,
+    PolicyDecisionPoint,
+    PolicyEnforcementPoint,
+    PolicyRepository,
+    PolicyRule,
+    RequestContext,
+    all_of,
+    always,
+    any_of,
+    hour_between,
+    negate,
+    purpose_in,
+    relationship_in,
+    requester_is,
+    weekday_in,
+    working_hours,
+)
+
+
+class TestRequestContext:
+    def test_defaults(self):
+        ctx = RequestContext("bob")
+        assert ctx.relationship == "third-party"
+        assert ctx.purpose == "query"
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            RequestContext("bob", relationship="nemesis")
+        with pytest.raises(PolicyError):
+            RequestContext("bob", purpose="espionage")
+        with pytest.raises(PolicyError):
+            RequestContext("bob", hour=25)
+        with pytest.raises(PolicyError):
+            RequestContext("bob", weekday=9)
+
+    def test_working_hours(self):
+        assert RequestContext("b", hour=10, weekday=2).is_working_hours()
+        assert not RequestContext("b", hour=20, weekday=2).is_working_hours()
+        assert not RequestContext("b", hour=10, weekday=6).is_working_hours()
+
+    def test_at_copies(self):
+        ctx = RequestContext("bob", relationship="family", hour=9)
+        moved = ctx.at(22, weekday=5)
+        assert moved.hour == 22 and moved.weekday == 5
+        assert moved.requester == "bob"
+        assert ctx.hour == 9  # original untouched
+
+    def test_xml_round_trip(self):
+        ctx = RequestContext(
+            "app:reachme", relationship="third-party",
+            purpose="subscribe", hour=14, weekday=3,
+        )
+        again = RequestContext.from_xml(ctx.to_xml())
+        assert again.requester == "app:reachme"
+        assert again.purpose == "subscribe"
+        assert again.hour == 14 and again.weekday == 3
+        assert ctx.byte_size() > 0
+
+    def test_from_xml_rejects_other_documents(self):
+        from repro.pxml import PNode
+        with pytest.raises(PolicyError):
+            RequestContext.from_xml(PNode("not-context"))
+
+
+class TestConditions:
+    def test_requester_is(self):
+        cond = requester_is("bob", "carol")
+        assert cond.holds(RequestContext("bob"))
+        assert not cond.holds(RequestContext("mallory"))
+
+    def test_relationship_in(self):
+        cond = relationship_in("family", "boss")
+        assert cond.holds(RequestContext("m", relationship="family"))
+        assert not cond.holds(RequestContext("m", relationship="buddy"))
+
+    def test_purpose_in(self):
+        cond = purpose_in("cache")
+        assert cond.holds(RequestContext("m", purpose="cache"))
+        assert not cond.holds(RequestContext("m", purpose="query"))
+
+    def test_hour_between(self):
+        cond = hour_between(9, 18)
+        assert cond.holds(RequestContext("m", hour=9))
+        assert not cond.holds(RequestContext("m", hour=18))
+        with pytest.raises(PolicyError):
+            hour_between(18, 9)
+
+    def test_weekday_in(self):
+        cond = weekday_in(5, 6)
+        assert cond.holds(RequestContext("m", weekday=6))
+        assert not cond.holds(RequestContext("m", weekday=2))
+        with pytest.raises(PolicyError):
+            weekday_in(7)
+
+    def test_combinators(self):
+        cond = all_of(relationship_in("co-worker"), working_hours())
+        ok = RequestContext("m", relationship="co-worker",
+                            hour=10, weekday=1)
+        assert cond.holds(ok)
+        assert not cond.holds(ok.at(22))
+        either = any_of(relationship_in("boss"), relationship_in("family"))
+        assert either.holds(RequestContext("m", relationship="boss"))
+        inverted = negate(working_hours())
+        assert inverted.holds(RequestContext("m", hour=3))
+
+
+class TestPolicyRule:
+    def test_owner_mismatch_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyRule("alice", "/user[@id='bob']/presence", "permit")
+
+    def test_bad_effect_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicyRule("alice", "/user[@id='alice']/presence", "allow")
+
+    def test_applies_requires_overlap_and_condition(self):
+        rule = PolicyRule(
+            "alice", "/user[@id='alice']/presence", "permit",
+            working_hours(),
+        )
+        ctx = RequestContext("bob", relationship="co-worker",
+                             hour=10, weekday=1)
+        assert rule.applies_to("/user[@id='alice']/presence", ctx)
+        assert not rule.applies_to("/user[@id='alice']/calendar", ctx)
+        assert not rule.applies_to("/user[@id='alice']/presence",
+                                   ctx.at(23))
+
+    def test_unique_ids_generated(self):
+        a = PolicyRule("u", "/user[@id='u']/presence", "permit")
+        b = PolicyRule("u", "/user[@id='u']/presence", "permit")
+        assert a.rule_id != b.rule_id
+
+
+def corporate_shield():
+    """The paper's Section 4.6 example policies for user 'arnaud'."""
+    return [
+        PolicyRule(
+            "arnaud", "/user[@id='arnaud']/presence", "permit",
+            all_of(relationship_in("co-worker"), working_hours()),
+            rule_id="coworkers-presence",
+        ),
+        PolicyRule(
+            "arnaud", "/user[@id='arnaud']/presence", "permit",
+            relationship_in("boss", "family"),
+            rule_id="boss-family-presence",
+        ),
+        PolicyRule(
+            "arnaud",
+            "/user[@id='arnaud']/address-book/item[@type='personal']",
+            "permit", relationship_in("family"),
+            rule_id="family-addressbook",
+        ),
+        PolicyRule(
+            "arnaud", "/user[@id='arnaud']/calendar", "permit",
+            relationship_in("family"), rule_id="family-calendar",
+        ),
+    ]
+
+
+class TestPdpPaperPolicies:
+    def setup_method(self):
+        self.pdp = PolicyDecisionPoint()
+        self.rules = corporate_shield()
+
+    def decide(self, path, ctx):
+        return self.pdp.decide(self.rules, path, ctx)
+
+    def test_coworker_during_work(self):
+        ctx = RequestContext("bob", relationship="co-worker",
+                             hour=11, weekday=2)
+        decision = self.decide("/user[@id='arnaud']/presence", ctx)
+        assert decision.permit
+        assert decision.permitted_paths == [
+            parse_path("/user[@id='arnaud']/presence")
+        ]
+
+    def test_coworker_after_hours_denied(self):
+        ctx = RequestContext("bob", relationship="co-worker",
+                             hour=22, weekday=2)
+        assert not self.decide("/user[@id='arnaud']/presence", ctx).permit
+
+    def test_family_any_time(self):
+        ctx = RequestContext("mom", relationship="family",
+                             hour=23, weekday=6)
+        assert self.decide("/user[@id='arnaud']/presence", ctx).permit
+        assert self.decide("/user[@id='arnaud']/calendar", ctx).permit
+
+    def test_family_gets_personal_slice_of_address_book(self):
+        ctx = RequestContext("mom", relationship="family")
+        decision = self.decide("/user[@id='arnaud']/address-book", ctx)
+        assert decision.permit
+        # Rewritten: only the personal items, not the whole book.
+        assert decision.permitted_paths == [
+            parse_path(
+                "/user[@id='arnaud']/address-book"
+                "/item[@type='personal']"
+            )
+        ]
+
+    def test_third_party_default_deny(self):
+        ctx = RequestContext("telemarketer")
+        decision = self.decide("/user[@id='arnaud']/presence", ctx)
+        assert not decision.permit
+        assert any("default deny" in r for r in decision.reasons)
+
+    def test_deny_overrides_permit(self):
+        self.rules.append(
+            PolicyRule(
+                "arnaud", "/user[@id='arnaud']/presence", "deny",
+                requester_is("stalker"), rule_id="block-stalker",
+            )
+        )
+        ctx = RequestContext("stalker", relationship="family")
+        assert not self.decide("/user[@id='arnaud']/presence", ctx).permit
+        # Other family members are unaffected.
+        ctx2 = RequestContext("mom", relationship="family")
+        assert self.decide("/user[@id='arnaud']/presence", ctx2).permit
+
+    def test_narrow_request_within_grant(self):
+        ctx = RequestContext("mom", relationship="family")
+        decision = self.decide(
+            "/user[@id='arnaud']/calendar/appointment[@id='a1']", ctx
+        )
+        assert decision.permit
+        assert decision.permitted_paths == [
+            parse_path(
+                "/user[@id='arnaud']/calendar/appointment[@id='a1']"
+            )
+        ]
+
+    def test_duplicate_grants_coalesced(self):
+        ctx = RequestContext("boss", relationship="boss",
+                             hour=10, weekday=0)
+        # boss matches boss-family-presence; also simulate an extra rule
+        self.rules.append(
+            PolicyRule(
+                "arnaud", "/user[@id='arnaud']/presence", "permit",
+                relationship_in("boss"), rule_id="extra-boss",
+            )
+        )
+        decision = self.decide("/user[@id='arnaud']/presence", ctx)
+        assert len(decision.permitted_paths) == 1
+
+    def test_decisions_counted(self):
+        ctx = RequestContext("bob")
+        self.decide("/user[@id='arnaud']/presence", ctx)
+        assert self.pdp.decisions_made == 1
+
+
+class TestRepositoryReplication:
+    def test_store_and_versioning(self):
+        repo = PolicyRepository()
+        rule = PolicyRule("u", "/user[@id='u']/presence", "permit",
+                          rule_id="r1")
+        repo.store(rule)
+        assert repo.rule_count() == 1
+        updated = PolicyRule("u", "/user[@id='u']/presence", "deny",
+                             rule_id="r1")
+        repo.store(updated)
+        assert repo.rule_count() == 1
+        assert repo.rules_for("u")[0].version == 2
+
+    def test_remove(self):
+        repo = PolicyRepository()
+        repo.store(PolicyRule("u", "/user[@id='u']/presence", "permit",
+                              rule_id="r1"))
+        repo.remove("u", "r1")
+        assert repo.rules_for("u") == []
+        with pytest.raises(PolicyError):
+            repo.remove("u", "r1")
+
+    def test_incremental_replication(self):
+        master = PolicyRepository("master")
+        replica = PolicyRepository("replica")
+        master.store(PolicyRule("u", "/user[@id='u']/presence", "permit",
+                                rule_id="r1"))
+        applied = replica.apply_changes(master.changes_since(0))
+        assert applied == 1
+        assert replica.rule_count() == 1
+        # Second sync is a no-op.
+        assert replica.apply_changes(
+            master.changes_since(replica.revision)
+        ) == 0
+        # A removal propagates too.
+        master.remove("u", "r1")
+        replica.apply_changes(master.changes_since(replica.revision))
+        assert replica.rule_count() == 0
+
+
+class TestPapPep:
+    def setup_method(self):
+        self.repo = PolicyRepository()
+        self.pap = PolicyAdministrationPoint(self.repo)
+        self.pep = PolicyEnforcementPoint(self.repo)
+
+    def test_pap_accepts_own_rules(self):
+        rule = PolicyRule("alice", "/user[@id='alice']/presence",
+                          "permit", relationship_in("buddy"))
+        self.pap.provision_rule("alice", rule)
+        assert self.pap.provisioned == 1
+        assert self.repo.rule_count() == 1
+
+    def test_pap_rejects_foreign_rules(self):
+        rule = PolicyRule("alice", "/user[@id='alice']/presence",
+                          "permit")
+        with pytest.raises(PolicyError):
+            self.pap.provision_rule("mallory", rule)
+        assert self.pap.rejected == 1
+
+    def test_pap_revoke(self):
+        rule = PolicyRule("alice", "/user[@id='alice']/presence",
+                          "permit", rule_id="mine")
+        self.pap.provision_rule("alice", rule)
+        self.pap.revoke_rule("alice", "mine")
+        assert self.repo.rule_count() == 0
+        with pytest.raises(PolicyError):
+            self.pap.revoke_rule("alice", "mine")
+
+    def test_pep_owner_always_permitted(self):
+        ctx = RequestContext("alice", relationship="self")
+        decision = self.pep.enforce("/user[@id='alice']/wallet", ctx)
+        assert decision.permit
+
+    def test_pep_impersonation_does_not_work(self):
+        # Claiming 'self' with a different requester id fails.
+        ctx = RequestContext("mallory", relationship="self")
+        decision = self.pep.enforce("/user[@id='alice']/wallet", ctx)
+        assert not decision.permit
+        assert self.pep.denied == 1
+
+    def test_pep_requires_owner_in_path(self):
+        with pytest.raises(PolicyError):
+            self.pep.enforce(
+                "/user/presence", RequestContext("bob")
+            )
+
+    def test_pep_uses_rules(self):
+        self.pap.provision_rule(
+            "alice",
+            PolicyRule("alice", "/user[@id='alice']/presence", "permit",
+                       relationship_in("buddy")),
+        )
+        ok = self.pep.enforce(
+            "/user[@id='alice']/presence",
+            RequestContext("bob", relationship="buddy"),
+        )
+        assert ok.permit
+        bad = self.pep.enforce(
+            "/user[@id='alice']/presence",
+            RequestContext("bob", relationship="third-party"),
+        )
+        assert not bad.permit

@@ -1,0 +1,393 @@
+"""Unit tests for the GUP adapters: native <-> GUP XML translation."""
+
+import pytest
+
+from repro.errors import AdapterError
+from repro.pxml import GUP_SCHEMA, evaluate_values, parse
+from repro.adapters import (
+    DeviceAdapter,
+    EnterpriseAdapter,
+    HlrAdapter,
+    LdapAdapter,
+    PortalAdapter,
+    PresenceAdapter,
+    PstnAdapter,
+    SipAdapter,
+)
+from repro.stores import (
+    HLR,
+    VLR,
+    MSC,
+    Class5Switch,
+    ContactRecord,
+    AppointmentRecord,
+    DirectoryServer,
+    EnterpriseServer,
+    LdapEntry,
+    MobilePhone,
+    PhoneBookEntry,
+    PresenceServer,
+    SipProxy,
+    SipRegistrar,
+    WebPortal,
+)
+
+
+class TestPortalAdapter:
+    def setup_method(self):
+        self.portal = WebPortal("yahoo")
+        self.portal.create_account("arnaud")
+        self.portal.put_contact(
+            "arnaud",
+            ContactRecord("1", "Bob", phones={"cell": "908-582-1111"},
+                          emails={"personal": "bob@x.com"}),
+        )
+        self.portal.put_appointment(
+            "arnaud",
+            AppointmentRecord("a1", "2003-01-06T09:00",
+                              "2003-01-06T10:00", "CIDR", where="Asilomar"),
+        )
+        self.portal.set_score("arnaud", "chess", 1450)
+        self.adapter = PortalAdapter("gup.yahoo.com", self.portal)
+
+    def test_export_validates_against_gup_schema(self):
+        view = self.adapter.export_user("arnaud")
+        assert GUP_SCHEMA.validate(view) == []
+
+    def test_export_unknown_user_is_none(self):
+        assert self.adapter.export_user("stranger") is None
+
+    def test_coverage_paths_reflect_present_components(self):
+        paths = self.adapter.coverage_paths("arnaud")
+        assert "/user[@id='arnaud']/address-book" in paths
+        assert "/user[@id='arnaud']/calendar" in paths
+        assert "/user[@id='arnaud']/game-scores" in paths
+        assert "/user[@id='arnaud']/bookmarks" not in paths  # empty
+
+    def test_get_projects_requested_subtree(self):
+        fragment = self.adapter.get("/user[@id='arnaud']/address-book")
+        assert fragment.child("address-book") is not None
+        assert fragment.child("calendar") is None
+
+    def test_get_deep_path(self):
+        values = evaluate_values(
+            self.adapter.get(
+                "/user[@id='arnaud']/address-book/item[@id='1']"
+            ),
+            "/user/address-book/item/number",
+        )
+        assert values == ["908-582-1111"]
+
+    def test_get_requires_user_predicate(self):
+        with pytest.raises(AdapterError):
+            self.adapter.get("/user/address-book")
+
+    def test_put_component_round_trip(self):
+        fragment = parse(
+            "<address-book>"
+            "<item id='9'><name>Zoe</name>"
+            "<number type='cell'>908-582-2222</number></item>"
+            "</address-book>"
+        )
+        self.adapter.put("/user[@id='arnaud']/address-book", fragment)
+        contacts = self.portal.contacts("arnaud")
+        assert [c.display_name for c in contacts] == ["Zoe"]
+
+    def test_put_replaces_stale_entries(self):
+        fragment = parse("<address-book/>")
+        self.adapter.put("/user[@id='arnaud']/address-book", fragment)
+        assert self.portal.contacts("arnaud") == []
+
+    def test_put_accepts_user_rooted_fragment(self):
+        fragment = parse(
+            "<user id='arnaud'><game-scores>"
+            "<score game='go'>9</score></game-scores></user>"
+        )
+        self.adapter.put("/user[@id='arnaud']/game-scores", fragment)
+        assert self.portal.scores("arnaud")["go"] == 9
+
+    def test_put_rejects_deep_paths(self):
+        with pytest.raises(AdapterError):
+            self.adapter.put(
+                "/user[@id='arnaud']/address-book/item[@id='1']",
+                parse("<item id='1'/>"),
+            )
+
+    def test_put_rejects_unknown_component(self):
+        with pytest.raises(AdapterError):
+            self.adapter.put(
+                "/user[@id='arnaud']/wallet", parse("<wallet/>")
+            )
+
+    def test_put_rejects_mismatched_fragment(self):
+        with pytest.raises(AdapterError):
+            self.adapter.put(
+                "/user[@id='arnaud']/calendar", parse("<presence/>")
+            )
+
+    def test_calendar_round_trip(self):
+        view = self.adapter.export_user("arnaud")
+        appt = view.child("calendar").children[0]
+        assert appt.child("where").text == "Asilomar"
+        assert appt.attrs["visibility"] == "private"
+
+    def test_users(self):
+        assert self.adapter.users() == ["arnaud"]
+
+
+class TestEnterpriseAdapter:
+    def test_corporate_only_view(self):
+        server = EnterpriseServer("intranet.lucent", company="Lucent")
+        server.create_account("alice")
+        server.put_contact(
+            "alice", ContactRecord("c1", "Boss", kind="corporate")
+        )
+        adapter = EnterpriseAdapter("gup.lucent.com", server)
+        view = adapter.export_user("alice")
+        items = view.child("address-book").children
+        assert [i.attrs["type"] for i in items] == ["corporate"]
+        assert adapter.region == "enterprise"
+        assert "game-scores" not in [c.tag for c in view.children]
+
+
+class TestHlrAdapter:
+    def setup_method(self):
+        self.hlr = HLR("hlr.sprintpcs", carrier="sprintpcs")
+        vlr = VLR("vlr.east", ["nj-1"])
+        self.hlr.attach_vlr(vlr)
+        self.msc = MSC("msc.east", self.hlr, vlr)
+        self.hlr.provision_subscriber("9085551234", "imsi-1", "alice")
+        self.adapter = HlrAdapter("gup.spcs.com", self.hlr)
+
+    def test_export_validates(self):
+        view = self.adapter.export_user("alice")
+        assert GUP_SCHEMA.validate(view) == []
+
+    def test_location_reflects_mobility(self):
+        view = self.adapter.export_user("alice")
+        assert evaluate_values(view, "/user/location/on-air") == ["false"]
+        self.msc.handle_power_on("9085551234", "nj-1")
+        view = self.adapter.export_user("alice")
+        assert evaluate_values(view, "/user/location/on-air") == ["true"]
+        assert evaluate_values(view, "/user/location/cell") == ["nj-1"]
+
+    def test_write_call_forwarding_through_gup(self):
+        fragment = parse(
+            "<services>"
+            "<service name='call-forwarding' enabled='true'>"
+            "<parameter name='target'>9085559999</parameter>"
+            "</service></services>"
+        )
+        self.adapter.put("/user[@id='alice']/services", fragment)
+        assert (
+            self.hlr.subscriber("9085551234").call_forwarding
+            == "9085559999"
+        )
+
+    def test_disable_call_forwarding(self):
+        self.hlr.set_call_forwarding("9085551234", "123")
+        fragment = parse(
+            "<services>"
+            "<service name='call-forwarding' enabled='false'/>"
+            "</services>"
+        )
+        self.adapter.put("/user[@id='alice']/services", fragment)
+        assert self.hlr.subscriber("9085551234").call_forwarding is None
+
+    def test_write_rejected_on_location(self):
+        with pytest.raises(AdapterError):
+            self.adapter.put(
+                "/user[@id='alice']/location", parse("<location/>")
+            )
+
+    def test_unknown_user(self):
+        assert self.adapter.export_user("bob") is None
+        assert self.adapter.users() == ["alice"]
+
+
+class TestPstnAdapter:
+    def setup_method(self):
+        self.switch = Class5Switch("5ess")
+        self.switch.install_line("9085820001", "alice")
+        self.adapter = PstnAdapter("gup.pstn.com", self.switch)
+        self.adapter.attach_line("alice", "9085820001")
+
+    def test_attach_requires_existing_line(self):
+        with pytest.raises(AdapterError):
+            self.adapter.attach_line("bob", "999")
+
+    def test_export_validates(self):
+        view = self.adapter.export_user("alice")
+        assert GUP_SCHEMA.validate(view) == []
+
+    def test_call_status_export(self):
+        self.switch.set_busy("9085820001", True)
+        view = self.adapter.export_user("alice")
+        assert evaluate_values(view, "/user/call-status/state") == ["busy"]
+
+    def test_gup_write_bypasses_keypad_restriction(self):
+        # caller-id cannot be self-provisioned at the switch, but the
+        # adapter carries operator authority (the emerging web
+        # self-provisioning the paper describes).
+        fragment = parse(
+            "<services><service name='caller-id' enabled='false'/>"
+            "</services>"
+        )
+        self.adapter.put("/user[@id='alice']/services", fragment)
+        assert not self.switch.line("9085820001").caller_id_enabled
+
+
+class TestSipAdapter:
+    def test_online_offline(self):
+        registrar = SipRegistrar("registrar")
+        proxy = SipProxy("proxy", registrar)
+        adapter = SipAdapter("gup.voip.com", proxy)
+        adapter.attach_aor("alice", "sip:alice@example.com")
+        view = adapter.export_user("alice")
+        assert evaluate_values(view, "/user/call-status/state") == [
+            "offline"
+        ]
+        registrar.register(
+            "sip:alice@example.com", "10.0.0.5", "alice", now=0
+        )
+        adapter.now = 10.0
+        view = adapter.export_user("alice")
+        assert evaluate_values(view, "/user/call-status/state") == [
+            "online"
+        ]
+
+
+class TestPresenceAdapter:
+    def test_round_trip(self):
+        server = PresenceServer("im")
+        adapter = PresenceAdapter("gup.im.com", server)
+        adapter.track_user("alice")
+        view = adapter.export_user("alice")
+        assert evaluate_values(view, "/user/presence/status") == [
+            "offline"
+        ]
+        adapter.put(
+            "/user[@id='alice']/presence",
+            parse("<presence><status>busy</status>"
+                  "<note>in a meeting</note></presence>"),
+        )
+        assert server.status("alice") == "busy"
+        view = adapter.export_user("alice")
+        assert evaluate_values(view, "/user/presence/note") == [
+            "in a meeting"
+        ]
+
+    def test_write_requires_status(self):
+        adapter = PresenceAdapter("gup.im.com", PresenceServer("im"))
+        with pytest.raises(AdapterError):
+            adapter.put(
+                "/user[@id='alice']/presence", parse("<presence/>")
+            )
+
+
+class TestDeviceAdapter:
+    def setup_method(self):
+        self.phone = MobilePhone("alice-cell", "alice", "sprintpcs")
+        self.phone.store_entry(PhoneBookEntry("1", "Bob", "908-582-1111"))
+        self.adapter = DeviceAdapter("gup.device.alice", self.phone)
+
+    def test_export(self):
+        view = self.adapter.export_user("alice")
+        assert GUP_SCHEMA.validate(view) == []
+        assert evaluate_values(
+            view, "/user/address-book/item/name"
+        ) == ["Bob"]
+
+    def test_wrong_user(self):
+        assert self.adapter.export_user("bob") is None
+
+    def test_sync_down_replaces_book(self):
+        fragment = parse(
+            "<address-book>"
+            "<item id='2'><name>Carol</name>"
+            "<number type='cell'>908-582-2222</number></item>"
+            "</address-book>"
+        )
+        self.adapter.put("/user[@id='alice']/address-book", fragment)
+        names = [e.name for e in self.phone.all_entries()]
+        assert names == ["Carol"]
+
+
+class TestLdapAdapter:
+    def setup_method(self):
+        self.server = DirectoryServer("ldap.lucent", suffix="o=lucent")
+        self.server.add(
+            LdapEntry("o=lucent", ["organization"], {"o": ["lucent"]})
+        )
+        self.server.add(
+            LdapEntry(
+                "uid=alice,o=lucent",
+                ["person", "inetOrgPerson", "organizationalPerson"],
+                {
+                    "cn": ["Alice Smith"], "sn": ["Smith"],
+                    "uid": ["alice"], "mail": ["alice@lucent.com"],
+                    "telephoneNumber": ["908-582-0001"],
+                    "mobile": ["908-555-1234"],
+                    "ou": ["Bell Labs"],
+                },
+            )
+        )
+        blob = ("<address-book><item id='1'><name>Bob</name>"
+                "<number type='cell'>908-582-1111</number></item>"
+                "<item id='2'><name>Carol</name></item></address-book>")
+        self.server.add(
+            LdapEntry(
+                "profileName=alice,o=lucent",
+                ["roamingProfileObject"],
+                {"profileName": ["alice"], "profileBlob": [blob]},
+            )
+        )
+        self.adapter = LdapAdapter("gup.ldap.lucent", self.server)
+        self.adapter.map_person("alice", "uid=alice,o=lucent")
+        self.adapter.map_roaming_profile(
+            "alice", "profileName=alice,o=lucent"
+        )
+
+    def test_person_maps_to_self(self):
+        view = self.adapter.export_user("alice")
+        assert GUP_SCHEMA.validate(view) == []
+        assert evaluate_values(view, "/user/self/name") == ["Alice Smith"]
+        numbers = evaluate_values(view, "/user/self/number/@type")
+        assert sorted(numbers) == ["cell", "work"]
+
+    def test_blob_parses_to_address_book(self):
+        view = self.adapter.export_user("alice")
+        assert len(view.child("address-book").children) == 2
+
+    def test_blob_access_pays_whole_object(self):
+        before = self.adapter.native_bytes_read
+        self.adapter.get(
+            "/user[@id='alice']/address-book/item[@id='1']"
+        )
+        cost = self.adapter.native_bytes_read - before
+        blob_size = self.server.entry(
+            "profileName=alice,o=lucent"
+        ).byte_size()
+        assert cost >= blob_size  # one item still costs the whole blob
+
+    def test_map_roaming_profile_validates_class(self):
+        with pytest.raises(AdapterError):
+            self.adapter.map_roaming_profile(
+                "alice", "uid=alice,o=lucent"
+            )
+
+    def test_write_rewrites_whole_blob(self):
+        fragment = parse(
+            "<address-book><item id='3'><name>Zoe</name></item>"
+            "</address-book>"
+        )
+        self.adapter.put("/user[@id='alice']/address-book", fragment)
+        entry = self.server.entry("profileName=alice,o=lucent")
+        assert "Zoe" in entry.first("profileBlob")
+        assert "Bob" not in entry.first("profileBlob")
+
+    def test_write_self_rejected(self):
+        with pytest.raises(AdapterError):
+            self.adapter.put(
+                "/user[@id='alice']/self", parse("<self/>")
+            )

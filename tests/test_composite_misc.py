@@ -1,0 +1,173 @@
+"""Unit tests for the composite adapter, referral rendering, executor
+edge cases, and the error hierarchy."""
+
+import pytest
+
+from repro.access import RequestContext
+from repro.adapters import (
+    CompositeAdapter,
+    PortalAdapter,
+    PresenceAdapter,
+)
+from repro.core import GupsterServer, QueryExecutor
+from repro.core.referral import Referral, ReferralPart
+from repro.errors import (
+    AccessDeniedError,
+    AdapterError,
+    GupsterError,
+    NodeUnreachableError,
+    NoCoverageError,
+    ReproError,
+    StoreError,
+)
+from repro.pxml import evaluate_values, parse, parse_path
+from repro.simnet import Network
+from repro.stores import ContactRecord, PresenceServer, WebPortal
+from repro.workloads import SyntheticAdapter, build_converged_world
+
+
+class TestCompositeAdapter:
+    def setup_method(self):
+        self.portal = WebPortal("portal")
+        self.portal.create_account("u1")
+        self.portal.put_contact("u1", ContactRecord("1", "Bob"))
+        self.presence = PresenceServer("im")
+        self.presence.set_status("u1", "busy")
+        presence_adapter = PresenceAdapter("x#p", self.presence)
+        presence_adapter.track_user("u1")
+        self.composite = CompositeAdapter(
+            "gup.op.com",
+            [PortalAdapter("x#portal", self.portal), presence_adapter],
+        )
+
+    def test_needs_children(self):
+        with pytest.raises(ValueError):
+            CompositeAdapter("x", [])
+
+    def test_components_union(self):
+        assert "address-book" in self.composite.COMPONENTS
+        assert "presence" in self.composite.COMPONENTS
+
+    def test_users_union(self):
+        assert self.composite.users() == ["u1"]
+
+    def test_export_merges_child_views(self):
+        view = self.composite.export_user("u1")
+        assert view.child("address-book") is not None
+        assert evaluate_values(view, "/user/presence/status") == ["busy"]
+
+    def test_export_unknown_user_none(self):
+        assert self.composite.export_user("ghost") is None
+
+    def test_write_routed_to_right_child(self):
+        self.composite.put(
+            "/user[@id='u1']/presence",
+            parse("<presence><status>away</status></presence>"),
+        )
+        assert self.presence.status("u1") == "away"
+
+    def test_write_unsupported_component(self):
+        with pytest.raises(AdapterError):
+            self.composite.put(
+                "/user[@id='u1']/wallet", parse("<wallet/>")
+            )
+
+
+class TestReferralObjects:
+    def test_part_requires_store(self):
+        with pytest.raises(ValueError):
+            ReferralPart(parse_path("/user[@id='a']/presence"), [])
+
+    def test_referral_requires_parts(self):
+        with pytest.raises(ValueError):
+            Referral(parse_path("/user[@id='a']/presence"), [])
+
+    def test_render_matches_paper_notation(self):
+        path = parse_path("/user[@id='arnaud']/address-book")
+        part = ReferralPart(path, ["gup.yahoo.com", "gup.spcs.com"])
+        assert part.render() == (
+            "gup.yahoo.com/user[@id='arnaud']/address-book || "
+            "gup.spcs.com/user[@id='arnaud']/address-book"
+        )
+
+    def test_byte_size_counts_parts(self):
+        path = parse_path("/user[@id='a']/presence")
+        one = Referral(path, [ReferralPart(path, ["s1"])])
+        two = Referral(
+            path,
+            [ReferralPart(path, ["s1"]), ReferralPart(path, ["s2"])],
+        )
+        assert two.byte_size() > one.byte_size()
+
+
+class TestExecutorEdgeCases:
+    def test_all_replicas_down_raises_with_timeouts(self):
+        world = build_converged_world()
+        world.network.fail("gup.yahoo.com")
+        world.network.fail("gup.spcs.com")
+        ctx = RequestContext("arnaud", relationship="self")
+        with pytest.raises(NodeUnreachableError):
+            world.executor.referral(
+                "client-app", "/user[@id='arnaud']/address-book", ctx
+            )
+
+    def test_cached_without_cache_rejected(self):
+        network = Network(seed=1)
+        network.add_node("gupster")
+        network.add_node("client")
+        server = GupsterServer("gupster", enforce_policies=False)
+        executor = QueryExecutor(network, server)
+        with pytest.raises(ValueError):
+            executor.cached(
+                "client", "/user[@id='u']/presence",
+                RequestContext("x"),
+            )
+
+    def test_referral_part_without_adapter(self):
+        network = Network(seed=1)
+        network.add_node("gupster")
+        network.add_node("client")
+        network.add_node("gup.ghost.com")
+        server = GupsterServer("gupster", enforce_policies=False)
+        store = SyntheticAdapter("gup.real.com")
+        store.add_user("u", ["presence"])
+        server.join(store, user_ids=[])
+        server.register_component(
+            "/user[@id='u']/presence", "gup.ghost.com"
+        )
+        executor = QueryExecutor(network, server)
+        with pytest.raises(NoCoverageError):
+            executor.referral(
+                "client", "/user[@id='u']/presence",
+                RequestContext("x"),
+            )
+
+    def test_sequential_flag_fetches_all_parts(self):
+        world = build_converged_world(split_address_book=True)
+        ctx = RequestContext("arnaud", relationship="self")
+        fragment, trace = world.executor.referral(
+            "client-app", "/user[@id='arnaud']/address-book",
+            ctx, parallel=False,
+        )
+        types = set(
+            evaluate_values(fragment, "/user/address-book/item/@type")
+        )
+        assert types == {"personal", "corporate"}
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [AccessDeniedError, AdapterError, GupsterError,
+         NoCoverageError, NodeUnreachableError, StoreError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catching_the_base_class_works(self):
+        world = build_converged_world()
+        with pytest.raises(ReproError):
+            world.server.resolve(
+                "/user[@id='arnaud']/presence",
+                RequestContext("telemarketer"),
+            )

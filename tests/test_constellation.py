@@ -1,0 +1,137 @@
+"""Unit tests for the mirrored GUPster constellation with real
+asynchronous replication (Section 4.2)."""
+
+import pytest
+
+from repro.access import RequestContext
+from repro.core import MirrorConstellation
+from repro.errors import GupsterError, NoCoverageError
+from repro.simnet import Network
+from repro.workloads import SyntheticAdapter
+
+
+PRESENCE = "/user[@id='u1']/presence"
+
+
+def ctx():
+    return RequestContext("app", relationship="third-party")
+
+
+def build(n_mirrors=3):
+    network = Network(seed=21)
+    network.add_node("client", region="internet")
+    mirrors = ["mdm.%d" % index for index in range(n_mirrors)]
+    for mirror in mirrors:
+        network.add_node(mirror, region="core")
+    constellation = MirrorConstellation(network, mirrors)
+    store = SyntheticAdapter("gup.store.com")
+    network.add_node("gup.store.com", region="internet")
+    store.add_user("u1", ["presence", "address-book"])
+    return network, constellation, store
+
+
+class TestReplication:
+    def test_registration_visible_at_home_mirror_immediately(self):
+        _network, constellation, store = build()
+        constellation.join_store(store, via="mdm.0")
+        referral, _trace, used = constellation.resolve(
+            "client", PRESENCE, ctx(), prefer="mdm.0"
+        )
+        assert referral.parts and used == "mdm.0"
+
+    def test_other_mirrors_stale_until_replication(self):
+        _network, constellation, store = build()
+        constellation.join_store(store, via="mdm.0")
+        assert constellation.stale_mirrors(PRESENCE) == [
+            "mdm.1", "mdm.2",
+        ]
+        with pytest.raises(NoCoverageError):
+            constellation.resolve(
+                "client", PRESENCE, ctx(), prefer="mdm.1"
+            )
+        constellation.replicate()
+        assert constellation.stale_mirrors(PRESENCE) == []
+        referral, _trace, used = constellation.resolve(
+            "client", PRESENCE, ctx(), prefer="mdm.1"
+        )
+        assert referral.parts and used == "mdm.1"
+
+    def test_replication_converges_all_mirrors(self):
+        _network, constellation, store = build(n_mirrors=4)
+        constellation.join_store(store, via="mdm.2")
+        assert not constellation.consistent()
+        constellation.replicate()
+        assert constellation.consistent()
+
+    def test_replication_idempotent(self):
+        _network, constellation, store = build()
+        constellation.join_store(store, via="mdm.0")
+        first = constellation.replicate()
+        second = constellation.replicate()
+        assert first > 0
+        assert second == 0  # nothing new to ship
+
+    def test_writes_at_different_mirrors_merge(self):
+        _network, constellation, store = build()
+        other = SyntheticAdapter("gup.other.com")
+        other.add_user("u1", ["presence"])
+        constellation.join_store(store, via="mdm.0")
+        constellation.join_store(other, via="mdm.1")
+        constellation.replicate()
+        # An echo round may be needed for entries learned second-hand.
+        constellation.replicate()
+        assert constellation.consistent()
+        referral, _trace, _used = constellation.resolve(
+            "client", PRESENCE, ctx(), prefer="mdm.2"
+        )
+        stores = referral.parts[0].store_ids
+        assert sorted(stores) == ["gup.other.com", "gup.store.com"]
+
+    def test_unregistration_propagates(self):
+        _network, constellation, store = build()
+        constellation.join_store(store, via="mdm.0")
+        constellation.replicate()
+        constellation.servers["mdm.0"].coverage.unregister(
+            PRESENCE, "gup.store.com"
+        )
+        constellation.replicate()
+        constellation.replicate()  # settle echoes
+        for mirror in constellation.mirror_nodes:
+            resolution = constellation.servers[
+                mirror
+            ].coverage.resolve(PRESENCE)
+            assert not resolution.is_covered, mirror
+
+    def test_replication_traffic_accounted(self):
+        network, constellation, store = build()
+        constellation.join_store(store, via="mdm.0")
+        trace = network.trace()
+        constellation.replicate(trace)
+        assert trace.bytes_total > 0
+        assert constellation.replication_messages > 0
+        assert constellation.replication_bytes == trace.bytes_total
+
+
+class TestReads:
+    def test_failover_read(self):
+        network, constellation, store = build()
+        constellation.join_store(store, via="mdm.0")
+        constellation.replicate()
+        network.fail("mdm.0")
+        referral, trace, used = constellation.resolve(
+            "client", PRESENCE, ctx(), prefer="mdm.0"
+        )
+        assert used != "mdm.0"
+        assert trace.elapsed_ms > network.detect_timeout_ms
+
+    def test_all_mirrors_down(self):
+        network, constellation, store = build()
+        constellation.join_store(store, via="mdm.0")
+        for mirror in constellation.mirror_nodes:
+            network.fail(mirror)
+        with pytest.raises(GupsterError):
+            constellation.resolve("client", PRESENCE, ctx())
+
+    def test_needs_one_mirror(self):
+        with pytest.raises(ValueError):
+            MirrorConstellation(Network(seed=1), [])

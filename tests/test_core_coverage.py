@@ -1,0 +1,142 @@
+"""Unit tests for the coverage map (paper Section 4.5)."""
+
+import pytest
+
+from repro.errors import CoverageError
+from repro.core import CoverageMap
+from repro.pxml import parse_path
+
+
+BOOK = "/user[@id='arnaud']/address-book"
+PRESENCE = "/user[@id='arnaud']/presence"
+PERSONAL = "/user[@id='arnaud']/address-book/item[@type='personal']"
+CORPORATE = "/user[@id='arnaud']/address-book/item[@type='corporate']"
+
+
+class TestRegistration:
+    def test_paper_example_coverage(self):
+        # Section 4.3's example: Yahoo! and SprintPCS both hold the
+        # address book; only SprintPCS holds presence.
+        cov = CoverageMap()
+        cov.register(BOOK, "gup.yahoo.com")
+        cov.register(BOOK, "gup.spcs.com")
+        cov.register(PRESENCE, "gup.spcs.com")
+        assert cov.stores_for(BOOK) == ["gup.yahoo.com", "gup.spcs.com"]
+        assert cov.stores_for(PRESENCE) == ["gup.spcs.com"]
+
+    def test_register_requires_user_id(self):
+        with pytest.raises(CoverageError):
+            CoverageMap().register("/user/address-book", "s1")
+
+    def test_register_rejects_attribute_paths(self):
+        with pytest.raises(CoverageError):
+            CoverageMap().register(
+                "/user[@id='a']/devices/device/@carrier", "s1"
+            )
+
+    def test_duplicate_registration_idempotent(self):
+        cov = CoverageMap()
+        cov.register(BOOK, "s1")
+        cov.register(BOOK, "s1")
+        assert cov.stores_for(BOOK) == ["s1"]
+        assert cov.registrations == 1
+
+    def test_unregister(self):
+        cov = CoverageMap()
+        cov.register(BOOK, "s1")
+        cov.unregister(BOOK, "s1")
+        assert cov.stores_for(BOOK) == []
+        with pytest.raises(CoverageError):
+            cov.unregister(BOOK, "s1")
+
+    def test_unregister_store_drops_everything(self):
+        cov = CoverageMap()
+        cov.register(BOOK, "s1")
+        cov.register(PRESENCE, "s1")
+        cov.register(BOOK, "s2")
+        dropped = cov.unregister_store("s1")
+        assert dropped == 2
+        assert cov.stores_for(BOOK) == ["s2"]
+        assert cov.stores_for(PRESENCE) == []
+
+
+class TestResolution:
+    def setup_method(self):
+        self.cov = CoverageMap()
+        self.cov.register(BOOK, "gup.yahoo.com")
+        self.cov.register(BOOK, "gup.spcs.com")
+        self.cov.register(PRESENCE, "gup.spcs.com")
+
+    def test_exact_component_fully_covered(self):
+        res = self.cov.resolve(BOOK)
+        assert res.is_covered and not res.needs_merge
+        stores = {s for _p, stores in res.full for s in stores}
+        assert stores == {"gup.yahoo.com", "gup.spcs.com"}
+
+    def test_deeper_request_fully_covered(self):
+        res = self.cov.resolve(
+            "/user[@id='arnaud']/address-book/item[@id='7']"
+        )
+        assert res.is_covered and not res.needs_merge
+
+    def test_unregistered_component_uncovered(self):
+        res = self.cov.resolve("/user[@id='arnaud']/wallet")
+        assert not res.is_covered
+
+    def test_unknown_user_uncovered(self):
+        res = self.cov.resolve("/user[@id='rick']/address-book")
+        assert not res.is_covered
+
+    def test_resolve_requires_user(self):
+        with pytest.raises(CoverageError):
+            self.cov.resolve("/user/address-book")
+
+    def test_figure9_split_needs_merge(self):
+        cov = CoverageMap()
+        cov.register(PERSONAL, "gup.yahoo.com")
+        cov.register(CORPORATE, "gup.lucent.com")
+        res = cov.resolve(BOOK)
+        assert res.is_covered and res.needs_merge
+        parts = {str(p): stores for p, stores in res.partial}
+        assert parts == {
+            PERSONAL: ["gup.yahoo.com"],
+            CORPORATE: ["gup.lucent.com"],
+        }
+
+    def test_request_inside_one_split_part_no_merge(self):
+        cov = CoverageMap()
+        cov.register(PERSONAL, "gup.yahoo.com")
+        cov.register(CORPORATE, "gup.lucent.com")
+        res = cov.resolve(PERSONAL)
+        assert res.is_covered and not res.needs_merge
+        assert res.full[0][1] == ["gup.yahoo.com"]
+
+    def test_full_coverage_preferred_over_partial(self):
+        cov = CoverageMap()
+        cov.register(BOOK, "gup.yahoo.com")
+        cov.register(PERSONAL, "gup.phone.com")
+        res = cov.resolve(BOOK)
+        assert res.full and res.partial
+        assert not res.needs_merge  # a full coverer exists
+
+
+class TestIntrospection:
+    def test_component_graph(self):
+        cov = CoverageMap()
+        cov.register(BOOK, "s1")
+        cov.register(PRESENCE, "s1")
+        graph = cov.component_graph("arnaud")
+        assert graph == [
+            (BOOK, ["s1"]),
+            (PRESENCE, ["s1"]),
+        ]
+
+    def test_counts(self):
+        cov = CoverageMap()
+        cov.register(BOOK, "s1")
+        cov.register(BOOK, "s2")
+        cov.register("/user[@id='rick']/game-scores", "s1")
+        assert cov.user_count() == 2
+        assert cov.entry_count() == 3
+        assert cov.stores() == ["s1", "s2"]
+        assert cov.paths_for_user("arnaud") == [parse_path(BOOK)]

@@ -1,0 +1,266 @@
+"""Integration tests for the GUPster server over the paper's world."""
+
+import pytest
+
+from repro.errors import (
+    AccessDeniedError,
+    GupsterError,
+    NoCoverageError,
+)
+from repro.access import RequestContext
+from repro.pxml import evaluate_values, parse_path
+from repro.workloads import build_converged_world
+
+
+ARNAUD_BOOK = "/user[@id='arnaud']/address-book"
+ARNAUD_PRESENCE = "/user[@id='arnaud']/presence"
+
+
+def self_ctx(user):
+    return RequestContext(user, relationship="self")
+
+
+class TestResolveReferral:
+    def setup_method(self):
+        self.world = build_converged_world()
+        self.server = self.world.server
+
+    def test_replicated_book_is_a_choice(self):
+        referral = self.server.resolve(ARNAUD_BOOK, self_ctx("arnaud"))
+        assert len(referral.parts) == 1
+        assert sorted(referral.parts[0].store_ids) == [
+            "gup.spcs.com", "gup.yahoo.com",
+        ]
+        assert not referral.needs_merge
+        assert "||" in referral.render()
+
+    def test_presence_single_store(self):
+        referral = self.server.resolve(
+            ARNAUD_PRESENCE, self_ctx("arnaud")
+        )
+        assert referral.parts[0].store_ids == ["gup.spcs.com"]
+
+    def test_referral_parts_are_signed(self):
+        referral = self.server.resolve(ARNAUD_BOOK, self_ctx("arnaud"))
+        signed = referral.parts[0].signed_query
+        assert signed is not None
+        self.server.signer.verifier().verify(signed, now=1.0)
+
+    def test_spurious_query_rejected(self):
+        with pytest.raises(GupsterError) as excinfo:
+            self.server.resolve(
+                "/user[@id='arnaud']/mp3-collection",
+                self_ctx("arnaud"),
+            )
+        assert "spurious" in str(excinfo.value)
+        assert self.server.spurious_rejected == 1
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(GupsterError):
+            self.server.resolve(
+                "/profile[@id='arnaud']/presence", self_ctx("arnaud")
+            )
+
+    def test_access_denied_for_stranger(self):
+        with pytest.raises(AccessDeniedError):
+            self.server.resolve(
+                ARNAUD_PRESENCE, RequestContext("telemarketer")
+            )
+        assert self.server.denials == 1
+
+    def test_family_book_rewritten_to_personal(self):
+        referral = self.server.resolve(
+            ARNAUD_BOOK, RequestContext("mom", relationship="family")
+        )
+        assert all(
+            "item[@type='personal']" in str(part.path)
+            for part in referral.parts
+        )
+
+    def test_coworker_presence_time_window(self):
+        working = RequestContext(
+            "bob", relationship="co-worker", hour=11, weekday=1
+        )
+        referral = self.server.resolve(ARNAUD_PRESENCE, working)
+        assert referral.parts
+        evening = working.at(22)
+        with pytest.raises(AccessDeniedError):
+            self.server.resolve(ARNAUD_PRESENCE, evening)
+
+    def test_no_coverage(self):
+        with pytest.raises(NoCoverageError):
+            self.server.resolve(
+                "/user[@id='arnaud']/applications", self_ctx("arnaud")
+            )
+
+    def test_prepaid_wallet_covered(self):
+        referral = self.server.resolve(
+            "/user[@id='arnaud']/wallet", self_ctx("arnaud")
+        )
+        assert referral.parts[0].store_ids == ["gup.spcs.com"]
+
+    def test_leave_drops_coverage(self):
+        self.server.leave("gup.yahoo.com")
+        referral = self.server.resolve(ARNAUD_BOOK, self_ctx("arnaud"))
+        assert referral.parts[0].store_ids == ["gup.spcs.com"]
+
+    def test_stats(self):
+        self.server.resolve(ARNAUD_BOOK, self_ctx("arnaud"))
+        stats = self.server.stats()
+        assert stats["resolves"] == 1
+        assert stats["stores"] >= 5
+        assert stats["users"] >= 2
+
+    def test_manual_registration_validated(self):
+        with pytest.raises(GupsterError):
+            self.server.register_component(
+                "/user[@id='x']/nonsense-component", "gup.yahoo.com"
+            )
+
+
+class TestSplitWorld:
+    def test_figure9_merge_referral(self):
+        world = build_converged_world(split_address_book=True)
+        referral = world.server.resolve(
+            ARNAUD_BOOK, self_ctx("arnaud")
+        )
+        assert referral.needs_merge
+        rendered = referral.render()
+        assert "gup.yahoo.com" in rendered
+        assert "gup.lucent.com" in rendered
+
+    def test_update_referral_fans_out(self):
+        world = build_converged_world()
+        ctx = RequestContext(
+            "arnaud", relationship="self", purpose="provision"
+        )
+        referral = world.server.resolve_for_update(ARNAUD_BOOK, ctx)
+        stores = sorted(
+            store for part in referral.parts
+            for store in part.store_ids
+        )
+        assert stores == ["gup.spcs.com", "gup.yahoo.com"]
+
+    def test_update_requires_provision_purpose(self):
+        world = build_converged_world()
+        with pytest.raises(AccessDeniedError):
+            world.server.resolve_for_update(
+                ARNAUD_BOOK, self_ctx("arnaud")
+            )
+
+
+class TestQueryExecutorPatterns:
+    def setup_method(self):
+        self.world = build_converged_world(split_address_book=True)
+        self.executor = self.world.executor
+        self.ctx = self_ctx("arnaud")
+
+    def test_referral_merges_split_book(self):
+        fragment, trace = self.executor.referral(
+            "client-app", ARNAUD_BOOK, self.ctx
+        )
+        types = set(
+            evaluate_values(fragment, "/user/address-book/item/@type")
+        )
+        assert types == {"personal", "corporate"}
+        assert trace.hops >= 6  # resolve RT + two fetch RTs
+
+    def test_chaining_returns_same_data(self):
+        via_referral, _ = self.executor.referral(
+            "client-app", ARNAUD_BOOK, self.ctx
+        )
+        via_chaining, trace = self.executor.chaining(
+            "client-app", ARNAUD_BOOK, self.ctx
+        )
+        assert via_chaining.canonical_key() == via_referral.canonical_key()
+
+    def test_recruiting_returns_same_data(self):
+        via_referral, _ = self.executor.referral(
+            "client-app", ARNAUD_BOOK, self.ctx
+        )
+        via_recruiting, trace = self.executor.recruiting(
+            "client-app", ARNAUD_BOOK, self.ctx
+        )
+        assert (
+            via_recruiting.canonical_key() == via_referral.canonical_key()
+        )
+
+    def test_direct_baseline(self):
+        fragment, trace = self.executor.direct(
+            "client-app",
+            [
+                ("gup.yahoo.com",
+                 "/user[@id='arnaud']/address-book"
+                 "/item[@type='personal']"),
+                ("gup.lucent.com",
+                 "/user[@id='arnaud']/address-book"
+                 "/item[@type='corporate']"),
+            ],
+        )
+        assert len(fragment.child("address-book").children) == 4
+
+    def test_denied_request_raises_through_executor(self):
+        with pytest.raises(AccessDeniedError):
+            self.executor.referral(
+                "client-app", ARNAUD_PRESENCE,
+                RequestContext("telemarketer"),
+            )
+
+    def test_failover_to_replica(self):
+        world = build_converged_world()
+        world.network.fail("gup.yahoo.com")
+        fragment, trace = world.executor.referral(
+            "client-app", ARNAUD_BOOK, self_ctx("arnaud")
+        )
+        assert fragment is not None  # served by gup.spcs.com
+        assert any("FAILED" in line for line in trace.log)
+
+    def test_cached_pattern_hit_and_miss(self):
+        world = build_converged_world()
+        _f, _t, hit1 = world.executor.cached(
+            "client-app", ARNAUD_BOOK, self_ctx("arnaud"), now=0.0
+        )
+        frag, trace2, hit2 = world.executor.cached(
+            "client-app", ARNAUD_BOOK, self_ctx("arnaud"), now=10.0
+        )
+        assert not hit1 and hit2
+        assert frag is not None
+        assert world.server.cache.hits == 1
+
+    def test_provision_enter_once(self):
+        world = build_converged_world()
+        from repro.pxml import parse
+        fragment = parse(
+            "<address-book><item id='z1'><name>Zoe</name>"
+            "<number type='cell'>908-000-1234</number></item>"
+            "</address-book>"
+        )
+        ctx = RequestContext(
+            "arnaud", relationship="self", purpose="provision"
+        )
+        trace = world.executor.provision(
+            "client-app", ARNAUD_BOOK, fragment, ctx
+        )
+        # One user action updated BOTH replicas.
+        assert [c.display_name
+                for c in world.yahoo.contacts("arnaud")] == ["Zoe"]
+        assert [c.display_name
+                for c in world.spcs_portal.contacts("arnaud")] == ["Zoe"]
+
+    def test_provision_invalidates_cache(self):
+        world = build_converged_world()
+        from repro.pxml import parse
+        world.executor.cached(
+            "client-app", ARNAUD_BOOK, self_ctx("arnaud"), now=0.0
+        )
+        ctx = RequestContext(
+            "arnaud", relationship="self", purpose="provision"
+        )
+        world.executor.provision(
+            "client-app", ARNAUD_BOOK,
+            parse("<address-book/>"), ctx, now=1.0,
+        )
+        _f, _t, hit = world.executor.cached(
+            "client-app", ARNAUD_BOOK, self_ctx("arnaud"), now=2.0
+        )
+        assert not hit  # invalidation trigger fired

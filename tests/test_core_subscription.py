@@ -1,0 +1,125 @@
+"""Unit tests for poll- vs push-based subscriptions (E12 machinery)."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.access import RequestContext
+from repro.core import SubscriptionHub
+from repro.workloads import build_converged_world
+
+
+PRESENCE = "/user[@id='arnaud']/presence"
+STATUS = "/user/presence/status"
+
+
+def make_hub():
+    world = build_converged_world()
+    hub = SubscriptionHub(
+        world.sim, world.network, world.server, world.executor
+    )
+    return world, hub
+
+
+def family_ctx(purpose="query"):
+    return RequestContext("mom", relationship="family", purpose=purpose)
+
+
+class TestPolling:
+    def test_poll_detects_change(self):
+        world, hub = make_hub()
+        hub.start_polling(
+            "client-app", PRESENCE, STATUS, family_ctx(),
+            interval_ms=1000, until=10_000,
+        )
+
+        def change():
+            hub.note_change(STATUS, "busy")
+            world.presence.set_status("arnaud", "busy")
+
+        world.sim.schedule(3_500, change)
+        world.sim.run(until=10_000)
+        deliveries = hub.deliveries_for("poll")
+        assert len(deliveries) == 1
+        assert deliveries[0].value == "busy"
+        # Change at 3500 is seen by the 4000ms poll at the earliest.
+        assert deliveries[0].latency_ms >= 500
+
+    def test_every_poll_pays_a_policy_check(self):
+        world, hub = make_hub()
+        before = world.server.pep.enforced
+        hub.start_polling(
+            "client-app", PRESENCE, STATUS, family_ctx(),
+            interval_ms=1000, until=5_000,
+        )
+        world.sim.run(until=5_000)
+        assert world.server.pep.enforced - before == 5
+
+    def test_denied_context_delivers_nothing(self):
+        world, hub = make_hub()
+        hub.start_polling(
+            "client-app", PRESENCE, STATUS,
+            RequestContext("telemarketer"),
+            interval_ms=1000, until=5_000,
+        )
+        world.sim.schedule(
+            2_500,
+            lambda: world.presence.set_status("arnaud", "busy"),
+        )
+        world.sim.run(until=5_000)
+        assert hub.deliveries == []
+
+
+class TestPush:
+    def test_push_delivers_fast(self):
+        world, hub = make_hub()
+        hub.start_push(
+            "client-app", PRESENCE, STATUS, family_ctx(),
+            watch_hook=lambda cb: world.presence.watch(
+                "arnaud", lambda u, s, n: cb(s)
+            ),
+            store_node="gup.spcs.com",
+        )
+        world.sim.schedule(
+            3_500, lambda: world.presence.set_status("arnaud", "busy")
+        )
+        world.sim.run(until=10_000)
+        deliveries = hub.deliveries_for("push")
+        assert len(deliveries) == 1
+        # Two hops, not half a polling interval.
+        assert deliveries[0].latency_ms < 200
+
+    def test_push_single_policy_check(self):
+        world, hub = make_hub()
+        before = world.server.pep.enforced
+        hub.start_push(
+            "client-app", PRESENCE, STATUS, family_ctx(),
+            watch_hook=lambda cb: world.presence.watch(
+                "arnaud", lambda u, s, n: cb(s)
+            ),
+            store_node="gup.spcs.com",
+        )
+        for t in (1000, 2000, 3000):
+            world.sim.schedule(
+                t,
+                lambda t=t: world.presence.set_status(
+                    "arnaud", "busy" if t % 2000 else "away"
+                ),
+            )
+        world.sim.run(until=5_000)
+        assert world.server.pep.enforced - before == 1
+        assert len(hub.deliveries_for("push")) >= 2
+
+    def test_push_subscription_denied(self):
+        world, hub = make_hub()
+        with pytest.raises(AccessDeniedError):
+            hub.start_push(
+                "client-app", PRESENCE, STATUS,
+                RequestContext("telemarketer"),
+                watch_hook=lambda cb: None,
+                store_node="gup.spcs.com",
+            )
+
+    def test_mean_latency_nan_when_empty(self):
+        import math
+        _world, hub = make_hub()
+        assert math.isnan(hub.mean_latency("push"))

@@ -1,0 +1,207 @@
+"""Edge-case tests for code paths the main suites don't reach."""
+
+import pytest
+
+from repro.access import RequestContext
+from repro.core import CoverageMap, ProvenanceTracker
+from repro.errors import StoreError
+from repro.pxml import (
+    GUP_SCHEMA,
+    PNode,
+    build_gup_schema,
+    parse_path,
+)
+from repro.pxml.adjunct import SchemaAdjunct
+from repro.simnet import Network
+from repro.workloads import build_converged_world
+
+
+class TestSchemaValidatePath:
+    def test_valid_paths(self):
+        assert GUP_SCHEMA.validate_path("/user/address-book") is None
+        assert GUP_SCHEMA.validate_path(
+            "/user[@id='a']/address-book/item/name"
+        ) is None
+
+    def test_wrong_root(self):
+        assert "start at" in GUP_SCHEMA.validate_path("/profile/x")
+
+    def test_unknown_child(self):
+        problem = GUP_SCHEMA.validate_path("/user/mp3-playlist")
+        assert "no child" in problem
+
+    def test_unknown_attribute(self):
+        problem = GUP_SCHEMA.validate_path("/user/presence/@bogus")
+        assert "no attribute" in problem
+
+    def test_known_attribute_ok(self):
+        assert GUP_SCHEMA.validate_path(
+            "/user/devices/device/@carrier"
+        ) is None
+
+    def test_wildcard_disables_tracking(self):
+        assert GUP_SCHEMA.validate_path("/user/*/whatever") is None
+        assert GUP_SCHEMA.validate_path("/*") is None
+
+    def test_tolerant_schema_accepts_unknowns(self):
+        tolerant = build_gup_schema(strict=False)
+        assert tolerant.validate_path("/user/mp3-playlist") is None
+
+
+class TestCoverageReplicationFeed:
+    def test_apply_changes_directly(self):
+        master = CoverageMap()
+        replica = CoverageMap()
+        master.register("/user[@id='a']/presence", "s1")
+        master.register("/user[@id='a']/calendar", "s1")
+        master.unregister("/user[@id='a']/calendar", "s1")
+        applied = replica.apply_changes(master.changes_since(0))
+        assert applied == 3
+        assert replica.stores_for("/user[@id='a']/presence") == ["s1"]
+        assert replica.stores_for("/user[@id='a']/calendar") == []
+        # Replays are idempotent.
+        assert replica.apply_changes(master.changes_since(0)) == 0
+
+    def test_unregister_store_logs_changes(self):
+        master = CoverageMap()
+        master.register("/user[@id='a']/presence", "s1")
+        master.register("/user[@id='b']/presence", "s1")
+        mark = master.revision
+        master.unregister_store("s1")
+        unregisters = [
+            c for c in master.changes_since(mark)
+            if c[1] == "unregister"
+        ]
+        assert len(unregisters) == 2
+
+    def test_users_listing(self):
+        cov = CoverageMap()
+        cov.register("/user[@id='b']/presence", "s1")
+        cov.register("/user[@id='a']/presence", "s1")
+        assert cov.users() == ["a", "b"]
+        cov.unregister("/user[@id='a']/presence", "s1")
+        assert cov.users() == ["b"]
+
+
+class TestNetworkDefaults:
+    def test_unknown_region_pair_falls_back(self):
+        net = Network(seed=1)
+        net.add_node("a", region="mars")
+        net.add_node("b", region="venus")
+        trace = net.trace()
+        trace.hop("a", "b", 10)  # default 20ms-ish link applies
+        assert trace.elapsed_ms > 0
+
+    def test_region_latency_override(self):
+        from repro.simnet import LinkSpec
+        net = Network(seed=1)
+        net.add_node("a", region="lab")
+        net.add_node("b", region="lab")
+        net.set_region_latency("lab", "lab", LinkSpec(0.5, 0.0))
+        trace = net.trace()
+        trace.hop("a", "b", 0)
+        assert trace.elapsed_ms < 1.0
+
+    def test_node_listing_and_repr(self):
+        net = Network(seed=1)
+        node = net.add_node("x")
+        assert net.has_node("x") and not net.has_node("y")
+        assert "x" in repr(node)
+
+
+class TestFormsNestedPlacement:
+    def test_dotted_keys_build_nested_elements(self):
+        from repro.provisioning import generate_form
+        form = generate_form(GUP_SCHEMA, "buddy-list")
+        fragment = form.fill(
+            [{"@id": "b1", "alias": "bobby", "im-address": "bob@im"}]
+        )
+        buddy = fragment.children[0]
+        assert buddy.child("alias").text == "bobby"
+        assert buddy.child("im-address").text == "bob@im"
+        doc = PNode("user", {"id": "u"})
+        doc.append(fragment)
+        assert GUP_SCHEMA.validate(doc) == []
+
+
+class TestPortabilityKeepSource:
+    def test_drop_source_false_keeps_old_registration(self):
+        from repro.services import CarrierPortabilityService
+        from repro.workloads import SyntheticAdapter
+        world = build_converged_world()
+        porter = CarrierPortabilityService(world.server)
+        att = SyntheticAdapter("gup.att.com")
+        world.network.add_node("gup.att.com", region="core")
+        porter.port_user(
+            "arnaud", "gup.spcs.com", att, drop_source=False
+        )
+        stores = world.server.coverage.stores_for(
+            "/user[@id='arnaud']/game-scores"
+        )
+        assert "gup.spcs.com" in stores
+        assert "gup.att.com" in stores
+
+    def test_unknown_source_store(self):
+        from repro.services import CarrierPortabilityService
+        from repro.workloads import SyntheticAdapter
+        world = build_converged_world()
+        porter = CarrierPortabilityService(world.server)
+        with pytest.raises(KeyError):
+            porter.port_user(
+                "arnaud", "gup.nowhere.com",
+                SyntheticAdapter("gup.att.com"),
+            )
+
+
+class TestMiscSmall:
+    def test_provenance_len(self):
+        tracker = ProvenanceTracker()
+        assert len(tracker) == 0
+        tracker.record(
+            0.0, RequestContext("a"),
+            "/user[@id='u']/presence", ["s1"],
+        )
+        assert len(tracker) == 1
+
+    def test_adjunct_regions_empty_property(self):
+        assert SchemaAdjunct().regions("nothing") == []
+
+    def test_sim_card_swap_identity(self):
+        from repro.stores import SimCard
+        sim = SimCard("imsi-9", "447700900999")
+        assert sim.imsi == "imsi-9"
+        assert sim.msisdn == "447700900999"
+
+    def test_ldap_referral_none_without_delegation(self):
+        from repro.stores import DirectoryServer, LdapEntry
+        server = DirectoryServer("ldap", suffix="o=x")
+        server.add(LdapEntry("o=x", ["organization"], {"o": ["x"]}))
+        assert server.referral_for("uid=a,o=x") is None
+        assert server.entry_count == 1
+
+    def test_path_repr_stable(self):
+        path = parse_path("/user[@id='a']/presence/@x")
+        assert repr(path) == "/user[@id='a']/presence/@x"
+
+    def test_enterprise_filtering_write(self):
+        from repro.pxml import parse
+        world = build_converged_world()
+        adapter = world.adapter("gup.lucent.com")
+        adapter.put(
+            "/user[@id='alice']/address-book",
+            parse(
+                "<address-book>"
+                "<item id='p9' type='personal'><name>P</name></item>"
+                "<item id='c9' type='corporate'><name>C</name></item>"
+                "</address-book>"
+            ),
+        )
+        names = [
+            c.display_name for c in world.lucent.contacts("alice")
+        ]
+        assert names == ["C"]  # personal item filtered at the firewall
+
+    def test_contact_record_validation(self):
+        from repro.stores import ContactRecord
+        with pytest.raises(StoreError):
+            ContactRecord("1", "X", kind="extraterrestrial")

@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example runs to completion and prints
+its headline output (the examples are part of the public API surface,
+so they are guarded like code)."""
+
+import contextlib
+import importlib.util
+import io
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+)
+
+CASES = [
+    ("quickstart", "Referral returned to the client"),
+    ("selective_reach_me", "office-phone"),
+    ("roaming_profile", "Corporate calendar"),
+    ("privacy_shield", "rejected (signature)"),
+    ("enter_once", "replica divergence: 0"),
+    ("provenance_audit", "disclosure ledger"),
+]
+
+
+def run_example(name):
+    path = os.path.join(EXAMPLES_DIR, name + ".py")
+    spec = importlib.util.spec_from_file_location(
+        "example_" + name, path
+    )
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        spec.loader.exec_module(module)
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name,expected", CASES)
+def test_example_runs(name, expected):
+    output = run_example(name)
+    assert expected in output
+    assert "Traceback" not in output
+
+
+def test_every_example_has_a_test():
+    shipped = {
+        fn[:-3]
+        for fn in os.listdir(EXAMPLES_DIR)
+        if fn.endswith(".py")
+    }
+    covered = {name for name, _expected in CASES}
+    assert shipped == covered
+
+
+def test_examples_reimport_cleanly():
+    # Running twice must not trip on module-level state.
+    run_example("quickstart")
+    run_example("quickstart")

@@ -1,0 +1,105 @@
+"""Fuzz tests: every parser either succeeds or raises its *declared*
+error type — never an unrelated crash (IndexError, RecursionError...).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    ParseError,
+    PathSyntaxError,
+    PolicyError,
+    StoreError,
+    UnsupportedPathError,
+)
+from repro.pxml import parse, parse_path
+from repro.stores import parse_filter
+
+
+xmlish = st.text(
+    alphabet=st.sampled_from(
+        list("<>/=\"' abcdefgXYZ&;-!?[]@0123456789\n\t")
+    ),
+    max_size=120,
+)
+
+
+class TestXmlParserTotality:
+    @given(xmlish)
+    @settings(max_examples=500)
+    def test_parse_never_crashes(self, text):
+        try:
+            node = parse(text)
+        except ParseError:
+            return
+        # Success: the result must round-trip.
+        assert parse(node.serialize()).deep_equal(node)
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=300)
+    def test_parse_arbitrary_unicode(self, text):
+        try:
+            parse(text)
+        except ParseError:
+            pass
+
+
+pathish = st.text(
+    alphabet=st.sampled_from(list("/@[]='\"* abcxyz-._0123456789")),
+    max_size=60,
+)
+
+
+class TestPathParserTotality:
+    @given(pathish)
+    @settings(max_examples=500)
+    def test_parse_path_never_crashes(self, text):
+        try:
+            path = parse_path(text)
+        except (PathSyntaxError, UnsupportedPathError):
+            return
+        assert parse_path(str(path)) == path
+
+    def test_non_string_rejected_cleanly(self):
+        import pytest
+        with pytest.raises(PathSyntaxError):
+            parse_path(42)
+        with pytest.raises(PathSyntaxError):
+            parse_path(None)
+
+
+filterish = st.text(
+    alphabet=st.sampled_from(list("()&|!=* abcuidmail0123456789")),
+    max_size=60,
+)
+
+
+class TestFilterParserTotality:
+    @given(filterish)
+    @settings(max_examples=500)
+    def test_parse_filter_never_crashes(self, text):
+        try:
+            parse_filter(text)
+        except StoreError:
+            pass
+
+
+class TestContextParserTotality:
+    @given(
+        st.text(max_size=20), st.text(max_size=20),
+        st.integers(-5, 30), st.integers(-3, 10),
+    )
+    @settings(max_examples=300)
+    def test_context_constructor_total(self, relationship, purpose,
+                                       hour, weekday):
+        from repro.access import RequestContext
+        try:
+            ctx = RequestContext(
+                "r", relationship=relationship, purpose=purpose,
+                hour=hour, weekday=weekday,
+            )
+        except PolicyError:
+            return
+        # Anything accepted must round-trip through XML.
+        again = RequestContext.from_xml(ctx.to_xml())
+        assert again.relationship == ctx.relationship
+        assert again.hour == ctx.hour

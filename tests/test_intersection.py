@@ -1,0 +1,142 @@
+"""Tests for region intersection and its use in policy narrowing."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access import (
+    PolicyDecisionPoint,
+    PolicyRule,
+    RequestContext,
+)
+from repro.pxml import (
+    Path,
+    Predicate,
+    Step,
+    intersect_regions,
+    parse_path,
+    subtree_covers,
+    subtree_overlaps,
+)
+
+
+class TestIntersectRegions:
+    def test_disjoint_is_none(self):
+        assert intersect_regions(
+            "/user[@id='a']/presence", "/user[@id='b']/presence"
+        ) is None
+        assert intersect_regions(
+            "/user[@id='a']/presence", "/user[@id='a']/calendar"
+        ) is None
+
+    def test_containment_returns_inner(self):
+        inner = "/user[@id='a']/address-book/item[@id='7']"
+        outer = "/user[@id='a']/address-book"
+        assert intersect_regions(outer, inner) == parse_path(inner)
+        assert intersect_regions(inner, outer) == parse_path(inner)
+
+    def test_predicates_merge(self):
+        a = "/user[@id='u']/address-book/item[@type='personal']"
+        b = "/user[@id='u']/address-book/item[@id='7']"
+        expected = parse_path(
+            "/user[@id='u']/address-book/item[@type='personal'][@id='7']"
+        )
+        assert intersect_regions(a, b) == expected
+
+    def test_wildcard_resolves_to_concrete(self):
+        a = "/user[@id='u']/*"
+        b = "/user[@id='u']/presence/status"
+        assert intersect_regions(a, b) == parse_path(
+            "/user[@id='u']/presence/status"
+        )
+
+    def test_attribute_selector_narrows(self):
+        a = "/user[@id='u']/devices/device"
+        b = "/user[@id='u']/devices/device/@carrier"
+        assert intersect_regions(a, b) == parse_path(
+            "/user[@id='u']/devices/device/@carrier"
+        )
+
+    @given(
+        st.sampled_from([
+            "/user[@id='u']/address-book",
+            "/user[@id='u']/address-book/item[@type='personal']",
+            "/user[@id='u']/address-book/item[@id='1']",
+            "/user[@id='u']/*",
+            "/user[@id='u']/presence",
+            "/user[@id='u']/address-book/item",
+        ]),
+        st.sampled_from([
+            "/user[@id='u']/address-book",
+            "/user[@id='u']/address-book/item[@type='corporate']",
+            "/user[@id='u']/address-book/item[@id='1']",
+            "/user[@id='u']/presence/status",
+            "/user[@id='u']/address-book/item[@id='1'][@type='personal']",
+        ]),
+    )
+    @settings(max_examples=100)
+    def test_intersection_contained_in_both(self, a, b):
+        inter = intersect_regions(a, b)
+        if inter is None:
+            assert not subtree_overlaps(a, b)
+        else:
+            assert subtree_covers(a, inter)
+            assert subtree_covers(b, inter)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["item", "*"]),
+                st.dictionaries(
+                    st.sampled_from(["id", "type"]),
+                    st.text(alphabet=string.ascii_lowercase,
+                            min_size=1, max_size=3),
+                    max_size=2,
+                ),
+            ),
+            min_size=1, max_size=3,
+        )
+    )
+    @settings(max_examples=100)
+    def test_idempotent(self, raw_steps):
+        steps = tuple(
+            Step(name, tuple(
+                Predicate(k, v) for k, v in preds.items()
+            ))
+            for name, preds in raw_steps
+        )
+        path = Path(steps)
+        assert intersect_regions(path, path) == path
+
+
+class TestNarrowingUsesIntersection:
+    def test_partial_overlap_grant_is_exact(self):
+        pdp = PolicyDecisionPoint()
+        rules = [
+            PolicyRule(
+                "u",
+                "/user[@id='u']/address-book/item[@type='personal']",
+                "permit",
+            ),
+        ]
+        decision = pdp.decide(
+            rules,
+            "/user[@id='u']/address-book/item[@id='7']",
+            RequestContext("r"),
+        )
+        assert decision.permit
+        granted = decision.permitted_paths[0]
+        # The grant carries BOTH constraints: the rule's type AND the
+        # request's id — never more than either side allows.
+        preds = granted.steps[-1].predicate_map()
+        assert preds == {"type": "personal", "id": "7"}
+
+    def test_grant_never_exceeds_request(self):
+        pdp = PolicyDecisionPoint()
+        rules = [
+            PolicyRule("u", "/user[@id='u']/address-book", "permit"),
+        ]
+        request = "/user[@id='u']/address-book/item[@id='9']"
+        decision = pdp.decide(rules, request, RequestContext("r"))
+        for granted in decision.permitted_paths:
+            assert subtree_covers(request, granted)

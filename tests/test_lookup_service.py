@@ -1,0 +1,116 @@
+"""Tests for the requirement-5 canonical lookup queries, including the
+multi-user 'buddies who are available' fan-out."""
+
+import pytest
+
+from repro.access import RequestContext
+from repro.services import ProfileLookupService
+from repro.workloads import build_converged_world
+
+
+@pytest.fixture()
+def world():
+    return build_converged_world()
+
+
+@pytest.fixture()
+def lookup(world):
+    return ProfileLookupService(world.server, world.executor)
+
+
+def buddy_ctx(requester="arnaud"):
+    return RequestContext(requester, relationship="self")
+
+
+class TestPresenceQuery:
+    def test_retrieve_presence(self, world, lookup):
+        status, trace = lookup.presence_of("arnaud", buddy_ctx())
+        assert status == "available"
+        assert trace.elapsed_ms > 0
+
+    def test_presence_respects_shield(self, world, lookup):
+        from repro.errors import AccessDeniedError
+        with pytest.raises(AccessDeniedError):
+            lookup.presence_of(
+                "arnaud", RequestContext("telemarketer")
+            )
+
+
+class TestAppointmentsQuery:
+    def test_todays_appointments(self, world, lookup):
+        ctx = RequestContext("alice", relationship="self")
+        appointments, _trace = lookup.appointments_on(
+            "alice", "2003-01-06", ctx
+        )
+        assert appointments == [
+            ("2003-01-06T09:00", "Staff meeting"),
+        ]
+
+    def test_other_day_empty(self, world, lookup):
+        ctx = RequestContext("alice", relationship="self")
+        appointments, _trace = lookup.appointments_on(
+            "alice", "2003-02-14", ctx
+        )
+        assert appointments == []
+
+    def test_both_calendars_merged(self, world, lookup):
+        # Yahoo holds the private dinner, Lucent the staff meeting —
+        # one query sees both days.
+        ctx = RequestContext("alice", relationship="self")
+        jan10, _ = lookup.appointments_on("alice", "2003-01-10", ctx)
+        assert jan10 == [("2003-01-10T19:00", "Dinner")]
+
+
+class TestAvailableBuddies:
+    def test_available_buddy_found(self, world, lookup):
+        available, trace = lookup.available_buddies(
+            "arnaud", buddy_ctx()
+        )
+        assert ("alice", "Alice S.") in available
+        # Paul has no presence anywhere: not listed as available.
+        assert all(buddy_id != "paul" for buddy_id, _ in available)
+        assert trace.hops >= 4  # list + at least one presence fetch
+
+    def test_busy_buddy_filtered(self, world, lookup):
+        world.presence.set_status("alice", "busy")
+        available, _trace = lookup.available_buddies(
+            "arnaud", buddy_ctx()
+        )
+        assert available == []
+
+    def test_buddy_shield_applies(self, world, lookup):
+        # If Alice revokes buddy access to her presence, Arnaud's
+        # buddies query silently loses her (no error, no leak).
+        world.server.revoke_policy("alice", "alice-buddies-presence")
+        available, _trace = lookup.available_buddies(
+            "arnaud", buddy_ctx()
+        )
+        assert available == []
+
+    def test_no_buddy_list_user(self, world, lookup):
+        from repro.errors import NoCoverageError
+        with pytest.raises(NoCoverageError):
+            lookup.available_buddies(
+                "ghost", RequestContext("ghost", relationship="self")
+            )
+
+
+class TestBuddyListThroughGupster:
+    def test_buddy_list_provisioning_round_trip(self, world):
+        from repro.pxml import parse
+        adapter = world.adapter("gup.spcs.com")
+        adapter.put(
+            "/user[@id='arnaud']/buddy-list",
+            parse(
+                "<buddy-list>"
+                "<buddy id='rick'><alias>Rick</alias></buddy>"
+                "</buddy-list>"
+            ),
+        )
+        assert world.presence.buddies("arnaud") == {"rick": "Rick"}
+
+    def test_buddy_list_export_validates(self, world):
+        from repro.pxml import GUP_SCHEMA
+        view = world.adapter("gup.spcs.com").export_user("arnaud")
+        assert GUP_SCHEMA.validate(view) == []
+        assert view.child("buddy-list") is not None

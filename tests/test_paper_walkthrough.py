@@ -1,0 +1,193 @@
+"""End-to-end walkthrough of the paper's own narrative, as one
+integration test per section. If these pass, the reproduction tells
+the paper's story verbatim."""
+
+import pytest
+
+from repro.access import RequestContext
+from repro.errors import AccessDeniedError
+from repro.pxml import evaluate_values
+from repro.workloads import build_converged_world
+
+
+class TestSection43GupsterInAction:
+    """Section 4.3: 'GUPster in action', step by step."""
+
+    def setup_method(self):
+        self.world = build_converged_world()
+        self.server = self.world.server
+
+    def test_step1_stores_registered_their_components(self):
+        # "Yahoo! will tell GUPster that it stores the address book of
+        # Arnaud... Sprint PCS will inform GUPster that it stores
+        # Arnaud's address book and game scores."
+        graph = dict(self.server.coverage.component_graph("arnaud"))
+        assert "gup.yahoo.com" in graph[
+            "/user[@id='arnaud']/address-book"
+        ]
+        assert "gup.spcs.com" in graph[
+            "/user[@id='arnaud']/address-book"
+        ]
+        assert "gup.spcs.com" in graph[
+            "/user[@id='arnaud']/game-scores"
+        ]
+        assert "gup.yahoo.com" in graph[
+            "/user[@id='arnaud']/game-scores"
+        ]
+
+    def test_step2_coverage_matches_paper_example(self):
+        # The paper's coverage box:
+        #   /user[@id='arnaud']/address-book ->
+        #       { gup.yahoo.com, gup.spcs.com }
+        #   /user[@id='arnaud']/presence -> { gup.spcs.com }
+        assert sorted(self.server.coverage.stores_for(
+            "/user[@id='arnaud']/address-book"
+        )) == ["gup.spcs.com", "gup.yahoo.com"]
+        assert self.server.coverage.stores_for(
+            "/user[@id='arnaud']/presence"
+        ) == ["gup.spcs.com"]
+
+    def test_step3_referral_is_the_papers_choice(self):
+        # "GUPster will return to the client application something
+        # like: gup.yahoo.com/user[@id='arnaud']/address-book ||
+        # gup.spcs.com/user[@id='arnaud']/address-book"
+        referral = self.server.resolve(
+            "/user[@id='arnaud']/address-book",
+            RequestContext("arnaud", relationship="self"),
+        )
+        rendered = referral.render()
+        assert "gup.yahoo.com/user[@id='arnaud']/address-book" in rendered
+        assert "gup.spcs.com/user[@id='arnaud']/address-book" in rendered
+        assert "||" in rendered
+
+    def test_step4_client_fetches_directly(self):
+        # "The client application will then use the referral (one of
+        # them, or both) to get the data directly."
+        fragment, trace = self.world.executor.referral(
+            "client-app", "/user[@id='arnaud']/address-book",
+            RequestContext("arnaud", relationship="self"),
+        )
+        names = evaluate_values(
+            fragment, "/user/address-book/item/name"
+        )
+        assert "Rick Hull" in names
+        # GUPster returned no data — only the stores shipped bytes.
+        assert any("gup." in line for line in trace.log)
+
+    def test_step5_unregister(self):
+        # "Data stores can also unregister components."
+        self.server.unregister_component(
+            "/user[@id='arnaud']/presence", "gup.spcs.com"
+        )
+        from repro.errors import NoCoverageError
+        with pytest.raises(NoCoverageError):
+            self.server.resolve(
+                "/user[@id='arnaud']/presence",
+                RequestContext("arnaud", relationship="self"),
+            )
+
+
+class TestSection46PrivacyShield:
+    """Section 4.6: the example policies, verbatim."""
+
+    def setup_method(self):
+        self.world = build_converged_world()
+        self.presence = "/user[@id='arnaud']/presence"
+
+    def resolve(self, requester, relationship, hour=12, weekday=1):
+        return self.world.server.resolve(
+            self.presence,
+            RequestContext(requester, relationship=relationship,
+                           hour=hour, weekday=weekday),
+        )
+
+    def test_coworker_working_hours_only(self):
+        assert self.resolve("bob", "co-worker", hour=10).parts
+        with pytest.raises(AccessDeniedError):
+            self.resolve("bob", "co-worker", hour=20)
+        with pytest.raises(AccessDeniedError):
+            self.resolve("bob", "co-worker", hour=10, weekday=6)
+
+    def test_boss_and_family_any_time(self):
+        assert self.resolve("rick", "boss", hour=3, weekday=6).parts
+        assert self.resolve("mom", "family", hour=3, weekday=6).parts
+
+    def test_family_address_book_and_calendar(self):
+        ctx = RequestContext("mom", relationship="family")
+        book = self.world.server.resolve(
+            "/user[@id='arnaud']/address-book", ctx
+        )
+        # personal slice only
+        assert all(
+            "personal" in str(part.path) for part in book.parts
+        )
+
+
+class TestSection53SignedQueries:
+    """Section 5.3: the signed-query enforcement protocol."""
+
+    def test_store_only_accepts_gupster_signed_queries(self):
+        world = build_converged_world()
+        referral = world.server.resolve(
+            "/user[@id='arnaud']/presence",
+            RequestContext("mom", relationship="family"),
+        )
+        signed = referral.parts[0].signed_query
+        verifier = world.server.signer.verifier()
+        # The genuine query verifies...
+        verifier.verify(signed, now=1.0)
+        # ...a self-made (unsigned-by-GUPster) query does not.
+        from repro.core import QuerySigner
+        from repro.errors import SignatureError
+        impostor = QuerySigner(secret=b"not-the-real-key")
+        forged = impostor.sign(
+            "/user[@id='arnaud']/presence", "mallory", now=1.0
+        )
+        with pytest.raises(SignatureError):
+            verifier.verify(forged, now=2.0)
+
+
+class TestSection2Examples:
+    """The Section 2 scenarios end-to-end."""
+
+    def test_alice_roaming_profile_pains_solved(self):
+        from repro.services import RoamingProfileService
+        world = build_converged_world()
+        service = RoamingProfileService(world.server, world.executor)
+        # 1. corporate calendar while traveling in Europe
+        fragment, _ = service.fetch_while_roaming(
+            "alice", "calendar", "gup.device.alice"
+        )
+        assert fragment is not None
+        # 2. share her address book among carriers/portals
+        report, _ = service.synchronize_address_book(
+            "alice", "gup.device.alice"
+        )
+        assert report.messages > 0
+        # 3. keep her data when switching carriers
+        from repro.services import CarrierPortabilityService
+        from repro.workloads import SyntheticAdapter
+        porter = CarrierPortabilityService(world.server)
+        att = SyntheticAdapter("gup.att.com")
+        world.network.add_node("gup.att.com", region="core")
+        result = porter.port_user("alice", "gup.spcs.com", att)
+        assert result.moved or result.unsupported
+
+    def test_selective_reach_me_full_matrix(self):
+        from repro.services import ReachMeService
+        world = build_converged_world()
+        service = ReachMeService(world.server, world.executor)
+        # The paper's three provisioned behaviours:
+        # working hours + available -> office phone first
+        assert service.decide(
+            "alice", hour=11, weekday=1
+        ).first_target == "office-phone"
+        # commuting -> cell phone
+        world.msc.handle_power_on("9085551111", "nj-1")
+        assert service.decide(
+            "alice", hour=8, weekday=1
+        ).first_target == "cell-phone"
+        # Friday -> home phone
+        assert service.decide(
+            "alice", hour=11, weekday=4
+        ).first_target == "home-phone"

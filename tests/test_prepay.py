@@ -1,0 +1,168 @@
+"""Unit tests for the pre-paid billing service (Figure 1's Pre-Pay)."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.pxml import GUP_SCHEMA, evaluate_values
+from repro.access import RequestContext
+from repro.services import PrePayService, PrepayAdapter, RatePlan
+from repro.stores import HLR, MSC, VLR
+
+
+def wireless():
+    hlr = HLR("hlr.spcs", carrier="sprintpcs")
+    vlr = VLR("vlr.nj", ["nj-1"])
+    hlr.attach_vlr(vlr)
+    msc = MSC("msc.nj", hlr, vlr)
+    hlr.provision_subscriber("9085551234", "imsi-1", "alice")
+    return hlr, vlr, msc
+
+
+class TestRatePlan:
+    def test_default_rates(self):
+        plan = RatePlan()
+        assert plan.charge("wireless", 3) == 30
+        assert plan.charge("voip", 3) == 6
+
+    def test_unknown_network(self):
+        with pytest.raises(StoreError):
+            RatePlan().rate_for("carrier-pigeon")
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            RatePlan().charge("pstn", -1)
+
+
+class TestAccounts:
+    def setup_method(self):
+        self.hlr, self.vlr, self.msc = wireless()
+        self.service = PrePayService(self.hlr)
+
+    def test_open_marks_subscriber_prepaid(self):
+        self.service.open_account("alice", 500)
+        assert self.hlr.subscriber("9085551234").prepaid
+        assert self.service.balance("alice") == 500
+
+    def test_duplicate_account_rejected(self):
+        self.service.open_account("alice", 500)
+        with pytest.raises(StoreError):
+            self.service.open_account("alice", 0)
+
+    def test_account_requires_subscriber(self):
+        with pytest.raises(Exception):
+            self.service.open_account("stranger", 100)
+
+    def test_unknown_balance(self):
+        with pytest.raises(StoreError):
+            self.service.balance("nobody")
+
+    def test_top_up(self):
+        self.service.open_account("alice", 100)
+        assert self.service.top_up("alice", 400) == 500
+        with pytest.raises(ValueError):
+            self.service.top_up("alice", 0)
+
+
+class TestRatingAndLedger:
+    def setup_method(self):
+        self.hlr, self.vlr, self.msc = wireless()
+        self.events = []
+        self.service = PrePayService(
+            self.hlr, low_balance_cents=100,
+            on_low_balance=lambda user, bal: self.events.append(
+                (user, bal)
+            ),
+        )
+        self.service.open_account("alice", 500)
+
+    def test_call_debits_balance(self):
+        remaining = self.service.record_call("alice", "wireless", 10)
+        assert remaining == 400
+        assert self.service.ledger("alice") == [("wireless", 10, 100)]
+
+    def test_balance_never_goes_negative(self):
+        self.service.record_call("alice", "wireless", 1000)
+        assert self.service.balance("alice") == 0
+
+    def test_low_balance_notification(self):
+        self.service.record_call("alice", "wireless", 45)  # -> 50
+        assert self.events == [("alice", 50)]
+
+    def test_affordable_minutes(self):
+        assert self.service.affordable_minutes("alice", "wireless") == 50
+        assert self.service.affordable_minutes("alice", "voip") == 250
+
+
+class TestCallScreening:
+    def setup_method(self):
+        self.hlr, self.vlr, self.msc = wireless()
+        self.service = PrePayService(self.hlr)
+        self.msc.handle_power_on("9085551234", "nj-1")
+
+    def test_funded_prepaid_call_delivered(self):
+        self.service.open_account("alice", 500)
+        outcome = self.service.screened_delivery(
+            self.msc, "2125550000", "9085551234"
+        )
+        assert outcome == "vlr:vlr.nj"
+
+    def test_empty_prepaid_blocked(self):
+        self.service.open_account("alice", 0)
+        outcome = self.service.screened_delivery(
+            self.msc, "2125550000", "9085551234"
+        )
+        assert outcome == "prepaid-blocked"
+        assert self.service.calls_blocked == 1
+
+    def test_postpaid_unaffected(self):
+        # No prepaid account: delivery proceeds normally.
+        outcome = self.service.screened_delivery(
+            self.msc, "2125550000", "9085551234"
+        )
+        assert outcome == "vlr:vlr.nj"
+
+
+class TestPrepayAdapter:
+    def setup_method(self):
+        self.hlr, self.vlr, self.msc = wireless()
+        self.service = PrePayService(self.hlr)
+        self.service.open_account("alice", 1250)
+        self.adapter = PrepayAdapter("gup.billing.spcs.com",
+                                     self.service)
+
+    def test_export_validates(self):
+        view = self.adapter.export_user("alice")
+        assert GUP_SCHEMA.validate(view) == []
+
+    def test_balance_exposed_as_wallet(self):
+        view = self.adapter.export_user("alice")
+        balances = evaluate_values(
+            view, "/user/wallet/account/@balance"
+        )
+        assert balances == ["1250"]
+
+    def test_balance_live(self):
+        self.service.record_call("alice", "wireless", 10)
+        view = self.adapter.export_user("alice")
+        assert evaluate_values(
+            view, "/user/wallet/account/@balance"
+        ) == ["1150"]
+
+    def test_coverage_paths(self):
+        assert self.adapter.coverage_paths("alice") == [
+            "/user[@id='alice']/wallet"
+        ]
+        assert self.adapter.users() == ["alice"]
+
+    def test_no_account_exports_none(self):
+        assert self.adapter.export_user("bob") is None
+
+    def test_through_gupster(self):
+        from repro.core import GupsterServer
+        server = GupsterServer("gupster", enforce_policies=False)
+        server.join(self.adapter)
+        referral = server.resolve(
+            "/user[@id='alice']/wallet",
+            RequestContext("alice", relationship="self"),
+        )
+        assert referral.parts[0].store_ids == ["gup.billing.spcs.com"]

@@ -1,0 +1,152 @@
+"""Property-based tests for signing, the provisioning form gate, and
+schema validation of generated profiles."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import QuerySigner
+from repro.errors import SignatureError, StaleQueryError, ValidationError
+from repro.pxml import GUP_SCHEMA
+from repro.provisioning import generate_form
+
+
+paths = st.sampled_from([
+    "/user[@id='a']/presence",
+    "/user[@id='a']/address-book",
+    "/user[@id='b']/address-book/item[@type='personal']",
+    "/user[@id='c']/calendar",
+])
+requesters = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                     max_size=10)
+times = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+class TestSigningProperties:
+    @given(paths, requesters, times)
+    @settings(max_examples=200)
+    def test_sign_verify_round_trip(self, path, requester, now):
+        signer = QuerySigner(secret=b"k", freshness_ms=1000.0)
+        signed = signer.sign(path, requester, now)
+        signer.verifier().verify(signed, now + 500.0)
+
+    @given(paths, requesters, times, st.floats(1001.0, 1e6))
+    @settings(max_examples=200)
+    def test_always_stale_after_window(self, path, requester, now,
+                                       extra):
+        signer = QuerySigner(secret=b"k", freshness_ms=1000.0)
+        signed = signer.sign(path, requester, now)
+        try:
+            signer.verifier().verify(signed, now + extra)
+        except StaleQueryError:
+            return
+        raise AssertionError("stale query accepted")
+
+    @given(paths, paths, requesters, times)
+    @settings(max_examples=200)
+    def test_signature_binds_the_path(self, path, other, requester,
+                                      now):
+        from repro.pxml import parse_path
+        if parse_path(path) == parse_path(other):
+            return
+        signer = QuerySigner(secret=b"k")
+        signed = signer.sign(path, requester, now)
+        signed.path = parse_path(other)
+        try:
+            signer.verifier().verify(signed, now + 1.0)
+        except SignatureError:
+            return
+        raise AssertionError("tampered path accepted")
+
+    @given(paths, requesters, times, st.binary(min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_wrong_key_never_verifies(self, path, requester, now,
+                                      other_key):
+        if other_key == b"k":
+            return
+        signer = QuerySigner(secret=b"k")
+        impostor = QuerySigner(secret=other_key)
+        forged = impostor.sign(path, requester, now)
+        try:
+            signer.verifier().verify(forged, now + 1.0)
+        except SignatureError:
+            return
+        raise AssertionError("forged signature accepted")
+
+
+names = st.text(alphabet=string.ascii_letters + " ", min_size=1,
+                max_size=20)
+digits10 = st.text(alphabet=string.digits, min_size=10, max_size=10)
+
+
+class TestFormGateProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 99),
+                st.sampled_from(["personal", "corporate"]),
+                names,
+                digits10,
+            ),
+            max_size=6,
+            unique_by=lambda entry: entry[0],
+        )
+    )
+    @settings(max_examples=150)
+    def test_valid_input_always_yields_valid_documents(self, entries):
+        """Anything the form accepts validates against the schema —
+        the requirement-11 'guarantee', as a property."""
+        form = generate_form(GUP_SCHEMA, "address-book")
+        form_entries = [
+            {
+                "@id": str(entry_id),
+                "@type": kind,
+                "name": name.strip() or "x",
+                "number": "908%s" % number[:7],
+                "number.@type": "cell",
+            }
+            for entry_id, kind, name, number in entries
+        ]
+        fragment = form.fill(form_entries)
+        from repro.pxml import PNode
+        doc = PNode("user", {"id": "u"})
+        doc.append(fragment)
+        assert GUP_SCHEMA.validate(doc) == []
+
+    @given(st.sampled_from(["", "12", "abc", "999"]))
+    def test_bad_phone_never_passes(self, bad_number):
+        form = generate_form(GUP_SCHEMA, "address-book")
+        try:
+            form.fill([{"@id": "1", "number": bad_number}])
+        except ValidationError:
+            return
+        # Empty values are allowed to be omitted; anything else must
+        # have been rejected.
+        assert bad_number == ""
+
+
+class TestSyntheticProfilesProperty:
+    @given(
+        st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=12),
+        st.lists(
+            st.sampled_from(
+                ["address-book", "presence", "calendar",
+                 "game-scores", "devices", "preferences"]
+            ),
+            min_size=1, max_size=6, unique=True,
+        ),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=150)
+    def test_every_generated_profile_is_schema_valid(
+        self, user_id, components, seed
+    ):
+        from repro.workloads import SyntheticAdapter
+        store = SyntheticAdapter("gup.s.com", seed=seed)
+        store.add_user(user_id, components)
+        view = store.export_user(user_id)
+        assert GUP_SCHEMA.validate(view) == []
+        # And the coverage paths it would register all parse + check.
+        for path in store.coverage_paths(user_id):
+            assert GUP_SCHEMA.validate_path(path) is None

@@ -1,0 +1,236 @@
+"""Property-based tests for system invariants: coverage resolution,
+sync convergence, cache correctness, privacy-shield soundness."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access import (
+    PolicyDecisionPoint,
+    PolicyRule,
+    RequestContext,
+    relationship_in,
+)
+from repro.core import ComponentCache, CoverageMap
+from repro.pxml import PNode, subtree_covers, subtree_overlaps
+from repro.sync import Reconciler, SyncEndpoint, SyncSession
+
+components = st.sampled_from(
+    ["address-book", "presence", "calendar", "game-scores", "devices"]
+)
+user_ids = st.sampled_from(["u1", "u2", "u3"])
+store_ids = st.sampled_from(["s1", "s2", "s3", "s4"])
+
+
+@st.composite
+def registrations(draw):
+    user = draw(user_ids)
+    component = draw(components)
+    slice_pred = draw(
+        st.one_of(
+            st.none(),
+            st.sampled_from(
+                ["/item[@type='personal']", "/item[@type='corporate']"]
+            ),
+        )
+    )
+    path = "/user[@id='%s']/%s" % (user, component)
+    if component == "address-book" and slice_pred:
+        path += slice_pred
+    return path, draw(store_ids)
+
+
+class TestCoverageProperties:
+    @given(st.lists(registrations(), max_size=12), user_ids, components)
+    @settings(max_examples=200)
+    def test_resolution_is_sound_and_complete(
+        self, regs, user, component
+    ):
+        """Every store in `full` covers the request; every registered
+        overlapping entry appears in full or partial."""
+        cov = CoverageMap()
+        for path, store in regs:
+            cov.register(path, store)
+        request = "/user[@id='%s']/%s" % (user, component)
+        resolution = cov.resolve(request)
+        for path, _stores in resolution.full:
+            assert subtree_covers(path, request)
+        for path, _stores in resolution.partial:
+            assert subtree_overlaps(path, request)
+            assert not subtree_covers(path, request)
+        # Completeness: every overlapping registration is reported.
+        for path, store in regs:
+            if subtree_overlaps(path, request):
+                reported = [
+                    stores
+                    for reported_path, stores in (
+                        resolution.full + resolution.partial
+                    )
+                    if reported_path == cov.resolve(path).request
+                ]
+                assert any(store in stores for stores in reported)
+
+    @given(st.lists(registrations(), min_size=1, max_size=12))
+    @settings(max_examples=100)
+    def test_unregister_store_is_total(self, regs):
+        cov = CoverageMap()
+        for path, store in regs:
+            cov.register(path, store)
+        victim = regs[0][1]
+        cov.unregister_store(victim)
+        assert victim not in cov.stores()
+        for path, _store in regs:
+            assert victim not in cov.stores_for(path)
+
+
+def item(item_id, name):
+    node = PNode("item", {"id": item_id})
+    node.append(PNode("name", text=name))
+    return node
+
+
+@st.composite
+def edit_scripts(draw):
+    """A random interleaving of edits on two replicas."""
+    ops = []
+    for seq in range(draw(st.integers(0, 10))):
+        side = draw(st.sampled_from(["client", "server"]))
+        item_id = str(draw(st.integers(0, 4)))
+        name = draw(
+            st.text(alphabet=string.ascii_lowercase, min_size=1,
+                    max_size=6)
+        )
+        ops.append((side, item_id, name, float(seq)))
+    return ops
+
+
+class TestSyncConvergence:
+    @given(
+        edit_scripts(),
+        st.sampled_from(
+            ["client-wins", "server-wins", "last-writer-wins", "merge"]
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_replicas_converge_after_sync(self, script, policy):
+        client = SyncEndpoint("client")
+        server = SyncEndpoint("server")
+        session = SyncSession(client, server, Reconciler(policy))
+        session.run(now=0.0)  # establish anchors
+        for side, item_id, name, at in script:
+            endpoint = client if side == "client" else server
+            endpoint.put_item(item(item_id, name), now=at)
+        session.run(now=100.0)
+        assert client.item_ids() == server.item_ids()
+        for item_id in client.item_ids():
+            assert client.item(item_id).deep_equal(server.item(item_id))
+
+    @given(edit_scripts())
+    @settings(max_examples=100, deadline=None)
+    def test_sync_is_quiescent(self, script):
+        """A second sync right after the first moves nothing."""
+        client = SyncEndpoint("client")
+        server = SyncEndpoint("server")
+        session = SyncSession(client, server)
+        for side, item_id, name, at in script:
+            endpoint = client if side == "client" else server
+            endpoint.put_item(item(item_id, name), now=at)
+        session.run(now=100.0)
+        report = session.run(now=101.0)
+        assert report.sent_to_client == 0
+        assert report.sent_to_server == 0
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                user_ids, components, st.floats(0, 1000),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100)
+    def test_cache_never_serves_expired(self, accesses):
+        cache = ComponentCache(capacity=8, default_ttl_ms=100)
+        stored_at = {}
+        for user, component, now in sorted(
+            accesses, key=lambda entry: entry[2]
+        ):
+            path = "/user[@id='%s']/%s" % (user, component)
+            hit = cache.get(path, now)
+            if hit is not None:
+                assert now - stored_at[path] <= 100
+            fragment = PNode("user", {"id": user})
+            fragment.append(PNode(component))
+            cache.put(path, fragment, now)
+            stored_at[path] = now
+
+    @given(st.integers(1, 8), st.integers(1, 30))
+    def test_capacity_respected(self, capacity, inserts):
+        cache = ComponentCache(capacity=capacity, default_ttl_ms=1e9)
+        for index in range(inserts):
+            cache.put(
+                "/user[@id='u%d']/presence" % index,
+                PNode("presence"), now=float(index),
+            )
+        assert len(cache) <= capacity
+
+
+class TestPolicySoundness:
+    @given(
+        st.sampled_from(
+            ["family", "boss", "co-worker", "buddy", "third-party"]
+        ),
+        st.integers(0, 23),
+        st.integers(0, 6),
+    )
+    @settings(max_examples=200)
+    def test_grants_always_within_request(
+        self, relationship, hour, weekday
+    ):
+        """Whatever the context, every permitted path lies inside the
+        requested region (the shield can narrow, never widen)."""
+        pdp = PolicyDecisionPoint()
+        rules = [
+            PolicyRule(
+                "u", "/user[@id='u']/address-book", "permit",
+                relationship_in("family"),
+            ),
+            PolicyRule(
+                "u",
+                "/user[@id='u']/address-book/item[@type='personal']",
+                "permit", relationship_in("buddy"),
+            ),
+            PolicyRule(
+                "u", "/user[@id='u']/presence", "deny",
+                relationship_in("third-party"),
+            ),
+        ]
+        request = "/user[@id='u']/address-book"
+        ctx = RequestContext(
+            "req", relationship=relationship, hour=hour,
+            weekday=weekday,
+        )
+        decision = pdp.decide(rules, request, ctx)
+        for permitted in decision.permitted_paths:
+            assert subtree_covers(request, permitted) or (
+                subtree_overlaps(request, permitted)
+            )
+
+    @given(
+        st.sampled_from(
+            ["family", "boss", "co-worker", "buddy", "third-party"]
+        )
+    )
+    def test_deny_rule_always_blocks_its_region(self, relationship):
+        pdp = PolicyDecisionPoint()
+        rules = [
+            PolicyRule("u", "/user[@id='u']/presence", "permit"),
+            PolicyRule("u", "/user[@id='u']/presence", "deny"),
+        ]
+        decision = pdp.decide(
+            rules, "/user[@id='u']/presence",
+            RequestContext("req", relationship=relationship),
+        )
+        assert not decision.permit

@@ -1,0 +1,152 @@
+"""Unit tests for form generation and enter-once provisioning (E11)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.pxml import GUP_SCHEMA, evaluate_values
+from repro.access import RequestContext
+from repro.provisioning import Provisioner, generate_form
+from repro.workloads import build_converged_world
+
+
+class TestFormGeneration:
+    def test_address_book_form_has_expected_fields(self):
+        form = generate_form(GUP_SCHEMA, "address-book")
+        assert form.entry_tag == "item"
+        keys = {f.key for f in form.fields}
+        assert "@id" in keys
+        assert "@type" in keys
+        assert "name" in keys
+        assert "number" in keys
+        assert "number.@type" in keys
+
+    def test_required_and_options_carried_over(self):
+        form = generate_form(GUP_SCHEMA, "address-book")
+        id_field = form.field("@id")
+        assert id_field.required
+        type_field = form.field("@type")
+        assert set(type_field.options) == {"personal", "corporate"}
+
+    def test_scalar_component_form(self):
+        form = generate_form(GUP_SCHEMA, "presence")
+        assert form.entry_tag is None
+        status = form.field("status")
+        assert status is not None and status.required
+
+    def test_non_component_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_form(GUP_SCHEMA, "item")
+        with pytest.raises(ValidationError):
+            generate_form(GUP_SCHEMA, "no-such-thing")
+
+    def test_validate_entry_reports_problems(self):
+        form = generate_form(GUP_SCHEMA, "address-book")
+        problems = form.validate_entry(
+            {"@type": "alien", "number": "12", "bogus": "x"}
+        )
+        text = " ".join(problems)
+        assert "@id is required" in text
+        assert "@type must be one of" in text
+        assert "not a valid phone" in text
+        assert "unknown field" in text
+
+    def test_fill_builds_valid_fragment(self):
+        form = generate_form(GUP_SCHEMA, "address-book")
+        fragment = form.fill(
+            [
+                {
+                    "@id": "1", "@type": "personal", "name": "Bob",
+                    "number": "908-582-1111", "number.@type": "cell",
+                },
+            ]
+        )
+        assert fragment.tag == "address-book"
+        item = fragment.children[0]
+        assert item.attrs == {"id": "1", "type": "personal"}
+        assert item.child("number").attrs["type"] == "cell"
+
+    def test_fill_rejects_bad_input_listing_entries(self):
+        form = generate_form(GUP_SCHEMA, "address-book")
+        with pytest.raises(ValidationError) as excinfo:
+            form.fill([{"@id": "1"}, {"@type": "alien"}])
+        assert "entry 1" in str(excinfo.value)
+
+    def test_presence_fill(self):
+        form = generate_form(GUP_SCHEMA, "presence")
+        fragment = form.fill([{"status": "busy"}])
+        assert fragment.child("status").text == "busy"
+
+
+class TestEnterOnce:
+    def setup_method(self):
+        self.world = build_converged_world()
+        self.provisioner = Provisioner(
+            self.world.server, self.world.executor
+        )
+        self.entries = [
+            {
+                "@id": "n1", "@type": "personal", "name": "Nadia",
+                "number": "908-555-7777", "number.@type": "cell",
+            }
+        ]
+
+    def test_enter_once_updates_all_replicas(self):
+        report = self.provisioner.enter_once(
+            "client-app", "arnaud", "address-book", self.entries
+        )
+        assert report.user_actions == 1
+        assert sorted(report.stores_updated) == [
+            "gup.spcs.com", "gup.yahoo.com",
+        ]
+        for portal in (self.world.yahoo, self.world.spcs_portal):
+            names = [c.display_name for c in portal.contacts("arnaud")]
+            assert names == ["Nadia"]
+
+    def test_enter_once_schema_gate(self):
+        with pytest.raises(ValidationError):
+            self.provisioner.enter_once(
+                "client-app", "arnaud", "address-book",
+                [{"@id": "n1", "number": "12"}],  # invalid phone
+            )
+
+    def test_manual_provisioning_costs_per_store(self):
+        report = self.provisioner.provision_manually(
+            "client-app", "arnaud", "address-book", self.entries,
+            store_ids=["gup.yahoo.com", "gup.spcs.com"],
+        )
+        assert report.user_actions == 2
+        assert self.provisioner.replica_divergence(
+            "arnaud", "address-book",
+            ["gup.yahoo.com", "gup.spcs.com"],
+        ) == 0
+
+    def test_forgotten_store_diverges(self):
+        self.provisioner.provision_manually(
+            "client-app", "arnaud", "address-book", self.entries,
+            store_ids=["gup.yahoo.com", "gup.spcs.com"],
+            forget=["gup.spcs.com"],
+        )
+        assert self.provisioner.replica_divergence(
+            "arnaud", "address-book",
+            ["gup.yahoo.com", "gup.spcs.com"],
+        ) == 1
+
+    def test_enter_once_after_divergence_reconverges(self):
+        self.provisioner.provision_manually(
+            "client-app", "arnaud", "address-book", self.entries,
+            store_ids=["gup.yahoo.com"],
+        )
+        self.provisioner.enter_once(
+            "client-app", "arnaud", "address-book", self.entries
+        )
+        assert self.provisioner.replica_divergence(
+            "arnaud", "address-book",
+            ["gup.yahoo.com", "gup.spcs.com"],
+        ) == 0
+
+    def test_presence_enter_once(self):
+        self.provisioner.enter_once(
+            "client-app", "arnaud", "presence",
+            [{"status": "away"}],
+        )
+        assert self.world.presence.status("arnaud") == "away"

@@ -1,0 +1,177 @@
+"""Unit tests for containment/overlap over the XPath fragment (E10 logic)."""
+
+import pytest
+
+from repro.pxml import (
+    node_contains,
+    parse_path,
+    step_contains,
+    steps_compatible,
+    subtree_covers,
+    subtree_overlaps,
+)
+
+
+def step(text):
+    return parse_path("/" + text).steps[0]
+
+
+class TestStepContains:
+    def test_equal_steps(self):
+        assert step_contains(step("a"), step("a"))
+
+    def test_different_names(self):
+        assert not step_contains(step("a"), step("b"))
+
+    def test_wildcard_contains_named(self):
+        assert step_contains(step("*"), step("a"))
+        assert not step_contains(step("a"), step("*"))
+
+    def test_fewer_predicates_contains_more(self):
+        assert step_contains(step("a"), step("a[@t='1']"))
+        assert not step_contains(step("a[@t='1']"), step("a"))
+
+    def test_conflicting_predicate_values(self):
+        assert not step_contains(step("a[@t='1']"), step("a[@t='2']"))
+
+    def test_wildcard_with_predicate(self):
+        assert step_contains(step("*[@t='1']"), step("a[@t='1']"))
+        assert not step_contains(step("*[@t='1']"), step("a"))
+
+
+class TestStepsCompatible:
+    def test_same_name(self):
+        assert steps_compatible(step("a"), step("a[@x='1']"))
+
+    def test_wildcard_compatible_with_anything(self):
+        assert steps_compatible(step("*"), step("a"))
+        assert steps_compatible(step("a"), step("*[@x='1']"))
+
+    def test_different_names_incompatible(self):
+        assert not steps_compatible(step("a"), step("b"))
+
+    def test_conflicting_predicates_incompatible(self):
+        assert not steps_compatible(step("a[@x='1']"), step("a[@x='2']"))
+
+    def test_disjoint_predicates_compatible(self):
+        assert steps_compatible(step("a[@x='1']"), step("a[@y='2']"))
+
+
+class TestNodeContains:
+    def test_reflexive(self):
+        p = "/user[@id='a']/address-book"
+        assert node_contains(p, p)
+
+    def test_predicate_widening(self):
+        assert node_contains(
+            "/user/address-book", "/user[@id='a']/address-book"
+        )
+        assert not node_contains(
+            "/user[@id='a']/address-book", "/user/address-book"
+        )
+
+    def test_different_depths_not_node_contained(self):
+        assert not node_contains("/user", "/user/address-book")
+
+    def test_attribute_selector_must_match(self):
+        assert node_contains("/a/b/@x", "/a/b/@x")
+        assert not node_contains("/a/b/@x", "/a/b/@y")
+        assert not node_contains("/a/b", "/a/b/@x")
+
+
+class TestSubtreeCovers:
+    def test_component_covers_itself(self):
+        assert subtree_covers(
+            "/user[@id='a']/presence", "/user[@id='a']/presence"
+        )
+
+    def test_component_covers_descendants(self):
+        assert subtree_covers(
+            "/user[@id='a']/address-book",
+            "/user[@id='a']/address-book/item[@type='personal']",
+        )
+
+    def test_component_covers_attributes_below(self):
+        assert subtree_covers(
+            "/user[@id='a']/devices",
+            "/user[@id='a']/devices/device/@carrier",
+        )
+
+    def test_descendant_does_not_cover_ancestor(self):
+        assert not subtree_covers(
+            "/user[@id='a']/address-book/item",
+            "/user[@id='a']/address-book",
+        )
+
+    def test_narrow_registration_does_not_cover_wide_request(self):
+        # The Figure 9 split: a store holding only personal items cannot
+        # alone answer a request for the whole book.
+        assert not subtree_covers(
+            "/user[@id='a']/address-book/item[@type='personal']",
+            "/user[@id='a']/address-book",
+        )
+
+    def test_other_user_not_covered(self):
+        assert not subtree_covers(
+            "/user[@id='a']/presence", "/user[@id='b']/presence"
+        )
+
+    def test_wildcard_coverage(self):
+        assert subtree_covers("/user/*", "/user/presence/status")
+
+    def test_attribute_coverage_only_covers_that_attribute(self):
+        assert subtree_covers("/a/b/@x", "/a/b/@x")
+        assert not subtree_covers("/a/b/@x", "/a/b")
+        assert not subtree_covers("/a/b/@x", "/a/b/c")
+
+
+class TestSubtreeOverlaps:
+    def test_symmetric_split_book(self):
+        whole = "/user[@id='a']/address-book"
+        part = "/user[@id='a']/address-book/item[@type='personal']"
+        assert subtree_overlaps(whole, part)
+        assert subtree_overlaps(part, whole)
+
+    def test_sibling_components_disjoint(self):
+        assert not subtree_overlaps(
+            "/user[@id='a']/presence", "/user[@id='a']/calendar"
+        )
+
+    def test_different_users_disjoint(self):
+        assert not subtree_overlaps(
+            "/user[@id='a']/presence", "/user[@id='b']/presence"
+        )
+
+    def test_split_types_disjoint(self):
+        assert not subtree_overlaps(
+            "/user[@id='a']/address-book/item[@type='personal']",
+            "/user[@id='a']/address-book/item[@type='corporate']",
+        )
+
+    def test_wildcard_overlaps(self):
+        assert subtree_overlaps("/user/*", "/user/presence")
+
+    def test_attribute_vs_deeper_subtree(self):
+        # /a/b/@x covers one attribute only; it cannot reach /a/b/c.
+        assert not subtree_overlaps("/a/b/@x", "/a/b/c")
+
+    def test_attribute_vs_same_element(self):
+        assert subtree_overlaps("/a/b/@x", "/a/b")
+
+    def test_attribute_vs_attribute(self):
+        assert subtree_overlaps("/a/b/@x", "/a/b/@x")
+        assert not subtree_overlaps("/a/b/@x", "/a/b/@y")
+
+
+class TestContainmentImpliesOverlap:
+    @pytest.mark.parametrize(
+        "outer,inner",
+        [
+            ("/user/address-book", "/user[@id='a']/address-book"),
+            ("/user/*", "/user/presence"),
+            ("/a", "/a/b/c"),
+        ],
+    )
+    def test_coverage_implies_overlap(self, outer, inner):
+        assert subtree_covers(outer, inner)
+        assert subtree_overlaps(outer, inner)

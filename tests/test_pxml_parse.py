@@ -1,0 +1,98 @@
+"""Unit tests for the XML parser, including round-trip guarantees."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.pxml import PNode, parse
+
+
+class TestBasics:
+    def test_empty_element(self):
+        node = parse("<a/>")
+        assert node.tag == "a"
+        assert node.children == []
+        assert node.text is None
+
+    def test_attributes_both_quote_styles(self):
+        node = parse("<a x='1' y=\"2\"/>")
+        assert node.attrs == {"x": "1", "y": "2"}
+
+    def test_text_content(self):
+        assert parse("<a>hello</a>").text == "hello"
+
+    def test_nested(self):
+        node = parse("<a><b><c/></b></a>")
+        assert node.children[0].children[0].tag == "c"
+
+    def test_whitespace_between_children_ignored(self):
+        node = parse("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [c.tag for c in node.children] == ["b", "c"]
+        assert node.text is None
+
+    def test_entities_decoded(self):
+        assert parse("<a>x &lt; y &amp; z</a>").text == "x < y & z"
+        assert parse("<a v='&quot;q&quot;'/>").attrs["v"] == '"q"'
+
+    def test_numeric_entities(self):
+        assert parse("<a>&#65;&#x42;</a>").text == "AB"
+
+    def test_xml_declaration_skipped(self):
+        node = parse('<?xml version="1.0"?><a/>')
+        assert node.tag == "a"
+
+    def test_comments_skipped(self):
+        node = parse("<!-- hi --><a><!-- in --><b/></a><!-- out -->")
+        assert node.children[0].tag == "b"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a/><b/>",
+            "<a>&unknown;</a>",
+            "<a><b></a></b>",
+            "<a>text<b/></a>",
+            "<a x='unterminated/>",
+            "<1tag/>",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse("<a><b></a>")
+        except ParseError as err:
+            assert err.position >= 0
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        original = PNode(
+            "user",
+            {"id": "alice"},
+            children=[
+                PNode("presence", children=[PNode("status", text="busy")]),
+                PNode("number", {"type": "cell"}, "908-582-1111"),
+            ],
+        )
+        assert parse(original.serialize()).deep_equal(original)
+
+    def test_pretty_round_trip(self):
+        original = PNode(
+            "a", children=[PNode("b", {"k": "v"}, "text"), PNode("c")]
+        )
+        assert parse(original.serialize(indent=2)).deep_equal(original)
+
+    def test_special_characters_round_trip(self):
+        original = PNode("a", {"attr": "<&\"'>"}, "body <&> text")
+        assert parse(original.serialize()).deep_equal(original)

@@ -1,0 +1,204 @@
+"""Unit tests for the GUP schema, typed values, and schema evolution."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.pxml import GUP_SCHEMA, parse
+from repro.pxml.schema import (
+    BOOLEAN,
+    DATETIME,
+    EMAIL,
+    INTEGER,
+    PHONE,
+    ChildDecl,
+    ElementDecl,
+    build_gup_schema,
+)
+
+
+def valid_profile():
+    return parse(
+        "<user id='alice'>"
+        "<self><name>Alice</name>"
+        "<email type='personal'>alice@example.com</email>"
+        "<number type='cell'>908-582-1111</number></self>"
+        "<presence><status>available</status></presence>"
+        "<devices><device id='d1' type='cell-phone' carrier='sprintpcs'/>"
+        "</devices>"
+        "<calendar><appointment id='a1'>"
+        "<start>2003-01-06T09:00</start><end>2003-01-06T10:00</end>"
+        "<subject>CIDR talk</subject></appointment></calendar>"
+        "</user>"
+    )
+
+
+class TestValueTypes:
+    def test_phone_normalizing_equality(self):
+        # The exact example from the paper's Section 6.
+        assert PHONE.equal("908-582-4393", "(908) 582-4393")
+        assert not PHONE.equal("908-582-4393", "908-582-4394")
+
+    def test_phone_us_country_code_stripped(self):
+        assert PHONE.equal("+1 908 582 4393", "9085824393")
+
+    def test_phone_validation(self):
+        assert PHONE.is_valid("908-582-4393")
+        assert not PHONE.is_valid("123")
+
+    def test_email(self):
+        assert EMAIL.is_valid("a@b.com")
+        assert not EMAIL.is_valid("not-an-email")
+        assert EMAIL.equal("A@B.COM", "a@b.com")
+
+    def test_boolean(self):
+        assert BOOLEAN.is_valid("true")
+        assert BOOLEAN.is_valid("FALSE")
+        assert not BOOLEAN.is_valid("yes")
+
+    def test_integer(self):
+        assert INTEGER.is_valid("42")
+        assert INTEGER.is_valid("-7")
+        assert not INTEGER.is_valid("4.2")
+        assert INTEGER.equal("007", "7")
+
+    def test_datetime(self):
+        assert DATETIME.is_valid("2003-01-06T09:00")
+        assert DATETIME.is_valid("2003-01-06")
+        assert not DATETIME.is_valid("Jan 6")
+        assert DATETIME.equal("2003-01-06 09:00", "2003-01-06T09:00")
+
+
+class TestValidation:
+    def test_valid_profile_passes(self):
+        assert GUP_SCHEMA.validate(valid_profile()) == []
+        assert GUP_SCHEMA.is_valid(valid_profile())
+
+    def test_wrong_root(self):
+        violations = GUP_SCHEMA.validate(parse("<profile/>"))
+        assert len(violations) == 1
+        assert "root" in violations[0].message
+
+    def test_missing_required_attribute(self):
+        doc = parse("<user/>")
+        violations = GUP_SCHEMA.validate(doc)
+        assert any("@id" in v.message for v in violations)
+
+    def test_bad_enumerated_value(self):
+        doc = parse(
+            "<user id='a'><devices>"
+            "<device id='d' type='hovercraft'/></devices></user>"
+        )
+        violations = GUP_SCHEMA.validate(doc)
+        assert any("hovercraft" in v.message for v in violations)
+
+    def test_bad_typed_text(self):
+        doc = parse(
+            "<user id='a'><self>"
+            "<email type='personal'>not-an-email</email></self></user>"
+        )
+        violations = GUP_SCHEMA.validate(doc)
+        assert any("email" in v.message for v in violations)
+
+    def test_occurrence_one_enforced(self):
+        doc = parse("<user id='a'><presence/></user>")
+        violations = GUP_SCHEMA.validate(doc)
+        assert any("status" in v.message for v in violations)
+
+    def test_occurrence_opt_enforced(self):
+        doc = parse("<user id='a'><presence><status>x</status>"
+                    "<since>2003-01-01</since><since>2003-01-02</since>"
+                    "</presence></user>")
+        violations = GUP_SCHEMA.validate(doc)
+        assert any("at most once" in v.message for v in violations)
+
+    def test_strict_rejects_undeclared_element(self):
+        doc = parse("<user id='a'><mp3-playlist/></user>")
+        assert not GUP_SCHEMA.is_valid(doc)
+
+    def test_tolerant_schema_accepts_extensions(self):
+        tolerant = build_gup_schema(strict=False)
+        doc = parse("<user id='a'><mp3-playlist><song/></mp3-playlist>"
+                    "</user>")
+        assert tolerant.is_valid(doc)
+
+    def test_check_raises_with_all_violations(self):
+        doc = parse("<user><devices><device/></devices></user>")
+        with pytest.raises(SchemaError) as excinfo:
+            GUP_SCHEMA.check(doc)
+        assert "@id" in str(excinfo.value)
+
+    def test_violation_paths_locate_problems(self):
+        doc = parse("<user id='a'><devices><device id='d' "
+                    "type='cell-phone' bogus='x'/></devices></user>")
+        violations = GUP_SCHEMA.validate(doc)
+        assert violations[0].path == "/user/devices/device"
+
+
+class TestComponents:
+    def test_component_tags_include_paper_examples(self):
+        tags = GUP_SCHEMA.component_tags()
+        # Components named in the paper's coverage examples:
+        for expected in ("address-book", "presence", "game-scores"):
+            assert expected in tags
+
+    def test_component_paths_for_user(self):
+        paths = GUP_SCHEMA.component_paths("arnaud")
+        assert "/user[@id='arnaud']/address-book" in paths
+        assert all(p.startswith("/user[@id='arnaud']/") for p in paths)
+
+    def test_skeleton_is_valid(self):
+        doc = GUP_SCHEMA.skeleton("newbie")
+        assert GUP_SCHEMA.is_valid(doc)
+        assert doc.attrs["id"] == "newbie"
+
+
+class TestEvolution:
+    def test_added_component_validates(self):
+        evolved = GUP_SCHEMA.evolved(
+            "1.1",
+            new_decls=[
+                ElementDecl("mp3-playlist",
+                            children=[ChildDecl("song", "many")],
+                            component=True),
+                ElementDecl("song", text=None),
+            ],
+            new_children=[("user", ChildDecl("mp3-playlist", "opt"))],
+        )
+        doc = parse("<user id='a'><mp3-playlist><song/></mp3-playlist>"
+                    "</user>")
+        assert evolved.is_valid(doc)
+        assert evolved.version == "1.1"
+
+    def test_old_documents_stay_valid(self):
+        evolved = GUP_SCHEMA.evolved(
+            "1.1",
+            new_decls=[ElementDecl("extras")],
+            new_children=[("user", ChildDecl("extras", "opt"))],
+        )
+        assert evolved.is_valid(valid_profile())
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(SchemaError):
+            GUP_SCHEMA.evolved("1.1", new_decls=[ElementDecl("presence")])
+
+    def test_mandatory_addition_rejected(self):
+        with pytest.raises(SchemaError):
+            GUP_SCHEMA.evolved(
+                "1.1",
+                new_decls=[ElementDecl("required-thing")],
+                new_children=[("user", ChildDecl("required-thing", "one"))],
+            )
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(SchemaError):
+            GUP_SCHEMA.evolved(
+                "1.1", new_children=[("nowhere", ChildDecl("x", "opt"))]
+            )
+
+    def test_original_schema_unchanged_by_evolution(self):
+        GUP_SCHEMA.evolved(
+            "1.1",
+            new_decls=[ElementDecl("ephemeral")],
+            new_children=[("user", ChildDecl("ephemeral", "opt"))],
+        )
+        assert "ephemeral" not in GUP_SCHEMA.decls

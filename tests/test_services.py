@@ -1,0 +1,229 @@
+"""Integration tests for the converged services: selective reach-me,
+roaming profile, carrier portability (the paper's Section 2 examples)."""
+
+import pytest
+
+from repro.access import RequestContext
+from repro.pxml import evaluate_values
+from repro.services import (
+    CarrierPortabilityService,
+    ReachMeService,
+    RoamingProfileService,
+)
+from repro.workloads import SyntheticAdapter, build_converged_world
+
+
+@pytest.fixture()
+def world():
+    return build_converged_world()
+
+
+@pytest.fixture()
+def reachme(world):
+    return ReachMeService(world.server, world.executor)
+
+
+class TestReachMe:
+    def test_office_hours_available_routes_to_office(self, world,
+                                                     reachme):
+        # Alice: presence available, office line idle, softphone online.
+        decision = reachme.decide("alice", hour=11, weekday=1)
+        assert decision.rule_name == "office-when-available"
+        assert decision.first_target == "office-phone"
+        assert "softphone" in decision.targets
+
+    def test_busy_office_line_skipped(self, world, reachme):
+        world.switch.set_busy("9085820001", True)
+        decision = reachme.decide("alice", hour=11, weekday=1)
+        assert decision.first_target == "softphone"
+
+    def test_offline_softphone_skipped(self, world, reachme):
+        world.switch.set_busy("9085820001", True)
+        world.registrar.unregister(
+            "sip:alice@lucent.com", "135.104.3.7"
+        )
+        decision = reachme.decide("alice", hour=11, weekday=1)
+        # Neither office (busy) nor softphone (offline) survive.
+        assert decision.first_target not in ("office-phone", "softphone")
+
+    def test_meeting_goes_to_voicemail(self, world, reachme):
+        # The Lucent calendar has a 9-10am staff meeting on Monday.
+        decision = reachme.decide("alice", hour=9, weekday=0)
+        assert decision.state.in_meeting
+        assert decision.rule_name == "meeting-or-busy"
+        assert decision.first_target == "voicemail"
+
+    def test_commute_routes_to_cell_when_on_air(self, world, reachme):
+        world.msc.handle_power_on("9085551111", "nj-1")
+        decision = reachme.decide("alice", hour=8, weekday=2)
+        assert decision.rule_name == "commute-cell"
+        assert decision.first_target == "cell-phone"
+
+    def test_commute_off_air_falls_through(self, world, reachme):
+        decision = reachme.decide("alice", hour=8, weekday=2)
+        assert decision.rule_name != "commute-cell"
+
+    def test_friday_work_from_home(self, world, reachme):
+        decision = reachme.decide("alice", hour=11, weekday=4)
+        assert decision.rule_name == "friday-home"
+        assert decision.first_target == "home-phone"
+
+    def test_away_presence_not_office(self, world, reachme):
+        world.presence.set_status("alice", "busy")
+        decision = reachme.decide("alice", hour=14, weekday=1)
+        assert decision.rule_name == "meeting-or-busy"
+
+    def test_aggregation_uses_multiple_sources(self, world, reachme):
+        decision = reachme.decide("alice", hour=11, weekday=1)
+        assert decision.sources_used >= 4
+        assert decision.trace.elapsed_ms > 0
+
+    def test_decision_latency_under_paper_bound(self, world, reachme):
+        # "rendered in just a few seconds" — simulated end-to-end.
+        decision = reachme.decide("alice", hour=11, weekday=1)
+        assert decision.trace.elapsed_ms < 3_000
+
+    def test_cached_decisions_faster(self, world, reachme):
+        cold = reachme.decide("alice", hour=11, weekday=1, now=0.0)
+        warm = reachme.decide(
+            "alice", hour=11, weekday=1, now=10.0, use_cache=True
+        )
+        warm2 = reachme.decide(
+            "alice", hour=11, weekday=1, now=20.0, use_cache=True
+        )
+        assert warm2.trace.elapsed_ms < cold.trace.elapsed_ms
+
+
+class TestRoaming:
+    def test_fetch_corporate_calendar_from_europe(self, world):
+        service = RoamingProfileService(world.server, world.executor)
+        fragment, trace = service.fetch_while_roaming(
+            "alice", "calendar", roaming_node="gup.device.alice"
+        )
+        subjects = evaluate_values(
+            fragment, "/user/calendar/appointment/subject"
+        )
+        assert "Staff meeting" in subjects
+        # The wireless leg is paid, but the data arrives.
+        assert trace.elapsed_ms > 100
+
+    def test_synchronize_address_book_merges_both_ways(self, world):
+        service = RoamingProfileService(world.server, world.executor)
+        report, trace = service.synchronize_address_book(
+            "alice", "gup.device.alice"
+        )
+        assert report.mode == "slow"  # first-ever sync
+        # Device now carries the network's entry and vice versa.
+        device_names = [
+            e.name for e in world.phones["alice-cell"].all_entries()
+        ]
+        assert any("Mom" in n for n in device_names)
+        network_names = [
+            c.display_name for c in world.yahoo.contacts("alice")
+        ]
+        assert any("Bob Cell" in n for n in network_names)
+
+    def test_repeated_syncs_stable_and_lossless(self, world):
+        # The bridge rebuilds endpoints per call, so every bridge sync
+        # is a slow (snapshot) sync. The phone cannot store emails, so
+        # its copy of a corporate contact is forever a projection of
+        # the network copy — each sync re-reconciles that one item —
+        # but the outcome must be STABLE (no growth sync over sync)
+        # and LOSSLESS (the email survives on the network side).
+        service = RoamingProfileService(world.server, world.executor)
+        service.synchronize_address_book(
+            "alice", "gup.device.alice", now=0.0
+        )
+        second, _ = service.synchronize_address_book(
+            "alice", "gup.device.alice", now=100.0
+        )
+        third, _ = service.synchronize_address_book(
+            "alice", "gup.device.alice", now=200.0
+        )
+        fourth, _ = service.synchronize_address_book(
+            "alice", "gup.device.alice", now=300.0
+        )
+        assert fourth.bytes == third.bytes  # fixed point reached
+        assert len(third.conflicts) == len(second.conflicts) <= 1
+        rick = [
+            c for c in world.yahoo.contacts("alice")
+            if c.contact_id == "l1"
+        ]
+        assert rick and rick[0].emails  # email never lost
+
+
+class TestPortability:
+    def test_port_user_moves_components(self, world):
+        service = CarrierPortabilityService(world.server)
+        att = SyntheticAdapter("gup.att.com", region="core")
+        world.network.add_node("gup.att.com", region="core")
+        report = service.port_user("arnaud", "gup.spcs.com", att)
+        assert report.moved  # address-book, game-scores, presence...
+        # New carrier now serves what it supports.
+        for path in report.moved:
+            assert "gup.att.com" in world.server.coverage.stores_for(
+                path
+            )
+            assert (
+                "gup.spcs.com"
+                not in world.server.coverage.stores_for(path)
+            )
+
+    def test_unsupported_components_reported(self, world):
+        service = CarrierPortabilityService(world.server)
+        att = SyntheticAdapter("gup.att.com", region="core")
+        world.network.add_node("gup.att.com", region="core")
+        report = service.port_user("arnaud", "gup.spcs.com", att)
+        # The HLR-ish components (self/location/services) have no home
+        # in the synthetic AT&T store.
+        assert any("location" in p for p in report.unsupported)
+
+    def test_data_still_resolvable_after_port(self, world):
+        service = CarrierPortabilityService(world.server)
+        att = SyntheticAdapter("gup.att.com", region="core")
+        world.network.add_node("gup.att.com", region="core")
+        service.port_user("arnaud", "gup.spcs.com", att)
+        referral = world.server.resolve(
+            "/user[@id='arnaud']/address-book",
+            RequestContext("arnaud", relationship="self"),
+        )
+        stores = referral.parts[0].store_ids
+        assert "gup.att.com" in stores
+        assert "gup.spcs.com" not in stores
+
+
+class TestWifiHotspotRouting:
+    """Section 2.2: 'near a WiFi hot-spot she can be reached on her
+    laptop via email, IM, and VoIP'."""
+
+    def test_online_evening_routes_to_im(self, world):
+        service = ReachMeService(world.server, world.executor)
+        world.isp.connect("alice", "135.104.9.1")
+        decision = service.decide("alice", hour=21, weekday=2)
+        assert decision.rule_name == "online-off-hours"
+        assert decision.first_target == "im"
+
+    def test_offline_evening_falls_back(self, world):
+        service = ReachMeService(world.server, world.executor)
+        decision = service.decide("alice", hour=21, weekday=2)
+        assert decision.rule_name != "online-off-hours"
+
+    def test_working_hours_still_prefer_office(self, world):
+        service = ReachMeService(world.server, world.executor)
+        world.isp.connect("alice", "135.104.9.1")
+        decision = service.decide("alice", hour=11, weekday=1)
+        assert decision.first_target == "office-phone"
+
+    def test_call_status_aggregates_three_networks(self, world):
+        from repro.access import RequestContext
+        from repro.pxml import evaluate
+        world.isp.connect("alice", "135.104.9.1")
+        fragment, _trace = world.executor.referral(
+            "client-app", "/user[@id='alice']/call-status",
+            RequestContext("alice", relationship="self"),
+        )
+        networks = sorted(
+            node.attrs["network"]
+            for node in evaluate(fragment, "/user/call-status")
+        )
+        assert networks == ["internet", "pstn", "voip"]

@@ -1,0 +1,87 @@
+"""Tests for find_single_source (Section 7) and adjunct-driven
+reconciliation defaults."""
+
+from repro.core import GupsterServer
+from repro.pxml import build_gup_adjunct
+from repro.workloads import SyntheticAdapter, build_converged_world
+
+
+class TestFindSingleSource:
+    def setup_method(self):
+        self.server = GupsterServer("g", enforce_policies=False)
+        full = SyntheticAdapter("gup.full.com")
+        full.add_user("u", ["address-book", "presence", "calendar"])
+        partial = SyntheticAdapter("gup.partial.com")
+        partial.add_user("u", ["address-book"])
+        self.server.join(full)
+        self.server.join(partial)
+
+    def test_single_store_covering_all(self):
+        source = self.server.find_single_source(
+            ["/user[@id='u']/address-book", "/user[@id='u']/presence"]
+        )
+        assert source == "gup.full.com"
+
+    def test_no_single_source(self):
+        other = SyntheticAdapter("gup.other.com")
+        other.add_user("u", ["devices"])
+        self.server.join(other)
+        assert self.server.find_single_source(
+            ["/user[@id='u']/devices", "/user[@id='u']/presence"]
+        ) == "gup.full.com" or True
+        # devices lives only at gup.other.com, presence only at
+        # gup.full.com: no single source.
+        assert self.server.find_single_source(
+            ["/user[@id='u']/devices", "/user[@id='u']/presence"]
+        ) is None
+
+    def test_uncovered_path_yields_none(self):
+        assert self.server.find_single_source(
+            ["/user[@id='u']/wallet"]
+        ) is None
+
+    def test_empty_request_list(self):
+        assert self.server.find_single_source([]) is None
+
+    def test_reachme_sources_in_paper_world(self):
+        world = build_converged_world()
+        # No single store holds everything reach-me needs — which is
+        # exactly why GUPster exists.
+        needed = [
+            "/user[@id='alice']/presence",
+            "/user[@id='alice']/location",
+            "/user[@id='alice']/calendar",
+        ]
+        assert world.server.find_single_source(needed) is None
+        # But presence+location share the carrier.
+        assert world.server.find_single_source(
+            needed[:2]
+        ) == "gup.spcs.com"
+
+
+class TestAdjunctReconciliationDefault:
+    def test_sync_uses_adjunct_policy(self):
+        from repro.services import RoamingProfileService
+
+        world = build_converged_world()
+        world.server.adjunct = build_gup_adjunct()
+        service = RoamingProfileService(world.server, world.executor)
+        report, _trace = service.synchronize_address_book(
+            "alice", "gup.device.alice"
+        )
+        session = service._sessions[("alice", "gup.device.alice")]
+        # /user address-book falls under the adjunct's default region
+        # ('merge' at /user).
+        assert session.reconciler.policy == "merge"
+
+    def test_explicit_policy_still_wins(self):
+        from repro.services import RoamingProfileService
+
+        world = build_converged_world()
+        world.server.adjunct = build_gup_adjunct()
+        service = RoamingProfileService(world.server, world.executor)
+        service.synchronize_address_book(
+            "alice", "gup.device.alice", policy="client-wins"
+        )
+        session = service._sessions[("alice", "gup.device.alice")]
+        assert session.reconciler.policy == "client-wins"

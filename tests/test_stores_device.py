@@ -1,0 +1,144 @@
+"""Unit tests for devices: phones, SIM cards, PDAs, and the store
+directory that regenerates Figure 5."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.stores import (
+    HLR,
+    Class5Switch,
+    MobilePhone,
+    Pda,
+    PhoneBookEntry,
+    SimCard,
+    SipRegistrar,
+    StoreDirectory,
+    WebPortal,
+)
+
+
+class TestMobilePhone:
+    def setup_method(self):
+        self.sim = SimCard("imsi-1", "9085551234", capacity=2)
+        self.phone = MobilePhone(
+            "alice-cell", "alice", "sprintpcs", sim=self.sim
+        )
+
+    def test_store_on_phone(self):
+        self.phone.store_entry(PhoneBookEntry("1", "Bob", "908-1"))
+        assert [e.name for e in self.phone.all_entries()] == ["Bob"]
+
+    def test_store_on_sim(self):
+        self.phone.store_entry(
+            PhoneBookEntry("1", "Maman", "+33-1"), on_sim=True
+        )
+        assert "1" in self.sim.phonebook
+
+    def test_sim_capacity_enforced(self):
+        self.phone.store_entry(PhoneBookEntry("1", "A", "1"), on_sim=True)
+        self.phone.store_entry(PhoneBookEntry("2", "B", "2"), on_sim=True)
+        with pytest.raises(StoreError):
+            self.phone.store_entry(
+                PhoneBookEntry("3", "C", "3"), on_sim=True
+            )
+
+    def test_sim_update_in_place_allowed_at_capacity(self):
+        self.phone.store_entry(PhoneBookEntry("1", "A", "1"), on_sim=True)
+        self.phone.store_entry(PhoneBookEntry("2", "B", "2"), on_sim=True)
+        self.phone.store_entry(
+            PhoneBookEntry("2", "B2", "22"), on_sim=True
+        )
+        assert self.sim.phonebook["2"].name == "B2"
+
+    def test_store_on_sim_without_sim(self):
+        phone = MobilePhone("bare", "bob", "att")
+        with pytest.raises(StoreError):
+            phone.store_entry(PhoneBookEntry("1", "A", "1"), on_sim=True)
+
+    def test_sim_swap_carries_phonebook(self):
+        # The European scenario: the SIM walks between devices.
+        self.phone.store_entry(
+            PhoneBookEntry("1", "Maman", "+33-1"), on_sim=True
+        )
+        sim = self.phone.eject_sim()
+        other = MobilePhone("alice-gsm", "alice", "vodafone")
+        other.insert_sim(sim)
+        assert [e.name for e in other.all_entries()] == ["Maman"]
+        assert self.phone.all_entries() == []
+
+    def test_sim_entries_shadow_phone_entries(self):
+        self.phone.store_entry(PhoneBookEntry("1", "PhoneCopy", "1"))
+        self.phone.store_entry(
+            PhoneBookEntry("1", "SimCopy", "1"), on_sim=True
+        )
+        assert [e.name for e in self.phone.all_entries()] == ["SimCopy"]
+
+    def test_delete_entry(self):
+        self.phone.store_entry(PhoneBookEntry("1", "Bob", "908-1"))
+        self.phone.delete_entry("1")
+        assert self.phone.all_entries() == []
+        with pytest.raises(StoreError):
+            self.phone.delete_entry("1")
+
+    def test_change_log_for_fast_sync(self):
+        self.phone.store_entry(PhoneBookEntry("1", "Bob", "908-1"))
+        mark = self.phone.change_counter
+        self.phone.store_entry(PhoneBookEntry("2", "Carol", "908-2"))
+        self.phone.delete_entry("1")
+        changes = self.phone.changes_since(mark)
+        assert [(op, eid) for _, op, eid in changes] == [
+            ("put", "2"), ("delete", "1"),
+        ]
+
+    def test_preferences_and_wap(self):
+        self.phone.set_preference("ring-tone", "nokia-tune")
+        self.phone.add_wap_bookmark("b1", "wap://news")
+        assert self.phone.preferences["ring-tone"] == "nokia-tune"
+        assert self.phone.wap_bookmarks["b1"] == "wap://news"
+
+    def test_power_cycle(self):
+        self.phone.power_on()
+        assert self.phone.powered_on
+        self.phone.power_off()
+        assert not self.phone.powered_on
+
+
+class TestPda:
+    def test_contacts_and_appointments(self):
+        pda = Pda("alice-pda", "alice")
+        pda.store_contact(PhoneBookEntry("1", "Bob", "908-1"))
+        pda.store_appointment("a1", "2003-01-06T09:00",
+                              "2003-01-06T10:00", "CIDR")
+        assert "1" in pda.contacts
+        assert pda.appointments["a1"][2] == "CIDR"
+        assert len(pda.changes_since(0)) == 2
+
+
+class TestStoreDirectory:
+    def test_figure5_placement_table(self):
+        directory = StoreDirectory()
+        directory.add(Class5Switch("5ess"))
+        directory.add(HLR("hlr", carrier="sprintpcs"))
+        directory.add(SipRegistrar("registrar"))
+        directory.add(WebPortal("yahoo"))
+        directory.add(MobilePhone("phone", "alice", "sprintpcs"))
+        table = dict(directory.placement_table())
+        assert "Class5Switch" in table["PSTN"]
+        assert "HLR" in table["Wireless"]
+        assert "MobilePhone" in table["Wireless"]
+        assert "SipRegistrar" in table["VoIP"]
+        assert "WebPortal" in table["Web"]
+
+    def test_duplicate_store_rejected(self):
+        directory = StoreDirectory()
+        directory.add(WebPortal("yahoo"))
+        with pytest.raises(ValueError):
+            directory.add(WebPortal("yahoo"))
+
+    def test_by_network(self):
+        directory = StoreDirectory()
+        directory.add(WebPortal("yahoo"))
+        directory.add(HLR("hlr", carrier="x"))
+        assert [s.name for s in directory.by_network("Web")] == ["yahoo"]
+        assert directory.get("hlr") is not None
+        assert directory.get("missing") is None

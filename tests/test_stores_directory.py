@@ -1,0 +1,207 @@
+"""Unit tests for the mini-LDAP directory server (E9 substrate)."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.stores import DirectoryServer, LdapEntry, parse_filter
+
+
+def people_server():
+    server = DirectoryServer("ldap.lucent", suffix="o=lucent")
+    server.add(LdapEntry("o=lucent", ["organization"], {"o": ["lucent"]}))
+    server.add(
+        LdapEntry(
+            "ou=people,o=lucent",
+            ["organizationalUnit"],
+            {"ou": ["people"]},
+        )
+    )
+    server.add(
+        LdapEntry(
+            "uid=alice,ou=people,o=lucent",
+            ["person", "inetOrgPerson"],
+            {
+                "cn": ["Alice Smith"],
+                "sn": ["Smith"],
+                "uid": ["alice"],
+                "mail": ["alice@lucent.com"],
+                "telephoneNumber": ["908-582-0001", "908-582-0002"],
+            },
+        )
+    )
+    server.add(
+        LdapEntry(
+            "uid=bob,ou=people,o=lucent",
+            ["person", "inetOrgPerson"],
+            {"cn": ["Bob Jones"], "sn": ["Jones"], "uid": ["bob"]},
+        )
+    )
+    return server
+
+
+class TestEntries:
+    def test_dn_normalized(self):
+        entry = LdapEntry("UID=Alice, OU=People, O=Lucent", ["person"],
+                          {"cn": ["A"], "sn": ["S"]})
+        assert entry.dn == "uid=alice,ou=people,o=lucent"
+
+    def test_multivalued_attributes(self):
+        server = people_server()
+        alice = server.entry("uid=alice,ou=people,o=lucent")
+        assert len(alice.values("telephoneNumber")) == 2
+        assert alice.first("mail") == "alice@lucent.com"
+
+    def test_outside_suffix_rejected(self):
+        server = people_server()
+        with pytest.raises(StoreError):
+            server.add(LdapEntry("o=att", ["organization"], {"o": ["att"]}))
+
+    def test_duplicate_dn_rejected(self):
+        server = people_server()
+        with pytest.raises(StoreError):
+            server.add(
+                LdapEntry("o=lucent", ["organization"], {"o": ["lucent"]})
+            )
+
+    def test_missing_required_attribute_rejected(self):
+        server = people_server()
+        with pytest.raises(StoreError):
+            server.add(
+                LdapEntry(
+                    "uid=carol,ou=people,o=lucent", ["person"],
+                    {"cn": ["Carol"]},  # missing sn
+                )
+            )
+
+    def test_undeclared_attribute_rejected(self):
+        server = people_server()
+        with pytest.raises(StoreError):
+            server.add(
+                LdapEntry(
+                    "uid=carol,ou=people,o=lucent", ["person"],
+                    {"cn": ["C"], "sn": ["C"], "favoriteColor": ["red"]},
+                )
+            )
+
+    def test_unknown_objectclass_rejected(self):
+        server = people_server()
+        with pytest.raises(StoreError):
+            server.add(
+                LdapEntry(
+                    "uid=carol,ou=people,o=lucent", ["martian"],
+                    {"cn": ["C"]},
+                )
+            )
+
+    def test_modify_and_delete(self):
+        server = people_server()
+        dn = "uid=bob,ou=people,o=lucent"
+        server.modify(dn, "mail", ["bob@lucent.com"])
+        assert server.entry(dn).first("mail") == "bob@lucent.com"
+        server.delete(dn)
+        assert not server.has_entry(dn)
+        with pytest.raises(StoreError):
+            server.delete(dn)
+
+
+class TestFilters:
+    def test_equality(self):
+        f = parse_filter("(uid=alice)")
+        server = people_server()
+        assert f.matches(server.entry("uid=alice,ou=people,o=lucent"))
+        assert not f.matches(server.entry("uid=bob,ou=people,o=lucent"))
+
+    def test_presence(self):
+        f = parse_filter("(mail=*)")
+        server = people_server()
+        assert f.matches(server.entry("uid=alice,ou=people,o=lucent"))
+        assert not f.matches(server.entry("uid=bob,ou=people,o=lucent"))
+
+    def test_prefix(self):
+        f = parse_filter("(cn=Alice*)")
+        server = people_server()
+        assert f.matches(server.entry("uid=alice,ou=people,o=lucent"))
+
+    def test_objectclass_matching(self):
+        f = parse_filter("(objectClass=person)")
+        server = people_server()
+        assert f.matches(server.entry("uid=bob,ou=people,o=lucent"))
+
+    def test_and_or_not(self):
+        server = people_server()
+        alice = server.entry("uid=alice,ou=people,o=lucent")
+        bob = server.entry("uid=bob,ou=people,o=lucent")
+        both = parse_filter("(&(objectClass=person)(mail=*))")
+        assert both.matches(alice) and not both.matches(bob)
+        either = parse_filter("(|(uid=alice)(uid=bob))")
+        assert either.matches(alice) and either.matches(bob)
+        negated = parse_filter("(!(uid=alice))")
+        assert not negated.matches(alice) and negated.matches(bob)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["uid=alice", "(&)", "(uid=al*ce)", "(=x)", "(uid=alice",
+         "(!(uid=a)", "(uid=alice))"],
+    )
+    def test_malformed_filters(self, bad):
+        with pytest.raises(StoreError):
+            parse_filter(bad)
+
+
+class TestSearch:
+    def test_scope_base(self):
+        server = people_server()
+        results = server.search("uid=alice,ou=people,o=lucent", "base")
+        assert [e.first("uid") for e in results] == ["alice"]
+
+    def test_scope_one(self):
+        server = people_server()
+        results = server.search("ou=people,o=lucent", "one")
+        assert sorted(e.first("uid") for e in results) == ["alice", "bob"]
+
+    def test_scope_sub(self):
+        server = people_server()
+        results = server.search("o=lucent", "sub")
+        assert len(results) == 4
+
+    def test_search_with_filter(self):
+        server = people_server()
+        results = server.search(
+            "o=lucent", "sub", "(&(objectClass=person)(mail=*))"
+        )
+        assert [e.first("uid") for e in results] == ["alice"]
+
+    def test_bad_scope(self):
+        with pytest.raises(StoreError):
+            people_server().search("o=lucent", "galaxy")
+
+
+class TestSubtreeDelegation:
+    def test_referral_and_export(self):
+        server = people_server()
+        server.delegate_subtree("ou=people,o=lucent", "ldap2.lucent")
+        assert (
+            server.referral_for("uid=alice,ou=people,o=lucent")
+            == "ldap2.lucent"
+        )
+        assert server.referral_for("o=lucent") is None
+        exported = server.export_subtree("ou=people,o=lucent")
+        assert len(exported) == 3  # ou + two people
+
+
+class TestOpaqueBlob:
+    def test_roaming_profile_blob_round_trip(self):
+        """The Netscape workaround: nested data as an opaque whole."""
+        server = DirectoryServer("ldap.netscape", suffix="o=netscape")
+        blob = "<address-book><item id='1'/><item id='2'/></address-book>"
+        server.add(
+            LdapEntry(
+                "profileName=arnaud,o=netscape",
+                ["roamingProfileObject"],
+                {"profileName": ["arnaud"], "profileBlob": [blob]},
+            )
+        )
+        entry = server.entry("profileName=arnaud,o=netscape")
+        # Whole-object retrieval: the blob's full size is always paid.
+        assert entry.first("profileBlob") == blob
+        assert entry.byte_size() >= len(blob)

@@ -1,0 +1,132 @@
+"""Unit tests for the PSTN class-5 switch and the SIP registrar/proxy."""
+
+import pytest
+
+from repro.errors import ProvisioningDeniedError, StoreError
+from repro.stores import Class5Switch, SipProxy, SipRegistrar
+
+
+class TestClass5Switch:
+    def setup_method(self):
+        self.switch = Class5Switch("5ess.murray-hill")
+        self.switch.install_line("9085820001", "alice")
+        self.switch.install_line("9085820002", "bob")
+
+    def test_duplicate_line_rejected(self):
+        with pytest.raises(StoreError):
+            self.switch.install_line("9085820001", "carol")
+
+    def test_basic_connect(self):
+        assert self.switch.route_call("x", "9085820001") == "connected"
+
+    def test_no_such_line(self):
+        assert self.switch.route_call("x", "999") == "no-such-line"
+
+    def test_forwarding(self):
+        self.switch.provision("9085820001", "call_forwarding", "9085820002")
+        assert (
+            self.switch.route_call("x", "9085820001")
+            == "forwarded:9085820002"
+        )
+
+    def test_busy_without_forwarding(self):
+        self.switch.set_busy("9085820001", True)
+        assert self.switch.route_call("x", "9085820001") == "busy"
+        assert self.switch.call_status("9085820001") == "busy"
+
+    def test_busy_with_forwarding(self):
+        self.switch.set_busy("9085820001", True)
+        self.switch.provision("9085820001", "call_forwarding", "9085820002")
+        assert (
+            self.switch.route_call("x", "9085820001")
+            == "forwarded:9085820002"
+        )
+
+    def test_barring_requires_operator(self):
+        # The paper: "Most provisioning must be performed manually by
+        # network operators rather than the end-user."
+        with pytest.raises(ProvisioningDeniedError):
+            self.switch.provision("9085820001", "barred_numbers", ["666"])
+        self.switch.provision(
+            "9085820001", "barred_numbers", ["666"], by_operator=True
+        )
+        assert self.switch.route_call("666", "9085820001") == "barred"
+
+    def test_self_provision_forwarding_allowed(self):
+        self.switch.provision("9085820001", "call_forwarding", "123")
+        assert self.switch.line("9085820001").call_forwarding == "123"
+
+    def test_unknown_feature(self):
+        with pytest.raises(StoreError):
+            self.switch.provision(
+                "9085820001", "warp-drive", True, by_operator=True
+            )
+
+    def test_tollfree_resolution(self):
+        self.switch.map_tollfree("8005551000", "9085820002")
+        assert self.switch.route_call("x", "8005551000") == "connected"
+
+    def test_counters(self):
+        self.switch.route_call("x", "9085820001")
+        self.switch.route_call("x", "999")
+        assert self.switch.calls_routed == 1
+        assert self.switch.calls_rejected == 1
+
+
+class TestSip:
+    def setup_method(self):
+        self.registrar = SipRegistrar("registrar.example")
+        self.proxy = SipProxy("proxy.example", self.registrar)
+
+    def test_register_and_route(self):
+        self.registrar.register(
+            "sip:alice@example.com", "10.0.0.5", "alice", now=0
+        )
+        outcome, contact = self.proxy.route("sip:alice@example.com", now=10)
+        assert outcome == "proxied"
+        assert contact == "10.0.0.5"
+
+    def test_binding_expiry(self):
+        self.registrar.register(
+            "sip:alice@example.com", "10.0.0.5", "alice",
+            now=0, expires_ms=100,
+        )
+        assert self.registrar.is_registered("sip:alice@example.com", now=50)
+        assert not self.registrar.is_registered(
+            "sip:alice@example.com", now=150
+        )
+
+    def test_reregister_replaces_contact(self):
+        aor = "sip:alice@example.com"
+        self.registrar.register(aor, "10.0.0.5", "alice", now=0)
+        self.registrar.register(aor, "10.0.0.5", "alice", now=10)
+        assert len(self.registrar.lookup(aor, now=20)) == 1
+
+    def test_multiple_contacts_latest_preferred(self):
+        aor = "sip:alice@example.com"
+        self.registrar.register(aor, "10.0.0.5", "alice", now=0)
+        self.registrar.register(aor, "10.0.0.9", "alice", now=10)
+        outcome, contact = self.proxy.route(aor, now=20)
+        assert outcome == "proxied" and contact == "10.0.0.9"
+
+    def test_unregister(self):
+        aor = "sip:alice@example.com"
+        self.registrar.register(aor, "10.0.0.5", "alice", now=0)
+        self.registrar.unregister(aor, "10.0.0.5")
+        assert not self.registrar.is_registered(aor)
+
+    def test_routing_hint_fallback(self):
+        self.proxy.set_routing_hint("sip:bob@example.com", "voicemail")
+        outcome, contact = self.proxy.route("sip:bob@example.com")
+        assert outcome == "hinted" and contact == "voicemail"
+
+    def test_unroutable(self):
+        outcome, contact = self.proxy.route("sip:nobody@example.com")
+        assert outcome == "not-registered" and contact is None
+        assert self.proxy.failed == 1
+
+    def test_call_status(self):
+        aor = "sip:alice@example.com"
+        assert self.proxy.call_status(aor) == "offline"
+        self.registrar.register(aor, "10.0.0.5", "alice", now=0)
+        assert self.proxy.call_status(aor, now=10) == "online"

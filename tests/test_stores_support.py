@@ -1,0 +1,105 @@
+"""Unit tests for the supporting Figure 5 stores: AAA, billing, ISP."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.stores import AAAServer, BillingSystem, IspSessionStore
+from repro.workloads import build_converged_world
+
+
+class TestAAAServer:
+    def setup_method(self):
+        self.aaa = AAAServer("aaa")
+        self.aaa.enroll("alice", "s3cret")
+        self.aaa.grant_service("alice", "voip")
+
+    def test_duplicate_enrollment_rejected(self):
+        with pytest.raises(StoreError):
+            self.aaa.enroll("alice", "other")
+
+    def test_authentication(self):
+        assert self.aaa.authenticate("alice", "s3cret")
+        assert not self.aaa.authenticate("alice", "wrong")
+        assert not self.aaa.authenticate("ghost", "s3cret")
+        assert self.aaa.rejected == 2
+
+    def test_authorization(self):
+        assert self.aaa.authorize("alice", "voip")
+        assert not self.aaa.authorize("alice", "warp-drive")
+        self.aaa.revoke_service("alice", "voip")
+        assert not self.aaa.authorize("alice", "voip")
+
+    def test_grant_requires_enrollment(self):
+        with pytest.raises(StoreError):
+            self.aaa.grant_service("ghost", "voip")
+
+    def test_accounting(self):
+        self.aaa.account("alice", "session-start", at=10.0)
+        self.aaa.account("alice", "session-stop", at=90.0)
+        self.aaa.account("bob", "session-start", at=20.0)
+        records = self.aaa.accounting_records("alice")
+        assert [e for _u, e, _t in records] == [
+            "session-start", "session-stop",
+        ]
+
+
+class TestBillingSystem:
+    def test_network_restricted(self):
+        with pytest.raises(StoreError):
+            BillingSystem("b", network="Web")
+
+    def test_per_minute_invoicing(self):
+        billing = BillingSystem("b", network="Wireless")
+        billing.set_plan("alice", "per-minute")
+        billing.record_call("alice", "908-1", 10, rate_cents=5)
+        billing.record_call("alice", "908-2", 2, rate_cents=5)
+        assert billing.invoice_total("alice") == 60
+        assert len(billing.cdrs_for("alice")) == 2
+        assert billing.plan_of("alice") == "per-minute"
+
+    def test_flat_plan_rates_to_zero(self):
+        billing = BillingSystem("b", network="PSTN")
+        billing.set_plan("alice", "flat")
+        billing.record_call("alice", "908-1", 100)
+        assert billing.invoice_total("alice") == 0
+
+    def test_users_isolated(self):
+        billing = BillingSystem("b", network="PSTN")
+        billing.record_call("alice", "x", 1)
+        assert billing.cdrs_for("bob") == []
+        assert billing.plan_of("bob") is None
+
+
+class TestIspSessionStore:
+    def test_session_lifecycle(self):
+        isp = IspSessionStore("isp")
+        assert not isp.is_connected("alice")
+        isp.connect("alice", "135.104.3.9", "908-582-0099")
+        assert isp.is_connected("alice")
+        assert isp.session_of("alice") == (
+            "135.104.3.9", "908-582-0099"
+        )
+        isp.disconnect("alice")
+        assert not isp.is_connected("alice")
+        assert isp.session_of("alice") is None
+        isp.disconnect("alice")  # idempotent
+
+
+class TestFigure5Completion:
+    def test_all_paper_rows_now_populated(self):
+        world = build_converged_world()
+        table = dict(world.directory.placement_table())
+        # PSTN: Class 5 switches, billing systems
+        assert "Class5Switch" in table["PSTN"]
+        assert "BillingSystem" in table["PSTN"]
+        # Wireless: HLR, VLR, MSC, billing systems
+        for kind in ("HLR", "VLR", "MSC", "BillingSystem"):
+            assert kind in table["Wireless"]
+        # VoIP: end-user device, SIP registrar/proxy, AAA
+        assert "SipRegistrar" in table["VoIP"]
+        assert "SipProxy" in table["VoIP"]
+        assert "AAAServer" in table["VoIP"]
+        # Web: device, ISP, portal, enterprise...
+        for kind in ("WebPortal", "EnterpriseServer",
+                     "IspSessionStore", "Pda"):
+            assert kind in table["Web"]

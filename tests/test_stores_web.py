@@ -1,0 +1,124 @@
+"""Unit tests for web portal, enterprise server, presence server."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.stores import (
+    AppointmentRecord,
+    ContactRecord,
+    EnterpriseServer,
+    PresenceServer,
+    WebPortal,
+)
+
+
+class TestWebPortal:
+    def setup_method(self):
+        self.portal = WebPortal("yahoo")
+        self.portal.create_account("arnaud")
+
+    def test_duplicate_account_rejected(self):
+        with pytest.raises(StoreError):
+            self.portal.create_account("arnaud")
+
+    def test_missing_account_rejected(self):
+        with pytest.raises(StoreError):
+            self.portal.contacts("stranger")
+
+    def test_contact_crud(self):
+        self.portal.put_contact(
+            "arnaud",
+            ContactRecord("1", "Bob", phones={"cell": "908-582-1111"}),
+        )
+        contacts = self.portal.contacts("arnaud")
+        assert len(contacts) == 1
+        assert contacts[0].phones["cell"] == "908-582-1111"
+        self.portal.delete_contact("arnaud", "1")
+        assert self.portal.contacts("arnaud") == []
+
+    def test_bad_contact_kind_rejected(self):
+        with pytest.raises(StoreError):
+            ContactRecord("1", "Bob", kind="alien")
+
+    def test_appointments_sorted_by_start(self):
+        self.portal.put_appointment(
+            "arnaud", AppointmentRecord("2", "2003-01-07T10:00",
+                                        "2003-01-07T11:00", "late"),
+        )
+        self.portal.put_appointment(
+            "arnaud", AppointmentRecord("1", "2003-01-06T09:00",
+                                        "2003-01-06T10:00", "early"),
+        )
+        subjects = [a.subject for a in self.portal.appointments("arnaud")]
+        assert subjects == ["early", "late"]
+
+    def test_scores_and_bookmarks(self):
+        self.portal.set_score("arnaud", "chess", 1450)
+        self.portal.add_bookmark("arnaud", "b1", "http://cidr.org")
+        assert self.portal.scores("arnaud") == {"chess": 1450}
+        assert self.portal.bookmarks("arnaud")["b1"] == "http://cidr.org"
+
+    def test_operation_counters(self):
+        self.portal.put_contact("arnaud", ContactRecord("1", "Bob"))
+        self.portal.contacts("arnaud")
+        assert self.portal.writes == 1
+        assert self.portal.reads == 1
+
+
+class TestEnterpriseServer:
+    def test_only_corporate_contacts(self):
+        lucent = EnterpriseServer("intranet.lucent", company="Lucent")
+        lucent.create_account("alice")
+        with pytest.raises(StoreError):
+            lucent.put_contact(
+                "alice", ContactRecord("1", "Mom", kind="personal")
+            )
+        lucent.put_contact(
+            "alice", ContactRecord("2", "Boss", kind="corporate")
+        )
+        assert len(lucent.contacts("alice")) == 1
+
+    def test_enterprise_region(self):
+        lucent = EnterpriseServer("intranet.lucent", company="Lucent")
+        assert lucent.region == "enterprise"
+
+
+class TestPresenceServer:
+    def setup_method(self):
+        self.server = PresenceServer("im.example")
+
+    def test_default_offline(self):
+        assert self.server.status("ghost") == "offline"
+
+    def test_set_and_get(self):
+        self.server.set_status("alice", "busy", "in a meeting")
+        assert self.server.status("alice") == "busy"
+        assert self.server.note("alice") == "in a meeting"
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            self.server.set_status("alice", "bored")
+
+    def test_push_notification_on_change(self):
+        events = []
+        self.server.watch("alice", lambda u, s, n: events.append((u, s)))
+        self.server.set_status("alice", "available")
+        self.server.set_status("alice", "away")
+        assert events == [("alice", "available"), ("alice", "away")]
+        assert self.server.notifications_sent == 2
+
+    def test_no_notification_without_change(self):
+        events = []
+        self.server.watch("alice", lambda u, s, n: events.append(s))
+        self.server.set_status("alice", "available")
+        self.server.set_status("alice", "available")
+        assert events == ["available"]
+
+    def test_unwatch(self):
+        events = []
+        watcher = lambda u, s, n: events.append(s)  # noqa: E731
+        self.server.watch("alice", watcher)
+        self.server.unwatch("alice", watcher)
+        self.server.set_status("alice", "busy")
+        assert events == []
+        assert self.server.watcher_count("alice") == 0

@@ -1,0 +1,133 @@
+"""Unit tests for HLR/VLR/MSC: registration, mobility, call delivery
+(the Figure 3 interactions)."""
+
+import pytest
+
+from repro.errors import StoreError, UnknownSubscriberError
+from repro.stores import HLR, MSC, VLR
+
+
+def wireless_world():
+    hlr = HLR("hlr.sprintpcs", carrier="sprintpcs")
+    vlr_east = VLR("vlr.east", served_cells=["nj-1", "nj-2"])
+    vlr_west = VLR("vlr.west", served_cells=["ca-1"])
+    hlr.attach_vlr(vlr_east)
+    hlr.attach_vlr(vlr_west)
+    msc_east = MSC("msc.east", hlr, vlr_east)
+    msc_west = MSC("msc.west", hlr, vlr_west)
+    hlr.provision_subscriber("9085551234", "imsi-1", "alice")
+    return hlr, vlr_east, vlr_west, msc_east, msc_west
+
+
+class TestProvisioning:
+    def test_duplicate_msisdn_rejected(self):
+        hlr, *_ = wireless_world()
+        with pytest.raises(StoreError):
+            hlr.provision_subscriber("9085551234", "imsi-2", "bob")
+
+    def test_unknown_msisdn(self):
+        hlr, *_ = wireless_world()
+        with pytest.raises(UnknownSubscriberError):
+            hlr.subscriber("0000000000")
+
+    def test_lookup_by_user_id(self):
+        hlr, *_ = wireless_world()
+        assert hlr.subscriber_by_user("alice").msisdn == "9085551234"
+        with pytest.raises(UnknownSubscriberError):
+            hlr.subscriber_by_user("nobody")
+
+    def test_remove_subscriber(self):
+        hlr, *_ = wireless_world()
+        hlr.remove_subscriber("9085551234")
+        assert not hlr.has_subscriber("9085551234")
+
+
+class TestMobility:
+    def test_power_on_registers_location(self):
+        hlr, vlr_east, _, msc_east, _ = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        record = hlr.subscriber("9085551234")
+        assert record.on_air
+        assert record.current_vlr == "vlr.east"
+        assert vlr_east.visitor("9085551234") is not None
+
+    def test_msc_rejects_unserved_cell(self):
+        _, _, _, msc_east, _ = wireless_world()
+        with pytest.raises(StoreError):
+            msc_east.handle_power_on("9085551234", "ca-1")
+
+    def test_moving_cancels_old_vlr(self):
+        hlr, vlr_east, vlr_west, msc_east, msc_west = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        msc_west.handle_power_on("9085551234", "ca-1")
+        # Paper: "The HLR will cancel the location information in the
+        # old VLR after it receives new location information."
+        assert vlr_east.visitor("9085551234") is None
+        assert vlr_west.visitor("9085551234") is not None
+        assert hlr.subscriber("9085551234").current_vlr == "vlr.west"
+
+    def test_detach_clears_location(self):
+        hlr, vlr_east, _, msc_east, _ = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        hlr.detach("9085551234")
+        assert not hlr.subscriber("9085551234").on_air
+        assert vlr_east.visitor("9085551234") is None
+
+    def test_unknown_vlr_rejected(self):
+        hlr, *_ = wireless_world()
+        with pytest.raises(StoreError):
+            hlr.location_update("9085551234", "vlr.mars", "m-1")
+
+    def test_profile_edit_refreshes_vlr_snapshot(self):
+        hlr, vlr_east, _, msc_east, _ = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        hlr.set_call_forwarding("9085551234", "9085559999")
+        assert (
+            vlr_east.visitor("9085551234").call_forwarding == "9085559999"
+        )
+
+    def test_vlr_snapshot_is_a_copy(self):
+        hlr, vlr_east, _, msc_east, _ = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        snapshot = vlr_east.visitor("9085551234")
+        snapshot.call_forwarding = "tampered"
+        assert hlr.subscriber("9085551234").call_forwarding is None
+
+
+class TestCallDelivery:
+    def test_call_to_attached_subscriber(self):
+        hlr, _, _, msc_east, _ = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        assert msc_east.deliver_call("2125550000", "9085551234") == (
+            "vlr:vlr.east"
+        )
+
+    def test_call_to_detached_forwards(self):
+        hlr, _, _, msc_east, _ = wireless_world()
+        hlr.set_call_forwarding("9085551234", "9085550000")
+        assert msc_east.deliver_call("2125550000", "9085551234") == (
+            "forwarded:9085550000"
+        )
+
+    def test_call_to_detached_without_forwarding(self):
+        _, _, _, msc_east, _ = wireless_world()
+        assert (
+            msc_east.deliver_call("2125550000", "9085551234")
+            == "unavailable"
+        )
+
+    def test_barring_screens_caller(self):
+        hlr, _, _, msc_east, _ = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        hlr.set_barring("9085551234", ["2125550000"])
+        assert msc_east.deliver_call("2125550000", "9085551234") == "barred"
+        assert msc_east.deliver_call("7185550000", "9085551234") == (
+            "vlr:vlr.east"
+        )
+
+    def test_counters(self):
+        hlr, _, _, msc_east, _ = wireless_world()
+        msc_east.handle_power_on("9085551234", "nj-1")
+        msc_east.deliver_call("1", "9085551234")
+        assert msc_east.delivered == 1
+        assert hlr.lookups > 0

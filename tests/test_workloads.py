@@ -1,0 +1,182 @@
+"""Unit tests for workload generation: synthetic stores, Zipf
+sampling, population spreading, and the scenario builder."""
+
+import pytest
+
+from repro.pxml import GUP_SCHEMA, parse
+from repro.workloads import (
+    SyntheticAdapter,
+    ZipfSampler,
+    build_converged_world,
+    spread_users,
+)
+
+
+class TestSyntheticAdapter:
+    def setup_method(self):
+        self.store = SyntheticAdapter("gup.synth.com", book_entries=5)
+        self.store.add_user("u1", ["address-book", "presence"])
+
+    def test_holdings(self):
+        assert self.store.holdings("u1") == ("address-book", "presence")
+        assert self.store.holdings("ghost") == ()
+        assert self.store.users() == ["u1"]
+
+    def test_unsupported_component_rejected(self):
+        with pytest.raises(ValueError):
+            self.store.add_user("u2", ["wallet"])
+
+    def test_export_is_deterministic(self):
+        first = self.store.export_user("u1")
+        second = self.store.export_user("u1")
+        assert first.deep_equal(second)
+
+    def test_export_validates_against_schema(self):
+        self.store.add_user(
+            "u2",
+            ["address-book", "presence", "calendar", "game-scores",
+             "devices", "preferences"],
+        )
+        view = self.store.export_user("u2")
+        assert GUP_SCHEMA.validate(view) == []
+
+    def test_different_stores_differ(self):
+        other = SyntheticAdapter("gup.other.com", book_entries=5)
+        other.add_user("u1", ["address-book"])
+        mine = self.store.export_user("u1").child("address-book")
+        theirs = other.export_user("u1").child("address-book")
+        # Same ids (mergeable replicas) but different generated phone
+        # numbers (store-seeded).
+        assert [i.attrs["id"] for i in mine.children] == [
+            i.attrs["id"] for i in theirs.children
+        ]
+        assert not mine.deep_equal(theirs)
+
+    def test_book_entries_config(self):
+        view = self.store.export_user("u1")
+        assert len(view.child("address-book").children) == 5
+
+    def test_write_overrides_generation(self):
+        fragment = parse(
+            "<address-book><item id='only'><name>Zoe</name></item>"
+            "</address-book>"
+        )
+        self.store.apply_component("u1", "address-book", fragment)
+        view = self.store.export_user("u1")
+        book = view.child("address-book")
+        assert [i.attrs["id"] for i in book.children] == ["only"]
+
+    def test_write_to_new_user_creates_holding(self):
+        self.store.apply_component(
+            "new", "presence",
+            parse("<presence><status>busy</status></presence>"),
+        )
+        assert "presence" in self.store.holdings("new")
+
+    def test_unknown_user_exports_none(self):
+        assert self.store.export_user("ghost") is None
+
+
+class TestZipfSampler:
+    def test_deterministic(self):
+        a = ZipfSampler(range(100), seed=5).sequence(50)
+        b = ZipfSampler(range(100), seed=5).sequence(50)
+        assert a == b
+
+    def test_skew_favors_head(self):
+        sampler = ZipfSampler(list(range(1000)), alpha=1.0, seed=1)
+        draws = sampler.sequence(5000)
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 990)
+        assert head > 10 * max(tail, 1)
+
+    def test_alpha_zero_roughly_uniform(self):
+        sampler = ZipfSampler(list(range(10)), alpha=0.0, seed=1)
+        draws = sampler.sequence(5000)
+        counts = [draws.count(i) for i in range(10)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+
+
+class TestSpreadUsers:
+    def test_population_spread(self):
+        stores = [
+            SyntheticAdapter("gup.s%d.com" % i, seed=i)
+            for i in range(4)
+        ]
+        users = spread_users(
+            50, stores, components_per_user=3, replicas=2, seed=1
+        )
+        assert len(users) == 50
+        # Every user got components on some store.
+        for user in users:
+            holdings = [
+                c for store in stores for c in store.holdings(user)
+            ]
+            assert len(holdings) >= 3
+        # Replication: each (user, component) appears on 2 stores.
+        user = users[0]
+        component_counts = {}
+        for store in stores:
+            for component in store.holdings(user):
+                component_counts[component] = (
+                    component_counts.get(component, 0) + 1
+                )
+        assert all(count == 2 for count in component_counts.values())
+
+    def test_replicas_bounded_by_stores(self):
+        stores = [SyntheticAdapter("gup.s.com")]
+        with pytest.raises(ValueError):
+            spread_users(5, stores, replicas=2)
+
+
+class TestConvergedWorld:
+    def test_world_builds_cleanly(self):
+        world = build_converged_world()
+        assert world.server is not None
+        assert world.executor is not None
+        stats = world.server.stats()
+        assert stats["users"] >= 2
+        assert stats["stores"] >= 5
+
+    def test_every_registered_component_is_fetchable(self):
+        from repro.access import RequestContext
+
+        world = build_converged_world()
+        for user in ("alice", "arnaud"):
+            ctx = RequestContext(user, relationship="self")
+            for path, _stores in (
+                world.server.coverage.component_graph(user)
+            ):
+                fragment, _trace = world.executor.referral(
+                    "client-app", path, ctx
+                )
+                assert fragment is not None, path
+
+    def test_split_variant_changes_coverage_only_for_arnaud(self):
+        plain = build_converged_world()
+        split = build_converged_world(split_address_book=True)
+        assert (
+            plain.server.coverage.component_graph("alice")
+            == split.server.coverage.component_graph("alice")
+        )
+        assert (
+            plain.server.coverage.component_graph("arnaud")
+            != split.server.coverage.component_graph("arnaud")
+        )
+
+    def test_policies_optional(self):
+        world = build_converged_world(with_policies=False)
+        assert world.server.policy_repository.rule_count() == 0
+
+    def test_exports_validate_against_schema(self):
+        world = build_converged_world()
+        for adapter in world.adapters.values():
+            for user in adapter.users():
+                view = adapter.export_user(user)
+                assert GUP_SCHEMA.validate(view) == [], (
+                    adapter.store_id, user,
+                )
