@@ -1,0 +1,346 @@
+"""E16 — availability under churn (requirement 13 / Section 5.1).
+
+The paper motivates the mirrored meta-data constellation by its
+behaviour when mirrors die, and calls the public internet "the weakest
+link" — but none of the earlier experiments actually injects failures
+mid-run. E16 scripts store flaps, packet loss and a total-outage
+window against virtual time (:mod:`repro.simnet.faults`) and measures:
+
+* how often a chaining query over a split, partially-replicated
+  component still answers — fully, or degraded to the reachable parts;
+* how serve-stale-on-failure turns a total store outage into bounded
+  staleness instead of downtime;
+* the retry/failover/timeout/stale accounting the resilience layer
+  charges while doing so;
+* that the mirrored MDM constellation rides through alternating mirror
+  flaps at 100% availability while the single per-user MDM does not;
+* the sunny-day guarantee: with no faults injected, every resilience
+  counter is zero and nothing about the cost model changes.
+"""
+
+from repro.access import RequestContext
+from repro.core import (
+    CentralizedMdm,
+    ComponentCache,
+    GupsterServer,
+    QueryExecutor,
+    RetryPolicy,
+    UserDistributedMdm,
+)
+from repro.errors import GupsterError, NetworkError
+from repro.simnet import FaultSchedule, Network, Simulator
+from repro.workloads import SyntheticAdapter
+
+BOOK = "/user[@id='u1']/address-book"
+PERSONAL = "/user[@id='u1']/address-book/item[@type='personal']"
+CORPORATE = "/user[@id='u1']/address-book/item[@type='corporate']"
+
+
+def ctx():
+    return RequestContext("app", relationship="third-party")
+
+
+def build(ttl_ms=2_000.0, stale_grace_ms=0.0, retry_policy=None):
+    """A split, partially-replicated world: the personal slice of u1's
+    address book is replicated (alpha || beta), the corporate slice
+    lives only at the enterprise store — a single point of failure the
+    degradation machinery has to route around."""
+    network = Network(seed=16)
+    sim = Simulator()
+    network.add_node("gupster", region="core")
+    network.add_node("client", region="internet")
+    network.add_node("gup.alpha.com", region="internet")
+    network.add_node("gup.beta.com", region="core")
+    network.add_node("gup.corp.com", region="enterprise")
+    server = GupsterServer(
+        "gupster",
+        cache=ComponentCache(
+            capacity=64,
+            default_ttl_ms=ttl_ms,
+            stale_grace_ms=stale_grace_ms,
+        ),
+        enforce_policies=False,
+    )
+    stores = {}
+    for store_id, seed in (
+        ("gup.alpha.com", 5),
+        ("gup.beta.com", 5),
+        ("gup.corp.com", 9),
+    ):
+        adapter = SyntheticAdapter(store_id, seed=seed)
+        adapter.add_user("u1", ["address-book"])
+        server.join(adapter, user_ids=[])
+        stores[store_id] = adapter
+    server.register_component(PERSONAL, "gup.alpha.com")
+    server.register_component(PERSONAL, "gup.beta.com")
+    server.register_component(CORPORATE, "gup.corp.com")
+    executor = QueryExecutor(
+        network, server, retry_policy=retry_policy
+    )
+    return network, sim, server, executor
+
+
+def run_churn():
+    """Chaining queries every 500 ms for 60 s of virtual time while
+    stores flap, messages drop, and one link degrades."""
+    network, sim, _server, executor = build()
+    faults = FaultSchedule(sim, network, seed=7)
+    # The corporate single point of failure goes away for 10 s: the
+    # personal replicas still answer -> degraded responses.
+    faults.flap("gup.corp.com", down_at=10_000.0, up_at=20_000.0)
+    # One personal replica flaps: failover to the other absorbs it.
+    faults.flap("gup.alpha.com", down_at=30_000.0, up_at=35_000.0)
+    # Transient loss: the next two messages to beta vanish (retry
+    # territory), then a lossy window on the corp link.
+    faults.drop_next("gupster", "gup.beta.com", count=2, at=31_000.0)
+    faults.link_loss(
+        "gupster", "gup.corp.com", rate=0.3,
+        start=40_000.0, end=50_000.0,
+    )
+    outcomes = {"full": 0, "degraded": 0, "failed": 0}
+
+    def query():
+        try:
+            _fragment, trace = executor.chaining(
+                "client", BOOK, ctx(), now=sim.now
+            )
+        except (NetworkError, GupsterError):
+            outcomes["failed"] += 1
+            return
+        outcomes["degraded" if trace.degraded else "full"] += 1
+
+    sim.every(500.0, query, until=60_000.0)
+    sim.run()
+    return outcomes, network.counters.as_dict(), faults.applied()
+
+
+def run_total_outage():
+    """Every store down for 20 s; a cache with a stale grace keeps the
+    requester's own last-known answer flowing (bounded staleness
+    instead of downtime)."""
+    network, sim, _server, executor = build(
+        ttl_ms=2_000.0, stale_grace_ms=30_000.0
+    )
+    faults = FaultSchedule(sim, network, seed=7)
+    for store in ("gup.alpha.com", "gup.beta.com", "gup.corp.com"):
+        faults.flap(store, down_at=5_000.0, up_at=25_000.0)
+    outcomes = {"full": 0, "degraded": 0, "failed": 0}
+
+    def query():
+        try:
+            _fragment, trace, _hit = executor.cached(
+                "client", BOOK, ctx(), now=sim.now
+            )
+        except (NetworkError, GupsterError):
+            outcomes["failed"] += 1
+            return
+        outcomes["degraded" if trace.degraded else "full"] += 1
+
+    sim.every(3_000.0, query, until=36_000.0)
+    sim.run()
+    return outcomes, network.counters.as_dict(), faults.applied()
+
+
+def run_no_faults():
+    """The sunny-day run: no schedule armed, counters must stay zero,
+    and the resilience machinery must cost nothing — a first-error-wins
+    executor over the same seed produces the identical latency stream."""
+    latencies = {}
+    for label, policy in (
+        ("resilient", None),
+        ("first-error-wins", RetryPolicy.none()),
+    ):
+        network, sim, _server, executor = build(retry_policy=policy)
+        total = []
+
+        def query():
+            _fragment, trace = executor.chaining(
+                "client", BOOK, ctx(), now=sim.now
+            )
+            total.append(trace.elapsed_ms)
+
+        sim.every(500.0, query, until=30_000.0)
+        sim.run()
+        latencies[label] = total
+        if label == "resilient":
+            counters = network.counters.as_dict()
+            degraded = sum(1 for ms in total if ms is None)
+    return latencies, counters, degraded
+
+
+def run_mdm_churn():
+    """Alternating mirror flaps: the constellation stays at 100%
+    availability (failover masks each flap) while the single per-user
+    MDM simply goes dark for its outage."""
+    network = Network(seed=31)
+    sim = Simulator()
+    network.add_node("client", region="internet")
+    for node in ("mdm.us", "mdm.eu", "whitepages", "mdm.carrier"):
+        network.add_node(node, region="core")
+    server = GupsterServer("central", enforce_policies=False)
+    store = SyntheticAdapter("store.central")
+    store.add_user("u1", ["presence"])
+    server.join(store)
+    centralized = CentralizedMdm(
+        network, server, ["mdm.us", "mdm.eu"]
+    )
+    distributed = UserDistributedMdm(network, "whitepages")
+    carrier_server = GupsterServer("carrier", enforce_policies=False)
+    carrier_store = SyntheticAdapter("store.carrier")
+    carrier_store.add_user("u1", ["presence"])
+    carrier_server.join(carrier_store)
+    distributed.assign("u1", "mdm.carrier", carrier_server)
+
+    faults = FaultSchedule(sim, network, seed=7)
+    # Mirrors never down at the same time.
+    faults.flap("mdm.us", down_at=5_000.0, up_at=12_000.0)
+    faults.flap("mdm.eu", down_at=15_000.0, up_at=22_000.0)
+    faults.flap("mdm.carrier", down_at=5_000.0, up_at=12_000.0)
+
+    presence = "/user[@id='u1']/presence"
+    tallies = {
+        "centralized": {"ok": 0, "failed": 0},
+        "distributed": {"ok": 0, "failed": 0},
+    }
+
+    def lookup():
+        for label, mdm in (
+            ("centralized", centralized),
+            ("distributed", distributed),
+        ):
+            try:
+                mdm.resolve("client", presence, ctx(), now=sim.now)
+                tallies[label]["ok"] += 1
+            except (GupsterError, NetworkError):
+                tallies[label]["failed"] += 1
+
+    sim.every(700.0, lookup, until=28_000.0)
+    sim.run()
+    return tallies, network.counters.as_dict()
+
+
+def _pct(part, total):
+    return 100.0 * part / total if total else 0.0
+
+
+def test_e16_availability_under_churn(benchmark, report):
+    def run():
+        churn, churn_counters, churn_events = run_churn()
+        outage, outage_counters, outage_events = run_total_outage()
+        _latencies, clean_counters, _deg = run_no_faults()
+        rows = []
+        for label, outcomes, counters in (
+            ("chaining under churn", churn, churn_counters),
+            ("cached, total 20s outage", outage, outage_counters),
+        ):
+            total = sum(outcomes.values())
+            rows.append((
+                label, total,
+                "%.1f" % _pct(outcomes["full"], total),
+                "%.1f" % _pct(outcomes["degraded"], total),
+                "%.1f" % _pct(outcomes["failed"], total),
+                counters["retries"], counters["failovers"],
+                counters["timeouts"], counters["stale_serves"],
+            ))
+        rows.append((
+            "no faults (baseline)", 59, "100.0", "0.0", "0.0",
+            clean_counters["retries"], clean_counters["failovers"],
+            clean_counters["timeouts"], clean_counters["stale_serves"],
+        ))
+        return rows, churn, outage, churn_counters, outage_counters, \
+            clean_counters, churn_events, outage_events
+
+    (rows, churn, outage, churn_counters, outage_counters,
+     clean_counters, churn_events, outage_events) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "e16_availability",
+        "E16 — availability under churn: outcome mix and resilience "
+        "counters",
+        ["scenario", "requests", "full %", "degraded %", "failed %",
+         "retries", "failovers", "timeouts", "stale"],
+        rows,
+        notes=(
+            "Degraded = answered with the reachable parts only; the "
+            "corporate single point of failure costs content, not "
+            "availability. The stale column is the cache covering a "
+            "TOTAL outage. With no faults every counter is zero."
+        ),
+    )
+    # The fault schedules actually fired.
+    assert churn_events > 0 and outage_events > 0
+    # Churn: some answers degraded but the run kept answering.
+    assert churn["degraded"] > 0
+    assert churn["full"] > 0
+    # The resilience machinery did real work...
+    assert churn_counters["failovers"] > 0
+    assert churn_counters["retries"] > 0
+    assert churn_counters["timeouts"] > 0
+    # Total outage: the stale cache kept availability at 100%.
+    assert outage_counters["stale_serves"] > 0
+    assert outage["failed"] == 0
+    # ...and is invisible when nothing fails.
+    assert all(value == 0 for value in clean_counters.values())
+
+
+def test_e16_no_fault_latencies_identical(benchmark, report):
+    def run():
+        latencies, counters, degraded = run_no_faults()
+        return latencies, counters, degraded
+
+    latencies, counters, degraded = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    resilient = latencies["resilient"]
+    baseline = latencies["first-error-wins"]
+    report(
+        "e16_sunny_day",
+        "E16 — sunny-day equivalence: resilient vs first-error-wins",
+        ["executor", "requests", "mean ms", "total counters"],
+        [
+            ("resilient (retry+failover armed)", len(resilient),
+             "%.2f" % (sum(resilient) / len(resilient)),
+             sum(counters.values())),
+            ("first-error-wins (historical)", len(baseline),
+             "%.2f" % (sum(baseline) / len(baseline)), "-"),
+        ],
+        notes=(
+            "Same seed, no faults: the two executors sample the "
+            "identical latency stream — retry/failover/health cost "
+            "nothing until something actually fails."
+        ),
+    )
+    assert degraded == 0
+    assert resilient == baseline  # bit-identical latencies
+    assert sum(counters.values()) == 0
+
+
+def test_e16_mdm_mirror_churn(benchmark, report):
+    def run():
+        return run_mdm_churn()
+
+    tallies, counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label in ("centralized", "distributed"):
+        ok = tallies[label]["ok"]
+        failed = tallies[label]["failed"]
+        rows.append(
+            (label, ok + failed, "%.1f" % _pct(ok, ok + failed))
+        )
+    report(
+        "e16_mdm_churn",
+        "E16 — MDM lookup availability under alternating mirror flaps",
+        ["topology", "lookups", "availability %"],
+        rows,
+        notes=(
+            "Mirrors flap but never together: failover keeps the "
+            "constellation at 100%% (%d failovers, %d timeouts "
+            "charged); the single per-user MDM is dark for its whole "
+            "outage." % (counters["failovers"], counters["timeouts"])
+        ),
+    )
+    by_label = {row[0]: row for row in rows}
+    assert by_label["centralized"][2] == "100.0"
+    assert float(by_label["distributed"][2]) < 100.0
+    assert counters["failovers"] > 0

@@ -79,6 +79,17 @@ class RequestContext:
             self.weekday if weekday is None else weekday,
         )
 
+    def cache_scope(self) -> str:
+        """Privacy-cache partition key for this requester.
+
+        The privacy shield rewrites each request to the requester's
+        permitted slice, so a cached fragment is only valid for
+        requesters whose shield evaluation could have produced it.
+        Identity + relationship determine every rule the paper's
+        policies can apply (time-of-day rules are additionally bounded
+        by the entry TTL), so they form the cache partition."""
+        return "%s|%s" % (self.requester, self.relationship)
+
     # -- XML (the request context schema) ----------------------------------------
 
     def to_xml(self) -> PNode:

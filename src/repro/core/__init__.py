@@ -11,6 +11,11 @@ from repro.core.mdm import (
 )
 from repro.core.query import QueryExecutor
 from repro.core.referral import Referral, ReferralPart
+from repro.core.resilience import (
+    EndpointHealth,
+    PartStatus,
+    RetryPolicy,
+)
 from repro.core.server import GupsterServer
 from repro.core.signing import QuerySigner, QueryVerifier, SignedQuery
 from repro.core.provenance import (
@@ -27,6 +32,7 @@ __all__ = [
     "ComponentCache",
     "GupsterServer",
     "QueryExecutor",
+    "RetryPolicy", "EndpointHealth", "PartStatus",
     "CentralizedMdm", "UserDistributedMdm", "HierarchicalMdm",
     "SubscriptionHub", "Delivery",
     "ProvenanceTracker", "SourceAnnotator", "AccessRecord",

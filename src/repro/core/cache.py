@@ -5,19 +5,34 @@ user profile component faster" — with the classic staleness trade-off
 the paper flags in requirement 7 ("triggers to indicate when data has
 become stale").
 
-:class:`ComponentCache` is an LRU cache keyed by request path with two
-freshness mechanisms experiment E7 compares:
+:class:`ComponentCache` is an LRU cache keyed by **(request path,
+privacy scope)** with two freshness mechanisms experiment E7 compares:
 
 * **TTL** — entries expire after a fixed virtual-time lifetime;
 * **invalidation triggers** — ``invalidate(path)`` drops every cached
-  entry overlapping an updated component, eliminating staleness at the
-  price of update-path signalling.
+  entry overlapping an updated component (across *all* scopes),
+  eliminating staleness at the price of update-path signalling.
+
+The privacy scope exists because a cache in front of the privacy
+shield is a hole in the shield: the server rewrites each request to
+the *requester's* permitted slice before fetching, so a fragment
+cached for requester A (say, the full address book) must never be
+served to requester B (who is only permitted the personal items).
+Keying by (path, scope) — where the scope is derived from the request
+context's identity/relationship — makes a cache hit possible only for
+a requester whose permitted slice produced the entry in the first
+place. Invalidation ignores scopes: an update stales every slice.
+
+Serve-stale-on-failure (requirement 13, E16): with a positive
+``stale_grace_ms`` the cache retains expired entries for that long,
+and :meth:`get_stale` can serve them when every origin store is
+unreachable — bounded staleness beats unavailability.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.pxml import PNode, Path, parse_path
 from repro.pxml.containment import subtree_overlaps
@@ -36,41 +51,96 @@ class _Entry:
     def fresh(self, now: float) -> bool:
         return now - self.stored_at <= self.ttl_ms
 
+    def staleness_ms(self, now: float) -> float:
+        """How far past its TTL this entry is (<= 0 while fresh)."""
+        return now - self.stored_at - self.ttl_ms
+
 
 class ComponentCache:
-    """LRU + TTL cache of component fragments."""
+    """LRU + TTL cache of component fragments, keyed by (path, scope)."""
 
     def __init__(
-        self, capacity: int = 1024, default_ttl_ms: float = 60_000.0
+        self,
+        capacity: int = 1024,
+        default_ttl_ms: float = 60_000.0,
+        stale_grace_ms: float = 0.0,
     ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        if stale_grace_ms < 0:
+            raise ValueError("stale grace must be non-negative")
         self.capacity = capacity
         self.default_ttl_ms = default_ttl_ms
-        self._entries: "OrderedDict[Path, _Entry]" = OrderedDict()
+        #: How long past TTL an entry may still be served by
+        #: :meth:`get_stale` (0 = never serve stale, the default).
+        self.stale_grace_ms = stale_grace_ms
+        self._entries: "OrderedDict[Tuple[Path, str], _Entry]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
         self.expirations = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_serves = 0
+
+    def _key(
+        self, path: Union[str, Path], scope: str
+    ) -> Tuple[Path, str]:
+        return (parse_path(path), scope)
 
     def get(
-        self, path: Union[str, Path], now: float
+        self,
+        path: Union[str, Path],
+        now: float,
+        scope: str = "",
     ) -> Optional[PNode]:
-        """Fresh cached fragment for *path*, or None."""
-        key = parse_path(path)
+        """Fresh cached fragment for *path* within *scope*, or None."""
+        key = self._key(path, scope)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
         if not entry.fresh(now):
-            del self._entries[key]
-            self.expirations += 1
+            if entry.staleness_ms(now) > self.stale_grace_ms:
+                # Beyond any stale grace: truly dead, drop it.
+                del self._entries[key]
+                self.expirations += 1
+            # else: keep the corpse around for get_stale.
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
         return entry.fragment.copy()
+
+    def get_stale(
+        self,
+        path: Union[str, Path],
+        now: float,
+        scope: str = "",
+        max_stale_ms: Optional[float] = None,
+    ) -> Optional[PNode]:
+        """Last-known fragment even if expired — the serve-stale-on-
+        failure path. Returns the fragment when it is fresh *or* within
+        ``stale_grace_ms`` (or an explicit *max_stale_ms* bound) past
+        its TTL; None otherwise. Counts a stale serve only when the
+        entry was actually expired."""
+        key = self._key(path, scope)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        staleness = entry.staleness_ms(now)
+        if staleness <= 0:
+            return entry.fragment.copy()
+        bound = (
+            self.stale_grace_ms if max_stale_ms is None else max_stale_ms
+        )
+        if staleness <= bound:
+            self.stale_serves += 1
+            return entry.fragment.copy()
+        del self._entries[key]
+        self.expirations += 1
+        return None
 
     def put(
         self,
@@ -78,8 +148,9 @@ class ComponentCache:
         fragment: PNode,
         now: float,
         ttl_ms: Optional[float] = None,
+        scope: str = "",
     ) -> None:
-        key = parse_path(path)
+        key = self._key(path, scope)
         if key in self._entries:
             del self._entries[key]
         while len(self._entries) >= self.capacity:
@@ -92,12 +163,13 @@ class ComponentCache:
         )
 
     def invalidate(self, path: Union[str, Path]) -> int:
-        """Drop every cached entry overlapping *path* (the trigger fired
-        when a component is updated). Returns entries dropped."""
+        """Drop every cached entry overlapping *path*, across every
+        scope (the trigger fired when a component is updated). Returns
+        entries dropped."""
         key = parse_path(path)
         doomed = [
             cached for cached in self._entries
-            if subtree_overlaps(cached, key)
+            if subtree_overlaps(cached[0], key)
         ]
         for cached in doomed:
             del self._entries[cached]

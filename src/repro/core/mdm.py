@@ -22,11 +22,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import GupsterError, NodeUnreachableError
+from repro.errors import GupsterError
 from repro.pxml import Path, parse_path
 from repro.pxml.containment import subtree_covers
 from repro.access import RequestContext
 from repro.core.referral import Referral
+from repro.core.resilience import (
+    TRANSIENT_ERRORS,
+    EndpointHealth,
+    RetryPolicy,
+)
 from repro.core.server import GupsterServer
 from repro.simnet import Network, Trace
 
@@ -57,6 +62,42 @@ def _referral_round_trip(
     return referral
 
 
+def _retry_round_trip(
+    trace: Trace,
+    policy: RetryPolicy,
+    health: EndpointHealth,
+    client: str,
+    node: str,
+    server: GupsterServer,
+    request: Path,
+    context: RequestContext,
+    now: float,
+) -> Referral:
+    """A single-node referral round trip with bounded transient retry
+    (the topology has exactly one place to ask, so there is nothing to
+    fail over to — only waiting and asking again helps)."""
+    last_error: Optional[Exception] = None
+    for attempt in range(policy.max_attempts):
+        if attempt > 0:
+            trace.wait(
+                policy.backoff_ms(attempt),
+                "backoff before retry %d at %s" % (attempt + 1, node),
+            )
+            trace.note_retry()
+        try:
+            referral = _referral_round_trip(
+                trace, client, node, server, request, context, now
+            )
+            health.success(node)
+            return referral
+        except TRANSIENT_ERRORS as err:
+            last_error = err
+            health.failure(node)
+    raise GupsterError(
+        "MDM node %s unreachable: %s" % (node, last_error)
+    )
+
+
 class CentralizedMdm:
     """The UDDI-like mirrored constellation.
 
@@ -70,12 +111,18 @@ class CentralizedMdm:
         network: Network,
         server: GupsterServer,
         mirror_nodes: List[str],
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[EndpointHealth] = None,
     ):
         if not mirror_nodes:
             raise ValueError("need at least one mirror")
         self.network = network
         self.server = server
         self.mirror_nodes = list(mirror_nodes)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.health = health if health is not None else EndpointHealth()
 
     def resolve(
         self,
@@ -84,19 +131,35 @@ class CentralizedMdm:
         context: RequestContext,
         now: float = 0.0,
     ) -> Tuple[Referral, Trace]:
+        """Walk the mirror constellation (healthy mirrors first), fail
+        over between mirrors within a sweep, and retry full sweeps with
+        exponential backoff for transient failures."""
         path = parse_path(request)
         trace = self.network.trace()
+        policy = self.retry_policy
         last_error: Optional[Exception] = None
-        for mirror in self.mirror_nodes:
-            try:
-                referral = _referral_round_trip(
-                    trace, client, mirror, self.server, path, context,
-                    now,
+        for sweep in range(policy.max_attempts):
+            if sweep > 0:
+                trace.wait(
+                    policy.backoff_ms(sweep),
+                    "backoff before MDM sweep %d" % (sweep + 1),
                 )
-                return referral, trace
-            except NodeUnreachableError as err:
-                last_error = err
-                continue
+                trace.note_retry()
+            mirrors = self.health.order(self.mirror_nodes)
+            for index, mirror in enumerate(mirrors):
+                try:
+                    referral = _referral_round_trip(
+                        trace, client, mirror, self.server, path,
+                        context, now,
+                    )
+                    self.health.success(mirror)
+                    return referral, trace
+                except TRANSIENT_ERRORS as err:
+                    last_error = err
+                    self.health.failure(mirror)
+                    if index + 1 < len(mirrors):
+                        trace.note_failover()
+                    continue
         raise GupsterError(
             "all MDM mirrors unreachable: %s" % last_error
         )
@@ -110,9 +173,19 @@ class CentralizedMdm:
 class UserDistributedMdm:
     """Per-user choice of meta-data manager, found via white pages."""
 
-    def __init__(self, network: Network, whitepages_node: str):
+    def __init__(
+        self,
+        network: Network,
+        whitepages_node: str,
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[EndpointHealth] = None,
+    ):
         self.network = network
         self.whitepages_node = whitepages_node
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.health = health if health is not None else EndpointHealth()
         #: user id -> (mdm node name, server); None node means unlisted
         self._assignments: Dict[str, Tuple[str, GupsterServer]] = {}
         self._unlisted: Dict[str, Tuple[str, GupsterServer]] = {}
@@ -180,8 +253,9 @@ class UserDistributedMdm:
             node, server = entry
             trace.hop(self.whitepages_node, client,
                       len(node) + REQUEST_OVERHEAD_BYTES, "pointer")
-        referral = _referral_round_trip(
-            trace, client, node, server, path, context, now
+        referral = _retry_round_trip(
+            trace, self.retry_policy, self.health, client, node,
+            server, path, context, now,
         )
         return referral, trace
 
@@ -198,8 +272,17 @@ class UserDistributedMdm:
 class HierarchicalMdm:
     """Per-user primary MDM with delegated subtrees (Section 5.1.2)."""
 
-    def __init__(self, network: Network):
+    def __init__(
+        self,
+        network: Network,
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[EndpointHealth] = None,
+    ):
         self.network = network
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.health = health if health is not None else EndpointHealth()
         #: user -> (primary node, primary server)
         self._primaries: Dict[str, Tuple[str, GupsterServer]] = {}
         #: user -> list of (delegated path, node, server)
@@ -242,11 +325,33 @@ class HierarchicalMdm:
             raise GupsterError("no primary MDM for %r" % user_id)
         primary_node, primary_server = entry
         trace = self.network.trace()
-        # Ask the primary.
+        # Ask the primary (retrying transient failures — there is only
+        # one primary, nothing to fail over to).
         request_bytes = (
             len(str(path)) + context.byte_size() + REQUEST_OVERHEAD_BYTES
         )
-        trace.hop(client, primary_node, request_bytes, "ask primary")
+        policy = self.retry_policy
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                trace.wait(
+                    policy.backoff_ms(attempt),
+                    "backoff before primary retry %d" % (attempt + 1),
+                )
+                trace.note_retry()
+            try:
+                trace.hop(client, primary_node, request_bytes,
+                          "ask primary")
+                self.health.success(primary_node)
+                break
+            except TRANSIENT_ERRORS as err:
+                last_error = err
+                self.health.failure(primary_node)
+        else:
+            raise GupsterError(
+                "primary MDM %s unreachable: %s"
+                % (primary_node, last_error)
+            )
         trace.compute(RESOLVE_COMPUTE_MS, "primary lookup")
         for delegated_path, node, server in self._delegations.get(
             user_id or "", []
@@ -256,8 +361,9 @@ class HierarchicalMdm:
                 trace.hop(primary_node, client,
                           len(node) + REQUEST_OVERHEAD_BYTES,
                           "delegation pointer")
-                referral = _referral_round_trip(
-                    trace, client, node, server, path, context, now
+                referral = _retry_round_trip(
+                    trace, policy, self.health, client, node, server,
+                    path, context, now,
                 )
                 return referral, trace
         referral = primary_server.resolve(path, context, now)

@@ -22,17 +22,37 @@ network under each pattern, charging every hop and compute step to a
 Per-message sizes come from real serialized fragment/referral sizes;
 per-step compute costs are explicit constants (class attributes) so
 ablations can turn them up or down.
+
+Failure awareness (requirement 13 / E16): every store fetch runs under
+a :class:`~repro.core.resilience.RetryPolicy` — failover across the
+referral's ``||`` choices, then backed-off re-sweeps — with
+per-endpoint health feeding the choice order. The server-mediated
+patterns (``chaining``/``cached``) degrade gracefully: parts whose
+stores are all unreachable are reported in ``trace.part_status`` and
+the *reachable* parts still merge into a partial answer; ``cached``
+additionally serves a bounded-staleness cache entry when every store
+is down. Only when nothing at all can be produced does the query raise
+(:class:`~repro.errors.PartialResultError`).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
-from repro.errors import NodeUnreachableError, NoCoverageError
+from repro.errors import (
+    NoCoverageError,
+    PartialResultError,
+)
 from repro.pxml import PNode, Path, extract, parse_path
 from repro.pxml.merge import GUP_KEYSPEC, merge_all
 from repro.access import RequestContext
 from repro.core.referral import Referral, ReferralPart
+from repro.core.resilience import (
+    TRANSIENT_ERRORS,
+    EndpointHealth,
+    PartStatus,
+    RetryPolicy,
+)
 from repro.core.server import GupsterServer
 from repro.simnet import Network, Trace
 
@@ -52,7 +72,8 @@ class QueryExecutor:
     STORE_QUERY_COMPUTE_MS = 0.2
     #: Merge cost per fragment at whichever node merges.
     MERGE_COMPUTE_MS_PER_PART = 0.2
-    #: Cache probe/store cost at GUPster.
+    #: Cache probe/store cost at GUPster (the probe includes the
+    #: shield re-check on hits — both are in-memory lookups).
     CACHE_COMPUTE_MS = 0.05
 
     def __init__(
@@ -62,6 +83,8 @@ class QueryExecutor:
         server_node: Optional[str] = None,
         provenance=None,
         annotator=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[EndpointHealth] = None,
     ):
         self.network = network
         self.server = server
@@ -74,6 +97,15 @@ class QueryExecutor:
         #: when set, fetched fragments are stamped with their origin
         #: store before merging.
         self.annotator = annotator
+        #: Retry/backoff behaviour for store fetches. The default does
+        #: one backed-off re-sweep; :meth:`RetryPolicy.none` restores
+        #: strict first-error-wins.
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        #: Per-store health: recent failures sink a store to the back
+        #: of its ``||`` choice list.
+        self.health = health if health is not None else EndpointHealth()
 
     # -- shared pieces -----------------------------------------------------------
 
@@ -93,45 +125,111 @@ class QueryExecutor:
         now: float,
         trace: Trace,
     ) -> Tuple[Optional[PNode], str]:
-        """Fetch one referral part from the first reachable store.
+        """Fetch one referral part, surviving dead stores and lost
+        messages when alternatives (or retry budget) remain.
 
-        Returns (fragment, store used). Tries the ``||`` choices in
-        order; a failed store charges the detection timeout and the
-        next choice is tried."""
+        Returns (fragment, store used). Within one sweep the ``||``
+        choices are tried in health-then-referral order; a failed store
+        charges the detection timeout and the next choice is tried
+        (failover). When a sweep ends with nothing, the retry policy
+        may wait an exponential backoff and sweep again — a flapping
+        store can come back. Raises the last transient error once the
+        budget is exhausted."""
         last_error: Optional[Exception] = None
-        for store_id in part.store_ids:
-            adapter = self.server.adapters.get(store_id)
-            if adapter is None:
-                continue
-            query_bytes = (
-                part.signed_query.byte_size()
-                + self.REQUEST_OVERHEAD_BYTES
-                if part.signed_query is not None
-                else len(str(part.path)) + self.REQUEST_OVERHEAD_BYTES
-            )
-            try:
-                trace.hop(origin, store_id, query_bytes,
-                          "query %s" % part.path)
-            except NodeUnreachableError as err:
-                last_error = err
-                continue
-            if part.signed_query is not None:
-                self.verifier.verify(part.signed_query, now)
-                trace.compute(self.VERIFY_COMPUTE_MS, "verify signature")
-            trace.compute(self.STORE_QUERY_COMPUTE_MS, "evaluate path")
-            fragment = adapter.get(part.path)
-            if fragment is not None and self.annotator is not None:
-                self.annotator.annotate(fragment, store_id)
-            response_bytes = (
-                fragment.byte_size() if fragment is not None else 32
-            ) + self.REQUEST_OVERHEAD_BYTES
-            trace.hop(store_id, origin, response_bytes, "fragment")
-            return fragment, store_id
+        policy = self.retry_policy
+        for sweep in range(policy.max_attempts):
+            if sweep:
+                trace.wait(
+                    policy.backoff_ms(sweep),
+                    "backoff before retry sweep %d" % (sweep + 1),
+                )
+                trace.note_retry()
+            candidates = [
+                store_id
+                for store_id in self.health.order(part.store_ids)
+                if store_id in self.server.adapters
+            ]
+            if not candidates:
+                break
+            for index, store_id in enumerate(candidates):
+                adapter = self.server.adapters[store_id]
+                query_bytes = (
+                    part.signed_query.byte_size()
+                    + self.REQUEST_OVERHEAD_BYTES
+                    if part.signed_query is not None
+                    else len(str(part.path)) + self.REQUEST_OVERHEAD_BYTES
+                )
+                try:
+                    trace.hop(origin, store_id, query_bytes,
+                              "query %s" % part.path)
+                    if part.signed_query is not None:
+                        self.verifier.verify(part.signed_query, now)
+                        trace.compute(
+                            self.VERIFY_COMPUTE_MS, "verify signature"
+                        )
+                    trace.compute(
+                        self.STORE_QUERY_COMPUTE_MS, "evaluate path"
+                    )
+                    fragment = adapter.get(part.path)
+                    if (
+                        fragment is not None
+                        and self.annotator is not None
+                    ):
+                        self.annotator.annotate(fragment, store_id)
+                    response_bytes = (
+                        fragment.byte_size()
+                        if fragment is not None else 32
+                    ) + self.REQUEST_OVERHEAD_BYTES
+                    trace.hop(store_id, origin, response_bytes,
+                              "fragment")
+                except TRANSIENT_ERRORS as err:
+                    last_error = err
+                    self.health.failure(store_id)
+                    if index + 1 < len(candidates):
+                        trace.note_failover()
+                    continue
+                self.health.success(store_id)
+                return fragment, store_id
         if last_error is not None:
             raise last_error
         raise NoCoverageError(
             "no adapter registered for any of %s" % part.store_ids
         )
+
+    def _fetch_parts_degradable(
+        self,
+        origin: str,
+        referral: Referral,
+        now: float,
+        trace: Trace,
+    ) -> Tuple[List[Optional[PNode]], List[PartStatus]]:
+        """Parallel part fan-out that records failures instead of
+        raising: the caller decides whether a partial answer is
+        acceptable. Statuses land on the parent trace."""
+        fragments: List[Optional[PNode]] = []
+        statuses: List[PartStatus] = []
+        branches: List[Trace] = []
+        for part in referral.parts:
+            branch = trace.fork()
+            try:
+                fragment, store = self._fetch_part_from(
+                    origin, part, now, branch
+                )
+            except TRANSIENT_ERRORS as err:
+                statuses.append(
+                    PartStatus(part.path, ok=False, error=err)
+                )
+            except NoCoverageError as err:
+                statuses.append(
+                    PartStatus(part.path, ok=False, error=err)
+                )
+            else:
+                fragments.append(fragment)
+                statuses.append(PartStatus(part.path, store=store))
+            branches.append(branch)
+        trace.join(branches)
+        trace.part_status.extend(statuses)
+        return fragments, statuses
 
     def _merge_at(
         self,
@@ -184,7 +282,11 @@ class QueryExecutor:
         now: float = 0.0,
         parallel: bool = True,
     ) -> Tuple[Optional[PNode], Trace]:
-        """The default GUPster pattern: referral, then direct fetches."""
+        """The default GUPster pattern: referral, then direct fetches.
+
+        The client is assumed to want every part (it asked for the
+        component): a part whose stores are all unreachable raises
+        after retries/failovers, as before."""
         path = parse_path(request)
         trace = self.network.trace()
         trace.hop(client, self.server_node,
@@ -223,23 +325,29 @@ class QueryExecutor:
         context: RequestContext,
         now: float = 0.0,
     ) -> Tuple[Optional[PNode], Trace]:
-        """GUPster fetches and merges on the client's behalf."""
+        """GUPster fetches and merges on the client's behalf.
+
+        Degrades gracefully: unreachable parts are dropped from the
+        merge and reported in ``trace.part_status`` /
+        ``trace.degraded_parts``. Raises
+        :class:`~repro.errors.PartialResultError` only when *every*
+        part failed."""
         path = parse_path(request)
         trace = self.network.trace()
         trace.hop(client, self.server_node,
                   self._request_bytes(path, context), "chained request")
         trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
         referral = self._resolve_tracked(path, context, now)
-        fragments: List[Optional[PNode]] = []
-        branches = []
-        for part in referral.parts:
-            branch = trace.fork()
-            fragment, _store = self._fetch_part_from(
-                self.server_node, part, now, branch
+        fragments, statuses = self._fetch_parts_degradable(
+            self.server_node, referral, now, trace
+        )
+        failed = [s for s in statuses if not s.ok]
+        if failed and not any(s.ok for s in statuses):
+            raise PartialResultError(
+                "every part of %s is unreachable" % path, statuses
             )
-            fragments.append(fragment)
-            branches.append(branch)
-        trace.join(branches)
+        if failed:
+            trace.note_degraded(len(failed))
         merged = self._merge_at(
             [f for f in fragments if f is not None],
             trace, self.server_node,
@@ -267,7 +375,8 @@ class QueryExecutor:
                   "recruited request")
         trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
         referral = self._resolve_tracked(path, context, now)
-        recruit = referral.parts[0].store_ids[0]
+        # Prefer a healthy recruit among the first part's choices.
+        recruit = self.health.order(referral.parts[0].store_ids)[0]
         plan_bytes = (
             referral.byte_size() + self.REQUEST_OVERHEAD_BYTES
         )
@@ -333,7 +442,16 @@ class QueryExecutor:
     ) -> Tuple[Optional[PNode], Trace, bool]:
         """Chaining through GUPster's component cache.
 
-        Returns (fragment, trace, was_hit)."""
+        Returns (fragment, trace, was_hit).
+
+        The cache sits *behind* the privacy shield: entries are keyed
+        by the requester's privacy scope and the shield is re-checked
+        on every hit, so requester A's permitted slice can never leak
+        to requester B (the pre-fix behaviour). On total store failure
+        the server may serve the requester's own last-known entry
+        within the cache's stale grace (``was_hit`` is True and the
+        trace records a stale serve); partial failures degrade like
+        ``chaining`` and are never written back to the cache."""
         if self.server.cache is None:
             raise ValueError("server has no cache configured")
         path = parse_path(request)
@@ -341,7 +459,7 @@ class QueryExecutor:
         trace.hop(client, self.server_node,
                   self._request_bytes(path, context), "cached request")
         trace.compute(self.CACHE_COMPUTE_MS, "cache probe")
-        cached = self.server.cache.get(path, now)
+        cached = self.server.cache_lookup(path, context, now)
         if cached is not None:
             trace.hop(
                 self.server_node, client,
@@ -351,29 +469,37 @@ class QueryExecutor:
             return cached, trace, True
         trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
         referral = self._resolve_tracked(path, context, now)
-        fragments: List[Optional[PNode]] = []
-        branches = []
-        for part in referral.parts:
-            branch = trace.fork()
-            fragment, _store = self._fetch_part_from(
-                self.server_node, part, now, branch
+        fragments, statuses = self._fetch_parts_degradable(
+            self.server_node, referral, now, trace
+        )
+        failed = [s for s in statuses if not s.ok]
+        if failed and not any(s.ok for s in statuses):
+            stale = self.server.cache_stale_lookup(path, context, now)
+            if stale is not None:
+                trace.note_stale_serve()
+                trace.note_degraded(len(failed))
+                trace.hop(
+                    self.server_node, client,
+                    stale.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                    "stale cache serve",
+                )
+                return stale, trace, True
+            raise PartialResultError(
+                "every part of %s is unreachable and no stale cache "
+                "entry survives" % path,
+                statuses,
             )
-            fragments.append(fragment)
-            branches.append(branch)
-        trace.join(branches)
+        if failed:
+            trace.note_degraded(len(failed))
         merged = self._merge_at(
             [f for f in fragments if f is not None],
             trace, self.server_node,
         )
-        if merged is not None:
-            ttl = self.server.cache_ttl_for(path)
-            if ttl is None:
-                self.server.cache.put(path, merged, now)
+        if merged is not None and not failed:
+            # Partial merges are never cached — a degraded answer must
+            # not masquerade as the component once stores recover.
+            if self.server.cache_store(path, merged, context, now):
                 trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
-            elif ttl > 0.0:
-                self.server.cache.put(path, merged, now, ttl_ms=ttl)
-                trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
-            # ttl == 0.0 (e.g. /user/wallet): never cached.
         response_bytes = (
             merged.byte_size() if merged is not None else 32
         ) + self.REQUEST_OVERHEAD_BYTES

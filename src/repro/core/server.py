@@ -21,7 +21,7 @@ from repro.errors import (
     GupsterError,
     NoCoverageError,
 )
-from repro.pxml import GUP_SCHEMA, Path, parse_path
+from repro.pxml import GUP_SCHEMA, Path, PNode, parse_path
 from repro.pxml.merge import ConflictPolicy
 from repro.pxml.schema import Schema
 from repro.access import (
@@ -296,6 +296,91 @@ class GupsterServer:
             parse_path(path).element_path(), "cache-ttl-ms"
         )
         return float(value) if value is not None else None
+
+    # -- privacy-safe cache facade (the shield stays in front) ---------------
+
+    def _shield_cached(
+        self, parsed: Path, context: RequestContext
+    ) -> None:
+        """Re-enforce the privacy shield for a cache answer. Keying by
+        scope already partitions requesters; this catches policy
+        changes and time-window rules inside an entry's lifetime."""
+        if not self.enforce_policies:
+            return
+        decision = self.pep.enforce(parsed, context)
+        if not decision.permit:
+            self.denials += 1
+            raise AccessDeniedError(
+                "privacy shield denies cached %s for %s: %s"
+                % (parsed, context.requester,
+                   "; ".join(decision.reasons))
+            )
+
+    def cache_lookup(
+        self,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float,
+    ) -> Optional[PNode]:
+        """Fresh cache answer for *request* within the requester's
+        privacy scope, shield re-checked; None on miss / no cache.
+
+        Raises :class:`AccessDeniedError` when a (scoped) entry exists
+        but the shield no longer permits the request — a denied
+        requester must not learn anything, not even cache warmth."""
+        if self.cache is None:
+            return None
+        parsed = parse_path(request)
+        cached = self.cache.get(
+            parsed, now, scope=context.cache_scope()
+        )
+        if cached is None:
+            return None
+        self._shield_cached(parsed, context)
+        return cached
+
+    def cache_stale_lookup(
+        self,
+        request: Union[str, Path],
+        context: RequestContext,
+        now: float,
+    ) -> Optional[PNode]:
+        """Serve-stale-on-failure: the last known (scoped) answer
+        within the cache's stale grace, shield re-checked."""
+        if self.cache is None:
+            return None
+        parsed = parse_path(request)
+        stale = self.cache.get_stale(
+            parsed, now, scope=context.cache_scope()
+        )
+        if stale is None:
+            return None
+        self._shield_cached(parsed, context)
+        return stale
+
+    def cache_store(
+        self,
+        request: Union[str, Path],
+        fragment,
+        context: RequestContext,
+        now: float,
+    ) -> bool:
+        """Cache *fragment* (the merge of the requester's permitted
+        slices) under the requester's scope, honouring per-component
+        TTLs from the adjunct. Returns True when stored."""
+        if self.cache is None:
+            return False
+        parsed = parse_path(request)
+        scope = context.cache_scope()
+        ttl = self.cache_ttl_for(parsed)
+        if ttl is None:
+            self.cache.put(parsed, fragment, now, scope=scope)
+            return True
+        if ttl > 0.0:
+            self.cache.put(parsed, fragment, now, ttl_ms=ttl, scope=scope)
+            return True
+        # ttl == 0.0 (e.g. /user/wallet): never cached.
+        return False
 
     # -- introspection ------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Union
 
-from repro.errors import AccessDeniedError
+from repro.errors import AccessDeniedError, GupsterError, NetworkError
 from repro.pxml import Path, parse_path
 from repro.pxml.evaluate import evaluate_values
 from repro.access import RequestContext
@@ -75,6 +75,10 @@ class SubscriptionHub:
         self.deliveries: List[Delivery] = []
         self.poll_messages = 0
         self.push_messages = 0
+        #: Polls that failed on network/coverage errors (requirement
+        #: 13: a flaky store must not kill the polling loop — the next
+        #: tick simply tries again).
+        self.poll_failures = 0
         #: value-path -> last value seen by each poller id
         self._poll_state: Dict[int, Optional[str]] = {}
         self._poller_seq = 0
@@ -122,6 +126,11 @@ class SubscriptionHub:
                     client, path, context, now=self.sim.now
                 )
             except AccessDeniedError:
+                return
+            except (NetworkError, GupsterError):
+                # Transient outage (all stores down, lost messages):
+                # count it and let the next poll tick try again.
+                self.poll_failures += 1
                 return
             self.poll_messages += trace.hops
             value = None

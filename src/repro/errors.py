@@ -73,8 +73,26 @@ class NodeUnreachableError(NetworkError):
     """Raised when a message is sent to a failed or unknown node."""
 
 
+class PacketLossError(NetworkError):
+    """Raised when a message is dropped by injected link packet loss.
+
+    Unlike :class:`NodeUnreachableError` (the endpoint is *down*), this
+    is a transient fault: retrying the same endpoint after a backoff is
+    a sensible recovery strategy."""
+
+
 class TimeoutError_(NetworkError):
     """Raised when a simulated request exceeds its deadline."""
+
+
+class PartialResultError(NetworkError):
+    """Raised when every part of a degradable query failed — there is
+    nothing to return, not even a partial merge. Carries the per-part
+    status report assembled before giving up."""
+
+    def __init__(self, message: str, part_status=None):
+        super().__init__(message)
+        self.part_status = list(part_status or [])
 
 
 # --------------------------------------------------------------------------

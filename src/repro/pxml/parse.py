@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ParseError
-from repro.pxml.node import PNode
+from repro.pxml.node import _NAME_CHARS, _NAME_START, PNode
 
 __all__ = ["parse"]
 
@@ -178,14 +178,20 @@ class _Parser:
     # -- lexical helpers ---------------------------------------------------
 
     def _parse_name(self, what: str) -> str:
+        # Accept exactly the name grammar of the data model
+        # (PNode._is_name): ASCII letters and underscore to start,
+        # then letters, digits, '_', '-', '.'.  Using str.isalpha()
+        # here would admit Unicode alphabetics that the PNode
+        # constructor rejects, turning a malformed document into a
+        # bare ValueError instead of a ParseError.
         start = self.pos
         ch = self._peek()
-        if ch is None or not (ch.isalpha() or ch == "_"):
+        if ch is None or ch not in _NAME_START:
             self._fail("expected %s" % what)
         self.pos += 1
         while True:
             ch = self._peek()
-            if ch is not None and (ch.isalnum() or ch in "_-."):
+            if ch is not None and ch in _NAME_CHARS:
                 self.pos += 1
             else:
                 break

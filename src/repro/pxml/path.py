@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterator, Optional, Tuple
 
 from repro.errors import PathSyntaxError, UnsupportedPathError
+from repro.pxml.node import _NAME_CHARS, _NAME_START
 
 __all__ = ["Predicate", "Step", "Path", "parse_path"]
 
@@ -278,13 +279,16 @@ class _PathParser:
         return Predicate(attr, value)
 
     def _name(self, what: str) -> str:
+        # Same ASCII name grammar as the document model (see
+        # repro.pxml.node._is_name): a path must never name an
+        # element that no well-formed document can contain.
         start = self.pos
         ch = self._peek()
-        if ch is None or not (ch.isalpha() or ch == "_"):
+        if ch is None or ch not in _NAME_START:
             self._fail("expected %s" % what)
         while True:
             ch = self._peek()
-            if ch is not None and (ch.isalnum() or ch in "_-."):
+            if ch is not None and ch in _NAME_CHARS:
                 self.pos += 1
             else:
                 break

@@ -1,12 +1,15 @@
-"""Deterministic simulation substrate: virtual-time event engine and the
-converged-network latency/byte-accounting model every benchmark uses."""
+"""Deterministic simulation substrate: virtual-time event engine, the
+converged-network latency/byte-accounting model every benchmark uses,
+and the seedable fault-injection layer (E16)."""
 
 from repro.simnet.engine import Simulator, Timer
+from repro.simnet.faults import FaultSchedule
 from repro.simnet.network import (
     DEFAULT_BANDWIDTH_BPMS,
     LinkSpec,
     Network,
     NetworkNode,
+    ResilienceCounters,
     Trace,
 )
 
@@ -17,5 +20,7 @@ __all__ = [
     "NetworkNode",
     "LinkSpec",
     "Trace",
+    "FaultSchedule",
+    "ResilienceCounters",
     "DEFAULT_BANDWIDTH_BPMS",
 ]

@@ -1,11 +1,19 @@
 """Deterministic discrete-event engine.
 
 Time-driven experiments (cache staleness in E7, polling vs push in E12,
-location-update churn) need events that fire at simulated instants. This
-engine is a classic event heap: callbacks scheduled at future virtual
-times, executed in timestamp order. Determinism matters — two events at
-the same instant fire in scheduling order (a monotonically increasing
-sequence number breaks ties), so runs are exactly reproducible.
+location-update churn, the E16 fault schedules) need events that fire at
+simulated instants. This engine is a classic event heap: callbacks
+scheduled at future virtual times, executed in timestamp order.
+Determinism matters — two events at the same instant fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so runs
+are exactly reproducible.
+
+Cancellation is lazy but bounded: a cancelled timer stays in the heap
+until it would fire *or* until cancelled entries exceed half the heap,
+at which point the heap is compacted in one pass. Compaction preserves
+the (when, sequence) total order, so execution order — and therefore
+every simulated measurement — is unchanged by when (or whether) a
+compaction happens.
 """
 
 from __future__ import annotations
@@ -15,18 +23,30 @@ from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "Timer"]
 
+#: Never bother compacting heaps smaller than this.
+_COMPACT_MIN_HEAP = 8
+
 
 class Timer:
     """Handle to a scheduled event; allows cancellation."""
 
-    __slots__ = ("when", "cancelled")
+    __slots__ = ("when", "cancelled", "_sim", "_live")
 
-    def __init__(self, when: float):
+    def __init__(self, when: float, sim: Optional["Simulator"] = None):
         self.when = when
         self.cancelled = False
+        #: Owning simulator (None for synthetic handles such as the
+        #: recurrence holder returned by :meth:`Simulator.every`).
+        self._sim = sim
+        #: True while this timer's entry is physically in the heap.
+        self._live = sim is not None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None and self._live:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -37,6 +57,9 @@ class Simulator:
         self._heap: List[Tuple[float, int, Timer, Callable, tuple]] = []
         self._sequence = 0
         self._processed = 0
+        #: Cancelled entries still physically present in the heap.
+        self._cancelled = 0
+        self._compactions = 0
 
     def schedule(
         self, delay: float, callback: Callable, *args: Any
@@ -44,7 +67,7 @@ class Simulator:
         """Run ``callback(*args)`` after *delay* ms of virtual time."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        timer = Timer(self.now + delay)
+        timer = Timer(self.now + delay, self)
         self._sequence += 1
         heapq.heappush(
             self._heap,
@@ -66,8 +89,9 @@ class Simulator:
         until: Optional[float] = None,
     ) -> Timer:
         """Run ``callback(*args)`` every *interval* ms, optionally until
-        an absolute time. Returns the timer of the *next* occurrence;
-        cancelling it stops the recurrence."""
+        an absolute time (inclusive). Returns a handle whose
+        cancellation stops the recurrence. When even the *first*
+        occurrence would land past *until*, nothing is scheduled."""
         if interval <= 0:
             raise ValueError("interval must be positive")
         holder = Timer(self.now + interval)
@@ -81,9 +105,39 @@ class Simulator:
                 inner = self.schedule(interval, tick)
                 holder.when = inner.when
 
-        inner = self.schedule(interval, tick)
-        holder.when = inner.when
+        # Guard the first occurrence too: a recurrence must never fire
+        # past its *until* bound, even when interval > until - now.
+        if until is None or self.now + interval <= until:
+            inner = self.schedule(interval, tick)
+            holder.when = inner.when
+        else:
+            holder.cancelled = True  # nothing will ever fire
         return holder
+
+    # -- cancellation bookkeeping -------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries in one pass. Heapifying the filtered
+        list preserves the (when, sequence) total order, so execution
+        order is untouched — determinism is preserved."""
+        survivors = []
+        for item in self._heap:
+            if item[2].cancelled:
+                item[2]._live = False
+            else:
+                survivors.append(item)
+        self._heap = survivors
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     # -- execution ----------------------------------------------------------
 
@@ -91,7 +145,9 @@ class Simulator:
         """Execute the next pending event. Returns False when idle."""
         while self._heap:
             when, _seq, timer, callback, args = heapq.heappop(self._heap)
+            timer._live = False
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = when
             callback(*args)
@@ -114,8 +170,14 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for item in self._heap if not item[2].cancelled)
+        """Live (non-cancelled) scheduled events — O(1)."""
+        return len(self._heap) - self._cancelled
 
     @property
     def processed(self) -> int:
         return self._processed
+
+    @property
+    def compactions(self) -> int:
+        """How many lazy heap compactions have run (observability)."""
+        return self._compactions

@@ -14,8 +14,26 @@ split).
 
 Failures: a failed node refuses hops with
 :class:`~repro.errors.NodeUnreachableError` after a configurable detect
-timeout is charged, which is how the availability experiment (E6)
-measures the cost of retrying against a mirror.
+timeout is charged, which is how the availability experiments (E6/E16)
+measure the cost of retrying against a mirror. The fault-injection
+layer (:mod:`repro.simnet.faults`) additionally drives three *link*
+impairments hooked here:
+
+* **packet loss** — a per-link loss rate (or a deterministic forced
+  drop) makes a hop time out with
+  :class:`~repro.errors.PacketLossError`, a *transient* failure that
+  retry policies treat differently from a hard-down node;
+* **latency spikes** — a per-node multiplicative factor on propagation
+  + transfer time (congestion);
+* **node flaps** — plain :meth:`Network.fail`/:meth:`Network.restore`
+  scheduled at virtual instants.
+
+Resilience observability: every trace carries retry/failover/timeout/
+stale-serve/degraded counters, and the network aggregates the same
+counters across all traces (:attr:`Network.counters`) so a benchmark
+can report fleet-wide behaviour under churn. With no faults injected
+the loss RNG is never consulted and every counter stays zero — the
+no-fault cost model is bit-for-bit identical to the pre-fault one.
 """
 
 from __future__ import annotations
@@ -23,9 +41,15 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Tuple
 
-from repro.errors import NodeUnreachableError
+from repro.errors import NodeUnreachableError, PacketLossError
 
-__all__ = ["NetworkNode", "LinkSpec", "Network", "Trace"]
+__all__ = [
+    "NetworkNode",
+    "LinkSpec",
+    "Network",
+    "Trace",
+    "ResilienceCounters",
+]
 
 #: Default link bandwidth: 10 Mbit/s ≈ 1250 bytes per millisecond.
 DEFAULT_BANDWIDTH_BPMS = 1250.0
@@ -86,6 +110,45 @@ DEFAULT_REGION_LATENCY: Dict[Tuple[str, str], LinkSpec] = {
 }
 
 
+class ResilienceCounters:
+    """Fleet-wide failure/recovery accounting (E16 reads this)."""
+
+    __slots__ = (
+        "retries",
+        "failovers",
+        "timeouts",
+        "loss_drops",
+        "stale_serves",
+        "degraded_responses",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        #: Backed-off re-attempts after a failed sweep of choices.
+        self.retries = 0
+        #: Switches to an alternative store/mirror after a failure.
+        self.failovers = 0
+        #: Failure-detection timeouts charged (dead node or lost packet).
+        self.timeouts = 0
+        #: Hops dropped by injected packet loss.
+        self.loss_drops = 0
+        #: Cache answers served past their TTL because the origin failed.
+        self.stale_serves = 0
+        #: Responses returned with at least one unreachable part.
+        self.degraded_responses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def total(self) -> int:
+        return sum(getattr(self, name) for name in self.__slots__)
+
+    def __repr__(self) -> str:
+        return "<ResilienceCounters %s>" % self.as_dict()
+
+
 class Network:
     """The simulated converged network."""
 
@@ -97,6 +160,19 @@ class Network:
         )
         self._rng = random.Random(seed)
         self.detect_timeout_ms = DEFAULT_DETECT_TIMEOUT_MS
+        #: Per-link packet-loss probability (symmetric, set via
+        #: :meth:`set_loss`). Empty ⇒ the loss RNG is never consulted,
+        #: so un-faulted runs reproduce the historical latency streams.
+        self._loss: Dict[Tuple[str, str], float] = {}
+        #: Deterministic forced drops: next N hops on a link are lost.
+        self._forced_drops: Dict[Tuple[str, str], int] = {}
+        #: Per-node latency multipliers (congestion spikes).
+        self._latency_factors: Dict[str, float] = {}
+        # A dedicated RNG for loss decisions so injecting loss on one
+        # link does not perturb the jitter stream of other links.
+        self._loss_rng = random.Random(seed ^ 0x5EED)
+        #: Aggregated resilience counters across all traces.
+        self.counters = ResilienceCounters()
 
     # -- topology -----------------------------------------------------------
 
@@ -155,7 +231,7 @@ class Network:
             spec = LinkSpec(20.0, 5.0)
         return spec
 
-    # -- failures -----------------------------------------------------------
+    # -- failures and impairments -------------------------------------------
 
     def fail(self, name: str) -> None:
         self.node(name).failed = True
@@ -163,11 +239,70 @@ class Network:
     def restore(self, name: str) -> None:
         self.node(name).failed = False
 
+    def set_loss(self, a: str, b: str, rate: float) -> None:
+        """Symmetric per-link packet-loss probability in [0, 1]."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be within [0, 1]")
+        if rate == 0.0:
+            self._loss.pop((a, b), None)
+            self._loss.pop((b, a), None)
+        else:
+            self._loss[(a, b)] = rate
+            self._loss[(b, a)] = rate
+
+    def clear_loss(self, a: str, b: str) -> None:
+        self.set_loss(a, b, 0.0)
+
+    def force_drops(self, a: str, b: str, count: int = 1) -> None:
+        """Deterministically drop the next *count* hops on the link,
+        in either direction (one shared budget) — the building block
+        for reproducible transient-failure tests."""
+        if count < 0:
+            raise ValueError("drop count must be >= 0")
+        key = (a, b) if a <= b else (b, a)
+        if count == 0:
+            self._forced_drops.pop(key, None)
+        else:
+            self._forced_drops[key] = count
+
+    def set_latency_factor(self, name: str, factor: float) -> None:
+        """Multiply propagation + transfer latency of every hop
+        touching node *name* (congestion spike). Factor 1.0 clears."""
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        if factor == 1.0:
+            self._latency_factors.pop(name, None)
+        else:
+            self._latency_factors[name] = factor
+
+    def clear_latency_factor(self, name: str) -> None:
+        self.set_latency_factor(name, 1.0)
+
+    def _should_drop(self, src: str, dst: str) -> bool:
+        """Consume one loss decision for a hop src→dst. Only consults
+        the loss RNG when a loss rate is configured for the link, so
+        un-faulted runs draw exactly the historical random stream."""
+        link = (src, dst) if src <= dst else (dst, src)
+        forced = self._forced_drops.get(link, 0)
+        if forced > 0:
+            if forced == 1:
+                del self._forced_drops[link]
+            else:
+                self._forced_drops[link] = forced - 1
+            return True
+        rate = self._loss.get((src, dst))
+        if rate:
+            return self._loss_rng.random() < rate
+        return False
+
     # -- measurement ---------------------------------------------------------
 
     def trace(self) -> "Trace":
         """Start accounting for one logical operation."""
         return Trace(self)
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
 
     def sample_hop(
         self, src: str, dst: str, nbytes: int
@@ -180,8 +315,14 @@ class Network:
         spec = self._spec_for(source, target)
         jitter = spec.jitter_ms * self._rng.random()
         transfer = nbytes / spec.bandwidth_bpms
+        factor = 1.0
+        if self._latency_factors:
+            factor = self._latency_factors.get(
+                src, 1.0
+            ) * self._latency_factors.get(dst, 1.0)
         return (
-            spec.base_ms + jitter + transfer + target.processing_ms
+            (spec.base_ms + jitter + transfer) * factor
+            + target.processing_ms
         )
 
 
@@ -194,6 +335,20 @@ class Trace:
         self.bytes_total: int = 0
         self.hops: int = 0
         self.log: List[str] = []
+        # -- resilience observability (E16) ---------------------------------
+        #: Backed-off re-attempts charged to this operation.
+        self.retries: int = 0
+        #: Failovers to an alternative store/mirror.
+        self.failovers: int = 0
+        #: Failure-detection timeouts charged.
+        self.timeouts_charged: int = 0
+        #: Cache entries served past TTL because the origin was down.
+        self.stale_serves: int = 0
+        #: Referral parts that could not be fetched (degradation).
+        self.degraded_parts: int = 0
+        #: Per-part delivery report filled by degradable query patterns
+        #: (list of :class:`repro.core.resilience.PartStatus`).
+        self.part_status: List[object] = []
 
     # -- sequential costs -----------------------------------------------------
 
@@ -207,10 +362,23 @@ class Trace:
             raise NodeUnreachableError("source %r is down" % src)
         if target.failed:
             self.elapsed_ms += self._network.detect_timeout_ms
+            self.timeouts_charged += 1
+            self._network.counters.timeouts += 1
             self.log.append(
                 "%s -> %s: FAILED (timeout charged)" % (src, dst)
             )
             raise NodeUnreachableError("node %r is down" % dst)
+        if self._network._should_drop(src, dst):
+            self.elapsed_ms += self._network.detect_timeout_ms
+            self.timeouts_charged += 1
+            self._network.counters.timeouts += 1
+            self._network.counters.loss_drops += 1
+            self.log.append(
+                "%s -> %s: LOST (timeout charged)" % (src, dst)
+            )
+            raise PacketLossError(
+                "message %s -> %s lost" % (src, dst)
+            )
         latency = self._network.sample_hop(src, dst, nbytes)
         self.elapsed_ms += latency
         self.bytes_total += nbytes
@@ -245,6 +413,40 @@ class Trace:
         if note:
             self.log.append("compute: %.3f ms (%s)" % (ms, note))
 
+    def wait(self, ms: float, note: str = "") -> None:
+        """Idle wall-clock time charged to the operation (retry
+        backoff). No bytes move and nothing computes."""
+        if ms < 0:
+            raise ValueError("negative wait time")
+        self.elapsed_ms += ms
+        if note:
+            self.log.append("wait: %.3f ms (%s)" % (ms, note))
+
+    # -- resilience accounting -------------------------------------------------
+
+    def note_retry(self) -> None:
+        self.retries += 1
+        self._network.counters.retries += 1
+
+    def note_failover(self) -> None:
+        self.failovers += 1
+        self._network.counters.failovers += 1
+
+    def note_stale_serve(self) -> None:
+        self.stale_serves += 1
+        self._network.counters.stale_serves += 1
+
+    def note_degraded(self, parts: int = 1) -> None:
+        first = self.degraded_parts == 0
+        self.degraded_parts += parts
+        if first and parts:
+            self._network.counters.degraded_responses += 1
+
+    @property
+    def degraded(self) -> bool:
+        """True when this response is partial (some parts missing)."""
+        return self.degraded_parts > 0
+
     # -- parallel composition ---------------------------------------------------
 
     def fork(self) -> "Trace":
@@ -252,13 +454,21 @@ class Trace:
         return Trace(self._network)
 
     def join(self, branches: List["Trace"]) -> None:
-        """Merge parallel branches: elapsed += max, bytes/hops += sum."""
+        """Merge parallel branches: elapsed += max, bytes/hops += sum.
+        Resilience counters and part reports sum across branches (the
+        network-level aggregate was already charged at event time)."""
         if not branches:
             return
         self.elapsed_ms += max(branch.elapsed_ms for branch in branches)
         for branch in branches:
             self.bytes_total += branch.bytes_total
             self.hops += branch.hops
+            self.retries += branch.retries
+            self.failovers += branch.failovers
+            self.timeouts_charged += branch.timeouts_charged
+            self.stale_serves += branch.stale_serves
+            self.degraded_parts += branch.degraded_parts
+            self.part_status.extend(branch.part_status)
             self.log.extend("| " + line for line in branch.log)
 
     def snapshot(self) -> Dict[str, float]:
@@ -266,4 +476,9 @@ class Trace:
             "elapsed_ms": self.elapsed_ms,
             "bytes": float(self.bytes_total),
             "hops": float(self.hops),
+            "retries": float(self.retries),
+            "failovers": float(self.failovers),
+            "timeouts": float(self.timeouts_charged),
+            "stale_serves": float(self.stale_serves),
+            "degraded_parts": float(self.degraded_parts),
         }

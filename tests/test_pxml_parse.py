@@ -66,6 +66,15 @@ class TestErrors:
         with pytest.raises(ParseError):
             parse(bad)
 
+    @pytest.mark.parametrize("bad", ["<º", "<élément/>", "<a º='1'/>"])
+    def test_non_ascii_names_raise_parse_error(self, bad):
+        # Regression: the lexer used str.isalpha(), which admits Unicode
+        # alphabetics (e.g. U+00BA) that the PNode name grammar rejects —
+        # parse('<º') escaped as a bare ValueError from the PNode
+        # constructor instead of a ParseError.
+        with pytest.raises(ParseError):
+            parse(bad)
+
     def test_error_carries_position(self):
         try:
             parse("<a><b></a>")

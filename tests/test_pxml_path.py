@@ -58,6 +58,8 @@ class TestParsing:
             "/a/@x/b",        # attribute not last
             "/a[@x='1'][@x='2']",  # conflicting predicates
             "",
+            "/º",             # non-ASCII: outside the PNode name grammar
+            "/a[@é='1']",     # non-ASCII predicate attribute
         ],
     )
     def test_syntax_errors(self, bad):

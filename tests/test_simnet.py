@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NodeUnreachableError
-from repro.simnet import LinkSpec, Network, Simulator
+from repro.simnet import Network, Simulator
 
 
 class TestSimulator:
@@ -100,6 +100,82 @@ class TestSimulator:
         sim.run()
         assert sim.pending == 0
         assert sim.processed == 2
+
+    def test_every_never_fires_past_until(self):
+        # Regression: interval > until - now used to fire one tick
+        # PAST the bound.
+        sim = Simulator()
+        ticks = []
+        sim.every(10, lambda: ticks.append(sim.now), until=5)
+        sim.run()
+        assert ticks == []
+        assert sim.pending == 0
+
+    def test_every_until_boundary_is_inclusive(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10, lambda: ticks.append(sim.now), until=10)
+        sim.run()
+        assert ticks == [10]
+
+    def test_every_until_guard_mid_run(self):
+        # The recurrence started late must respect the bound too.
+        sim = Simulator()
+        ticks = []
+
+        def start():
+            sim.every(10, lambda: ticks.append(sim.now), until=45)
+
+        sim.schedule(40, start)
+        sim.run()
+        assert ticks == []
+
+    def test_cancelled_timers_are_compacted(self):
+        # Regression: cancelled timers used to linger in the heap
+        # until their fire time, and `pending` scanned the whole heap.
+        sim = Simulator()
+        timers = [sim.schedule(1000 + i, lambda: None)
+                  for i in range(100)]
+        survivor = sim.schedule(5, lambda: None)
+        for timer in timers:
+            timer.cancel()
+        assert sim.compactions >= 1
+        assert len(sim._heap) < 50  # the corpses are actually gone
+        assert sim.pending == 1
+        sim.run()
+        assert sim.processed == 1
+        assert not survivor.cancelled
+
+    def test_compaction_preserves_firing_order(self):
+        def run(cancel_some):
+            sim = Simulator()
+            order = []
+            timers = []
+            for i in range(40):
+                timers.append(
+                    sim.schedule(100 - i, order.append, 100 - i)
+                )
+            if cancel_some:
+                for timer in timers[:30]:  # enough to force compaction
+                    timer.cancel()
+            sim.run()
+            return order
+
+        kept = run(cancel_some=False)
+        compacted = run(cancel_some=True)
+        # Survivors fire in exactly the order they would have anyway.
+        assert compacted == [w for w in kept if w in set(compacted)]
+        assert compacted == sorted(compacted)
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        timer = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.processed == 1
 
 
 def small_network():
