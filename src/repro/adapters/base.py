@@ -46,7 +46,7 @@ class GupAdapter:
     #: are answered by the shared ``get`` projection automatically.
     COMPONENT_SLICES: dict = {}
 
-    def __init__(self, store_id: str, region: str = "internet"):
+    def __init__(self, store_id: str, region: str = "internet") -> None:
         #: Node name on the simulated network (and referral target).
         self.store_id = store_id
         self.region = region

@@ -1,0 +1,62 @@
+"""gupcheck — GUPster-aware static analysis.
+
+The GUPster promises that runtime tests cannot fully guard — *every*
+profile read is mediated by the privacy shield, the simulator is
+deterministic and replayable, layers do not reach around their
+interfaces — are statically checkable. This package is a small,
+reusable AST-visitor framework plus the repo-specific rules that
+encode those invariants (DESIGN.md §4.2):
+
+========================  ====================================================
+rule                      invariant protected
+========================  ====================================================
+``shield-egress``         context-mediated egress in the server/query/cache
+                          layer reaches a privacy-shield check before profile
+                          data flows back to a requester
+``determinism``           simulated components use the virtual clock and an
+                          injected seeded ``random.Random`` — never wall-clock
+                          time or the shared module-level ``random`` state
+``layering``              ``core``/``services`` speak to native stores only
+                          through ``repro.adapters``
+``exception-totality``    pxml parsers raise only GUP error types, and never
+                          swallow them with bare/overbroad ``except``
+``cache-key-scope``       component-cache reads/writes carry the requester
+                          scope (regression guard for the PR 1 shield bypass)
+``sim-blocking``          no wall-clock sleeps or blocking I/O inside simnet
+                          event handlers
+========================  ====================================================
+
+Run it over the source tree::
+
+    PYTHONPATH=src python -m repro.analysis src/        # human output
+    PYTHONPATH=src python -m repro.analysis --json src/ # machine output
+
+A violation can be suppressed — with a mandatory justification — by a
+comment on (or immediately above) the offending line::
+
+    time.time()  # gupcheck: ignore[determinism] -- wall-clock only in __repr__
+
+Suppressions without a justification, or naming unknown rules, are
+themselves violations.
+"""
+
+from repro.analysis.framework import (
+    Analyzer,
+    ModuleInfo,
+    Report,
+    Rule,
+    Violation,
+    check_source,
+)
+from repro.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Analyzer",
+    "ModuleInfo",
+    "Report",
+    "Rule",
+    "Violation",
+    "check_source",
+    "default_rules",
+]

@@ -1,0 +1,95 @@
+"""CLI for gupcheck: ``python -m repro.analysis [paths...]``.
+
+Exit status 0 when the tree is clean (suppressed findings are
+reported but do not fail the run), 1 on violations or parse errors,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, List, Optional
+
+from repro.analysis.framework import Analyzer, Report
+from repro.analysis.rules import default_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="gupcheck: GUPster-aware static analysis "
+                    "(privacy-egress, determinism, layering lints)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list available rules and exit",
+    )
+    return parser
+
+
+def _render_text(report: Report, out: IO[str]) -> None:
+    for violation in report.violations:
+        out.write("%s\n" % violation)
+    for path, message in report.errors:
+        out.write("%s: [parse-error] %s\n" % (path, message))
+    for violation in report.suppressed:
+        out.write(
+            "%s:%d: [%s] suppressed -- %s\n"
+            % (violation.path, violation.line, violation.rule,
+               violation.justification)
+        )
+    out.write(
+        "gupcheck: %d file(s), %d violation(s), %d suppressed — %s\n"
+        % (
+            report.files_scanned,
+            len(report.violations),
+            len(report.suppressed),
+            "OK" if report.ok else "FAIL",
+        )
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse CLI options, run the analyzer, and return the exit code."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    rules = default_rules()
+    if options.list_rules:
+        for rule in rules:
+            sys.stdout.write("%-20s %s\n" % (rule.name, rule.description))
+        return 0
+    if options.rules:
+        wanted = {name.strip() for name in options.rules.split(",")
+                  if name.strip()}
+        unknown = wanted - {rule.name for rule in rules}
+        if unknown:
+            parser.error(
+                "unknown rule(s): %s" % ", ".join(sorted(unknown))
+            )
+        rules = [rule for rule in rules if rule.name in wanted]
+
+    analyzer = Analyzer(rules)
+    report = analyzer.analyze_paths(options.paths)
+    if options.as_json:
+        sys.stdout.write(report.to_json() + "\n")
+    else:
+        _render_text(report, sys.stdout)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

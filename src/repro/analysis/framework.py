@@ -1,0 +1,341 @@
+"""The gupcheck analysis framework: modules, rules, suppressions, reports.
+
+Deliberately dependency-free (stdlib ``ast`` only) so the analysis can
+run anywhere the library runs, including CI bootstrap steps that have
+not installed the dev toolchain yet.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Analyzer",
+    "ModuleInfo",
+    "Report",
+    "Rule",
+    "SUPPRESSION_RULE",
+    "Violation",
+    "check_source",
+]
+
+#: Name of the meta-rule that flags malformed suppression comments.
+SUPPRESSION_RULE = "suppression"
+
+#: ``# gupcheck: ignore[determinism,layering] -- justification``
+_SUPPRESS_RE = re.compile(
+    r"#\s*gupcheck:\s*ignore\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*(?:--|:)\s*(?P<why>.*\S))?"
+)
+
+
+class Violation:
+    """One finding: a rule broken at a source location."""
+
+    __slots__ = ("rule", "path", "line", "col", "message", "justification")
+
+    def __init__(
+        self,
+        rule: str,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        justification: Optional[str] = None,
+    ) -> None:
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+        #: Set when the violation was suppressed (carries the reason).
+        self.justification = justification
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.justification is not None:
+            data["justification"] = self.justification
+        return data
+
+    def __repr__(self) -> str:
+        return "%s:%d:%d: [%s] %s" % (
+            self.path, self.line, self.col, self.rule, self.message
+        )
+
+
+class _Suppression:
+    __slots__ = ("line", "rules", "justification")
+
+    def __init__(self, line: int, rules: Tuple[str, ...],
+                 justification: Optional[str]) -> None:
+        self.line = line
+        self.rules = rules
+        self.justification = justification
+
+
+class ModuleInfo:
+    """A parsed source module handed to every rule."""
+
+    __slots__ = ("path", "relpath", "source", "tree", "lines",
+                 "suppressions")
+
+    def __init__(self, path: str, relpath: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        #: Package-relative posix path (``repro/core/server.py``) —
+        #: what rule path filters match against.
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        #: line number -> suppression found *on* that line; a
+        #: suppression on a standalone comment line also covers the
+        #: next line (see :meth:`suppression_for`).
+        self.suppressions: Dict[int, _Suppression] = {}
+        self._scan_suppressions()
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str,
+                    path: Optional[str] = None) -> "ModuleInfo":
+        tree = ast.parse(source, filename=path or relpath)
+        return cls(path or relpath, relpath, source, tree)
+
+    # -- suppressions -------------------------------------------------------
+
+    def _scan_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip()
+                for part in match.group("rules").split(",")
+                if part.strip()
+            )
+            self.suppressions[lineno] = _Suppression(
+                lineno, rules, match.group("why")
+            )
+
+    def suppression_for(self, rule: str, line: int) -> Optional[_Suppression]:
+        """The suppression covering *rule* at *line*, if any.
+
+        A suppression covers its own line; when it sits on a
+        standalone comment line it also covers the line below (the
+        usual place to put it when the code line is already long)."""
+        for candidate_line in (line, line - 1):
+            supp = self.suppressions.get(candidate_line)
+            if supp is None or rule not in supp.rules:
+                continue
+            if candidate_line == line - 1:
+                stripped = self.lines[candidate_line - 1].lstrip()
+                if not stripped.startswith("#"):
+                    continue  # trailing comment only covers its own line
+            return supp
+        return None
+
+
+class Rule:
+    """Base class for gupcheck rules.
+
+    Subclasses set :attr:`name`, :attr:`description` and the
+    :attr:`prefixes` path filter, and implement :meth:`check`.
+    """
+
+    #: Short kebab-case identifier used in reports and suppressions.
+    name = ""
+    #: One-line statement of the invariant the rule protects.
+    description = ""
+    #: Relpath prefixes the rule applies to; empty = every module.
+    prefixes: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        return not self.prefixes or any(
+            relpath.startswith(prefix) for prefix in self.prefixes
+        )
+
+    def check(self, module: ModuleInfo) -> List[Violation]:
+        raise NotImplementedError
+
+    # -- helpers ------------------------------------------------------------
+
+    def violation(self, module: ModuleInfo, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(
+            self.name,
+            module.relpath,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+
+class Report:
+    """Aggregated result of an analysis run."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rule_names = [rule.name for rule in rules]
+        self.files_scanned = 0
+        #: Active violations (analysis fails when non-empty).
+        self.violations: List[Violation] = []
+        #: Violations silenced by a justified suppression comment.
+        self.suppressed: List[Violation] = []
+        #: (path, message) pairs for files that could not be parsed.
+        self.errors: List[Tuple[str, str]] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "gupcheck": 1,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rule_names),
+            "violations": [v.to_dict() for v in self.violations],
+            "suppressed": [v.to_dict() for v in self.suppressed],
+            "errors": [
+                {"path": path, "message": message}
+                for path, message in self.errors
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+class Analyzer:
+    """Runs a rule set over modules / source trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+            rules = default_rules()
+        self.rules = list(rules)
+        known = {rule.name for rule in self.rules}
+        known.add(SUPPRESSION_RULE)
+        self._known_rules = known
+
+    # -- single module ------------------------------------------------------
+
+    def analyze_module(
+        self, module: ModuleInfo
+    ) -> Tuple[List[Violation], List[Violation]]:
+        """(active, suppressed) violations for one module."""
+        active: List[Violation] = []
+        suppressed: List[Violation] = []
+        for rule in self.rules:
+            if not rule.applies_to(module.relpath):
+                continue
+            for violation in rule.check(module):
+                supp = module.suppression_for(rule.name, violation.line)
+                if supp is not None and supp.justification:
+                    violation.justification = supp.justification
+                    suppressed.append(violation)
+                else:
+                    active.append(violation)
+        active.extend(self._audit_suppressions(module))
+        active.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        suppressed.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return active, suppressed
+
+    def _audit_suppressions(self, module: ModuleInfo) -> List[Violation]:
+        """Malformed suppressions are violations in their own right —
+        a silencer with no justification (or a typo'd rule name) is
+        exactly the kind of quiet hole this tool exists to close."""
+        found: List[Violation] = []
+        for supp in module.suppressions.values():
+            if not supp.rules:
+                found.append(Violation(
+                    SUPPRESSION_RULE, module.relpath, supp.line, 0,
+                    "suppression names no rules",
+                ))
+                continue
+            for rule_name in supp.rules:
+                if rule_name not in self._known_rules:
+                    found.append(Violation(
+                        SUPPRESSION_RULE, module.relpath, supp.line, 0,
+                        "suppression names unknown rule %r" % rule_name,
+                    ))
+            if not supp.justification:
+                found.append(Violation(
+                    SUPPRESSION_RULE, module.relpath, supp.line, 0,
+                    "suppression requires a justification after `--`",
+                ))
+        return found
+
+    # -- trees --------------------------------------------------------------
+
+    def analyze_paths(self, paths: Iterable[str]) -> Report:
+        import os
+
+        report = Report(self.rules)
+        for path in paths:
+            if os.path.isdir(path):
+                files = sorted(
+                    os.path.join(dirpath, filename)
+                    for dirpath, dirnames, filenames in os.walk(path)
+                    for filename in filenames
+                    if filename.endswith(".py")
+                    and "__pycache__" not in dirpath
+                )
+            else:
+                files = [path]
+            for filename in files:
+                self._analyze_file(filename, report)
+        return report
+
+    def _analyze_file(self, filename: str, report: Report) -> None:
+        report.files_scanned += 1
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            module = ModuleInfo.from_source(
+                source, _relpath(filename), filename
+            )
+        except (OSError, SyntaxError, ValueError) as err:
+            report.errors.append((filename, str(err)))
+            return
+        active, suppressed = self.analyze_module(module)
+        report.violations.extend(active)
+        report.suppressed.extend(suppressed)
+
+
+def _relpath(filename: str) -> str:
+    """Package-relative posix path: everything from the last ``repro``
+    path component on (``src/repro/core/x.py`` -> ``repro/core/x.py``).
+    Falls back to the posix-normalized input."""
+    parts = filename.replace("\\", "/").split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+def check_source(
+    rule: Rule, source: str, relpath: str = "repro/fixture.py"
+) -> List[Violation]:
+    """Run one *rule* over inline *source* — the fixture-test helper.
+
+    Suppressions are honoured (suppressed findings are dropped), so a
+    fixture can exercise the suppression path too; malformed
+    suppressions are **not** audited here (that is
+    :meth:`Analyzer.analyze_module`'s job)."""
+    module = ModuleInfo.from_source(source, relpath)
+    findings = []
+    if rule.applies_to(relpath):
+        for violation in rule.check(module):
+            supp = module.suppression_for(rule.name, violation.line)
+            if supp is not None and supp.justification:
+                continue
+            findings.append(violation)
+    return findings

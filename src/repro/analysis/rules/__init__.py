@@ -1,0 +1,39 @@
+"""The repo-specific gupcheck rules (one module per rule)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import Rule
+from repro.analysis.rules.cache_scope import CacheKeyScopeRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exceptions import ExceptionTotalityRule
+from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.shield_egress import ShieldEgressRule
+from repro.analysis.rules.sim_blocking import SimBlockingRule
+
+#: Rule classes in report order.
+ALL_RULES = (
+    ShieldEgressRule,
+    DeterminismRule,
+    LayeringRule,
+    ExceptionTotalityRule,
+    CacheKeyScopeRule,
+    SimBlockingRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CacheKeyScopeRule",
+    "DeterminismRule",
+    "ExceptionTotalityRule",
+    "LayeringRule",
+    "ShieldEgressRule",
+    "SimBlockingRule",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every rule, in report order."""
+    return [rule_class() for rule_class in ALL_RULES]

@@ -1,0 +1,104 @@
+"""determinism — simulated code must not read wall-clock or shared RNG.
+
+The simulator's measurements (E1–E16) are only trustworthy if two runs
+with the same seed produce byte-identical traces. Anything inside
+``simnet/``, ``core/`` or ``workloads/`` that consults the host's
+wall-clock (``time.time()``, ``datetime.now()``) or the shared
+module-level ``random`` state (``random.random()``, seeding hidden
+global state) silently couples results to the machine and the import
+order. Virtual time comes from the :class:`~repro.simnet.Simulator`
+clock; randomness from an injected, seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+__all__ = ["DeterminismRule"]
+
+#: time-module functions that read the host clock.
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "localtime", "gmtime",
+})
+#: datetime/date constructors that read the host clock.
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+#: The only member of the random module deterministic code may touch:
+#: an instance seeded by the caller.
+_RANDOM_ALLOWED = frozenset({"Random"})
+
+
+class DeterminismRule(Rule):
+    """Bans wall-clock reads and module-level RNG in simulated code."""
+
+    name = "determinism"
+    description = (
+        "simnet/core/workloads use the Simulator clock and injected "
+        "seeded random.Random, never wall-clock time or module-level "
+        "random state"
+    )
+    prefixes = ("repro/simnet/", "repro/core/", "repro/workloads/")
+
+    def check(self, module: ModuleInfo) -> List[Violation]:
+        found: List[Violation] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(module, node, found)
+            elif isinstance(node, ast.ImportFrom):
+                self._check_import_from(module, node, found)
+        return found
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call,
+                    found: List[Violation]) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        if not isinstance(receiver, ast.Name):
+            return
+        if receiver.id == "time" and func.attr in _CLOCK_FUNCS:
+            found.append(self.violation(
+                module, node,
+                "wall-clock read time.%s() — use the Simulator's "
+                "virtual clock (sim.now)" % func.attr,
+            ))
+        elif (receiver.id in ("datetime", "date")
+                and func.attr in _DATETIME_FUNCS):
+            found.append(self.violation(
+                module, node,
+                "wall-clock read %s.%s() — simulated timestamps come "
+                "from virtual time" % (receiver.id, func.attr),
+            ))
+        elif receiver.id == "random" and func.attr not in _RANDOM_ALLOWED:
+            found.append(self.violation(
+                module, node,
+                "module-level random.%s() — inject a seeded "
+                "random.Random instance instead" % func.attr,
+            ))
+
+    def _check_import_from(self, module: ModuleInfo, node: ast.ImportFrom,
+                           found: List[Violation]) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _RANDOM_ALLOWED:
+                    found.append(self.violation(
+                        module, node,
+                        "`from random import %s` pulls shared RNG "
+                        "state — inject a seeded random.Random"
+                        % alias.name,
+                    ))
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCS or alias.name == "sleep":
+                    found.append(self.violation(
+                        module, node,
+                        "`from time import %s` imports a wall-clock "
+                        "primitive into simulated code" % alias.name,
+                    ))
+        elif node.module == "datetime":
+            # Importing the types is fine; the call check above catches
+            # datetime.now() / date.today() uses.
+            return

@@ -1,0 +1,155 @@
+"""exception-totality — pxml raises GUP errors and never swallows them.
+
+The data-model layer promises callers a *total* error surface: catch
+:class:`~repro.errors.ReproError` (or a subsystem base like
+``PXMLError``) and you have caught everything the library will throw.
+PR 1 fixed exactly this class of bug — a non-ASCII element name
+escaping :func:`repro.pxml.parse.parse` as a bare ``ValueError``. Two
+things break the promise:
+
+* raising a non-GUP exception type (``ValueError``/``KeyError``/...),
+  which callers that honour the contract will not catch;
+* a bare/overbroad ``except`` that catches GUP errors *and everything
+  else* and does not re-raise, silently eating both.
+
+The allowed raise set is every ``ReproError`` subclass exported by
+:mod:`repro.errors` plus ``NotImplementedError`` / ``AssertionError``
+(programming contracts, not data errors), bare re-raises, and raising
+a lowercase-named local (re-raising a caught variable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+__all__ = ["ExceptionTotalityRule"]
+
+#: Contract errors that are acceptable anywhere.
+_CONTRACT_ERRORS = frozenset({"NotImplementedError", "AssertionError"})
+#: Catch-all names an ``except`` may not use without re-raising.
+_OVERBROAD = frozenset({"Exception", "BaseException"})
+
+#: Static fallback if :mod:`repro.errors` cannot be imported (keeps the
+#: rule usable on a detached fixture tree).
+_FALLBACK_GUP_ERRORS = frozenset({
+    "ReproError", "PXMLError", "ParseError", "PathSyntaxError",
+    "UnsupportedPathError", "SchemaError", "MergeConflictError",
+    "ModelError", "StoreError", "UnknownSubscriberError",
+    "ProvisioningDeniedError", "AdapterError", "NetworkError",
+    "NodeUnreachableError", "PacketLossError", "TimeoutError_",
+    "PartialResultError", "GupsterError", "CoverageError",
+    "NoCoverageError", "AccessDeniedError", "SignatureError",
+    "StaleQueryError", "PolicyError", "SyncError",
+    "AnchorMismatchError", "ValidationError",
+})
+
+
+def _gup_error_names() -> FrozenSet[str]:
+    try:
+        from repro import errors
+    except ImportError:
+        return _FALLBACK_GUP_ERRORS
+    names = {
+        name
+        for name, obj in vars(errors).items()
+        if isinstance(obj, type) and issubclass(obj, errors.ReproError)
+    }
+    return frozenset(names) if names else _FALLBACK_GUP_ERRORS
+
+
+class ExceptionTotalityRule(Rule):
+    """Keeps the pxml error surface total: GUP raises, no swallowing."""
+
+    name = "exception-totality"
+    description = (
+        "pxml modules raise only GUP error types and never swallow "
+        "them with bare/overbroad except"
+    )
+    prefixes = ("repro/pxml/",)
+
+    def __init__(self, allowed: Optional[FrozenSet[str]] = None) -> None:
+        self._allowed = (
+            allowed if allowed is not None else _gup_error_names()
+        ) | _CONTRACT_ERRORS
+
+    def check(self, module: ModuleInfo) -> List[Violation]:
+        found: List[Violation] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                self._check_raise(module, node, found)
+            elif isinstance(node, ast.ExceptHandler):
+                self._check_handler(module, node, found)
+        return found
+
+    # -- raises -------------------------------------------------------------
+
+    def _check_raise(self, module: ModuleInfo, node: ast.Raise,
+                     found: List[Violation]) -> None:
+        if node.exc is None:
+            return  # bare re-raise preserves the original type
+        name = self._exception_name(node.exc)
+        if name is None:
+            return  # unresolvable expression; give it the benefit
+        if name in self._allowed:
+            return
+        if name[:1].islower():
+            return  # re-raising a caught local (`raise err`)
+        found.append(self.violation(
+            module, node,
+            "raises non-GUP exception %s — use a ReproError subclass "
+            "(repro.errors) so `except ReproError` stays total" % name,
+        ))
+
+    @staticmethod
+    def _exception_name(exc: ast.expr) -> Optional[str]:
+        target = exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        if isinstance(target, ast.Name):
+            return target.id
+        return None
+
+    # -- handlers -----------------------------------------------------------
+
+    def _check_handler(self, module: ModuleInfo, node: ast.ExceptHandler,
+                       found: List[Violation]) -> None:
+        broad = self._broad_names(node.type)
+        if not broad:
+            return
+        if self._reraises(node):
+            return
+        label = " / ".join(sorted(broad)) if node.type is not None \
+            else "bare except"
+        found.append(self.violation(
+            module, node,
+            "overbroad `except %s` swallows GUP errors — catch the "
+            "specific ReproError subclass or re-raise" % label,
+        ))
+
+    @staticmethod
+    def _broad_names(type_expr: Optional[ast.expr]) -> List[str]:
+        if type_expr is None:
+            return ["(bare)"]
+        candidates = (
+            type_expr.elts if isinstance(type_expr, ast.Tuple)
+            else [type_expr]
+        )
+        return [
+            candidate.id
+            for candidate in candidates
+            if isinstance(candidate, ast.Name)
+            and candidate.id in _OVERBROAD
+        ]
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(node, ast.Raise)
+            for stmt in handler.body
+            for node in ast.walk(stmt)
+        )

@@ -1,0 +1,114 @@
+"""layering — core/services reach native stores only via adapters.
+
+Paper Section 4.2: data stores join the GUP community *through an
+adapter* that gives them a GUP-compliant interface. The moment
+``repro.core`` or ``repro.services`` imports ``repro.stores`` directly
+it starts depending on one store's native record shapes, and the whole
+"enter once, share everywhere" indirection collapses into point-to-
+point coupling. Type-only imports (inside ``if TYPE_CHECKING:``) are
+permitted — annotations do not create runtime coupling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Union
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+__all__ = ["LayeringRule"]
+
+_FORBIDDEN_PREFIX = "repro.stores"
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+        and isinstance(test.value, ast.Name)
+        and test.value.id == "typing"
+    )
+
+
+class LayeringRule(Rule):
+    """Bans direct ``repro.stores`` imports from core/ and services/."""
+
+    name = "layering"
+    description = (
+        "core/ and services/ import stores only through repro.adapters "
+        "(type-only imports under TYPE_CHECKING are allowed)"
+    )
+    prefixes = ("repro/core/", "repro/services/")
+
+    def check(self, module: ModuleInfo) -> List[Violation]:
+        found: List[Violation] = []
+        self._walk(module, module.tree.body, found,
+                   type_checking=False)
+        return found
+
+    def _walk(self, module: ModuleInfo, body: List[ast.stmt],
+              found: List[Violation], type_checking: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                if not type_checking:
+                    self._check_import(module, stmt, found)
+            elif isinstance(stmt, ast.If):
+                nested = type_checking or _is_type_checking_test(stmt.test)
+                self._walk(module, stmt.body, found, nested)
+                self._walk(module, stmt.orelse, found, type_checking)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                self._walk(module, stmt.body, found, type_checking)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._walk(module, stmt.body, found, type_checking)
+            elif isinstance(stmt, ast.Try):
+                self._walk(module, stmt.body, found, type_checking)
+                for handler in stmt.handlers:
+                    self._walk(module, handler.body, found, type_checking)
+                self._walk(module, stmt.orelse, found, type_checking)
+                self._walk(module, stmt.finalbody, found, type_checking)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self._walk(module, stmt.body, found, type_checking)
+                self._walk(module, stmt.orelse, found, type_checking)
+
+    def _check_import(
+        self,
+        module: ModuleInfo,
+        stmt: Union[ast.Import, ast.ImportFrom],
+        found: List[Violation],
+    ) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if self._forbidden(alias.name):
+                    found.append(self.violation(
+                        module, stmt,
+                        "direct store import `import %s` — go through "
+                        "repro.adapters" % alias.name,
+                    ))
+            return
+        target = stmt.module or ""
+        if stmt.level > 0:
+            # Relative: `from ..stores import x` / `from ..stores.hlr ...`
+            if target == "stores" or target.startswith("stores."):
+                found.append(self.violation(
+                    module, stmt,
+                    "direct store import `from %s%s import ...` — go "
+                    "through repro.adapters" % ("." * stmt.level, target),
+                ))
+            return
+        if self._forbidden(target):
+            found.append(self.violation(
+                module, stmt,
+                "direct store import `from %s import %s` — go through "
+                "repro.adapters"
+                % (target, ", ".join(a.name for a in stmt.names)),
+            ))
+
+    @staticmethod
+    def _forbidden(dotted: str) -> bool:
+        return (
+            dotted == _FORBIDDEN_PREFIX
+            or dotted.startswith(_FORBIDDEN_PREFIX + ".")
+        )

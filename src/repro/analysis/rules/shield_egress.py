@@ -1,0 +1,317 @@
+"""shield-egress — profile data leaves the server layer only shielded.
+
+The paper's privacy requirement (§5) is absolute: *every* read of
+profile data on behalf of a requester passes the privacy shield. The
+server/query/cache layer is where that can silently stop being true —
+a new code path that fetches from an adapter or probes the cache and
+returns the fragment without an ``enforce`` is invisible to runtime
+tests until someone writes the exact missing test (PR 1's cache
+bypass). This rule does a taint-style walk over
+``core/server.py`` / ``core/query.py`` / ``core/cache.py``:
+
+* **sources** — calls that yield profile data: ``*.export_user()``,
+  ``get``/``get_stale`` on cache- or adapter-like receivers, and (by a
+  per-class fixpoint) any same-class helper whose own return value is
+  tainted and unsanitized;
+* **egress functions** — functions/methods that take a requester
+  ``RequestContext`` (parameter named ``context`` or so annotated):
+  these claim to act *for a requester*;
+* **sanitizers** — privacy-shield touchpoints: ``pep.enforce``,
+  ``_shield_cached``, ``resolve`` / ``resolve_for_update`` /
+  ``_resolve_tracked`` (which enforce internally), and the shielded
+  cache facades ``cache_lookup`` / ``cache_stale_lookup``.
+
+An egress function that returns tainted data without calling a
+sanitizer is flagged. Internal plumbing without a requester context
+(``ComponentCache`` itself, ``_fetch_part_from``) is exempt — scoping
+its keys is the ``cache-key-scope`` rule's job, and the deliberately
+unshielded ``direct()`` baseline takes no context by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+__all__ = ["ShieldEgressRule"]
+
+#: Privacy-shield touchpoints: a call to any of these names counts as
+#: the shield being consulted on the path.
+_SANITIZERS = frozenset({
+    "enforce", "_shield_cached", "resolve", "resolve_for_update",
+    "_resolve_tracked", "cache_lookup", "cache_stale_lookup",
+})
+#: Methods yielding profile data on any receiver.
+_SOURCE_ANY = frozenset({"export_user"})
+#: Methods yielding profile data when the receiver looks like a cache
+#: or an adapter.
+_SOURCE_ON_DATAISH = frozenset({"get", "get_stale"})
+_DATAISH_MARKERS = ("cache", "adapter")
+
+
+def _receiver_parts(expr: ast.expr) -> List[str]:
+    parts: List[str] = []
+    node: Optional[ast.expr] = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _takes_request_context(fn: ast.FunctionDef) -> bool:
+    args = fn.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg == "context":
+            return True
+        annotation = arg.annotation
+        if isinstance(annotation, ast.Name) \
+                and annotation.id == "RequestContext":
+            return True
+        if isinstance(annotation, ast.Attribute) \
+                and annotation.attr == "RequestContext":
+            return True
+        if isinstance(annotation, ast.Constant) \
+                and isinstance(annotation.value, str) \
+                and "RequestContext" in annotation.value:
+            return True
+    return False
+
+
+class _FunctionFacts:
+    __slots__ = ("tainted_returns", "has_sanitizer")
+
+    def __init__(self, tainted_returns: List[ast.Return],
+                 has_sanitizer: bool) -> None:
+        self.tainted_returns = tainted_returns
+        self.has_sanitizer = has_sanitizer
+
+    @property
+    def returns_tainted(self) -> bool:
+        return bool(self.tainted_returns)
+
+
+class _TaintWalk:
+    """Conservative intra-function taint propagation.
+
+    A name is tainted once assigned from an expression whose subtree
+    contains a source call or an already-tainted name; container
+    mutations (``x.append(tainted)``) taint the container. The body is
+    swept twice so taint introduced late in a loop body reaches uses
+    earlier in it.
+    """
+
+    _MUTATORS = frozenset({"append", "extend", "add", "insert",
+                           "update", "setdefault"})
+
+    def __init__(self, tainted_peers: FrozenSet[str]) -> None:
+        self._tainted_peers = tainted_peers
+        self.tainted: Set[str] = set()
+        self.tainted_returns: List[ast.Return] = []
+
+    # -- sources ------------------------------------------------------------
+
+    def _is_source_call(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SOURCE_ANY:
+                return True
+            if func.attr in _SOURCE_ON_DATAISH:
+                parts = _receiver_parts(func.value)
+                return any(
+                    marker in part.lower()
+                    for part in parts
+                    for marker in _DATAISH_MARKERS
+                )
+            if func.attr in self._tainted_peers \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "self":
+                return True
+            return False
+        if isinstance(func, ast.Name):
+            return func.id in self._tainted_peers
+        return False
+
+    def _is_tainted(self, expr: Optional[ast.expr]) -> bool:
+        if expr is None:
+            return False
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in self.tainted:
+                return True
+            if isinstance(node, ast.Call) and self._is_source_call(node):
+                return True
+        return False
+
+    # -- propagation --------------------------------------------------------
+
+    def _taint_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.tainted.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._taint_target(element)
+        elif isinstance(target, ast.Starred):
+            self._taint_target(target.value)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = target.value
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id != "self":
+                self.tainted.add(root.id)
+
+    def run(self, fn: ast.FunctionDef) -> None:
+        for _sweep in range(2):
+            self.tainted_returns = []
+            for stmt in fn.body:
+                self._visit(stmt)
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            if self._is_tainted(stmt.value):
+                for target in stmt.targets:
+                    self._taint_target(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and self._is_tainted(stmt.value):
+                self._taint_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            if self._is_tainted(stmt.value):
+                self._taint_target(stmt.target)
+        elif isinstance(stmt, ast.Return):
+            if self._is_tainted(stmt.value):
+                self.tainted_returns.append(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if self._is_tainted(stmt.iter):
+                self._taint_target(stmt.target)
+            for child in stmt.body + stmt.orelse:
+                self._visit(child)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            for child in stmt.body + stmt.orelse:
+                self._visit(child)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None \
+                        and self._is_tainted(item.context_expr):
+                    self._taint_target(item.optional_vars)
+            for child in stmt.body:
+                self._visit(child)
+        elif isinstance(stmt, ast.Try):
+            for child in stmt.body + stmt.orelse + stmt.finalbody:
+                self._visit(child)
+            for handler in stmt.handlers:
+                for child in handler.body:
+                    self._visit(child)
+        elif isinstance(stmt, ast.Expr) \
+                and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            func = call.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in self._MUTATORS:
+                arguments = list(call.args) + [
+                    keyword.value for keyword in call.keywords
+                ]
+                if any(self._is_tainted(argument)
+                       for argument in arguments):
+                    self._taint_target(func.value)
+        # Nested defs/classes are opaque to the walk (conservatively
+        # ignored; closures over tainted state are rare in this layer).
+
+
+def _has_sanitizer(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in _SANITIZERS:
+            return True
+    return False
+
+
+def _function_facts(fn: ast.FunctionDef,
+                    tainted_peers: FrozenSet[str]) -> _FunctionFacts:
+    walk = _TaintWalk(tainted_peers)
+    walk.run(fn)
+    return _FunctionFacts(walk.tainted_returns, _has_sanitizer(fn))
+
+
+class ShieldEgressRule(Rule):
+    """Taint-walks server/query/cache egress to the privacy shield."""
+
+    name = "shield-egress"
+    description = (
+        "context-mediated egress in server/query/cache reaches a "
+        "privacy-shield check before returning profile data"
+    )
+    prefixes = (
+        "repro/core/server.py",
+        "repro/core/query.py",
+        "repro/core/cache.py",
+    )
+
+    def check(self, module: ModuleInfo) -> List[Violation]:
+        found: List[Violation] = []
+        module_functions = [
+            node for node in module.tree.body
+            if isinstance(node, ast.FunctionDef)
+        ]
+        self._check_group(module, module_functions, found)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                methods = [
+                    item for item in node.body
+                    if isinstance(item, ast.FunctionDef)
+                ]
+                self._check_group(module, methods, found)
+        return found
+
+    def _check_group(self, module: ModuleInfo,
+                     functions: List[ast.FunctionDef],
+                     found: List[Violation]) -> None:
+        if not functions:
+            return
+        facts = self._fixpoint(functions)
+        for fn in functions:
+            fn_facts = facts[fn.name]
+            if not _takes_request_context(fn):
+                continue
+            if fn_facts.returns_tainted and not fn_facts.has_sanitizer:
+                for tainted_return in fn_facts.tainted_returns:
+                    found.append(self.violation(
+                        module, tainted_return,
+                        "%s() returns profile data to a requester "
+                        "context without a privacy-shield check "
+                        "(no enforce/_shield_cached/resolve on the "
+                        "path)" % fn.name,
+                    ))
+
+    @staticmethod
+    def _fixpoint(
+        functions: List[ast.FunctionDef],
+    ) -> Dict[str, _FunctionFacts]:
+        """Iterate until the set of tainted-returning, unsanitized
+        helpers stabilizes, so taint flows through same-class (or
+        same-module) plumbing like ``_fetch_part_from``."""
+        tainted_peers: FrozenSet[str] = frozenset()
+        facts: Dict[str, _FunctionFacts] = {}
+        for _round in range(len(functions) + 1):
+            facts = {
+                fn.name: _function_facts(fn, tainted_peers)
+                for fn in functions
+            }
+            new_peers = frozenset(
+                name for name, fn_facts in facts.items()
+                if fn_facts.returns_tainted
+                and not fn_facts.has_sanitizer
+            )
+            if new_peers == tainted_peers:
+                break
+            tainted_peers = new_peers
+        return facts

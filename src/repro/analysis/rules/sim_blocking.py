@@ -1,0 +1,84 @@
+"""sim-blocking — no wall-clock sleeps or blocking I/O inside simnet.
+
+The discrete-event engine advances a *virtual* clock; every simnet
+event handler runs to completion instantly in host time. A real
+``time.sleep`` inside one stalls the whole simulation without moving
+virtual time (latency belongs in :meth:`Simulator.schedule` delays),
+and blocking I/O (sockets, files, subprocesses) makes event timing
+depend on the host — both destroy the reproducibility the benchmarks
+rely on. This rule bans the blocking primitives and the imports that
+smuggle them in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+__all__ = ["SimBlockingRule"]
+
+#: Modules whose very import into simnet signals blocking intent.
+_BLOCKING_MODULES = frozenset({
+    "time", "socket", "subprocess", "threading", "multiprocessing",
+    "requests", "urllib", "http", "asyncio", "select",
+})
+#: Bare-name calls that block.
+_BLOCKING_NAME_CALLS = frozenset({"open", "input", "sleep"})
+#: Attribute calls that block regardless of receiver.
+_BLOCKING_ATTR_CALLS = frozenset({"sleep"})
+
+
+class SimBlockingRule(Rule):
+    """Bans sleeps and blocking I/O inside simnet event handlers."""
+
+    name = "sim-blocking"
+    description = (
+        "simnet event handlers never sleep or do blocking I/O — "
+        "latency is modelled with Simulator.schedule delays"
+    )
+    prefixes = ("repro/simnet/",)
+
+    def check(self, module: ModuleInfo) -> List[Violation]:
+        found: List[Violation] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BLOCKING_MODULES:
+                        found.append(self.violation(
+                            module, node,
+                            "blocking module `import %s` inside simnet "
+                            "— simulated latency uses virtual time"
+                            % alias.name,
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in _BLOCKING_MODULES:
+                    found.append(self.violation(
+                        module, node,
+                        "blocking module `from %s import ...` inside "
+                        "simnet" % node.module,
+                    ))
+            elif isinstance(node, ast.Call):
+                self._check_call(module, node, found)
+        return found
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call,
+                    found: List[Violation]) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_NAME_CALLS:
+                found.append(self.violation(
+                    module, node,
+                    "blocking call %s() inside simnet — event handlers "
+                    "must return immediately" % func.id,
+                ))
+        elif isinstance(func, ast.Attribute):
+            if func.attr in _BLOCKING_ATTR_CALLS:
+                found.append(self.violation(
+                    module, node,
+                    "blocking call .%s() inside simnet — model the "
+                    "delay with Simulator.schedule" % func.attr,
+                ))

@@ -43,7 +43,7 @@ __all__ = ["ComponentCache"]
 class _Entry:
     __slots__ = ("fragment", "stored_at", "ttl_ms")
 
-    def __init__(self, fragment: PNode, stored_at: float, ttl_ms: float):
+    def __init__(self, fragment: PNode, stored_at: float, ttl_ms: float) -> None:
         self.fragment = fragment
         self.stored_at = stored_at
         self.ttl_ms = ttl_ms
@@ -64,7 +64,7 @@ class ComponentCache:
         capacity: int = 1024,
         default_ttl_ms: float = 60_000.0,
         stale_grace_ms: float = 0.0,
-    ):
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if stale_grace_ms < 0:

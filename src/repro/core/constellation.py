@@ -21,7 +21,7 @@ changelog feed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import GupsterError, NodeUnreachableError
 from repro.pxml import Path, parse_path
@@ -29,6 +29,7 @@ from repro.access import RequestContext
 from repro.core.referral import Referral
 from repro.core.server import GupsterServer
 from repro.simnet import Network, Trace
+from repro.adapters.base import GupAdapter
 
 __all__ = ["MirrorConstellation"]
 
@@ -44,8 +45,8 @@ class MirrorConstellation:
         self,
         network: Network,
         mirror_nodes: List[str],
-        make_server=None,
-    ):
+        make_server: Optional[Callable[[str], GupsterServer]] = None,
+    ) -> None:
         if len(mirror_nodes) < 1:
             raise ValueError("need at least one mirror")
         self.network = network
@@ -66,7 +67,7 @@ class MirrorConstellation:
     def server_at(self, node: str) -> GupsterServer:
         return self.servers[node]
 
-    def join_store(self, adapter, via: str) -> int:
+    def join_store(self, adapter: GupAdapter, via: str) -> int:
         """A data store registers at one mirror (the nearest one); the
         registration spreads on the next replication round. All
         mirrors need the adapter handle for chaining-mode fetches."""
@@ -110,7 +111,10 @@ class MirrorConstellation:
                 )
         return applied_total
 
-    def _apply_foreign(self, target: str, changes) -> int:
+    def _apply_foreign(
+        self, target: str,
+        changes: Sequence[Tuple[int, str, Path, str]],
+    ) -> int:
         """Apply a peer's feed. Peer revisions live in a different
         sequence, so entries are re-played through the target's own
         register/unregister (idempotent for registers)."""

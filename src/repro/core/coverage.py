@@ -43,7 +43,7 @@ class CoverageResolution:
         request: Path,
         full: List[Tuple[Path, List[str]]],
         partial: List[Tuple[Path, List[str]]],
-    ):
+    ) -> None:
         self.request = request
         self.full = full
         self.partial = partial
@@ -66,7 +66,7 @@ class CoverageResolution:
 class CoverageMap:
     """Registrations of profile components by data stores."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: user id -> coverage path -> ordered store ids
         self._by_user: Dict[str, Dict[Path, List[str]]] = {}
         #: store id -> set of (user, path) it registered (for leaving)

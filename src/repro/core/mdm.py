@@ -113,7 +113,7 @@ class CentralizedMdm:
         mirror_nodes: List[str],
         retry_policy: Optional[RetryPolicy] = None,
         health: Optional[EndpointHealth] = None,
-    ):
+    ) -> None:
         if not mirror_nodes:
             raise ValueError("need at least one mirror")
         self.network = network
@@ -179,7 +179,7 @@ class UserDistributedMdm:
         whitepages_node: str,
         retry_policy: Optional[RetryPolicy] = None,
         health: Optional[EndpointHealth] = None,
-    ):
+    ) -> None:
         self.network = network
         self.whitepages_node = whitepages_node
         self.retry_policy = (
@@ -277,7 +277,7 @@ class HierarchicalMdm:
         network: Network,
         retry_policy: Optional[RetryPolicy] = None,
         health: Optional[EndpointHealth] = None,
-    ):
+    ) -> None:
         self.network = network
         self.retry_policy = (
             retry_policy if retry_policy is not None else RetryPolicy()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.errors import ReproError
 from repro.pxml import PNode, Path, parse_path
 from repro.pxml.containment import subtree_covers, subtree_overlaps
 from repro.access import RequestContext
@@ -46,7 +47,7 @@ class AccessRecord:
         stores: Sequence[str],
         operation: str,
         granted: bool,
-    ):
+    ) -> None:
         self.at = at
         self.requester = context.requester
         self.relationship = context.relationship
@@ -67,7 +68,7 @@ class ProvenanceTracker:
     """The access ledger: who touched which component, when, via
     which stores."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._records: List[AccessRecord] = []
 
     def record(
@@ -126,7 +127,7 @@ class ProvenanceTracker:
 class SourceAnnotator:
     """Per-fragment origin tracking for merged components."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: (user, item location path) -> store id it came from
         self._origins: Dict[str, str] = {}
 
@@ -184,7 +185,13 @@ class SourceAnnotator:
                         subtree_covers(rule.target, location)
                         or subtree_overlaps(rule.target, location)
                     )
-                except Exception:
+                except (ReproError, AttributeError, TypeError,
+                        ValueError):
+                    # A rule whose condition cannot even be evaluated
+                    # against this context is not applicable — but only
+                    # the evaluation errors we understand are excused
+                    # (an overbroad `except Exception` here used to
+                    # swallow everything, including programming bugs).
                     applicable = False
                 if not applicable:
                     continue

@@ -37,7 +37,7 @@ is down. Only when nothing at all can be produced does the query raise
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 from repro.errors import (
     NoCoverageError,
@@ -55,6 +55,9 @@ from repro.core.resilience import (
 )
 from repro.core.server import GupsterServer
 from repro.simnet import Network, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.provenance import ProvenanceTracker, SourceAnnotator
 
 __all__ = ["QueryExecutor"]
 
@@ -81,11 +84,11 @@ class QueryExecutor:
         network: Network,
         server: GupsterServer,
         server_node: Optional[str] = None,
-        provenance=None,
-        annotator=None,
+        provenance: Optional[ProvenanceTracker] = None,
+        annotator: Optional[SourceAnnotator] = None,
         retry_policy: Optional[RetryPolicy] = None,
         health: Optional[EndpointHealth] = None,
-    ):
+    ) -> None:
         self.network = network
         self.server = server
         self.server_node = server_node or server.name
@@ -250,7 +253,7 @@ class QueryExecutor:
 
     def _resolve_tracked(
         self, path: Path, context: RequestContext, now: float
-    ):
+    ) -> Referral:
         """Resolve at the server, recording grants and denials in the
         provenance ledger when one is attached."""
         from repro.errors import AccessDeniedError

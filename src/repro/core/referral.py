@@ -31,7 +31,7 @@ class ReferralPart:
         path: Path,
         store_ids: List[str],
         signed_query: Optional[SignedQuery] = None,
-    ):
+    ) -> None:
         if not store_ids:
             raise ValueError("a referral part needs at least one store")
         self.path = path
@@ -57,7 +57,7 @@ class Referral:
         request: Path,
         parts: List[ReferralPart],
         merge_policy: ConflictPolicy = ConflictPolicy.PREFER_FIRST,
-    ):
+    ) -> None:
         if not parts:
             raise ValueError("a referral needs at least one part")
         self.request = request

@@ -26,9 +26,10 @@ counter stays zero.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import NodeUnreachableError, PacketLossError
+from repro.pxml import Path
 
 __all__ = [
     "RetryPolicy",
@@ -60,7 +61,7 @@ class RetryPolicy:
         base_backoff_ms: float = 25.0,
         multiplier: float = 2.0,
         max_backoff_ms: float = 400.0,
-    ):
+    ) -> None:
         if max_attempts < 1:
             raise ValueError("need at least one attempt")
         if base_backoff_ms < 0 or max_backoff_ms < 0:
@@ -104,7 +105,7 @@ class EndpointHealth:
 
     __slots__ = ("_failures", "_successes")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._failures: Dict[str, int] = {}
         self._successes: Dict[str, int] = {}
 
@@ -144,12 +145,12 @@ class PartStatus:
 
     def __init__(
         self,
-        path,
+        path: Union[str, Path],
         store: Optional[str] = None,
         ok: bool = True,
         error: Optional[BaseException] = None,
         stale: bool = False,
-    ):
+    ) -> None:
         #: The part's (permitted) path.
         self.path = path
         #: Store that served it (None when the part failed).

@@ -24,6 +24,7 @@ from repro.errors import (
 from repro.pxml import GUP_SCHEMA, Path, PNode, parse_path
 from repro.pxml.merge import ConflictPolicy
 from repro.pxml.schema import Schema
+from repro.pxml.adjunct import SchemaAdjunct
 from repro.access import (
     PolicyAdministrationPoint,
     PolicyEnforcementPoint,
@@ -50,8 +51,8 @@ class GupsterServer:
         signer: Optional[QuerySigner] = None,
         cache: Optional[ComponentCache] = None,
         enforce_policies: bool = True,
-        adjunct=None,
-    ):
+        adjunct: Optional[SchemaAdjunct] = None,
+    ) -> None:
         self.name = name
         self.schema = schema
         #: Optional :class:`~repro.pxml.adjunct.SchemaAdjunct` carrying
@@ -361,7 +362,7 @@ class GupsterServer:
     def cache_store(
         self,
         request: Union[str, Path],
-        fragment,
+        fragment: PNode,
         context: RequestContext,
         now: float,
     ) -> bool:

@@ -40,7 +40,7 @@ class SignedQuery:
         issued_at: float,
         expires_at: float,
         signature: str,
-    ):
+    ) -> None:
         self.path = path
         self.requester = requester
         self.issued_at = issued_at
@@ -78,7 +78,7 @@ class QuerySigner:
         self,
         secret: bytes = b"gupster-demo-key",
         freshness_ms: float = DEFAULT_FRESHNESS_MS,
-    ):
+    ) -> None:
         self._secret = secret
         self.freshness_ms = freshness_ms
         self.signed = 0
@@ -107,7 +107,7 @@ class QuerySigner:
 class QueryVerifier:
     """A data store's check of incoming signed queries."""
 
-    def __init__(self, secret: bytes):
+    def __init__(self, secret: bytes) -> None:
         self._secret = secret
         self.verified = 0
         self.rejected = 0

@@ -42,7 +42,7 @@ class Delivery:
     def __init__(
         self, mode: str, value: str, changed_at: float,
         delivered_at: float,
-    ):
+    ) -> None:
         self.mode = mode
         self.value = value
         self.changed_at = changed_at
@@ -67,7 +67,7 @@ class SubscriptionHub:
         network: Network,
         server: GupsterServer,
         executor: QueryExecutor,
-    ):
+    ) -> None:
         self.sim = sim
         self.network = network
         self.server = server
@@ -119,7 +119,7 @@ class SubscriptionHub:
         poller_id = self._poller_seq
         self._poll_state[poller_id] = None
 
-        def poll():
+        def poll() -> None:
             # Every poll is a full policy-checked fetch.
             try:
                 fragment, trace = self.executor.chaining(
@@ -185,13 +185,13 @@ class SubscriptionHub:
             )
             self.push_messages += 1
 
-            def at_gupster():
+            def at_gupster() -> None:
                 to_client = self.network.sample_hop(
                     self.executor.server_node, client, 128
                 )
                 self.push_messages += 1
 
-                def at_client():
+                def at_client() -> None:
                     self.deliveries.append(
                         Delivery("push", value, changed_at, self.sim.now)
                     )

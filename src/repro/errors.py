@@ -7,6 +7,11 @@ subsystems (data model, coverage, access control, synchronization, ...).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a cycle
+    from repro.core.resilience import PartStatus
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -23,7 +28,7 @@ class PXMLError(ReproError):
 class ParseError(PXMLError):
     """Raised when XML text or an XPath expression cannot be parsed."""
 
-    def __init__(self, message: str, position: int = -1):
+    def __init__(self, message: str, position: int = -1) -> None:
         super().__init__(message)
         self.position = position
 
@@ -42,6 +47,16 @@ class SchemaError(PXMLError):
 
 class MergeConflictError(PXMLError):
     """Raised when a merge cannot reconcile two nodes under the policy."""
+
+
+class ModelError(PXMLError, ValueError):
+    """Raised when a profile-XML node or path is constructed or mutated
+    inconsistently (invalid names, mixed content, out-of-range slices).
+
+    Also subclasses :class:`ValueError` so pre-existing callers that
+    caught the old bare ``ValueError`` keep working; new code should
+    catch :class:`PXMLError`/:class:`ReproError` (the total surface the
+    ``exception-totality`` gupcheck rule guarantees)."""
 
 
 # --------------------------------------------------------------------------
@@ -90,7 +105,10 @@ class PartialResultError(NetworkError):
     nothing to return, not even a partial merge. Carries the per-part
     status report assembled before giving up."""
 
-    def __init__(self, message: str, part_status=None):
+    def __init__(
+        self, message: str,
+        part_status: Optional[Sequence["PartStatus"]] = None,
+    ) -> None:
         super().__init__(message)
         self.part_status = list(part_status or [])
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import MergeConflictError
+from repro.errors import MergeConflictError, ModelError
 from repro.pxml.node import PNode
 
 __all__ = [
@@ -133,7 +133,7 @@ def merge_all(
 ) -> PNode:
     """Left fold of :func:`deep_union` over *fragments* (at least one)."""
     if not fragments:
-        raise ValueError("merge_all needs at least one fragment")
+        raise ModelError("merge_all needs at least one fragment")
     merged = fragments[0].copy()
     for fragment in fragments[1:]:
         merged = _merge_nodes(merged, fragment, keyspec, policy)
@@ -153,7 +153,7 @@ def prioritized_merge(
     higher-priority site.
     """
     if not ranked_fragments:
-        raise ValueError("prioritized_merge needs at least one fragment")
+        raise ModelError("prioritized_merge needs at least one fragment")
     ordered = sorted(ranked_fragments, key=lambda rf: rf[0])
     trees = [tree for _, tree in ordered]
     return merge_all(trees, keyspec, ConflictPolicy.PREFER_FIRST)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from repro.errors import ModelError
+
 __all__ = ["PNode", "element"]
 
 
@@ -38,7 +40,7 @@ class PNode:
         children: Optional[Iterable["PNode"]] = None,
     ):
         if not tag or not _is_name(tag):
-            raise ValueError("invalid element tag: %r" % (tag,))
+            raise ModelError("invalid element tag: %r" % (tag,))
         self.tag = tag
         self.attrs: Dict[str, str] = dict(attrs) if attrs else {}
         self.text: Optional[str] = text
@@ -48,7 +50,7 @@ class PNode:
             for child in children:
                 self.append(child)
         if self.text is not None and self.children:
-            raise ValueError(
+            raise ModelError(
                 "mixed content not supported: %r has both text and children"
                 % (tag,)
             )
@@ -58,7 +60,7 @@ class PNode:
     def append(self, child: "PNode") -> "PNode":
         """Attach *child* as the last child and return it."""
         if self.text is not None:
-            raise ValueError(
+            raise ModelError(
                 "cannot add children to text element %r" % (self.tag,)
             )
         child.parent = self
@@ -82,7 +84,7 @@ class PNode:
 
     def set_text(self, text: Optional[str]) -> None:
         if text is not None and self.children:
-            raise ValueError(
+            raise ModelError(
                 "cannot set text on element %r with children" % (self.tag,)
             )
         self.text = text

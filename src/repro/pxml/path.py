@@ -22,9 +22,9 @@ Path objects are immutable and hashable so they can key coverage maps.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Tuple, Union
 
-from repro.errors import PathSyntaxError, UnsupportedPathError
+from repro.errors import ModelError, PathSyntaxError, UnsupportedPathError
 from repro.pxml.node import _NAME_CHARS, _NAME_START
 
 __all__ = ["Predicate", "Step", "Path", "parse_path"]
@@ -37,7 +37,7 @@ class Predicate:
 
     __slots__ = ("attr", "value")
 
-    def __init__(self, attr: str, value: str):
+    def __init__(self, attr: str, value: str) -> None:
         self.attr = attr
         self.value = value
 
@@ -60,7 +60,7 @@ class Step:
 
     __slots__ = ("name", "predicates")
 
-    def __init__(self, name: str, predicates: Tuple[Predicate, ...] = ()):
+    def __init__(self, name: str, predicates: Tuple[Predicate, ...] = ()) -> None:
         self.name = name
         # Canonical order: sorted by attribute so equal steps compare equal
         # regardless of how the user wrote the predicates.
@@ -110,7 +110,7 @@ class Path:
 
     def __init__(
         self, steps: Tuple[Step, ...], attribute: Optional[str] = None
-    ):
+    ) -> None:
         if not steps:
             raise PathSyntaxError("a path needs at least one step")
         self.steps = tuple(steps)
@@ -132,13 +132,13 @@ class Path:
     def prefix(self, length: int) -> "Path":
         """The first *length* steps as a path (no attribute selector)."""
         if not 1 <= length <= len(self.steps):
-            raise ValueError("prefix length out of range")
+            raise ModelError("prefix length out of range")
         return Path(self.steps[:length], None)
 
     def child(self, step: Step) -> "Path":
         """Extend by one step."""
         if self.attribute is not None:
-            raise ValueError("cannot extend past an attribute selector")
+            raise ModelError("cannot extend past an attribute selector")
         return Path(self.steps + (step,), None)
 
     def with_predicate(
@@ -190,7 +190,7 @@ class Path:
 # Parsing
 # ---------------------------------------------------------------------------
 
-def parse_path(text) -> Path:
+def parse_path(text: Union[str, "Path"]) -> Path:
     """Parse *text* into a :class:`Path`.
 
     Accepts a :class:`Path` unchanged, so APIs can take either form.
@@ -201,7 +201,7 @@ def parse_path(text) -> Path:
 
 
 class _PathParser:
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         if not isinstance(text, str):
             raise PathSyntaxError("path must be a string, got %r" % (text,))
         self.text = text.strip()

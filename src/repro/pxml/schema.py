@@ -160,7 +160,7 @@ class ChildDecl:
 
     def __init__(self, tag: str, occurs: str = "opt"):
         if occurs not in ("one", "opt", "many"):
-            raise ValueError("bad occurrence %r" % occurs)
+            raise SchemaError("bad occurrence %r" % occurs)
         self.tag = tag
         self.occurs = occurs
 

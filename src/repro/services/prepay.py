@@ -16,12 +16,14 @@ the profile data converged services must see. This service:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import StoreError
 from repro.pxml import PNode
 from repro.adapters.base import GupAdapter
-from repro.stores.hlr import HLR, MSC
+
+if TYPE_CHECKING:  # type-only: services never touch stores at runtime
+    from repro.stores.hlr import HLR, MSC
 
 __all__ = ["RatePlan", "PrePayService", "PrepayAdapter"]
 

@@ -1,0 +1,789 @@
+"""gupcheck (repro.analysis): fixture tests per rule, suppression
+mechanics, JSON report schema, and the self-check that the shipped
+source tree is clean under every rule.
+
+Each rule gets three kinds of fixture: a snippet it must flag, a
+snippet it must not flag, and a suppressed snippet (justified
+``# gupcheck: ignore[rule] -- why`` comment) it must stay silent on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import (
+    ALL_RULES,
+    Analyzer,
+    check_source,
+    default_rules,
+)
+from repro.analysis.framework import (
+    SUPPRESSION_RULE,
+    ModuleInfo,
+)
+from repro.analysis.rules import (
+    CacheKeyScopeRule,
+    DeterminismRule,
+    ExceptionTotalityRule,
+    LayeringRule,
+    ShieldEgressRule,
+    SimBlockingRule,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+
+def dedent(source):
+    return textwrap.dedent(source).lstrip("\n")
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+class TestDeterminismRule:
+    RELPATH = "repro/simnet/fixture.py"
+
+    def test_flags_wall_clock_time(self):
+        found = check_source(
+            DeterminismRule(),
+            dedent("""
+                import time
+
+                def handler():
+                    return time.time()
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "time.time()" in found[0].message
+        assert found[0].line == 4
+
+    def test_flags_datetime_now_and_utcnow(self):
+        found = check_source(
+            DeterminismRule(),
+            dedent("""
+                from datetime import datetime
+
+                def stamp():
+                    return datetime.now(), datetime.utcnow()
+            """),
+            "repro/core/fixture.py",
+        )
+        assert len(found) == 2
+
+    def test_flags_module_level_random(self):
+        found = check_source(
+            DeterminismRule(),
+            dedent("""
+                import random
+
+                def jitter():
+                    return random.random() + random.randint(1, 6)
+            """),
+            "repro/workloads/fixture.py",
+        )
+        assert len(found) == 2
+
+    def test_flags_from_random_import(self):
+        found = check_source(
+            DeterminismRule(),
+            "from random import randint\n",
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_allows_injected_seeded_random(self):
+        found = check_source(
+            DeterminismRule(),
+            dedent("""
+                import random
+
+                class Churn:
+                    def __init__(self, seed):
+                        self._rng = random.Random(seed)
+
+                    def next(self):
+                        return self._rng.random()
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_out_of_scope_module_not_checked(self):
+        found = check_source(
+            DeterminismRule(),
+            "import time\nNOW = time.time()\n",
+            "repro/pxml/fixture.py",
+        )
+        assert found == []
+
+    def test_suppression_with_justification_silences(self):
+        found = check_source(
+            DeterminismRule(),
+            dedent("""
+                import time
+
+                def bench():
+                    # gupcheck: ignore[determinism] -- host-time benchmark harness
+                    return time.time()
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# layering
+# ---------------------------------------------------------------------------
+
+class TestLayeringRule:
+    RELPATH = "repro/services/fixture.py"
+
+    def test_flags_direct_store_from_import(self):
+        found = check_source(
+            LayeringRule(),
+            "from repro.stores.hlr import HLR\n",
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "repro.adapters" in found[0].message
+
+    def test_flags_direct_store_module_import(self):
+        found = check_source(
+            LayeringRule(),
+            "import repro.stores.hlr\n",
+            "repro/core/fixture.py",
+        )
+        assert len(found) == 1
+
+    def test_flags_relative_store_import(self):
+        found = check_source(
+            LayeringRule(),
+            "from ..stores import hlr\n",
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_allows_adapter_import(self):
+        found = check_source(
+            LayeringRule(),
+            "from repro.adapters.hlr_adapter import HlrAdapter\n",
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_allows_type_checking_import(self):
+        found = check_source(
+            LayeringRule(),
+            dedent("""
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from repro.stores.hlr import HLR
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_adapters_layer_may_import_stores(self):
+        found = check_source(
+            LayeringRule(),
+            "from repro.stores.hlr import HLR\n",
+            "repro/adapters/fixture.py",
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = check_source(
+            LayeringRule(),
+            dedent("""
+                # gupcheck: ignore[layering] -- migration shim until PR N
+                from repro.stores.hlr import HLR
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# exception-totality
+# ---------------------------------------------------------------------------
+
+class TestExceptionTotalityRule:
+    RELPATH = "repro/pxml/fixture.py"
+
+    def test_flags_non_gup_raise(self):
+        found = check_source(
+            ExceptionTotalityRule(),
+            dedent("""
+                def parse(text):
+                    raise ValueError("bad")
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "ValueError" in found[0].message
+
+    def test_flags_bare_except(self):
+        found = check_source(
+            ExceptionTotalityRule(),
+            dedent("""
+                def safe(text):
+                    try:
+                        return int(text)
+                    except:
+                        return None
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_flags_swallowing_except_exception(self):
+        found = check_source(
+            ExceptionTotalityRule(),
+            dedent("""
+                def safe(text):
+                    try:
+                        return int(text)
+                    except Exception:
+                        return None
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_allows_gup_raises_and_reraise(self):
+        found = check_source(
+            ExceptionTotalityRule(),
+            dedent("""
+                from repro.errors import ParseError, ModelError
+
+                def parse(text):
+                    if not text:
+                        raise ParseError("empty")
+                    try:
+                        return int(text)
+                    except Exception:
+                        raise
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_allows_reraising_caught_variable(self):
+        found = check_source(
+            ExceptionTotalityRule(),
+            dedent("""
+                def rethrow(err):
+                    raise err
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_out_of_scope_module_not_checked(self):
+        found = check_source(
+            ExceptionTotalityRule(),
+            "def f():\n    raise ValueError('x')\n",
+            "repro/stores/fixture.py",
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = check_source(
+            ExceptionTotalityRule(),
+            dedent("""
+                def parse(text):
+                    # gupcheck: ignore[exception-totality] -- stdlib contract
+                    raise KeyError(text)
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# cache-key-scope
+# ---------------------------------------------------------------------------
+
+class TestCacheKeyScopeRule:
+    RELPATH = "repro/core/fixture.py"
+
+    def test_flags_unscoped_put(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def fill(cache, path, fragment, now):
+                    cache.put(path, fragment, now)
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "shield bypass" in found[0].message
+
+    def test_flags_unscoped_get_and_get_stale(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def probe(self, path, now):
+                    hit = self.cache.get(path, now)
+                    corpse = self.cache.get_stale(path, now)
+                    return hit or corpse
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 2
+
+    def test_flags_empty_scope_constant(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def fill(cache, path, fragment, now):
+                    cache.put(path, fragment, now, scope="")
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "empty scope" in found[0].message
+
+    def test_allows_scoped_calls(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def fill(self, path, fragment, context, now):
+                    self.cache.put(
+                        path, fragment, now,
+                        scope=context.cache_scope(),
+                    )
+                    return self.cache.get(
+                        path, now, scope=context.cache_scope()
+                    )
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_allows_positional_scope(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def probe(cache, path, now, scope):
+                    return cache.get(path, now, scope)
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_ignores_non_cache_receivers_and_invalidate(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def misc(self, mapping, key, cache, path):
+                    value = mapping.get(key)
+                    adapter = self.adapters.get(key)
+                    cache.invalidate(path)
+                    return value, adapter
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def warm(cache, path, fragment, now):
+                    # gupcheck: ignore[cache-key-scope] -- admin warmup, pre-shield
+                    cache.put(path, fragment, now)
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# sim-blocking
+# ---------------------------------------------------------------------------
+
+class TestSimBlockingRule:
+    RELPATH = "repro/simnet/fixture.py"
+
+    def test_flags_time_sleep(self):
+        found = check_source(
+            SimBlockingRule(),
+            dedent("""
+                import time
+
+                def handler():
+                    time.sleep(0.1)
+            """),
+            self.RELPATH,
+        )
+        # both the blocking-module import and the sleep call
+        assert len(found) == 2
+
+    def test_flags_blocking_io(self):
+        found = check_source(
+            SimBlockingRule(),
+            dedent("""
+                def handler(path):
+                    with open(path) as handle:
+                        return handle.read()
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_flags_socket_import(self):
+        found = check_source(
+            SimBlockingRule(),
+            "import socket\n",
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_allows_virtual_time(self):
+        found = check_source(
+            SimBlockingRule(),
+            dedent("""
+                def handler(sim, callback):
+                    sim.schedule(25.0, callback)
+                    return sim.now
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_out_of_scope_module_not_checked(self):
+        found = check_source(
+            SimBlockingRule(),
+            "import time\n",
+            "repro/workloads/fixture.py",
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = check_source(
+            SimBlockingRule(),
+            dedent("""
+                def snapshot(path):
+                    # gupcheck: ignore[sim-blocking] -- debug dump, not an event handler
+                    return open(path)
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# shield-egress
+# ---------------------------------------------------------------------------
+
+class TestShieldEgressRule:
+    RELPATH = "repro/core/server.py"
+
+    def test_flags_unshielded_cache_egress(self):
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Server:
+                    def lookup(self, request, context, now):
+                        fragment = self.cache.get(
+                            request, now, scope=context.cache_scope()
+                        )
+                        return fragment
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "privacy-shield" in found[0].message
+
+    def test_flags_unshielded_adapter_egress_via_helper(self):
+        # Taint must flow through same-class plumbing (the fixpoint).
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Executor:
+                    def _fetch(self, part):
+                        adapter = self.adapters[part.store_id]
+                        return adapter.get(part.path)
+
+                    def run(self, request, context, now):
+                        fragment = self._fetch(request)
+                        return fragment, now
+            """),
+            "repro/core/query.py",
+        )
+        assert len(found) == 1
+
+    def test_flags_export_user_egress(self):
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Server:
+                    def dump(self, store, user_id, context):
+                        view = store.export_user(user_id)
+                        return view
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_shielded_egress_passes(self):
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Server:
+                    def lookup(self, request, context, now):
+                        fragment = self.cache.get(
+                            request, now, scope=context.cache_scope()
+                        )
+                        if fragment is None:
+                            return None
+                        self._shield_cached(request, context)
+                        return fragment
+
+                    def _shield_cached(self, parsed, context):
+                        decision = self.pep.enforce(parsed, context)
+                        if not decision.permit:
+                            raise RuntimeError("denied")
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_resolve_counts_as_sanitizer(self):
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Executor:
+                    def run(self, request, context, now):
+                        referral = self.server.resolve(request, context, now)
+                        fragments = []
+                        for part in referral.parts:
+                            adapter = self.server.adapters[part.store_id]
+                            fragments.append(adapter.get(part.path))
+                        return fragments
+            """),
+            "repro/core/query.py",
+        )
+        assert found == []
+
+    def test_contextless_plumbing_exempt(self):
+        # No requester context = not an egress surface (the cache
+        # itself, _fetch_part_from, the deliberately unshielded
+        # direct() baseline).
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Cacheish:
+                    def get(self, path, now, scope=""):
+                        entry = self.entries.get((path, scope))
+                        return entry
+
+                    def _fetch(self, part):
+                        adapter = self.adapters[part.store_id]
+                        return adapter.get(part.path)
+            """),
+            "repro/core/cache.py",
+        )
+        assert found == []
+
+    def test_out_of_scope_file_not_checked(self):
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Anything:
+                    def lookup(self, request, context):
+                        return self.cache.get(request, 0.0)
+            """),
+            "repro/core/mdm.py",
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Server:
+                    def debug_peek(self, request, context, now):
+                        fragment = self.cache.get(request, now, scope="x")
+                        # gupcheck: ignore[shield-egress] -- operator debug tap, not client-reachable
+                        return fragment
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# suppression mechanics (Analyzer-level audit)
+# ---------------------------------------------------------------------------
+
+class TestSuppressionAudit:
+    def _analyze(self, source, relpath="repro/core/fixture.py"):
+        module = ModuleInfo.from_source(dedent(source), relpath)
+        return Analyzer().analyze_module(module)
+
+    def test_justified_suppression_lands_in_suppressed_report(self):
+        active, suppressed = self._analyze("""
+            import time
+
+            def bench():
+                # gupcheck: ignore[determinism] -- host benchmark only
+                return time.time()
+        """)
+        assert active == []
+        assert len(suppressed) == 1
+        assert suppressed[0].rule == "determinism"
+        assert suppressed[0].justification == "host benchmark only"
+
+    def test_unjustified_suppression_is_a_violation(self):
+        active, suppressed = self._analyze("""
+            import time
+
+            def bench():
+                return time.time()  # gupcheck: ignore[determinism]
+        """)
+        rules = sorted(v.rule for v in active)
+        # The original finding stays active AND the bad suppression is
+        # flagged: silencers must say why.
+        assert rules == sorted(["determinism", SUPPRESSION_RULE])
+        assert suppressed == []
+
+    def test_unknown_rule_name_is_a_violation(self):
+        active, _ = self._analyze("""
+            x = 1  # gupcheck: ignore[no-such-rule] -- because reasons
+        """)
+        assert [v.rule for v in active] == [SUPPRESSION_RULE]
+        assert "no-such-rule" in active[0].message
+
+    def test_trailing_comment_covers_its_own_line(self):
+        active, suppressed = self._analyze("""
+            import time
+
+            def bench():
+                return time.time()  # gupcheck: ignore[determinism] -- why not
+        """)
+        assert active == []
+        assert len(suppressed) == 1
+
+    def test_standalone_comment_covers_next_line_only(self):
+        active, _ = self._analyze("""
+            import time
+
+            def bench():
+                # gupcheck: ignore[determinism] -- first call only
+                first = time.time()
+                second = time.time()
+                return first - second
+        """)
+        assert [v.rule for v in active] == ["determinism"]
+        assert active[0].line == 6
+
+    def test_suppression_for_other_rule_does_not_apply(self):
+        active, _ = self._analyze("""
+            import time
+
+            def bench():
+                # gupcheck: ignore[sim-blocking] -- wrong rule on purpose
+                return time.time()
+        """)
+        assert "determinism" in [v.rule for v in active]
+
+
+# ---------------------------------------------------------------------------
+# report / JSON schema
+# ---------------------------------------------------------------------------
+
+class TestReportSchema:
+    def _report(self, tmp_path):
+        bad = tmp_path / "repro" / "simnet" / "busy.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n\n\ndef handler():\n"
+            "    time.sleep(1)\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        return Analyzer().analyze_paths([str(tmp_path)])
+
+    def test_json_schema(self, tmp_path):
+        report = self._report(tmp_path)
+        data = json.loads(report.to_json())
+        assert data["gupcheck"] == 1
+        assert data["ok"] is False
+        assert data["files_scanned"] == 1
+        assert set(data["rules"]) == {
+            rule_class.name for rule_class in ALL_RULES
+        }
+        assert data["suppressed"] == []
+        assert data["errors"] == []
+        assert len(data["violations"]) >= 2
+        for violation in data["violations"]:
+            assert set(violation) == {
+                "rule", "path", "line", "col", "message"
+            }
+            assert isinstance(violation["line"], int)
+            assert violation["path"] == "repro/simnet/busy.py"
+        rules_hit = {v["rule"] for v in data["violations"]}
+        assert {"determinism", "sim-blocking"} <= rules_hit
+
+    def test_unparseable_file_reported_not_crashing(self, tmp_path):
+        broken = tmp_path / "repro" / "core" / "broken.py"
+        broken.parent.mkdir(parents=True)
+        broken.write_text("def (:\n", encoding="utf-8")
+        report = Analyzer().analyze_paths([str(tmp_path)])
+        assert not report.ok
+        assert len(report.errors) == 1
+
+    def test_rule_names_unique_and_kebab(self):
+        names = [rule.name for rule in default_rules()]
+        assert len(names) == len(set(names)) == len(ALL_RULES)
+        for name in names:
+            assert name == name.lower()
+            assert " " not in name
+
+
+# ---------------------------------------------------------------------------
+# self-check: the shipped tree is clean; the CLI agrees
+# ---------------------------------------------------------------------------
+
+class TestSelfCheck:
+    def test_source_tree_is_clean(self):
+        report = Analyzer().analyze_paths([SRC_ROOT])
+        assert report.errors == []
+        assert report.violations == [], "\n".join(
+            str(v) for v in report.violations
+        )
+        # Every scanned file parsed, and the scan actually saw the tree.
+        assert report.files_scanned >= 60
+
+    def test_cli_exits_zero_on_clean_tree(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--json", SRC_ROOT],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        data = json.loads(proc.stdout)
+        assert data["ok"] is True
+
+    def test_cli_lists_rules(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0
+        for rule_class in ALL_RULES:
+            assert rule_class.name in proc.stdout

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import StoreError
+from repro.errors import StoreError, UnknownSubscriberError
 from repro.pxml import GUP_SCHEMA, evaluate_values
 from repro.access import RequestContext
 from repro.services import PrePayService, PrepayAdapter, RatePlan
@@ -49,7 +49,7 @@ class TestAccounts:
             self.service.open_account("alice", 0)
 
     def test_account_requires_subscriber(self):
-        with pytest.raises(Exception):
+        with pytest.raises(UnknownSubscriberError):
             self.service.open_account("stranger", 100)
 
     def test_unknown_balance(self):

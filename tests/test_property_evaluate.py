@@ -38,7 +38,7 @@ def documents(draw):
             ),
         )
         if depth > 0:
-            for child in range(draw(st.integers(0, 3))):
+            for _child in range(draw(st.integers(0, 3))):
                 node.append(build(depth - 1))
         return node
 
