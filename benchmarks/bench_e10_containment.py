@@ -47,10 +47,10 @@ def test_e10_containment_microbench(benchmark, report):
     rows = []
     for label, outer, inner in cases:
         iterations = 20000
-        start = time.perf_counter()
+        start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
         for _ in range(iterations):
             subtree_covers(outer, inner)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # gupcheck: ignore[determinism] -- host-side harness timing
         rows.append((label, 1e6 * elapsed / iterations))
     report(
         "e10_containment",
@@ -84,10 +84,10 @@ def test_e10_coverage_resolution_scaling(benchmark, report):
                 cov.register(path, "store%d" % index)
             request = "/user[@id='u']/address-book"
             iterations = 5000
-            start = time.perf_counter()
+            start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
             for _ in range(iterations):
                 cov.resolve(request)
-            elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start  # gupcheck: ignore[determinism] -- host-side harness timing
             rows.append((per_user, 1e6 * elapsed / iterations))
         return rows
 

@@ -1,0 +1,156 @@
+"""E17 — analyzer cold vs incremental wall-time (DESIGN.md §4.3).
+
+gupcheck v2 promises that the whole-program layer (project IR, call
+graph, interprocedural summaries) does not turn every edit into a
+whole-tree re-analysis: findings are keyed on per-module content
+hashes (own sha for intra-module rules, deep sha for project rules),
+so a warm run replays everything and a one-file body edit re-analyzes
+only the touched SCC plus its dependents. E17 measures that shape on
+a synthetic project — one adapter base + N independent service
+modules, the repo's own topology in miniature:
+
+* **cold**: empty cache, every module analyzed, all summaries built;
+* **warm**: nothing changed, zero modules analyzed (pure replay);
+* **body edit**: one service's body touched — the edited module (and
+  only it) is re-analyzed, <30 % of the tree;
+* **interface edit**: the adapter base's *signature* changes — the
+  global interface fingerprint rolls, correctly invalidating every
+  project-rule entry (the expensive-but-sound case).
+
+All timings are the analyzer's own ``AnalysisStats.wall_ms`` counters
+— no wall-clock reads in this harness.
+"""
+
+from textwrap import dedent
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.framework import Analyzer, Report
+
+LEAVES = 48
+
+_BASE = dedent(
+    """
+    class GupAdapter:
+        def get(self, path):
+            raise NotImplementedError
+    """
+)
+
+_SERVICE = dedent(
+    """
+    from repro.adapters.base import GupAdapter
+
+
+    class Pep%(i)d:
+        def enforce(self, path, context):
+            return True
+
+
+    class Service%(i)d:
+        def __init__(self, adapter: GupAdapter):
+            self.adapter = adapter
+            self.pep = Pep%(i)d()
+
+        def lookup(self, path, context):
+            data = self.adapter.get(path)
+            self.pep.enforce(path, context)
+            return data
+    """
+)
+
+
+def write_tree(root, leaf_count=LEAVES):
+    """An adapter base + *leaf_count* shielded services over it."""
+    pkg = root / "repro"
+    (pkg / "adapters").mkdir(parents=True, exist_ok=True)
+    (pkg / "services").mkdir(parents=True, exist_ok=True)
+    (pkg / "adapters" / "base.py").write_text(_BASE, encoding="utf-8")
+    for index in range(leaf_count):
+        (pkg / "services" / ("svc%d.py" % index)).write_text(
+            _SERVICE % {"i": index}, encoding="utf-8"
+        )
+
+
+def analyze(root, cache) -> Report:
+    report = Analyzer().analyze_paths(
+        [str(root)], cache=cache, collect_stats=True
+    )
+    assert report.stats is not None
+    assert not report.errors
+    return report
+
+
+def test_e17_incremental_analysis(benchmark, report, tmp_path):
+    def run():
+        write_tree(tmp_path)
+        cache = AnalysisCache()
+        runs = []
+
+        cold = analyze(tmp_path, cache)
+        runs.append(("cold (empty cache)", cold))
+
+        warm = analyze(tmp_path, cache)
+        assert warm.stats.modules_analyzed == 0
+        assert warm.stats.cache_hit_rate == 1.0
+        runs.append(("warm (no change)", warm))
+
+        leaf = tmp_path / "repro" / "services" / "svc0.py"
+        leaf.write_text(
+            leaf.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        edit = analyze(tmp_path, cache)
+        edit_ratio = (
+            edit.stats.modules_analyzed
+            / float(edit.stats.modules_total)
+        )
+        assert edit.stats.modules_analyzed >= 1
+        assert edit_ratio < 0.30, edit.stats.render()
+        runs.append(("one body edit", edit))
+
+        base = tmp_path / "repro" / "adapters" / "base.py"
+        base.write_text(
+            _BASE.replace(
+                "def get(self, path):",
+                "def get(self, path, hint=None):",
+            ),
+            encoding="utf-8",
+        )
+        signature = analyze(tmp_path, cache)
+        assert (
+            signature.stats.modules_analyzed
+            == signature.stats.modules_total
+        )
+        runs.append(("interface edit", signature))
+        return runs
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold_ms = runs[0][1].stats.wall_ms
+    rows = []
+    for label, result in runs:
+        stats = result.stats
+        rows.append(
+            (
+                label,
+                "%d/%d" % (stats.modules_analyzed,
+                           stats.modules_total),
+                "%.0f%%" % (100.0 * stats.cache_hit_rate),
+                stats.summaries_computed,
+                stats.wall_ms,
+                (cold_ms / stats.wall_ms) if stats.wall_ms else 0.0,
+            )
+        )
+    report(
+        "e17_analyzer",
+        "E17: gupcheck cold vs incremental (%d-module tree)" % (
+            runs[0][1].stats.modules_total
+        ),
+        ("run", "analyzed", "hit rate", "summaries", "ms", "speedup"),
+        rows,
+        notes=(
+            "Body edits re-analyze only the touched SCC (+dependent\n"
+            "project rules); signature edits roll the interface\n"
+            "fingerprint and re-analyze everything — sound, and the\n"
+            "only case that pays full price."
+        ),
+    )

@@ -41,14 +41,14 @@ def measure_throughput(server, users, n_requests=3000):
         if len(requests) >= n_requests:
             break
     resolved = 0
-    start = time.perf_counter()
+    start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
     for path in requests:
         try:
             server.resolve(path, ctx)
             resolved += 1
         except Exception:
             pass
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # gupcheck: ignore[determinism] -- host-side harness timing
     return resolved / elapsed if elapsed > 0 else float("nan")
 
 

@@ -5,14 +5,19 @@ profile read is mediated by the privacy shield, the simulator is
 deterministic and replayable, layers do not reach around their
 interfaces — are statically checkable. This package is a small,
 reusable AST-visitor framework plus the repo-specific rules that
-encode those invariants (DESIGN.md §4.2):
+encode those invariants (DESIGN.md §4.2–4.3):
 
 ========================  ====================================================
 rule                      invariant protected
 ========================  ====================================================
 ``shield-egress``         context-mediated egress in the server/query/cache
                           layer reaches a privacy-shield check before profile
-                          data flows back to a requester
+                          data flows back to a requester (per-class, v1)
+``shield-egress-ip``      the same invariant *whole-program*: interprocedural
+                          taint from every store/adapter/cache/sync source,
+                          through services/sync/subscription/referral, to
+                          every return/send sink — shield is the only
+                          sanitizer
 ``determinism``           simulated components use the virtual clock and an
                           injected seeded ``random.Random`` — never wall-clock
                           time or the shared module-level ``random`` state
@@ -24,12 +29,26 @@ rule                      invariant protected
                           scope (regression guard for the PR 1 shield bypass)
 ``sim-blocking``          no wall-clock sleeps or blocking I/O inside simnet
                           event handlers
+``sim-race``              two callbacks scheduled at the same virtual
+                          timestamp never mutate the same attribute
+``iter-order``            unordered ``set`` iteration never feeds event
+                          scheduling or result assembly (warning)
+``handler-reentrancy``    scheduled callbacks never re-enter
+                          ``Simulator.run/step/advance`` (whole-program)
 ========================  ====================================================
 
 Run it over the source tree::
 
-    PYTHONPATH=src python -m repro.analysis src/        # human output
-    PYTHONPATH=src python -m repro.analysis --json src/ # machine output
+    PYTHONPATH=src python -m repro.analysis src/          # human output
+    PYTHONPATH=src python -m repro.analysis --json src/   # machine output
+    PYTHONPATH=src python -m repro.analysis --sarif out.sarif src/
+    PYTHONPATH=src python -m repro.analysis --stats src/  # run-shape counters
+
+Whole-program rules run on an incremental cache
+(``.gupcheck-cache.json``): modules whose *deep* content hash (own
+source + transitive import closure + project interface fingerprint)
+is unchanged replay their stored findings and function summaries, so
+a one-file edit re-analyzes only the dirty import/call SCCs.
 
 A violation can be suppressed — with a mandatory justification — by a
 comment on (or immediately above) the offending line::
@@ -37,12 +56,16 @@ comment on (or immediately above) the offending line::
     time.time()  # gupcheck: ignore[determinism] -- wall-clock only in __repr__
 
 Suppressions without a justification, or naming unknown rules, are
-themselves violations.
+themselves violations.  Pre-existing findings can be accepted into a
+baseline file (``--write-baseline`` / ``--baseline``) for gradual
+adoption; the repository ships an empty baseline for ``src/``.
 """
 
 from repro.analysis.framework import (
+    AnalysisStats,
     Analyzer,
     ModuleInfo,
+    ProjectRule,
     Report,
     Rule,
     Violation,
@@ -52,8 +75,10 @@ from repro.analysis.rules import ALL_RULES, default_rules
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisStats",
     "Analyzer",
     "ModuleInfo",
+    "ProjectRule",
     "Report",
     "Rule",
     "Violation",

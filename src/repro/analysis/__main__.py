@@ -1,25 +1,46 @@
 """CLI for gupcheck: ``python -m repro.analysis [paths...]``.
 
-Exit status 0 when the tree is clean (suppressed findings are
-reported but do not fail the run), 1 on violations or parse errors,
-2 on usage errors.
+Exit-code contract (stable for CI):
+
+* ``0`` — clean: no active error-severity findings (warnings,
+  suppressed and baselined findings are reported but do not gate);
+* ``1`` — violations: at least one active error-severity finding;
+* ``2`` — analysis error: unparseable files, unreadable
+  baseline/SARIF destinations, usage errors.
+
+Incremental runs are on by default: results are keyed on content
+hashes in ``.gupcheck-cache.json`` (``--no-cache`` / ``--cache PATH``
+to control).  ``--changed-only`` narrows the scan to files changed
+relative to a git ref; ``--stats`` prints run-shape counters
+(modules, SCCs, cache hit-rate, wall time) to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from typing import IO, List, Optional
 
+from repro.analysis.baseline import (
+    BASELINE_FILENAME, load_baseline, write_baseline,
+)
+from repro.analysis.cache import AnalysisCache, CACHE_FILENAME
 from repro.analysis.framework import Analyzer, Report
 from repro.analysis.rules import default_rules
+
+#: Exit codes (see module docstring).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="gupcheck: GUPster-aware static analysis "
-                    "(privacy-egress, determinism, layering lints)",
+                    "(whole-program privacy-egress taint, simulator "
+                    "soundness, determinism and layering lints)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -30,6 +51,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON report",
     )
     parser.add_argument(
+        "--sarif", nargs="?", const="-", default=None,
+        metavar="PATH",
+        help="emit a SARIF 2.1.0 log to PATH (stdout when no PATH)",
+    )
+    parser.add_argument(
         "--rules", default=None, metavar="NAME[,NAME...]",
         help="comma-separated subset of rules to run",
     )
@@ -37,14 +63,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list available rules and exit",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print run-shape counters (modules, SCCs, cache "
+             "hit-rate, wall time) to stderr",
+    )
+    parser.add_argument(
+        "--changed-only", nargs="?", const="HEAD", default=None,
+        metavar="GIT_REF",
+        help="only scan files changed relative to GIT_REF "
+             "(default HEAD); clean exit when nothing changed",
+    )
+    parser.add_argument(
+        "--cache", default=CACHE_FILENAME, metavar="PATH",
+        help="incremental cache file (default: %s)" % CACHE_FILENAME,
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="accept findings recorded in a baseline file "
+             "(default: %s when present)" % BASELINE_FILENAME,
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline file "
+             "and exit clean",
+    )
     return parser
+
+
+def _changed_files(ref: str, paths: List[str]) -> Optional[List[str]]:
+    """Python files changed vs *ref* (staged+unstaged+committed),
+    restricted to *paths*; None when git is unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", ref,
+             "--"] + list(paths),
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return sorted(
+        line.strip() for line in proc.stdout.splitlines()
+        if line.strip().endswith(".py")
+    )
 
 
 def _render_text(report: Report, out: IO[str]) -> None:
     for violation in report.violations:
-        out.write("%s\n" % violation)
+        marker = (
+            " (warning)" if violation.severity == "warning" else ""
+        )
+        out.write("%s%s\n" % (violation, marker))
     for path, message in report.errors:
         out.write("%s: [parse-error] %s\n" % (path, message))
+    for violation in report.baselined:
+        out.write(
+            "%s:%d: [%s] baselined\n"
+            % (violation.path, violation.line, violation.rule)
+        )
     for violation in report.suppressed:
         out.write(
             "%s:%d: [%s] suppressed -- %s\n"
@@ -52,10 +136,13 @@ def _render_text(report: Report, out: IO[str]) -> None:
                violation.justification)
         )
     out.write(
-        "gupcheck: %d file(s), %d violation(s), %d suppressed — %s\n"
+        "gupcheck: %d file(s), %d violation(s) (%d warning(s)), "
+        "%d baselined, %d suppressed — %s\n"
         % (
             report.files_scanned,
             len(report.violations),
+            len(report.warnings),
+            len(report.baselined),
             len(report.suppressed),
             "OK" if report.ok else "FAIL",
         )
@@ -70,25 +157,110 @@ def main(argv: Optional[List[str]] = None) -> int:
     rules = default_rules()
     if options.list_rules:
         for rule in rules:
-            sys.stdout.write("%-20s %s\n" % (rule.name, rule.description))
-        return 0
+            sys.stdout.write(
+                "%-20s [%s] %s\n"
+                % (rule.name, rule.severity, rule.description)
+            )
+        return EXIT_CLEAN
     if options.rules:
         wanted = {name.strip() for name in options.rules.split(",")
                   if name.strip()}
         unknown = wanted - {rule.name for rule in rules}
         if unknown:
-            parser.error(
-                "unknown rule(s): %s" % ", ".join(sorted(unknown))
+            sys.stderr.write(
+                "gupcheck: unknown rule(s): %s\n"
+                % ", ".join(sorted(unknown))
             )
+            return EXIT_ERROR
         rules = [rule for rule in rules if rule.name in wanted]
 
+    paths = list(options.paths)
+    if options.changed_only is not None:
+        changed = _changed_files(options.changed_only, paths)
+        if changed is None:
+            sys.stderr.write(
+                "gupcheck: --changed-only requires git; "
+                "falling back to a full scan\n"
+            )
+        elif not changed:
+            sys.stdout.write(
+                "gupcheck: no python files changed vs %s — OK\n"
+                % options.changed_only
+            )
+            return EXIT_CLEAN
+        else:
+            paths = changed
+
+    cache: Optional[AnalysisCache] = None
+    if not options.no_cache:
+        cache = AnalysisCache.load(options.cache)
+
     analyzer = Analyzer(rules)
-    report = analyzer.analyze_paths(options.paths)
+    try:
+        report = analyzer.analyze_paths(
+            paths, cache=cache,
+            collect_stats=options.stats,
+        )
+    except (OSError, RecursionError) as err:
+        sys.stderr.write("gupcheck: analysis error: %s\n" % err)
+        return EXIT_ERROR
+
+    if cache is not None:
+        try:
+            cache.save(options.cache)
+        except OSError as err:
+            sys.stderr.write(
+                "gupcheck: could not write cache %s: %s\n"
+                % (options.cache, err)
+            )
+
+    baseline_path = options.baseline or BASELINE_FILENAME
+    if options.write_baseline:
+        try:
+            count = write_baseline(baseline_path, report)
+        except OSError as err:
+            sys.stderr.write(
+                "gupcheck: could not write baseline %s: %s\n"
+                % (baseline_path, err)
+            )
+            return EXIT_ERROR
+        sys.stdout.write(
+            "gupcheck: baseline %s written (%d finding(s))\n"
+            % (baseline_path, count)
+        )
+        return EXIT_CLEAN
+    if not options.no_baseline:
+        report.apply_baseline(load_baseline(baseline_path))
+
+    if options.sarif is not None:
+        from repro.analysis.sarif import to_sarif_json
+
+        text = to_sarif_json(report, rules)
+        if options.sarif == "-":
+            sys.stdout.write(text)
+        else:
+            try:
+                with open(options.sarif, "w",
+                          encoding="utf-8") as handle:
+                    handle.write(text)
+            except OSError as err:
+                sys.stderr.write(
+                    "gupcheck: could not write SARIF %s: %s\n"
+                    % (options.sarif, err)
+                )
+                return EXIT_ERROR
+
     if options.as_json:
         sys.stdout.write(report.to_json() + "\n")
-    else:
+    elif options.sarif != "-":
         _render_text(report, sys.stdout)
-    return 0 if report.ok else 1
+
+    if options.stats and report.stats is not None:
+        sys.stderr.write(report.stats.render() + "\n")
+
+    if report.errors:
+        return EXIT_ERROR
+    return EXIT_CLEAN if not report.failing else EXIT_VIOLATIONS
 
 
 if __name__ == "__main__":

@@ -1,0 +1,77 @@
+"""Baseline file for gradual adoption (``.gupcheck-baseline.json``).
+
+A baseline is the set of *known* findings a codebase has accepted —
+new rules can land gating immediately while pre-existing findings are
+ratcheted down over time instead of blocking every run.  Entries are
+keyed by the violation fingerprint (``sha1(rule|path|message)``), so
+they survive unrelated edits (line drift) but expire as soon as the
+finding itself changes or disappears.
+
+The repository ships an **empty** baseline for ``src/`` — CI asserts
+this, so the whole-program rules stay at zero findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.framework import Report
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BASELINE_VERSION",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+BASELINE_FILENAME = ".gupcheck-baseline.json"
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> List[str]:
+    """Accepted fingerprints from *path*; missing/invalid -> empty."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(raw, dict) or raw.get(
+        "gupcheck_baseline"
+    ) != BASELINE_VERSION:
+        return []
+    entries = raw.get("findings")
+    if not isinstance(entries, dict):
+        return []
+    return sorted(entries)
+
+
+def render_baseline(report: Report) -> str:
+    """Baseline JSON accepting every *active* finding in *report*.
+
+    Already-baselined findings are carried forward so re-running
+    ``--write-baseline`` is idempotent."""
+    findings: Dict[str, Dict[str, object]] = {}
+    for violation in list(report.violations) + list(
+        report.baselined
+    ):
+        findings[violation.fingerprint()] = {
+            "rule": violation.rule,
+            "path": violation.path,
+            "message": violation.message,
+            "severity": violation.severity,
+        }
+    payload = {
+        "gupcheck_baseline": BASELINE_VERSION,
+        "findings": findings,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str, report: Report) -> int:
+    """Write the baseline for *report*; returns the entry count."""
+    text = render_baseline(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return len(json.loads(text)["findings"])

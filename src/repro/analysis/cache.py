@@ -1,0 +1,135 @@
+"""Incremental analysis cache (``.gupcheck-cache.json``).
+
+Two keyspaces, matching the analyzer's two phases:
+
+* **modules** — intra-module findings keyed on the module's own
+  content sha; any edit to the file invalidates only that file.
+* **project** — whole-program findings *and* the module's
+  interprocedural function summaries, keyed on the module's *deep*
+  sha (own source + transitive import closure + project interface
+  fingerprint).  After a one-file edit, modules outside the edited
+  file's import cone replay their stored findings and preload their
+  summaries, so the taint fixpoint only re-runs dirty SCCs.
+
+The cache file is plain JSON so CI can store/restore it as an
+artifact; a version bump or unreadable file silently degrades to a
+cold run — the cache is an accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.framework import Violation
+
+__all__ = ["AnalysisCache", "CACHE_FILENAME", "CACHE_VERSION"]
+
+CACHE_FILENAME = ".gupcheck-cache.json"
+CACHE_VERSION = 1
+
+
+class AnalysisCache:
+    """Load/lookup/store for the incremental analysis cache."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, Dict[str, Any]] = {}
+        self._project: Dict[str, Dict[str, Any]] = {}
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "AnalysisCache":
+        """Read a cache file; any problem yields an empty cache."""
+        cache = cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(raw, dict) or raw.get(
+            "gupcheck_cache"
+        ) != CACHE_VERSION:
+            return cache
+        modules = raw.get("modules")
+        if isinstance(modules, dict):
+            for relpath, entry in modules.items():
+                if isinstance(entry, dict) and "sha" in entry:
+                    cache._modules[str(relpath)] = entry
+        project = raw.get("project")
+        if isinstance(project, dict):
+            for relpath, entry in project.items():
+                if isinstance(entry, dict) and "deep" in entry:
+                    cache._project[str(relpath)] = entry
+        return cache
+
+    def save(self, path: str) -> None:
+        payload = {
+            "gupcheck_cache": CACHE_VERSION,
+            "modules": self._modules,
+            "project": self._project,
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    # -- phase 1: intra-module ------------------------------------------
+
+    def module_results(
+        self, relpath: str, sha: str
+    ) -> Optional[List[Violation]]:
+        entry = self._modules.get(relpath)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        try:
+            return [
+                Violation.from_dict(raw)
+                for raw in entry.get("violations", [])
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_module_results(
+        self, relpath: str, sha: str,
+        violations: List[Violation],
+    ) -> None:
+        self._modules[relpath] = {
+            "sha": sha,
+            "violations": [v.to_dict() for v in violations],
+        }
+
+    # -- phase 2: whole-program -----------------------------------------
+
+    def project_results(
+        self, relpath: str, deep_sha: str
+    ) -> Optional[Tuple[List[Violation], Dict[str, Any]]]:
+        entry = self._project.get(relpath)
+        if entry is None or entry.get("deep") != deep_sha:
+            return None
+        summaries = entry.get("summaries")
+        if not isinstance(summaries, dict):
+            return None
+        try:
+            violations = [
+                Violation.from_dict(raw)
+                for raw in entry.get("violations", [])
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+        return violations, summaries
+
+    def store_project_results(
+        self,
+        relpath: str,
+        deep_sha: str,
+        violations: List[Violation],
+        summaries: Dict[str, Any],
+    ) -> None:
+        self._project[relpath] = {
+            "deep": deep_sha,
+            "violations": [v.to_dict() for v in violations],
+            "summaries": summaries,
+        }

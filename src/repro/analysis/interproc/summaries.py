@@ -1,0 +1,145 @@
+"""Per-function taint summaries.
+
+A :class:`Summary` abstracts one project function for interprocedural
+reasoning.  Taint *labels* are strings: ``"src"`` marks raw profile
+data obtained from a store/adapter/cache/sync-endpoint source, and
+``"p<i>"`` marks the value of parameter ``i`` (``self`` is parameter 0
+for methods).  The summary records which labels survive to the return
+value after sanitizer kills — composing summaries along call edges
+gives transitive flows without re-walking callee bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+__all__ = ["SOURCE_LABEL", "Summary"]
+
+#: Label carried by raw (unshielded) profile data.
+SOURCE_LABEL = "src"
+
+
+class Summary:
+    """What one function does with taint, seen from its callers."""
+
+    __slots__ = ("qualname", "relpath", "returns_source",
+                 "param_flows", "sanitizes", "guards",
+                 "tainted_return_lines", "egress_sends",
+                 "reaches_sim_run")
+
+    def __init__(
+        self,
+        qualname: str,
+        relpath: str,
+        returns_source: bool = False,
+        param_flows: FrozenSet[int] = frozenset(),
+        sanitizes: bool = False,
+        guards: bool = False,
+        tainted_return_lines: Tuple[int, ...] = (),
+        egress_sends: Tuple[Tuple[int, int, str], ...] = (),
+        reaches_sim_run: bool = False,
+    ) -> None:
+        self.qualname = qualname
+        self.relpath = relpath
+        #: Return value may carry raw source data (``src`` label).
+        self.returns_source = returns_source
+        #: Parameter indices whose value may flow to the return
+        #: unsanitized (``self`` is index 0 for methods).
+        self.param_flows = param_flows
+        #: The function is a privacy-shield sanitizer: its result is
+        #: clean regardless of argument taint.
+        self.sanitizes = sanitizes
+        #: The function performs a shield *guard* — a check-style
+        #: ``enforce`` call that raises on deny (GUPster's dominant
+        #: idiom: enforce the policy, then release the data).  A
+        #: caller is considered shield-mediated after the call.
+        self.guards = guards
+        #: Lines of ``return`` statements whose value carries ``src``.
+        self.tainted_return_lines = tainted_return_lines
+        #: ``(line, col, sink-name)`` of ``src``-tainted arguments
+        #: handed to network-style send sinks inside this function.
+        self.egress_sends = egress_sends
+        #: Function transitively calls ``Simulator.run/step/advance``.
+        self.reaches_sim_run = reaches_sim_run
+
+    # -- equality drives the fixpoint ----------------------------------
+
+    def _key(self) -> Tuple[Any, ...]:
+        return (
+            self.returns_source, self.param_flows, self.sanitizes,
+            self.guards, self.tainted_return_lines,
+            self.egress_sends, self.reaches_sim_run,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Summary):
+            return NotImplemented
+        return (
+            self.qualname == other.qualname
+            and self._key() == other._key()
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return eq
+        return not eq
+
+    def __hash__(self) -> int:
+        return hash((self.qualname,) + self._key())
+
+    def __repr__(self) -> str:
+        bits: List[str] = []
+        if self.returns_source:
+            bits.append("returns-src")
+        if self.param_flows:
+            bits.append(
+                "flows=%s" % ",".join(
+                    "p%d" % i for i in sorted(self.param_flows)
+                )
+            )
+        if self.sanitizes:
+            bits.append("sanitizes")
+        if self.guards:
+            bits.append("guards")
+        if self.reaches_sim_run:
+            bits.append("reaches-sim-run")
+        return "<Summary %s %s>" % (
+            self.qualname, " ".join(bits) or "clean",
+        )
+
+    # -- (de)serialization for the incremental cache -------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "relpath": self.relpath,
+            "returns_source": self.returns_source,
+            "param_flows": sorted(self.param_flows),
+            "sanitizes": self.sanitizes,
+            "guards": self.guards,
+            "tainted_return_lines": list(self.tainted_return_lines),
+            "egress_sends": [list(e) for e in self.egress_sends],
+            "reaches_sim_run": self.reaches_sim_run,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "Summary":
+        return cls(
+            qualname=str(raw["qualname"]),
+            relpath=str(raw["relpath"]),
+            returns_source=bool(raw.get("returns_source", False)),
+            param_flows=frozenset(
+                int(i) for i in raw.get("param_flows", ())
+            ),
+            sanitizes=bool(raw.get("sanitizes", False)),
+            guards=bool(raw.get("guards", False)),
+            tainted_return_lines=tuple(
+                int(n) for n in raw.get("tainted_return_lines", ())
+            ),
+            egress_sends=tuple(
+                (int(e[0]), int(e[1]), str(e[2]))
+                for e in raw.get("egress_sends", ())
+            ),
+            reaches_sim_run=bool(raw.get("reaches_sim_run", False)),
+        )

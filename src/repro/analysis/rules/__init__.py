@@ -1,4 +1,11 @@
-"""The repo-specific gupcheck rules (one module per rule)."""
+"""The repo-specific gupcheck rules (one module per rule).
+
+Intra-module rules see one :class:`~repro.analysis.framework.ModuleInfo`
+at a time; whole-program rules (``shield-egress-ip``,
+``handler-reentrancy``) subclass
+:class:`~repro.analysis.framework.ProjectRule` and run on the
+project IR with interprocedural taint summaries.
+"""
 
 from __future__ import annotations
 
@@ -8,18 +15,30 @@ from repro.analysis.framework import Rule
 from repro.analysis.rules.cache_scope import CacheKeyScopeRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionTotalityRule
+from repro.analysis.rules.handler_reentrancy import (
+    HandlerReentrancyRule,
+)
+from repro.analysis.rules.iter_order import IterOrderRule
 from repro.analysis.rules.layering import LayeringRule
 from repro.analysis.rules.shield_egress import ShieldEgressRule
+from repro.analysis.rules.shield_egress_ip import (
+    ShieldEgressInterprocRule,
+)
 from repro.analysis.rules.sim_blocking import SimBlockingRule
+from repro.analysis.rules.sim_race import SimRaceRule
 
 #: Rule classes in report order.
 ALL_RULES = (
     ShieldEgressRule,
+    ShieldEgressInterprocRule,
     DeterminismRule,
     LayeringRule,
     ExceptionTotalityRule,
     CacheKeyScopeRule,
     SimBlockingRule,
+    SimRaceRule,
+    IterOrderRule,
+    HandlerReentrancyRule,
 )
 
 __all__ = [
@@ -27,9 +46,13 @@ __all__ = [
     "CacheKeyScopeRule",
     "DeterminismRule",
     "ExceptionTotalityRule",
+    "HandlerReentrancyRule",
+    "IterOrderRule",
     "LayeringRule",
+    "ShieldEgressInterprocRule",
     "ShieldEgressRule",
     "SimBlockingRule",
+    "SimRaceRule",
     "default_rules",
 ]
 

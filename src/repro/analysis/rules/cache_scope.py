@@ -6,9 +6,10 @@ requester A can never satisfy requester B (core/cache.py docstring,
 PR 1 regression). A single ``cache.put(path, fragment, now)`` call
 without a ``scope=`` quietly recreates the shield bypass: the entry
 lands in the anonymous scope and leaks to whoever asks next. This rule
-makes that bug structurally impossible to reintroduce in ``core/`` and
-``services/``: every ``get``/``get_stale``/``put`` on a cache-like
-receiver must pass an explicit, non-empty ``scope``.
+makes that bug structurally impossible to reintroduce in ``core/``,
+``services/``, ``tests/`` and ``benchmarks/``: every
+``get``/``get_stale``/``put`` on a cache-like receiver must pass an
+explicit, non-empty ``scope``.
 
 ``invalidate``/``clear`` are deliberately exempt — update triggers must
 drop *every* scope's slice of a changed component.
@@ -50,7 +51,9 @@ class CacheKeyScopeRule(Rule):
         "cache get/get_stale/put calls in core/ and services/ pass an "
         "explicit non-empty requester scope"
     )
-    prefixes = ("repro/core/", "repro/services/")
+    prefixes = (
+        "repro/core/", "repro/services/", "tests/", "benchmarks/",
+    )
 
     def check(self, module: ModuleInfo) -> List[Violation]:
         found: List[Violation] = []

@@ -8,6 +8,13 @@ module-level ``random`` state (``random.random()``, seeding hidden
 global state) silently couples results to the machine and the import
 order. Virtual time comes from the :class:`~repro.simnet.Simulator`
 clock; randomness from an injected, seeded ``random.Random``.
+
+The rule also covers ``tests/`` and ``benchmarks/``: a test or a
+benchmark that consults the wall-clock or shared RNG is flaky in
+exactly the same way the simulated code would be.  Legitimate
+wall-clock uses there (measuring the *harness's own* elapsed time)
+carry a ``gupcheck: ignore[determinism]`` suppression with a
+justification.
 """
 
 from __future__ import annotations
@@ -40,7 +47,10 @@ class DeterminismRule(Rule):
         "seeded random.Random, never wall-clock time or module-level "
         "random state"
     )
-    prefixes = ("repro/simnet/", "repro/core/", "repro/workloads/")
+    prefixes = (
+        "repro/simnet/", "repro/core/", "repro/workloads/",
+        "tests/", "benchmarks/",
+    )
 
     def check(self, module: ModuleInfo) -> List[Violation]:
         found: List[Violation] = []

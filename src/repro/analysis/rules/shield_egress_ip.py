@@ -1,0 +1,74 @@
+"""shield-egress-ip: whole-program privacy-shield egress tracking.
+
+The v1 ``shield-egress`` rule proves the shield invariant per class
+inside ``core/server|query|cache``.  This rule ports it onto the
+interprocedural taint engine so raw profile data is tracked from every
+store/adapter/cache/sync source, through any number of helper calls
+across ``services/``, ``sync/``, ``core/subscription.py`` and
+``core/referral.py``, to the egress surface: any function that serves
+a :class:`~repro.access.context.RequestContext` (PAPER §5.2 — *every*
+egress passes the shield).
+
+A violation means a context-taking function can return (or hand to a
+network send sink) data carrying the ``src`` taint label with no
+``enforce`` / ``_shield_cached`` call on the path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.analysis.framework import (
+    ModuleInfo, ProjectRule, Violation,
+)
+from repro.analysis.interproc.taint import takes_request_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.ir.project import Project
+
+__all__ = ["ShieldEgressInterprocRule"]
+
+
+class ShieldEgressInterprocRule(ProjectRule):
+    """Whole-program shield-egress: interprocedural taint from
+    every profile-data source to return/send sinks, with the
+    privacy shield as the only sanitizer."""
+
+    name = "shield-egress-ip"
+    description = (
+        "every profile egress serving a RequestContext must pass "
+        "the privacy shield (whole-program taint)"
+    )
+    prefixes = ("repro/",)
+    severity = "error"
+
+    def check_module(self, project: "Project",
+                     module: ModuleInfo) -> List[Violation]:
+        pmodule = project.by_relpath.get(module.relpath)
+        if pmodule is None:  # pragma: no cover - defensive
+            return []
+        engine = project.taint
+        found: List[Violation] = []
+        for fn in pmodule.symbols.all_functions():
+            summary = engine.summary_of(fn.qualname)
+            if summary is None or summary.sanitizes:
+                continue
+            for line, col, sink in summary.egress_sends:
+                found.append(Violation(
+                    self.name, module.relpath, line, col,
+                    "%s hands raw profile data to network sink "
+                    "'%s' without passing the privacy shield"
+                    % (fn.qualname, sink),
+                    severity=self.severity,
+                ))
+            if not takes_request_context(fn):
+                continue
+            for line in summary.tainted_return_lines:
+                found.append(Violation(
+                    self.name, module.relpath, line, 0,
+                    "%s serves a RequestContext but returns raw "
+                    "profile data that never passed the privacy "
+                    "shield (pep.enforce)" % fn.qualname,
+                    severity=self.severity,
+                ))
+        return found

@@ -19,10 +19,16 @@ function of change rate — the shape that justifies anchors.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.errors import SyncError
+from repro.pxml import PNode
 from repro.sync.endpoint import Change, SyncEndpoint
 from repro.sync.reconcile import Conflict, Reconciler
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.access.context import RequestContext
+    from repro.access.infrastructure import PolicyEnforcementPoint
 
 __all__ = ["SyncReport", "SyncSession"]
 
@@ -39,6 +45,9 @@ class SyncReport:
         self.bytes = 0
         self.sent_to_server = 0
         self.sent_to_client = 0
+        #: Items the privacy shield refused to release to the device
+        #: this run (shield-mediated sessions only).
+        self.withheld = 0
         self.conflicts: List[Conflict] = []
 
     def add_message(self, payload_bytes: int) -> None:
@@ -48,27 +57,56 @@ class SyncReport:
     def __repr__(self) -> str:
         return (
             "<SyncReport %s: %d msgs, %d B, c->s %d, s->c %d, "
-            "%d conflicts>"
+            "%d withheld, %d conflicts>"
             % (self.mode, self.messages, self.bytes,
                self.sent_to_server, self.sent_to_client,
-               len(self.conflicts))
+               self.withheld, len(self.conflicts))
         )
 
 
 class SyncSession:
-    """A persistent pairing of two endpoints (device <-> network)."""
+    """A persistent pairing of two endpoints (device <-> network).
+
+    A session may be **shield-mediated**: when *owner*, *pep* and
+    *context* are given, every item the network side would push down
+    to the device first passes the privacy shield
+    (``pep.enforce``) under the device's :class:`RequestContext`.
+    Denied items are withheld — never serialized toward the client,
+    never counted in the wire bytes — and tallied in
+    :attr:`SyncReport.withheld`.  The device-to-network direction is
+    an upload of the device's own data and is not shield-filtered.
+
+    Sessions built without a shield (the E8 transport benchmarks, or
+    two replicas inside one trust domain) behave exactly as before.
+    """
 
     def __init__(
         self,
         client: SyncEndpoint,
         server: SyncEndpoint,
         reconciler: Optional[Reconciler] = None,
+        owner: Optional[str] = None,
+        pep: Optional["PolicyEnforcementPoint"] = None,
+        context: Optional["RequestContext"] = None,
     ):
+        if pep is not None and (owner is None or context is None):
+            raise SyncError(
+                "shield-mediated sync needs owner, pep and context"
+            )
         self.client = client
         self.server = server
         self.reconciler = (
             reconciler if reconciler is not None else Reconciler()
         )
+        #: Profile owner whose component this session replicates
+        #: (shield-mediated sessions only).
+        self.owner = owner
+        self.pep = pep
+        self.context = context
+        #: Total items withheld by the shield across all runs.
+        self.withheld = 0
+        # Per-run memo of shield decisions, item_id -> permit.
+        self._decisions: Dict[str, bool] = {}
         # Anchors per SyncML: both sides remember the last agreed tag.
         self._client_anchor: Optional[str] = None
         self._server_anchor: Optional[str] = None
@@ -77,6 +115,34 @@ class SyncSession:
         self._client_mark = 0
         self._server_mark = 0
         self._ever_synced = False
+
+    # -- privacy shield ---------------------------------------------------------
+
+    @property
+    def shielded(self) -> bool:
+        """True when network-to-device flow is shield-mediated."""
+        return self.pep is not None
+
+    def _item_path(self, item_id: str) -> str:
+        return "/user[@id='%s']/%s/%s[@id='%s']" % (
+            self.owner, self.server.component,
+            self.server.item_tag, item_id,
+        )
+
+    def _permits(self, item_id: str) -> bool:
+        """Shield verdict for releasing *item_id* to the device,
+        memoized per run so fast- and slow-sync paths agree and each
+        withheld item is counted once."""
+        if self.pep is None or self.context is None:
+            return True
+        cached = self._decisions.get(item_id)
+        if cached is None:
+            decision = self.pep.enforce(
+                self._item_path(item_id), self.context
+            )
+            cached = bool(decision.permit)
+            self._decisions[item_id] = cached
+        return cached
 
     # -- anchor management ------------------------------------------------------
 
@@ -97,10 +163,15 @@ class SyncSession:
         """One two-way synchronization. Chooses fast or slow sync by
         the anchor comparison, applies changes both ways, reconciles
         conflicts, and rolls the anchors forward."""
+        self._decisions = {}
         if self.anchors_match:
             report = self._fast_sync(now)
         else:
             report = self._slow_sync(now)
+        report.withheld = sum(
+            1 for permit in self._decisions.values() if not permit
+        )
+        self.withheld += report.withheld
         self._sync_count += 1
         anchor = "a%d" % self._sync_count
         self._client_anchor = anchor
@@ -130,9 +201,10 @@ class SyncSession:
         report = SyncReport("slow")
         report.add_message(32)  # alert: anchors mismatch -> slow
         report.add_message(32)
-        # Both sides ship their full databases.
+        # Both sides ship their full databases — the server side only
+        # its shield-released slice when the session is mediated.
         client_snapshot = self.client.snapshot()
-        server_snapshot = self.server.snapshot()
+        server_snapshot = self._released_server_snapshot()
         report.add_message(client_snapshot.byte_size())
         report.add_message(server_snapshot.byte_size())
         # Synthesize changes from the snapshot diff, then reuse the
@@ -155,6 +227,20 @@ class SyncSession:
         )
         report.add_message(16)
         return report
+
+    def _released_server_snapshot(self) -> PNode:
+        """The server database as serialized toward the device: the
+        full snapshot for unshielded sessions, otherwise only the
+        items the privacy shield releases."""
+        if not self.shielded:
+            return self.server.snapshot()
+        root = PNode(self.server.component)
+        for item_id in self.server.item_ids():
+            if self._permits(item_id):
+                item = self.server.item(item_id)
+                if item is not None:
+                    root.append(item)
+        return root
 
     # -- shared exchange logic -------------------------------------------------------
 
@@ -194,6 +280,13 @@ class SyncSession:
         for change in server_changes:
             if change.item_id not in conflict_ids:
                 to_client.append(change)
+
+        # Privacy shield on the network->device direction: items the
+        # device's context may not see never reach the wire.
+        to_client = [
+            change for change in to_client
+            if self._permits(change.item_id)
+        ]
 
         if to_server:
             report.add_message(

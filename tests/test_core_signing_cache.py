@@ -8,6 +8,9 @@ from repro.pxml import PNode
 
 
 PATH = "/user[@id='arnaud']/presence"
+#: Requester scope for the cache-mechanics tests: a single
+#: implicit requester, made explicit for cache-key-scope.
+SCOPE = "hss.test|self"
 
 
 class TestSigning:
@@ -65,65 +68,65 @@ def fragment(text="available"):
 class TestComponentCache:
     def test_miss_then_hit(self):
         cache = ComponentCache(capacity=4, default_ttl_ms=1000)
-        assert cache.get(PATH, now=0) is None
-        cache.put(PATH, fragment(), now=0)
-        hit = cache.get(PATH, now=500)
+        assert cache.get(PATH, now=0, scope=SCOPE) is None
+        cache.put(PATH, fragment(), now=0, scope=SCOPE)
+        hit = cache.get(PATH, now=500, scope=SCOPE)
         assert hit is not None
         assert cache.hits == 1 and cache.misses == 1
 
     def test_ttl_expiry(self):
         cache = ComponentCache(capacity=4, default_ttl_ms=1000)
-        cache.put(PATH, fragment(), now=0)
-        assert cache.get(PATH, now=999) is not None
-        assert cache.get(PATH, now=2000) is None
+        cache.put(PATH, fragment(), now=0, scope=SCOPE)
+        assert cache.get(PATH, now=999, scope=SCOPE) is not None
+        assert cache.get(PATH, now=2000, scope=SCOPE) is None
         assert cache.expirations == 1
 
     def test_per_entry_ttl_overrides_default(self):
         cache = ComponentCache(capacity=4, default_ttl_ms=1000)
-        cache.put(PATH, fragment(), now=0, ttl_ms=10)
-        assert cache.get(PATH, now=50) is None
+        cache.put(PATH, fragment(), now=0, ttl_ms=10, scope=SCOPE)
+        assert cache.get(PATH, now=50, scope=SCOPE) is None
 
     def test_lru_eviction(self):
         cache = ComponentCache(capacity=2, default_ttl_ms=1e9)
-        cache.put("/user[@id='a']/presence", fragment(), now=0)
-        cache.put("/user[@id='b']/presence", fragment(), now=1)
-        cache.get("/user[@id='a']/presence", now=2)  # refresh a
-        cache.put("/user[@id='c']/presence", fragment(), now=3)
-        assert cache.get("/user[@id='b']/presence", now=4) is None
-        assert cache.get("/user[@id='a']/presence", now=4) is not None
+        cache.put("/user[@id='a']/presence", fragment(), now=0, scope=SCOPE)
+        cache.put("/user[@id='b']/presence", fragment(), now=1, scope=SCOPE)
+        cache.get("/user[@id='a']/presence", now=2, scope=SCOPE)  # refresh a
+        cache.put("/user[@id='c']/presence", fragment(), now=3, scope=SCOPE)
+        assert cache.get("/user[@id='b']/presence", now=4, scope=SCOPE) is None
+        assert cache.get("/user[@id='a']/presence", now=4, scope=SCOPE) is not None
         assert cache.evictions == 1
 
     def test_returned_fragment_is_a_copy(self):
         cache = ComponentCache()
-        cache.put(PATH, fragment(), now=0)
-        first = cache.get(PATH, now=1)
+        cache.put(PATH, fragment(), now=0, scope=SCOPE)
+        first = cache.get(PATH, now=1, scope=SCOPE)
         first.child("presence").child("status").text = "tampered"
-        second = cache.get(PATH, now=2)
+        second = cache.get(PATH, now=2, scope=SCOPE)
         assert second.child("presence").child("status").text == (
             "available"
         )
 
     def test_invalidation_trigger_drops_overlapping(self):
         cache = ComponentCache()
-        cache.put(PATH, fragment(), now=0)
-        cache.put("/user[@id='arnaud']/calendar", fragment(), now=0)
+        cache.put(PATH, fragment(), now=0, scope=SCOPE)
+        cache.put("/user[@id='arnaud']/calendar", fragment(), now=0, scope=SCOPE)
         dropped = cache.invalidate("/user[@id='arnaud']/presence/status")
         assert dropped == 1
-        assert cache.get(PATH, now=1) is None
-        assert cache.get("/user[@id='arnaud']/calendar", now=1) is not None
+        assert cache.get(PATH, now=1, scope=SCOPE) is None
+        assert cache.get("/user[@id='arnaud']/calendar", now=1, scope=SCOPE) is not None
 
     def test_invalidation_respects_users(self):
         cache = ComponentCache()
-        cache.put("/user[@id='a']/presence", fragment(), now=0)
-        cache.put("/user[@id='b']/presence", fragment(), now=0)
+        cache.put("/user[@id='a']/presence", fragment(), now=0, scope=SCOPE)
+        cache.put("/user[@id='b']/presence", fragment(), now=0, scope=SCOPE)
         cache.invalidate("/user[@id='a']/presence")
-        assert cache.get("/user[@id='b']/presence", now=1) is not None
+        assert cache.get("/user[@id='b']/presence", now=1, scope=SCOPE) is not None
 
     def test_hit_rate(self):
         cache = ComponentCache()
-        cache.put(PATH, fragment(), now=0)
-        cache.get(PATH, now=1)
-        cache.get("/user[@id='x']/presence", now=1)
+        cache.put(PATH, fragment(), now=0, scope=SCOPE)
+        cache.get(PATH, now=1, scope=SCOPE)
+        cache.get("/user[@id='x']/presence", now=1, scope=SCOPE)
         assert cache.hit_rate == pytest.approx(0.5)
 
     def test_capacity_validation(self):
@@ -132,7 +135,7 @@ class TestComponentCache:
 
     def test_clear_and_len(self):
         cache = ComponentCache()
-        cache.put(PATH, fragment(), now=0)
+        cache.put(PATH, fragment(), now=0, scope=SCOPE)
         assert len(cache) == 1
         cache.clear()
         assert len(cache) == 0

@@ -714,20 +714,23 @@ class TestReportSchema:
     def test_json_schema(self, tmp_path):
         report = self._report(tmp_path)
         data = json.loads(report.to_json())
-        assert data["gupcheck"] == 1
+        assert data["gupcheck"] == 2
         assert data["ok"] is False
         assert data["files_scanned"] == 1
         assert set(data["rules"]) == {
             rule_class.name for rule_class in ALL_RULES
         }
         assert data["suppressed"] == []
+        assert data["baselined"] == []
         assert data["errors"] == []
         assert len(data["violations"]) >= 2
         for violation in data["violations"]:
             assert set(violation) == {
-                "rule", "path", "line", "col", "message"
+                "rule", "path", "line", "col", "message",
+                "severity", "fingerprint",
             }
             assert isinstance(violation["line"], int)
+            assert violation["severity"] in ("error", "warning")
             assert violation["path"] == "repro/simnet/busy.py"
         rules_hit = {v["rule"] for v in data["violations"]}
         assert {"determinism", "sim-blocking"} <= rules_hit

@@ -1,0 +1,911 @@
+"""gupcheck v2 (whole-program) tests: project IR + call graph
+construction (adapter dispatch, SCC cycles), interprocedural taint
+summaries (sanitizer kill, guard idiom, transitive egress), the
+simulator soundness rules (sim-race, iter-order, handler-reentrancy),
+the incremental cache (invalidation on edit, <30%% re-analysis after a
+one-file change), SARIF output shape, and baseline round-trips."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import Analyzer, check_source, default_rules
+from repro.analysis.baseline import (
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.interproc.summaries import Summary
+from repro.analysis.ir.callgraph import CallGraph
+from repro.analysis.ir.project import (
+    Project,
+    module_name_for,
+    tarjan_sccs,
+)
+from repro.analysis.rules import (
+    HandlerReentrancyRule,
+    IterOrderRule,
+    ShieldEgressInterprocRule,
+    SimRaceRule,
+)
+from repro.analysis.sarif import to_sarif, to_sarif_json
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+
+def dedent(source):
+    return textwrap.dedent(source).lstrip("\n")
+
+
+# ---------------------------------------------------------------------------
+# shared fixture project: an adapter family + services over it
+# ---------------------------------------------------------------------------
+
+ADAPTER_BASE = dedent(
+    """
+    class GupAdapter:
+        def get(self, path, context=None):
+            raise NotImplementedError
+
+        def export_user(self, user):
+            raise NotImplementedError
+    """
+)
+
+ADAPTER_HLR = dedent(
+    """
+    from repro.adapters.base import GupAdapter
+
+
+    class HlrAdapter(GupAdapter):
+        def get(self, path, context=None):
+            return {"msisdn": path}
+    """
+)
+
+SERVICES = dedent(
+    """
+    from repro.adapters.base import GupAdapter
+    from repro.adapters.hlr import HlrAdapter
+
+
+    class Pep:
+        def enforce(self, path, context):
+            return True
+
+
+    def fetch_raw(adapter: GupAdapter, path):
+        return adapter.get(path)
+
+
+    class LeakyService:
+        def __init__(self):
+            self.adapter = HlrAdapter()
+
+        def lookup(self, path, context):
+            data = self.adapter.get(path)
+            return data
+
+
+    class SafeService:
+        def __init__(self):
+            self.adapter = HlrAdapter()
+            self.pep = Pep()
+
+        def lookup(self, path, context):
+            data = self.adapter.get(path)
+            self.pep.enforce(path, context)
+            return data
+
+
+    class ChainedService:
+        def __init__(self):
+            self.adapter = HlrAdapter()
+
+        def lookup(self, path, context):
+            return fetch_raw(self.adapter, path)
+    """
+)
+
+
+def project():
+    return Project.from_sources({
+        "repro/adapters/base.py": ADAPTER_BASE,
+        "repro/adapters/hlr.py": ADAPTER_HLR,
+        "repro/services/mix.py": SERVICES,
+    })
+
+
+# ---------------------------------------------------------------------------
+# project IR: module naming, import SCCs, deep hashes
+# ---------------------------------------------------------------------------
+
+class TestProjectIR:
+    def test_module_name_for(self):
+        assert module_name_for("repro/core/server.py") == (
+            "repro.core.server"
+        )
+        assert module_name_for("repro/core/__init__.py") == "repro.core"
+
+    def test_tarjan_orders_dependencies_first(self):
+        graph = {"a": ["b"], "b": ["c"], "c": []}
+        sccs = tarjan_sccs(sorted(graph), lambda n: graph[n])
+        assert sccs == [("c",), ("b",), ("a",)]
+
+    def test_import_cycle_lands_in_one_scc(self):
+        proj = Project.from_sources({
+            "repro/a.py": "import repro.b\nX = 1\n",
+            "repro/b.py": "import repro.a\nY = 2\n",
+            "repro/c.py": "Z = 3\n",
+        })
+        cycles = [scc for scc in proj.import_sccs if len(scc) > 1]
+        assert cycles == [("repro.a", "repro.b")]
+
+    def test_deep_sha_tracks_dependencies(self):
+        before = project().deep_sha("repro/services/mix.py")
+        changed = Project.from_sources({
+            "repro/adapters/base.py": ADAPTER_BASE,
+            "repro/adapters/hlr.py": ADAPTER_HLR.replace(
+                '"msisdn"', '"imsi"'
+            ),
+            "repro/services/mix.py": SERVICES,
+        })
+        assert changed.deep_sha("repro/services/mix.py") != before
+        # Its own source is unchanged, only the import closure moved.
+        assert (
+            changed.by_relpath["repro/services/mix.py"].info.sha
+            == project().by_relpath["repro/services/mix.py"].info.sha
+        )
+
+    def test_body_edit_does_not_dirty_unrelated_modules(self):
+        sources = {
+            "repro/a.py": "def f():\n    return 1\n",
+            "repro/b.py": "def g():\n    return 2\n",
+        }
+        before = Project.from_sources(sources).deep_sha("repro/b.py")
+        sources["repro/a.py"] = "def f():\n    return 99\n"
+        after = Project.from_sources(sources).deep_sha("repro/b.py")
+        assert after == before
+
+    def test_signature_edit_dirties_every_module(self):
+        # The global interface fingerprint folds into every deep sha:
+        # changing a *signature* anywhere invalidates the world.
+        sources = {
+            "repro/a.py": "def f():\n    return 1\n",
+            "repro/b.py": "def g():\n    return 2\n",
+        }
+        before = Project.from_sources(sources).deep_sha("repro/b.py")
+        sources["repro/a.py"] = "def f(x):\n    return 1\n"
+        after = Project.from_sources(sources).deep_sha("repro/b.py")
+        assert after != before
+
+    def test_class_index_subclasses_and_dispatch(self):
+        proj = project()
+        subs = proj.subclasses_of("repro.adapters.base.GupAdapter")
+        assert "repro.adapters.hlr.HlrAdapter" in subs
+        impls = proj.implementations_of(
+            "repro.adapters.base.GupAdapter", "get"
+        )
+        names = {fn.qualname for fn in impls}
+        assert names == {
+            "repro.adapters.base.GupAdapter.get",
+            "repro.adapters.hlr.HlrAdapter.get",
+        }
+
+
+# ---------------------------------------------------------------------------
+# call graph: adapter dispatch, constructor edges, SCC cycles
+# ---------------------------------------------------------------------------
+
+class TestCallGraph:
+    def test_interface_dispatch_reaches_overrides(self):
+        proj = project()
+        graph = CallGraph(proj)
+        callees = graph.callees("repro.services.mix.fetch_raw")
+        # adapter.get on a GupAdapter-annotated param fans out to the
+        # base *and* every project override.
+        assert "repro.adapters.base.GupAdapter.get" in callees
+        assert "repro.adapters.hlr.HlrAdapter.get" in callees
+
+    def test_self_attribute_type_inference(self):
+        proj = project()
+        graph = CallGraph(proj)
+        callees = graph.callees("repro.services.mix.LeakyService.lookup")
+        # self.adapter was assigned HlrAdapter() in __init__.
+        assert "repro.adapters.hlr.HlrAdapter.get" in callees
+
+    def test_constructor_edge(self):
+        proj = Project.from_sources({
+            "repro/m.py": dedent(
+                """
+                class Widget:
+                    def __init__(self):
+                        self.size = 1
+
+
+                def build():
+                    return Widget()
+                """
+            ),
+        })
+        graph = CallGraph(proj)
+        assert "repro.m.Widget.__init__" in graph.callees("repro.m.build")
+
+    def test_mutual_recursion_in_one_scc(self):
+        proj = Project.from_sources({
+            "repro/m.py": dedent(
+                """
+                def even(n):
+                    return n == 0 or odd(n - 1)
+
+
+                def odd(n):
+                    return n != 0 and even(n - 1)
+                """
+            ),
+        })
+        graph = CallGraph(proj)
+        cycles = [scc for scc in graph.sccs if len(scc) > 1]
+        assert ("repro.m.even", "repro.m.odd") in cycles
+
+
+# ---------------------------------------------------------------------------
+# interprocedural summaries
+# ---------------------------------------------------------------------------
+
+class TestSummaries:
+    def test_adapter_read_taints_return(self):
+        engine = project().taint
+        engine.compute(dirty_relpaths=list(project().by_relpath))
+        summary = engine.summary_of(
+            "repro.services.mix.LeakyService.lookup"
+        )
+        assert summary is not None
+        assert summary.returns_source
+        assert summary.tainted_return_lines
+
+    def test_guard_call_kills_taint(self):
+        proj = project()
+        engine = proj.taint
+        engine.compute(dirty_relpaths=list(proj.by_relpath))
+        summary = engine.summary_of(
+            "repro.services.mix.SafeService.lookup"
+        )
+        assert summary is not None
+        assert summary.guards
+        assert not summary.returns_source
+
+    def test_transitive_egress_through_helper(self):
+        proj = project()
+        engine = proj.taint
+        engine.compute(dirty_relpaths=list(proj.by_relpath))
+        helper = engine.summary_of("repro.services.mix.fetch_raw")
+        assert helper is not None and helper.returns_source
+        chained = engine.summary_of(
+            "repro.services.mix.ChainedService.lookup"
+        )
+        assert chained is not None
+        assert chained.returns_source
+
+    def test_param_flow_identity(self):
+        proj = Project.from_sources({
+            "repro/m.py": (
+                "def ident(value):\n"
+                "    return value\n"
+            ),
+        })
+        engine = proj.taint
+        engine.compute(dirty_relpaths=["repro/m.py"])
+        summary = engine.summary_of("repro.m.ident")
+        assert summary is not None
+        assert summary.param_flows == frozenset({0})
+        assert not summary.returns_source
+
+    def test_summary_dict_round_trip(self):
+        original = Summary(
+            qualname="repro.m.f",
+            relpath="repro/m.py",
+            returns_source=True,
+            param_flows=frozenset({0, 2}),
+            sanitizes=False,
+            guards=True,
+            tainted_return_lines=(7, 12),
+            egress_sends=((9, 4, "send"),),
+            reaches_sim_run=True,
+        )
+        clone = Summary.from_dict(original.to_dict())
+        assert clone == original
+        assert hash(clone) == hash(original)
+
+
+# ---------------------------------------------------------------------------
+# the interprocedural shield-egress rule, end to end
+# ---------------------------------------------------------------------------
+
+class TestShieldEgressInterproc:
+    def analyze(self, tmp_path, service_source):
+        (tmp_path / "repro" / "adapters").mkdir(parents=True)
+        (tmp_path / "repro" / "services").mkdir(parents=True)
+        (tmp_path / "repro" / "adapters" / "base.py").write_text(
+            ADAPTER_BASE, encoding="utf-8"
+        )
+        (tmp_path / "repro" / "adapters" / "hlr.py").write_text(
+            ADAPTER_HLR, encoding="utf-8"
+        )
+        (tmp_path / "repro" / "services" / "svc.py").write_text(
+            service_source, encoding="utf-8"
+        )
+        return Analyzer().analyze_paths([str(tmp_path)])
+
+    def test_seeded_leak_is_flagged(self, tmp_path):
+        report = self.analyze(tmp_path, SERVICES)
+        hits = [
+            v for v in report.violations
+            if v.rule == ShieldEgressInterprocRule.name
+        ]
+        assert hits, [str(v) for v in report.violations]
+        assert all(v.path == "repro/services/svc.py" for v in hits)
+        # The leak is LeakyService.lookup's and ChainedService.lookup's
+        # `return` lines; SafeService's guarded return stays quiet.
+        flagged_lines = {v.line for v in hits}
+        leak_line = SERVICES.splitlines().index(
+            "        return data"
+        ) + 1
+        assert leak_line in flagged_lines
+        safe_return = [
+            index + 1
+            for index, line in enumerate(SERVICES.splitlines())
+            if line.strip() == "return data"
+        ][1]  # SafeService's return, after the enforce guard
+        assert safe_return not in flagged_lines
+
+    def test_shielded_project_is_clean(self, tmp_path):
+        safe_only = dedent(
+            """
+            from repro.adapters.hlr import HlrAdapter
+
+
+            class Pep:
+                def enforce(self, path, context):
+                    return True
+
+
+            class SafeService:
+                def __init__(self):
+                    self.adapter = HlrAdapter()
+                    self.pep = Pep()
+
+                def lookup(self, path, context):
+                    data = self.adapter.get(path)
+                    self.pep.enforce(path, context)
+                    return data
+            """
+        )
+        report = self.analyze(tmp_path, safe_only)
+        assert [
+            v for v in report.violations
+            if v.rule == ShieldEgressInterprocRule.name
+        ] == []
+
+    def test_send_sink_is_flagged_without_context(self, tmp_path):
+        sender = dedent(
+            """
+            from repro.adapters.hlr import HlrAdapter
+
+
+            class Pusher:
+                def __init__(self, transport):
+                    self.adapter = HlrAdapter()
+                    self.transport = transport
+
+                def push(self, path):
+                    data = self.adapter.get(path)
+                    self.transport.send(data)
+            """
+        )
+        report = self.analyze(tmp_path, sender)
+        hits = [
+            v for v in report.violations
+            if v.rule == ShieldEgressInterprocRule.name
+        ]
+        assert len(hits) == 1
+        assert "send" in hits[0].message
+
+
+# ---------------------------------------------------------------------------
+# simulator soundness rules
+# ---------------------------------------------------------------------------
+
+class TestSimRace:
+    def test_same_timestamp_same_attribute_flagged(self):
+        found = check_source(SimRaceRule(), dedent(
+            """
+            def wire(sim, node):
+                def arm():
+                    node.state = "armed"
+
+                def fire():
+                    node.state = "fired"
+
+                sim.schedule_at(5.0, arm)
+                sim.schedule_at(5.0, fire)
+            """
+        ), "repro/simnet/fixture.py")
+        assert len(found) == 1
+        assert "state" in found[0].message
+
+    def test_different_timestamps_clean(self):
+        found = check_source(SimRaceRule(), dedent(
+            """
+            def wire(sim, node):
+                def arm():
+                    node.state = "armed"
+
+                def fire():
+                    node.state = "fired"
+
+                sim.schedule_at(5.0, arm)
+                sim.schedule_at(6.0, fire)
+            """
+        ), "repro/simnet/fixture.py")
+        assert found == []
+
+    def test_disjoint_attributes_clean(self):
+        found = check_source(SimRaceRule(), dedent(
+            """
+            def wire(sim, node):
+                def arm():
+                    node.armed = True
+
+                def fire():
+                    node.fired = True
+
+                sim.schedule_at(5.0, arm)
+                sim.schedule_at(5.0, fire)
+            """
+        ), "repro/simnet/fixture.py")
+        assert found == []
+
+
+class TestIterOrder:
+    def test_set_iteration_feeding_scheduler_warns(self):
+        found = check_source(IterOrderRule(), dedent(
+            """
+            def kick(sim, nodes):
+                pending = set(nodes)
+                for node in pending:
+                    sim.schedule(0.1, node.wake)
+            """
+        ), "repro/simnet/fixture.py")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_sorted_set_iteration_clean(self):
+        found = check_source(IterOrderRule(), dedent(
+            """
+            def kick(sim, nodes):
+                pending = set(nodes)
+                for node in sorted(pending):
+                    sim.schedule(0.1, node.wake)
+            """
+        ), "repro/simnet/fixture.py")
+        assert found == []
+
+    def test_set_iteration_without_order_sensitive_sink_clean(self):
+        found = check_source(IterOrderRule(), dedent(
+            """
+            def total(sizes):
+                seen = set(sizes)
+                count = 0
+                for size in seen:
+                    count += size
+                return count
+            """
+        ), "repro/simnet/fixture.py")
+        assert found == []
+
+
+class TestHandlerReentrancy:
+    def analyze(self, tmp_path, source):
+        target = tmp_path / "repro" / "simnet" / "pump.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source, encoding="utf-8")
+        report = Analyzer().analyze_paths([str(tmp_path)])
+        return [
+            v for v in report.violations
+            if v.rule == HandlerReentrancyRule.name
+        ]
+
+    def test_callback_reentering_run_flagged(self, tmp_path):
+        hits = self.analyze(tmp_path, dedent(
+            """
+            class Pump:
+                def __init__(self, sim):
+                    self.sim = sim
+
+                def drain(self):
+                    self.sim.run()
+
+                def arm(self):
+                    self.sim.schedule_at(1.0, self.drain)
+            """
+        ))
+        assert len(hits) == 1
+        assert "drain" in hits[0].message
+
+    def test_transitive_reentry_flagged(self, tmp_path):
+        hits = self.analyze(tmp_path, dedent(
+            """
+            class Pump:
+                def __init__(self, sim):
+                    self.sim = sim
+
+                def deep(self):
+                    self.sim.step()
+
+                def middle(self):
+                    self.deep()
+
+                def arm(self):
+                    self.sim.schedule_at(1.0, self.middle)
+            """
+        ))
+        assert len(hits) == 1
+
+    def test_benign_callback_clean(self, tmp_path):
+        hits = self.analyze(tmp_path, dedent(
+            """
+            class Pump:
+                def __init__(self, sim):
+                    self.sim = sim
+                    self.ticks = 0
+
+                def tick(self):
+                    self.ticks += 1
+
+                def arm(self):
+                    self.sim.schedule_at(1.0, self.tick)
+            """
+        ))
+        assert hits == []
+
+
+# ---------------------------------------------------------------------------
+# incremental cache
+# ---------------------------------------------------------------------------
+
+def write_fixture_tree(root, leaf_count=9):
+    """A base module + *leaf_count* independent services over it."""
+    pkg = root / "repro"
+    (pkg / "adapters").mkdir(parents=True)
+    (pkg / "services").mkdir(parents=True)
+    (pkg / "adapters" / "base.py").write_text(
+        ADAPTER_BASE, encoding="utf-8"
+    )
+    for index in range(leaf_count):
+        (pkg / "services" / ("svc%d.py" % index)).write_text(
+            dedent(
+                """
+                from repro.adapters.base import GupAdapter
+
+
+                class Pep%(i)d:
+                    def enforce(self, path, context):
+                        return True
+
+
+                class Service%(i)d:
+                    def __init__(self, adapter: GupAdapter):
+                        self.adapter = adapter
+                        self.pep = Pep%(i)d()
+
+                    def lookup(self, path, context):
+                        data = self.adapter.get(path)
+                        self.pep.enforce(path, context)
+                        return data
+                """
+            ) % {"i": index},
+            encoding="utf-8",
+        )
+
+
+class TestIncrementalCache:
+    def run(self, root, cache):
+        report = Analyzer().analyze_paths(
+            [str(root)], cache=cache, collect_stats=True
+        )
+        assert report.stats is not None
+        return report
+
+    def test_warm_cache_replays_everything(self, tmp_path):
+        write_fixture_tree(tmp_path)
+        cache = AnalysisCache()
+        cold = self.run(tmp_path, cache)
+        assert cold.stats.modules_analyzed == cold.stats.modules_total
+        warm = self.run(tmp_path, cache)
+        assert warm.stats.modules_analyzed == 0
+        assert warm.stats.cache_hit_rate == 1.0
+        assert warm.stats.summaries_computed == 0
+        # Replayed results match the cold run.
+        assert (
+            [str(v) for v in warm.violations]
+            == [str(v) for v in cold.violations]
+        )
+
+    def test_one_file_edit_reanalyzes_under_30_percent(self, tmp_path):
+        write_fixture_tree(tmp_path)
+        cache = AnalysisCache()
+        self.run(tmp_path, cache)
+        leaf = tmp_path / "repro" / "services" / "svc0.py"
+        leaf.write_text(
+            leaf.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        warm = self.run(tmp_path, cache)
+        ratio = (
+            warm.stats.modules_analyzed
+            / float(warm.stats.modules_total)
+        )
+        assert warm.stats.modules_analyzed >= 1
+        assert ratio < 0.30, warm.stats.render()
+
+    def test_dependency_edit_invalidates_dependents(self, tmp_path):
+        write_fixture_tree(tmp_path, leaf_count=3)
+        cache = AnalysisCache()
+        self.run(tmp_path, cache)
+        base = tmp_path / "repro" / "adapters" / "base.py"
+        base.write_text(
+            ADAPTER_BASE.replace(
+                "def export_user(self, user):",
+                "def export_user(self, user, depth=0):",
+            ),
+            encoding="utf-8",
+        )
+        warm = self.run(tmp_path, cache)
+        # Signature change in the shared base: every importer is dirty.
+        assert warm.stats.modules_analyzed == warm.stats.modules_total
+
+    def test_cache_file_round_trip(self, tmp_path):
+        write_fixture_tree(tmp_path, leaf_count=3)
+        cache_path = str(tmp_path / "cache.json")
+        cache = AnalysisCache()
+        self.run(tmp_path, cache)
+        cache.save(cache_path)
+        reloaded = AnalysisCache.load(cache_path)
+        warm = self.run(tmp_path, reloaded)
+        assert warm.stats.modules_analyzed == 0
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        cache_path = str(tmp_path / "cache.json")
+        with open(cache_path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        cache = AnalysisCache.load(cache_path)
+        write_fixture_tree(tmp_path, leaf_count=2)
+        report = self.run(tmp_path, cache)
+        assert report.stats.modules_analyzed == report.stats.modules_total
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+# ---------------------------------------------------------------------------
+
+class TestSarif:
+    def report(self, tmp_path):
+        bad = tmp_path / "repro" / "simnet" / "busy.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n\n\ndef handler():\n"
+            "    time.sleep(1)\n"
+            "    return time.time()"
+            "  # gupcheck: ignore[determinism] -- fixture\n",
+            encoding="utf-8",
+        )
+        return Analyzer().analyze_paths([str(tmp_path)])
+
+    def test_sarif_shape(self, tmp_path):
+        report = self.report(tmp_path)
+        log = to_sarif(report, default_rules())
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert len(rule_ids) == len(set(rule_ids))
+        assert {r.name for r in default_rules()} <= set(rule_ids)
+        assert run["results"], "expected findings"
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("error", "warning", "note")
+            location = result["locations"][0]["physicalLocation"]
+            uri = location["artifactLocation"]["uri"]
+            assert uri.endswith("busy.py")
+            assert location["region"]["startLine"] >= 1
+            assert "partialFingerprints" in result
+            # ruleIndex must agree with the rules array.
+            assert (
+                driver["rules"][result["ruleIndex"]]["id"]
+                == result["ruleId"]
+            )
+
+    def test_suppressed_findings_carry_suppressions(self, tmp_path):
+        report = self.report(tmp_path)
+        assert report.suppressed, "fixture should suppress determinism"
+        log = to_sarif(report, default_rules())
+        suppressed_results = [
+            result for result in log["runs"][0]["results"]
+            if result.get("suppressions")
+        ]
+        assert suppressed_results
+        kinds = {
+            supp["kind"]
+            for result in suppressed_results
+            for supp in result["suppressions"]
+        }
+        assert kinds == {"inSource"}
+
+    def test_sarif_json_serializes(self, tmp_path):
+        text = to_sarif_json(self.report(tmp_path), default_rules())
+        parsed = json.loads(text)
+        assert parsed["version"] == "2.1.0"
+
+    def test_clean_report_has_no_results(self, tmp_path):
+        clean = tmp_path / "repro" / "ok.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text("VALUE = 1\n", encoding="utf-8")
+        report = Analyzer().analyze_paths([str(tmp_path)])
+        log = to_sarif(report, default_rules())
+        assert log["runs"][0]["results"] == []
+        invocation = log["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is True
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+class TestBaseline:
+    def dirty_tree(self, tmp_path):
+        bad = tmp_path / "repro" / "simnet" / "busy.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n\n\ndef handler():\n"
+            "    time.sleep(1)\n    return time.time()\n",
+            encoding="utf-8",
+        )
+
+    def test_round_trip_accepts_current_findings(self, tmp_path):
+        self.dirty_tree(tmp_path)
+        report = Analyzer().analyze_paths([str(tmp_path)])
+        assert report.failing
+        baseline_path = str(tmp_path / "baseline.json")
+        count = write_baseline(baseline_path, report)
+        assert count == len(report.violations)
+
+        fresh = Analyzer().analyze_paths([str(tmp_path)])
+        fresh.apply_baseline(load_baseline(baseline_path))
+        assert not fresh.failing
+        assert fresh.violations == []
+        assert len(fresh.baselined) == count
+
+    def test_new_findings_still_fail_over_a_baseline(self, tmp_path):
+        self.dirty_tree(tmp_path)
+        report = Analyzer().analyze_paths([str(tmp_path)])
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(baseline_path, report)
+
+        worse = tmp_path / "repro" / "simnet" / "worse.py"
+        worse.write_text(
+            "import time\n\n\ndef other():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        fresh = Analyzer().analyze_paths([str(tmp_path)])
+        fresh.apply_baseline(load_baseline(baseline_path))
+        assert fresh.failing
+        assert all(
+            v.path == "repro/simnet/worse.py" for v in fresh.violations
+        )
+
+    def test_render_is_idempotent(self, tmp_path):
+        self.dirty_tree(tmp_path)
+        report = Analyzer().analyze_paths([str(tmp_path)])
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(baseline_path, report)
+        rebaselined = Analyzer().analyze_paths([str(tmp_path)])
+        rebaselined.apply_baseline(load_baseline(baseline_path))
+        assert render_baseline(rebaselined) == render_baseline(report)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == []
+
+    def test_shipped_baseline_is_empty_for_src(self):
+        shipped = os.path.join(REPO_ROOT, ".gupcheck-baseline.json")
+        assert os.path.exists(shipped)
+        assert load_baseline(shipped) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes, --changed-only, --stats, --sarif
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def run_cli(self, args, cwd):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis"] + args,
+            capture_output=True, text=True, env=env, cwd=str(cwd),
+        )
+
+    def test_exit_1_on_violations(self, tmp_path):
+        bad = tmp_path / "repro" / "simnet" / "busy.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\nNOW = time.time()\n", encoding="utf-8"
+        )
+        proc = self.run_cli(
+            ["--no-cache", "--no-baseline", str(tmp_path)], REPO_ROOT
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+
+    def test_exit_2_on_parse_error(self, tmp_path):
+        bad = tmp_path / "repro" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def (:\n", encoding="utf-8")
+        proc = self.run_cli(
+            ["--no-cache", "--no-baseline", str(tmp_path)], REPO_ROOT
+        )
+        assert proc.returncode == 2, proc.stdout + proc.stderr
+
+    def test_exit_0_clean_with_stats(self, tmp_path):
+        ok = tmp_path / "repro" / "ok.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("VALUE = 1\n", encoding="utf-8")
+        proc = self.run_cli(
+            ["--no-cache", "--no-baseline", "--stats", str(tmp_path)],
+            REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "gupcheck stats:" in proc.stderr
+        assert "module(s) analyzed" in proc.stderr
+
+    def test_sarif_file_output(self, tmp_path):
+        ok = tmp_path / "repro" / "ok.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("VALUE = 1\n", encoding="utf-8")
+        out = tmp_path / "out.sarif"
+        proc = self.run_cli(
+            ["--no-cache", "--no-baseline", "--sarif", str(out),
+             str(tmp_path / "repro")],
+            REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        parsed = json.loads(out.read_text(encoding="utf-8"))
+        assert parsed["version"] == "2.1.0"
+
+    def test_changed_only_without_git_falls_back(self, tmp_path):
+        ok = tmp_path / "repro" / "ok.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text("VALUE = 1\n", encoding="utf-8")
+        # Run *inside* tmp_path (not a git repo): the CLI warns and
+        # falls back to a full scan rather than erroring out.
+        proc = self.run_cli(
+            ["--no-cache", "--no-baseline", "--changed-only", "HEAD",
+             "repro"],
+            tmp_path,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_changed_only_clean_when_nothing_changed(self):
+        proc = self.run_cli(
+            ["--no-cache", "--no-baseline", "--changed-only", "HEAD",
+             "does-not-exist-anywhere"],
+            REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no python files changed" in proc.stdout

@@ -158,12 +158,12 @@ class TestCacheProperties:
             accesses, key=lambda entry: entry[2]
         ):
             path = "/user[@id='%s']/%s" % (user, component)
-            hit = cache.get(path, now)
+            hit = cache.get(path, now, scope="prop.test")
             if hit is not None:
                 assert now - stored_at[path] <= 100
             fragment = PNode("user", {"id": user})
             fragment.append(PNode(component))
-            cache.put(path, fragment, now)
+            cache.put(path, fragment, now, scope="prop.test")
             stored_at[path] = now
 
     @given(st.integers(1, 8), st.integers(1, 30))
@@ -173,6 +173,7 @@ class TestCacheProperties:
             cache.put(
                 "/user[@id='u%d']/presence" % index,
                 PNode("presence"), now=float(index),
+                scope="prop.test",
             )
         assert len(cache) <= capacity
 

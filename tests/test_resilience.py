@@ -268,12 +268,12 @@ class TestComponentCacheScoping:
         cache = ComponentCache(
             capacity=4, default_ttl_ms=100.0, stale_grace_ms=50.0
         )
-        cache.put(BOOK, PNode("address-book"), 0.0)
-        assert cache.get_stale(BOOK, 50.0) is not None
+        cache.put(BOOK, PNode("address-book"), 0.0, scope="client|self")
+        assert cache.get_stale(BOOK, 50.0, scope="client|self") is not None
         assert cache.stale_serves == 0  # still fresh
-        assert cache.get_stale(BOOK, 140.0) is not None
+        assert cache.get_stale(BOOK, 140.0, scope="client|self") is not None
         assert cache.stale_serves == 1
-        assert cache.get_stale(BOOK, 500.0) is None
+        assert cache.get_stale(BOOK, 500.0, scope="client|self") is None
 
 
 class TestMdmResilience:

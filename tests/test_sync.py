@@ -216,3 +216,125 @@ class TestConflicts:
                 assert phone.item(item_id).deep_equal(
                     network.item(item_id)
                 ), policy
+
+
+# ---------------------------------------------------------------------------
+# shield-mediated sessions (gupcheck shield-egress-ip satellite): the
+# network never pushes an item to the device that the device's
+# RequestContext is not permitted to see.
+# ---------------------------------------------------------------------------
+
+class TestShieldedSync:
+    OWNER = "arnaud"
+
+    def shielded(self, *permitted_items):
+        from repro.access.context import RequestContext
+        from repro.access.infrastructure import (
+            PolicyEnforcementPoint, PolicyRepository, PolicyRule,
+        )
+
+        phone = SyncEndpoint("phone")
+        network = SyncEndpoint("network")
+        repo = PolicyRepository()
+        for item_id in permitted_items:
+            repo.store(PolicyRule(
+                self.OWNER,
+                "/user[@id='%s']/address-book/item[@id='%s']"
+                % (self.OWNER, item_id),
+                "permit",
+            ))
+        pep = PolicyEnforcementPoint(repo)
+        context = RequestContext("bob", relationship="co-worker")
+        session = SyncSession(
+            phone, network,
+            owner=self.OWNER, pep=pep, context=context,
+        )
+        return phone, network, session
+
+    def test_misconfigured_shield_rejected(self):
+        from repro.access.infrastructure import (
+            PolicyEnforcementPoint, PolicyRepository,
+        )
+
+        pep = PolicyEnforcementPoint(PolicyRepository())
+        with pytest.raises(SyncError):
+            SyncSession(
+                SyncEndpoint("phone"), SyncEndpoint("network"), pep=pep
+            )
+
+    def test_slow_sync_withholds_denied_items(self):
+        phone, network, session = self.shielded("1")
+        network.put_item(item("1", "Bob"), now=1)
+        network.put_item(item("2", "Carol", "555"), now=2)
+        report = session.run(now=10)
+        assert report.mode == "slow"
+        assert phone.item_ids() == ["1"]  # "2" never left the network
+        assert report.withheld == 1
+        assert session.withheld == 1
+        assert report.sent_to_client == 1
+
+    def test_fast_sync_withholds_denied_items(self):
+        phone, network, session = self.shielded("1")
+        network.put_item(item("1", "Bob"), now=1)
+        session.run(now=5)
+        network.put_item(item("3", "Eve", "777"), now=6)
+        report = session.run(now=10)
+        assert report.mode == "fast"
+        assert phone.item_ids() == ["1"]
+        assert report.withheld == 1
+        assert session.withheld == 1  # first run had nothing to deny
+
+    def test_withheld_items_not_on_the_wire(self):
+        # Same data, with and without the shield: the shielded slow
+        # sync must serialize strictly fewer bytes because the denied
+        # item's payload never enters a message.
+        phone, network, session = self.shielded("1")
+        network.put_item(item("1", "Bob"), now=1)
+        network.put_item(item("2", "Carol", "555"), now=2)
+        shielded_report = session.run(now=10)
+
+        phone2 = SyncEndpoint("phone")
+        network2 = SyncEndpoint("network")
+        network2.put_item(item("1", "Bob"), now=1)
+        network2.put_item(item("2", "Carol", "555"), now=2)
+        open_report = SyncSession(phone2, network2).run(now=10)
+
+        assert shielded_report.bytes < open_report.bytes
+
+    def test_owner_device_sees_everything(self):
+        from repro.access.context import RequestContext
+        from repro.access.infrastructure import (
+            PolicyEnforcementPoint, PolicyRepository,
+        )
+
+        phone = SyncEndpoint("phone")
+        network = SyncEndpoint("network")
+        network.put_item(item("1", "Bob"), now=1)
+        network.put_item(item("2", "Carol"), now=2)
+        session = SyncSession(
+            phone, network,
+            owner=self.OWNER,
+            pep=PolicyEnforcementPoint(PolicyRepository()),
+            context=RequestContext(self.OWNER, relationship="self"),
+        )
+        report = session.run(now=10)
+        assert phone.item_ids() == ["1", "2"]
+        assert report.withheld == 0
+
+    def test_upload_direction_not_filtered(self):
+        # The device's own additions always reach the network — the
+        # shield guards egress *to* the device, not ingress from it.
+        phone, network, session = self.shielded()  # default-deny all
+        phone.put_item(item("9", "Mine"), now=1)
+        report = session.run(now=10)
+        assert network.item_ids() == ["9"]
+        assert report.sent_to_server == 1
+        assert phone.item_ids() == ["9"]
+
+    def test_unshielded_session_unchanged(self):
+        phone, network, session = paired()
+        assert session.shielded is False
+        network.put_item(item("1", "Bob"), now=1)
+        report = session.run(now=5)
+        assert report.withheld == 0
+        assert phone.item_ids() == ["1"]
