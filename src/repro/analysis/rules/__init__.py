@@ -26,6 +26,7 @@ from repro.analysis.rules.shield_egress_ip import (
 )
 from repro.analysis.rules.sim_blocking import SimBlockingRule
 from repro.analysis.rules.sim_race import SimRaceRule
+from repro.analysis.rules.span_balance import SpanBalanceRule
 
 #: Rule classes in report order.
 ALL_RULES = (
@@ -39,6 +40,7 @@ ALL_RULES = (
     SimRaceRule,
     IterOrderRule,
     HandlerReentrancyRule,
+    SpanBalanceRule,
 )
 
 __all__ = [
@@ -53,6 +55,7 @@ __all__ = [
     "ShieldEgressRule",
     "SimBlockingRule",
     "SimRaceRule",
+    "SpanBalanceRule",
     "default_rules",
 ]
 

@@ -1,0 +1,187 @@
+"""span-balance — observability spans are closed on every path.
+
+A span that is opened but never finished exports as a zero-duration
+"unfinished" artifact and breaks the E18 reconciliation invariant
+(the tree no longer explains the trace's elapsed time). The safe
+idiom is the context manager::
+
+    with trace.span("query.referral", store=store_id):
+        ...
+
+This rule flags the two leak shapes that dodge it:
+
+* a span-opening call used as a bare expression statement — the
+  handle is discarded, so the span can never be entered or finished;
+* a handle bound to a local name that is then neither entered
+  (``with handle:``), handed to ``finish()`` (or any call), closed
+  directly (``handle.end_ms = ...``), nor allowed to escape
+  (returned/yielded/stored/aliased) — an open span abandoned on the
+  floor of the function.
+
+To stay quiet on unrelated ``.span()`` methods (most notably
+``re.Match.span()``), a call only counts as *span-opening* when its
+first positional argument is a string literal or it passes keyword
+attributes — the ``trace.span("name", attr=...)`` shape — and
+``.start()`` additionally requires a recorder-ish receiver
+(``rec`` / ``recorder`` / ``*_rec``). ``re.Match.span()`` takes an
+optional *int* group, so it never matches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+__all__ = ["SpanBalanceRule"]
+
+#: Receiver names that mark a ``.start()`` call as a span recorder's.
+_RECORDER_NAMES = frozenset({"rec", "recorder"})
+
+
+def _is_str_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def _receiver_name(func: ast.Attribute) -> Optional[str]:
+    """Trailing identifier of the receiver (``rec``, ``self._rec``,
+    ``network.recorder`` → ``rec``/``_rec``/``recorder``)."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _opens_span(call: ast.Call) -> bool:
+    """True when *call* opens an observability span."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    named = bool(call.args) and _is_str_constant(call.args[0])
+    if func.attr == "span":
+        return named or bool(call.keywords)
+    if func.attr == "start":
+        receiver = _receiver_name(func)
+        if receiver is None:
+            return False
+        recorderish = (
+            receiver in _RECORDER_NAMES or receiver.endswith("_rec")
+            or receiver.endswith("recorder")
+        )
+        return recorderish and named
+    return False
+
+
+class SpanBalanceRule(Rule):
+    """Flags span handles that are discarded or never closed."""
+
+    name = "span-balance"
+    description = (
+        "observability spans are entered via `with` or explicitly "
+        "finished — an abandoned handle exports an unfinished span"
+    )
+    prefixes = ("repro/",)
+
+    def check(self, module: ModuleInfo) -> List[Violation]:
+        found: List[Violation] = []
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            self._check_scope(module, scope, found)
+        return found
+
+    # -- per-scope analysis -------------------------------------------------
+
+    def _check_scope(self, module: ModuleInfo, scope: ast.AST,
+                     found: List[Violation]) -> None:
+        body = getattr(scope, "body", [])
+        opened: List[Tuple[str, ast.AST]] = []
+        for node in self._scope_walk(body):
+            if isinstance(node, ast.Expr) and (
+                isinstance(node.value, ast.Call)
+                and _opens_span(node.value)
+            ):
+                found.append(self.violation(
+                    module, node,
+                    "span handle discarded — the span is never "
+                    "entered; use `with ....span(...):`",
+                ))
+            elif isinstance(node, ast.Assign) and (
+                isinstance(node.value, ast.Call)
+                and _opens_span(node.value)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                opened.append((node.targets[0].id, node))
+        if not opened:
+            return
+        sanctioned = self._sanctioned_names(body)
+        for name, node in opened:
+            if name not in sanctioned:
+                found.append(self.violation(
+                    module, node,
+                    "span handle `%s` is opened but never entered, "
+                    "finished or released on any path" % name,
+                ))
+
+    def _scope_walk(self, body: List[ast.stmt]) -> List[ast.AST]:
+        """Every node of *body* excluding nested function/class
+        scopes (they are checked as their own scopes)."""
+        out: List[ast.AST] = []
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scope: analyzed on its own
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def _sanctioned_names(self, body: List[ast.stmt]) -> Set[str]:
+        """Names whose handle demonstrably gets a chance to close:
+        entered by a ``with``, passed to any call (``finish(h)``),
+        closed directly (``h.end_ms = ...``), returned/yielded, or
+        aliased/stored somewhere that outlives the scope."""
+        names: Set[str] = set()
+        for node in self._scope_walk(body):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    names.update(_names_in(item.context_expr))
+            elif isinstance(node, ast.Call):
+                for arg in node.args:
+                    names.update(_names_in(arg))
+                for keyword in node.keywords:
+                    names.update(_names_in(keyword.value))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                names.update(_names_in(node.value))
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    names.update(_names_in(node.value))
+            elif isinstance(node, ast.Assign):
+                if not (isinstance(node.value, ast.Call)
+                        and _opens_span(node.value)):
+                    names.update(_names_in(node.value))
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        # h.end_ms = ... closes; self.h = h escapes
+                        # via the value branch above.
+                        names.update(_names_in(target.value))
+                    elif isinstance(target, ast.Subscript):
+                        names.update(_names_in(target.value))
+        return names
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    """Bare identifiers referenced anywhere inside *node*."""
+    return {
+        child.id for child in ast.walk(node)
+        if isinstance(child, ast.Name)
+    }

@@ -27,13 +27,35 @@ Serve-stale-on-failure (requirement 13, E16): with a positive
 ``stale_grace_ms`` the cache retains expired entries for that long,
 and :meth:`get_stale` can serve them when every origin store is
 unreachable — bounded staleness beats unavailability.
+
+Accounting (E18 audit): the counters are registry-backed
+(``cache.*`` in a :class:`~repro.obs.MetricsRegistry`; the integer
+attributes are views) and obey two invariants the test-suite checks:
+
+* ``gets == hits + misses`` — every :meth:`get` is exactly one or the
+  other;
+* every inserted entry reaches **exactly one** terminal disposition:
+  ``expirations`` (dropped past TTL — by probe, by replacement of an
+  expired corpse, or by LRU landing on one), ``evictions`` (LRU drop
+  of a *live* entry), ``invalidations`` (trigger), ``replacements``
+  (overwrite of a live entry), or ``clears``; so
+  ``insertions == len(cache) + sum(terminals)``.
+
+Before the audit the stale-grace path drifted: an expired-but-within-
+grace corpse probed by :meth:`get` counted a miss but was never
+counted as an expiration when a later :meth:`put` silently replaced
+it or the LRU sweep dropped it (that drop even counted as an
+*eviction*, overstating capacity pressure); and neither :meth:`get`
+nor :meth:`get_stale` LRU-touched the corpse, so the exact entries
+retained to cover an outage were the first ones evicted during it.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
+from repro.obs.metrics import CounterView, MetricsRegistry
 from repro.pxml import PNode, Path, parse_path
 from repro.pxml.containment import subtree_overlaps
 
@@ -59,11 +81,38 @@ class _Entry:
 class ComponentCache:
     """LRU + TTL cache of component fragments, keyed by (path, scope)."""
 
+    #: (attribute/metric suffix, help) pairs for every counter.
+    COUNTER_FIELDS: Tuple[Tuple[str, str], ...] = (
+        ("gets", "Lookups via get() (hits + misses)."),
+        ("hits", "Fresh entries served by get()."),
+        ("misses", "get() lookups finding nothing fresh."),
+        ("insertions", "Entries written by put()."),
+        ("expirations",
+         "Entries dropped past TTL+grace (probe, replace or LRU)."),
+        ("evictions", "Live entries dropped by the LRU sweep."),
+        ("invalidations", "Entries dropped by update triggers."),
+        ("replacements", "Live entries overwritten by put()."),
+        ("clears", "Entries dropped by clear()."),
+        ("stale_serves", "Expired-within-grace entries served stale."),
+    )
+
+    gets = CounterView("cache.gets")
+    hits = CounterView("cache.hits")
+    misses = CounterView("cache.misses")
+    insertions = CounterView("cache.insertions")
+    expirations = CounterView("cache.expirations")
+    evictions = CounterView("cache.evictions")
+    invalidations = CounterView("cache.invalidations")
+    replacements = CounterView("cache.replacements")
+    clears = CounterView("cache.clears")
+    stale_serves = CounterView("cache.stale_serves")
+
     def __init__(
         self,
         capacity: int = 1024,
         default_ttl_ms: float = 60_000.0,
         stale_grace_ms: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -77,12 +126,39 @@ class ComponentCache:
         self._entries: "OrderedDict[Tuple[Path, str], _Entry]" = (
             OrderedDict()
         )
-        self.hits = 0
-        self.misses = 0
-        self.expirations = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.stale_serves = 0
+        #: Registry backing the counters (a private one until the
+        #: cache is re-homed onto a shared world registry — see
+        #: :meth:`bind_registry`).
+        self.metrics = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        for suffix, help_text in self.COUNTER_FIELDS:
+            self.metrics.counter("cache." + suffix, help=help_text)
+        self.metrics.gauge(
+            "cache.size", help="Live entries right now.",
+            fn=self._live_size,
+        ).bind(self._live_size)
+
+    def _live_size(self) -> float:
+        return float(len(self._entries))
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Re-home the counters onto a shared registry (the network's
+        world registry), migrating current counts — wired up by
+        :class:`~repro.core.query.QueryExecutor` so one snapshot/export
+        covers net.*, cache.* and health.*."""
+        if registry is self.metrics:
+            return
+        previous = self.metrics
+        self.metrics = registry
+        self._register_instruments()
+        for suffix, _help in self.COUNTER_FIELDS:
+            carried = previous.counter("cache." + suffix).value
+            if carried:
+                registry.counter("cache." + suffix).inc(carried)
 
     def _key(
         self, path: Union[str, Path], scope: str
@@ -96,6 +172,7 @@ class ComponentCache:
         scope: str = "",
     ) -> Optional[PNode]:
         """Fresh cached fragment for *path* within *scope*, or None."""
+        self.gets += 1
         key = self._key(path, scope)
         entry = self._entries.get(key)
         if entry is None:
@@ -106,7 +183,12 @@ class ComponentCache:
                 # Beyond any stale grace: truly dead, drop it.
                 del self._entries[key]
                 self.expirations += 1
-            # else: keep the corpse around for get_stale.
+            else:
+                # Keep the corpse for get_stale — and LRU-touch it:
+                # a probed corpse is exactly the entry serve-stale
+                # will need if the refetch we are about to attempt
+                # fails, so it must not sit at the eviction end.
+                self._entries.move_to_end(key)
             self.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -131,11 +213,16 @@ class ComponentCache:
             return None
         staleness = entry.staleness_ms(now)
         if staleness <= 0:
+            self._entries.move_to_end(key)
             return entry.fragment.copy()
         bound = (
             self.stale_grace_ms if max_stale_ms is None else max_stale_ms
         )
         if staleness <= bound:
+            # A corpse that is actively covering an outage is the
+            # *most* valuable entry in the cache — touch it so the
+            # LRU sweep takes idle entries first.
+            self._entries.move_to_end(key)
             self.stale_serves += 1
             return entry.fragment.copy()
         del self._entries[key]
@@ -151,16 +238,30 @@ class ComponentCache:
         scope: str = "",
     ) -> None:
         key = self._key(path, scope)
-        if key in self._entries:
-            del self._entries[key]
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            # The replaced entry's terminal disposition: an expired
+            # corpse finally refreshed is an *expiration* (the drift
+            # the E18 audit found — these were silently uncounted);
+            # overwriting a live entry is a *replacement*.
+            if not previous.fresh(now):
+                self.expirations += 1
+            else:
+                self.replacements += 1
         while len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+            _key, victim = self._entries.popitem(last=False)
+            # An LRU sweep landing on an already-expired corpse is an
+            # expiration, not capacity pressure.
+            if not victim.fresh(now):
+                self.expirations += 1
+            else:
+                self.evictions += 1
         self._entries[key] = _Entry(
             fragment.copy(),
             now,
             self.default_ttl_ms if ttl_ms is None else ttl_ms,
         )
+        self.insertions += 1
 
     def invalidate(self, path: Union[str, Path]) -> int:
         """Drop every cached entry overlapping *path*, across every
@@ -177,6 +278,9 @@ class ComponentCache:
         return len(doomed)
 
     def clear(self) -> None:
+        """Drop everything (each dropped entry's terminal disposition
+        is a ``clear``)."""
+        self.clears += len(self._entries)
         self._entries.clear()
 
     def __len__(self) -> int:
@@ -186,3 +290,34 @@ class ComponentCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # -- accounting introspection (E18) -------------------------------------
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        """Every counter by short name, plus the live size."""
+        snapshot = {
+            suffix: self.metrics.counter("cache." + suffix).value
+            for suffix, _help in self.COUNTER_FIELDS
+        }
+        snapshot["size"] = len(self._entries)
+        return snapshot
+
+    def check_invariants(self) -> list:
+        """The accounting invariants, as a list of violation strings
+        (empty == healthy). Called by tests after every workload."""
+        violations = []
+        if self.gets != self.hits + self.misses:
+            violations.append(
+                "gets (%d) != hits (%d) + misses (%d)"
+                % (self.gets, self.hits, self.misses)
+            )
+        terminal = (
+            self.expirations + self.evictions + self.invalidations
+            + self.replacements + self.clears
+        )
+        if self.insertions != len(self._entries) + terminal:
+            violations.append(
+                "insertions (%d) != live (%d) + terminal (%d)"
+                % (self.insertions, len(self._entries), terminal)
+            )
+        return violations

@@ -54,11 +54,13 @@ def _referral_round_trip(
     request_bytes = (
         len(str(request)) + context.byte_size() + REQUEST_OVERHEAD_BYTES
     )
-    trace.hop(client, node, request_bytes, "resolve at %s" % node)
-    trace.compute(RESOLVE_COMPUTE_MS, "resolve")
-    referral = server.resolve(request, context, now)
-    trace.hop(node, client,
-              referral.byte_size() + REQUEST_OVERHEAD_BYTES, "referral")
+    with trace.span("mdm.round_trip", node=node):
+        trace.hop(client, node, request_bytes, "resolve at %s" % node)
+        trace.compute(RESOLVE_COMPUTE_MS, "resolve")
+        referral = server.resolve(request, context, now)
+        trace.hop(node, client,
+                  referral.byte_size() + REQUEST_OVERHEAD_BYTES,
+                  "referral")
     return referral
 
 
@@ -123,6 +125,8 @@ class CentralizedMdm:
             retry_policy if retry_policy is not None else RetryPolicy()
         )
         self.health = health if health is not None else EndpointHealth()
+        self.health.bind_registry(network.metrics)
+        server.bind_registry(network.metrics)
 
     def resolve(
         self,
@@ -138,28 +142,32 @@ class CentralizedMdm:
         trace = self.network.trace()
         policy = self.retry_policy
         last_error: Optional[Exception] = None
-        for sweep in range(policy.max_attempts):
-            if sweep > 0:
-                trace.wait(
-                    policy.backoff_ms(sweep),
-                    "backoff before MDM sweep %d" % (sweep + 1),
-                )
-                trace.note_retry()
-            mirrors = self.health.order(self.mirror_nodes)
-            for index, mirror in enumerate(mirrors):
-                try:
-                    referral = _referral_round_trip(
-                        trace, client, mirror, self.server, path,
-                        context, now,
+        with trace.span(
+            "mdm.centralized", path=str(path), client=client,
+            mirrors=len(self.mirror_nodes),
+        ):
+            for sweep in range(policy.max_attempts):
+                if sweep > 0:
+                    trace.wait(
+                        policy.backoff_ms(sweep),
+                        "backoff before MDM sweep %d" % (sweep + 1),
                     )
-                    self.health.success(mirror)
-                    return referral, trace
-                except TRANSIENT_ERRORS as err:
-                    last_error = err
-                    self.health.failure(mirror)
-                    if index + 1 < len(mirrors):
-                        trace.note_failover()
-                    continue
+                    trace.note_retry()
+                mirrors = self.health.order(self.mirror_nodes)
+                for index, mirror in enumerate(mirrors):
+                    try:
+                        referral = _referral_round_trip(
+                            trace, client, mirror, self.server, path,
+                            context, now,
+                        )
+                        self.health.success(mirror)
+                        return referral, trace
+                    except TRANSIENT_ERRORS as err:
+                        last_error = err
+                        self.health.failure(mirror)
+                        if index + 1 < len(mirrors):
+                            trace.note_failover()
+                        continue
         raise GupsterError(
             "all MDM mirrors unreachable: %s" % last_error
         )
@@ -186,6 +194,7 @@ class UserDistributedMdm:
             retry_policy if retry_policy is not None else RetryPolicy()
         )
         self.health = health if health is not None else EndpointHealth()
+        self.health.bind_registry(network.metrics)
         #: user id -> (mdm node name, server); None node means unlisted
         self._assignments: Dict[str, Tuple[str, GupsterServer]] = {}
         self._unlisted: Dict[str, Tuple[str, GupsterServer]] = {}
@@ -197,6 +206,7 @@ class UserDistributedMdm:
         server: GupsterServer,
         unlisted: bool = False,
     ) -> None:
+        server.bind_registry(self.network.metrics)
         if unlisted:
             self._unlisted[user_id] = (node, server)
         else:
@@ -223,40 +233,49 @@ class UserDistributedMdm:
         if user_id is None:
             raise GupsterError("request must identify a user")
         trace = self.network.trace()
-        if hint is not None:
-            entry = (
-                self._unlisted.get(user_id)
-                or self._assignments.get(user_id)
+        with trace.span(
+            "mdm.user_distributed",
+            path=str(path), client=client, hinted=hint is not None,
+        ) as lookup:
+            if hint is not None:
+                entry = (
+                    self._unlisted.get(user_id)
+                    or self._assignments.get(user_id)
+                )
+                if entry is None or entry[0] != hint:
+                    raise GupsterError(
+                        "hint %r does not match any MDM for %r"
+                        % (hint, user_id)
+                    )
+                node, server = entry
+            else:
+                # White-pages round trip.
+                with trace.span("mdm.whitepages"):
+                    trace.hop(client, self.whitepages_node,
+                              len(user_id) + REQUEST_OVERHEAD_BYTES,
+                              "white pages lookup")
+                    trace.compute(WHITEPAGES_COMPUTE_MS, "white pages")
+                    entry = self._assignments.get(user_id)
+                    if entry is None:
+                        listed = user_id in self._unlisted
+                        trace.hop(self.whitepages_node, client, 32,
+                                  "miss")
+                        raise GupsterError(
+                            "user %r is unlisted — a hint is required"
+                            % user_id
+                            if listed
+                            else "user %r has no meta-data manager"
+                            % user_id
+                        )
+                    node, server = entry
+                    trace.hop(self.whitepages_node, client,
+                              len(node) + REQUEST_OVERHEAD_BYTES,
+                              "pointer")
+            lookup.set("mdm_node", node)
+            referral = _retry_round_trip(
+                trace, self.retry_policy, self.health, client, node,
+                server, path, context, now,
             )
-            if entry is None or entry[0] != hint:
-                raise GupsterError(
-                    "hint %r does not match any MDM for %r"
-                    % (hint, user_id)
-                )
-            node, server = entry
-        else:
-            # White-pages round trip.
-            trace.hop(client, self.whitepages_node,
-                      len(user_id) + REQUEST_OVERHEAD_BYTES,
-                      "white pages lookup")
-            trace.compute(WHITEPAGES_COMPUTE_MS, "white pages")
-            entry = self._assignments.get(user_id)
-            if entry is None:
-                listed = user_id in self._unlisted
-                trace.hop(self.whitepages_node, client, 32, "miss")
-                raise GupsterError(
-                    "user %r is unlisted — a hint is required"
-                    % user_id
-                    if listed
-                    else "user %r has no meta-data manager" % user_id
-                )
-            node, server = entry
-            trace.hop(self.whitepages_node, client,
-                      len(node) + REQUEST_OVERHEAD_BYTES, "pointer")
-        referral = _retry_round_trip(
-            trace, self.retry_policy, self.health, client, node,
-            server, path, context, now,
-        )
         return referral, trace
 
     def meta_data_exposure(self) -> Dict[str, int]:
@@ -283,6 +302,7 @@ class HierarchicalMdm:
             retry_policy if retry_policy is not None else RetryPolicy()
         )
         self.health = health if health is not None else EndpointHealth()
+        self.health.bind_registry(network.metrics)
         #: user -> (primary node, primary server)
         self._primaries: Dict[str, Tuple[str, GupsterServer]] = {}
         #: user -> list of (delegated path, node, server)
@@ -293,6 +313,7 @@ class HierarchicalMdm:
     def set_primary(
         self, user_id: str, node: str, server: GupsterServer
     ) -> None:
+        server.bind_registry(self.network.metrics)
         self._primaries[user_id] = (node, server)
 
     def delegate(
@@ -332,44 +353,50 @@ class HierarchicalMdm:
         )
         policy = self.retry_policy
         last_error: Optional[Exception] = None
-        for attempt in range(policy.max_attempts):
-            if attempt > 0:
-                trace.wait(
-                    policy.backoff_ms(attempt),
-                    "backoff before primary retry %d" % (attempt + 1),
+        with trace.span(
+            "mdm.hierarchical",
+            path=str(path), client=client, primary=primary_node,
+        ) as lookup:
+            for attempt in range(policy.max_attempts):
+                if attempt > 0:
+                    trace.wait(
+                        policy.backoff_ms(attempt),
+                        "backoff before primary retry %d"
+                        % (attempt + 1),
+                    )
+                    trace.note_retry()
+                try:
+                    trace.hop(client, primary_node, request_bytes,
+                              "ask primary")
+                    self.health.success(primary_node)
+                    break
+                except TRANSIENT_ERRORS as err:
+                    last_error = err
+                    self.health.failure(primary_node)
+            else:
+                raise GupsterError(
+                    "primary MDM %s unreachable: %s"
+                    % (primary_node, last_error)
                 )
-                trace.note_retry()
-            try:
-                trace.hop(client, primary_node, request_bytes,
-                          "ask primary")
-                self.health.success(primary_node)
-                break
-            except TRANSIENT_ERRORS as err:
-                last_error = err
-                self.health.failure(primary_node)
-        else:
-            raise GupsterError(
-                "primary MDM %s unreachable: %s"
-                % (primary_node, last_error)
-            )
-        trace.compute(RESOLVE_COMPUTE_MS, "primary lookup")
-        for delegated_path, node, server in self._delegations.get(
-            user_id or "", []
-        ):
-            if subtree_covers(delegated_path, path):
-                # Primary only returns the delegation pointer.
-                trace.hop(primary_node, client,
-                          len(node) + REQUEST_OVERHEAD_BYTES,
-                          "delegation pointer")
-                referral = _retry_round_trip(
-                    trace, policy, self.health, client, node, server,
-                    path, context, now,
-                )
-                return referral, trace
-        referral = primary_server.resolve(path, context, now)
-        trace.hop(primary_node, client,
-                  referral.byte_size() + REQUEST_OVERHEAD_BYTES,
-                  "referral")
+            trace.compute(RESOLVE_COMPUTE_MS, "primary lookup")
+            for delegated_path, node, server in self._delegations.get(
+                user_id or "", []
+            ):
+                if subtree_covers(delegated_path, path):
+                    # Primary only returns the delegation pointer.
+                    lookup.set("delegated_to", node)
+                    trace.hop(primary_node, client,
+                              len(node) + REQUEST_OVERHEAD_BYTES,
+                              "delegation pointer")
+                    referral = _retry_round_trip(
+                        trace, policy, self.health, client, node,
+                        server, path, context, now,
+                    )
+                    return referral, trace
+            referral = primary_server.resolve(path, context, now)
+            trace.hop(primary_node, client,
+                      referral.byte_size() + REQUEST_OVERHEAD_BYTES,
+                      "referral")
         return referral, trace
 
     def meta_data_exposure(self) -> Dict[str, int]:

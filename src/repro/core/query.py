@@ -109,6 +109,11 @@ class QueryExecutor:
         #: Per-store health: recent failures sink a store to the back
         #: of its ``||`` choice list.
         self.health = health if health is not None else EndpointHealth()
+        # Re-home every instrument onto the network's world registry so
+        # one snapshot/export covers net.*, cache.*, health.* and
+        # server.* (E18).
+        self.health.bind_registry(network.metrics)
+        server.bind_registry(network.metrics)
 
     # -- shared pieces -----------------------------------------------------------
 
@@ -163,28 +168,33 @@ class QueryExecutor:
                     else len(str(part.path)) + self.REQUEST_OVERHEAD_BYTES
                 )
                 try:
-                    trace.hop(origin, store_id, query_bytes,
-                              "query %s" % part.path)
-                    if part.signed_query is not None:
-                        self.verifier.verify(part.signed_query, now)
+                    with trace.span(
+                        "fetch.store",
+                        store=store_id, path=str(part.path), sweep=sweep,
+                    ) as attempt:
+                        trace.hop(origin, store_id, query_bytes,
+                                  "query %s" % part.path)
+                        if part.signed_query is not None:
+                            self.verifier.verify(part.signed_query, now)
+                            trace.compute(
+                                self.VERIFY_COMPUTE_MS, "verify signature"
+                            )
                         trace.compute(
-                            self.VERIFY_COMPUTE_MS, "verify signature"
+                            self.STORE_QUERY_COMPUTE_MS, "evaluate path"
                         )
-                    trace.compute(
-                        self.STORE_QUERY_COMPUTE_MS, "evaluate path"
-                    )
-                    fragment = adapter.get(part.path)
-                    if (
-                        fragment is not None
-                        and self.annotator is not None
-                    ):
-                        self.annotator.annotate(fragment, store_id)
-                    response_bytes = (
-                        fragment.byte_size()
-                        if fragment is not None else 32
-                    ) + self.REQUEST_OVERHEAD_BYTES
-                    trace.hop(store_id, origin, response_bytes,
-                              "fragment")
+                        fragment = adapter.get(part.path)
+                        if (
+                            fragment is not None
+                            and self.annotator is not None
+                        ):
+                            self.annotator.annotate(fragment, store_id)
+                        response_bytes = (
+                            fragment.byte_size()
+                            if fragment is not None else 32
+                        ) + self.REQUEST_OVERHEAD_BYTES
+                        trace.hop(store_id, origin, response_bytes,
+                                  "fragment")
+                        attempt.set("status", "ok")
                 except TRANSIENT_ERRORS as err:
                     last_error = err
                     self.health.failure(store_id)
@@ -292,33 +302,38 @@ class QueryExecutor:
         after retries/failovers, as before."""
         path = parse_path(request)
         trace = self.network.trace()
-        trace.hop(client, self.server_node,
-                  self._request_bytes(path, context), "resolve request")
-        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
-        referral = self._resolve_tracked(path, context, now)
-        trace.hop(self.server_node, client,
-                  referral.byte_size() + self.REQUEST_OVERHEAD_BYTES,
-                  "referral")
-        fragments: List[Optional[PNode]] = []
-        if parallel and len(referral.parts) > 1:
-            branches = []
-            for part in referral.parts:
-                branch = trace.fork()
-                fragment, _store = self._fetch_part_from(
-                    client, part, now, branch
-                )
-                fragments.append(fragment)
-                branches.append(branch)
-            trace.join(branches)
-        else:
-            for part in referral.parts:
-                fragment, _store = self._fetch_part_from(
-                    client, part, now, trace
-                )
-                fragments.append(fragment)
-        merged = self._merge_at(
-            [f for f in fragments if f is not None], trace, client
-        )
+        with trace.span(
+            "query.referral",
+            path=str(path), scope=context.cache_scope(), client=client,
+        ):
+            trace.hop(client, self.server_node,
+                      self._request_bytes(path, context),
+                      "resolve request")
+            trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+            referral = self._resolve_tracked(path, context, now)
+            trace.hop(self.server_node, client,
+                      referral.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                      "referral")
+            fragments: List[Optional[PNode]] = []
+            if parallel and len(referral.parts) > 1:
+                branches = []
+                for part in referral.parts:
+                    branch = trace.fork()
+                    fragment, _store = self._fetch_part_from(
+                        client, part, now, branch
+                    )
+                    fragments.append(fragment)
+                    branches.append(branch)
+                trace.join(branches)
+            else:
+                for part in referral.parts:
+                    fragment, _store = self._fetch_part_from(
+                        client, part, now, trace
+                    )
+                    fragments.append(fragment)
+            merged = self._merge_at(
+                [f for f in fragments if f is not None], trace, client
+            )
         return merged, trace
 
     def chaining(
@@ -337,29 +352,35 @@ class QueryExecutor:
         part failed."""
         path = parse_path(request)
         trace = self.network.trace()
-        trace.hop(client, self.server_node,
-                  self._request_bytes(path, context), "chained request")
-        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
-        referral = self._resolve_tracked(path, context, now)
-        fragments, statuses = self._fetch_parts_degradable(
-            self.server_node, referral, now, trace
-        )
-        failed = [s for s in statuses if not s.ok]
-        if failed and not any(s.ok for s in statuses):
-            raise PartialResultError(
-                "every part of %s is unreachable" % path, statuses
+        with trace.span(
+            "query.chaining",
+            path=str(path), scope=context.cache_scope(), client=client,
+        ) as pattern:
+            trace.hop(client, self.server_node,
+                      self._request_bytes(path, context),
+                      "chained request")
+            trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+            referral = self._resolve_tracked(path, context, now)
+            fragments, statuses = self._fetch_parts_degradable(
+                self.server_node, referral, now, trace
             )
-        if failed:
-            trace.note_degraded(len(failed))
-        merged = self._merge_at(
-            [f for f in fragments if f is not None],
-            trace, self.server_node,
-        )
-        response_bytes = (
-            merged.byte_size() if merged is not None else 32
-        ) + self.REQUEST_OVERHEAD_BYTES
-        trace.hop(self.server_node, client, response_bytes,
-                  "merged result")
+            failed = [s for s in statuses if not s.ok]
+            if failed and not any(s.ok for s in statuses):
+                raise PartialResultError(
+                    "every part of %s is unreachable" % path, statuses
+                )
+            if failed:
+                trace.note_degraded(len(failed))
+                pattern.set("degraded_parts", len(failed))
+            merged = self._merge_at(
+                [f for f in fragments if f is not None],
+                trace, self.server_node,
+            )
+            response_bytes = (
+                merged.byte_size() if merged is not None else 32
+            ) + self.REQUEST_OVERHEAD_BYTES
+            trace.hop(self.server_node, client, response_bytes,
+                      "merged result")
         return merged, trace
 
     def recruiting(
@@ -373,45 +394,53 @@ class QueryExecutor:
         remaining parts and answers the client directly."""
         path = parse_path(request)
         trace = self.network.trace()
-        trace.hop(client, self.server_node,
-                  self._request_bytes(path, context),
-                  "recruited request")
-        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
-        referral = self._resolve_tracked(path, context, now)
-        # Prefer a healthy recruit among the first part's choices.
-        recruit = self.health.order(referral.parts[0].store_ids)[0]
-        plan_bytes = (
-            referral.byte_size() + self.REQUEST_OVERHEAD_BYTES
-        )
-        trace.hop(self.server_node, recruit, plan_bytes,
-                  "migrate query plan")
-        fragments: List[Optional[PNode]] = []
-        # The recruit serves its own part locally...
-        self.verifier.verify(referral.parts[0].signed_query, now)
-        trace.compute(
-            self.VERIFY_COMPUTE_MS + self.STORE_QUERY_COMPUTE_MS,
-            "local part at recruit",
-        )
-        local_adapter = self.server.adapters.get(recruit)
-        if local_adapter is not None:
-            fragments.append(local_adapter.get(referral.parts[0].path))
-        # ...and fetches the remaining parts from their stores.
-        branches = []
-        for part in referral.parts[1:]:
-            branch = trace.fork()
-            fragment, _store = self._fetch_part_from(
-                recruit, part, now, branch
+        with trace.span(
+            "query.recruiting",
+            path=str(path), scope=context.cache_scope(), client=client,
+        ) as pattern:
+            trace.hop(client, self.server_node,
+                      self._request_bytes(path, context),
+                      "recruited request")
+            trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+            referral = self._resolve_tracked(path, context, now)
+            # Prefer a healthy recruit among the first part's choices.
+            recruit = self.health.order(referral.parts[0].store_ids)[0]
+            pattern.set("recruit", recruit)
+            plan_bytes = (
+                referral.byte_size() + self.REQUEST_OVERHEAD_BYTES
             )
-            fragments.append(fragment)
-            branches.append(branch)
-        trace.join(branches)
-        merged = self._merge_at(
-            [f for f in fragments if f is not None], trace, recruit
-        )
-        response_bytes = (
-            merged.byte_size() if merged is not None else 32
-        ) + self.REQUEST_OVERHEAD_BYTES
-        trace.hop(recruit, client, response_bytes, "result to client")
+            trace.hop(self.server_node, recruit, plan_bytes,
+                      "migrate query plan")
+            fragments: List[Optional[PNode]] = []
+            # The recruit serves its own part locally...
+            self.verifier.verify(referral.parts[0].signed_query, now)
+            trace.compute(
+                self.VERIFY_COMPUTE_MS + self.STORE_QUERY_COMPUTE_MS,
+                "local part at recruit",
+            )
+            local_adapter = self.server.adapters.get(recruit)
+            if local_adapter is not None:
+                fragments.append(
+                    local_adapter.get(referral.parts[0].path)
+                )
+            # ...and fetches the remaining parts from their stores.
+            branches = []
+            for part in referral.parts[1:]:
+                branch = trace.fork()
+                fragment, _store = self._fetch_part_from(
+                    recruit, part, now, branch
+                )
+                fragments.append(fragment)
+                branches.append(branch)
+            trace.join(branches)
+            merged = self._merge_at(
+                [f for f in fragments if f is not None], trace, recruit
+            )
+            response_bytes = (
+                merged.byte_size() if merged is not None else 32
+            ) + self.REQUEST_OVERHEAD_BYTES
+            trace.hop(recruit, client, response_bytes,
+                      "result to client")
         return merged, trace
 
     def direct(
@@ -423,17 +452,20 @@ class QueryExecutor:
         """Pre-GUPster baseline: the client already knows the stores and
         paths (no meta-data lookup, no access control, no signatures)."""
         trace = self.network.trace()
-        fragments: List[Optional[PNode]] = []
-        for store_id, raw_path in targets:
-            path = parse_path(raw_path)
-            part = ReferralPart(path, [store_id])
-            fragment, _store = self._fetch_part_from(
-                client, part, now, trace
+        with trace.span(
+            "query.direct", client=client, targets=len(targets),
+        ):
+            fragments: List[Optional[PNode]] = []
+            for store_id, raw_path in targets:
+                path = parse_path(raw_path)
+                part = ReferralPart(path, [store_id])
+                fragment, _store = self._fetch_part_from(
+                    client, part, now, trace
+                )
+                fragments.append(fragment)
+            merged = self._merge_at(
+                [f for f in fragments if f is not None], trace, client
             )
-            fragments.append(fragment)
-        merged = self._merge_at(
-            [f for f in fragments if f is not None], trace, client
-        )
         return merged, trace
 
     def cached(
@@ -459,55 +491,67 @@ class QueryExecutor:
             raise ValueError("server has no cache configured")
         path = parse_path(request)
         trace = self.network.trace()
-        trace.hop(client, self.server_node,
-                  self._request_bytes(path, context), "cached request")
-        trace.compute(self.CACHE_COMPUTE_MS, "cache probe")
-        cached = self.server.cache_lookup(path, context, now)
-        if cached is not None:
-            trace.hop(
-                self.server_node, client,
-                cached.byte_size() + self.REQUEST_OVERHEAD_BYTES,
-                "cache hit",
-            )
-            return cached, trace, True
-        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
-        referral = self._resolve_tracked(path, context, now)
-        fragments, statuses = self._fetch_parts_degradable(
-            self.server_node, referral, now, trace
-        )
-        failed = [s for s in statuses if not s.ok]
-        if failed and not any(s.ok for s in statuses):
-            stale = self.server.cache_stale_lookup(path, context, now)
-            if stale is not None:
-                trace.note_stale_serve()
-                trace.note_degraded(len(failed))
+        with trace.span(
+            "query.cached",
+            path=str(path), scope=context.cache_scope(), client=client,
+        ) as pattern:
+            trace.hop(client, self.server_node,
+                      self._request_bytes(path, context),
+                      "cached request")
+            trace.compute(self.CACHE_COMPUTE_MS, "cache probe")
+            cached = self.server.cache_lookup(path, context, now)
+            if cached is not None:
+                pattern.set("cache", "hit")
                 trace.hop(
                     self.server_node, client,
-                    stale.byte_size() + self.REQUEST_OVERHEAD_BYTES,
-                    "stale cache serve",
+                    cached.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                    "cache hit",
                 )
-                return stale, trace, True
-            raise PartialResultError(
-                "every part of %s is unreachable and no stale cache "
-                "entry survives" % path,
-                statuses,
+                return cached, trace, True
+            pattern.set("cache", "miss")
+            trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+            referral = self._resolve_tracked(path, context, now)
+            fragments, statuses = self._fetch_parts_degradable(
+                self.server_node, referral, now, trace
             )
-        if failed:
-            trace.note_degraded(len(failed))
-        merged = self._merge_at(
-            [f for f in fragments if f is not None],
-            trace, self.server_node,
-        )
-        if merged is not None and not failed:
-            # Partial merges are never cached — a degraded answer must
-            # not masquerade as the component once stores recover.
-            if self.server.cache_store(path, merged, context, now):
-                trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
-        response_bytes = (
-            merged.byte_size() if merged is not None else 32
-        ) + self.REQUEST_OVERHEAD_BYTES
-        trace.hop(self.server_node, client, response_bytes,
-                  "filled result")
+            failed = [s for s in statuses if not s.ok]
+            if failed and not any(s.ok for s in statuses):
+                stale = self.server.cache_stale_lookup(
+                    path, context, now
+                )
+                if stale is not None:
+                    pattern.set("cache", "stale_serve")
+                    trace.note_stale_serve()
+                    trace.note_degraded(len(failed))
+                    trace.hop(
+                        self.server_node, client,
+                        stale.byte_size() + self.REQUEST_OVERHEAD_BYTES,
+                        "stale cache serve",
+                    )
+                    return stale, trace, True
+                raise PartialResultError(
+                    "every part of %s is unreachable and no stale cache "
+                    "entry survives" % path,
+                    statuses,
+                )
+            if failed:
+                trace.note_degraded(len(failed))
+                pattern.set("degraded_parts", len(failed))
+            merged = self._merge_at(
+                [f for f in fragments if f is not None],
+                trace, self.server_node,
+            )
+            if merged is not None and not failed:
+                # Partial merges are never cached — a degraded answer
+                # must not masquerade as the component once stores
+                # recover.
+                if self.server.cache_store(path, merged, context, now):
+                    trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
+            response_bytes = (
+                merged.byte_size() if merged is not None else 32
+            ) + self.REQUEST_OVERHEAD_BYTES
+            trace.hop(self.server_node, client, response_bytes,
+                      "filled result")
         return merged, trace, False
 
     # -- writes ----------------------------------------------------------------
@@ -524,6 +568,23 @@ class QueryExecutor:
         out to every store holding the component."""
         path = parse_path(request)
         trace = self.network.trace()
+        with trace.span(
+            "query.provision",
+            path=str(path), scope=context.cache_scope(), client=client,
+        ):
+            return self._provision_under_span(
+                client, path, fragment, context, now, trace
+            )
+
+    def _provision_under_span(
+        self,
+        client: str,
+        path: Path,
+        fragment: PNode,
+        context: RequestContext,
+        now: float,
+        trace: Trace,
+    ) -> Trace:
         trace.hop(client, self.server_node,
                   self._request_bytes(path, context), "update resolve")
         trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")

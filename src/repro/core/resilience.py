@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import NodeUnreachableError, PacketLossError
+from repro.obs.metrics import CounterView, MetricsRegistry
 from repro.pxml import Path
 
 __all__ = [
@@ -101,22 +102,69 @@ class EndpointHealth:
     ``order`` is a *stable* sort by failure count: with no recorded
     failures the input order — the referral's preference order — is
     returned unchanged, so health tracking is invisible on the happy
-    path."""
+    path.
 
-    __slots__ = ("_failures", "_successes")
+    Accounting (E18 audit): success totals used to accumulate in a
+    per-endpoint ``_successes`` dict that **nothing ever read** — one
+    key per endpoint ever seen, growing without bound under
+    million-user churn, invisible to :meth:`snapshot`. The ranking
+    logic only ever needed the *consecutive-failure* map (success just
+    clears an endpoint's entry), so the per-endpoint success history
+    is folded into two registry counters — ``health.successes`` /
+    ``health.failures`` fleet totals, readable via :meth:`stats` and
+    every exporter — and the only per-endpoint state left is the
+    suspect map, which successes shrink."""
 
-    def __init__(self) -> None:
+    __slots__ = ("_failures", "metrics")
+
+    successes = CounterView("health.successes")
+    failures_recorded = CounterView("health.failures")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: endpoint -> consecutive failures; an entry exists only
+        #: while the endpoint is suspect (bounded by fleet size, and
+        #: emptied as endpoints recover).
         self._failures: Dict[str, int] = {}
-        self._successes: Dict[str, int] = {}
+        self.metrics = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        self.metrics.counter(
+            "health.successes", help="Successful endpoint probes."
+        )
+        self.metrics.counter(
+            "health.failures", help="Failed endpoint probes."
+        )
+        self.metrics.gauge(
+            "health.suspects", help="Endpoints currently suspect.",
+            fn=self._suspect_count,
+        ).bind(self._suspect_count)
+
+    def _suspect_count(self) -> float:
+        return float(len(self._failures))
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Re-home onto a shared world registry, migrating totals
+        (see :meth:`repro.core.cache.ComponentCache.bind_registry`)."""
+        if registry is self.metrics:
+            return
+        previous = self.metrics
+        self.metrics = registry
+        self._register_instruments()
+        for name in ("health.successes", "health.failures"):
+            carried = previous.counter(name).value
+            if carried:
+                registry.counter(name).inc(carried)
 
     def failure(self, endpoint: str) -> None:
         self._failures[endpoint] = self._failures.get(endpoint, 0) + 1
+        self.failures_recorded += 1
 
     def success(self, endpoint: str) -> None:
         self._failures.pop(endpoint, None)
-        self._successes[endpoint] = (
-            self._successes.get(endpoint, 0) + 1
-        )
+        self.successes += 1
 
     def consecutive_failures(self, endpoint: str) -> int:
         return self._failures.get(endpoint, 0)
@@ -133,6 +181,15 @@ class EndpointHealth:
     def snapshot(self) -> Dict[str, int]:
         """endpoint -> consecutive failures (only suspect endpoints)."""
         return dict(self._failures)
+
+    def stats(self) -> Dict[str, int]:
+        """Fleet totals + suspect count (the state the dead
+        ``_successes`` dict was hoarding per endpoint, now bounded)."""
+        return {
+            "successes": self.successes,
+            "failures": self.failures_recorded,
+            "suspects": len(self._failures),
+        }
 
     def __repr__(self) -> str:
         return "<EndpointHealth suspects=%s>" % (self.snapshot() or "{}")

@@ -37,12 +37,25 @@ from repro.core.cache import ComponentCache
 from repro.core.coverage import CoverageMap
 from repro.core.referral import Referral, ReferralPart
 from repro.core.signing import QuerySigner
+from repro.obs.metrics import CounterView, MetricsRegistry
 
 __all__ = ["GupsterServer"]
 
 
 class GupsterServer:
     """A (logically centralized) GUPster meta-data server."""
+
+    resolves = CounterView("server.resolves")
+    denials = CounterView("server.denials")
+    spurious_rejected = CounterView("server.spurious_rejected")
+
+    #: (metric, help) for every server counter.
+    COUNTER_FIELDS = (
+        ("server.resolves", "Referral resolutions attempted."),
+        ("server.denials", "Requests denied by the privacy shield."),
+        ("server.spurious_rejected",
+         "Queries rejected by the GUP schema filter."),
+    )
 
     def __init__(
         self,
@@ -72,10 +85,31 @@ class GupsterServer:
         #: registration convenience; referral clients talk to stores
         #: directly and never touch this).
         self.adapters: Dict[str, GupAdapter] = {}
-        # Counters (E2/E3 read these).
-        self.resolves = 0
-        self.denials = 0
-        self.spurious_rejected = 0
+        # Counters (E2/E3 read these) — registry views since E18; a
+        # private registry until :meth:`bind_registry` re-homes the
+        # server onto a network's shared world registry.
+        self.metrics = MetricsRegistry()
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        for metric, help_text in self.COUNTER_FIELDS:
+            self.metrics.counter(metric, help=help_text)
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Re-home the server's (and its cache's) instruments onto a
+        shared registry, migrating current counts — called by
+        :class:`~repro.core.query.QueryExecutor` when the server is
+        wired to a network."""
+        if registry is not self.metrics:
+            previous = self.metrics
+            self.metrics = registry
+            self._register_instruments()
+            for metric, _help in self.COUNTER_FIELDS:
+                carried = previous.counter(metric).value
+                if carried:
+                    registry.counter(metric).inc(carried)
+        if self.cache is not None:
+            self.cache.bind_registry(registry)
 
     # -- community management ---------------------------------------------------
 

@@ -17,6 +17,12 @@ internally would save this extra work."
   they happen; delivery latency is just two hops.
 
 Experiment E12 reads the delivery records and counters.
+
+Accounting (E18 audit): the hub's counters are views over the
+network's shared :class:`~repro.obs.MetricsRegistry` (``sub.*``), and
+every delivery's latency is observed into the
+``sub.delivery_latency_ms`` histogram — so one snapshot/export covers
+subscription behaviour alongside net.*, cache.* and health.*.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import AccessDeniedError, GupsterError, NetworkError
+from repro.obs.metrics import CounterView
 from repro.pxml import Path, parse_path
 from repro.pxml.evaluate import evaluate_values
 from repro.access import RequestContext
@@ -59,7 +66,16 @@ class Delivery:
 
 
 class SubscriptionHub:
-    """Runs polling and push subscriptions over the simulator."""
+    """Runs polling and push subscriptions over the simulator.
+
+    The message/failure counters live in the network's shared metrics
+    registry under ``sub.*`` (the integer attributes are views), and
+    every recorded :class:`Delivery` also lands its latency in the
+    ``sub.delivery_latency_ms`` histogram."""
+
+    poll_messages = CounterView("sub.poll_messages")
+    push_messages = CounterView("sub.push_messages")
+    poll_failures = CounterView("sub.poll_failures")
 
     def __init__(
         self,
@@ -73,16 +89,40 @@ class SubscriptionHub:
         self.server = server
         self.executor = executor
         self.deliveries: List[Delivery] = []
-        self.poll_messages = 0
-        self.push_messages = 0
-        #: Polls that failed on network/coverage errors (requirement
-        #: 13: a flaky store must not kill the polling loop — the next
-        #: tick simply tries again).
-        self.poll_failures = 0
+        #: The network's shared registry — backing store for the
+        #: ``sub.*`` counter views and the delivery-latency histogram.
+        self.metrics = network.metrics
+        self.metrics.counter(
+            "sub.poll_messages",
+            help="Network messages spent by polling subscriptions.",
+        )
+        self.metrics.counter(
+            "sub.push_messages",
+            help="Network messages spent by push subscriptions.",
+        )
+        # Polls that failed on network/coverage errors (requirement
+        # 13: a flaky store must not kill the polling loop — the next
+        # tick simply tries again).
+        self.metrics.counter(
+            "sub.poll_failures",
+            help="Polls lost to transient network/coverage errors.",
+        )
+        self._latency = self.metrics.histogram(
+            "sub.delivery_latency_ms",
+            help="Change-delivery latency, both modes (virtual ms).",
+        )
         #: value-path -> last value seen by each poller id
         self._poll_state: Dict[int, Optional[str]] = {}
         self._poller_seq = 0
         self._change_log: Dict[str, List[tuple]] = {}
+
+    def _record_delivery(self, delivery: Delivery) -> None:
+        """Append *delivery* and observe its latency in the shared
+        histogram (stamped at the virtual delivery instant)."""
+        self.deliveries.append(delivery)
+        self._latency.observe(
+            delivery.latency_ms, now=delivery.delivered_at
+        )
 
     # -- change bookkeeping (benches call this when mutating stores) -----------
 
@@ -142,7 +182,7 @@ class SubscriptionHub:
                 self._poll_state[poller_id] = value
                 delivered_at = self.sim.now + trace.elapsed_ms
                 if previous is not None:  # skip the initial snapshot
-                    self.deliveries.append(
+                    self._record_delivery(
                         Delivery(
                             "poll", value,
                             self._changed_at(value_path, value),
@@ -192,7 +232,7 @@ class SubscriptionHub:
                 self.push_messages += 1
 
                 def at_client() -> None:
-                    self.deliveries.append(
+                    self._record_delivery(
                         Delivery("push", value, changed_at, self.sim.now)
                     )
 

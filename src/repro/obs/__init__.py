@@ -1,0 +1,49 @@
+"""repro.obs — the observability layer (E18).
+
+Hierarchical spans over virtual time (:mod:`repro.obs.spans`), a
+metrics registry of named counters/gauges/histograms
+(:mod:`repro.obs.metrics`), and exporters for Chrome trace-event
+JSON, Prometheus text, and JSON snapshots (:mod:`repro.obs.export`).
+
+The layer is strictly *under* the simulation: disabled (no recorder
+attached, the default) it costs nothing and changes nothing — the
+golden-latency gate in ``tests/test_obs_determinism.py`` holds the
+sampled latencies of the E1/E7/E16 reference streams bit-identical
+to their pre-observability fixtures.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import Span, SpanEvent, SpanRecorder
+from repro.obs.export import (
+    expected_duration,
+    reconcile,
+    to_chrome_trace,
+    to_json_snapshot,
+    to_prometheus,
+    write_chrome_trace,
+    write_json_snapshot,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "SpanRecorder",
+    "expected_duration",
+    "reconcile",
+    "to_chrome_trace",
+    "to_json_snapshot",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_json_snapshot",
+]

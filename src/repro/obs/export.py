@@ -1,0 +1,231 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSON snapshot.
+
+Three consumers, three formats:
+
+* ``chrome://tracing`` / Perfetto loads :func:`to_chrome_trace` —
+  every span a complete ("X") event, every span event an instant
+  ("i"), one "process" per trace id and one "thread" per fork lane,
+  so a degraded E16 chaining query renders as parallel referral
+  lanes with the retry sweeps visible inside the dead store's lane.
+* A metrics scraper reads :func:`to_prometheus` — the standard text
+  exposition format (counters, gauges, cumulative ``_bucket`` lines
+  for histograms).
+* Benchmarks archive :func:`to_json_snapshot` next to their result
+  tables (``benchmarks/results/*_metrics.json``).
+
+:func:`expected_duration` / :func:`reconcile` implement the E18
+acceptance check: a span tree must *explain* its trace's elapsed time
+under the fork/join cost model (sequential children sum; children in
+the same ``fork_group`` contribute their max).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "expected_duration",
+    "reconcile",
+    "to_chrome_trace",
+    "to_json_snapshot",
+    "to_prometheus",
+]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(recorder: SpanRecorder) -> Dict[str, object]:
+    """The recorder's spans in Chrome trace-event JSON (object form).
+
+    Timestamps are microseconds in the trace-event format; our spans
+    are virtual milliseconds, so ``ts = start_ms * 1000``. ``pid`` is
+    the trace id (one query per "process"), ``tid`` the fork lane.
+    Unfinished spans export as zero-duration events flagged
+    ``"unfinished": true`` rather than being dropped — a visible bug
+    beats a hidden one.
+    """
+    events: List[Dict[str, object]] = []
+    for span in recorder.spans:
+        args: Dict[str, object] = dict(span.attrs)
+        if not span.finished:
+            args["unfinished"] = True
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start_ms * 1000.0,
+            "dur": span.duration_ms * 1000.0,
+            "pid": span.trace_id,
+            "tid": span.tid,
+            "args": args,
+        })
+        for ev in span.events:
+            events.append({
+                "name": ev.name,
+                "ph": "i",
+                "ts": ev.at_ms * 1000.0,
+                "pid": span.trace_id,
+                "tid": span.tid,
+                "s": "t",
+                "args": dict(ev.attrs),
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "source": "repro.obs"},
+    }
+
+
+def write_chrome_trace(recorder: SpanRecorder, path: str) -> None:
+    """Dump :func:`to_chrome_trace` to *path* (pretty-printed, stable
+    key order — the file is diffed in CI artifacts)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(recorder), handle, indent=1,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Dotted metric names → Prometheus identifiers."""
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format (0.0.4)."""
+    lines: List[str] = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        prom = _prom_name(name)
+        if instrument is None:  # pragma: no cover - names() is live
+            continue
+        if instrument.help:
+            lines.append("# HELP %s %s" % (prom, instrument.help))
+        if isinstance(instrument, Counter):
+            lines.append("# TYPE %s counter" % prom)
+            lines.append("%s_total %s" % (prom, instrument.value))
+        elif isinstance(instrument, Gauge):
+            lines.append("# TYPE %s gauge" % prom)
+            lines.append("%s %s" % (prom, _prom_float(instrument.value)))
+        elif isinstance(instrument, Histogram):
+            lines.append("# TYPE %s histogram" % prom)
+            for bound, cumulative in instrument.bucket_counts():
+                lines.append(
+                    '%s_bucket{le="%s"} %d'
+                    % (prom, _prom_float(bound), cumulative)
+                )
+            lines.append("%s_sum %s" % (prom, _prom_float(instrument.sum)))
+            lines.append("%s_count %d" % (prom, instrument.count))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# JSON snapshot
+# ---------------------------------------------------------------------------
+
+def to_json_snapshot(
+    registry: MetricsRegistry,
+    recorder: Optional[SpanRecorder] = None,
+) -> Dict[str, object]:
+    """Registry snapshot (plus span totals when a recorder is given)
+    in the shape ``benchmarks/results/*_metrics.json`` archives."""
+    snapshot: Dict[str, object] = dict(registry.snapshot())
+    if recorder is not None:
+        snapshot["spans"] = {
+            "recorded": len(recorder),
+            "open": len(recorder.open_spans()),
+            "by_name": [
+                {"name": name, "count": count, "total_ms": total}
+                for name, count, total in recorder.summary()
+            ],
+        }
+    return snapshot
+
+
+def write_json_snapshot(
+    registry: MetricsRegistry,
+    path: str,
+    recorder: Optional[SpanRecorder] = None,
+) -> None:
+    """Dump :func:`to_json_snapshot` to *path* (sorted keys, so two
+    runs of a deterministic benchmark produce identical bytes)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_json_snapshot(registry, recorder), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Reconciliation (the E18 acceptance check)
+# ---------------------------------------------------------------------------
+
+def expected_duration(recorder: SpanRecorder, span: Span) -> float:
+    """The duration *implied* by a span's children under the Trace
+    cost model: children sharing a ``fork_group`` attribute ran in
+    parallel (contribute their max, per group); everything else ran
+    sequentially (contributes its duration). A childless span explains
+    itself.
+    """
+    children = recorder.children_of(span)
+    if not children:
+        return span.duration_ms
+    total = 0.0
+    groups: Dict[object, float] = {}
+    for child in children:
+        child_ms = expected_duration(recorder, child)
+        group = child.attrs.get("fork_group")
+        if group is None:
+            total += child_ms
+        else:
+            groups[group] = max(groups.get(group, 0.0), child_ms)
+    return total + sum(groups.values())
+
+
+def reconcile(
+    recorder: SpanRecorder,
+    trace_id: int,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-6,
+) -> List[Tuple[Span, float, float]]:
+    """Check every finished span of a trace against its children's
+    implied duration; return the mismatches as
+    ``(span, actual_ms, expected_ms)``. Empty list == the tree fully
+    explains where the time went (E18's acceptance criterion).
+
+    Tolerances are float-telescoping slack, not a semantic fudge: a
+    branch's absolute timestamps are ``base + elapsed``, and summing
+    differences of those reintroduces rounding the Trace accumulator
+    never sees.
+    """
+    mismatches: List[Tuple[Span, float, float]] = []
+    for span in recorder.spans_for(trace_id):
+        if not span.finished:
+            continue
+        expected = expected_duration(recorder, span)
+        if not math.isclose(span.duration_ms, expected,
+                            rel_tol=rel_tol, abs_tol=abs_tol):
+            mismatches.append((span, span.duration_ms, expected))
+    return mismatches

@@ -34,14 +34,41 @@ counters across all traces (:attr:`Network.counters`) so a benchmark
 can report fleet-wide behaviour under churn. With no faults injected
 the loss RNG is never consulted and every counter stays zero — the
 no-fault cost model is bit-for-bit identical to the pre-fault one.
+
+Hierarchical observability (E18): the network owns a
+:class:`~repro.obs.MetricsRegistry` (``Network.metrics``) that backs
+:class:`ResilienceCounters` — the old integer attributes survive as
+*views* over registry counters — and can attach a
+:class:`~repro.obs.SpanRecorder` (:meth:`Network.enable_observability`).
+With a recorder attached, every Trace opens a root span and each
+``hop``/``compute``/``wait`` charge records a leaf span carrying the
+link, byte count and outcome; callers can group charges under named
+spans with ``with trace.span("referral", store=...)``. The layer sits
+strictly *under* the cost model: with no recorder (the default)
+nothing is allocated and every sampled latency is bit-identical to
+the pre-observability streams (``tests/data/golden_latencies.json``
+pins this).
+
+Degraded-response accounting (pinned semantics, E18 audit): the
+network-level ``degraded_responses`` counter counts **root traces**
+that end up degraded, exactly once each. Branch traces created by
+:meth:`Trace.fork` never touch the network counter — their
+``degraded_parts`` flow into the parent at :meth:`Trace.join`, which
+performs the single root-level transition check. (Previously each
+*branch* performed its own first-transition increment, so a fan-out
+where two legs degraded counted one response twice, and a parent that
+only became degraded via ``join`` was counted through its branches —
+by luck, once — only when exactly one leg degraded.)
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import NodeUnreachableError, PacketLossError
+from repro.obs.metrics import CounterView, MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
     "NetworkNode",
@@ -111,39 +138,50 @@ DEFAULT_REGION_LATENCY: Dict[Tuple[str, str], LinkSpec] = {
 
 
 class ResilienceCounters:
-    """Fleet-wide failure/recovery accounting (E16 reads this)."""
+    """Fleet-wide failure/recovery accounting (E16 reads this).
 
-    __slots__ = (
-        "retries",
-        "failovers",
-        "timeouts",
-        "loss_drops",
-        "stale_serves",
-        "degraded_responses",
+    Since E18 the integers live in a :class:`~repro.obs.MetricsRegistry`
+    under ``net.*`` names; the attributes below are registry views."""
+
+    __slots__ = ("registry",)
+
+    #: (attribute, registry name, help) triples, in report order.
+    FIELDS: Tuple[Tuple[str, str, str], ...] = (
+        ("retries", "net.retries",
+         "Backed-off re-attempts after a failed sweep of choices."),
+        ("failovers", "net.failovers",
+         "Switches to an alternative store/mirror after a failure."),
+        ("timeouts", "net.timeouts",
+         "Failure-detection timeouts charged (dead node or lost packet)."),
+        ("loss_drops", "net.loss_drops",
+         "Hops dropped by injected packet loss."),
+        ("stale_serves", "net.stale_serves",
+         "Cache answers served past TTL because the origin failed."),
+        ("degraded_responses", "net.degraded_responses",
+         "Root responses returned with at least one unreachable part."),
     )
 
-    def __init__(self):
-        self.reset()
+    retries = CounterView("net.retries", "registry")
+    failovers = CounterView("net.failovers", "registry")
+    timeouts = CounterView("net.timeouts", "registry")
+    loss_drops = CounterView("net.loss_drops", "registry")
+    stale_serves = CounterView("net.stale_serves", "registry")
+    degraded_responses = CounterView("net.degraded_responses", "registry")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for _attr, metric, help_text in self.FIELDS:
+            self.registry.counter(metric, help=help_text)
 
     def reset(self) -> None:
-        #: Backed-off re-attempts after a failed sweep of choices.
-        self.retries = 0
-        #: Switches to an alternative store/mirror after a failure.
-        self.failovers = 0
-        #: Failure-detection timeouts charged (dead node or lost packet).
-        self.timeouts = 0
-        #: Hops dropped by injected packet loss.
-        self.loss_drops = 0
-        #: Cache answers served past their TTL because the origin failed.
-        self.stale_serves = 0
-        #: Responses returned with at least one unreachable part.
-        self.degraded_responses = 0
+        for _attr, metric, _help in self.FIELDS:
+            self.registry.counter(metric).reset()
 
     def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {attr: getattr(self, attr) for attr, _m, _h in self.FIELDS}
 
     def total(self) -> int:
-        return sum(getattr(self, name) for name in self.__slots__)
+        return sum(getattr(self, attr) for attr, _m, _h in self.FIELDS)
 
     def __repr__(self) -> str:
         return "<ResilienceCounters %s>" % self.as_dict()
@@ -171,8 +209,16 @@ class Network:
         # A dedicated RNG for loss decisions so injecting loss on one
         # link does not perturb the jitter stream of other links.
         self._loss_rng = random.Random(seed ^ 0x5EED)
-        #: Aggregated resilience counters across all traces.
-        self.counters = ResilienceCounters()
+        #: The metric registry every instrument in this world shares
+        #: (net.* counters here; cache.*, health.*, … are registered by
+        #: the components a benchmark wires to this network).
+        self.metrics = MetricsRegistry()
+        #: Aggregated resilience counters across all traces (registry
+        #: views — see :class:`ResilienceCounters`).
+        self.counters = ResilienceCounters(self.metrics)
+        #: Span sink; ``None`` (the default) disables span recording
+        #: entirely — no Span is ever constructed.
+        self.recorder: Optional[SpanRecorder] = None
 
     # -- topology -----------------------------------------------------------
 
@@ -304,6 +350,22 @@ class Network:
     def reset_counters(self) -> None:
         self.counters.reset()
 
+    # -- observability (E18) -------------------------------------------------
+
+    def enable_observability(self) -> SpanRecorder:
+        """Attach (or return the already-attached) span recorder.
+
+        Only traces created *after* this call record spans — a trace
+        binds its recorder at construction so its span tree cannot be
+        half-recorded."""
+        if self.recorder is None:
+            self.recorder = SpanRecorder()
+        return self.recorder
+
+    def disable_observability(self) -> None:
+        """Detach the recorder; subsequent traces record nothing."""
+        self.recorder = None
+
     def sample_hop(
         self, src: str, dst: str, nbytes: int
     ) -> float:
@@ -326,10 +388,91 @@ class Network:
         )
 
 
-class Trace:
-    """Cost accumulator for one logical operation over the network."""
+class _NullSpanHandle:
+    """The no-op ``trace.span(...)`` result when no recorder is
+    attached: context manager + attribute sink, all free."""
 
-    def __init__(self, network: Network):
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, key: str, value: object) -> "_NullSpanHandle":
+        return self
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class _SpanHandle:
+    """Context manager opening a named span on a recording trace. The
+    span starts at ``__enter__`` and finishes at ``__exit__`` — at the
+    trace's *virtual* now both times — so its duration is exactly the
+    sum of the charges made inside the ``with`` block."""
+
+    __slots__ = ("_trace", "_name", "_attrs", "_span")
+
+    def __init__(
+        self,
+        trace: "Trace",
+        name: str,
+        attrs: Optional[Dict[str, object]],
+    ) -> None:
+        self._trace = trace
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        trace = self._trace
+        rec = trace._rec
+        assert rec is not None
+        top = trace._stack[-1]
+        self._span = rec.start(
+            self._name,
+            trace._now,
+            parent_id=top.span_id,
+            trace_id=trace.trace_id,
+            tid=trace.tid,
+            attrs=self._attrs,
+        )
+        trace._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc: object) -> bool:
+        trace = self._trace
+        span = self._span
+        rec = trace._rec
+        if span is None or rec is None:  # pragma: no cover - misuse
+            return False
+        stack = trace._stack
+        # Pop back to (and including) this span; tolerate an inner
+        # span leaked by a misbehaving caller rather than corrupting
+        # every later parent link.
+        while len(stack) > 1 and stack[-1] is not span:
+            stack.pop()
+        if len(stack) > 1:
+            stack.pop()
+        rec.finish(span, trace._now)
+        return False
+
+
+class Trace:
+    """Cost accumulator for one logical operation over the network.
+
+    With a :class:`~repro.obs.SpanRecorder` attached to the network,
+    the trace additionally maintains a hierarchical span tree: a root
+    span covering the whole operation, one leaf span per charge
+    (``hop``/``compute``/``wait``), and caller-named grouping spans
+    via :meth:`span`. All span timestamps are ``_base + elapsed_ms``
+    — pure virtual time — and recording changes **no** sampled
+    latency (the cost-model code paths are byte-identical; span
+    bookkeeping only ever reads ``elapsed_ms``)."""
+
+    def __init__(self, network: Network, parent: Optional["Trace"] = None):
         self._network = network
         self.elapsed_ms: float = 0.0
         self.bytes_total: int = 0
@@ -349,6 +492,89 @@ class Trace:
         #: Per-part delivery report filled by degradable query patterns
         #: (list of :class:`repro.core.resilience.PartStatus`).
         self.part_status: List[object] = []
+        # -- hierarchical observability (E18) --------------------------------
+        #: Branches (from :meth:`fork`) defer degraded-response and
+        #: span-root bookkeeping to their parent.
+        self._is_branch = parent is not None
+        #: Number of joins performed (names the fork groups).
+        self._join_seq = 0
+        rec = network.recorder
+        self._rec = rec
+        if rec is None:
+            self.trace_id = 0
+            self.tid = 0
+            self._base = 0.0
+            self._root: Optional[Span] = None
+            self._stack: List[Span] = []
+            return
+        if parent is None or parent._root is None:
+            self.trace_id = rec.new_trace_id()
+            self.tid = 0
+            self._base = 0.0
+            self._root = rec.start(
+                "trace", 0.0, trace_id=self.trace_id, tid=0
+            )
+        else:
+            self.trace_id = parent.trace_id
+            self.tid = rec.next_tid()
+            self._base = parent._base + parent.elapsed_ms
+            self._root = rec.start(
+                "branch",
+                self._base,
+                parent_id=parent._stack[-1].span_id,
+                trace_id=self.trace_id,
+                tid=self.tid,
+            )
+        # The root is kept *closed* at the high-water mark of charges
+        # (its end advances with every charge), so a finished query
+        # never leaves an open span behind.
+        self._root.end_ms = self._base
+        self._stack = [self._root]
+
+    # -- observability plumbing ----------------------------------------------
+
+    @property
+    def _now(self) -> float:
+        """This trace's absolute virtual instant (branch base + own
+        elapsed). Only meaningful for span timestamps — the cost model
+        itself never reads it."""
+        return self._base + self.elapsed_ms
+
+    def _leaf(
+        self, name: str, start_ms: float,
+        attrs: Optional[Dict[str, object]],
+    ) -> None:
+        rec = self._rec
+        if rec is None:  # pragma: no cover - callers pre-check
+            return
+        end = self._now
+        rec.leaf(
+            name,
+            start_ms,
+            end,
+            parent_id=self._stack[-1].span_id,
+            trace_id=self.trace_id,
+            tid=self.tid,
+            attrs=attrs,
+        )
+        root = self._root
+        if root is not None:
+            root.end_ms = end
+
+    def span(self, name: str, **attrs: object):
+        """Open a named child span covering the charges made inside
+        the returned context manager (store id, requester scope, retry
+        number… go in ``attrs``). Free when observability is off."""
+        if self._rec is None:
+            return _NULL_SPAN
+        return _SpanHandle(self, name, attrs if attrs else None)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """A point-in-time annotation on the current span."""
+        if self._rec is not None:
+            self._stack[-1].event(
+                name, self._now, attrs if attrs else None
+            )
 
     # -- sequential costs -----------------------------------------------------
 
@@ -356,6 +582,30 @@ class Trace:
         self, src: str, dst: str, nbytes: int, note: str = ""
     ) -> None:
         """One message from *src* to *dst* carrying *nbytes*."""
+        if self._rec is None:
+            return self._hop(src, dst, nbytes, note)
+        start = self._now
+        status = "ok"
+        try:
+            return self._hop(src, dst, nbytes, note)
+        except NodeUnreachableError:
+            status = "unreachable"
+            raise
+        except PacketLossError:
+            status = "lost"
+            raise
+        finally:
+            attrs: Dict[str, object] = {
+                "src": src, "dst": dst, "bytes": nbytes,
+                "status": status,
+            }
+            if note:
+                attrs["note"] = note
+            self._leaf("hop", start, attrs)
+
+    def _hop(
+        self, src: str, dst: str, nbytes: int, note: str = ""
+    ) -> None:
         target = self._network.node(dst)
         source = self._network.node(src)
         if source.failed:
@@ -409,38 +659,68 @@ class Trace:
         """Local processing time (query rewriting, policy evaluation...)."""
         if ms < 0:
             raise ValueError("negative compute time")
+        if self._rec is None:
+            self.elapsed_ms += ms
+            if note:
+                self.log.append("compute: %.3f ms (%s)" % (ms, note))
+            return
+        start = self._now
         self.elapsed_ms += ms
         if note:
             self.log.append("compute: %.3f ms (%s)" % (ms, note))
+        self._leaf(
+            "compute", start, {"note": note} if note else None
+        )
 
     def wait(self, ms: float, note: str = "") -> None:
         """Idle wall-clock time charged to the operation (retry
         backoff). No bytes move and nothing computes."""
         if ms < 0:
             raise ValueError("negative wait time")
+        if self._rec is None:
+            self.elapsed_ms += ms
+            if note:
+                self.log.append("wait: %.3f ms (%s)" % (ms, note))
+            return
+        start = self._now
         self.elapsed_ms += ms
         if note:
             self.log.append("wait: %.3f ms (%s)" % (ms, note))
+        self._leaf("wait", start, {"note": note} if note else None)
 
     # -- resilience accounting -------------------------------------------------
 
     def note_retry(self) -> None:
         self.retries += 1
         self._network.counters.retries += 1
+        if self._rec is not None:
+            self.event("retry", count=self.retries)
 
     def note_failover(self) -> None:
         self.failovers += 1
         self._network.counters.failovers += 1
+        if self._rec is not None:
+            self.event("failover", count=self.failovers)
 
     def note_stale_serve(self) -> None:
         self.stale_serves += 1
         self._network.counters.stale_serves += 1
+        if self._rec is not None:
+            self.event("stale_serve", count=self.stale_serves)
 
     def note_degraded(self, parts: int = 1) -> None:
+        """Record *parts* unreachable referral parts.
+
+        The fleet-wide ``degraded_responses`` counter counts **root**
+        traces only (see the module docstring for the pinned
+        semantics); a branch's degradation reaches the network
+        aggregate through its parent's :meth:`join`."""
         first = self.degraded_parts == 0
         self.degraded_parts += parts
-        if first and parts:
+        if first and parts and not self._is_branch:
             self._network.counters.degraded_responses += 1
+        if self._rec is not None and parts:
+            self.event("degraded", parts=parts)
 
     @property
     def degraded(self) -> bool:
@@ -451,14 +731,19 @@ class Trace:
 
     def fork(self) -> "Trace":
         """A branch trace for one leg of a parallel fan-out."""
-        return Trace(self._network)
+        return Trace(self._network, parent=self)
 
     def join(self, branches: List["Trace"]) -> None:
         """Merge parallel branches: elapsed += max, bytes/hops += sum.
         Resilience counters and part reports sum across branches (the
-        network-level aggregate was already charged at event time)."""
+        network-level aggregate was already charged at event time —
+        except ``degraded_responses``, whose root-level transition is
+        decided here; see :meth:`note_degraded`)."""
         if not branches:
             return
+        was_degraded = self.degraded_parts > 0
+        self._join_seq += 1
+        group = "j%d" % self._join_seq
         self.elapsed_ms += max(branch.elapsed_ms for branch in branches)
         for branch in branches:
             self.bytes_total += branch.bytes_total
@@ -470,6 +755,18 @@ class Trace:
             self.degraded_parts += branch.degraded_parts
             self.part_status.extend(branch.part_status)
             self.log.extend("| " + line for line in branch.log)
+            if branch._root is not None and branch._root.name == "branch":
+                # Stamp the fork group so exporters reconcile this
+                # join as max-over-group, not a sequential sum.
+                branch._root.set("fork_group", group)
+        if (
+            not self._is_branch
+            and not was_degraded
+            and self.degraded_parts > 0
+        ):
+            self._network.counters.degraded_responses += 1
+        if self._rec is not None and self._root is not None:
+            self._root.end_ms = self._now
 
     def snapshot(self) -> Dict[str, float]:
         return {

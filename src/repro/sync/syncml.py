@@ -15,13 +15,21 @@ protocol. Issues like synchronization semantics need to be addressed"
 
 Experiment E8 measures messages/bytes of fast vs slow sync as a
 function of change rate — the shape that justifies anchors.
+
+Accounting (E18 audit): per-run numbers stay on :class:`SyncReport`
+(the E8 API), but each :meth:`SyncSession.run` also folds its totals
+into registry-backed ``sync.*`` counters so a session's lifetime cost
+exports alongside net.*/cache.*/sub.* from one snapshot. The session
+starts with a private registry and can be re-homed onto a shared world
+registry via :meth:`SyncSession.bind_registry`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import SyncError
+from repro.obs.metrics import CounterView, MetricsRegistry
 from repro.pxml import PNode
 from repro.sync.endpoint import Change, SyncEndpoint
 from repro.sync.reconcile import Conflict, Reconciler
@@ -80,6 +88,23 @@ class SyncSession:
     two replicas inside one trust domain) behave exactly as before.
     """
 
+    #: (attribute/metric suffix, help) pairs for the lifetime totals.
+    COUNTER_FIELDS: Tuple[Tuple[str, str], ...] = (
+        ("fast_syncs", "Sessions resolved by fast sync."),
+        ("slow_syncs", "Sessions that fell back to slow sync."),
+        ("messages", "SyncML messages exchanged, both directions."),
+        ("bytes", "Wire bytes exchanged (payload + framing)."),
+        ("conflicts", "Conflicting concurrent edits reconciled."),
+        ("withheld_items", "Items the privacy shield withheld."),
+    )
+
+    fast_syncs = CounterView("sync.fast_syncs")
+    slow_syncs = CounterView("sync.slow_syncs")
+    messages = CounterView("sync.messages")
+    bytes_exchanged = CounterView("sync.bytes")
+    conflicts = CounterView("sync.conflicts")
+    withheld_items = CounterView("sync.withheld_items")
+
     def __init__(
         self,
         client: SyncEndpoint,
@@ -88,6 +113,7 @@ class SyncSession:
         owner: Optional[str] = None,
         pep: Optional["PolicyEnforcementPoint"] = None,
         context: Optional["RequestContext"] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if pep is not None and (owner is None or context is None):
             raise SyncError(
@@ -105,6 +131,12 @@ class SyncSession:
         self.context = context
         #: Total items withheld by the shield across all runs.
         self.withheld = 0
+        #: Registry backing the lifetime ``sync.*`` totals (private
+        #: until :meth:`bind_registry` re-homes it).
+        self.metrics = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._register_instruments()
         # Per-run memo of shield decisions, item_id -> permit.
         self._decisions: Dict[str, bool] = {}
         # Anchors per SyncML: both sides remember the last agreed tag.
@@ -115,6 +147,38 @@ class SyncSession:
         self._client_mark = 0
         self._server_mark = 0
         self._ever_synced = False
+
+    # -- metrics ----------------------------------------------------------------
+
+    def _register_instruments(self) -> None:
+        """Ensure every ``sync.*`` counter exists in the registry."""
+        for suffix, help_text in self.COUNTER_FIELDS:
+            self.metrics.counter("sync." + suffix, help=help_text)
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Re-home onto a shared world registry, migrating totals
+        (see :meth:`repro.core.cache.ComponentCache.bind_registry`)."""
+        if registry is self.metrics:
+            return
+        previous = self.metrics
+        self.metrics = registry
+        self._register_instruments()
+        for suffix, _help in self.COUNTER_FIELDS:
+            carried = previous.counter("sync." + suffix).value
+            if carried:
+                registry.counter("sync." + suffix).inc(carried)
+
+    def _tally(self, report: SyncReport) -> None:
+        """Fold one run's :class:`SyncReport` into the lifetime
+        ``sync.*`` counters."""
+        if report.mode == "fast":
+            self.fast_syncs += 1
+        else:
+            self.slow_syncs += 1
+        self.messages += report.messages
+        self.bytes_exchanged += report.bytes
+        self.conflicts += len(report.conflicts)
+        self.withheld_items += report.withheld
 
     # -- privacy shield ---------------------------------------------------------
 
@@ -172,6 +236,7 @@ class SyncSession:
             1 for permit in self._decisions.values() if not permit
         )
         self.withheld += report.withheld
+        self._tally(report)
         self._sync_count += 1
         anchor = "a%d" % self._sync_count
         self._client_anchor = anchor

@@ -16,6 +16,7 @@ ones almost never), which is what makes caching (E7) interesting.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.pxml import PNode
@@ -70,8 +71,16 @@ class SyntheticAdapter(GupAdapter):
         if components is None:
             return None
         root = self._user_root(user_id)
+        # CRC32, not hash(): string hash() is randomized per process
+        # (PYTHONHASHSEED), which silently made generated *text* —
+        # and therefore sampled byte sizes and latencies — differ
+        # between runs of the same seed. The E18 golden-latency gate
+        # caught this; profile content must be a pure function of
+        # (user, store, seed).
         rng = random.Random(
-            (hash(user_id) ^ self.seed ^ hash(self.store_id)) & 0x7FFFFFFF
+            (zlib.crc32(user_id.encode("utf-8"))
+             ^ self.seed
+             ^ zlib.crc32(self.store_id.encode("utf-8"))) & 0x7FFFFFFF
         )
         for component in components:
             override = self._written.get((user_id, component))

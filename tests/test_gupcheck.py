@@ -30,6 +30,7 @@ from repro.analysis.rules import (
     LayeringRule,
     ShieldEgressRule,
     SimBlockingRule,
+    SpanBalanceRule,
 )
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -614,6 +615,123 @@ class TestShieldEgressRule:
                         fragment = self.cache.get(request, now, scope="x")
                         # gupcheck: ignore[shield-egress] -- operator debug tap, not client-reachable
                         return fragment
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# span-balance
+# ---------------------------------------------------------------------------
+
+class TestSpanBalanceRule:
+    RELPATH = "repro/core/fixture.py"
+
+    def test_flags_discarded_span_handle(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def lookup(trace, store):
+                    trace.span("query.referral", store=store)
+                    trace.hop("a", "b", 100)
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "discarded" in found[0].message
+        assert found[0].line == 2
+
+    def test_flags_abandoned_handle(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def lookup(trace):
+                    handle = trace.span("query.referral")
+                    trace.hop("a", "b", 100)
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+        assert "`handle`" in found[0].message
+
+    def test_flags_abandoned_recorder_start(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def measure(rec):
+                    span = rec.start("op", 0.0)
+                    return 1
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 1
+
+    def test_allows_with_statement(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def lookup(trace, store):
+                    with trace.span("query.referral", store=store):
+                        trace.hop("a", "b", 100)
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_allows_handle_entered_later(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def lookup(trace):
+                    handle = trace.span("query.referral")
+                    with handle as span:
+                        span.set("status", "ok")
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_allows_explicit_finish_and_escapes(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def measure(rec):
+                    span = rec.start("op", 0.0)
+                    rec.finish(span, 5.0)
+
+                def direct_close(rec):
+                    span = rec.start("op", 0.0)
+                    span.end_ms = 5.0
+
+                def escapes(rec):
+                    span = rec.start("op", 0.0)
+                    return span
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_ignores_re_match_span(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def bounds(match):
+                    match.span()
+                    start_end = match.span(1)
+                    return start_end
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_suppression(self):
+        found = check_source(
+            SpanBalanceRule(),
+            dedent("""
+                def lookup(trace):
+                    # gupcheck: ignore[span-balance] -- handle closed by caller-owned registry
+                    handle = trace.span("query.referral")
             """),
             self.RELPATH,
         )

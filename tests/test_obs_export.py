@@ -1,0 +1,148 @@
+"""Exporters: Chrome trace JSON, Prometheus text, snapshots,
+reconciliation."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    expected_duration,
+    reconcile,
+    to_chrome_trace,
+    to_json_snapshot,
+    to_prometheus,
+    write_chrome_trace,
+    write_json_snapshot,
+)
+from repro.obs.export import _prom_name
+
+
+# -- Chrome trace -----------------------------------------------------------
+
+def test_chrome_trace_complete_events_in_microseconds():
+    rec = SpanRecorder()
+    span = rec.leaf("hop", 1.5, 4.0, trace_id=3, tid=2,
+                    attrs={"src": "a"})
+    span.event("retry", 2.0, {"count": 1})
+    doc = to_chrome_trace(rec)
+    assert doc["displayTimeUnit"] == "ms"
+    complete, instant = doc["traceEvents"]
+    assert complete == {
+        "name": "hop", "ph": "X",
+        "ts": 1500.0, "dur": 2500.0,
+        "pid": 3, "tid": 2, "args": {"src": "a"},
+    }
+    assert instant["ph"] == "i"
+    assert instant["ts"] == 2000.0
+    assert instant["s"] == "t"
+
+
+def test_chrome_trace_flags_unfinished_spans():
+    rec = SpanRecorder()
+    rec.start("leaky", 0.0)
+    (event,) = to_chrome_trace(rec)["traceEvents"]
+    assert event["dur"] == 0.0
+    assert event["args"]["unfinished"] is True
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    rec = SpanRecorder()
+    rec.leaf("hop", 0.0, 1.0)
+    path = tmp_path / "trace.json"
+    write_chrome_trace(rec, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["traceEvents"][0]["name"] == "hop"
+
+
+# -- Prometheus -------------------------------------------------------------
+
+def test_prometheus_name_sanitization():
+    assert _prom_name("net.retries") == "net_retries"
+    assert _prom_name("2fast") == "_2fast"
+
+
+def test_prometheus_text_format():
+    registry = MetricsRegistry()
+    registry.counter("net.retries", help="Retries.").inc(4)
+    registry.gauge("cache.size").set(2.0)
+    hist = registry.histogram("sub.delivery_latency_ms",
+                              buckets=(10.0, 100.0))
+    hist.observe(5.0)
+    hist.observe(500.0)
+    text = to_prometheus(registry)
+    assert "# HELP net_retries Retries." in text
+    assert "# TYPE net_retries counter" in text
+    assert "net_retries_total 4" in text
+    assert "cache_size 2" in text
+    assert 'sub_delivery_latency_ms_bucket{le="10"} 1' in text
+    assert 'sub_delivery_latency_ms_bucket{le="+Inf"} 2' in text
+    assert "sub_delivery_latency_ms_sum 505" in text
+    assert "sub_delivery_latency_ms_count 2" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_empty_registry_is_empty_string():
+    assert to_prometheus(MetricsRegistry()) == ""
+
+
+# -- JSON snapshot ----------------------------------------------------------
+
+def test_json_snapshot_includes_span_totals(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("net.retries").inc(1)
+    rec = SpanRecorder()
+    rec.leaf("hop", 0.0, 2.0)
+    rec.start("open", 0.0)
+    snap = to_json_snapshot(registry, rec)
+    assert snap["counters"] == {"net.retries": 1}
+    assert snap["spans"]["recorded"] == 2
+    assert snap["spans"]["open"] == 1
+    assert snap["spans"]["by_name"][0]["name"] == "hop"
+    path = tmp_path / "metrics.json"
+    write_json_snapshot(registry, str(path), rec)
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(snap)
+    )
+
+
+def test_json_snapshot_without_recorder_has_no_spans_key():
+    assert "spans" not in to_json_snapshot(MetricsRegistry())
+
+
+# -- reconciliation ---------------------------------------------------------
+
+def _tree(rec):
+    """root(0..10) -> [seq(0..2), b1(2..10, j1), b2(2..5, j1)]."""
+    root = rec.leaf("trace", 0.0, 10.0, trace_id=1)
+    rec.leaf("compute", 0.0, 2.0, parent_id=root.span_id, trace_id=1)
+    b1 = rec.leaf("branch", 2.0, 10.0, parent_id=root.span_id,
+                  trace_id=1, attrs={"fork_group": "j1"})
+    b2 = rec.leaf("branch", 2.0, 5.0, parent_id=root.span_id,
+                  trace_id=1, attrs={"fork_group": "j1"})
+    return root, b1, b2
+
+
+def test_expected_duration_uses_max_per_fork_group():
+    rec = SpanRecorder()
+    root, _b1, _b2 = _tree(rec)
+    # 2 (sequential compute) + max(8, 3) over fork group j1 == 10.
+    assert expected_duration(rec, root) == 10.0
+    assert reconcile(rec, 1) == []
+
+
+def test_reconcile_reports_unexplained_time():
+    rec = SpanRecorder()
+    root, b1, _b2 = _tree(rec)
+    # Shrink the long branch: the root now claims 10ms but its
+    # children only explain 2 + max(4, 3) == 6ms.
+    b1.end_ms = 6.0
+    mismatches = reconcile(rec, 1)
+    assert [(m[0], m[1], m[2]) for m in mismatches] == [
+        (root, 10.0, 6.0)
+    ]
+
+
+def test_reconcile_skips_unfinished_spans():
+    rec = SpanRecorder()
+    rec.start("open", 0.0, trace_id=1)
+    assert reconcile(rec, 1) == []

@@ -1,0 +1,182 @@
+"""The metrics registry: counters, gauges, histograms, views."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.metrics import CounterView
+
+
+# -- Counter ----------------------------------------------------------------
+
+def test_counter_inc_set_reset():
+    counter = Counter("c", help="h")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    counter.set(2)
+    assert counter.value == 2
+    counter.reset()
+    assert counter.value == 0
+
+
+# -- Gauge ------------------------------------------------------------------
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge("g")
+    gauge.set(3.0)
+    gauge.inc(2.0)
+    gauge.dec(1.0)
+    assert gauge.value == 4.0
+    gauge.reset()
+    assert gauge.value == 0.0
+
+
+def test_callback_gauge_reads_live_value_and_rejects_set():
+    state = {"n": 7}
+    gauge = Gauge("g", fn=lambda: state["n"])
+    assert gauge.value == 7.0
+    state["n"] = 9
+    assert gauge.value == 9.0
+    with pytest.raises(ValueError):
+        gauge.set(1.0)
+    # reset leaves callback gauges alone — the callback is the truth.
+    gauge.reset()
+    assert gauge.value == 9.0
+
+
+def test_gauge_bind_repoints_callback():
+    gauge = Gauge("g")
+    gauge.set(5.0)
+    gauge.bind(lambda: 42.0)
+    assert gauge.value == 42.0
+    gauge.bind(None)
+    assert gauge.value == 5.0
+
+
+# -- Histogram --------------------------------------------------------------
+
+def test_histogram_buckets_are_cumulative_with_inf_tail():
+    hist = Histogram("h", buckets=(10.0, 100.0))
+    for value in (1.0, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == 556.0
+    assert hist.bucket_counts() == [
+        (10.0, 2), (100.0, 3), (float("inf"), 4),
+    ]
+
+
+def test_histogram_bucket_bounds_are_inclusive():
+    hist = Histogram("h", buckets=(10.0,))
+    hist.observe(10.0)
+    assert hist.bucket_counts()[0] == (10.0, 1)
+
+
+def test_histogram_quantile_is_bucket_upper_bound():
+    hist = Histogram("h", buckets=(10.0, 100.0))
+    for value in (1.0, 2.0, 3.0, 50.0):
+        hist.observe(value)
+    assert hist.quantile(0.5) == 10.0
+    assert hist.quantile(1.0) == 100.0
+    assert Histogram("e", buckets=(1.0,)).quantile(0.9) == 0.0
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_window_reset_snapshots_and_zeroes():
+    hist = Histogram("h", buckets=(10.0,))
+    hist.observe(5.0, now=100.0)
+    assert hist.last_observed_at_ms == 100.0
+    window = hist.reset_window(now=250.0)
+    assert window["count"] == 1
+    assert window["window_start_ms"] == 0.0
+    assert window["window_end_ms"] == 250.0
+    assert hist.count == 0
+    assert hist.window_start_ms == 250.0
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0))
+
+
+def test_default_latency_buckets_are_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(
+        DEFAULT_LATENCY_BUCKETS_MS
+    )
+
+
+# -- Registry ---------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    first = registry.counter("net.retries", help="h")
+    second = registry.counter("net.retries")
+    assert first is second
+    assert "net.retries" in registry
+    assert len(registry) == 1
+
+
+def test_registry_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(3)
+    registry.gauge("b").set(1.5)
+    registry.histogram("c", buckets=(10.0,)).observe(2.0)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"a": 3}
+    assert snap["gauges"] == {"b": 1.5}
+    assert snap["histograms"]["c"]["count"] == 1
+
+
+def test_registry_reset_zeroes_everything_resettable():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(3)
+    registry.histogram("c", buckets=(10.0,)).observe(2.0)
+    registry.reset()
+    assert registry.counter("a").value == 0
+    assert registry.histogram("c", buckets=(10.0,)).count == 0
+
+
+# -- CounterView ------------------------------------------------------------
+
+class _Host:
+    """Minimal host exposing a registry under the default attr."""
+
+    hits = CounterView("demo.hits")
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+        self.metrics.counter("demo.hits")
+
+
+def test_counter_view_reads_and_writes_through_registry():
+    host = _Host()
+    assert host.hits == 0
+    host.hits += 3
+    assert host.metrics.counter("demo.hits").value == 3
+    host.metrics.counter("demo.hits").inc(2)
+    assert host.hits == 5
+    host.hits = 0  # legacy reset idiom
+    assert host.metrics.counter("demo.hits").value == 0
+
+
+def test_counter_view_on_class_raises():
+    with pytest.raises(AttributeError):
+        _Host.hits

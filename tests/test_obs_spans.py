@@ -1,0 +1,85 @@
+"""Span recorder mechanics: ids, nesting, lifecycle, summaries."""
+
+import pytest
+
+from repro.obs import SpanRecorder
+
+
+def test_ids_are_dense_and_deterministic():
+    rec = SpanRecorder()
+    a = rec.start("a", 0.0)
+    b = rec.start("b", 1.0, parent_id=a.span_id)
+    assert (a.span_id, b.span_id) == (1, 2)
+    assert rec.new_trace_id() == 1
+    assert rec.new_trace_id() == 2
+    assert rec.next_tid() == 1
+
+
+def test_finish_sets_duration_and_guards():
+    rec = SpanRecorder()
+    span = rec.start("op", 10.0)
+    assert not span.finished
+    assert span.duration_ms == 0.0
+    rec.finish(span, 35.0)
+    assert span.finished
+    assert span.duration_ms == 25.0
+    with pytest.raises(ValueError):
+        rec.finish(span, 40.0)  # double finish
+    other = rec.start("op2", 10.0)
+    with pytest.raises(ValueError):
+        rec.finish(other, 5.0)  # ends before it starts
+
+
+def test_leaf_records_closed_interval_in_one_call():
+    rec = SpanRecorder()
+    leaf = rec.leaf("hop", 1.0, 3.5, trace_id=7, tid=2)
+    assert leaf.finished
+    assert leaf.duration_ms == 2.5
+    assert rec.open_spans() == []
+    assert rec.spans_for(7) == [leaf]
+
+
+def test_tree_navigation():
+    rec = SpanRecorder()
+    root = rec.start("trace", 0.0, trace_id=1)
+    child = rec.start("q", 0.0, parent_id=root.span_id, trace_id=1)
+    grand = rec.leaf(
+        "hop", 0.0, 2.0, parent_id=child.span_id, trace_id=1
+    )
+    # Same parent id in a *different* trace must not match.
+    rec.leaf("hop", 0.0, 2.0, parent_id=child.span_id, trace_id=2)
+    assert rec.roots(1) == [root]
+    assert rec.children_of(root) == [child]
+    assert rec.children_of(child) == [grand]
+    assert rec.trace_ids() == [1, 2]
+
+
+def test_attrs_events_and_set_chaining():
+    rec = SpanRecorder()
+    span = rec.start("q", 0.0, attrs={"store": "s1"})
+    assert span.set("sweep", 2) is span
+    assert span.attrs == {"store": "s1", "sweep": 2}
+    event = span.event("retry", 5.0, {"count": 1})
+    assert span.events == [event]
+    assert event.at_ms == 5.0
+
+
+def test_clear_keeps_id_counters_running():
+    rec = SpanRecorder()
+    rec.leaf("a", 0.0, 1.0)
+    rec.new_trace_id()
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.start("b", 0.0).span_id == 2
+    assert rec.new_trace_id() == 2
+
+
+def test_summary_sorts_by_total_duration_desc():
+    rec = SpanRecorder()
+    rec.leaf("hop", 0.0, 1.0)
+    rec.leaf("hop", 0.0, 2.0)
+    rec.leaf("compute", 0.0, 10.0)
+    assert rec.summary() == [
+        ("compute", 1, 10.0),
+        ("hop", 2, 3.0),
+    ]

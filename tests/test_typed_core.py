@@ -12,6 +12,7 @@ The typed scope matches the mypy ``files`` list:
 * ``repro/errors.py`` — the exception contract
 * ``repro/core/`` — server, query, cache, coverage, resilience, ...
 * ``repro/analysis/`` — gupcheck itself practices what it preaches
+* ``repro/obs/`` — spans, metrics registry, exporters (PR 4)
 * ``repro/pxml/path.py`` and ``repro/pxml/evaluate.py`` — the
   path fragment and its evaluator, the vocabulary of every API
 * ``repro/adapters/base.py`` — the adapter contract stores implement
@@ -32,7 +33,7 @@ SRC = os.path.join(HERE, os.pardir, "src")
 PKG = os.path.join(SRC, "repro")
 
 #: Directories included wholesale (recursively).
-TYPED_DIRS = ("core", "analysis")
+TYPED_DIRS = ("core", "analysis", "obs")
 #: Individual modules included.
 TYPED_FILES = (
     "errors.py",
