@@ -1,0 +1,447 @@
+"""E19 — million-subscriber scale: sharded federation + batched queries.
+
+The paper sizes GUP at carrier populations (Section 2's HLRs serve
+hundreds of millions of subscribers; "at its peak, Napster had more
+than 50m users") and sketches the server side as "a family of mirrored
+servers". E19 stands that claim up in the simulator:
+
+* a :class:`~repro.stores.ShardedStore` partitions a synthetic
+  population of (by default) **one million subscribers** over N
+  replicas through consistent hashing (BLAKE2b ring, 64 vnodes);
+* an **open-loop Zipf workload** (seeded, exponential interarrivals)
+  drives chaining queries against the fleet — sequentially, and
+  through :meth:`~repro.core.QueryExecutor.execute_batch`, which
+  groups outstanding sub-fetches by target endpoint and pays one
+  simulated round trip per (endpoint, batch);
+* a **shard sweep 1 → 64** records virtual p50/p95/p99 latency and
+  host-side throughput at each fleet size;
+* a **head-to-head** at 16 shards measures the batched-vs-sequential
+  virtual-time speedup (the acceptance gate is ≥ 2×; grouping per-item
+  round trips into per-endpoint frames plus fan-out parallelism lands
+  far above it);
+* a **rebalance probe** grows the fleet 16 → 24 under the full
+  population and reports the migrated fraction against the k/(n+k)
+  ideal.
+
+Everything that touches the virtual world is seeded and deterministic;
+only the wall-clock throughput numbers vary between hosts (and are
+marked as such in the JSON). Results land in ``BENCH_e19.json``.
+
+Run the full experiment (a few minutes, ~1.5 GB RSS)::
+
+    python benchmarks/bench_e19_scale.py
+
+or the CI smoke gate (50k subscribers, sweep subset, same assertions)::
+
+    python benchmarks/bench_e19_scale.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import random
+import sys
+import time
+from bisect import bisect_right
+from itertools import accumulate
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if __name__ == "__main__":  # CLI use without an installed package
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.access import RequestContext  # noqa: E402
+from repro.core import GupsterServer, QueryExecutor  # noqa: E402
+from repro.core.coverage import CoverageMap  # noqa: E402
+from repro.pxml.path import parse_path  # noqa: E402
+from repro.simnet import Network  # noqa: E402
+from repro.stores import ShardedStore  # noqa: E402
+from repro.workloads import SyntheticAdapter  # noqa: E402
+
+#: One query component per subscriber keeps the 1M-row setup flat.
+COMPONENT = "address-book"
+ZIPF_EXPONENT = 1.1
+ARRIVAL_MEAN_MS = 5.0
+
+
+def _user_path(user_id: str) -> str:
+    return "/user[@id='%s']/%s" % (user_id, COMPONENT)
+
+
+def _ctx() -> RequestContext:
+    return RequestContext("app", relationship="third-party")
+
+
+# ---------------------------------------------------------------------------
+# World construction
+# ---------------------------------------------------------------------------
+
+def build_world(
+    users: int, shards: int, seed: int = 19
+) -> Tuple[Network, GupsterServer, ShardedStore, QueryExecutor, List[str]]:
+    """A GUPster front over *shards* synthetic replicas holding
+    *users* subscribers, all registered in one coverage map.
+
+    Scale accommodations: the coverage changelog is disabled (nothing
+    replays E19's bulk load) and shard adapters memoize their
+    generated exports (the Zipf head re-fetches the same profiles)."""
+    network = Network(seed=seed)
+    network.add_node("gupster", region="core")
+    network.add_node("client", region="internet")
+    server = GupsterServer(
+        "gupster",
+        enforce_policies=False,
+        coverage=CoverageMap(track_changes=False),
+    )
+    fleet = ShardedStore(
+        "gup.shard",
+        shards,
+        network=network,
+        region="core",
+        adapter_factory=lambda sid, region: SyntheticAdapter(
+            sid, region=region, memoize_exports=True
+        ),
+    )
+    user_ids = ["u%07d" % index for index in range(users)]
+    for user_id in user_ids:
+        fleet.add_user(user_id, [COMPONENT])
+    fleet.join(server)
+    executor = QueryExecutor(network, server)
+    return network, server, fleet, executor, user_ids
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+def zipf_workload(
+    user_ids: Sequence[str], queries: int, seed: int = 7
+) -> List[Tuple[float, str]]:
+    """``(arrival_ms, user_id)`` pairs: open-loop Poisson arrivals over
+    a Zipf(``ZIPF_EXPONENT``) popularity ranking.
+
+    The ranking is a seeded permutation of the population, so the hot
+    head is scattered across shards instead of clustering on the
+    lexicographic front."""
+    rng = random.Random(seed)
+    ranked = list(user_ids)
+    rng.shuffle(ranked)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(len(ranked))]
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+    arrivals: List[Tuple[float, str]] = []
+    now = 0.0
+    for _ in range(queries):
+        now += rng.expovariate(1.0 / ARRIVAL_MEAN_MS)
+        draw = rng.random() * total
+        arrivals.append((now, ranked[bisect_right(cumulative, draw)]))
+    return arrivals
+
+
+def _percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    ordered = sorted(samples)
+    def pct(p: float) -> float:
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, int(p * len(ordered)))
+        return ordered[index]
+    return {
+        "p50_ms": round(pct(0.50), 3),
+        "p95_ms": round(pct(0.95), 3),
+        "p99_ms": round(pct(0.99), 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Measurements
+# ---------------------------------------------------------------------------
+
+def run_sequential(
+    executor: QueryExecutor,
+    arrivals: Sequence[Tuple[float, str]],
+) -> Dict[str, object]:
+    latencies: List[float] = []
+    wall_start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    for arrived_at, user_id in arrivals:
+        _fragment, trace = executor.chaining(
+            "client", _user_path(user_id), _ctx(), now=arrived_at
+        )
+        latencies.append(trace.elapsed_ms)
+    wall = time.perf_counter() - wall_start  # gupcheck: ignore[determinism] -- host-side harness timing
+    stats = _percentiles(latencies)
+    stats.update(
+        queries=len(latencies),
+        virtual_total_ms=round(sum(latencies), 3),
+        wall_seconds=round(wall, 3),
+        wall_queries_per_sec=round(len(latencies) / wall, 1) if wall else 0.0,
+    )
+    return stats
+
+
+def run_batched(
+    executor: QueryExecutor,
+    arrivals: Sequence[Tuple[float, str]],
+    batch_size: int,
+) -> Dict[str, object]:
+    latencies: List[float] = []
+    batches = 0
+    wall_start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    for start in range(0, len(arrivals), batch_size):
+        chunk = arrivals[start : start + batch_size]
+        issued_at = chunk[-1][0]  # the batch closes on its last arrival
+        requests = [_user_path(user_id) for _at, user_id in chunk]
+        contexts = [_ctx() for _ in chunk]
+        results, trace = executor.execute_batch(
+            "client", requests, contexts, now=issued_at
+        )
+        failed = [item for item in results if not item.ok]
+        if failed:
+            raise AssertionError(
+                "batched query failed under no faults: %r" % failed[:3]
+            )
+        batches += 1
+        latencies.extend(trace.elapsed_ms for _ in chunk)
+    wall = time.perf_counter() - wall_start  # gupcheck: ignore[determinism] -- host-side harness timing
+    stats = _percentiles(latencies)
+    stats.update(
+        queries=len(latencies),
+        batches=batches,
+        batch_size=batch_size,
+        virtual_total_ms=round(
+            sum(latencies[index] for index in range(0, len(latencies), batch_size)),
+            3,
+        ),
+        wall_seconds=round(wall, 3),
+        wall_queries_per_sec=round(len(latencies) / wall, 1) if wall else 0.0,
+    )
+    return stats
+
+
+def run_shard_sweep(
+    users: int,
+    queries: int,
+    shard_counts: Sequence[int],
+    batch_size: int,
+    seed: int,
+) -> List[Dict[str, object]]:
+    """Per fleet size: balance, sequential and batched latency/
+    throughput over the same Zipf arrival stream."""
+    rows: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        network, _server, fleet, executor, user_ids = build_world(
+            users, shards, seed=seed
+        )
+        arrivals = zipf_workload(user_ids, queries, seed=seed + shards)
+        counts = fleet.user_counts()
+        sequential = run_sequential(executor, arrivals)
+        batched = run_batched(executor, arrivals, batch_size)
+        rows.append(
+            {
+                "shards": shards,
+                "users": users,
+                "min_shard_users": min(counts.values()),
+                "max_shard_users": max(counts.values()),
+                "sequential": sequential,
+                "batched": batched,
+                "virtual_speedup": round(
+                    sequential["virtual_total_ms"]
+                    / batched["virtual_total_ms"],
+                    2,
+                ),
+                "messages": network.counters.as_dict().get("messages", 0),
+            }
+        )
+        del network, _server, fleet, executor, user_ids, arrivals
+        gc.collect()
+    return rows
+
+
+def run_rebalance_probe(
+    users: int, seed: int, grow_from: int = 16, grow_to: int = 24
+) -> Dict[str, object]:
+    """Grow the fleet under full population; the ring contract says
+    only ≈ k/(n+k) of subscribers move."""
+    _network, _server, fleet, _executor, _user_ids = build_world(
+        users, grow_from, seed=seed
+    )
+    wall_start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    plan = fleet.rebalance(grow_to)
+    wall = time.perf_counter() - wall_start  # gupcheck: ignore[determinism] -- host-side harness timing
+    counts = fleet.user_counts()
+    result = {
+        "grow_from": grow_from,
+        "grow_to": grow_to,
+        "users": users,
+        "migrated_users": fleet.migrated_users,
+        "migrated_fraction": round(fleet.migrated_users / users, 4),
+        "ideal_fraction": round((grow_to - grow_from) / grow_to, 4),
+        "ring_moved_fraction": round(plan.moved_fraction, 4),
+        "min_shard_users": min(counts.values()),
+        "max_shard_users": max(counts.values()),
+        "wall_seconds": round(wall, 3),
+    }
+    del _network, _server, fleet, _executor, _user_ids
+    gc.collect()
+    return result
+
+
+def run_hot_path_probe() -> Dict[str, object]:
+    """Wall-clock effect of the parse-path memo (PR 5 hot-path work):
+    repeated parses of one Zipf-hot path, cache cleared vs warm."""
+    from repro.pxml import path as path_module
+
+    sample = _user_path("u0000042")
+    iterations = 50_000
+    path_module._PARSE_CACHE.clear()
+    start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    for _ in range(iterations):
+        path_module._PARSE_CACHE.clear()
+        parse_path(sample)
+    cold = time.perf_counter() - start  # gupcheck: ignore[determinism] -- host-side harness timing
+    path_module._PARSE_CACHE.clear()
+    start = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    for _ in range(iterations):
+        parse_path(sample)
+    warm = time.perf_counter() - start  # gupcheck: ignore[determinism] -- host-side harness timing
+    return {
+        "iterations": iterations,
+        "uncached_us_per_parse": round(1e6 * cold / iterations, 3),
+        "cached_us_per_parse": round(1e6 * warm / iterations, 3),
+        "speedup": round(cold / warm, 1) if warm else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: 50k subscribers, sweep subset, same assertions",
+    )
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=19)
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_e19.json")
+    )
+    options = parser.parse_args(argv)
+
+    if options.smoke:
+        users = options.users or 50_000
+        queries = options.queries or 600
+        shard_counts: Tuple[int, ...] = (1, 4, 16)
+        rebalance_users = 20_000
+    else:
+        users = options.users or 1_000_000
+        queries = options.queries or 2_000
+        shard_counts = (1, 2, 4, 8, 16, 32, 64)
+        rebalance_users = users
+
+    started = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    print(
+        "E19: %d subscribers, %d queries/config, shards %s"
+        % (users, queries, list(shard_counts))
+    )
+    sweep = run_shard_sweep(
+        users, queries, shard_counts, options.batch_size, options.seed
+    )
+    for row in sweep:
+        print(
+            "  shards=%-3d seq p95=%8.1fms %6.0f q/s | "
+            "batch p95=%8.1fms %6.0f q/s | speedup %5.1fx"
+            % (
+                row["shards"],
+                row["sequential"]["p95_ms"],
+                row["sequential"]["wall_queries_per_sec"],
+                row["batched"]["p95_ms"],
+                row["batched"]["wall_queries_per_sec"],
+                row["virtual_speedup"],
+            )
+        )
+    rebalance = run_rebalance_probe(rebalance_users, options.seed)
+    print(
+        "  rebalance 16->24: %.1f%% migrated (ideal %.1f%%) in %.1fs"
+        % (
+            100 * rebalance["migrated_fraction"],
+            100 * rebalance["ideal_fraction"],
+            rebalance["wall_seconds"],
+        )
+    )
+    hot_path = run_hot_path_probe()
+    print(
+        "  parse-path memo: %.2fus -> %.2fus (%.0fx)"
+        % (
+            hot_path["uncached_us_per_parse"],
+            hot_path["cached_us_per_parse"],
+            hot_path["speedup"],
+        )
+    )
+
+    by_shards = {row["shards"]: row for row in sweep}
+    gate = by_shards[16]
+    report = {
+        "experiment": "E19",
+        "title": "million-subscriber scale: sharded federation + "
+                 "batched queries",
+        "mode": "smoke" if options.smoke else "full",
+        "users": users,
+        "queries_per_config": queries,
+        "batch_size": options.batch_size,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "seed": options.seed,
+        "shard_sweep": sweep,
+        "speedup_at_16_shards": gate["virtual_speedup"],
+        "rebalance": rebalance,
+        "hot_path": hot_path,
+        "determinism_note": (
+            "virtual-time numbers (latency percentiles, virtual totals, "
+            "speedups, migrated fractions) are seeded and reproducible; "
+            "wall_seconds / wall_queries_per_sec vary by host"
+        ),
+        "wall_seconds_total": round(
+            time.perf_counter() - started, 1  # gupcheck: ignore[determinism] -- host-side harness timing
+        ),
+    }
+    with open(options.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % options.output)
+
+    # Acceptance gates (ISSUE: batched >= 2x sequential virtual-time
+    # throughput at 16 shards; sharding must not lose subscribers).
+    failures: List[str] = []
+    if gate["virtual_speedup"] < 2.0:
+        failures.append(
+            "batched speedup at 16 shards is %.2fx < 2x"
+            % gate["virtual_speedup"]
+        )
+    for row in sweep:
+        expected = row["users"]
+        if row["min_shard_users"] < 1 and row["shards"] <= expected:
+            failures.append("shards=%d left an empty shard" % row["shards"])
+    if rebalance["migrated_fraction"] > 2 * rebalance["ideal_fraction"]:
+        failures.append(
+            "rebalance moved %.1f%% of subscribers (ideal %.1f%%)"
+            % (
+                100 * rebalance["migrated_fraction"],
+                100 * rebalance["ideal_fraction"],
+            )
+        )
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print("ok: batched speedup at 16 shards = %.1fx (gate: >= 2x)"
+          % gate["virtual_speedup"])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,8 +14,11 @@ bypass). This rule does a taint-style walk over
   per-class fixpoint) any same-class helper whose own return value is
   tainted and unsanitized;
 * **egress functions** — functions/methods that take a requester
-  ``RequestContext`` (parameter named ``context`` or so annotated):
-  these claim to act *for a requester*;
+  ``RequestContext`` (parameter named ``context`` or so annotated) —
+  these claim to act *for a requester* — or a **batch** of them
+  (``contexts`` / ``Sequence[RequestContext]``): the E19 batched
+  fan-out is a new egress site and every item inside a batch must
+  reach the shield exactly like a lone query would;
 * **sanitizers** — privacy-shield touchpoints: ``pep.enforce``,
   ``_shield_cached``, ``resolve`` / ``resolve_for_update`` /
   ``_resolve_tracked`` (which enforce internally), and the shielded
@@ -66,18 +69,29 @@ def _receiver_parts(expr: ast.expr) -> List[str]:
 def _takes_request_context(fn: ast.FunctionDef) -> bool:
     args = fn.args
     for arg in args.posonlyargs + args.args + args.kwonlyargs:
-        if arg.arg == "context":
+        if arg.arg in ("context", "contexts"):
             return True
-        annotation = arg.annotation
-        if isinstance(annotation, ast.Name) \
-                and annotation.id == "RequestContext":
+        if arg.annotation is not None \
+                and _mentions_request_context(arg.annotation):
             return True
-        if isinstance(annotation, ast.Attribute) \
-                and annotation.attr == "RequestContext":
+    return False
+
+
+def _mentions_request_context(annotation: ast.expr) -> bool:
+    """True when *annotation*'s subtree names RequestContext anywhere:
+    bare ``RequestContext``, dotted ``access.RequestContext``, a string
+    form, or a batch container like ``Sequence[RequestContext]`` /
+    ``List[RequestContext]`` — the E19 batch fan-out is an egress site
+    exactly like the per-query paths."""
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == "RequestContext":
             return True
-        if isinstance(annotation, ast.Constant) \
-                and isinstance(annotation.value, str) \
-                and "RequestContext" in annotation.value:
+        if isinstance(node, ast.Attribute) \
+                and node.attr == "RequestContext":
+            return True
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, str) \
+                and "RequestContext" in node.value:
             return True
     return False
 

@@ -9,7 +9,7 @@ from repro.core.mdm import (
     HierarchicalMdm,
     UserDistributedMdm,
 )
-from repro.core.query import QueryExecutor
+from repro.core.query import BatchItemResult, QueryBatch, QueryExecutor
 from repro.core.referral import Referral, ReferralPart
 from repro.core.resilience import (
     EndpointHealth,
@@ -32,6 +32,8 @@ __all__ = [
     "ComponentCache",
     "GupsterServer",
     "QueryExecutor",
+    "QueryBatch",
+    "BatchItemResult",
     "RetryPolicy", "EndpointHealth", "PartStatus",
     "CentralizedMdm", "UserDistributedMdm", "HierarchicalMdm",
     "SubscriptionHub", "Delivery",

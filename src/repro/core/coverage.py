@@ -66,7 +66,7 @@ class CoverageResolution:
 class CoverageMap:
     """Registrations of profile components by data stores."""
 
-    def __init__(self) -> None:
+    def __init__(self, track_changes: bool = True) -> None:
         #: user id -> coverage path -> ordered store ids
         self._by_user: Dict[str, Dict[Path, List[str]]] = {}
         #: store id -> set of (user, path) it registered (for leaving)
@@ -75,7 +75,11 @@ class CoverageMap:
         self.lookups = 0
         #: Monotone revision + changelog so mirror constellations can
         #: replicate registrations incrementally (Section 4.2's
-        #: "family of mirrored servers").
+        #: "family of mirrored servers"). ``track_changes=False``
+        #: disables the log — carrier-scale populations (E19, millions
+        #: of registrations) never replay it, and an unbounded append
+        #: per registration is real memory at that size.
+        self.track_changes = track_changes
         self.revision = 0
         self._changelog: List[Tuple[int, str, Path, str]] = []
 
@@ -103,9 +107,10 @@ class CoverageMap:
             )
             self.registrations += 1
             self.revision += 1
-            self._changelog.append(
-                (self.revision, "register", parsed, store_id)
-            )
+            if self.track_changes:
+                self._changelog.append(
+                    (self.revision, "register", parsed, store_id)
+                )
 
     def unregister(self, path: Union[str, Path], store_id: str) -> None:
         parsed = parse_path(path)
@@ -121,9 +126,10 @@ class CoverageMap:
             del bucket[parsed]
         self._by_store.get(store_id, set()).discard((user_id, parsed))
         self.revision += 1
-        self._changelog.append(
-            (self.revision, "unregister", parsed, store_id)
-        )
+        if self.track_changes:
+            self._changelog.append(
+                (self.revision, "unregister", parsed, store_id)
+            )
 
     def unregister_store(self, store_id: str) -> int:
         """A store leaves the community; drop all its registrations."""
@@ -136,9 +142,10 @@ class CoverageMap:
                 if not stores:
                     del bucket[path]
             self.revision += 1
-            self._changelog.append(
-                (self.revision, "unregister", path, store_id)
-            )
+            if self.track_changes:
+                self._changelog.append(
+                    (self.revision, "unregister", path, store_id)
+                )
         return len(entries)
 
     # -- replication (mirror constellations) ------------------------------------
@@ -147,6 +154,10 @@ class CoverageMap:
         self, revision: int
     ) -> List[Tuple[int, str, Path, str]]:
         """The replication feed: every change after *revision*."""
+        if not self.track_changes:
+            raise CoverageError(
+                "replication feed disabled (track_changes=False)"
+            )
         return [c for c in self._changelog if c[0] > revision]
 
     def apply_changes(

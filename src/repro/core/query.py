@@ -37,11 +37,13 @@ is down. Only when nothing at all can be produced does the query raise
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import (
+    AccessDeniedError,
     NoCoverageError,
     PartialResultError,
+    ReproError,
 )
 from repro.pxml import PNode, Path, extract, parse_path
 from repro.pxml.merge import GUP_KEYSPEC, merge_all
@@ -59,7 +61,86 @@ from repro.simnet import Network, Trace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.core.provenance import ProvenanceTracker, SourceAnnotator
 
-__all__ = ["QueryExecutor"]
+__all__ = ["BatchItemResult", "QueryBatch", "QueryExecutor"]
+
+
+class BatchItemResult:
+    """Outcome of one query inside a :class:`QueryBatch`.
+
+    Mirrors what the equivalent *sequential* query would have produced:
+    ``fragment`` is the merged answer (bit-identical to the sequential
+    merge), ``error`` is the exception the sequential call would have
+    raised (shield denial, spurious query, no coverage, total-failure
+    :class:`~repro.errors.PartialResultError`), and ``statuses`` are
+    the per-part :class:`~repro.core.resilience.PartStatus` reports in
+    referral order."""
+
+    __slots__ = ("path", "fragment", "hit", "stale", "statuses", "error")
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fragment: Optional[PNode] = None,
+        hit: bool = False,
+        stale: bool = False,
+        statuses: Optional[List[PartStatus]] = None,
+        error: Optional[Exception] = None,
+    ) -> None:
+        self.path = path
+        self.fragment = fragment
+        self.hit = hit
+        self.stale = stale
+        self.statuses: List[PartStatus] = (
+            statuses if statuses is not None else []
+        )
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        """True when the sequential equivalent would not have raised."""
+        return self.error is None
+
+    @property
+    def degraded_parts(self) -> int:
+        """Unreachable referral parts behind this (partial) answer."""
+        return sum(1 for status in self.statuses if not status.ok)
+
+    def __repr__(self) -> str:
+        if self.error is not None:
+            return "<BatchItemResult %s error=%s>" % (
+                self.path, type(self.error).__name__,
+            )
+        flags = "".join(
+            flag for flag, on in (
+                ("H", self.hit), ("S", self.stale),
+                ("D", self.degraded_parts > 0),
+            ) if on
+        )
+        return "<BatchItemResult %s ok%s>" % (
+            self.path, " " + flags if flags else "",
+        )
+
+
+class _BatchJob:
+    """One (item, referral part) sub-fetch inside a batched fan-out."""
+
+    __slots__ = (
+        "item", "part_index", "part", "candidates", "next_index",
+        "fragment", "store", "done", "last_error",
+    )
+
+    def __init__(
+        self, item: int, part_index: int, part: ReferralPart
+    ) -> None:
+        self.item = item
+        self.part_index = part_index
+        self.part = part
+        self.candidates: List[str] = []
+        self.next_index = 0
+        self.fragment: Optional[PNode] = None
+        self.store: Optional[str] = None
+        self.done = False
+        self.last_error: Optional[Exception] = None
 
 
 class QueryExecutor:
@@ -554,6 +635,360 @@ class QueryExecutor:
                       "filled result")
         return merged, trace, False
 
+    # -- batched execution (E19) -------------------------------------------------
+
+    def execute_batch(
+        self,
+        client: str,
+        requests: Sequence[Union[str, Path]],
+        contexts: Sequence[RequestContext],
+        now: float = 0.0,
+        use_cache: bool = False,
+    ) -> Tuple[List[BatchItemResult], Trace]:
+        """Run many queries as one batched round-trip pipeline.
+
+        Semantics are pinned by ``tests/test_batch_equivalence.py``:
+        every item's *fragment*, *shield decision* and *degradation
+        status* is identical to running the same queries sequentially
+        through :meth:`chaining` (or :meth:`cached` when *use_cache*)
+        at the same virtual ``now`` — only the cost model changes.
+        Sub-fetches are grouped by target endpoint and each
+        (endpoint, group) pays **one** simulated round trip whose
+        transfer cost is the summed per-part payload plus a single
+        protocol overhead; protocol compute (verify / evaluate /
+        merge / shield) stays per item, because the server still does
+        that work for each query in the frame.
+
+        The privacy-shield invariant holds item-wise: every item is
+        resolved (or cache-probed, shield re-checked) under **its own**
+        context — a denied item yields a per-item
+        :class:`~repro.errors.AccessDeniedError` in its result and
+        never taints its batch-mates. Cache entries are read and
+        written under each item's own requester scope.
+
+        Equivalence under fault injection holds for deterministic
+        impairments (``Network.fail``/``restore``); probabilistic loss
+        draws per-hop samples from the seeded stream, and a batch
+        issues *fewer* hops than its sequential expansion, so the two
+        runs consume the stream differently by construction."""
+        if len(requests) != len(contexts):
+            raise ValueError(
+                "got %d requests but %d contexts"
+                % (len(requests), len(contexts))
+            )
+        if use_cache and self.server.cache is None:
+            raise ValueError("server has no cache configured")
+        count = len(requests)
+        results: List[Optional[BatchItemResult]] = [None] * count
+        paths: List[Optional[Path]] = [None] * count
+        for index, request in enumerate(requests):
+            try:
+                paths[index] = parse_path(request)
+            except ReproError as err:
+                results[index] = BatchItemResult(request, error=err)
+        trace = self.network.trace()
+        with trace.span(
+            "query.batch",
+            items=count, client=client, cached=use_cache,
+        ) as pattern:
+            request_bytes = self.REQUEST_OVERHEAD_BYTES + sum(
+                len(str(paths[i])) + contexts[i].byte_size()
+                for i in range(count)
+                if paths[i] is not None
+            )
+            trace.hop(client, self.server_node, request_bytes,
+                      "batched request (%d items)" % count)
+            pending = [i for i in range(count) if results[i] is None]
+            while pending:
+                pending = self._execute_batch_wave(
+                    pending, paths, contexts, now, trace, results,
+                    use_cache,
+                )
+            final = [r for r in results if r is not None]
+            degraded_items = sum(
+                1 for r in final if r.ok and r.degraded_parts
+            )
+            if degraded_items:
+                pattern.set("degraded_items", degraded_items)
+            response_bytes = self.REQUEST_OVERHEAD_BYTES + sum(
+                (r.fragment.byte_size() if r.fragment is not None else 32)
+                for r in final
+            )
+            trace.hop(self.server_node, client, response_bytes,
+                      "batched response (%d items)" % count)
+        return final, trace
+
+    def _execute_batch_wave(
+        self,
+        item_ids: List[int],
+        paths: Sequence[Optional[Path]],
+        contexts: Sequence[RequestContext],
+        now: float,
+        trace: Trace,
+        results: List[Optional[BatchItemResult]],
+        use_cache: bool,
+    ) -> List[int]:
+        """One batch *wave*: all items except within-batch duplicates.
+
+        A duplicate (same path, same requester scope) is deferred to
+        the next wave so it observes the earlier item's cache fill —
+        exactly as its sequential expansion would. Returns the deferred
+        item ids (always empty when *use_cache* is off: items are then
+        independent)."""
+        active: List[int] = []
+        deferred: List[int] = []
+        seen_keys: set = set()
+        for item in item_ids:
+            if use_cache:
+                key = (str(paths[item]), contexts[item].cache_scope())
+                if key in seen_keys:
+                    deferred.append(item)
+                    continue
+                seen_keys.add(key)
+            active.append(item)
+        # Phase 1 — per-item shield + referral work at the server, in
+        # item order (provenance and counter order match sequential).
+        referrals: Dict[int, Referral] = {}
+        for item in active:
+            path = paths[item]
+            assert path is not None  # filtered by execute_batch
+            context = contexts[item]
+            if use_cache:
+                trace.compute(self.CACHE_COMPUTE_MS, "cache probe")
+                try:
+                    cached = self.server.cache_lookup(path, context, now)
+                except AccessDeniedError as err:
+                    results[item] = BatchItemResult(path, error=err)
+                    continue
+                if cached is not None:
+                    results[item] = BatchItemResult(
+                        path, fragment=cached, hit=True
+                    )
+                    continue
+            trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+            try:
+                referrals[item] = self._resolve_tracked(path, context, now)
+            except ReproError as err:
+                results[item] = BatchItemResult(path, error=err)
+        # Phase 2 — grouped sub-fetch fan-out.
+        jobs: List[_BatchJob] = []
+        for item in active:
+            referral = referrals.get(item)
+            if referral is None:
+                continue
+            jobs.extend(
+                _BatchJob(item, part_index, part)
+                for part_index, part in enumerate(referral.parts)
+            )
+        self._fetch_jobs_batched(self.server_node, jobs, now, trace)
+        # Phase 3 — per-item status/merge/cache, in item order.
+        jobs_by_item: Dict[int, List[_BatchJob]] = {}
+        for job in jobs:
+            jobs_by_item.setdefault(job.item, []).append(job)
+        for item in active:
+            if item not in referrals:
+                continue
+            path = paths[item]
+            assert path is not None
+            results[item] = self._finish_batch_item(
+                path, contexts[item], jobs_by_item.get(item, []),
+                now, trace, use_cache,
+            )
+        return deferred
+
+    def _fetch_jobs_batched(
+        self,
+        origin: str,
+        jobs: List[_BatchJob],
+        now: float,
+        trace: Trace,
+    ) -> None:
+        """Grouped equivalent of :meth:`_fetch_part_from` over many
+        parts at once.
+
+        Each sweep, every pending job targets the first untried store
+        in its health-ordered choice list; jobs sharing a target form
+        one (endpoint, group) round trip — a single request hop
+        carrying every signed sub-query and a single response hop
+        carrying every fragment. A dead endpoint fails the whole group
+        (they shared the round trip), each member fails over to its
+        next choice, and the loop re-groups until the sweep is
+        exhausted; the retry policy then waits a backoff and sweeps
+        again. Health bookkeeping is per job, mirroring the sequential
+        path's per-part feedback."""
+        policy = self.retry_policy
+        for sweep in range(policy.max_attempts):
+            pending = [job for job in jobs if not job.done]
+            if not pending:
+                return
+            if sweep:
+                trace.wait(
+                    policy.backoff_ms(sweep),
+                    "backoff before batch retry sweep %d" % (sweep + 1),
+                )
+                for _job in pending:
+                    trace.note_retry()
+            active: List[_BatchJob] = []
+            for job in pending:
+                job.candidates = [
+                    store_id
+                    for store_id in self.health.order(job.part.store_ids)
+                    if store_id in self.server.adapters
+                ]
+                job.next_index = 0
+                if job.candidates:
+                    active.append(job)
+            while active:
+                groups: Dict[str, List[_BatchJob]] = {}
+                for job in active:
+                    groups.setdefault(
+                        job.candidates[job.next_index], []
+                    ).append(job)
+                branches: List[Trace] = []
+                survivors: List[_BatchJob] = []
+                for store_id, group in groups.items():
+                    branch = trace.fork()
+                    branches.append(branch)
+                    self._fetch_group(
+                        origin, store_id, group, now, branch, survivors,
+                    )
+                trace.join(branches)
+                active = survivors
+
+    def _fetch_group(
+        self,
+        origin: str,
+        store_id: str,
+        group: List[_BatchJob],
+        now: float,
+        branch: Trace,
+        survivors: List[_BatchJob],
+    ) -> None:
+        """One (endpoint, group) round trip of a batched fan-out."""
+        adapter = self.server.adapters[store_id]
+        query_bytes = self.REQUEST_OVERHEAD_BYTES + sum(
+            job.part.signed_query.byte_size()
+            if job.part.signed_query is not None
+            else len(str(job.part.path))
+            for job in group
+        )
+        try:
+            with branch.span(
+                "fetch.store.batch",
+                store=store_id, parts=len(group),
+            ) as attempt:
+                branch.hop(origin, store_id, query_bytes,
+                           "batched query (%d parts)" % len(group))
+                fragments: List[Optional[PNode]] = []
+                for job in group:
+                    if job.part.signed_query is not None:
+                        self.verifier.verify(job.part.signed_query, now)
+                        branch.compute(
+                            self.VERIFY_COMPUTE_MS, "verify signature"
+                        )
+                    branch.compute(
+                        self.STORE_QUERY_COMPUTE_MS, "evaluate path"
+                    )
+                    fragment = adapter.get(job.part.path)
+                    if fragment is not None and self.annotator is not None:
+                        self.annotator.annotate(fragment, store_id)
+                    fragments.append(fragment)
+                response_bytes = self.REQUEST_OVERHEAD_BYTES + sum(
+                    fragment.byte_size() if fragment is not None else 32
+                    for fragment in fragments
+                )
+                branch.hop(store_id, origin, response_bytes,
+                           "batched fragments (%d parts)" % len(group))
+                attempt.set("status", "ok")
+        except TRANSIENT_ERRORS as err:
+            # The round trip failed for everyone aboard: per-job
+            # health feedback (mirroring the sequential path, where
+            # each part would have observed the failure itself) and
+            # failover to each job's next choice.
+            for job in group:
+                job.last_error = err
+                self.health.failure(store_id)
+                job.next_index += 1
+                if job.next_index < len(job.candidates):
+                    branch.note_failover()
+                    survivors.append(job)
+            return
+        for job, fragment in zip(group, fragments):
+            self.health.success(store_id)
+            job.fragment = fragment
+            job.store = store_id
+            job.done = True
+
+    def _finish_batch_item(
+        self,
+        path: Path,
+        context: RequestContext,
+        item_jobs: List[_BatchJob],
+        now: float,
+        trace: Trace,
+        use_cache: bool,
+    ) -> BatchItemResult:
+        """Statuses, merge, degradation and cache fill for one batched
+        item — the tail of :meth:`chaining`/:meth:`cached`, item-wise."""
+        statuses: List[PartStatus] = []
+        fragments: List[Optional[PNode]] = []
+        for job in sorted(item_jobs, key=lambda j: j.part_index):
+            if job.done:
+                fragments.append(job.fragment)
+                statuses.append(
+                    PartStatus(job.part.path, store=job.store or "")
+                )
+            else:
+                error: Exception = (
+                    job.last_error
+                    if job.last_error is not None
+                    else NoCoverageError(
+                        "no adapter registered for any of %s"
+                        % (job.part.store_ids,)
+                    )
+                )
+                statuses.append(
+                    PartStatus(job.part.path, ok=False, error=error)
+                )
+        trace.part_status.extend(statuses)
+        failed = [status for status in statuses if not status.ok]
+        if failed and not any(status.ok for status in statuses):
+            if use_cache:
+                stale = self.server.cache_stale_lookup(path, context, now)
+                if stale is not None:
+                    trace.note_stale_serve()
+                    trace.note_degraded_item(len(failed))
+                    return BatchItemResult(
+                        path, fragment=stale, hit=True, stale=True,
+                        statuses=statuses,
+                    )
+                return BatchItemResult(
+                    path,
+                    statuses=statuses,
+                    error=PartialResultError(
+                        "every part of %s is unreachable and no stale "
+                        "cache entry survives" % path,
+                        statuses,
+                    ),
+                )
+            return BatchItemResult(
+                path,
+                statuses=statuses,
+                error=PartialResultError(
+                    "every part of %s is unreachable" % path, statuses
+                ),
+            )
+        if failed:
+            trace.note_degraded_item(len(failed))
+        merged = self._merge_at(
+            [f for f in fragments if f is not None],
+            trace, self.server_node,
+        )
+        if use_cache and merged is not None and not failed:
+            if self.server.cache_store(path, merged, context, now):
+                trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
+        return BatchItemResult(path, fragment=merged, statuses=statuses)
+
     # -- writes ----------------------------------------------------------------
 
     def provision(
@@ -632,3 +1067,61 @@ class QueryExecutor:
             branches.append(branch)
         trace.join(branches)
         return trace
+
+
+class QueryBatch:
+    """Collects outstanding queries and executes them in one pipeline.
+
+    The builder face of :meth:`QueryExecutor.execute_batch`: callers
+    accumulate ``(request, context)`` pairs — each under its **own**
+    requester context, so per-item shield decisions and cache scopes
+    are preserved — then :meth:`execute` runs them as one batched
+    round-trip plan and returns the per-item
+    :class:`BatchItemResult` list (in add order) plus the shared
+    :class:`~repro.simnet.Trace`.
+
+    ::
+
+        batch = QueryBatch(executor, "client", use_cache=True)
+        for path, ctx in wanted:
+            batch.add(path, ctx)
+        results, trace = batch.execute(now=now)
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        client: str,
+        use_cache: bool = False,
+    ) -> None:
+        self.executor = executor
+        self.client = client
+        self.use_cache = use_cache
+        self._requests: List[Union[str, Path]] = []
+        self._contexts: List[RequestContext] = []
+
+    def add(
+        self, request: Union[str, Path], context: RequestContext
+    ) -> int:
+        """Queue one query under its own context; returns its index in
+        the eventual result list."""
+        self._requests.append(request)
+        self._contexts.append(context)
+        return len(self._requests) - 1
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def execute(
+        self, now: float = 0.0
+    ) -> Tuple[List[BatchItemResult], Trace]:
+        """Run every queued query; the batch stays reusable (items are
+        consumed)."""
+        if not self._requests:
+            raise ValueError("nothing batched — add() some queries first")
+        requests, self._requests = self._requests, []
+        contexts, self._contexts = self._contexts, []
+        return self.executor.execute_batch(
+            self.client, requests, contexts,
+            now=now, use_cache=self.use_cache,
+        )

@@ -26,6 +26,8 @@ __all__ = ["ReferralPart", "Referral"]
 class ReferralPart:
     """One component (sub)path and the stores that can serve it."""
 
+    __slots__ = ("path", "store_ids", "signed_query")
+
     def __init__(
         self,
         path: Path,
@@ -51,6 +53,8 @@ class ReferralPart:
 
 class Referral:
     """GUPster's answer to a resolve request."""
+
+    __slots__ = ("request", "parts", "merge_policy")
 
     def __init__(
         self,

@@ -65,6 +65,7 @@ class GupsterServer:
         cache: Optional[ComponentCache] = None,
         enforce_policies: bool = True,
         adjunct: Optional[SchemaAdjunct] = None,
+        coverage: Optional[CoverageMap] = None,
     ) -> None:
         self.name = name
         self.schema = schema
@@ -73,7 +74,10 @@ class GupsterServer:
         #: sensitivity labels) — the re-ified meta-data of
         #: requirement 8 / Section 7.
         self.adjunct = adjunct
-        self.coverage = CoverageMap()
+        #: Injectable for scale runs: E19 passes
+        #: ``CoverageMap(track_changes=False)`` so millions of
+        #: registrations do not accrete a replication changelog.
+        self.coverage = coverage if coverage is not None else CoverageMap()
         self.signer = signer if signer is not None else QuerySigner()
         self.cache = cache
         self.enforce_policies = enforce_policies

@@ -20,6 +20,7 @@ Design notes
 
 from __future__ import annotations
 
+from sys import intern as _intern
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import ModelError
@@ -41,8 +42,17 @@ class PNode:
     ):
         if not tag or not _is_name(tag):
             raise ModelError("invalid element tag: %r" % (tag,))
-        self.tag = tag
-        self.attrs: Dict[str, str] = dict(attrs) if attrs else {}
+        # Tags and attribute *names* are bounded vocabularies (the
+        # schema's component/element names; ``id``/``type``/...):
+        # interning them collapses a million-subscriber forest onto a
+        # few dozen shared strings and makes tag comparisons
+        # pointer-fast. Attribute values are unbounded (user ids) and
+        # stay as-is.
+        self.tag = _intern(tag)
+        self.attrs: Dict[str, str] = (
+            {_intern(key): value for key, value in attrs.items()}
+            if attrs else {}
+        )
         self.text: Optional[str] = text
         self.children: List[PNode] = []
         self.parent: Optional[PNode] = None

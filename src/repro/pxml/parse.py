@@ -14,6 +14,7 @@ data model can represent (a property test asserts this).
 
 from __future__ import annotations
 
+from sys import intern as _intern
 from typing import Optional
 
 from repro.errors import ParseError
@@ -109,7 +110,10 @@ class _Parser:
             value = self._parse_quoted()
             if name in node.attrs:
                 self._fail("duplicate attribute %r" % name)
-            node.attrs[name] = value
+            # Attribute names are schema vocabulary — intern so the
+            # whole deserialized forest shares one string per name
+            # (values stay unbounded and uninterned).
+            node.attrs[_intern(name)] = value
 
     def _parse_content(self, node: PNode) -> None:
         text_parts = []

@@ -22,7 +22,8 @@ Path objects are immutable and hashable so they can key coverage maps.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple, Union
+from sys import intern as _intern
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.errors import ModelError, PathSyntaxError, UnsupportedPathError
 from repro.pxml.node import _NAME_CHARS, _NAME_START
@@ -190,13 +191,41 @@ class Path:
 # Parsing
 # ---------------------------------------------------------------------------
 
+#: Successful parses memoized by their raw text. :class:`Path` is
+#: immutable (tuple of steps + attribute + precomputed hash; every
+#: "mutator" returns a fresh object), so handing the same instance to
+#: every caller is safe. The cache follows the ``re`` module's bounded
+#: strategy — cleared wholesale when full — which keeps behaviour
+#: deterministic and memory flat even when a million distinct
+#: subscriber paths stream through (E19); Zipf-skewed workloads
+#: repopulate the hot heads within a handful of queries.
+_PARSE_CACHE: Dict[str, Path] = {}
+_PARSE_CACHE_MAX = 4096
+
+
 def parse_path(text: Union[str, "Path"]) -> Path:
     """Parse *text* into a :class:`Path`.
 
     Accepts a :class:`Path` unchanged, so APIs can take either form.
+    Successful string parses are memoized (paths are immutable); parse
+    *errors* are recomputed each time, so the exception surface is
+    unchanged. Non-string, non-Path input still raises
+    :class:`~repro.errors.PathSyntaxError` from the parser, exactly as
+    before the cache existed.
     """
     if isinstance(text, Path):
         return text
+    if isinstance(text, str):
+        cached = _PARSE_CACHE.get(text)
+        if cached is not None:
+            return cached
+        parsed = _PathParser(text).parse()
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = parsed
+        return parsed
+    # Preserve totality for junk input (the fuzz tests feed bytes,
+    # ints, None...): the parser's constructor raises PathSyntaxError.
     return _PathParser(text).parse()
 
 
@@ -292,7 +321,12 @@ class _PathParser:
                 self.pos += 1
             else:
                 break
-        return self.text[start : self.pos]
+        # Names come from bounded vocabularies (component tags,
+        # attribute names like ``id``/``type``): interning makes the
+        # hot ``Step.matches`` / hash comparisons pointer-fast.
+        # Predicate *values* (user ids — unbounded) are never interned;
+        # see :meth:`_quoted`.
+        return _intern(self.text[start : self.pos])
 
     def _quoted(self) -> str:
         quote = self._peek()

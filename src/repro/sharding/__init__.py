@@ -1,0 +1,25 @@
+"""Consistent-hash placement for carrier-scale GUP federation.
+
+The paper's Section 4 pitches "scalability via federation" — profile
+data spread across many stores, located through the coverage map.
+This package supplies the placement substrate: a deterministic
+consistent-hash ring (:mod:`repro.sharding.ring`) that
+:class:`repro.stores.sharded.ShardedStore` uses to partition a
+subscriber population across N simulated replicas.
+"""
+
+from repro.sharding.ring import (
+    RING_BITS,
+    RING_SIZE,
+    HashRing,
+    RebalancePlan,
+    hash_key,
+)
+
+__all__ = [
+    "HashRing",
+    "RebalancePlan",
+    "RING_BITS",
+    "RING_SIZE",
+    "hash_key",
+]

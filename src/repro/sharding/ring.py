@@ -1,0 +1,261 @@
+"""Consistent-hash ring: deterministic subscriber placement at scale.
+
+The paper pitches GUP at carrier populations ("at its peak, Napster
+had more than 50m users"; HLRs serve hundreds of millions of
+subscribers), and *Towards Social Profile Based Overlays* (PAPERS.md)
+argues DHT-style placement is the natural substrate for federated
+profile data. This module is that substrate, reduced to its essence:
+
+* a :class:`HashRing` maps any string key (a subscriber id) to one of
+  N shards through ``vnodes`` virtual points per shard on a 64-bit
+  hash circle — placement is **deterministic** (a pure function of the
+  shard ids, the vnode count and the key; pinned by the golden fixture
+  ``tests/data/golden_placement.json``) and **balanced** (more vnodes
+  ⇒ tighter arc-length spread);
+* :meth:`HashRing.rebalance` retargets the ring to a new shard set and
+  returns a :class:`RebalancePlan` describing exactly which hash
+  ranges changed owner — growing n → n+k shards moves only the keys
+  landing in the new shards' arcs (≈ k/(n+k) of the population), never
+  reshuffles the rest. ``tests/test_sharding.py`` holds Hypothesis
+  property tests for both guarantees.
+
+The hash is BLAKE2b (8-byte digest) — stable across processes and
+Python versions, unlike ``hash()`` under ``PYTHONHASHSEED``; the
+determinism rule's ban on seedless randomness does not even come up
+because nothing here is random at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["HashRing", "RebalancePlan", "hash_key"]
+
+#: The hash circle is [0, 2**64).
+RING_BITS = 64
+RING_SIZE = 1 << RING_BITS
+
+
+def hash_key(key: str) -> int:
+    """Position of *key* on the ring: 64-bit BLAKE2b, process-stable."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def _vnode_points(shard_id: str, vnodes: int) -> List[int]:
+    return [
+        hash_key("%s#%d" % (shard_id, index)) for index in range(vnodes)
+    ]
+
+
+class RebalancePlan:
+    """What a :meth:`HashRing.rebalance` changed.
+
+    ``moved_ranges`` are half-open hash intervals ``(lo, hi, frm, to)``
+    (``lo <= h < hi``) whose owner changed — the *only* keys that move.
+    The plan is the unit the property tests pin: membership via
+    :meth:`moves`, magnitude via :attr:`moved_fraction`.
+    """
+
+    __slots__ = ("added", "removed", "moved_ranges")
+
+    def __init__(
+        self,
+        added: Tuple[str, ...],
+        removed: Tuple[str, ...],
+        moved_ranges: List[Tuple[int, int, str, str]],
+    ) -> None:
+        self.added = added
+        self.removed = removed
+        self.moved_ranges = moved_ranges
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of the hash circle whose owner changed."""
+        moved = sum(hi - lo for lo, hi, _frm, _to in self.moved_ranges)
+        return moved / RING_SIZE
+
+    def moves(self, key: str) -> Optional[Tuple[str, str]]:
+        """``(old_shard, new_shard)`` when *key* changed owner, else
+        None."""
+        point = hash_key(key)
+        for lo, hi, frm, to in self.moved_ranges:
+            if lo <= point < hi:
+                return (frm, to)
+        return None
+
+    def __repr__(self) -> str:
+        return "<RebalancePlan +%d -%d shards, %.4f%% of ring moved>" % (
+            len(self.added), len(self.removed),
+            100.0 * self.moved_fraction,
+        )
+
+
+class HashRing:
+    """Consistent-hash placement of string keys over named shards."""
+
+    __slots__ = ("vnodes", "_shards", "_points", "_owners")
+
+    def __init__(
+        self, shard_ids: Sequence[str], vnodes: int = 64
+    ) -> None:
+        if not shard_ids:
+            raise ValueError("a ring needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("duplicate shard ids")
+        if vnodes < 1:
+            raise ValueError("need at least one vnode per shard")
+        self.vnodes = vnodes
+        #: Shard ids in registration order (placement does not depend
+        #: on this order — only on the ids themselves).
+        self._shards: List[str] = list(shard_ids)
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._rebuild()
+
+    # -- construction -------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        pairs: List[Tuple[int, str]] = []
+        for shard_id in self._shards:
+            pairs.extend(
+                (point, shard_id)
+                for point in _vnode_points(shard_id, self.vnodes)
+            )
+        # Sort by (point, shard id): a (vanishingly unlikely) point
+        # collision between two shards resolves deterministically to
+        # the lexicographically smaller shard id.
+        pairs.sort()
+        self._points = [point for point, _sid in pairs]
+        self._owners = [sid for _point, sid in pairs]
+
+    # -- placement ----------------------------------------------------------
+
+    @property
+    def shards(self) -> List[str]:
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def _owner_at(self, point: int) -> str:
+        index = bisect_left(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap: past the last vnode, the first owns
+        return self._owners[index]
+
+    def place(self, key: str) -> str:
+        """The shard owning *key* — the first vnode clockwise from the
+        key's hash position."""
+        return self._owner_at(hash_key(key))
+
+    def place_n(self, key: str, n: int) -> List[str]:
+        """The *n* distinct shards next clockwise from *key* (a replica
+        set: owner first, then successors). ``n`` is capped at the
+        shard count."""
+        if n < 1:
+            raise ValueError("need at least one replica")
+        want = min(n, len(self._shards))
+        start = bisect_left(self._points, hash_key(key))
+        picked: List[str] = []
+        total = len(self._owners)
+        for offset in range(total):
+            owner = self._owners[(start + offset) % total]
+            if owner not in picked:
+                picked.append(owner)
+                if len(picked) == want:
+                    break
+        return picked
+
+    def arc_share(self) -> Dict[str, float]:
+        """Fraction of the hash circle each shard owns (sums to 1.0) —
+        the balance the property tests bound."""
+        shares: Dict[str, int] = {sid: 0 for sid in self._shards}
+        previous = self._points[-1] - RING_SIZE  # wrap-around arc
+        for point, owner in zip(self._points, self._owners):
+            shares[owner] += point - previous
+            previous = point
+        return {
+            sid: arc / RING_SIZE for sid, arc in shares.items()
+        }
+
+    # -- membership changes -------------------------------------------------
+
+    def rebalance(self, target_shard_ids: Sequence[str]) -> RebalancePlan:
+        """Retarget the ring to *target_shard_ids*, moving only the
+        minimal hash ranges.
+
+        Returns the :class:`RebalancePlan` of owner-changed intervals;
+        the caller (e.g. :class:`repro.stores.sharded.ShardedStore`)
+        uses it to migrate exactly the affected subscribers."""
+        if not target_shard_ids:
+            raise ValueError("cannot rebalance to zero shards")
+        if len(set(target_shard_ids)) != len(target_shard_ids):
+            raise ValueError("duplicate shard ids")
+        old_points = self._points
+        old_owners = self._owners
+        added = tuple(
+            sid for sid in target_shard_ids if sid not in self._shards
+        )
+        removed = tuple(
+            sid for sid in self._shards if sid not in target_shard_ids
+        )
+        self._shards = list(target_shard_ids)
+        self._rebuild()
+        # Break the circle at every vnode of either ring. Ownership
+        # ("first vnode clockwise at or after the point") is constant
+        # on the half-open-from-the-left intervals ``(b[i-1], b[i]]``
+        # between consecutive breakpoints — it changes just *after*
+        # each vnode — so the moved set is exactly those intervals
+        # where the two owner functions differ, re-expressed in the
+        # plan's ``lo <= h < hi`` convention as ``[b[i-1]+1, b[i]+1)``.
+        breakpoints = sorted(set(old_points) | set(self._points))
+        moved: List[Tuple[int, int, str, str]] = []
+        if not breakpoints:  # pragma: no cover - rings are never empty
+            return RebalancePlan(added, removed, moved)
+
+        def old_owner_at(point: int) -> str:
+            index = bisect_left(old_points, point)
+            if index == len(old_points):
+                index = 0
+            return old_owners[index]
+
+        def note(lo: int, hi: int, sample: int) -> None:
+            if lo >= hi:
+                return
+            frm = old_owner_at(sample)
+            to = self._owner_at(sample)
+            if frm != to:
+                if moved and moved[-1][1] == lo \
+                        and moved[-1][2] == frm and moved[-1][3] == to:
+                    # Coalesce adjacent intervals with the same move.
+                    moved[-1] = (moved[-1][0], hi, frm, to)
+                else:
+                    moved.append((lo, hi, frm, to))
+
+        first = breakpoints[0]
+        last = breakpoints[-1]
+        # The wrap arc (last, RING_SIZE) ∪ [0, first] is one circular
+        # interval: every point in it resolves to each ring's smallest
+        # vnode. Emitted as (up to) two linear ranges, sampled at 0.
+        note(0, first + 1, 0)
+        for previous, point in zip(breakpoints, breakpoints[1:]):
+            note(previous + 1, point + 1, point)
+        note(last + 1, RING_SIZE, 0)
+        return RebalancePlan(added, removed, moved)
+
+    # -- introspection ------------------------------------------------------
+
+    def placement_table(self, keys: Iterable[str]) -> Dict[str, str]:
+        """key -> owning shard for every key (golden-fixture helper)."""
+        return {key: self.place(key) for key in keys}
+
+    def __repr__(self) -> str:
+        return "<HashRing %d shard(s) x %d vnode(s)>" % (
+            len(self._shards), self.vnodes,
+        )

@@ -722,6 +722,23 @@ class Trace:
         if self._rec is not None and parts:
             self.event("degraded", parts=parts)
 
+    def note_degraded_item(self, parts: int = 1) -> None:
+        """Batch accounting: one batched *item* (a logical response
+        sharing this trace with its batch-mates) degraded with *parts*
+        unreachable referral parts.
+
+        Unlike :meth:`note_degraded` — whose fleet-wide counter counts
+        root traces once on first transition — every call here charges
+        one ``degraded_responses``: a batch of 20 queries with 3
+        degraded items is 3 degraded responses, exactly as if they had
+        been issued sequentially."""
+        if not parts:
+            return
+        self.degraded_parts += parts
+        self._network.counters.degraded_responses += 1
+        if self._rec is not None:
+            self.event("degraded_item", parts=parts)
+
     @property
     def degraded(self) -> bool:
         """True when this response is partial (some parts missing)."""

@@ -15,6 +15,7 @@ from repro.stores.directory import (
 from repro.stores.hlr import HLR, MSC, VLR, SubscriberRecord
 from repro.stores.presence import PresenceServer
 from repro.stores.pstn import Class5Switch, LineRecord
+from repro.stores.sharded import ShardedStore
 from repro.stores.sip import Binding, SipProxy, SipRegistrar
 from repro.stores.support import AAAServer, BillingSystem, IspSessionStore
 from repro.stores.webportal import (
@@ -35,4 +36,5 @@ __all__ = [
     "DirectoryServer", "LdapEntry", "ObjectClass", "Filter",
     "parse_filter", "STANDARD_CLASSES",
     "MobilePhone", "Pda", "SimCard", "PhoneBookEntry",
+    "ShardedStore",
 ]

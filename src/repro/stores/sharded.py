@@ -1,0 +1,280 @@
+"""Sharded GUP federation: one subscriber population, N replicas.
+
+The paper's scalability story (Section 4, "GUPster can be built as a
+family of mirrored servers"; Section 2's hundreds-of-millions-of-
+subscribers HLRs) needs profile data *partitioned*, not just mirrored:
+no single simulated store can hold a carrier population, but a fleet of
+shards behind deterministic placement can.
+
+:class:`ShardedStore` wraps that fleet. It looks like one logical
+store — ``add_user`` / ``users`` / ``join(server)`` — but routes every
+subscriber to one of N shard adapters through a
+:class:`~repro.sharding.HashRing` (BLAKE2b placement, vnodes for
+balance). Each shard is an ordinary :class:`~repro.adapters.base.
+GupAdapter` with its own simnet endpoint, so the query engine needs
+**no changes**: coverage registrations simply name the owning shard's
+``store_id`` and referrals route there like to any other store.
+
+``rebalance(new_shard_count)`` grows or shrinks the fleet, migrating
+*only* the subscribers whose hash arc changed owner (the
+:class:`~repro.sharding.RebalancePlan` contract — ≈ k/(n+k) of the
+population for n → n+k growth) and patching coverage registrations
+in place for every server the fleet has joined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.adapters.base import GupAdapter
+from repro.errors import AdapterError
+from repro.sharding import HashRing, RebalancePlan
+
+__all__ = ["ShardedStore"]
+
+#: Builds the adapter for one shard: factory(shard_id, region).
+AdapterFactory = Callable[[str, str], GupAdapter]
+
+
+def _default_factory(shard_id: str, region: str) -> GupAdapter:
+    # Local import: repro.workloads depends on repro.adapters, never on
+    # repro.stores, so this edge is acyclic — but keeping it out of the
+    # module top level means importing repro.stores does not drag the
+    # workload generators in.
+    from repro.workloads.synthetic import SyntheticAdapter
+
+    return SyntheticAdapter(shard_id, region=region)
+
+
+class ShardedStore:
+    """A logical store partitioned over N shard adapters by a hash
+    ring."""
+
+    def __init__(
+        self,
+        base_id: str,
+        shard_count: int,
+        network: Optional[object] = None,
+        region: str = "internet",
+        adapter_factory: Optional[AdapterFactory] = None,
+        vnodes: int = 64,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("need at least one shard")
+        self.base_id = base_id
+        self.region = region
+        self._factory: AdapterFactory = (
+            adapter_factory if adapter_factory is not None
+            else _default_factory
+        )
+        #: shard id -> adapter, in ring registration order.
+        self.shards: Dict[str, GupAdapter] = {}
+        for index in range(shard_count):
+            shard_id = self._shard_name(index)
+            self.shards[shard_id] = self._factory(shard_id, region)
+        self.ring = HashRing(list(self.shards), vnodes=vnodes)
+        self._network = network
+        if network is not None:
+            self._attach_nodes(network, list(self.shards))
+        #: Servers whose coverage maps name our shards (join() adds).
+        self._servers: List[object] = []
+        self.migrated_users = 0
+
+    def _shard_name(self, index: int) -> str:
+        return "%s-s%03d" % (self.base_id, index)
+
+    def _attach_nodes(self, network: object, shard_ids: Sequence[str]) -> None:
+        for shard_id in shard_ids:
+            if not network.has_node(  # type: ignore[attr-defined]
+                shard_id
+            ):
+                network.add_node(  # type: ignore[attr-defined]
+                    shard_id, region=self.region
+                )
+
+    # -- the logical-store surface ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, user_id: str) -> str:
+        """The shard id owning *user_id* (pure ring placement)."""
+        return self.ring.place(user_id)
+
+    def adapter_for(self, user_id: str) -> GupAdapter:
+        """The shard adapter owning *user_id*."""
+        return self.shards[self.ring.place(user_id)]
+
+    def add_user(self, user_id: str, components: Sequence[str]) -> str:
+        """Place *user_id* on its owning shard; returns the shard id."""
+        shard_id = self.ring.place(user_id)
+        self.shards[shard_id].add_user(  # type: ignore[attr-defined]
+            user_id, components
+        )
+        for server in self._servers:
+            self._register_user(server, shard_id, user_id)
+        return shard_id
+
+    def users(self) -> List[str]:
+        """Every subscriber across all shards, sorted."""
+        merged: List[str] = []
+        for adapter in self.shards.values():
+            merged.extend(adapter.users())
+        return sorted(merged)
+
+    def user_counts(self) -> Dict[str, int]:
+        """shard id -> resident subscriber count (balance check)."""
+        return {
+            shard_id: len(adapter.users())
+            for shard_id, adapter in self.shards.items()
+        }
+
+    def get(self, path: object) -> object:
+        """Route a read to the owning shard (convenience for direct
+        use; the query engine goes through referrals instead)."""
+        from repro.pxml import parse_path
+
+        parsed = parse_path(path)  # type: ignore[arg-type]
+        user_id = parsed.user_id()
+        if user_id is None:
+            raise AdapterError(
+                "sharded get must identify the user: %s" % parsed
+            )
+        return self.shards[self.ring.place(user_id)].get(parsed)
+
+    # -- community membership ------------------------------------------------
+
+    def join(self, server: object, user_ids: Optional[List[str]] = None) -> int:
+        """Every shard joins *server*; registrations land under the
+        owning shard's store id. Returns total registrations."""
+        count = 0
+        for adapter in self.shards.values():
+            count += server.join(  # type: ignore[attr-defined]
+                adapter, user_ids=user_ids
+            )
+        if server not in self._servers:
+            self._servers.append(server)
+        return count
+
+    def _register_user(
+        self, server: object, shard_id: str, user_id: str
+    ) -> None:
+        adapter = self.shards[shard_id]
+        for path in adapter.coverage_paths(user_id):
+            server.coverage.register(  # type: ignore[attr-defined]
+                path, shard_id
+            )
+
+    def _unregister_user(
+        self, server: object, shard_id: str, user_id: str,
+        paths: Sequence[str],
+    ) -> None:
+        for path in paths:
+            server.coverage.unregister(  # type: ignore[attr-defined]
+                path, shard_id
+            )
+
+    # -- membership changes ---------------------------------------------------
+
+    def rebalance(self, new_shard_count: int) -> RebalancePlan:
+        """Grow/shrink the fleet to *new_shard_count* shards, migrating
+        only the subscribers whose arc changed owner.
+
+        Coverage registrations at every joined server are patched for
+        exactly the moved subscribers; nobody else's referrals change.
+        Returns the ring's :class:`~repro.sharding.RebalancePlan`."""
+        if new_shard_count < 1:
+            raise ValueError("need at least one shard")
+        target_ids = [
+            self._shard_name(index) for index in range(new_shard_count)
+        ]
+        plan = self.ring.rebalance(target_ids)
+        # Create adapters (and simnet endpoints) for added shards first
+        # so migrations have a destination.
+        for shard_id in plan.added:
+            self.shards[shard_id] = self._factory(shard_id, self.region)
+        if self._network is not None and plan.added:
+            self._attach_nodes(self._network, plan.added)
+        # Migrate every user the plan moved. Users on *removed* shards
+        # always move; users on surviving shards move only when an
+        # added shard's vnode landed inside their old arc.
+        moved: List[Tuple[str, str, str]] = []  # (user, frm, to)
+        for shard_id in list(self.shards):
+            if shard_id in plan.added:
+                continue  # freshly created, holds nobody yet
+            adapter = self.shards[shard_id]
+            for user_id in adapter.users():
+                target = self.ring.place(user_id)
+                if target != shard_id:
+                    moved.append((user_id, shard_id, target))
+        for user_id, frm, to in moved:
+            self._migrate_user(user_id, frm, to)
+        self.migrated_users += len(moved)
+        # Removed shards must now be empty; drop them (and leave any
+        # servers they joined).
+        for shard_id in plan.removed:
+            adapter = self.shards.pop(shard_id)
+            leftover = adapter.users()
+            if leftover:  # pragma: no cover - migration is total
+                raise AdapterError(
+                    "rebalance left %d user(s) on removed shard %s"
+                    % (len(leftover), shard_id)
+                )
+            for server in self._servers:
+                server.adapters.pop(  # type: ignore[attr-defined]
+                    shard_id, None
+                )
+        # Advertise the new shards' adapters to the joined servers.
+        for server in self._servers:
+            for shard_id in plan.added:
+                server.adapters[  # type: ignore[index]
+                    shard_id
+                ] = self.shards[shard_id]
+        return plan
+
+    def _migrate_user(self, user_id: str, frm: str, to: str) -> None:
+        source = self.shards[frm]
+        dest = self.shards[to]
+        old_paths = source.coverage_paths(user_id)
+        holdings = getattr(source, "holdings", None)
+        remove = getattr(source, "remove_user", None)
+        add = getattr(dest, "add_user", None)
+        if holdings is not None and remove is not None and add is not None:
+            # Fast path (SyntheticAdapter and friends): move the
+            # component inventory plus any written overrides without
+            # materializing the generated profile.
+            components = holdings(user_id)
+            overrides = remove(user_id)
+            add(user_id, components)
+            for component, fragment in overrides.items():
+                dest.apply_component(user_id, component, fragment)
+        else:  # pragma: no cover - generic adapters in future PRs
+            view = source.export_user(user_id)
+            if view is None:
+                raise AdapterError(
+                    "cannot migrate %s: %s exports nothing"
+                    % (user_id, frm)
+                )
+            for child in view.children:
+                dest.apply_component(user_id, child.tag, child)
+        for server in self._servers:
+            self._unregister_user(server, frm, user_id, old_paths)
+            self._register_user(server, to, user_id)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        counts = self.user_counts()
+        return {
+            "shards": len(self.shards),
+            "vnodes": self.ring.vnodes,
+            "users": sum(counts.values()),
+            "min_shard_users": min(counts.values()) if counts else 0,
+            "max_shard_users": max(counts.values()) if counts else 0,
+            "migrated_users": self.migrated_users,
+        }
+
+    def __repr__(self) -> str:
+        return "<ShardedStore %s x%d shard(s)>" % (
+            self.base_id, len(self.shards),
+        )

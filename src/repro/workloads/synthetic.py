@@ -40,6 +40,7 @@ class SyntheticAdapter(GupAdapter):
         book_entries: int = 10,
         calendar_entries: int = 5,
         seed: int = 7,
+        memoize_exports: bool = False,
     ):
         super().__init__(store_id, region=region)
         self.book_entries = book_entries
@@ -49,6 +50,14 @@ class SyntheticAdapter(GupAdapter):
         self._holdings: Dict[str, Tuple[str, ...]] = {}
         #: components overridden by writes: (user, component) -> PNode
         self._written: Dict[Tuple[str, str], PNode] = {}
+        #: Opt-in export memoization for hot read workloads (E19).
+        #: Safe because :meth:`GupAdapter.get` projects the view
+        #: through :func:`~repro.pxml.evaluate.extract`, which copies —
+        #: the cached tree is never handed to callers for mutation.
+        #: Invalidated on any add/remove/write for the user.
+        self._export_cache: Optional[Dict[str, PNode]] = (
+            {} if memoize_exports else None
+        )
 
     def add_user(
         self, user_id: str, components: Sequence[str]
@@ -57,12 +66,48 @@ class SyntheticAdapter(GupAdapter):
         if unknown:
             raise ValueError("unsupported components %r" % unknown)
         self._holdings[user_id] = tuple(components)
+        if self._export_cache is not None:
+            self._export_cache.pop(user_id, None)
+
+    def remove_user(self, user_id: str) -> Dict[str, PNode]:
+        """Drop *user_id* from this store, returning any written
+        component overrides (shard migration carries them along so a
+        moved subscriber's writes survive the move)."""
+        self._holdings.pop(user_id, None)
+        if self._export_cache is not None:
+            self._export_cache.pop(user_id, None)
+        overrides: Dict[str, PNode] = {}
+        for key in [k for k in self._written if k[0] == user_id]:
+            overrides[key[1]] = self._written.pop(key)
+        return overrides
 
     def users(self) -> List[str]:
         return sorted(self._holdings)
 
+    def user_count(self) -> int:
+        return len(self._holdings)
+
     def holdings(self, user_id: str) -> Tuple[str, ...]:
         return self._holdings.get(user_id, ())
+
+    def coverage_paths(self, user_id: str) -> List[str]:
+        """Registration paths straight from the component inventory.
+
+        Overrides the base implementation (which materializes the full
+        exported view just to list its children) — at carrier-scale
+        populations that generation pass dominates ``join()`` time.
+        Produces byte-identical paths: exported children are exactly
+        the held components, in :data:`COMPONENTS` order."""
+        components = self._holdings.get(user_id)
+        if components is None:
+            return []
+        held = set(components)
+        return [
+            "/user[@id='%s']/%s%s"
+            % (user_id, tag, self.COMPONENT_SLICES.get(tag, ""))
+            for tag in self.COMPONENTS
+            if tag in held
+        ]
 
     # -- generation ------------------------------------------------------------
 
@@ -70,6 +115,10 @@ class SyntheticAdapter(GupAdapter):
         components = self._holdings.get(user_id)
         if components is None:
             return None
+        if self._export_cache is not None:
+            cached = self._export_cache.get(user_id)
+            if cached is not None:
+                return cached
         root = self._user_root(user_id)
         # CRC32, not hash(): string hash() is randomized per process
         # (PYTHONHASHSEED), which silently made generated *text* —
@@ -89,6 +138,8 @@ class SyntheticAdapter(GupAdapter):
                 continue
             builder = getattr(self, "_build_" + component.replace("-", "_"))
             root.append(builder(user_id, rng))
+        if self._export_cache is not None:
+            self._export_cache[user_id] = root
         return root
 
     def apply_component(
@@ -101,6 +152,8 @@ class SyntheticAdapter(GupAdapter):
                 component,
             )
         self._written[(user_id, component)] = fragment.copy()
+        if self._export_cache is not None:
+            self._export_cache.pop(user_id, None)
 
     # -- component builders ----------------------------------------------------
 

@@ -405,6 +405,40 @@ class TestCacheKeyScopeRule:
         )
         assert found == []
 
+    def test_flags_unscoped_batch_calls(self):
+        # The E19 batch path: one unscoped bulk call leaks a whole
+        # batch at once, so get_many/put_many carry the same
+        # obligation as their singular forms.
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def warm(self, paths, pairs, now):
+                    hits = self.cache.get_many(paths, now)
+                    self.cache.put_many(pairs, now)
+                    return hits
+            """),
+            self.RELPATH,
+        )
+        assert len(found) == 2
+        assert all("scope" in violation.message for violation in found)
+
+    def test_allows_scoped_batch_calls(self):
+        found = check_source(
+            CacheKeyScopeRule(),
+            dedent("""
+                def warm(self, paths, pairs, context, now):
+                    hits = self.cache.get_many(
+                        paths, now, scope=context.cache_scope()
+                    )
+                    self.cache.put_many(
+                        pairs, now, context.cache_scope()
+                    )
+                    return hits
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
 
 # ---------------------------------------------------------------------------
 # sim-blocking
@@ -569,6 +603,71 @@ class TestShieldEgressRule:
                             adapter = self.server.adapters[part.store_id]
                             fragments.append(adapter.get(part.path))
                         return fragments
+            """),
+            "repro/core/query.py",
+        )
+        assert found == []
+
+    def test_flags_unshielded_batch_egress(self):
+        # E19: a batch fan-out takes *contexts* (a batch of
+        # requesters) — that is an egress surface exactly like a lone
+        # ``context`` parameter, and returning adapter data without a
+        # sanitizer must be flagged.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Executor:
+                    def execute_batch(self, requests, contexts, now):
+                        results = []
+                        for request in requests:
+                            adapter = self.adapters[request.store_id]
+                            results.append(adapter.get(request.path))
+                        return results
+            """),
+            "repro/core/query.py",
+        )
+        assert len(found) == 1
+        assert "execute_batch" in found[0].message
+
+    def test_flags_batch_egress_via_annotation(self):
+        # The batch parameter may be named anything as long as it is
+        # annotated with a RequestContext container.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Executor:
+                    def fan_out(self, requests,
+                                requesters: "Sequence[RequestContext]",
+                                now):
+                        payload = [
+                            self.cache.get(request, now, scope="s")
+                            for request in requests
+                        ]
+                        return payload
+            """),
+            "repro/core/query.py",
+        )
+        assert len(found) == 1
+
+    def test_shielded_batch_egress_passes(self):
+        # The real batch path: per-item shield recheck via the
+        # sanitizing facades keeps the fan-out clean.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Executor:
+                    def execute_batch(self, requests, contexts, now):
+                        results = []
+                        for request, context in zip(requests, contexts):
+                            hit = self.cache_lookup(request, context, now)
+                            if hit is not None:
+                                results.append(hit)
+                                continue
+                            referral = self._resolve_tracked(
+                                request, context, now
+                            )
+                            results.append(referral)
+                        return results
             """),
             "repro/core/query.py",
         )

@@ -1,0 +1,214 @@
+"""Property tests for consistent-hash placement and the sharded store.
+
+Pins the two guarantees :mod:`repro.sharding` advertises:
+
+* **deterministic, balanced placement** — placement is a pure function
+  of (shard ids, vnode count, key): independent of registration order,
+  stable across processes (golden fixture
+  ``tests/data/golden_placement.json``), and spread so no shard owns a
+  wildly outsized arc;
+* **minimal movement on rebalance** — growing n → n+k shards moves
+  only the keys landing in the new shards' arcs (the
+  :class:`~repro.sharding.RebalancePlan` describes exactly those
+  ranges), and a :class:`~repro.stores.ShardedStore` rebalance neither
+  loses nor duplicates a single subscriber.
+"""
+
+import json
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sharding import RING_SIZE, HashRing, hash_key
+from repro.stores import ShardedStore
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_placement.json"
+)
+
+shard_counts = st.integers(min_value=1, max_value=12)
+keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+    max_size=16,
+)
+
+
+def shard_ids(count):
+    return ["shard-%02d" % index for index in range(count)]
+
+
+class TestPlacementProperties:
+    @given(shard_counts, st.lists(keys, min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_placement_is_deterministic_and_order_independent(
+        self, count, sample
+    ):
+        ids = shard_ids(count)
+        ring = HashRing(ids, vnodes=16)
+        again = HashRing(list(reversed(ids)), vnodes=16)
+        for key in sample:
+            owner = ring.place(key)
+            assert owner in ids
+            assert again.place(key) == owner
+            assert HashRing(ids, vnodes=16).place(key) == owner
+
+    @given(shard_counts, keys, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100)
+    def test_replica_sets_are_distinct_and_owner_first(
+        self, count, key, replicas
+    ):
+        ring = HashRing(shard_ids(count), vnodes=16)
+        chosen = ring.place_n(key, replicas)
+        assert len(chosen) == min(replicas, count)
+        assert len(set(chosen)) == len(chosen)
+        assert chosen[0] == ring.place(key)
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_arcs_are_balanced(self, count):
+        """More vnodes tighten the spread; at 128 vnodes no shard owns
+        more than 3x its fair share of the circle (a loose bound that
+        holds with huge margin in practice)."""
+        ring = HashRing(shard_ids(count), vnodes=128)
+        shares = ring.arc_share()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        fair = 1.0 / count
+        assert max(shares.values()) < 3.0 * fair
+        assert min(shares.values()) > fair / 3.0
+
+    def test_hash_is_process_stable(self):
+        # BLAKE2b, not PYTHONHASHSEED-dependent hash(): this exact
+        # value must hold in every process on every platform.
+        assert hash_key("u0000042") == 0xA53143983591678D
+        assert 0 <= hash_key("u0000042") < RING_SIZE
+
+
+class TestRebalanceProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.lists(keys, min_size=1, max_size=40, unique=True),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_plan_predicts_every_move(self, before, after, sample):
+        """A key changed owner iff the plan says so, and the plan names
+        the right (from, to) pair."""
+        ring = HashRing(shard_ids(before), vnodes=16)
+        old = {key: ring.place(key) for key in sample}
+        plan = ring.rebalance(shard_ids(after))
+        for key in sample:
+            new_owner = ring.place(key)
+            move = plan.moves(key)
+            if old[key] == new_owner:
+                assert move is None
+            else:
+                assert move == (old[key], new_owner)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_growth_moves_only_toward_added_shards(self, count, extra):
+        """n -> n+k: every moved range lands on an added shard, and the
+        moved fraction is near k/(n+k) (within a generous vnode-noise
+        factor)."""
+        ring = HashRing(shard_ids(count), vnodes=64)
+        plan = ring.rebalance(shard_ids(count + extra))
+        added = set(plan.added)
+        assert len(added) == extra
+        assert not plan.removed
+        for _lo, _hi, frm, to in plan.moved_ranges:
+            assert to in added
+            assert frm not in added
+        ideal = extra / (count + extra)
+        assert plan.moved_fraction <= min(1.0, 2.5 * ideal)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_shrink_moves_only_from_removed_shards(self, keep, drop):
+        ring = HashRing(shard_ids(keep + drop), vnodes=64)
+        plan = ring.rebalance(shard_ids(keep))
+        removed = set(plan.removed)
+        assert len(removed) == drop
+        assert not plan.added
+        for _lo, _hi, frm, to in plan.moved_ranges:
+            assert frm in removed
+            assert to not in removed
+
+
+class TestShardedStoreRebalance:
+    def _fleet(self, shards, users):
+        fleet = ShardedStore("gup.pool", shards, vnodes=32)
+        for index in range(users):
+            fleet.add_user("sub%05d" % index, ["address-book"])
+        return fleet
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_rebalance_loses_and_duplicates_nobody(self, before, after):
+        fleet = self._fleet(before, users=120)
+        population = fleet.users()
+        assert len(population) == 120
+        fleet.rebalance(after)
+        assert fleet.users() == population  # sorted; equality = no
+        # loss and no duplication
+        assert len(fleet) == after
+        # Everybody sits where the ring now says they belong.
+        for shard_id, adapter in fleet.shards.items():
+            for user_id in adapter.users():
+                assert fleet.shard_for(user_id) == shard_id
+
+    def test_growth_moves_roughly_the_ideal_fraction(self):
+        fleet = self._fleet(8, users=2_000)
+        fleet.rebalance(10)
+        fraction = fleet.migrated_users / 2_000
+        ideal = 2 / 10
+        assert fraction < 2.0 * ideal
+
+    def test_written_overrides_survive_migration(self):
+        from repro.pxml import element
+
+        fleet = self._fleet(2, users=50)
+        # Write an override for every subscriber, then churn the fleet.
+        marker = {}
+        for index, user_id in enumerate(fleet.users()):
+            node = element("address-book", {"marker": str(index)})
+            fleet.adapter_for(user_id).apply_component(
+                user_id, "address-book", node
+            )
+            marker[user_id] = str(index)
+        for target in (5, 3, 8, 1, 4):
+            fleet.rebalance(target)
+        for user_id, expected in marker.items():
+            view = fleet.adapter_for(user_id).export_user(user_id)
+            book = view.child("address-book")
+            assert book is not None
+            assert book.get("marker") == expected
+
+
+class TestGoldenPlacement:
+    def test_placement_matches_golden_fixture(self):
+        """Placement is pinned across processes and Python versions;
+        any change to the hash, vnode naming, or tie-break is a
+        breaking change and must ship a regenerated fixture."""
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        ring = HashRing(golden["shards"], vnodes=golden["vnodes"])
+        live = ring.placement_table(sorted(golden["placement"]))
+        assert live == golden["placement"]
+        plan = ring.rebalance(golden["rebalance"]["target_shards"])
+        assert round(plan.moved_fraction, 10) == golden["rebalance"][
+            "moved_fraction"
+        ]
+        moved = {
+            key: list(plan.moves(key)) if plan.moves(key) else None
+            for key in sorted(golden["placement"])
+        }
+        assert moved == golden["rebalance"]["moves"]

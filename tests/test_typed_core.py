@@ -33,13 +33,14 @@ SRC = os.path.join(HERE, os.pardir, "src")
 PKG = os.path.join(SRC, "repro")
 
 #: Directories included wholesale (recursively).
-TYPED_DIRS = ("core", "analysis", "obs")
+TYPED_DIRS = ("core", "analysis", "obs", "sharding")
 #: Individual modules included.
 TYPED_FILES = (
     "errors.py",
     os.path.join("pxml", "path.py"),
     os.path.join("pxml", "evaluate.py"),
     os.path.join("adapters", "base.py"),
+    os.path.join("stores", "sharded.py"),
 )
 
 
@@ -147,6 +148,8 @@ class TestTypedCore(unittest.TestCase):
             "src/repro/pxml/path.py",
             "src/repro/pxml/evaluate.py",
             "src/repro/adapters/base.py",
+            "src/repro/sharding",
+            "src/repro/stores/sharded.py",
         ):
             self.assertIn(needle, text,
                           "%s missing from [tool.mypy] files" % needle)
