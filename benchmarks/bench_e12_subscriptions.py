@@ -85,16 +85,20 @@ def test_e12_poll_vs_push(benchmark, report):
         notes=(
             "Polling trades latency against message volume and pays "
             "one policy check per poll; push delivers every change in "
-            "two hops after ONE subscription-time check."
+            "two hops, re-checking the shield per delivery (one check "
+            "at subscribe time plus one per forwarded change)."
         ),
     )
     by_mode = {row[0]: row for row in rows}
     push = by_mode["push"]
     poll_fast = by_mode["poll @1s"]
     poll_slow = by_mode["poll @15s"]
-    # Push delivers every change, fastest, with exactly 1 policy check.
+    # Push delivers every change, fastest, with one subscribe-time
+    # check plus one per-delivery re-check (the E20 revocation fix) —
+    # still far below polling's one check per tick.
     assert push[1] == len(CHANGE_TIMES)
-    assert push[5] == 1
+    assert push[5] == 1 + len(CHANGE_TIMES)
+    assert push[5] < poll_fast[5]
     assert push[2] < poll_fast[2]
     # Fast polling costs the most messages and checks.
     assert poll_fast[4] > poll_slow[4]

@@ -29,6 +29,16 @@ sanitizer is flagged. Internal plumbing without a requester context
 (``ComponentCache`` itself, ``_fetch_part_from``) is exempt — scoping
 its keys is the ``cache-key-scope`` rule's job, and the deliberately
 unshielded ``direct()`` baseline takes no context by design.
+
+**Bus delivery callbacks are requester egress too** (E20): in
+``repro/bus/`` modules, a delivery batch parameter (``records``,
+``deltas``, ``batch``…) is profile data *by construction* — it is what
+the change log replays — and ``*.since()`` on a log/bus receiver is a
+source like a cache probe. A context-taking delivery function that
+passes tainted data to a **delivery sink** (``deliver``,
+``on_delivery``, ``_record_delivery``…) without the shield on the path
+is flagged exactly like a tainted return: forwarding to a subscriber
+IS returning profile data to a requester, just inverted.
 """
 
 from __future__ import annotations
@@ -48,10 +58,23 @@ _SANITIZERS = frozenset({
 })
 #: Methods yielding profile data on any receiver.
 _SOURCE_ANY = frozenset({"export_user"})
-#: Methods yielding profile data when the receiver looks like a cache
-#: or an adapter.
-_SOURCE_ON_DATAISH = frozenset({"get", "get_stale"})
-_DATAISH_MARKERS = ("cache", "adapter")
+#: Methods yielding profile data when the receiver looks like a cache,
+#: an adapter, or a change log/bus (the E20 replay surface).
+_SOURCE_ON_DATAISH = frozenset({"get", "get_stale", "since"})
+_DATAISH_MARKERS = ("cache", "adapter", "log", "bus")
+#: In bus modules, these parameter names carry replayed change records
+#: — tainted at function entry (the log is where they came from).
+_BUS_PAYLOAD_PARAMS = frozenset({
+    "records", "record", "deltas", "delta", "batch",
+})
+#: Calls that hand data onward to a listener/subscriber — the egress
+#: mirror of a ``return`` for the push path.
+_DELIVERY_SINKS = frozenset({
+    "deliver", "_deliver", "_deliver_records", "on_delivery",
+    "_on_delivery", "record_delivery", "_record_delivery",
+})
+#: Rule-scope modules where the delivery-sink egress model applies.
+_BUS_PREFIX = "repro/bus/"
 
 
 def _receiver_parts(expr: ast.expr) -> List[str]:
@@ -97,11 +120,13 @@ def _mentions_request_context(annotation: ast.expr) -> bool:
 
 
 class _FunctionFacts:
-    __slots__ = ("tainted_returns", "has_sanitizer")
+    __slots__ = ("tainted_returns", "tainted_sinks", "has_sanitizer")
 
     def __init__(self, tainted_returns: List[ast.Return],
+                 tainted_sinks: List[ast.Call],
                  has_sanitizer: bool) -> None:
         self.tainted_returns = tainted_returns
+        self.tainted_sinks = tainted_sinks
         self.has_sanitizer = has_sanitizer
 
     @property
@@ -122,10 +147,18 @@ class _TaintWalk:
     _MUTATORS = frozenset({"append", "extend", "add", "insert",
                            "update", "setdefault"})
 
-    def __init__(self, tainted_peers: FrozenSet[str]) -> None:
+    def __init__(
+        self,
+        tainted_peers: FrozenSet[str],
+        pre_tainted: FrozenSet[str] = frozenset(),
+        track_sinks: bool = False,
+    ) -> None:
         self._tainted_peers = tainted_peers
-        self.tainted: Set[str] = set()
+        self._pre_tainted = pre_tainted
+        self._track_sinks = track_sinks
+        self.tainted: Set[str] = set(pre_tainted)
         self.tainted_returns: List[ast.Return] = []
+        self.tainted_sinks: List[ast.Call] = []
 
     # -- sources ------------------------------------------------------------
 
@@ -180,6 +213,7 @@ class _TaintWalk:
     def run(self, fn: ast.FunctionDef) -> None:
         for _sweep in range(2):
             self.tainted_returns = []
+            self.tainted_sinks = []
             for stmt in fn.body:
                 self._visit(stmt)
 
@@ -222,14 +256,25 @@ class _TaintWalk:
                 and isinstance(stmt.value, ast.Call):
             call = stmt.value
             func = call.func
+            arguments = list(call.args) + [
+                keyword.value for keyword in call.keywords
+            ]
             if isinstance(func, ast.Attribute) \
                     and func.attr in self._MUTATORS:
-                arguments = list(call.args) + [
-                    keyword.value for keyword in call.keywords
-                ]
                 if any(self._is_tainted(argument)
                        for argument in arguments):
                     self._taint_target(func.value)
+            if self._track_sinks:
+                sink_name = None
+                if isinstance(func, ast.Attribute):
+                    sink_name = func.attr
+                elif isinstance(func, ast.Name):
+                    sink_name = func.id
+                if sink_name in _DELIVERY_SINKS and any(
+                    self._is_tainted(argument)
+                    for argument in arguments
+                ):
+                    self.tainted_sinks.append(call)
         # Nested defs/classes are opaque to the walk (conservatively
         # ignored; closures over tainted state are rare in this layer).
 
@@ -250,10 +295,23 @@ def _has_sanitizer(fn: ast.FunctionDef) -> bool:
 
 
 def _function_facts(fn: ast.FunctionDef,
-                    tainted_peers: FrozenSet[str]) -> _FunctionFacts:
-    walk = _TaintWalk(tainted_peers)
+                    tainted_peers: FrozenSet[str],
+                    bus_mode: bool = False) -> _FunctionFacts:
+    pre_tainted: FrozenSet[str] = frozenset()
+    if bus_mode:
+        args = fn.args
+        pre_tainted = frozenset(
+            arg.arg
+            for arg in args.posonlyargs + args.args + args.kwonlyargs
+            if arg.arg in _BUS_PAYLOAD_PARAMS
+        )
+    walk = _TaintWalk(
+        tainted_peers, pre_tainted=pre_tainted, track_sinks=bus_mode
+    )
     walk.run(fn)
-    return _FunctionFacts(walk.tainted_returns, _has_sanitizer(fn))
+    return _FunctionFacts(
+        walk.tainted_returns, walk.tainted_sinks, _has_sanitizer(fn)
+    )
 
 
 class ShieldEgressRule(Rule):
@@ -268,47 +326,60 @@ class ShieldEgressRule(Rule):
         "repro/core/server.py",
         "repro/core/query.py",
         "repro/core/cache.py",
+        "repro/bus/",
     )
 
     def check(self, module: ModuleInfo) -> List[Violation]:
         found: List[Violation] = []
+        bus_mode = module.relpath.startswith(_BUS_PREFIX)
         module_functions = [
             node for node in module.tree.body
             if isinstance(node, ast.FunctionDef)
         ]
-        self._check_group(module, module_functions, found)
+        self._check_group(module, module_functions, found, bus_mode)
         for node in module.tree.body:
             if isinstance(node, ast.ClassDef):
                 methods = [
                     item for item in node.body
                     if isinstance(item, ast.FunctionDef)
                 ]
-                self._check_group(module, methods, found)
+                self._check_group(module, methods, found, bus_mode)
         return found
 
     def _check_group(self, module: ModuleInfo,
                      functions: List[ast.FunctionDef],
-                     found: List[Violation]) -> None:
+                     found: List[Violation],
+                     bus_mode: bool) -> None:
         if not functions:
             return
-        facts = self._fixpoint(functions)
+        facts = self._fixpoint(functions, bus_mode)
         for fn in functions:
             fn_facts = facts[fn.name]
             if not _takes_request_context(fn):
                 continue
-            if fn_facts.returns_tainted and not fn_facts.has_sanitizer:
-                for tainted_return in fn_facts.tainted_returns:
-                    found.append(self.violation(
-                        module, tainted_return,
-                        "%s() returns profile data to a requester "
-                        "context without a privacy-shield check "
-                        "(no enforce/_shield_cached/resolve on the "
-                        "path)" % fn.name,
-                    ))
+            if fn_facts.has_sanitizer:
+                continue
+            for tainted_return in fn_facts.tainted_returns:
+                found.append(self.violation(
+                    module, tainted_return,
+                    "%s() returns profile data to a requester "
+                    "context without a privacy-shield check "
+                    "(no enforce/_shield_cached/resolve on the "
+                    "path)" % fn.name,
+                ))
+            for tainted_sink in fn_facts.tainted_sinks:
+                found.append(self.violation(
+                    module, tainted_sink,
+                    "%s() forwards profile data to a delivery "
+                    "callback for a requester context without a "
+                    "privacy-shield check (bus deliveries are "
+                    "egress; enforce per delivery)" % fn.name,
+                ))
 
     @staticmethod
     def _fixpoint(
         functions: List[ast.FunctionDef],
+        bus_mode: bool,
     ) -> Dict[str, _FunctionFacts]:
         """Iterate until the set of tainted-returning, unsanitized
         helpers stabilizes, so taint flows through same-class (or
@@ -317,7 +388,7 @@ class ShieldEgressRule(Rule):
         facts: Dict[str, _FunctionFacts] = {}
         for _round in range(len(functions) + 1):
             facts = {
-                fn.name: _function_facts(fn, tainted_peers)
+                fn.name: _function_facts(fn, tainted_peers, bus_mode)
                 for fn in functions
             }
             new_peers = frozenset(

@@ -1,0 +1,155 @@
+"""Append-only per-shard change log with replay cursors in mind.
+
+Every profile mutation becomes a :class:`ChangeRecord` with a
+**monotonic sequence number** (per shard) and the virtual instant it
+happened. Listeners replay ``since(cursor)`` and the bus compacts
+records every listener has consumed — so the log is bounded by the
+slowest cursor, not by history (the unbounded ``_change_log`` the old
+SubscriptionHub kept was exactly that bug).
+
+The log also answers the poll path's question — *when did the change
+producing this value happen?* — from a **latest-change-per-path
+index** maintained on append. The index survives compaction (it is
+O(paths), not O(history)) and returns ``None`` when the value it holds
+is not the one asked about, instead of the old fabricated
+``sim.now`` fallback that recorded near-zero poll latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ChangeLog", "ChangeRecord"]
+
+#: Fixed per-record envelope (seq + timestamps + framing) used when a
+#: wave's payload bytes are charged to the simulated network.
+RECORD_OVERHEAD_BYTES = 64
+
+
+class ChangeRecord:
+    """One logged profile change."""
+
+    __slots__ = ("seq", "at", "path", "value", "user_id", "shard")
+
+    def __init__(
+        self,
+        seq: int,
+        at: float,
+        path: str,
+        value: str,
+        user_id: Optional[str],
+        shard: str,
+    ) -> None:
+        self.seq = seq
+        self.at = at
+        self.path = path
+        self.value = value
+        self.user_id = user_id
+        self.shard = shard
+
+    def byte_size(self) -> int:
+        """Wire size of this record inside a wave payload."""
+        return RECORD_OVERHEAD_BYTES + len(self.path) + len(self.value)
+
+    def __repr__(self) -> str:
+        return "<ChangeRecord %s#%d %s=%r @%.1f>" % (
+            self.shard, self.seq, self.path, self.value, self.at,
+        )
+
+
+class ChangeLog:
+    """Append-only change history for one shard.
+
+    Records are held in append order with **contiguous** sequence
+    numbers starting at 1, so ``since(cursor)`` is an O(1) slice (no
+    scan): the record with sequence ``s`` lives at offset
+    ``s - head_seq``. :meth:`compact` drops the prefix every listener
+    has consumed; the latest-change index is untouched by compaction.
+    """
+
+    def __init__(self, shard_id: str = "main") -> None:
+        self.shard_id = shard_id
+        self._records: List[ChangeRecord] = []
+        #: Sequence number of ``_records[0]`` (when non-empty).
+        self._head_seq = 1
+        self.last_seq = 0
+        #: path -> (value, at) of the *latest* change on that path.
+        self._latest: Dict[str, Tuple[str, float]] = {}
+        self.compacted_total = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def append(
+        self,
+        at: float,
+        path: str,
+        value: str,
+        user_id: Optional[str] = None,
+    ) -> ChangeRecord:
+        """Log one change at virtual instant *at*; returns the record."""
+        self.last_seq += 1
+        record = ChangeRecord(
+            self.last_seq, at, path, value, user_id, self.shard_id
+        )
+        self._records.append(record)
+        self._latest[path] = (value, at)
+        return record
+
+    # -- replay --------------------------------------------------------------
+
+    def since(self, cursor: int) -> List[ChangeRecord]:
+        """Every record with ``seq > cursor``, oldest first.
+
+        A cursor below ``head_seq - 1`` would mean the bus compacted
+        past an unconsumed record; the bus never does (compaction uses
+        the minimum cursor), but the clamp keeps the slice safe."""
+        if cursor >= self.last_seq:
+            return []
+        start = max(0, cursor + 1 - self._head_seq)
+        return list(self._records[start:])
+
+    def backlog(self, cursor: int) -> int:
+        """How many records *cursor* still has to consume — O(1)."""
+        return max(0, self.last_seq - max(cursor, self._head_seq - 1))
+
+    # -- the poll path's question --------------------------------------------
+
+    def changed_at(self, path: str, value: str) -> Optional[float]:
+        """When the change that produced *value* at *path* happened —
+        or ``None`` when that change was never logged (or has been
+        superseded, so its instant is no longer known)."""
+        latest = self._latest.get(path)
+        if latest is not None and latest[0] == value:
+            return latest[1]
+        return None
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, min_cursor: int) -> int:
+        """Drop every record with ``seq <= min_cursor`` (all consumed).
+        Returns how many were dropped. The latest-change index is kept
+        whole — it is bounded by distinct paths, not history."""
+        if min_cursor < self._head_seq:
+            return 0
+        keep_from = min(min_cursor, self.last_seq) + 1 - self._head_seq
+        if keep_from <= 0:
+            return 0
+        del self._records[:keep_from]
+        self._head_seq += keep_from
+        self.compacted_total += keep_from
+        return keep_from
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def head_seq(self) -> int:
+        """Sequence number of the oldest retained record."""
+        return self._head_seq
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return "<ChangeLog %s seq=%d retained=%d>" % (
+            self.shard_id, self.last_seq, len(self._records),
+        )

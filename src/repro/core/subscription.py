@@ -7,47 +7,61 @@ our case, every polling request needs to be checked to enforce the
 end-user's privacy shield. Having the subscription handled by GUPster
 internally would save this extra work."
 
-:class:`SubscriptionHub` runs both strategies on the event simulator:
+:class:`SubscriptionHub` runs the strategies on the event simulator:
 
 * **polling** — the client polls through GUPster at a fixed interval;
   every poll pays a policy check and the full fetch path, and change
   delivery latency averages half the interval.
-* **push** — the client subscribes once (one policy check); GUPster
-  hooks the store's native change notification and forwards changes as
-  they happen; delivery latency is just two hops.
+* **push** — the client subscribes once; GUPster hooks the store's
+  native change notification and forwards changes as they happen, each
+  delivery re-checked against the shield (far fewer checks than
+  polling — one per *change*, not one per *tick* — but never zero: a
+  revoked policy must stop deliveries, not ride a stale subscribe-time
+  decision forever).
+* **bus push** (E20) — the subscriber rides the change bus: deltas
+  coalesce into waves, one round trip per (listener, wave), with the
+  same per-delivery shield re-check memoized only within a wave.
 
-Experiment E12 reads the delivery records and counters.
+Experiment E12 reads the delivery records and counters; E20 drives
+the bus path at scale.
 
 Accounting (E18 audit): the hub's counters are views over the
 network's shared :class:`~repro.obs.MetricsRegistry` (``sub.*``), and
-every delivery's latency is observed into the
-``sub.delivery_latency_ms`` histogram — so one snapshot/export covers
-subscription behaviour alongside net.*, cache.* and health.*.
+every delivery whose change instant is known lands its latency in the
+``sub.delivery_latency_ms`` histogram. A delivery whose originating
+change was never logged gets ``changed_at=None`` and a NaN latency —
+counted in ``sub.latency_unknown`` — instead of the old fabricated
+"changed just now" timestamp that recorded near-zero poll latencies.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import AccessDeniedError, GupsterError, NetworkError
+from repro.bus import ChangeBus, SubscriberListener
 from repro.obs.metrics import CounterView
 from repro.pxml import Path, parse_path
 from repro.pxml.evaluate import evaluate_values
 from repro.access import RequestContext
 from repro.core.query import QueryExecutor
 from repro.core.server import GupsterServer
-from repro.simnet import Network, Simulator
+from repro.simnet import Network, Simulator, Timer
 
 __all__ = ["Delivery", "SubscriptionHub"]
 
 
 class Delivery:
-    """One observed change delivery."""
+    """One observed change delivery.
+
+    ``changed_at`` is ``None`` when the change was never logged on the
+    bus — the latency is then unknown (NaN), **not** zero."""
 
     __slots__ = ("mode", "value", "changed_at", "delivered_at")
 
     def __init__(
-        self, mode: str, value: str, changed_at: float,
+        self, mode: str, value: str, changed_at: Optional[float],
         delivered_at: float,
     ) -> None:
         self.mode = mode
@@ -57,6 +71,8 @@ class Delivery:
 
     @property
     def latency_ms(self) -> float:
+        if self.changed_at is None:
+            return float("nan")
         return self.delivered_at - self.changed_at
 
     def __repr__(self) -> str:
@@ -70,12 +86,19 @@ class SubscriptionHub:
 
     The message/failure counters live in the network's shared metrics
     registry under ``sub.*`` (the integer attributes are views), and
-    every recorded :class:`Delivery` also lands its latency in the
-    ``sub.delivery_latency_ms`` histogram."""
+    every recorded :class:`Delivery` with a known change instant also
+    lands its latency in the ``sub.delivery_latency_ms`` histogram.
+
+    Change bookkeeping is the change bus's log (E20): ``note_change``
+    appends, the poll path asks the log's latest-change index, and bus
+    subscribers replay from per-listener cursors."""
 
     poll_messages = CounterView("sub.poll_messages")
     push_messages = CounterView("sub.push_messages")
     poll_failures = CounterView("sub.poll_failures")
+    poll_denied = CounterView("sub.poll_denied")
+    push_withheld = CounterView("sub.push_withheld")
+    latency_unknown = CounterView("sub.latency_unknown")
 
     def __init__(
         self,
@@ -83,6 +106,7 @@ class SubscriptionHub:
         network: Network,
         server: GupsterServer,
         executor: QueryExecutor,
+        bus: Optional[ChangeBus] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -107,39 +131,61 @@ class SubscriptionHub:
             "sub.poll_failures",
             help="Polls lost to transient network/coverage errors.",
         )
+        self.metrics.counter(
+            "sub.poll_denied",
+            help="Polls denied by the shield (the poller cancels).",
+        )
+        self.metrics.counter(
+            "sub.push_withheld",
+            help="Push deliveries withheld by a per-delivery shield "
+                 "re-check (e.g. after revocation).",
+        )
+        self.metrics.counter(
+            "sub.latency_unknown",
+            help="Deliveries whose originating change was never "
+                 "logged, so no latency could be recorded.",
+        )
         self._latency = self.metrics.histogram(
             "sub.delivery_latency_ms",
             help="Change-delivery latency, both modes (virtual ms).",
         )
+        #: The change bus backing note_change / bus subscriptions.
+        self.bus = bus if bus is not None else ChangeBus(
+            sim, network, origin_node=executor.server_node
+        )
         #: value-path -> last value seen by each poller id
         self._poll_state: Dict[int, Optional[str]] = {}
         self._poller_seq = 0
-        self._change_log: Dict[str, List[tuple]] = {}
+        self._subscriber_seq = 0
 
     def _record_delivery(self, delivery: Delivery) -> None:
-        """Append *delivery* and observe its latency in the shared
-        histogram (stamped at the virtual delivery instant)."""
+        """Append *delivery*; observe its latency in the shared
+        histogram when the change instant is known (stamped at the
+        virtual delivery instant), count it unknown otherwise."""
         self.deliveries.append(delivery)
-        self._latency.observe(
-            delivery.latency_ms, now=delivery.delivered_at
-        )
+        if delivery.changed_at is None:
+            self.latency_unknown += 1
+        else:
+            self._latency.observe(
+                delivery.latency_ms, now=delivery.delivered_at
+            )
 
-    # -- change bookkeeping (benches call this when mutating stores) -----------
+    # -- change bookkeeping (stores/benches call this when mutating) -----------
 
-    def note_change(self, value_path: str, value: str) -> None:
-        """Record that the profile value at *value_path* changed now."""
-        self._change_log.setdefault(value_path, []).append(
-            (self.sim.now, value)
-        )
+    def note_change(
+        self, value_path: str, value: str,
+        user_id: Optional[str] = None,
+    ) -> None:
+        """Record that the profile value at *value_path* changed now —
+        an append on the change bus."""
+        self.bus.append(value_path, value, user_id=user_id)
 
-    def _changed_at(self, value_path: str, value: str) -> float:
-        """When did the change producing *value* happen?"""
-        for when, logged in reversed(
-            self._change_log.get(value_path, [])
-        ):
-            if logged == value:
-                return when
-        return self.sim.now
+    def _changed_at(
+        self, value_path: str, value: str
+    ) -> Optional[float]:
+        """When did the change producing *value* happen? ``None`` when
+        the bus never logged it (callers must not fabricate a time)."""
+        return self.bus.changed_at(value_path, value)
 
     # -- polling ------------------------------------------------------------------
 
@@ -153,11 +199,14 @@ class SubscriptionHub:
         until: float,
     ) -> None:
         """Poll *request* via chaining every *interval_ms*; deliver when
-        the value at *value_path* (within the fragment) changes."""
+        the value at *value_path* (within the fragment) changes. A
+        poller the shield denies cancels itself — re-paying the fetch
+        path every tick for a guaranteed denial buys nothing."""
         path = parse_path(request)
         self._poller_seq += 1
         poller_id = self._poller_seq
         self._poll_state[poller_id] = None
+        recurrence: Dict[str, Timer] = {}
 
         def poll() -> None:
             # Every poll is a full policy-checked fetch.
@@ -166,6 +215,10 @@ class SubscriptionHub:
                     client, path, context, now=self.sim.now
                 )
             except AccessDeniedError:
+                self.poll_denied += 1
+                holder = recurrence.get("timer")
+                if holder is not None:
+                    holder.cancel()
                 return
             except (NetworkError, GupsterError):
                 # Transient outage (all stores down, lost messages):
@@ -190,7 +243,9 @@ class SubscriptionHub:
                         )
                     )
 
-        self.sim.every(interval_ms, poll, until=until)
+        recurrence["timer"] = self.sim.every(
+            interval_ms, poll, until=until
+        )
 
     # -- push ---------------------------------------------------------------------
 
@@ -206,10 +261,12 @@ class SubscriptionHub:
         """Subscribe once; *watch_hook* is called with a callback that
         the native store invokes on each change (e.g. wraps
         ``PresenceServer.watch``). GUPster forwards changes to the
-        client as they arrive."""
+        client as they arrive — each forwarded delivery re-checked
+        against the shield, so a revocation stops the stream (the
+        subscribe-time check alone would keep delivering forever)."""
         path = parse_path(request)
-        # One policy check at subscription time (the saving the paper
-        # points out).
+        # The subscribe-time check: a requester the shield rejects
+        # never even registers the watch.
         decision = self.server.pep.enforce(path, context)
         if not decision.permit:
             raise AccessDeniedError(
@@ -226,6 +283,12 @@ class SubscriptionHub:
             self.push_messages += 1
 
             def at_gupster() -> None:
+                # Per-delivery shield re-check at the forwarding point:
+                # policy may have changed since subscription.
+                recheck = self.server.pep.enforce(path, context)
+                if not recheck.permit:
+                    self.push_withheld += 1
+                    return
                 to_client = self.network.sample_hop(
                     self.executor.server_node, client, 128
                 )
@@ -242,13 +305,62 @@ class SubscriptionHub:
 
         watch_hook(on_change)
 
+    # -- push over the change bus (E20) --------------------------------------------
+
+    def start_push_bus(
+        self,
+        client: str,
+        request: Union[str, Path],
+        value_path: str,
+        context: RequestContext,
+    ) -> SubscriberListener:
+        """Subscribe *client* to changes of *value_path* over the
+        change bus: deltas coalesce into waves (one round trip per
+        wave), every delta re-checks the shield under the subscriber's
+        context, and a crashed client resumes from its cursor. Returns
+        the attached listener (detach it to unsubscribe)."""
+        path = parse_path(request)
+        decision = self.server.pep.enforce(path, context)
+        if not decision.permit:
+            raise AccessDeniedError(
+                "subscription denied for %s" % context.requester
+            )
+        self._subscriber_seq += 1
+
+        def on_delivery(
+            value: str, changed_at: float, now: float
+        ) -> None:
+            self._record_delivery(Delivery("bus", value, changed_at, now))
+
+        def on_withheld(_record: object) -> None:
+            self.push_withheld += 1
+
+        listener = SubscriberListener(
+            name="push:%s:%d" % (context.requester, self._subscriber_seq),
+            node=client,
+            pep=self.server.pep,
+            request=path,
+            watch_path=value_path,
+            context=context,
+            on_delivery=on_delivery,
+            on_withheld=on_withheld,
+        )
+        self.bus.attach(listener)
+        return listener
+
     # -- reporting -----------------------------------------------------------------
 
     def deliveries_for(self, mode: str) -> List[Delivery]:
         return [d for d in self.deliveries if d.mode == mode]
 
     def mean_latency(self, mode: str) -> float:
-        picked = self.deliveries_for(mode)
+        """Mean delivery latency over deliveries whose change instant
+        is known (NaN when there are none)."""
+        picked = [
+            d for d in self.deliveries_for(mode)
+            if d.changed_at is not None
+        ]
         if not picked:
             return float("nan")
-        return sum(d.latency_ms for d in picked) / len(picked)
+        total = math.fsum(d.latency_ms for d in picked)
+        return total / len(picked)

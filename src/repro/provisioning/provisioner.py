@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
+from repro.bus import ChangeBus
 from repro.pxml import PNode
 from repro.access import RequestContext
 from repro.core.query import QueryExecutor
@@ -48,10 +49,18 @@ class Provisioner:
     """Schema-driven self-provisioning through GUPster."""
 
     def __init__(
-        self, server: GupsterServer, executor: QueryExecutor
+        self,
+        server: GupsterServer,
+        executor: QueryExecutor,
+        bus: Optional[ChangeBus] = None,
     ):
         self.server = server
         self.executor = executor
+        #: When set, every enter-once write is published as a change
+        #: so caches, mirrors and subscribers ride the bus (E20) —
+        #: an enter-once storm coalesces into waves instead of a
+        #: per-update notification flood.
+        self.bus = bus
 
     def form_for(self, component: str) -> ProvisioningForm:
         return generate_form(self.server.schema, component)
@@ -79,6 +88,11 @@ class Provisioner:
         trace = self.executor.provision(
             client, path, fragment, context, now
         )
+        if self.bus is not None:
+            self.bus.append(
+                path, "%s" % (fragment.canonical_key(),),
+                user_id=user_id,
+            )
         return ProvisionReport(1, stores, trace)
 
     # -- the pre-GUPster way (E11 baseline) -----------------------------------------

@@ -24,11 +24,16 @@ in place for every server the fleet has joined.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple,
+)
 
 from repro.adapters.base import GupAdapter
 from repro.errors import AdapterError
 from repro.sharding import HashRing, RebalancePlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bus import ChangeBus
 
 __all__ = ["ShardedStore"]
 
@@ -104,6 +109,12 @@ class ShardedStore:
     def adapter_for(self, user_id: str) -> GupAdapter:
         """The shard adapter owning *user_id*."""
         return self.shards[self.ring.place(user_id)]
+
+    def bind_bus(self, bus: "ChangeBus") -> None:
+        """Route *bus* appends into per-shard change logs by ring
+        placement — each shard keeps its own monotonic sequence, so
+        E20's write fan-out partitions exactly like the data does."""
+        bus.use_shard_router(self.shard_for, shard_ids=list(self.shards))
 
     def add_user(self, user_id: str, components: Sequence[str]) -> str:
         """Place *user_id* on its owning shard; returns the shard id."""

@@ -719,6 +719,107 @@ class TestShieldEgressRule:
         )
         assert found == []
 
+    # -- E20: bus delivery callbacks are requester egress -------------------
+
+    BUS_RELPATH = "repro/bus/listeners.py"
+
+    def test_flags_unshielded_bus_delivery(self):
+        # A delivery batch is profile data by construction; handing a
+        # delta to the subscriber callback without the shield is the
+        # push-path twin of an unshielded return.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Subscriber:
+                    def _deliver_records(self, records, now, context):
+                        for record in records:
+                            self._on_delivery(record.value, record.at, now)
+            """),
+            self.BUS_RELPATH,
+        )
+        assert len(found) == 1
+        assert "delivery" in found[0].message
+        assert "_deliver_records" in found[0].message
+
+    def test_flags_bus_log_replay_egress(self):
+        # ``since`` on a log receiver is a source like a cache probe.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Notifier:
+                    def replay_to(self, cursor, context):
+                        pending = self.log.since(cursor)
+                        return pending
+            """),
+            "repro/bus/bus.py",
+        )
+        assert len(found) == 1
+
+    def test_shielded_bus_delivery_passes(self):
+        # The real listener: pep.enforce per delta on the path.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Subscriber:
+                    def _deliver_records(self, records, now, memo, context):
+                        for record in records:
+                            decision = self._pep.enforce(
+                                self._request, context
+                            )
+                            if decision.permit:
+                                self._on_delivery(
+                                    record.value, record.at, now
+                                )
+            """),
+            self.BUS_RELPATH,
+        )
+        assert found == []
+
+    def test_contextless_bus_plumbing_exempt(self):
+        # The wave flush hands records to listeners but acts for no
+        # requester — the shield belongs to the listener's delivery.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Bus:
+                    def _flush(self):
+                        for listener in self._listeners:
+                            batch = self.log.since(self.cursor[listener.name])
+                            listener.deliver(batch, self.now, self, {})
+            """),
+            "repro/bus/bus.py",
+        )
+        assert found == []
+
+    def test_bus_delivery_suppression(self):
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Subscriber:
+                    def _deliver_records(self, records, now, context):
+                        for record in records:
+                            # gupcheck: ignore[shield-egress] -- owner-only mirror feed, no third-party requester
+                            self._on_delivery(record.value, record.at, now)
+            """),
+            self.BUS_RELPATH,
+        )
+        assert found == []
+
+    def test_bus_sink_model_scoped_to_bus_modules(self):
+        # Outside repro/bus/, a ``records`` parameter is not
+        # pre-tainted and delivery sinks are not egress.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Hub:
+                    def _deliver_records(self, records, now, context):
+                        for record in records:
+                            self._on_delivery(record.value, record.at, now)
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
 
 # ---------------------------------------------------------------------------
 # span-balance

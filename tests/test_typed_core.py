@@ -33,7 +33,7 @@ SRC = os.path.join(HERE, os.pardir, "src")
 PKG = os.path.join(SRC, "repro")
 
 #: Directories included wholesale (recursively).
-TYPED_DIRS = ("core", "analysis", "obs", "sharding")
+TYPED_DIRS = ("bus", "core", "analysis", "obs", "sharding")
 #: Individual modules included.
 TYPED_FILES = (
     "errors.py",
