@@ -1,13 +1,16 @@
 """E17 — analyzer cold vs incremental wall-time (DESIGN.md §4.3).
 
-gupcheck v2 promises that the whole-program layer (project IR, call
+gupcheck promises that the whole-program layer (project IR, call
 graph, interprocedural summaries) does not turn every edit into a
 whole-tree re-analysis: findings are keyed on per-module content
 hashes (own sha for intra-module rules, deep sha for project rules),
 so a warm run replays everything and a one-file body edit re-analyzes
-only the touched SCC plus its dependents. E17 measures that shape on
-a synthetic project — one adapter base + N independent service
-modules, the repo's own topology in miniature:
+only the touched SCC plus its dependents. The v3 engine raised the
+per-module price — every service here exercises the CFG + typestate
+machinery (span handles, replay cursors, wave memos) and the effect
+fixpoint — and the incremental contract must hold regardless. E17
+measures that shape on a synthetic project — one adapter base + N
+independent service modules, the repo's own topology in miniature:
 
 * **cold**: empty cache, every module analyzed, all summaries built;
 * **warm**: nothing changed, zero modules analyzed (pure replay);
@@ -25,8 +28,16 @@ from textwrap import dedent
 
 from repro.analysis.cache import AnalysisCache
 from repro.analysis.framework import Analyzer, Report
+from repro.analysis.rules import default_rules
 
 LEAVES = 48
+
+#: The v3 rules the synthetic services must keep exercised — their
+#: typestate machines run over every service CFG below.
+_V3_RULES = frozenset({
+    "span-balance", "cursor-lifecycle", "memo-confinement",
+    "sans-io-purity",
+})
 
 _BASE = dedent(
     """
@@ -55,6 +66,27 @@ _SERVICE = dedent(
             data = self.adapter.get(path)
             self.pep.enforce(path, context)
             return data
+
+        def traced_lookup(self, rec, path, context):
+            handle = rec.span("svc%(i)d.lookup")
+            with handle:
+                return self.lookup(path, context)
+
+        def replay(self, change_log, listener):
+            snapshot = change_log.cursor(listener)
+            return change_log.since(snapshot)
+
+        def deliver_wave(self, batch, memo, context):
+            delivered = []
+            for record in batch:
+                key = (record, context)
+                decision = memo.get(key)
+                if decision is None:
+                    decision = self.pep.enforce(record, context)
+                    memo[key] = decision
+                if decision:
+                    delivered.append(record)
+            return delivered
     """
 )
 
@@ -81,12 +113,19 @@ def analyze(root, cache) -> Report:
 
 
 def test_e17_incremental_analysis(benchmark, report, tmp_path):
+    # The timed runs must include the v3 engine, not a pre-CFG subset.
+    active = {rule.name for rule in default_rules()}
+    assert _V3_RULES <= active, active
+
     def run():
         write_tree(tmp_path)
         cache = AnalysisCache()
         runs = []
 
         cold = analyze(tmp_path, cache)
+        # The fixtures are deliberately clean under every v3 rule:
+        # the benchmark times the machinery, not finding churn.
+        assert cold.ok, [str(v) for v in cold.violations]
         runs.append(("cold (empty cache)", cold))
 
         warm = analyze(tmp_path, cache)

@@ -25,7 +25,10 @@ from typing import IO, List, Optional
 from repro.analysis.baseline import (
     BASELINE_FILENAME, load_baseline, write_baseline,
 )
-from repro.analysis.cache import AnalysisCache, CACHE_FILENAME
+from repro.analysis.cache import (
+    AnalysisCache, CACHE_FILENAME, rules_fingerprint,
+)
+from repro.analysis.effects_report import EFFECTS_FILENAME
 from repro.analysis.framework import Analyzer, Report
 from repro.analysis.rules import default_rules
 
@@ -58,6 +61,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--rules", default=None, metavar="NAME[,NAME...]",
         help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--effects", nargs="?", const=EFFECTS_FILENAME,
+        default=None, metavar="PATH",
+        help="infer per-function effects and write the sans-io "
+             "boundary map to PATH (default: %s; '-' for stdout), "
+             "then exit — 1 when the boundary carries transport/"
+             "wall-io" % EFFECTS_FILENAME,
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -113,6 +124,66 @@ def _changed_files(ref: str, paths: List[str]) -> Optional[List[str]]:
     return sorted(
         line.strip() for line in proc.stdout.splitlines()
         if line.strip().endswith(".py")
+    )
+
+
+def _run_effects(paths: List[str], destination: str) -> int:
+    """``--effects``: parse *paths*, run the effect fixpoint, and
+    write the boundary map (no rules, no cache — the map must always
+    reflect the whole tree's transitive effects)."""
+    import json
+
+    from repro.analysis.effects_report import effects_payload
+    from repro.analysis.framework import ModuleInfo, _relpath
+
+    analyzer = Analyzer([])
+    modules = []
+    parse_failed = False
+    for filename in analyzer.discover(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            modules.append(ModuleInfo.from_source(
+                source, _relpath(filename), filename
+            ))
+        except (OSError, SyntaxError, ValueError) as err:
+            sys.stderr.write(
+                "gupcheck: %s: [parse-error] %s\n" % (filename, err)
+            )
+            parse_failed = True
+    if not modules:
+        sys.stderr.write("gupcheck: --effects found no modules\n")
+        return EXIT_ERROR
+
+    payload = effects_payload(modules)
+    text = json.dumps(payload, indent=2) + "\n"
+    if destination == "-":
+        sys.stdout.write(text)
+    else:
+        try:
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as err:
+            sys.stderr.write(
+                "gupcheck: could not write effects map %s: %s\n"
+                % (destination, err)
+            )
+            return EXIT_ERROR
+        boundary = payload["boundary"]
+        sys.stdout.write(
+            "gupcheck: effects map %s written (%d function(s), "
+            "boundary %s)\n"
+            % (
+                destination, len(payload["functions"]),
+                "clean" if boundary["clean"]
+                else "%d violation(s)" % len(boundary["violations"]),
+            )
+        )
+    if parse_failed:
+        return EXIT_ERROR
+    return (
+        EXIT_CLEAN if payload["boundary"]["clean"]
+        else EXIT_VIOLATIONS
     )
 
 
@@ -174,6 +245,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return EXIT_ERROR
         rules = [rule for rule in rules if rule.name in wanted]
 
+    if options.effects is not None:
+        return _run_effects(list(options.paths), options.effects)
+
     paths = list(options.paths)
     if options.changed_only is not None:
         changed = _changed_files(options.changed_only, paths)
@@ -193,7 +267,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     cache: Optional[AnalysisCache] = None
     if not options.no_cache:
-        cache = AnalysisCache.load(options.cache)
+        cache = AnalysisCache.load(
+            options.cache, rules_fingerprint(rules)
+        )
 
     analyzer = Analyzer(rules)
     try:

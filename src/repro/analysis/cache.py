@@ -11,38 +11,93 @@ Two keyspaces, matching the analyzer's two phases:
   file's import cone replay their stored findings and preload their
   summaries, so the taint fixpoint only re-runs dirty SCCs.
 
+Both keyspaces are additionally guarded by a **rules fingerprint**:
+the sha of every source file in the ``repro.analysis`` package plus
+the sorted names of the active rules.  Content shas only witness that
+the *inputs* didn't change; the fingerprint witnesses the *analyzer*
+didn't either — a new rule, an edited rule body, or a ``--rules``
+subset would otherwise replay findings computed under different
+behaviour (the v2 staleness bug: a freshly added rule reported
+nothing until the source files happened to change).
+
 The cache file is plain JSON so CI can store/restore it as an
-artifact; a version bump or unreadable file silently degrades to a
-cold run — the cache is an accelerator, never a source of truth.
+artifact; a version bump, fingerprint mismatch or unreadable file
+silently degrades to a cold run — the cache is an accelerator, never
+a source of truth.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.framework import Violation
+from repro.analysis.framework import Rule, Violation
 
-__all__ = ["AnalysisCache", "CACHE_FILENAME", "CACHE_VERSION"]
+__all__ = [
+    "AnalysisCache", "CACHE_FILENAME", "CACHE_VERSION",
+    "rules_fingerprint",
+]
 
 CACHE_FILENAME = ".gupcheck-cache.json"
 CACHE_VERSION = 1
 
 
+def rules_fingerprint(rules: Sequence[Rule]) -> str:
+    """Fingerprint of the analyzer itself, for cache invalidation.
+
+    Covers the sorted *active* rule names (so ``--rules`` subsets get
+    their own keyspace) and the content of every ``.py`` file in the
+    ``repro.analysis`` package (so editing any rule, the solver, or
+    the IR invalidates everything — rule behaviour is not separable
+    per-file)."""
+    digest = hashlib.sha256()
+    for name in sorted(rule.name for rule in rules):
+        digest.update(name.encode("utf-8") + b"\0")
+    package_root = os.path.dirname(os.path.abspath(__file__))
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__"
+        )
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, package_root)
+            digest.update(
+                rel.replace(os.sep, "/").encode("utf-8") + b"\0"
+            )
+            try:
+                with open(full, "rb") as handle:
+                    digest.update(handle.read())
+            except OSError:  # pragma: no cover - racing an edit
+                digest.update(b"<unreadable>")
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
 class AnalysisCache:
     """Load/lookup/store for the incremental analysis cache."""
 
-    def __init__(self) -> None:
+    def __init__(self, fingerprint: Optional[str] = None) -> None:
+        #: Rules fingerprint this cache's entries were computed under
+        #: (see :func:`rules_fingerprint`); ``None`` disables the
+        #: check (bare programmatic use).
+        self.fingerprint = fingerprint
         self._modules: Dict[str, Dict[str, Any]] = {}
         self._project: Dict[str, Dict[str, Any]] = {}
 
     # -- persistence ----------------------------------------------------
 
     @classmethod
-    def load(cls, path: str) -> "AnalysisCache":
-        """Read a cache file; any problem yields an empty cache."""
-        cache = cls()
+    def load(
+        cls, path: str, fingerprint: Optional[str] = None
+    ) -> "AnalysisCache":
+        """Read a cache file; any problem — including a stored rules
+        fingerprint differing from *fingerprint* — yields an empty
+        cache."""
+        cache = cls(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 raw = json.load(handle)
@@ -51,6 +106,10 @@ class AnalysisCache:
         if not isinstance(raw, dict) or raw.get(
             "gupcheck_cache"
         ) != CACHE_VERSION:
+            return cache
+        if fingerprint is not None and raw.get(
+            "rules_fingerprint"
+        ) != fingerprint:
             return cache
         modules = raw.get("modules")
         if isinstance(modules, dict):
@@ -67,6 +126,7 @@ class AnalysisCache:
     def save(self, path: str) -> None:
         payload = {
             "gupcheck_cache": CACHE_VERSION,
+            "rules_fingerprint": self.fingerprint,
             "modules": self._modules,
             "project": self._project,
         }

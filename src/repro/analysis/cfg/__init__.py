@@ -1,0 +1,19 @@
+"""Per-function control-flow graphs (gupcheck v3).
+
+:mod:`repro.analysis.cfg.builder` lowers one ``ast.FunctionDef`` into
+basic blocks with branch/loop/try-except/``with`` edges.  The
+invariants the Hypothesis suite pins down:
+
+* every statement of the function body lands in **exactly one** block;
+* every edge connects blocks that exist in the graph;
+* the entry block starts the function and the synthetic exit block
+  terminates every path (``return``/fall-off/uncaught ``raise``).
+
+The graphs feed the :mod:`repro.analysis.dataflow` fixpoint solver —
+the substrate for the flow-sensitive typestate rules
+(``span-balance``, ``cursor-lifecycle``, ``memo-confinement``).
+"""
+
+from repro.analysis.cfg.builder import BasicBlock, CFG, build_cfg
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]

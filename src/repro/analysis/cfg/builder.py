@@ -1,0 +1,322 @@
+"""Lowering ``ast`` function bodies to basic blocks.
+
+The builder walks a function body once, opening a new block at every
+join/branch point.  Compound statements live in the block that
+evaluates their *header* (an ``If`` sits where its test runs, a
+``While``/``For`` where the loop condition/iterator is (re)evaluated,
+a ``Try``/``With`` where the protected region is entered); their
+bodies are lowered into successor blocks.  Nested ``def``/``class``
+statements are opaque single statements — their bodies are separate
+scopes with CFGs of their own.
+
+Exception edges are over-approximated: every block lowered inside a
+``try`` body gets an edge to each handler entry (any statement in the
+region may raise), and a ``raise`` jumps to the innermost enclosing
+handlers, or to the synthetic exit when none enclose it.  Extra edges
+only ever *add* paths, which keeps the typestate rules' "on every
+path" verdicts conservative.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+class BasicBlock:
+    """A straight-line run of statements with shared control flow."""
+
+    __slots__ = ("index", "stmts", "succs", "preds")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.stmts: List[ast.stmt] = []
+        #: Successor block indices, in creation order, no duplicates.
+        self.succs: List[int] = []
+        #: Predecessor block indices, no duplicates.
+        self.preds: List[int] = []
+
+    def __repr__(self) -> str:
+        return "<BasicBlock %d stmts=%d succs=%r>" % (
+            self.index, len(self.stmts), self.succs,
+        )
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    __slots__ = ("blocks", "entry", "exit", "_block_of")
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        entry = self._new_block()
+        exit_block = self._new_block()
+        #: Index of the entry block (the function's first statement).
+        self.entry = entry.index
+        #: Index of the synthetic exit block (never holds statements).
+        self.exit = exit_block.index
+        #: ``id(stmt)`` -> owning block index.
+        self._block_of: Dict[int, int] = {}
+
+    # -- construction (used by the builder only) ------------------------
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        src_block = self.blocks[src]
+        if dst not in src_block.succs:
+            src_block.succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def _place(self, stmt: ast.stmt, block: BasicBlock) -> None:
+        block.stmts.append(stmt)
+        self._block_of[id(stmt)] = block.index
+
+    # -- queries --------------------------------------------------------
+
+    def block_of(self, stmt: ast.stmt) -> Optional[int]:
+        """Index of the block holding *stmt* (header placement for
+        compound statements), or ``None`` for foreign nodes."""
+        return self._block_of.get(id(stmt))
+
+    def statements(self) -> Iterator[Tuple[int, ast.stmt]]:
+        """``(block_index, stmt)`` for every placed statement."""
+        for block in self.blocks:
+            for stmt in block.stmts:
+                yield block.index, stmt
+
+    def rpo(self) -> List[int]:
+        """Block indices in reverse postorder from the entry —
+        the forward-dataflow iteration order.  Blocks unreachable
+        from the entry (code after an unconditional jump) follow in
+        index order so their statements are still analyzed."""
+        seen = set()
+        order: List[int] = []
+        stack: List[Tuple[int, Iterator[int]]] = []
+        seen.add(self.entry)
+        stack.append((self.entry, iter(self.blocks[self.entry].succs)))
+        while stack:
+            index, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(
+                        (succ, iter(self.blocks[succ].succs))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                order.append(index)
+        order.reverse()
+        for block in self.blocks:
+            if block.index not in seen:
+                order.append(block.index)
+        return order
+
+    def __repr__(self) -> str:
+        return "<CFG %d block(s) entry=%d exit=%d>" % (
+            len(self.blocks), self.entry, self.exit,
+        )
+
+
+class _Builder:
+    """One-pass lowering of a statement list into a :class:`CFG`."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (loop-header index, loop-after index) stack for
+        #: ``continue``/``break`` targets.
+        self._loops: List[Tuple[int, int]] = []
+        #: Stack of handler-entry index lists for enclosing ``try``
+        #: bodies — where a ``raise`` (or any statement) may jump.
+        self._handlers: List[List[int]] = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def _raise_targets(self) -> List[int]:
+        """Where control may land when the current statement raises."""
+        if self._handlers:
+            return list(self._handlers[-1])
+        return [self.cfg.exit]
+
+    def _lower_body(
+        self, body: List[ast.stmt], current: int
+    ) -> int:
+        """Lower *body* starting in block *current*; returns the block
+        control falls out of (which may be unreachable after a jump)."""
+        for stmt in body:
+            current = self._lower_stmt(stmt, current)
+        return current
+
+    # -- statement dispatch ---------------------------------------------
+
+    def _lower_stmt(self, stmt: ast.stmt, current: int) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg._place(stmt, cfg.blocks[current])
+            if isinstance(stmt, ast.Return):
+                cfg._edge(current, cfg.exit)
+            else:
+                for target in self._raise_targets():
+                    cfg._edge(current, target)
+            return cfg._new_block().index
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            cfg._place(stmt, cfg.blocks[current])
+            if self._loops:
+                header, after = self._loops[-1]
+                cfg._edge(
+                    current,
+                    after if isinstance(stmt, ast.Break) else header,
+                )
+            else:  # malformed code; degrade to an exit edge
+                cfg._edge(current, cfg.exit)
+            return cfg._new_block().index
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._lower_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._lower_with(stmt, current)
+        match_type = getattr(ast, "Match", None)
+        if match_type is not None and isinstance(stmt, match_type):
+            return self._lower_match(stmt, current)
+        # Simple statement (incl. nested def/class as opaque units).
+        cfg._place(stmt, cfg.blocks[current])
+        return current
+
+    # -- compound lowerings ---------------------------------------------
+
+    def _lower_if(self, stmt: ast.If, current: int) -> int:
+        cfg = self.cfg
+        cfg._place(stmt, cfg.blocks[current])
+        after = cfg._new_block().index
+        then_entry = cfg._new_block().index
+        cfg._edge(current, then_entry)
+        then_exit = self._lower_body(stmt.body, then_entry)
+        cfg._edge(then_exit, after)
+        if stmt.orelse:
+            else_entry = cfg._new_block().index
+            cfg._edge(current, else_entry)
+            else_exit = self._lower_body(stmt.orelse, else_entry)
+            cfg._edge(else_exit, after)
+        else:
+            cfg._edge(current, after)
+        return after
+
+    def _lower_loop(self, stmt: ast.stmt, current: int) -> int:
+        """``while``/``for``: header block re-evaluated each
+        iteration, back edge from the body, exit edge to ``after``
+        (through ``orelse`` when present)."""
+        cfg = self.cfg
+        header = cfg._new_block().index
+        cfg._edge(current, header)
+        cfg._place(stmt, cfg.blocks[header])
+        after = cfg._new_block().index
+        body_entry = cfg._new_block().index
+        cfg._edge(header, body_entry)
+        self._loops.append((header, after))
+        orelse = getattr(stmt, "orelse", [])
+        body = getattr(stmt, "body", [])
+        body_exit = self._lower_body(body, body_entry)
+        cfg._edge(body_exit, header)
+        self._loops.pop()
+        if orelse:
+            else_entry = cfg._new_block().index
+            cfg._edge(header, else_entry)
+            else_exit = self._lower_body(orelse, else_entry)
+            cfg._edge(else_exit, after)
+        else:
+            cfg._edge(header, after)
+        return after
+
+    def _lower_with(self, stmt: ast.stmt, current: int) -> int:
+        """``with``: the header (context-manager evaluation + enter)
+        stays in the current block; the body runs in its own block and
+        control falls through."""
+        cfg = self.cfg
+        cfg._place(stmt, cfg.blocks[current])
+        body_entry = cfg._new_block().index
+        cfg._edge(current, body_entry)
+        body = getattr(stmt, "body", [])
+        return self._lower_body(body, body_entry)
+
+    def _lower_try(self, stmt: ast.Try, current: int) -> int:
+        cfg = self.cfg
+        cfg._place(stmt, cfg.blocks[current])
+        after = cfg._new_block().index
+        handler_entries = [
+            cfg._new_block().index for _ in stmt.handlers
+        ]
+        body_entry = cfg._new_block().index
+        cfg._edge(current, body_entry)
+        first_body_block = len(cfg.blocks) - 1
+        if handler_entries:
+            self._handlers.append(handler_entries)
+        body_exit = self._lower_body(stmt.body, body_entry)
+        if handler_entries:
+            self._handlers.pop()
+            # Any block lowered inside the protected region may raise
+            # into any handler.  Blocks created since the body entry
+            # are exactly that region (indices grow monotonically).
+            for index in range(first_body_block, len(cfg.blocks)):
+                for entry in handler_entries:
+                    if index != entry:
+                        cfg._edge(index, entry)
+        # Normal completion: through orelse when present.
+        if stmt.orelse:
+            else_entry = cfg._new_block().index
+            cfg._edge(body_exit, else_entry)
+            normal_exit = self._lower_body(stmt.orelse, else_entry)
+        else:
+            normal_exit = body_exit
+        exits = [normal_exit]
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            exits.append(self._lower_body(handler.body, entry))
+        if stmt.finalbody:
+            final_entry = cfg._new_block().index
+            for block_exit in exits:
+                cfg._edge(block_exit, final_entry)
+            final_exit = self._lower_body(stmt.finalbody, final_entry)
+            cfg._edge(final_exit, after)
+            # The exceptional path re-raises after the finalizer: when
+            # nothing catches, control leaves the function.
+            for target in self._raise_targets():
+                cfg._edge(final_exit, target)
+        else:
+            for block_exit in exits:
+                cfg._edge(block_exit, after)
+        return after
+
+    def _lower_match(self, stmt: ast.stmt, current: int) -> int:
+        cfg = self.cfg
+        cfg._place(stmt, cfg.blocks[current])
+        after = cfg._new_block().index
+        for case in getattr(stmt, "cases", []):
+            case_entry = cfg._new_block().index
+            cfg._edge(current, case_entry)
+            case_exit = self._lower_body(case.body, case_entry)
+            cfg._edge(case_exit, after)
+        cfg._edge(current, after)  # no case matched
+        return after
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of a ``FunctionDef``/``AsyncFunctionDef`` body (a bare
+    statement list also works, for fixtures)."""
+    builder = _Builder()
+    cfg = builder.cfg
+    body = getattr(fn, "body", fn)
+    if not isinstance(body, list):  # pragma: no cover - defensive
+        body = [body]
+    final = builder._lower_body(list(body), cfg.entry)
+    cfg._edge(final, cfg.exit)
+    return cfg

@@ -1,0 +1,17 @@
+"""Generic dataflow fixpoint solving over CFGs (gupcheck v3).
+
+:mod:`repro.analysis.dataflow.solver` runs a forward or backward
+worklist over a :class:`repro.analysis.cfg.CFG`, reusing the Tarjan
+SCC machinery from :mod:`repro.analysis.ir.project` to visit the
+graph's condensation in topological order — acyclic regions converge
+in one pass, loops iterate only within their own SCC.
+
+The typestate rules (``span-balance``, ``cursor-lifecycle``,
+``memo-confinement``) are thin clients: each provides a lattice
+(``join``), a per-block ``transfer`` function, and reads the solved
+block-entry states back.
+"""
+
+from repro.analysis.dataflow.solver import Solution, solve
+
+__all__ = ["Solution", "solve"]

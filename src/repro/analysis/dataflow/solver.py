@@ -1,0 +1,136 @@
+"""A direction-agnostic worklist solver over basic blocks.
+
+The client supplies the lattice implicitly: a ``join`` combining two
+states and a ``transfer`` mapping one block's input state to its
+output state.  Both must be monotone and the lattice of finite height,
+or the fixpoint does not exist; a generous iteration cap turns a
+non-terminating client into a loud error instead of a hang.
+
+States are opaque to the solver.  ``None`` is reserved as the
+"unreached" bottom: blocks no path has touched keep ``None`` and their
+``transfer`` is never called, so clients never see partial garbage
+from dead code after an unconditional jump.
+
+The solver condenses the block graph with
+:func:`repro.analysis.ir.project.tarjan_sccs` — the same machinery
+that orders import and call SCCs — and visits components in
+topological order of the *information flow* (predecessors-first when
+forward, successors-first when backward).  Singleton components
+stabilize in one transfer; loops iterate only within their own
+component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.analysis.cfg import CFG
+from repro.analysis.ir.project import tarjan_sccs
+
+__all__ = ["Solution", "solve"]
+
+#: Hard per-component iteration cap — monotone transfer over a
+#: finite-height lattice converges far below this; hitting it means
+#: the client's transfer/join oscillates.
+_MAX_PASSES = 10_000
+
+
+class Solution:
+    """Solved block states, in *program* order regardless of the
+    solve direction: ``before[b]`` holds at the block's entry,
+    ``after[b]`` at its exit.  ``None`` marks unreached blocks."""
+
+    __slots__ = ("before", "after")
+
+    def __init__(
+        self,
+        before: Dict[int, Optional[Any]],
+        after: Dict[int, Optional[Any]],
+    ) -> None:
+        self.before = before
+        self.after = after
+
+
+def solve(
+    cfg: CFG,
+    boundary: Any,
+    transfer: Callable[[int, Any], Any],
+    join: Callable[[Any, Any], Any],
+    direction: str = "forward",
+) -> Solution:
+    """Run *transfer* to fixpoint over *cfg*.
+
+    ``boundary`` seeds the entry block (forward) or exit block
+    (backward).  ``transfer(block_index, state)`` must return a fresh
+    state — the solver never hands the same object to two blocks.
+    ``join(a, b)`` combines states at merge points; it is only called
+    with non-``None`` operands.
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError("direction must be 'forward' or 'backward'")
+    forward = direction == "forward"
+    if forward:
+        seed = cfg.entry
+        flow_preds = [list(block.preds) for block in cfg.blocks]
+        flow_succs = [list(block.succs) for block in cfg.blocks]
+    else:
+        seed = cfg.exit
+        flow_preds = [list(block.succs) for block in cfg.blocks]
+        flow_succs = [list(block.preds) for block in cfg.blocks]
+
+    nodes = [str(block.index) for block in cfg.blocks]
+    # Tarjan emits components dependencies-first; information flows
+    # from flow-predecessors, so those are the dependency edges.
+    components = tarjan_sccs(
+        nodes, lambda node: [str(p) for p in flow_preds[int(node)]]
+    )
+
+    #: block -> state at its flow-entry (before transfer).
+    inputs: Dict[int, Optional[Any]] = {
+        block.index: None for block in cfg.blocks
+    }
+    #: block -> state at its flow-exit (after transfer).
+    outputs: Dict[int, Optional[Any]] = dict(inputs)
+    inputs[seed] = boundary
+
+    def _joined_input(index: int) -> Optional[Any]:
+        state: Optional[Any] = boundary if index == seed else None
+        for pred in flow_preds[index]:
+            pred_out = outputs[pred]
+            if pred_out is None:
+                continue
+            state = (
+                pred_out if state is None else join(state, pred_out)
+            )
+        return state
+
+    for component in components:
+        members = sorted(int(node) for node in component)
+        member_set = set(members)
+        cyclic = len(members) > 1 or members[0] in flow_succs[members[0]]
+        worklist = list(members)
+        passes = 0
+        while worklist:
+            passes += 1
+            if passes > _MAX_PASSES * max(1, len(members)):
+                raise RuntimeError(
+                    "dataflow did not converge — non-monotone "
+                    "transfer or infinite lattice"
+                )
+            index = worklist.pop(0)
+            state = _joined_input(index)
+            inputs[index] = state
+            new_out = (
+                None if state is None else transfer(index, state)
+            )
+            if new_out == outputs[index]:
+                continue
+            outputs[index] = new_out
+            if cyclic:
+                for succ in flow_succs[index]:
+                    if succ in member_set and succ not in worklist:
+                        worklist.append(succ)
+
+    if forward:
+        return Solution(before=inputs, after=outputs)
+    return Solution(before=outputs, after=inputs)

@@ -25,7 +25,7 @@ class Summary:
     __slots__ = ("qualname", "relpath", "returns_source",
                  "param_flows", "sanitizes", "guards",
                  "tainted_return_lines", "egress_sends",
-                 "reaches_sim_run")
+                 "reaches_sim_run", "effect")
 
     def __init__(
         self,
@@ -38,6 +38,7 @@ class Summary:
         tainted_return_lines: Tuple[int, ...] = (),
         egress_sends: Tuple[Tuple[int, int, str], ...] = (),
         reaches_sim_run: bool = False,
+        effect: str = "pure",
     ) -> None:
         self.qualname = qualname
         self.relpath = relpath
@@ -61,6 +62,11 @@ class Summary:
         self.egress_sends = egress_sends
         #: Function transitively calls ``Simulator.run/step/advance``.
         self.reaches_sim_run = reaches_sim_run
+        #: Inferred effect tier: ``pure`` < ``virtual-time`` <
+        #: ``transport`` < ``wall-io`` — the join over the body and
+        #: every resolved callee (see
+        #: :mod:`repro.analysis.interproc.effects`).
+        self.effect = effect
 
     # -- equality drives the fixpoint ----------------------------------
 
@@ -68,7 +74,7 @@ class Summary:
         return (
             self.returns_source, self.param_flows, self.sanitizes,
             self.guards, self.tainted_return_lines,
-            self.egress_sends, self.reaches_sim_run,
+            self.egress_sends, self.reaches_sim_run, self.effect,
         )
 
     def __eq__(self, other: object) -> bool:
@@ -104,6 +110,8 @@ class Summary:
             bits.append("guards")
         if self.reaches_sim_run:
             bits.append("reaches-sim-run")
+        if self.effect != "pure":
+            bits.append("effect=%s" % self.effect)
         return "<Summary %s %s>" % (
             self.qualname, " ".join(bits) or "clean",
         )
@@ -121,6 +129,7 @@ class Summary:
             "tainted_return_lines": list(self.tainted_return_lines),
             "egress_sends": [list(e) for e in self.egress_sends],
             "reaches_sim_run": self.reaches_sim_run,
+            "effect": self.effect,
         }
 
     @classmethod
@@ -142,4 +151,5 @@ class Summary:
                 for e in raw.get("egress_sends", ())
             ),
             reaches_sim_run=bool(raw.get("reaches_sim_run", False)),
+            effect=str(raw.get("effect", "pure")),
         )

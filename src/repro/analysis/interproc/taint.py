@@ -48,6 +48,13 @@ from typing import (
 from repro.analysis.ir.callgraph import CallGraph, CallResolver
 from repro.analysis.ir.project import Project
 from repro.analysis.ir.symbols import FunctionInfo, dotted_ref
+from repro.analysis.interproc.effects import (
+    EFFECT_PURE,
+    axiom_effect,
+    intrinsic_call_effect,
+    intrinsic_read_effect,
+    join_effects,
+)
 from repro.analysis.interproc.summaries import SOURCE_LABEL, Summary
 
 __all__ = [
@@ -158,6 +165,10 @@ class TaintEngine:
         #: Functions whose summary was (re)computed by :meth:`compute`.
         self.summaries_computed = 0
         self._ancestor_cache: Dict[str, FrozenSet[str]] = {}
+        #: qualname -> (syntactic base effect, callee qualnames) —
+        #: the resolution work is identical on every fixpoint pass,
+        #: so it is done once per function.
+        self._effect_plans: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
 
     # -- public API (contract with the framework) -----------------------
 
@@ -275,6 +286,7 @@ class TaintEngine:
             tainted_return_lines=tuple(sorted(set(tainted_lines))),
             egress_sends=tuple(frame.sends),
             reaches_sim_run=self._reaches_sim_run(fn),
+            effect=self._effect_of(fn),
         )
 
     # -- statements -----------------------------------------------------
@@ -627,6 +639,63 @@ class TaintEngine:
             if marker in text and name in methods:
                 return True
         return False
+
+    # -- effect inference -----------------------------------------------
+
+    def _effect_of(self, fn: FunctionInfo) -> str:
+        """Join of the function's own intrinsic effects and its
+        resolved callees' summary effects (axioms trump bodies).
+        Monotone in the callee summaries, so the enclosing SCC
+        fixpoint converges; in-SCC callees without a summary yet read
+        as ``pure`` (optimistic bottom) until the next pass."""
+        decreed = axiom_effect(fn)
+        if decreed is not None:
+            return decreed
+        base, callees = self._effect_plan(fn)
+        effect = base
+        for qualname in callees:
+            summary = self._summaries.get(qualname)
+            if summary is not None:
+                effect = join_effects(effect, summary.effect)
+        return effect
+
+    def _effect_plan(
+        self, fn: FunctionInfo
+    ) -> Tuple[str, Tuple[str, ...]]:
+        """The per-function syntactic half of effect inference: the
+        join of intrinsic/axiom effects visible in the body, plus the
+        non-axiom project callees whose summaries must be joined in.
+        Nested ``def`` bodies are included — deferred work belongs to
+        the frame that lexically contains it — while passing a
+        callable *reference* contributes nothing."""
+        plan = self._effect_plans.get(fn.qualname)
+        if plan is not None:
+            return plan
+        base = EFFECT_PURE
+        callees: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Attribute):
+                base = join_effects(
+                    base, intrinsic_read_effect(node)
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            resolution = self.resolver.resolve(node, fn)
+            if resolution.targets:
+                for target in resolution.targets:
+                    decreed = axiom_effect(target)
+                    if decreed is not None:
+                        base = join_effects(base, decreed)
+                    else:
+                        callees.add(target.qualname)
+            else:
+                base = join_effects(
+                    base, intrinsic_call_effect(node)
+                )
+        plan = (base, tuple(sorted(callees)))
+        self._effect_plans[fn.qualname] = plan
+        return plan
 
     # -- simulator re-entrancy ------------------------------------------
 

@@ -227,7 +227,11 @@ class CallResolver:
         return None
 
     def _local_types(self, fn: FunctionInfo) -> Dict[str, str]:
-        """``x = SomeClass(...)`` / ``x: T`` local type bindings."""
+        """``x = SomeClass(...)`` / ``x: T`` local type bindings,
+        plus ``x = recv.method()`` through the resolved callee's
+        *return annotation* (``trace = network.trace()`` binds
+        ``trace`` to the Trace class that ``Network.trace -> "Trace"``
+        names)."""
         cached = self._locals_cache.get(fn.qualname)
         if cached is not None:
             return cached
@@ -246,11 +250,15 @@ class CallResolver:
                 ref = annotation_ref(node.annotation)
             if not isinstance(target, ast.Name):
                 continue
+            qual: Optional[str] = None
             if ref is None and isinstance(value, ast.Call):
                 ref = dotted_ref(value.func)
-            if ref is None:
-                continue
-            qual = self._class_qualname(ref, fn.module_name)
+                if ref is not None:
+                    qual = self._class_qualname(ref, fn.module_name)
+                if qual is None:
+                    qual = self._return_class(value, fn, types)
+            elif ref is not None:
+                qual = self._class_qualname(ref, fn.module_name)
             if qual is not None and types.get(target.id, qual) == qual:
                 types[target.id] = qual
             elif target.id in types and types[target.id] != qual:
@@ -258,6 +266,59 @@ class CallResolver:
                 del types[target.id]
         self._locals_cache[fn.qualname] = types
         return types
+
+    def _return_class(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        types: Dict[str, str],
+    ) -> Optional[str]:
+        """Project class the *call*'s return annotation names, if the
+        callee resolves.  ``types`` is the partial local map built so
+        far (statements are walked in order, so earlier bindings are
+        visible) — this deliberately avoids :meth:`receiver_class`,
+        whose locals lookup would recurse into the map under
+        construction."""
+        func = call.func
+        callee: Optional[FunctionInfo] = None
+        if isinstance(func, ast.Attribute):
+            owner: Optional[str] = None
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id == "self" and fn.class_name is not None:
+                    owner = "%s.%s" % (fn.module_name, fn.class_name)
+                else:
+                    ann = fn.param_annotations.get(receiver.id)
+                    if ann is not None:
+                        owner = self._class_qualname(
+                            ann, fn.module_name
+                        )
+                    if owner is None:
+                        owner = types.get(receiver.id)
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and fn.class_name is not None
+            ):
+                owner = self._attr_class(
+                    "%s.%s" % (fn.module_name, fn.class_name),
+                    receiver.attr,
+                )
+            if owner is not None:
+                callee = self.project.method_on(owner, func.attr)
+        else:
+            dotted = dotted_ref(func)
+            module = self.project.modules.get(fn.module_name)
+            if dotted is not None and module is not None:
+                absolute = module.symbols.resolve_local(dotted)
+                if absolute is not None:
+                    callee = self.project.functions.get(absolute)
+        if callee is None or callee.return_annotation is None:
+            return None
+        return self._class_qualname(
+            callee.return_annotation, callee.module_name
+        )
 
 
 class CallGraph:

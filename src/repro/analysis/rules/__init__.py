@@ -13,6 +13,7 @@ from typing import List
 
 from repro.analysis.framework import Rule
 from repro.analysis.rules.cache_scope import CacheKeyScopeRule
+from repro.analysis.rules.cursor_lifecycle import CursorLifecycleRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionTotalityRule
 from repro.analysis.rules.handler_reentrancy import (
@@ -20,6 +21,8 @@ from repro.analysis.rules.handler_reentrancy import (
 )
 from repro.analysis.rules.iter_order import IterOrderRule
 from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.memo_confinement import MemoConfinementRule
+from repro.analysis.rules.sans_io import SansIoPurityRule
 from repro.analysis.rules.shield_egress import ShieldEgressRule
 from repro.analysis.rules.shield_egress_ip import (
     ShieldEgressInterprocRule,
@@ -41,16 +44,22 @@ ALL_RULES = (
     IterOrderRule,
     HandlerReentrancyRule,
     SpanBalanceRule,
+    CursorLifecycleRule,
+    MemoConfinementRule,
+    SansIoPurityRule,
 )
 
 __all__ = [
     "ALL_RULES",
     "CacheKeyScopeRule",
+    "CursorLifecycleRule",
     "DeterminismRule",
     "ExceptionTotalityRule",
     "HandlerReentrancyRule",
     "IterOrderRule",
     "LayeringRule",
+    "MemoConfinementRule",
+    "SansIoPurityRule",
     "ShieldEgressInterprocRule",
     "ShieldEgressRule",
     "SimBlockingRule",

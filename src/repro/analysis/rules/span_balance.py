@@ -8,15 +8,18 @@ idiom is the context manager::
     with trace.span("query.referral", store=store_id):
         ...
 
-This rule flags the two leak shapes that dodge it:
-
-* a span-opening call used as a bare expression statement — the
-  handle is discarded, so the span can never be entered or finished;
-* a handle bound to a local name that is then neither entered
-  (``with handle:``), handed to ``finish()`` (or any call), closed
-  directly (``handle.end_ms = ...``), nor allowed to escape
-  (returned/yielded/stored/aliased) — an open span abandoned on the
-  floor of the function.
+Since gupcheck v3 this is a real open→close typestate over the
+function's CFG instead of a scope-wide name scan.  A handle bound
+from a span-opening call enters the OPEN state; *any* later
+reference to the name — entering it (``with handle:``), handing it
+to a call (``rec.finish(handle)``), calling a method on it, closing
+it directly (``handle.end_ms = ...``), returning/yielding it,
+aliasing or storing it, capturing it in a nested ``def`` — releases
+it on that path.  A handle still OPEN when *any* path reaches the
+function exit is reported at its open site: flow-sensitivity catches
+the early-``return`` that skips the ``finish()`` call, which the old
+scope-wide scan sanctioned.  A span-opening call used as a bare
+expression statement is a discarded handle and reported outright.
 
 To stay quiet on unrelated ``.span()`` methods (most notably
 ``re.Match.span()``), a call only counts as *span-opening* when its
@@ -30,14 +33,22 @@ optional *int* group, so it never matches.
 from __future__ import annotations
 
 import ast
-from typing import List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.analysis.framework import ModuleInfo, Rule, Violation
+from repro.analysis.framework import ModuleInfo, Violation
+from repro.analysis.rules._typestate import (
+    TypestateMachine,
+    TypestateRule,
+)
 
 __all__ = ["SpanBalanceRule"]
 
 #: Receiver names that mark a ``.start()`` call as a span recorder's.
 _RECORDER_NAMES = frozenset({"rec", "recorder"})
+
+#: State: handle name -> open-site line numbers not yet released on
+#: some path.  Join is per-name union (open on any path counts).
+_State = Dict[str, FrozenSet[int]]
 
 
 def _is_str_constant(node: ast.AST) -> bool:
@@ -75,113 +86,143 @@ def _opens_span(call: ast.Call) -> bool:
     return False
 
 
-class SpanBalanceRule(Rule):
-    """Flags span handles that are discarded or never closed."""
+def _header_nodes(stmt: ast.stmt) -> List[ast.AST]:
+    """The expressions a statement evaluates *itself* — compound
+    statements own only their header; bodies live in other blocks.
+    Nested ``def``/``class`` return whole (their body runs later but
+    any captured handle is thereby released to the closure)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        nodes: List[ast.AST] = []
+        for item in stmt.items:
+            nodes.append(item.context_expr)
+            if item.optional_vars is not None:
+                nodes.append(item.optional_vars)
+        return nodes
+    if isinstance(stmt, ast.Try):
+        return []
+    match_type = getattr(ast, "Match", None)
+    if match_type is not None and isinstance(stmt, match_type):
+        return [stmt.subject]
+    return [stmt]
+
+
+def _referenced_names(stmt: ast.stmt) -> Set[str]:
+    """Names the statement's own evaluation touches."""
+    names: Set[str] = set()
+    for node in _header_nodes(stmt):
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name):
+                names.add(child.id)
+    return names
+
+
+def _opening_bind(stmt: ast.stmt) -> Optional[Tuple[str, ast.Call]]:
+    """``name = <span-opening call>`` → ``(name, call)``."""
+    if (
+        isinstance(stmt, ast.Assign)
+        and isinstance(stmt.value, ast.Call)
+        and _opens_span(stmt.value)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+    ):
+        return stmt.targets[0].id, stmt.value
+    return None
+
+
+class _SpanMachine(TypestateMachine):
+    def initial(self) -> _State:
+        return {}
+
+    def join(self, left: _State, right: _State) -> _State:
+        merged = dict(left)
+        for name, sites in right.items():
+            merged[name] = merged.get(name, frozenset()) | sites
+        return merged
+
+    def step(self, state: _State, stmt: ast.stmt) -> _State:
+        bind = _opening_bind(stmt)
+        if bind is not None:
+            name, _call = bind
+            new = dict(state)
+            new[name] = frozenset({stmt.lineno})
+            return new
+        referenced = _referenced_names(stmt)
+        if not referenced:
+            return state
+        new = {
+            name: sites for name, sites in state.items()
+            if name not in referenced
+        }
+        return new if len(new) != len(state) else state
+
+    def observe(
+        self,
+        state: _State,
+        stmt: ast.stmt,
+        module: ModuleInfo,
+        found: List[Violation],
+    ) -> None:
+        del state  # the discard shape needs no flow facts
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and _opens_span(stmt.value)
+        ):
+            found.append(_RULE.violation(
+                module, stmt,
+                "span handle discarded — the span is never "
+                "entered; use `with ....span(...):`",
+            ))
+
+    def at_exit(
+        self,
+        state: Optional[_State],
+        module: ModuleInfo,
+        found: List[Violation],
+    ) -> None:
+        if not state:
+            return
+        reported: Set[Tuple[str, int]] = set()
+        for name in sorted(state):
+            for line in sorted(state[name]):
+                if (name, line) in reported:
+                    continue
+                reported.add((name, line))
+                site = ast.stmt()
+                site.lineno = line
+                site.col_offset = 0
+                found.append(_RULE.violation(
+                    module, site,
+                    "span handle `%s` is opened but never entered, "
+                    "finished or released on some path to function "
+                    "exit" % name,
+                ))
+
+
+class SpanBalanceRule(TypestateRule):
+    """Flags span handles that are discarded or leak on some path."""
 
     name = "span-balance"
     description = (
         "observability spans are entered via `with` or explicitly "
-        "finished — an abandoned handle exports an unfinished span"
+        "finished on every path — an abandoned handle exports an "
+        "unfinished span"
     )
     prefixes = ("repro/",)
 
-    def check(self, module: ModuleInfo) -> List[Violation]:
-        found: List[Violation] = []
-        scopes: List[ast.AST] = [module.tree]
-        scopes.extend(
-            node for node in ast.walk(module.tree)
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        )
-        for scope in scopes:
-            self._check_scope(module, scope, found)
-        return found
-
-    # -- per-scope analysis -------------------------------------------------
-
-    def _check_scope(self, module: ModuleInfo, scope: ast.AST,
-                     found: List[Violation]) -> None:
-        body = getattr(scope, "body", [])
-        opened: List[Tuple[str, ast.AST]] = []
-        for node in self._scope_walk(body):
-            if isinstance(node, ast.Expr) and (
-                isinstance(node.value, ast.Call)
-                and _opens_span(node.value)
-            ):
-                found.append(self.violation(
-                    module, node,
-                    "span handle discarded — the span is never "
-                    "entered; use `with ....span(...):`",
-                ))
-            elif isinstance(node, ast.Assign) and (
-                isinstance(node.value, ast.Call)
-                and _opens_span(node.value)
-                and len(node.targets) == 1
-                and isinstance(node.targets[0], ast.Name)
-            ):
-                opened.append((node.targets[0].id, node))
-        if not opened:
-            return
-        sanctioned = self._sanctioned_names(body)
-        for name, node in opened:
-            if name not in sanctioned:
-                found.append(self.violation(
-                    module, node,
-                    "span handle `%s` is opened but never entered, "
-                    "finished or released on any path" % name,
-                ))
-
-    def _scope_walk(self, body: List[ast.stmt]) -> List[ast.AST]:
-        """Every node of *body* excluding nested function/class
-        scopes (they are checked as their own scopes)."""
-        out: List[ast.AST] = []
-        stack: List[ast.AST] = list(body)
-        while stack:
-            node = stack.pop()
-            out.append(node)
-            if isinstance(node, (ast.FunctionDef,
-                                 ast.AsyncFunctionDef,
-                                 ast.ClassDef)):
-                continue  # nested scope: analyzed on its own
-            stack.extend(ast.iter_child_nodes(node))
-        return out
-
-    def _sanctioned_names(self, body: List[ast.stmt]) -> Set[str]:
-        """Names whose handle demonstrably gets a chance to close:
-        entered by a ``with``, passed to any call (``finish(h)``),
-        closed directly (``h.end_ms = ...``), returned/yielded, or
-        aliased/stored somewhere that outlives the scope."""
-        names: Set[str] = set()
-        for node in self._scope_walk(body):
-            if isinstance(node, (ast.With, ast.AsyncWith)):
-                for item in node.items:
-                    names.update(_names_in(item.context_expr))
-            elif isinstance(node, ast.Call):
-                for arg in node.args:
-                    names.update(_names_in(arg))
-                for keyword in node.keywords:
-                    names.update(_names_in(keyword.value))
-            elif isinstance(node, ast.Return) and node.value is not None:
-                names.update(_names_in(node.value))
-            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
-                if node.value is not None:
-                    names.update(_names_in(node.value))
-            elif isinstance(node, ast.Assign):
-                if not (isinstance(node.value, ast.Call)
-                        and _opens_span(node.value)):
-                    names.update(_names_in(node.value))
-                for target in node.targets:
-                    if isinstance(target, ast.Attribute):
-                        # h.end_ms = ... closes; self.h = h escapes
-                        # via the value branch above.
-                        names.update(_names_in(target.value))
-                    elif isinstance(target, ast.Subscript):
-                        names.update(_names_in(target.value))
-        return names
+    def machine(
+        self, module: ModuleInfo, scope: ast.AST
+    ) -> Optional[TypestateMachine]:
+        if ".span(" not in module.source \
+                and ".start(" not in module.source:
+            return None
+        return _SpanMachine()
 
 
-def _names_in(node: ast.AST) -> Set[str]:
-    """Bare identifiers referenced anywhere inside *node*."""
-    return {
-        child.id for child in ast.walk(node)
-        if isinstance(child, ast.Name)
-    }
+#: Violation factory shared with the machine (messages/severity come
+#: from the rule class, states from the machine).
+_RULE = SpanBalanceRule()

@@ -26,7 +26,10 @@ SARIF_SCHEMA = (
     "master/Schemata/sarif-schema-2.1.0.json"
 )
 
-_TOOL_VERSION = "2.0.0"
+#: Major-bumped with the analysis engine: 3.x adds the CFG/typestate
+#: rules (span-balance rewrite, cursor-lifecycle, memo-confinement)
+#: and the effect-inference rule (sans-io-purity).
+_TOOL_VERSION = "3.0.0"
 _FINGERPRINT_KEY = "gupcheckFingerprint/v1"
 
 

@@ -19,6 +19,7 @@ wave only across identical (path, requester) pairs.
 
 from repro.bus.log import ChangeLog, ChangeRecord
 from repro.bus.bus import BusListener, ChangeBus, DEFAULT_WAVE_MS
+from repro.bus.push import PUSH_PAYLOAD_BYTES, PushForwarder
 from repro.bus.listeners import (
     CacheInvalidationListener,
     MirrorRefreshListener,
@@ -32,6 +33,8 @@ __all__ = [
     "ChangeBus",
     "BusListener",
     "DEFAULT_WAVE_MS",
+    "PUSH_PAYLOAD_BYTES",
+    "PushForwarder",
     "SubscriberListener",
     "CacheInvalidationListener",
     "MirrorRefreshListener",

@@ -1,0 +1,115 @@
+"""Legacy native-watch push forwarding — the transport half.
+
+Before E20, ``SubscriptionHub.start_push`` both *decided* (shield
+re-check, delivery records, counters) and *drove the wire* (two
+``sample_hop`` stages store → GUPster → client) inside ``core/``.
+gupcheck v3's ``sans-io-purity`` rule flags exactly that: protocol
+logic in ``core/`` must stay pure/virtual-time, with transport behind
+an injected driver.
+
+:class:`PushForwarder` is that driver.  The hub constructs one per
+subscription, injecting its *decisions* as callbacks — note the
+change, gate each delivery through the shield, count a wire message,
+record the delivery — and hands the forwarder's bound
+:meth:`PushForwarder.on_change` to the store's native watch hook.
+The store then invokes the forwarder directly on each change, so the
+wire work never appears on a ``core/`` call stack: core calls only
+the constructor (pure) and passes a method *reference* (free).
+
+The staging is bit-identical to the legacy inline closure — same
+``sample_hop`` order (the deterministic RNG consumes draws in the
+same sequence), same counter increments, same ``schedule`` calls —
+which is what keeps every E12 golden fixture byte-stable across the
+refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simnet import Network, Simulator
+
+__all__ = ["PUSH_PAYLOAD_BYTES", "PushForwarder"]
+
+#: Payload charged per forwarded change message (both hops).
+PUSH_PAYLOAD_BYTES = 128
+
+
+class PushForwarder:
+    """Two-hop store → GUPster → client forwarding for one
+    subscription.
+
+    All policy lives in the injected callbacks; this class only moves
+    bytes at sampled latencies:
+
+    * ``note(value)`` — log the change (the hub appends to the bus);
+    * ``gate()`` — per-delivery shield re-check at the forwarding
+      point; ``False`` withholds (policy may have changed since
+      subscribe time);
+    * ``on_withheld()`` / ``on_message()`` — counters;
+    * ``deliver(value, changed_at, now)`` — record the arrival.
+    """
+
+    __slots__ = (
+        "sim", "network", "store_node", "server_node", "client_node",
+        "_note", "_gate", "_deliver", "_on_withheld", "_on_message",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        store_node: str,
+        server_node: str,
+        client_node: str,
+        note: Callable[[str], None],
+        gate: Callable[[], bool],
+        deliver: Callable[[str, float, float], None],
+        on_withheld: Callable[[], None],
+        on_message: Callable[[], None],
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.store_node = store_node
+        self.server_node = server_node
+        self.client_node = client_node
+        self._note = note
+        self._gate = gate
+        self._deliver = deliver
+        self._on_withheld = on_withheld
+        self._on_message = on_message
+
+    # -- the store's native watch callback ------------------------------
+
+    def on_change(self, value: str) -> None:
+        """Forward one change: store → GUPster at a sampled hop, then
+        (if the shield still permits) GUPster → client."""
+        changed_at = self.sim.now
+        self._note(value)
+        to_gup = self.network.sample_hop(
+            self.store_node, self.server_node, PUSH_PAYLOAD_BYTES
+        )
+        self._on_message()
+        self.sim.schedule(to_gup, self._at_server, value, changed_at)
+
+    def _at_server(self, value: str, changed_at: float) -> None:
+        # Per-delivery shield re-check at the forwarding point:
+        # policy may have changed since subscription.
+        if not self._gate():
+            self._on_withheld()
+            return
+        to_client = self.network.sample_hop(
+            self.server_node, self.client_node, PUSH_PAYLOAD_BYTES
+        )
+        self._on_message()
+        self.sim.schedule(
+            to_client, self._at_client, value, changed_at
+        )
+
+    def _at_client(self, value: str, changed_at: float) -> None:
+        self._deliver(value, changed_at, self.sim.now)
+
+    def __repr__(self) -> str:
+        return "<PushForwarder %s->%s->%s>" % (
+            self.store_node, self.server_node, self.client_node,
+        )

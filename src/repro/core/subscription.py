@@ -40,7 +40,7 @@ import math
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.errors import AccessDeniedError, GupsterError, NetworkError
-from repro.bus import ChangeBus, SubscriberListener
+from repro.bus import ChangeBus, PushForwarder, SubscriberListener
 from repro.obs.metrics import CounterView
 from repro.pxml import Path, parse_path
 from repro.pxml.evaluate import evaluate_values
@@ -263,7 +263,13 @@ class SubscriptionHub:
         ``PresenceServer.watch``). GUPster forwards changes to the
         client as they arrive — each forwarded delivery re-checked
         against the shield, so a revocation stops the stream (the
-        subscribe-time check alone would keep delivering forever)."""
+        subscribe-time check alone would keep delivering forever).
+
+        The forwarding itself (two sampled hops) is the
+        :class:`~repro.bus.push.PushForwarder` driver's job; the hub
+        supplies only decisions — the shield gate, the counters, the
+        delivery record — keeping the wire off the core's call stack
+        (the sans-io boundary the analyzer pins)."""
         path = parse_path(request)
         # The subscribe-time check: a requester the shield rejects
         # never even registers the watch.
@@ -273,37 +279,32 @@ class SubscriptionHub:
                 "subscription denied for %s" % context.requester
             )
 
-        def on_change(value: str) -> None:
-            changed_at = self.sim.now
+        def note(value: str) -> None:
             self.note_change(value_path, value)
-            # store -> GUPster -> client, each hop at its sampled latency.
-            to_gup = self.network.sample_hop(
-                store_node, self.executor.server_node, 128
+
+        def gate() -> bool:
+            return self.server.pep.enforce(path, context).permit
+
+        def deliver(
+            value: str, changed_at: float, now: float
+        ) -> None:
+            self._record_delivery(
+                Delivery("push", value, changed_at, now)
             )
+
+        def on_withheld() -> None:
+            self.push_withheld += 1
+
+        def on_message() -> None:
             self.push_messages += 1
 
-            def at_gupster() -> None:
-                # Per-delivery shield re-check at the forwarding point:
-                # policy may have changed since subscription.
-                recheck = self.server.pep.enforce(path, context)
-                if not recheck.permit:
-                    self.push_withheld += 1
-                    return
-                to_client = self.network.sample_hop(
-                    self.executor.server_node, client, 128
-                )
-                self.push_messages += 1
-
-                def at_client() -> None:
-                    self._record_delivery(
-                        Delivery("push", value, changed_at, self.sim.now)
-                    )
-
-                self.sim.schedule(to_client, at_client)
-
-            self.sim.schedule(to_gup, at_gupster)
-
-        watch_hook(on_change)
+        forwarder = PushForwarder(
+            self.sim, self.network,
+            store_node, self.executor.server_node, client,
+            note=note, gate=gate, deliver=deliver,
+            on_withheld=on_withheld, on_message=on_message,
+        )
+        watch_hook(forwarder.on_change)
 
     # -- push over the change bus (E20) --------------------------------------------
 

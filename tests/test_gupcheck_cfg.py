@@ -1,0 +1,544 @@
+"""CFG builder + dataflow solver tests (gupcheck v3 foundations).
+
+Hypothesis generates arbitrary nests of ``if``/``while``/``for``/
+``try``/``with``/``break``/``continue``/``return``/``raise`` and the
+properties pin the builder's structural contract:
+
+* every statement lands in **exactly one** basic block (compound
+  headers included; nested ``def``/``class`` are opaque units);
+* every edge connects existing blocks and ``succs``/``preds`` mirror;
+* ``rpo()`` enumerates every block exactly once;
+* the generic solver reaches a fixpoint on every generated CFG, in
+  both directions.
+
+Directed tests then pin the specific lowerings the typestate rules
+lean on: try/except/finally exception edges, loop back edges, and the
+with-header placement.
+"""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import solve
+
+
+def dedent(source):
+    return textwrap.dedent(source).lstrip("\n")
+
+
+def fn_cfg(source):
+    """Parse *source* (a function definition) and build its CFG."""
+    tree = ast.parse(dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def expected_statements(fn):
+    """Every statement the builder must place: all ``ast.stmt`` in the
+    body, not descending into nested scopes (opaque units)."""
+    out = []
+
+    def visit(stmts):
+        for stmt in stmts:
+            out.append(stmt)
+            if isinstance(stmt, (
+                ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+            )):
+                continue
+            visit(getattr(stmt, "body", []) or [])
+            visit(getattr(stmt, "orelse", []) or [])
+            visit(getattr(stmt, "finalbody", []) or [])
+            for handler in getattr(stmt, "handlers", []) or []:
+                visit(handler.body)
+            for case in getattr(stmt, "cases", []) or []:
+                visit(case.body)
+
+    visit(fn.body)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# a statement-list generator (source lines, always parseable)
+# ---------------------------------------------------------------------------
+
+_SIMPLE = st.sampled_from([
+    "x = 1", "y = x + 1", "helper()", "pass", "x += 1",
+])
+
+
+def _indent(lines):
+    return ["    " + line for line in lines]
+
+
+@st.composite
+def _stmt_lines(draw, depth, in_loop):
+    kinds = ["simple", "simple", "jump"]
+    if depth > 0:
+        kinds += ["if", "while", "for", "try", "with"]
+    lines = []
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.sampled_from(kinds))
+        if kind == "simple":
+            lines.append(draw(_SIMPLE))
+        elif kind == "jump":
+            choices = ["return x", "raise ValueError()"]
+            if in_loop:
+                choices += ["break", "continue"]
+            lines.append(draw(st.sampled_from(choices)))
+        elif kind == "if":
+            lines.append("if x:")
+            lines.extend(_indent(
+                draw(_stmt_lines(depth - 1, in_loop))
+            ))
+            if draw(st.booleans()):
+                lines.append("else:")
+                lines.extend(_indent(
+                    draw(_stmt_lines(depth - 1, in_loop))
+                ))
+        elif kind == "while":
+            lines.append("while x:")
+            lines.extend(_indent(draw(_stmt_lines(depth - 1, True))))
+            if draw(st.booleans()):
+                lines.append("else:")
+                lines.extend(_indent(
+                    draw(_stmt_lines(depth - 1, in_loop))
+                ))
+        elif kind == "for":
+            lines.append("for item in seq:")
+            lines.extend(_indent(draw(_stmt_lines(depth - 1, True))))
+        elif kind == "try":
+            lines.append("try:")
+            lines.extend(_indent(
+                draw(_stmt_lines(depth - 1, in_loop))
+            ))
+            shape = draw(st.sampled_from(
+                ["except", "except-finally", "finally",
+                 "except-else"]
+            ))
+            if shape != "finally":
+                lines.append("except ValueError:")
+                lines.extend(_indent(
+                    draw(_stmt_lines(depth - 1, in_loop))
+                ))
+            if shape == "except-else":
+                lines.append("else:")
+                lines.extend(_indent(
+                    draw(_stmt_lines(depth - 1, in_loop))
+                ))
+            if shape in ("finally", "except-finally"):
+                lines.append("finally:")
+                lines.extend(_indent(
+                    draw(_stmt_lines(depth - 1, in_loop))
+                ))
+        elif kind == "with":
+            lines.append("with ctx() as handle:")
+            lines.extend(_indent(
+                draw(_stmt_lines(depth - 1, in_loop))
+            ))
+    return lines
+
+
+@st.composite
+def functions(draw):
+    body = draw(_stmt_lines(depth=draw(st.integers(0, 3)),
+                            in_loop=False))
+    source = "def fn(x, seq, ctx, helper):\n" + "\n".join(
+        _indent(body)
+    )
+    return ast.parse(source).body[0]
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+class TestCfgProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(functions())
+    def test_every_statement_in_exactly_one_block(self, fn):
+        cfg = build_cfg(fn)
+        placed = [stmt for _, stmt in cfg.statements()]
+        expected = expected_statements(fn)
+        assert len(placed) == len(expected)
+        assert {id(s) for s in placed} == {id(s) for s in expected}
+        # ...and block_of agrees with the placement.
+        owners = {}
+        for index, stmt in cfg.statements():
+            assert id(stmt) not in owners
+            owners[id(stmt)] = index
+            assert cfg.block_of(stmt) == index
+
+    @settings(max_examples=120, deadline=None)
+    @given(functions())
+    def test_edges_connect_existing_blocks_and_mirror(self, fn):
+        cfg = build_cfg(fn)
+        count = len(cfg.blocks)
+        for block in cfg.blocks:
+            assert len(set(block.succs)) == len(block.succs)
+            assert len(set(block.preds)) == len(block.preds)
+            for succ in block.succs:
+                assert 0 <= succ < count
+                assert block.index in cfg.blocks[succ].preds
+            for pred in block.preds:
+                assert 0 <= pred < count
+                assert block.index in cfg.blocks[pred].succs
+
+    @settings(max_examples=120, deadline=None)
+    @given(functions())
+    def test_rpo_covers_every_block_once(self, fn):
+        cfg = build_cfg(fn)
+        order = cfg.rpo()
+        assert sorted(order) == list(range(len(cfg.blocks)))
+        assert order[0] == cfg.entry
+
+    @settings(max_examples=60, deadline=None)
+    @given(functions(), st.sampled_from(["forward", "backward"]))
+    def test_solver_reaches_fixpoint(self, fn, direction):
+        cfg = build_cfg(fn)
+        # Reaching-blocks: the set of block indices on some path —
+        # monotone over a finite lattice, so it must converge.
+        solution = solve(
+            cfg,
+            boundary=frozenset(),
+            transfer=lambda index, state: state | {index},
+            join=lambda left, right: left | right,
+            direction=direction,
+        )
+        start = (
+            cfg.entry if direction == "forward" else cfg.exit
+        )
+        outputs = (
+            solution.after if direction == "forward"
+            else solution.before
+        )
+        for block in cfg.blocks:
+            state = outputs[block.index]
+            if state is not None:
+                assert block.index in state
+        assert start in outputs[start]
+
+
+# ---------------------------------------------------------------------------
+# directed lowerings
+# ---------------------------------------------------------------------------
+
+class TestLowerings:
+    def test_if_else_diamond(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        stmts = {type(s).__name__: b for b, s in cfg.statements()}
+        test_block = stmts["If"]
+        then_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign) and s.value.value == 1
+        )
+        else_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign) and s.value.value == 2
+        )
+        succs = cfg.blocks[test_block].succs
+        assert then_block in succs and else_block in succs
+        # Both arms rejoin before the return.
+        return_block = stmts["Return"]
+        assert return_block in cfg.blocks[then_block].succs
+        assert return_block in cfg.blocks[else_block].succs
+
+    def test_loop_back_edge_and_break(self):
+        cfg = fn_cfg(
+            """
+            def fn(seq):
+                for item in seq:
+                    if item:
+                        break
+                    item = 0
+                done = 1
+            """
+        )
+        header = next(
+            b for b, s in cfg.statements() if isinstance(s, ast.For)
+        )
+        after = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+            and s.targets[0].id == "done"
+        )
+        break_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Break)
+        )
+        # break jumps straight past the loop...
+        assert after in cfg.blocks[break_block].succs
+        # ...the body's tail loops back to the header...
+        tail = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+            and s.targets[0].id == "item"
+        )
+        assert header in cfg.blocks[tail].succs
+        # ...and the header exits to after on exhaustion.
+        assert after in cfg.blocks[header].succs
+
+    def test_try_except_edges_from_whole_protected_region(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                try:
+                    a = 1
+                    if x:
+                        b = 2
+                    c = 3
+                except ValueError:
+                    h = 4
+                done = 5
+            """
+        )
+        handler_entry = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+            and s.targets[0].id == "h"
+        )
+        # Every block of the protected region may raise into the
+        # handler — including the branch arms.
+        for name in ("a", "b", "c"):
+            block = next(
+                b for b, s in cfg.statements()
+                if isinstance(s, ast.Assign)
+                and s.targets[0].id == name
+            )
+            assert handler_entry in cfg.blocks[block].succs
+        # Normal completion and the handler both reach `done`.
+        after = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+            and s.targets[0].id == "done"
+        )
+        assert after in cfg.blocks[handler_entry].succs
+
+    def test_finally_runs_on_both_paths(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                try:
+                    a = 1
+                except ValueError:
+                    h = 2
+                finally:
+                    f = 3
+                done = 4
+            """
+        )
+        blocks = {
+            s.targets[0].id: b
+            for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+        }
+        # Both the body exit and the handler exit feed the finalizer,
+        # which feeds `done` AND the exceptional continuation (exit).
+        assert blocks["f"] in cfg.blocks[blocks["a"]].succs
+        assert blocks["f"] in cfg.blocks[blocks["h"]].succs
+        assert blocks["done"] in cfg.blocks[blocks["f"]].succs
+        assert cfg.exit in cfg.blocks[blocks["f"]].succs
+
+    def test_bare_finally_reraise_reaches_exit(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                try:
+                    a = 1
+                finally:
+                    f = 2
+                done = 3
+            """
+        )
+        blocks = {
+            s.targets[0].id: b
+            for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+        }
+        assert blocks["done"] in cfg.blocks[blocks["f"]].succs
+        assert cfg.exit in cfg.blocks[blocks["f"]].succs
+
+    def test_with_header_stays_in_current_block(self):
+        cfg = fn_cfg(
+            """
+            def fn(ctx):
+                before = 1
+                with ctx() as handle:
+                    inside = 2
+                after = 3
+            """
+        )
+        blocks = {
+            s.targets[0].id: b
+            for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+        }
+        with_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.With)
+        )
+        # Header shares the preceding straight-line block; the body
+        # opens a new one and falls through.
+        assert with_block == blocks["before"]
+        assert blocks["inside"] in cfg.blocks[with_block].succs
+        assert blocks["after"] in (
+            cfg.blocks[blocks["inside"]].succs
+            + [blocks["inside"]]
+        )
+
+    def test_raise_targets_innermost_handler(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                try:
+                    raise ValueError()
+                except ValueError:
+                    h = 1
+                done = 2
+            """
+        )
+        raise_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Raise)
+        )
+        handler_entry = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+            and s.targets[0].id == "h"
+        )
+        assert handler_entry in cfg.blocks[raise_block].succs
+        assert cfg.exit not in cfg.blocks[raise_block].succs
+
+    def test_unreachable_code_still_placed_and_analyzed(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                return x
+                dead = 1
+            """
+        )
+        dead_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+        )
+        assert dead_block not in (cfg.entry, cfg.exit)
+        assert dead_block in cfg.rpo()
+
+
+# ---------------------------------------------------------------------------
+# solver semantics
+# ---------------------------------------------------------------------------
+
+class TestSolver:
+    def test_forward_constant_reach(self):
+        # "is `x = 1` seen on every path to each block?"
+        cfg = fn_cfg(
+            """
+            def fn(cond):
+                if cond:
+                    x = 1
+                y = 2
+            """
+        )
+
+        def transfer(index, state):
+            out = state
+            for stmt in cfg.blocks[index].stmts:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and stmt.targets[0].id == "x"
+                ):
+                    out = True
+            return out
+
+        solution = solve(
+            cfg, boundary=False, transfer=transfer,
+            join=lambda left, right: left and right,
+        )
+        y_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+            and s.targets[0].id == "y"
+        )
+        # Join over both arms: `x = 1` is NOT on every path.
+        assert solution.before[y_block] is False
+
+    def test_backward_liveness_shape(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                y = x + 1
+                return y
+            """
+        )
+
+        def transfer(index, state):
+            live = set(state)
+            for stmt in reversed(cfg.blocks[index].stmts):
+                if isinstance(stmt, ast.Assign):
+                    live.discard(stmt.targets[0].id)
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Name) and isinstance(
+                        node.ctx, ast.Load
+                    ):
+                        live.add(node.id)
+            return frozenset(live)
+
+        solution = solve(
+            cfg, boundary=frozenset(), transfer=transfer,
+            join=lambda left, right: left | right,
+            direction="backward",
+        )
+        assert "x" in solution.before[cfg.entry]
+        assert "y" not in solution.before[cfg.entry]
+
+    def test_loop_fixpoint_terminates_with_growing_sets(self):
+        cfg = fn_cfg(
+            """
+            def fn(seq):
+                total = 0
+                for item in seq:
+                    total = total + item
+                return total
+            """
+        )
+        solution = solve(
+            cfg,
+            boundary=frozenset(),
+            transfer=lambda index, state: state | {index},
+            join=lambda left, right: left | right,
+        )
+        exit_state = solution.before[cfg.exit]
+        # Every reachable block contributed.
+        assert exit_state is not None and len(exit_state) >= 4
+
+    def test_dead_blocks_stay_unreached(self):
+        cfg = fn_cfg(
+            """
+            def fn(x):
+                return x
+                dead = 1
+            """
+        )
+        solution = solve(
+            cfg,
+            boundary=frozenset(),
+            transfer=lambda index, state: state | {index},
+            join=lambda left, right: left | right,
+        )
+        dead_block = next(
+            b for b, s in cfg.statements()
+            if isinstance(s, ast.Assign)
+        )
+        assert solution.before[dead_block] is None

@@ -1,0 +1,374 @@
+"""Fixture suites for the gupcheck v3 typestate rules.
+
+Each rule runs the generic CFG + dataflow machinery
+(:mod:`repro.analysis.rules._typestate`), so these tests double as
+end-to-end coverage of path-sensitive verdicts: branches that release
+on one arm only, early returns, loops, and closure captures.
+
+``span-balance``'s legacy fixtures live in ``test_gupcheck.py``;
+here we pin exactly what the v3 rewrite changed — the early-return
+leak the flow-insensitive heuristic could not see, and the
+closure-capture pattern it used to false-positive on.
+"""
+
+import json
+import textwrap
+
+from repro.analysis import Analyzer, check_source, default_rules
+from repro.analysis.rules import (
+    CursorLifecycleRule,
+    MemoConfinementRule,
+    SpanBalanceRule,
+)
+from repro.analysis.sarif import to_sarif_json
+
+RELPATH = "repro/core/fixture.py"
+
+
+def dedent(source):
+    return textwrap.dedent(source).lstrip("\n")
+
+
+# ---------------------------------------------------------------------------
+# span-balance: what flow-sensitivity changed
+# ---------------------------------------------------------------------------
+
+class TestSpanBalanceFlow:
+    def test_early_return_leak_is_flagged(self):
+        # The v2 heuristic sanctioned any name that appeared in a
+        # `with` somewhere in the scope — this leak was invisible.
+        found = check_source(SpanBalanceRule(), dedent(
+            """
+            def f(rec, cond):
+                handle = rec.span("work")
+                if cond:
+                    return None
+                with handle:
+                    pass
+            """
+        ), RELPATH)
+        assert len(found) == 1
+        assert found[0].line == 2
+        assert "never entered" in found[0].message
+
+    def test_closure_release_no_longer_false_positives(self):
+        # The v2 heuristic walked scopes separately, so a handle
+        # finished inside a nested callback read as abandoned.  The
+        # CFG treats the nested def as a capture of the name — the
+        # handle's fate is delegated, not dropped.
+        found = check_source(SpanBalanceRule(), dedent(
+            """
+            def f(rec, sim):
+                handle = rec.span("wave")
+
+                def finish():
+                    handle.finish()
+
+                sim.schedule(5.0, finish)
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_one_armed_release_reports_the_leaky_path(self):
+        found = check_source(SpanBalanceRule(), dedent(
+            """
+            def f(rec, cond):
+                handle = rec.span("work")
+                if cond:
+                    handle.finish()
+            """
+        ), RELPATH)
+        assert len(found) == 1
+        assert "`handle`" in found[0].message
+
+    def test_release_on_every_arm_is_clean(self):
+        found = check_source(SpanBalanceRule(), dedent(
+            """
+            def f(rec, cond):
+                handle = rec.span("work")
+                if cond:
+                    handle.finish()
+                else:
+                    handle.close()
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_loop_reopen_is_clean_when_consumed(self):
+        found = check_source(SpanBalanceRule(), dedent(
+            """
+            def f(rec, items):
+                for item in items:
+                    handle = rec.span("item")
+                    with handle:
+                        pass
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_try_finally_release_is_clean(self):
+        found = check_source(SpanBalanceRule(), dedent(
+            """
+            def f(rec):
+                handle = rec.span("work")
+                try:
+                    risky()
+                finally:
+                    handle.finish()
+            """
+        ), RELPATH)
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# cursor-lifecycle
+# ---------------------------------------------------------------------------
+
+class TestCursorLifecycleRule:
+    def test_stale_after_append_is_flagged(self):
+        found = check_source(CursorLifecycleRule(), dedent(
+            """
+            def f(log, listener):
+                snapshot = log.cursor(listener)
+                log.append("profile/a", "x")
+                return log.since(snapshot)
+            """
+        ), RELPATH)
+        assert len(found) == 1
+        assert "`snapshot`" in found[0].message
+        assert "stale" in found[0].message
+
+    def test_stale_after_compact_is_flagged(self):
+        found = check_source(CursorLifecycleRule(), dedent(
+            """
+            def f(log, listener):
+                snapshot = log.cursor(listener)
+                log.compact(10)
+                return log.backlog(snapshot)
+            """
+        ), RELPATH)
+        assert len(found) == 1
+
+    def test_reread_after_move_is_clean(self):
+        found = check_source(CursorLifecycleRule(), dedent(
+            """
+            def f(log, listener):
+                snapshot = log.cursor(listener)
+                log.append("profile/a", "x")
+                snapshot = log.cursor(listener)
+                return log.since(snapshot)
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_replay_before_move_is_clean(self):
+        found = check_source(CursorLifecycleRule(), dedent(
+            """
+            def f(log, listener):
+                snapshot = log.cursor(listener)
+                backlog = log.since(snapshot)
+                log.append("profile/a", "x")
+                return backlog
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_moved_on_one_path_is_stale_at_join(self):
+        # Must-fresh join: a snapshot that MAY be stale is stale.
+        found = check_source(CursorLifecycleRule(), dedent(
+            """
+            def f(log, listener, cond):
+                snapshot = log.cursor(listener)
+                if cond:
+                    log.append("profile/a", "x")
+                return log.since(snapshot)
+            """
+        ), RELPATH)
+        assert len(found) == 1
+
+    def test_non_bus_receivers_are_untracked(self):
+        # `catalog` is not a bus/log-ish name — no typestate.
+        found = check_source(CursorLifecycleRule(), dedent(
+            """
+            def f(catalog, listener):
+                snapshot = catalog.cursor(listener)
+                catalog.append("row")
+                return catalog.since(snapshot)
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_suppression_comment_honored(self):
+        found = check_source(CursorLifecycleRule(), dedent(
+            """
+            def f(log, listener):
+                snapshot = log.cursor(listener)
+                log.append("profile/a", "x")
+                return log.since(snapshot)  # gupcheck: ignore[cursor-lifecycle] -- replay race exercised on purpose
+            """
+        ), RELPATH)
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# memo-confinement
+# ---------------------------------------------------------------------------
+
+class TestMemoConfinementRule:
+    def test_storing_memo_on_self_escapes(self):
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo):
+                self.last_memo = memo
+            """
+        ), RELPATH)
+        assert len(found) == 1
+        assert "escapes its wave" in found[0].message
+
+    def test_storing_derived_decision_escapes(self):
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo):
+                decision = memo.get(("p", "r"))
+                self.cached = decision
+            """
+        ), RELPATH)
+        assert len(found) == 1
+        assert "shield decision" in found[0].message
+
+    def test_write_back_into_memo_is_allowed(self):
+        # `memo[key] = decision` is the wave-scoped cache working as
+        # designed — the subscript base is the local memo itself.
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo, pep):
+                for record in batch:
+                    key = (record.path, "r")
+                    decision = memo.get(key)
+                    if decision is None:
+                        decision = pep.enforce(record.path)
+                        memo[key] = decision
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_returning_root_memo_escapes(self):
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo):
+                return memo
+            """
+        ), RELPATH)
+        assert len(found) == 1
+        assert "flows out of the wave" in found[0].message
+
+    def test_returning_derived_decision_is_allowed(self):
+        # A single decision may flow to the caller in-wave; only the
+        # memo itself must die with the delivery.
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo):
+                return memo.get(("p", "r"))
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_rebind_kills_the_mark(self):
+        # Path-sensitivity: after a strong rebind the name no longer
+        # carries the wave-scoped value.
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo, pep):
+                decision = memo.get(("p", "r"))
+                decision = pep.enforce("p")
+                self.cached = decision
+            """
+        ), RELPATH)
+        assert found == []
+
+    def test_rebound_on_one_path_still_scoped_at_join(self):
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo, pep, cond):
+                decision = memo.get(("p", "r"))
+                if cond:
+                    decision = pep.enforce("p")
+                self.cached = decision
+            """
+        ), RELPATH)
+        assert len(found) == 1
+
+    def test_annotated_local_memo_is_a_root(self):
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def flush(self):
+                memo: ShieldMemo = {}
+                self.saved = memo
+            """
+        ), RELPATH)
+        assert len(found) == 1
+
+    def test_suppression_comment_honored(self):
+        found = check_source(MemoConfinementRule(), dedent(
+            """
+            def deliver(self, batch, memo):
+                self.debug_memo = memo  # gupcheck: ignore[memo-confinement] -- test-only introspection hook
+            """
+        ), RELPATH)
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# SARIF round trip for a typestate finding
+# ---------------------------------------------------------------------------
+
+class TestTypestateSarif:
+    def test_cursor_finding_round_trips(self, tmp_path):
+        bad = tmp_path / "repro" / "bus" / "replayer.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(dedent(
+            """
+            def drain(log, listener):
+                snapshot = log.cursor(listener)
+                log.append("profile/a", "x")
+                return log.since(snapshot)
+            """
+        ), encoding="utf-8")
+        report = Analyzer().analyze_paths([str(tmp_path)])
+        cursor = [
+            v for v in report.violations
+            if v.rule == "cursor-lifecycle"
+        ]
+        assert len(cursor) == 1
+
+        log = json.loads(to_sarif_json(report, default_rules()))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["version"].startswith("3.")
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        # Every v3 rule is declared with metadata...
+        for name in ("span-balance", "cursor-lifecycle",
+                     "memo-confinement", "sans-io-purity"):
+            assert name in rule_ids
+            declared = next(
+                r for r in driver["rules"] if r["id"] == name
+            )
+            assert declared["shortDescription"]["text"]
+            assert declared["defaultConfiguration"]["level"] \
+                == "error"
+        # ...and the finding itself round-trips to the same site.
+        (result,) = [
+            r for r in run["results"]
+            if r["ruleId"] == "cursor-lifecycle"
+        ]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == cursor[0].line
+        assert location["artifactLocation"]["uri"].endswith(
+            "replayer.py"
+        )
+        assert "stale" in result["message"]["text"]
+        assert (
+            driver["rules"][result["ruleIndex"]]["id"]
+            == "cursor-lifecycle"
+        )
