@@ -8,9 +8,12 @@ so a warm run replays everything and a one-file body edit re-analyzes
 only the touched SCC plus its dependents. The v3 engine raised the
 per-module price — every service here exercises the CFG + typestate
 machinery (span handles, replay cursors, wave memos) and the effect
-fixpoint — and the incremental contract must hold regardless. E17
-measures that shape on a synthetic project — one adapter base + N
-independent service modules, the repo's own topology in miniature:
+fixpoint — and v4 adds the deliberately *uncacheable* resource-bound
+rule (each service ships a long-lived ``WaveRecorder`` whose
+container it must classify every run); uncacheable work does not
+count as "analyzed", so the incremental gates must hold regardless.
+E17 measures that shape on a synthetic project — one adapter base +
+N independent service modules, the repo's own topology in miniature:
 
 * **cold**: empty cache, every module analyzed, all summaries built;
 * **warm**: nothing changed, zero modules analyzed (pure replay);
@@ -32,11 +35,13 @@ from repro.analysis.rules import default_rules
 
 LEAVES = 48
 
-#: The v3 rules the synthetic services must keep exercised — their
-#: typestate machines run over every service CFG below.
-_V3_RULES = frozenset({
+#: The v3/v4 rules the synthetic services must keep exercised — the
+#: typestate machines run over every service CFG below, and each
+#: service ships a ``*Recorder`` class so the resource-bound analysis
+#: tracks (and clears) a long-lived container per module.
+_ENGINE_RULES = frozenset({
     "span-balance", "cursor-lifecycle", "memo-confinement",
-    "sans-io-purity",
+    "sans-io-purity", "container-growth",
 })
 
 _BASE = dedent(
@@ -87,6 +92,16 @@ _SERVICE = dedent(
                 if decision:
                     delivered.append(record)
             return delivered
+
+
+    class WaveRecorder%(i)d:
+        def __init__(self):
+            self.waves = []
+
+        def push(self, wave):
+            self.waves.append(wave)
+            if len(self.waves) > 256:
+                del self.waves[:1]
     """
 )
 
@@ -113,9 +128,9 @@ def analyze(root, cache) -> Report:
 
 
 def test_e17_incremental_analysis(benchmark, report, tmp_path):
-    # The timed runs must include the v3 engine, not a pre-CFG subset.
+    # The timed runs must include the v3/v4 engine, not a subset.
     active = {rule.name for rule in default_rules()}
-    assert _V3_RULES <= active, active
+    assert _ENGINE_RULES <= active, active
 
     def run():
         write_tree(tmp_path)

@@ -30,6 +30,7 @@ from repro.analysis.cache import (
 )
 from repro.analysis.effects_report import EFFECTS_FILENAME
 from repro.analysis.framework import Analyzer, Report
+from repro.analysis.growth_report import GROWTH_FILENAME
 from repro.analysis.rules import default_rules
 
 #: Exit codes (see module docstring).
@@ -69,6 +70,15 @@ def _build_parser() -> argparse.ArgumentParser:
              "boundary map to PATH (default: %s; '-' for stdout), "
              "then exit — 1 when the boundary carries transport/"
              "wall-io" % EFFECTS_FILENAME,
+    )
+    parser.add_argument(
+        "--growth", nargs="?", const=GROWTH_FILENAME,
+        default=None, metavar="PATH",
+        help="run the resource-bound analysis and write the "
+             "long-lived container inventory to PATH (default: %s; "
+             "'-' for stdout), then exit — 1 on unbounded verdicts "
+             "or declared-bound audit findings not accepted by the "
+             "baseline" % GROWTH_FILENAME,
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -187,6 +197,90 @@ def _run_effects(paths: List[str], destination: str) -> int:
     )
 
 
+def _run_growth(
+    paths: List[str],
+    destination: str,
+    baseline_path: str,
+    use_baseline: bool,
+) -> int:
+    """``--growth``: parse *paths*, run the resource-bound engine,
+    write the container inventory, and gate on unbounded verdicts
+    (no rules, no cache — verdict evidence crosses import cones, so
+    the inventory must always reflect the whole tree)."""
+    import json
+
+    from repro.analysis.framework import ModuleInfo, _relpath
+    from repro.analysis.growth_report import growth_payload_for
+    from repro.analysis.ir.project import Project
+    from repro.analysis.rules.container_growth import (
+        ContainerGrowthRule,
+    )
+
+    analyzer = Analyzer([])
+    modules = []
+    parse_failed = False
+    for filename in analyzer.discover(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            modules.append(ModuleInfo.from_source(
+                source, _relpath(filename), filename
+            ))
+        except (OSError, SyntaxError, ValueError) as err:
+            sys.stderr.write(
+                "gupcheck: %s: [parse-error] %s\n" % (filename, err)
+            )
+            parse_failed = True
+    if not modules:
+        sys.stderr.write("gupcheck: --growth found no modules\n")
+        return EXIT_ERROR
+
+    project = Project(modules)
+    payload = growth_payload_for(project)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if destination == "-":
+        sys.stdout.write(text)
+    else:
+        try:
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as err:
+            sys.stderr.write(
+                "gupcheck: could not write growth inventory %s: %s\n"
+                % (destination, err)
+            )
+            return EXIT_ERROR
+
+    failing = ContainerGrowthRule().check_project(project)
+    if use_baseline:
+        accepted = set(load_baseline(baseline_path))
+        failing = [
+            violation for violation in failing
+            if violation.fingerprint() not in accepted
+        ]
+    for violation in failing:
+        sys.stderr.write("%s\n" % violation)
+    counts = payload["counts"]
+    # With ``-`` the JSON owns stdout — the human summary moves to
+    # stderr so the stream stays machine-parseable.
+    summary_stream = sys.stderr if destination == "-" else sys.stdout
+    summary_stream.write(
+        "gupcheck: growth inventory %s — %d container(s): "
+        "%d bounded, %d evicting, %d declared, %d unbounded"
+        " (%d gating finding(s))\n"
+        % (
+            destination if destination != "-" else "(stdout)",
+            sum(counts.values()),
+            counts["bounded"], counts["evicting"],
+            counts["declared"], counts["unbounded"],
+            len(failing),
+        )
+    )
+    if parse_failed:
+        return EXIT_ERROR
+    return EXIT_CLEAN if not failing else EXIT_VIOLATIONS
+
+
 def _render_text(report: Report, out: IO[str]) -> None:
     for violation in report.violations:
         marker = (
@@ -247,6 +341,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if options.effects is not None:
         return _run_effects(list(options.paths), options.effects)
+    if options.growth is not None:
+        return _run_growth(
+            list(options.paths), options.growth,
+            options.baseline or BASELINE_FILENAME,
+            not options.no_baseline,
+        )
 
     paths = list(options.paths)
     if options.changed_only is not None:

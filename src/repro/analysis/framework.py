@@ -229,6 +229,10 @@ class Rule:
     prefixes: Tuple[str, ...] = ()
     #: ``error`` findings gate the run; ``warning`` findings do not.
     severity = "error"
+    #: Uncacheable rules re-run on every module each analysis: their
+    #: findings' evidence can live outside the module's own (deep)
+    #: content hash, so replaying stored results would be unsound.
+    cacheable = True
 
     def applies_to(self, relpath: str) -> bool:
         return not self.prefixes or any(
@@ -594,6 +598,8 @@ class Analyzer:
         from repro.analysis.ir.project import Project
 
         project = Project(modules)
+        cacheable_rules = [r for r in project_rules if r.cacheable]
+        global_rules = [r for r in project_rules if not r.cacheable]
         dirty: List[ModuleInfo] = []
         for module in modules:
             deep = project.deep_sha(module.relpath)
@@ -612,7 +618,7 @@ class Analyzer:
         )
         for module in dirty:
             violations: List[Violation] = []
-            for rule in project_rules:
+            for rule in cacheable_rules:
                 if rule.applies_to(module.relpath):
                     violations.extend(
                         rule.check_module(project, module)
@@ -626,6 +632,17 @@ class Analyzer:
                     violations,
                     project.taint.summaries_for(module.relpath),
                 )
+        # Uncacheable rules (whole-program verdicts whose evidence
+        # crosses import cones) re-run over every module, and their
+        # findings are never stored or replayed.  They do not count
+        # as "analyzed" — the incremental contract (warm runs replay
+        # everything cacheable) is unchanged.
+        for module in modules:
+            for rule in global_rules:
+                if rule.applies_to(module.relpath):
+                    raw_by_module[module.relpath].extend(
+                        rule.check_module(project, module)
+                    )
         if stats is not None:
             stats.import_sccs = len(project.import_sccs)
             stats.call_sccs = project.taint.call_scc_count

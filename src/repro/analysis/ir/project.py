@@ -33,6 +33,7 @@ from repro.analysis.ir.symbols import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.framework import ModuleInfo
+    from repro.analysis.interproc.growth import GrowthAnalysis
     from repro.analysis.interproc.taint import TaintEngine
 
 __all__ = [
@@ -120,6 +121,7 @@ class Project:
             if fn.is_method:
                 self._method_index.setdefault(fn.name, []).append(fn)
         self._taint: Optional["TaintEngine"] = None
+        self._growth: Optional["GrowthAnalysis"] = None
 
     # -- construction ---------------------------------------------------
 
@@ -313,6 +315,17 @@ class Project:
 
             self._taint = TaintEngine(self)
         return self._taint
+
+    @property
+    def growth(self) -> "GrowthAnalysis":
+        """Lazily computed whole-program container-growth verdicts."""
+        if self._growth is None:
+            from repro.analysis.interproc.growth import (
+                GrowthAnalysis,
+            )
+
+            self._growth = GrowthAnalysis(self)
+        return self._growth
 
 
 def tarjan_sccs(

@@ -13,6 +13,9 @@ from typing import List
 
 from repro.analysis.framework import Rule
 from repro.analysis.rules.cache_scope import CacheKeyScopeRule
+from repro.analysis.rules.container_growth import (
+    ContainerGrowthRule,
+)
 from repro.analysis.rules.cursor_lifecycle import CursorLifecycleRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.exceptions import ExceptionTotalityRule
@@ -47,11 +50,13 @@ ALL_RULES = (
     CursorLifecycleRule,
     MemoConfinementRule,
     SansIoPurityRule,
+    ContainerGrowthRule,
 )
 
 __all__ = [
     "ALL_RULES",
     "CacheKeyScopeRule",
+    "ContainerGrowthRule",
     "CursorLifecycleRule",
     "DeterminismRule",
     "ExceptionTotalityRule",

@@ -26,10 +26,11 @@ SARIF_SCHEMA = (
     "master/Schemata/sarif-schema-2.1.0.json"
 )
 
-#: Major-bumped with the analysis engine: 3.x adds the CFG/typestate
-#: rules (span-balance rewrite, cursor-lifecycle, memo-confinement)
-#: and the effect-inference rule (sans-io-purity).
-_TOOL_VERSION = "3.0.0"
+#: Major-bumped with the analysis engine: 4.x adds the
+#: interprocedural resource-bound analysis (container-growth, the
+#: verdict inventory and the declared-bound contract surface); 3.x
+#: added the CFG/typestate rules and effect inference.
+_TOOL_VERSION = "4.0.0"
 _FINGERPRINT_KEY = "gupcheckFingerprint/v1"
 
 

@@ -26,10 +26,15 @@ from repro.pxml import Path, parse_path
 
 __all__ = [
     "CacheInvalidationListener",
+    "DEFAULT_MAX_RECORDS",
     "MirrorRefreshListener",
     "RecordingListener",
     "SubscriberListener",
 ]
+
+#: Default :class:`RecordingListener` retention — roomy enough for
+#: every bench, finite so an always-on recorder cannot grow forever.
+DEFAULT_MAX_RECORDS = 65536
 
 #: Called with (value, changed_at, delivered_at) for each permitted
 #: delta reaching the subscriber.
@@ -170,13 +175,25 @@ class MirrorRefreshListener(BusListener):
 
 
 class RecordingListener(BusListener):
-    """Test/bench helper: remembers every record it was handed (and
-    when). With a node, it pays wire like any remote listener."""
+    """Test/bench helper: remembers the last *max_records* records it
+    was handed (and when), dropping the oldest beyond the cap —
+    ``dropped`` counts what the window lost. With a node, it pays
+    wire like any remote listener."""
 
-    def __init__(self, name: str, node: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        node: Optional[str] = None,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> None:
         super().__init__(name, node)
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
         self.received: List[ChangeRecord] = []
         self.delivered_at: List[float] = []
+        #: Records evicted by the retention cap.
+        self.dropped = 0
 
     def deliver(
         self,
@@ -187,3 +204,8 @@ class RecordingListener(BusListener):
     ) -> None:
         self.received.extend(records)
         self.delivered_at.extend(now for _ in records)
+        overflow = len(self.received) - self.max_records
+        if overflow > 0:
+            del self.received[:overflow]
+            del self.delivered_at[:overflow]
+            self.dropped += overflow

@@ -74,6 +74,7 @@ class ChangeLog:
         self._head_seq = 1
         self.last_seq = 0
         #: path -> (value, at) of the *latest* change on that path.
+        # gupcheck: bounded[distinct-paths] -- one entry per changed profile path; updated in place
         self._latest: Dict[str, Tuple[str, float]] = {}
         self.compacted_total = 0
 

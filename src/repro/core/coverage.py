@@ -66,10 +66,16 @@ class CoverageResolution:
 class CoverageMap:
     """Registrations of profile components by data stores."""
 
-    def __init__(self, track_changes: bool = True) -> None:
+    def __init__(
+        self,
+        track_changes: bool = True,
+        max_changelog: int = 65536,
+    ) -> None:
         #: user id -> coverage path -> ordered store ids
+        # gupcheck: bounded[enrollment] -- one entry per enrolled (user, component); unregister pops
         self._by_user: Dict[str, Dict[Path, List[str]]] = {}
         #: store id -> set of (user, path) it registered (for leaving)
+        # gupcheck: bounded[enrollment] -- mirrors _by_user per store; unregister_store pops it
         self._by_store: Dict[str, Set[Tuple[str, Path]]] = {}
         self.registrations = 0
         self.lookups = 0
@@ -78,10 +84,31 @@ class CoverageMap:
         #: "family of mirrored servers"). ``track_changes=False``
         #: disables the log — carrier-scale populations (E19, millions
         #: of registrations) never replay it, and an unbounded append
-        #: per registration is real memory at that size.
+        #: per registration is real memory at that size. The log keeps
+        #: the newest *max_changelog* entries; a mirror that falls
+        #: behind the window gets a loud :class:`CoverageError` from
+        #: :meth:`changes_since` (full resync needed), never a
+        #: silently incomplete feed.
         self.track_changes = track_changes
+        if max_changelog <= 0:
+            raise ValueError("max_changelog must be positive")
+        self.max_changelog = max_changelog
         self.revision = 0
         self._changelog: List[Tuple[int, str, Path, str]] = []
+        #: Highest revision trimmed out of the log window (0: none).
+        self._log_floor = 0
+
+    # -- the replication feed window --------------------------------------------
+
+    def _log_change(self, op: str, path: Path, store_id: str) -> None:
+        """Append one feed entry at the current revision, trimming
+        the log to the newest ``max_changelog`` entries. Trimmed
+        revisions raise the floor :meth:`changes_since` checks."""
+        self._changelog.append((self.revision, op, path, store_id))
+        overflow = len(self._changelog) - self.max_changelog
+        if overflow > 0:
+            self._log_floor = self._changelog[overflow - 1][0]
+            del self._changelog[:overflow]
 
     # -- registration ----------------------------------------------------------
 
@@ -108,9 +135,7 @@ class CoverageMap:
             self.registrations += 1
             self.revision += 1
             if self.track_changes:
-                self._changelog.append(
-                    (self.revision, "register", parsed, store_id)
-                )
+                self._log_change("register", parsed, store_id)
 
     def unregister(self, path: Union[str, Path], store_id: str) -> None:
         parsed = parse_path(path)
@@ -127,9 +152,7 @@ class CoverageMap:
         self._by_store.get(store_id, set()).discard((user_id, parsed))
         self.revision += 1
         if self.track_changes:
-            self._changelog.append(
-                (self.revision, "unregister", parsed, store_id)
-            )
+            self._log_change("unregister", parsed, store_id)
 
     def unregister_store(self, store_id: str) -> int:
         """A store leaves the community; drop all its registrations."""
@@ -143,9 +166,7 @@ class CoverageMap:
                     del bucket[path]
             self.revision += 1
             if self.track_changes:
-                self._changelog.append(
-                    (self.revision, "unregister", path, store_id)
-                )
+                self._log_change("unregister", path, store_id)
         return len(entries)
 
     # -- replication (mirror constellations) ------------------------------------
@@ -157,6 +178,12 @@ class CoverageMap:
         if not self.track_changes:
             raise CoverageError(
                 "replication feed disabled (track_changes=False)"
+            )
+        if revision < self._log_floor:
+            raise CoverageError(
+                "replication feed truncated: revision %d predates "
+                "the retained window (floor %d); full resync required"
+                % (revision, self._log_floor)
             )
         return [c for c in self._changelog if c[0] > revision]
 
@@ -189,7 +216,7 @@ class CoverageMap:
                     (user_id, path)
                 )
             self.revision = revision
-            self._changelog.append((revision, op, path, store_id))
+            self._log_change(op, path, store_id)
             applied += 1
         return applied
 

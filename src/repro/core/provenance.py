@@ -28,7 +28,10 @@ from repro.pxml.containment import subtree_covers, subtree_overlaps
 from repro.access import RequestContext
 from repro.access.policy import PolicyRule
 
-__all__ = ["AccessRecord", "ProvenanceTracker", "SourceAnnotator"]
+__all__ = [
+    "AccessRecord", "DEFAULT_MAX_RECORDS", "ProvenanceTracker",
+    "SourceAnnotator",
+]
 
 
 class AccessRecord:
@@ -64,11 +67,27 @@ class AccessRecord:
         )
 
 
+#: Default :class:`ProvenanceTracker` ledger window.
+DEFAULT_MAX_RECORDS = 100_000
+
+
 class ProvenanceTracker:
     """The access ledger: who touched which component, when, via
-    which stores."""
+    which stores.
 
-    def __init__(self) -> None:
+    The ledger keeps a *window* of the newest *max_records* entries.
+    An always-on GUPster appends one record per resolve/fetch/update,
+    so an uncapped ledger is linear in total traffic; a real
+    deployment would spool old entries to archival storage, which
+    this model represents by the ``dropped`` counter — audits can see
+    that (and how much) history was truncated."""
+
+    def __init__(self, max_records: int = DEFAULT_MAX_RECORDS) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        #: Ledger entries evicted by the retention window.
+        self.dropped = 0
         self._records: List[AccessRecord] = []
 
     def record(
@@ -84,6 +103,10 @@ class ProvenanceTracker:
             at, context, parse_path(path), stores, operation, granted
         )
         self._records.append(entry)
+        overflow = len(self._records) - self.max_records
+        if overflow > 0:
+            del self._records[:overflow]
+            self.dropped += overflow
         return entry
 
     # -- the user-facing audit ------------------------------------------------
@@ -129,6 +152,7 @@ class SourceAnnotator:
 
     def __init__(self) -> None:
         #: (user, item location path) -> store id it came from
+        # gupcheck: bounded[dataset] -- keyed by location path; re-annotation overwrites in place
         self._origins: Dict[str, str] = {}
 
     def annotate(

@@ -107,11 +107,20 @@ class SubscriptionHub:
         server: GupsterServer,
         executor: QueryExecutor,
         bus: Optional[ChangeBus] = None,
+        max_deliveries: int = 100_000,
     ) -> None:
         self.sim = sim
         self.network = network
         self.server = server
         self.executor = executor
+        if max_deliveries <= 0:
+            raise ValueError("max_deliveries must be positive")
+        #: Delivery-audit retention: the list keeps the newest
+        #: *max_deliveries* entries, dropping the oldest beyond the
+        #: cap (``dropped_deliveries`` counts the truncation). The
+        #: histograms/counters are unaffected — they aggregate.
+        self.max_deliveries = max_deliveries
+        self.dropped_deliveries = 0
         self.deliveries: List[Delivery] = []
         #: The network's shared registry — backing store for the
         #: ``sub.*`` counter views and the delivery-latency histogram.
@@ -163,6 +172,10 @@ class SubscriptionHub:
         histogram when the change instant is known (stamped at the
         virtual delivery instant), count it unknown otherwise."""
         self.deliveries.append(delivery)
+        overflow = len(self.deliveries) - self.max_deliveries
+        if overflow > 0:
+            del self.deliveries[:overflow]
+            self.dropped_deliveries += overflow
         if delivery.changed_at is None:
             self.latency_unknown += 1
         else:
@@ -219,6 +232,9 @@ class SubscriptionHub:
                 holder = recurrence.get("timer")
                 if holder is not None:
                     holder.cancel()
+                # The poller is dead; drop its state now rather than
+                # waiting for the until-sweep.
+                self._poll_state.pop(poller_id, None)
                 return
             except (NetworkError, GupsterError):
                 # Transient outage (all stores down, lost messages):
@@ -244,7 +260,15 @@ class SubscriptionHub:
                     )
 
         recurrence["timer"] = self.sim.every(
-            interval_ms, poll, until=until
+            interval_ms, poll, until=until,
+        )
+        # Once *until* passes no tick can fire again; without this
+        # sweep the poller's last-value entry would outlive it for
+        # the hub's whole lifetime (one leaked entry per poller ever
+        # started — unbounded on an always-on hub).
+        self.sim.schedule_at(
+            max(until, self.sim.now) + interval_ms,
+            lambda: self._poll_state.pop(poller_id, None),
         )
 
     # -- push ---------------------------------------------------------------------

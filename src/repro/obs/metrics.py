@@ -278,6 +278,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
+        # gupcheck: bounded[metric-vocab] -- keyed by metric name; the vocabulary is static code
         self._instruments: Dict[str, Instrument] = {}
 
     def _get_or_create(

@@ -29,7 +29,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Span", "SpanEvent", "SpanRecorder"]
+__all__ = [
+    "DEFAULT_MAX_SPANS", "Span", "SpanEvent", "SpanRecorder",
+]
+
+#: Default :class:`SpanRecorder` retention. Far above any single
+#: experiment's span count, but finite: an always-on network with
+#: tracing enabled must not accumulate spans forever.
+DEFAULT_MAX_SPANS = 100_000
 
 
 class SpanEvent:
@@ -84,6 +91,7 @@ class Span:
         self.start_ms = start_ms
         self.end_ms: Optional[float] = None
         self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        # gupcheck: bounded[span-lifetime] -- grows only while open; retention is the recorder cap
         self.events: List[SpanEvent] = []
 
     # -- mutation ----------------------------------------------------------
@@ -135,10 +143,21 @@ class SpanRecorder:
     deterministic, and doubling as a stable sort key for exports.
     """
 
-    __slots__ = ("spans", "_next_span_id", "_next_trace_id", "_next_tid")
+    __slots__ = (
+        "spans", "max_spans", "dropped",
+        "_next_span_id", "_next_trace_id", "_next_tid",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
         self.spans: List[Span] = []
+        #: Retention cap: starting a span past it evicts the oldest
+        #: *finished* spans. Open spans are never evicted — they are
+        #: still being written to and ``open_spans`` must see them.
+        self.max_spans = max_spans
+        #: Finished spans evicted by the retention cap.
+        self.dropped = 0
         self._next_span_id = 1
         self._next_trace_id = 1
         self._next_tid = 1
@@ -178,7 +197,29 @@ class SpanRecorder:
         )
         self._next_span_id += 1
         self.spans.append(span)
+        if len(self.spans) > self.max_spans:
+            self._evict()
         return span
+
+    def _evict(self) -> None:
+        """Drop the oldest *finished* spans down to ``max_spans``.
+        When more than ``max_spans`` spans are simultaneously open
+        the list can exceed the cap — open spans are never dropped,
+        and every one of them is finished (or leaked, which the
+        span-balance rule catches) in bounded time."""
+        overflow = len(self.spans) - self.max_spans
+        doomed: set = set()
+        for span in self.spans:
+            if len(doomed) >= overflow:
+                break
+            if span.finished:
+                doomed.add(span.span_id)
+        if not doomed:
+            return
+        self.spans = [
+            s for s in self.spans if s.span_id not in doomed
+        ]
+        self.dropped += len(doomed)
 
     def finish(self, span: Span, end_ms: float) -> Span:
         if span.end_ms is not None:

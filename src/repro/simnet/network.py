@@ -191,8 +191,11 @@ class Network:
     """The simulated converged network."""
 
     def __init__(self, seed: int = 2003):
+        # gupcheck: bounded[topology] -- one entry per declared node; the world is fixed per run
         self._nodes: Dict[str, NetworkNode] = {}
+        # gupcheck: bounded[topology] -- two entries per declared link; link() overwrites a pair
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        # gupcheck: bounded[topology] -- keyed by region pair; region vocabulary is fixed per run
         self._region_links: Dict[Tuple[str, str], LinkSpec] = dict(
             DEFAULT_REGION_LATENCY
         )

@@ -1,0 +1,256 @@
+"""Runtime regressions for the container bounds gupcheck v4 pinned.
+
+Every fix the resource-bound analysis drove — the recording
+listener's record window, the span recorder's retention cap, the
+provenance ledger window, the coverage replication-log window, the
+subscription hub's delivery list and poller state, and the
+``parse_path`` memo's clear-when-full cap — gets a test that fills
+past the bound and asserts the container stays capped (and that the
+truncation is *accounted*, never silent).
+"""
+
+import math
+
+import pytest
+
+from repro.access import RequestContext
+from repro.bus.listeners import RecordingListener
+from repro.bus.log import ChangeRecord
+from repro.core import SubscriptionHub
+from repro.core.coverage import CoverageError, CoverageMap
+from repro.core.provenance import ProvenanceTracker
+from repro.core.subscription import Delivery
+from repro.obs.spans import SpanRecorder
+from repro.pxml.path import (
+    _PARSE_CACHE, _PARSE_CACHE_MAX, parse_path,
+)
+from repro.workloads import build_converged_world
+
+
+def records(n, start=1):
+    return [
+        ChangeRecord(
+            start + i, float(start + i),
+            "/user[@id='u%d']/im" % (start + i), "v%d" % (start + i),
+            "u%d" % (start + i), "main",
+        )
+        for i in range(n)
+    ]
+
+
+class TestRecordingListenerWindow:
+    def test_sustained_load_stays_at_the_cap(self):
+        listener = RecordingListener("tap", max_records=8)
+        for wave in range(5):
+            listener.deliver(
+                records(4, start=1 + wave * 4), float(wave),
+                bus=None, memo=None,
+            )
+        assert len(listener.received) == 8
+        assert len(listener.delivered_at) == 8
+        assert listener.dropped == 12
+        # The window keeps the *newest* records, in arrival order.
+        assert [r.seq for r in listener.received] == list(
+            range(13, 21)
+        )
+
+    def test_lists_stay_in_lockstep(self):
+        listener = RecordingListener("tap", max_records=3)
+        listener.deliver(records(5), 7.0, bus=None, memo=None)
+        assert len(listener.received) == len(listener.delivered_at)
+        assert listener.delivered_at == [7.0, 7.0, 7.0]
+
+    def test_under_the_cap_nothing_is_dropped(self):
+        listener = RecordingListener("tap")
+        listener.deliver(records(10), 1.0, bus=None, memo=None)
+        assert len(listener.received) == 10
+        assert listener.dropped == 0
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RecordingListener("tap", max_records=0)
+
+
+class TestSpanRecorderRetention:
+    def test_finished_spans_evict_oldest_first(self):
+        recorder = SpanRecorder(max_spans=4)
+        for i in range(10):
+            recorder.leaf("hop%d" % i, float(i), float(i) + 0.5)
+        assert len(recorder.spans) == 4
+        assert recorder.dropped == 6
+        assert [s.name for s in recorder.spans] == [
+            "hop6", "hop7", "hop8", "hop9",
+        ]
+
+    def test_open_spans_are_never_evicted(self):
+        recorder = SpanRecorder(max_spans=3)
+        root = recorder.start("query", 0.0)
+        for i in range(8):
+            recorder.leaf(
+                "hop%d" % i, float(i), float(i) + 0.5,
+                parent_id=root.span_id,
+            )
+        assert root in recorder.spans
+        assert root in recorder.open_spans()
+        # The cap holds overall: the open root plus the newest leaves.
+        assert len(recorder.spans) == 3
+
+    def test_all_open_spans_may_exceed_the_cap(self):
+        # Eviction never drops an open span, even over the cap —
+        # span-balance guarantees they finish in bounded time.
+        recorder = SpanRecorder(max_spans=2)
+        spans = [recorder.start("s%d" % i, float(i)) for i in range(5)]
+        assert len(recorder.spans) == 5
+        assert recorder.dropped == 0
+        for i, span in enumerate(spans):
+            recorder.finish(span, 10.0 + i)
+
+    def test_default_cap_is_finite(self):
+        recorder = SpanRecorder()
+        assert recorder.max_spans > 0
+        assert math.isfinite(recorder.max_spans)
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(max_spans=0)
+
+
+class TestProvenanceLedgerWindow:
+    def _fill(self, tracker, n):
+        for i in range(n):
+            tracker.record(
+                float(i),
+                RequestContext("app%d" % i, purpose="query"),
+                "/user[@id='arnaud']/im", ["store-im"],
+            )
+
+    def test_window_holds_and_truncation_is_accounted(self):
+        tracker = ProvenanceTracker(max_records=5)
+        self._fill(tracker, 12)
+        assert len(tracker) == 5
+        assert tracker.dropped == 7
+
+    def test_audit_still_works_over_the_window(self):
+        tracker = ProvenanceTracker(max_records=5)
+        self._fill(tracker, 12)
+        disclosures = tracker.disclosures_for("arnaud")
+        assert [r.requester for r in disclosures] == [
+            "app7", "app8", "app9", "app10", "app11",
+        ]
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProvenanceTracker(max_records=0)
+
+
+class TestCoverageChangelogWindow:
+    def test_log_stays_at_the_cap(self):
+        coverage = CoverageMap(max_changelog=8)
+        for i in range(20):
+            coverage.register(
+                "/user[@id='u%d']/im" % i, "store-im"
+            )
+        assert len(coverage._changelog) == 8
+        assert coverage.revision == 20
+
+    def test_fallen_behind_mirror_fails_loudly(self):
+        coverage = CoverageMap(max_changelog=8)
+        for i in range(20):
+            coverage.register(
+                "/user[@id='u%d']/im" % i, "store-im"
+            )
+        with pytest.raises(CoverageError, match="full resync"):
+            coverage.changes_since(0)
+
+    def test_mirror_inside_the_window_replicates(self):
+        coverage = CoverageMap(max_changelog=8)
+        for i in range(20):
+            coverage.register(
+                "/user[@id='u%d']/im" % i, "store-im"
+            )
+        feed = coverage.changes_since(15)
+        assert [c[0] for c in feed] == [16, 17, 18, 19, 20]
+        mirror = CoverageMap()
+        mirror.revision = 15
+        assert mirror.apply_changes(feed) == 5
+        assert mirror.revision == 20
+
+    def test_within_window_history_is_complete(self):
+        coverage = CoverageMap(max_changelog=100)
+        for i in range(20):
+            coverage.register(
+                "/user[@id='u%d']/im" % i, "store-im"
+            )
+        assert len(coverage.changes_since(0)) == 20
+
+
+class TestSubscriptionHubBounds:
+    def test_delivery_list_stays_at_the_cap(self):
+        world = build_converged_world()
+        hub = SubscriptionHub(
+            world.sim, world.network, world.server, world.executor,
+            max_deliveries=3,
+        )
+        for i in range(9):
+            hub._record_delivery(
+                Delivery("poll", "v%d" % i, None, float(i))
+            )
+        assert len(hub.deliveries) == 3
+        assert hub.dropped_deliveries == 6
+        assert [d.value for d in hub.deliveries] == [
+            "v6", "v7", "v8",
+        ]
+
+    def test_poll_state_is_swept_after_until(self):
+        world = build_converged_world()
+        hub = SubscriptionHub(
+            world.sim, world.network, world.server, world.executor
+        )
+        hub.start_polling(
+            "client-app", "/user[@id='arnaud']/presence",
+            "/user/presence/status",
+            RequestContext("mom", relationship="family",
+                           purpose="query"),
+            interval_ms=1000, until=5_000,
+        )
+        world.sim.run(until=4_000)
+        assert len(hub._poll_state) == 1
+        world.sim.run(until=10_000)
+        assert hub._poll_state == {}
+
+    def test_denied_poller_state_is_dropped_immediately(self):
+        world = build_converged_world()
+        hub = SubscriptionHub(
+            world.sim, world.network, world.server, world.executor
+        )
+        hub.start_polling(
+            "client-app", "/user[@id='arnaud']/presence",
+            "/user/presence/status",
+            RequestContext("telemarketer"),
+            interval_ms=1000, until=50_000,
+        )
+        assert len(hub._poll_state) == 1
+        world.sim.run(until=2_000)
+        assert hub._poll_state == {}
+
+
+class TestParsePathMemo:
+    def test_memo_clears_when_full(self):
+        parse_path("/user[@id='warm']/im")  # ensure non-empty
+        _PARSE_CACHE.clear()
+        for i in range(_PARSE_CACHE_MAX):
+            parse_path("/user[@id='u%d']/im" % i)
+        assert len(_PARSE_CACHE) == _PARSE_CACHE_MAX
+        # The next *distinct* parse crosses the cap: clear-when-full.
+        parse_path("/user[@id='overflow']/im")
+        assert len(_PARSE_CACHE) == 1
+        # And it keeps serving parses correctly afterwards.
+        parsed = parse_path("/user[@id='u1']/im")
+        assert parsed.user_id() == "u1"
+        assert len(_PARSE_CACHE) == 2
+
+    def test_memo_never_exceeds_the_cap_under_churn(self):
+        _PARSE_CACHE.clear()
+        for i in range(_PARSE_CACHE_MAX * 2 + 17):
+            parse_path("/user[@id='churn%d']/a" % i)
+            assert len(_PARSE_CACHE) <= _PARSE_CACHE_MAX

@@ -345,7 +345,7 @@ class TestTypestateSarif:
         assert log["version"] == "2.1.0"
         (run,) = log["runs"]
         driver = run["tool"]["driver"]
-        assert driver["version"].startswith("3.")
+        assert driver["version"].startswith("4.")
         rule_ids = {rule["id"] for rule in driver["rules"]}
         # Every v3 rule is declared with metadata...
         for name in ("span-balance", "cursor-lifecycle",
