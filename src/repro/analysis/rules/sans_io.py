@@ -6,9 +6,10 @@ transport tomorrow) performs them.  That refactor is only tractable
 if the boundary is real — so this rule pins it, machine-checked, on
 every run:
 
-    every function in ``repro/core/`` and ``repro/pxml/`` (and the
-    pure replay structure ``repro/bus/log.py``) must infer as
-    ``pure`` or ``virtual-time``.
+    every function in ``repro/core/``, ``repro/pxml/`` and
+    ``repro/sansio/`` (and the pure replay structure
+    ``repro/bus/log.py``) must infer as ``pure`` or
+    ``virtual-time``.
 
 ``virtual-time`` is allowed because charging the Trace cost ledger
 *is* the intent layer — the engine records what a hop would cost
@@ -49,12 +50,17 @@ class SansIoPurityRule(ProjectRule):
 
     name = "sans-io-purity"
     description = (
-        "core/, pxml/ and bus/log.py are the sans-io boundary: "
-        "every function there must be pure or virtual-time — "
-        "transport stays behind bus/ and simnet/"
+        "core/, pxml/, sansio/ and bus/log.py are the sans-io "
+        "boundary: every function there must be pure or virtual-time "
+        "— transport stays behind bus/, simnet/ and serve/"
     )
     prefixes = (
         "repro/core/", "repro/pxml/", "repro/bus/log.py",
+        # The sans-io engine itself is the boundary's whole point:
+        # programs yield intents, drivers perform them. Nothing under
+        # repro/sansio/ may touch the wire — the drivers live in
+        # simnet/ (virtual) and serve/ (wall).
+        "repro/sansio/",
     )
     severity = "error"
 

@@ -71,10 +71,16 @@ class _Entry:
         self.ttl_ms = ttl_ms
 
     def fresh(self, now: float) -> bool:
-        return now - self.stored_at <= self.ttl_ms
+        # Stale *at* the boundary: an entry stored at t with TTL d is
+        # fresh on [t, t+d) and stale from now == t+d exactly. Virtual
+        # time never landed on the edge, but the wall-clock driver
+        # makes exact-expiry probes reachable, and "TTL 0 == never
+        # cached" only holds under the strict inequality.
+        return now - self.stored_at < self.ttl_ms
 
     def staleness_ms(self, now: float) -> float:
-        """How far past its TTL this entry is (<= 0 while fresh)."""
+        """How far past its TTL this entry is (< 0 while fresh; 0 at
+        the expiry instant, which is already stale)."""
         return now - self.stored_at - self.ttl_ms
 
 
@@ -212,7 +218,10 @@ class ComponentCache:
         if entry is None:
             return None
         staleness = entry.staleness_ms(now)
-        if staleness <= 0:
+        if staleness < 0:
+            # Strictly fresh — at the expiry instant (staleness == 0)
+            # the entry is already stale and must go through (and be
+            # counted by) the serve-stale path below.
             self._entries.move_to_end(key)
             return entry.fragment.copy()
         bound = (
@@ -290,6 +299,21 @@ class ComponentCache:
         fetch)."""
         for path, fragment in entries:
             self.put(path, fragment, now, ttl_ms=ttl_ms, scope=scope)
+
+    def sweep(self, now: float) -> int:
+        """Drop every entry past TTL **and** stale grace (each counts
+        an expiration); corpses still within grace are kept for
+        :meth:`get_stale`. The serving layer's background cache-sweep
+        job calls this so dead entries stop occupying LRU slots
+        between probes. Returns entries dropped."""
+        doomed = [
+            key for key, entry in self._entries.items()
+            if entry.staleness_ms(now) > self.stale_grace_ms
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.expirations += len(doomed)
+        return len(doomed)
 
     def invalidate(self, path: Union[str, Path]) -> int:
         """Drop every cached entry overlapping *path*, across every

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple, Union
 
-from repro.errors import CoverageError
+from repro.errors import CoverageError, ResyncRequiredError
 from repro.pxml import Path, parse_path
 from repro.pxml.containment import subtree_covers, subtree_overlaps
 
@@ -180,7 +180,7 @@ class CoverageMap:
                 "replication feed disabled (track_changes=False)"
             )
         if revision < self._log_floor:
-            raise CoverageError(
+            raise ResyncRequiredError(
                 "replication feed truncated: revision %d predates "
                 "the retained window (floor %d); full resync required"
                 % (revision, self._log_floor)

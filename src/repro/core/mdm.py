@@ -251,12 +251,17 @@ class CentralizedMdm:
         request: Union[str, Path],
         context: RequestContext,
         now: float = 0.0,
+        trace: Optional[Trace] = None,
     ) -> Tuple[Referral, Trace]:
         """Walk the mirror constellation (healthy mirrors first), fail
         over between mirrors within a sweep, and retry full sweeps with
-        exponential backoff for transient failures."""
+        exponential backoff for transient failures.
+
+        Pass *trace* to charge the resolve to a caller-owned trace
+        (e.g. one shared across an E21 calibration run) instead of a
+        fresh one."""
         path = parse_path(request)
-        trace = self.network.trace()
+        trace = trace if trace is not None else self.network.trace()
         policy = self.retry_policy
         last_error: Optional[Exception] = None
         with trace.span(
@@ -398,14 +403,16 @@ class UserDistributedMdm:
         context: RequestContext,
         now: float = 0.0,
         hint: Optional[str] = None,
+        trace: Optional[Trace] = None,
     ) -> Tuple[Referral, Trace]:
         """Lookup via white pages, or via an explicit *hint* node name
-        for unlisted users (who told the application where to look)."""
+        for unlisted users (who told the application where to look).
+        *trace*, when given, is charged instead of a fresh one."""
         path = parse_path(request)
         user_id = path.user_id()
         if user_id is None:
             raise GupsterError("request must identify a user")
-        trace = self.network.trace()
+        trace = trace if trace is not None else self.network.trace()
         with trace.span(
             "mdm.user_distributed",
             path=str(path), client=client, hinted=hint is not None,
@@ -628,6 +635,7 @@ class HierarchicalMdm:
         request: Union[str, Path],
         context: RequestContext,
         now: float = 0.0,
+        trace: Optional[Trace] = None,
     ) -> Tuple[Referral, Trace]:
         path = parse_path(request)
         user_id = path.user_id()
@@ -635,7 +643,7 @@ class HierarchicalMdm:
         if entry is None:
             raise GupsterError("no primary MDM for %r" % user_id)
         primary_node, primary_server = entry
-        trace = self.network.trace()
+        trace = trace if trace is not None else self.network.trace()
         # Ask the primary (retrying transient failures — there is only
         # one primary, nothing to fail over to).
         request_bytes = (

@@ -45,7 +45,7 @@ from repro.errors import (
     PartialResultError,
     ReproError,
 )
-from repro.pxml import PNode, Path, extract, parse_path
+from repro.pxml import PNode, Path, parse_path
 from repro.pxml.merge import GUP_KEYSPEC, merge_all
 from repro.access import RequestContext
 from repro.core.referral import Referral, ReferralPart
@@ -56,7 +56,13 @@ from repro.core.resilience import (
     RetryPolicy,
 )
 from repro.core.server import GupsterServer
+
+# Module-style import: repro.sansio.engine imports repro.core at its
+# own import time, so a from-import here would deadlock whichever side
+# loads second. The attribute is only resolved at call time.
+import repro.sansio.engine as _sansio
 from repro.simnet import Network, Trace
+from repro.simnet.driver import SimnetDriver
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.core.provenance import ProvenanceTracker, SourceAnnotator
@@ -290,41 +296,6 @@ class QueryExecutor:
             "no adapter registered for any of %s" % part.store_ids
         )
 
-    def _fetch_parts_degradable(
-        self,
-        origin: str,
-        referral: Referral,
-        now: float,
-        trace: Trace,
-    ) -> Tuple[List[Optional[PNode]], List[PartStatus]]:
-        """Parallel part fan-out that records failures instead of
-        raising: the caller decides whether a partial answer is
-        acceptable. Statuses land on the parent trace."""
-        fragments: List[Optional[PNode]] = []
-        statuses: List[PartStatus] = []
-        branches: List[Trace] = []
-        for part in referral.parts:
-            branch = trace.fork()
-            try:
-                fragment, store = self._fetch_part_from(
-                    origin, part, now, branch
-                )
-            except TRANSIENT_ERRORS as err:
-                statuses.append(
-                    PartStatus(part.path, ok=False, error=err)
-                )
-            except NoCoverageError as err:
-                statuses.append(
-                    PartStatus(part.path, ok=False, error=err)
-                )
-            else:
-                fragments.append(fragment)
-                statuses.append(PartStatus(part.path, store=store))
-            branches.append(branch)
-        trace.join(branches)
-        trace.part_status.extend(statuses)
-        return fragments, statuses
-
     def _merge_at(
         self,
         fragments: List[PNode],
@@ -430,39 +401,19 @@ class QueryExecutor:
         merge and reported in ``trace.part_status`` /
         ``trace.degraded_parts``. Raises
         :class:`~repro.errors.PartialResultError` only when *every*
-        part failed."""
+        part failed.
+
+        Since the sans-io refactor the protocol logic lives in
+        :meth:`repro.sansio.SansIoQueryEngine.chain`; this method
+        builds the program and drives it over the simulated network."""
         path = parse_path(request)
         trace = self.network.trace()
-        with trace.span(
-            "query.chaining",
-            path=str(path), scope=context.cache_scope(), client=client,
-        ) as pattern:
-            trace.hop(client, self.server_node,
-                      self._request_bytes(path, context),
-                      "chained request")
-            trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
-            referral = self._resolve_tracked(path, context, now)
-            fragments, statuses = self._fetch_parts_degradable(
-                self.server_node, referral, now, trace
-            )
-            failed = [s for s in statuses if not s.ok]
-            if failed and not any(s.ok for s in statuses):
-                raise PartialResultError(
-                    "every part of %s is unreachable" % path, statuses
-                )
-            if failed:
-                trace.note_degraded(len(failed))
-                pattern.set("degraded_parts", len(failed))
-            merged = self._merge_at(
-                [f for f in fragments if f is not None],
-                trace, self.server_node,
-            )
-            response_bytes = (
-                merged.byte_size() if merged is not None else 32
-            ) + self.REQUEST_OVERHEAD_BYTES
-            trace.hop(self.server_node, client, response_bytes,
-                      "merged result")
-        return merged, trace
+        engine = _sansio.SansIoQueryEngine(self)
+        driver = SimnetDriver(self.server.adapters)
+        outcome = driver.run(
+            engine.chain(client, path, context, now), trace
+        )
+        return outcome.fragment, trace
 
     def recruiting(
         self,
@@ -567,73 +518,21 @@ class QueryExecutor:
         the server may serve the requester's own last-known entry
         within the cache's stale grace (``was_hit`` is True and the
         trace records a stale serve); partial failures degrade like
-        ``chaining`` and are never written back to the cache."""
+        ``chaining`` and are never written back to the cache.
+
+        Since the sans-io refactor the protocol logic lives in
+        :meth:`repro.sansio.SansIoQueryEngine.cached`; this method
+        builds the program and drives it over the simulated network."""
         if self.server.cache is None:
             raise ValueError("server has no cache configured")
         path = parse_path(request)
         trace = self.network.trace()
-        with trace.span(
-            "query.cached",
-            path=str(path), scope=context.cache_scope(), client=client,
-        ) as pattern:
-            trace.hop(client, self.server_node,
-                      self._request_bytes(path, context),
-                      "cached request")
-            trace.compute(self.CACHE_COMPUTE_MS, "cache probe")
-            cached = self.server.cache_lookup(path, context, now)
-            if cached is not None:
-                pattern.set("cache", "hit")
-                trace.hop(
-                    self.server_node, client,
-                    cached.byte_size() + self.REQUEST_OVERHEAD_BYTES,
-                    "cache hit",
-                )
-                return cached, trace, True
-            pattern.set("cache", "miss")
-            trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
-            referral = self._resolve_tracked(path, context, now)
-            fragments, statuses = self._fetch_parts_degradable(
-                self.server_node, referral, now, trace
-            )
-            failed = [s for s in statuses if not s.ok]
-            if failed and not any(s.ok for s in statuses):
-                stale = self.server.cache_stale_lookup(
-                    path, context, now
-                )
-                if stale is not None:
-                    pattern.set("cache", "stale_serve")
-                    trace.note_stale_serve()
-                    trace.note_degraded(len(failed))
-                    trace.hop(
-                        self.server_node, client,
-                        stale.byte_size() + self.REQUEST_OVERHEAD_BYTES,
-                        "stale cache serve",
-                    )
-                    return stale, trace, True
-                raise PartialResultError(
-                    "every part of %s is unreachable and no stale cache "
-                    "entry survives" % path,
-                    statuses,
-                )
-            if failed:
-                trace.note_degraded(len(failed))
-                pattern.set("degraded_parts", len(failed))
-            merged = self._merge_at(
-                [f for f in fragments if f is not None],
-                trace, self.server_node,
-            )
-            if merged is not None and not failed:
-                # Partial merges are never cached — a degraded answer
-                # must not masquerade as the component once stores
-                # recover.
-                if self.server.cache_store(path, merged, context, now):
-                    trace.compute(self.CACHE_COMPUTE_MS, "cache fill")
-            response_bytes = (
-                merged.byte_size() if merged is not None else 32
-            ) + self.REQUEST_OVERHEAD_BYTES
-            trace.hop(self.server_node, client, response_bytes,
-                      "filled result")
-        return merged, trace, False
+        engine = _sansio.SansIoQueryEngine(self)
+        driver = SimnetDriver(self.server.adapters)
+        outcome = driver.run(
+            engine.cached(client, path, context, now), trace
+        )
+        return outcome.fragment, trace, outcome.hit
 
     # -- batched execution (E19) -------------------------------------------------
 
@@ -1000,72 +899,19 @@ class QueryExecutor:
         now: float = 0.0,
     ) -> Trace:
         """Enter-once write: resolve for update, then fan the fragment
-        out to every store holding the component."""
+        out to every store holding the component.
+
+        Since the sans-io refactor the protocol logic lives in
+        :meth:`repro.sansio.SansIoQueryEngine.provision`; this method
+        builds the program and drives it over the simulated network."""
         path = parse_path(request)
         trace = self.network.trace()
-        with trace.span(
-            "query.provision",
-            path=str(path), scope=context.cache_scope(), client=client,
-        ):
-            return self._provision_under_span(
-                client, path, fragment, context, now, trace
-            )
-
-    def _provision_under_span(
-        self,
-        client: str,
-        path: Path,
-        fragment: PNode,
-        context: RequestContext,
-        now: float,
-        trace: Trace,
-    ) -> Trace:
-        trace.hop(client, self.server_node,
-                  self._request_bytes(path, context), "update resolve")
-        trace.compute(self.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
-        referral = self.server.resolve_for_update(path, context, now)
-        if self.provenance is not None:
-            stores = sorted(
-                {s for part in referral.parts for s in part.store_ids}
-            )
-            self.provenance.record(
-                now, context, path, stores, "update", granted=True
-            )
-        trace.hop(self.server_node, client,
-                  referral.byte_size() + self.REQUEST_OVERHEAD_BYTES,
-                  "update referral")
-        # Wrap the new component state in a user document so each
-        # store can be handed exactly its slice (a store registered
-        # for item[@type='corporate'] must not receive — nor lose —
-        # the personal half).
-        if fragment.tag == "user":
-            document = fragment.copy()
-        else:
-            document = PNode("user", {"id": path.user_id() or ""})
-            document.append(fragment.copy())
-        branches = []
-        for part in referral.parts:
-            branch = trace.fork()
-            store_id = part.store_ids[0]
-            component = part.path.steps[1].name
-            sliced = extract(document, part.path.element_path())
-            content = (
-                sliced.child(component) if sliced is not None else None
-            )
-            if content is None:
-                content = PNode(component)
-            branch.hop(client, store_id,
-                       content.byte_size() + self.REQUEST_OVERHEAD_BYTES,
-                       "write %s" % part.path)
-            if part.signed_query is not None:
-                self.verifier.verify(part.signed_query, now)
-                branch.compute(self.VERIFY_COMPUTE_MS, "verify")
-            adapter = self.server.adapters.get(store_id)
-            if adapter is not None:
-                adapter.put(part.path.prefix(2), content)
-            branch.hop(store_id, client, 32, "ack")
-            branches.append(branch)
-        trace.join(branches)
+        engine = _sansio.SansIoQueryEngine(self)
+        driver = SimnetDriver(self.server.adapters)
+        driver.run(
+            engine.provision(client, path, fragment, context, now),
+            trace,
+        )
         return trace
 
 

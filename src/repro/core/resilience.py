@@ -80,12 +80,21 @@ class RetryPolicy:
         return cls(max_attempts=1, base_backoff_ms=0.0)
 
     def backoff_ms(self, retry_number: int) -> float:
-        """Backoff before retry *retry_number* (1-based)."""
+        """Backoff before retry *retry_number* (1-based), capped at
+        ``max_backoff_ms`` — a real-transport retry loop must never be
+        asked to sleep for minutes because the exponent ran away."""
         if retry_number < 1:
             raise ValueError("retry numbers are 1-based")
-        raw = self.base_backoff_ms * (
-            self.multiplier ** (retry_number - 1)
-        )
+        if self.base_backoff_ms == 0.0:
+            return 0.0
+        try:
+            raw = self.base_backoff_ms * (
+                self.multiplier ** (retry_number - 1)
+            )
+        except OverflowError:
+            # The uncapped value overflowed a float; the cap is the
+            # answer either way.
+            return self.max_backoff_ms
         return min(raw, self.max_backoff_ms)
 
     def __repr__(self) -> str:

@@ -129,6 +129,16 @@ class NoCoverageError(GupsterError):
     """Raised when no registered store covers the requested component."""
 
 
+class ResyncRequiredError(CoverageError):
+    """Raised when a change-feed cursor has fallen behind the retained
+    revision window and the subscriber must perform a full resync.
+
+    A distinct subclass (rather than a bare :class:`CoverageError`) so
+    transports can map it deliberately — HTTP serves it as 410 Gone,
+    telling the client its cursor is unrecoverable, instead of a
+    generic server error."""
+
+
 class AccessDeniedError(GupsterError):
     """Raised when the privacy shield denies a request."""
 

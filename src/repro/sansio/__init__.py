@@ -1,0 +1,51 @@
+"""Sans-io protocol core (ROADMAP item 2): the query patterns as
+generator programs yielding typed I/O intents, driven either by the
+virtual-time simnet harness or by the real asyncio transport."""
+
+from repro.sansio.intents import (
+    MARK_KINDS,
+    Compute,
+    Fork,
+    Intent,
+    LegOutcome,
+    Mark,
+    PartReport,
+    Program,
+    Send,
+    Sleep,
+    SpanClose,
+    SpanOpen,
+    SpanSet,
+    StoreGet,
+    StorePut,
+    leg_values,
+)
+from repro.sansio.engine import (
+    QueryOutcome,
+    SansIoQueryEngine,
+    StandaloneQueryHost,
+    decision_of,
+)
+
+__all__ = [
+    "Intent",
+    "Send",
+    "Compute",
+    "Sleep",
+    "StoreGet",
+    "StorePut",
+    "SpanOpen",
+    "SpanSet",
+    "SpanClose",
+    "Mark",
+    "PartReport",
+    "Fork",
+    "LegOutcome",
+    "Program",
+    "MARK_KINDS",
+    "leg_values",
+    "QueryOutcome",
+    "SansIoQueryEngine",
+    "StandaloneQueryHost",
+    "decision_of",
+]

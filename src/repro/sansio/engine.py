@@ -1,0 +1,544 @@
+"""Sans-io query engine: the Section 5.2 wire patterns as programs.
+
+This module holds the *protocol logic* of the server-mediated query
+patterns — ``chaining``, ``cached`` and the enter-once ``provision``
+fan-out — refactored out of :class:`~repro.core.query.QueryExecutor`
+into generator *programs* that yield typed
+:mod:`~repro.sansio.intents` and never perform I/O themselves.
+
+The same program is consumed by two drivers:
+
+* :class:`repro.simnet.driver.SimnetDriver` charges every intent to a
+  virtual-time :class:`~repro.simnet.Trace`. The intent stream mirrors
+  the pre-refactor inline code *operation for operation*, so the
+  simulated cost model (and the golden latency fixtures pinning it) is
+  bit-identical — simnet became one harness for the system instead of
+  the system itself.
+* :class:`repro.serve.transport.WallTransport` performs the intents
+  under asyncio against the wall clock, giving the serving layer
+  (:mod:`repro.serve`) real concurrency for fork/join fan-outs and
+  real (capped) backoff sleeps — with the *same* shield decisions,
+  values and degradation behaviour, which
+  ``tests/test_sansio_equivalence.py`` pins property-style under fault
+  injection.
+
+Everything stateful the programs consult — coverage resolution, the
+privacy shield, signing, endpoint health, provenance — lives behind
+the :class:`QueryHost`, whose members are all pure/virtual-time (the
+``sans-io-purity`` gupcheck rule enforces this package stays off the
+wire). :class:`~repro.core.query.QueryExecutor` passes *itself* as the
+host so ablation benchmarks that tune its per-step cost class
+attributes keep working; the serving layer uses a
+:class:`StandaloneQueryHost`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    AccessDeniedError,
+    NoCoverageError,
+    PartialResultError,
+)
+from repro.pxml import Path, PNode, extract
+from repro.pxml.merge import GUP_KEYSPEC, merge_all
+from repro.access import RequestContext
+from repro.core.referral import Referral, ReferralPart
+from repro.core.resilience import (
+    TRANSIENT_ERRORS,
+    EndpointHealth,
+    PartStatus,
+    RetryPolicy,
+)
+from repro.sansio.intents import (
+    Compute,
+    Fork,
+    LegOutcome,
+    Mark,
+    PartReport,
+    Program,
+    Send,
+    Sleep,
+    SpanClose,
+    SpanOpen,
+    SpanSet,
+    StoreGet,
+    StorePut,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.provenance import ProvenanceTracker, SourceAnnotator
+    from repro.core.server import GupsterServer
+    from repro.core.signing import QueryVerifier
+
+__all__ = [
+    "QueryOutcome",
+    "SansIoQueryEngine",
+    "StandaloneQueryHost",
+    "decision_of",
+]
+
+#: The Fork capture set of degradable fan-outs: a dead store, a lost
+#: message, or an uncovered part degrades that *part*; anything else
+#: aborts the query.
+_DEGRADABLE_CAPTURE = TRANSIENT_ERRORS + (NoCoverageError,)
+
+
+class QueryOutcome:
+    """What a server-mediated query program returns: the merged
+    fragment, cache disposition flags, and per-part statuses."""
+
+    __slots__ = ("fragment", "hit", "stale", "statuses")
+
+    def __init__(
+        self,
+        fragment: Optional[PNode],
+        hit: bool = False,
+        stale: bool = False,
+        statuses: Optional[List[PartStatus]] = None,
+    ) -> None:
+        self.fragment = fragment
+        self.hit = hit
+        self.stale = stale
+        self.statuses: List[PartStatus] = (
+            statuses if statuses is not None else []
+        )
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            flag for flag, on in (("H", self.hit), ("S", self.stale))
+            if on
+        )
+        return "<QueryOutcome %s%s>" % (
+            "ok" if self.fragment is not None else "empty",
+            " " + flags if flags else "",
+        )
+
+
+class StandaloneQueryHost:
+    """A :class:`QueryHost` for drivers that run without a
+    :class:`~repro.core.query.QueryExecutor` (the serving layer).
+
+    Carries the canonical cost constants; construct with the same
+    server/policy/health collaborators an executor would hold."""
+
+    REQUEST_OVERHEAD_BYTES = 80
+    RESOLVE_COMPUTE_MS = 0.3
+    VERIFY_COMPUTE_MS = 0.1
+    STORE_QUERY_COMPUTE_MS = 0.2
+    MERGE_COMPUTE_MS_PER_PART = 0.2
+    CACHE_COMPUTE_MS = 0.05
+
+    def __init__(
+        self,
+        server: "GupsterServer",
+        server_node: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[EndpointHealth] = None,
+        provenance: Optional["ProvenanceTracker"] = None,
+        annotator: Optional["SourceAnnotator"] = None,
+    ) -> None:
+        self.server = server
+        self.server_node = server_node or server.name
+        self.verifier: "QueryVerifier" = server.signer.verifier()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.health = health if health is not None else EndpointHealth()
+        self.provenance = provenance
+        self.annotator = annotator
+
+
+class SansIoQueryEngine:
+    """Generator programs for the server-mediated query patterns.
+
+    *host* provides collaborators and cost constants (see module
+    docstring); it is read at call time, so mutating
+    ``host.retry_policy`` or the cost attributes between calls — as
+    the ablation benchmarks do — affects the next program built."""
+
+    def __init__(self, host: Any) -> None:
+        self.host = host
+
+    # -- shared pieces ------------------------------------------------------
+
+    def _request_bytes(
+        self, path: Path, context: RequestContext
+    ) -> int:
+        return (
+            len(str(path))
+            + context.byte_size()
+            + self.host.REQUEST_OVERHEAD_BYTES
+        )
+
+    def _resolve_tracked(
+        self, path: Path, context: RequestContext, now: float
+    ) -> Referral:
+        """Resolve at the server, recording grants and denials in the
+        provenance ledger when one is attached."""
+        host = self.host
+        try:
+            referral = host.server.resolve(path, context, now)
+        except AccessDeniedError:
+            if host.provenance is not None:
+                host.provenance.record(
+                    now, context, path, [], "resolve", granted=False
+                )
+            raise
+        if host.provenance is not None:
+            stores = sorted(
+                {s for part in referral.parts for s in part.store_ids}
+            )
+            host.provenance.record(
+                now, context, path, stores, "resolve", granted=True
+            )
+        return referral
+
+    def fetch_part(
+        self,
+        origin: str,
+        part: ReferralPart,
+        now: float,
+    ) -> Program[Tuple[Optional[PNode], str]]:
+        """Fetch one referral part, surviving dead stores and lost
+        messages when alternatives (or retry budget) remain.
+
+        Returns (fragment, store used) — the sans-io twin of the old
+        ``QueryExecutor._fetch_part_from``, intent for intent: within
+        one sweep the ``||`` choices are tried in health-then-referral
+        order, a failed store charges the detection timeout (the
+        driver throws the transport error in) and the next choice is
+        tried; an exhausted sweep backs off and sweeps again."""
+        host = self.host
+        last_error: Optional[Exception] = None
+        policy = host.retry_policy
+        for sweep in range(policy.max_attempts):
+            if sweep:
+                yield Sleep(
+                    policy.backoff_ms(sweep),
+                    "backoff before retry sweep %d" % (sweep + 1),
+                )
+                yield Mark("retry")
+            candidates = [
+                store_id
+                for store_id in host.health.order(part.store_ids)
+                if store_id in host.server.adapters
+            ]
+            if not candidates:
+                break
+            for index, store_id in enumerate(candidates):
+                query_bytes = (
+                    part.signed_query.byte_size()
+                    + host.REQUEST_OVERHEAD_BYTES
+                    if part.signed_query is not None
+                    else len(str(part.path)) + host.REQUEST_OVERHEAD_BYTES
+                )
+                try:
+                    yield SpanOpen("fetch.store", {
+                        "store": store_id, "path": str(part.path),
+                        "sweep": sweep,
+                    })
+                    yield Send(origin, store_id, query_bytes,
+                               "query %s" % part.path)
+                    if part.signed_query is not None:
+                        host.verifier.verify(part.signed_query, now)
+                        yield Compute(
+                            host.VERIFY_COMPUTE_MS, "verify signature"
+                        )
+                    yield Compute(
+                        host.STORE_QUERY_COMPUTE_MS, "evaluate path"
+                    )
+                    fragment = yield StoreGet(store_id, part.path)
+                    if (
+                        fragment is not None
+                        and host.annotator is not None
+                    ):
+                        host.annotator.annotate(fragment, store_id)
+                    response_bytes = (
+                        fragment.byte_size()
+                        if fragment is not None else 32
+                    ) + host.REQUEST_OVERHEAD_BYTES
+                    yield Send(store_id, origin, response_bytes,
+                               "fragment")
+                    yield SpanSet("status", "ok")
+                    yield SpanClose()
+                except TRANSIENT_ERRORS as err:
+                    yield SpanClose()
+                    last_error = err
+                    host.health.failure(store_id)
+                    if index + 1 < len(candidates):
+                        yield Mark("failover")
+                    continue
+                host.health.success(store_id)
+                return fragment, store_id
+        if last_error is not None:
+            raise last_error
+        raise NoCoverageError(
+            "no adapter registered for any of %s" % part.store_ids
+        )
+
+    def fetch_parts_degradable(
+        self,
+        origin: str,
+        referral: Referral,
+        now: float,
+    ) -> Program[Tuple[List[Optional[PNode]], List[PartStatus]]]:
+        """Parallel part fan-out that records failures instead of
+        raising: the caller decides whether a partial answer is
+        acceptable."""
+        outcomes: List[LegOutcome] = yield Fork(
+            [
+                self.fetch_part(origin, part, now)
+                for part in referral.parts
+            ],
+            capture=_DEGRADABLE_CAPTURE,
+        )
+        fragments: List[Optional[PNode]] = []
+        statuses: List[PartStatus] = []
+        for part, outcome in zip(referral.parts, outcomes):
+            if outcome.error is not None:
+                statuses.append(
+                    PartStatus(part.path, ok=False, error=outcome.error)
+                )
+            else:
+                fragment, store = outcome.value
+                fragments.append(fragment)
+                statuses.append(PartStatus(part.path, store=store))
+        yield PartReport(statuses)
+        return fragments, statuses
+
+    def merge_at(
+        self,
+        fragments: List[Optional[PNode]],
+        where: str,
+    ) -> Program[Optional[PNode]]:
+        present = [f for f in fragments if f is not None]
+        if not present:
+            return None
+        if len(present) == 1:
+            return present[0]
+        yield Compute(
+            self.host.MERGE_COMPUTE_MS_PER_PART * len(present),
+            "merge %d fragments at %s" % (len(present), where),
+        )
+        return merge_all(present, GUP_KEYSPEC)
+
+    # -- patterns -----------------------------------------------------------
+
+    def chain(
+        self,
+        client: str,
+        path: Path,
+        context: RequestContext,
+        now: float,
+    ) -> Program[QueryOutcome]:
+        """GUPster fetches and merges on the client's behalf; degrades
+        gracefully (see ``QueryExecutor.chaining``)."""
+        host = self.host
+        server_node = host.server_node
+        yield SpanOpen("query.chaining", {
+            "path": str(path), "scope": context.cache_scope(),
+            "client": client,
+        })
+        yield Send(client, server_node,
+                   self._request_bytes(path, context),
+                   "chained request")
+        yield Compute(host.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = self._resolve_tracked(path, context, now)
+        fragments, statuses = yield from self.fetch_parts_degradable(
+            server_node, referral, now
+        )
+        failed = [s for s in statuses if not s.ok]
+        if failed and not any(s.ok for s in statuses):
+            raise PartialResultError(
+                "every part of %s is unreachable" % path, statuses
+            )
+        if failed:
+            yield Mark("degraded", len(failed))
+            yield SpanSet("degraded_parts", len(failed))
+        merged = yield from self.merge_at(fragments, server_node)
+        response_bytes = (
+            merged.byte_size() if merged is not None else 32
+        ) + host.REQUEST_OVERHEAD_BYTES
+        yield Send(server_node, client, response_bytes,
+                   "merged result")
+        yield SpanClose()
+        return QueryOutcome(merged, statuses=statuses)
+
+    def cached(
+        self,
+        client: str,
+        path: Path,
+        context: RequestContext,
+        now: float,
+    ) -> Program[QueryOutcome]:
+        """Chaining through GUPster's component cache, shield
+        re-checked on every hit (see ``QueryExecutor.cached``)."""
+        host = self.host
+        server_node = host.server_node
+        yield SpanOpen("query.cached", {
+            "path": str(path), "scope": context.cache_scope(),
+            "client": client,
+        })
+        yield Send(client, server_node,
+                   self._request_bytes(path, context),
+                   "cached request")
+        yield Compute(host.CACHE_COMPUTE_MS, "cache probe")
+        cached = host.server.cache_lookup(path, context, now)
+        if cached is not None:
+            yield SpanSet("cache", "hit")
+            yield Send(
+                server_node, client,
+                cached.byte_size() + host.REQUEST_OVERHEAD_BYTES,
+                "cache hit",
+            )
+            yield SpanClose()
+            return QueryOutcome(cached, hit=True)
+        yield SpanSet("cache", "miss")
+        yield Compute(host.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = self._resolve_tracked(path, context, now)
+        fragments, statuses = yield from self.fetch_parts_degradable(
+            server_node, referral, now
+        )
+        failed = [s for s in statuses if not s.ok]
+        if failed and not any(s.ok for s in statuses):
+            stale = host.server.cache_stale_lookup(path, context, now)
+            if stale is not None:
+                yield SpanSet("cache", "stale_serve")
+                yield Mark("stale_serve")
+                yield Mark("degraded", len(failed))
+                yield Send(
+                    server_node, client,
+                    stale.byte_size() + host.REQUEST_OVERHEAD_BYTES,
+                    "stale cache serve",
+                )
+                yield SpanClose()
+                return QueryOutcome(
+                    stale, hit=True, stale=True, statuses=statuses
+                )
+            raise PartialResultError(
+                "every part of %s is unreachable and no stale cache "
+                "entry survives" % path,
+                statuses,
+            )
+        if failed:
+            yield Mark("degraded", len(failed))
+            yield SpanSet("degraded_parts", len(failed))
+        merged = yield from self.merge_at(fragments, server_node)
+        if merged is not None and not failed:
+            # Partial merges are never cached — a degraded answer
+            # must not masquerade as the component once stores
+            # recover.
+            if host.server.cache_store(path, merged, context, now):
+                yield Compute(host.CACHE_COMPUTE_MS, "cache fill")
+        response_bytes = (
+            merged.byte_size() if merged is not None else 32
+        ) + host.REQUEST_OVERHEAD_BYTES
+        yield Send(server_node, client, response_bytes,
+                   "filled result")
+        yield SpanClose()
+        return QueryOutcome(merged, statuses=statuses)
+
+    # -- writes -------------------------------------------------------------
+
+    def _provision_part(
+        self,
+        client: str,
+        part: ReferralPart,
+        document: PNode,
+        now: float,
+    ) -> Program[None]:
+        """One store leg of the enter-once write fan-out."""
+        host = self.host
+        store_id = part.store_ids[0]
+        component = part.path.steps[1].name
+        sliced = extract(document, part.path.element_path())
+        content = (
+            sliced.child(component) if sliced is not None else None
+        )
+        if content is None:
+            content = PNode(component)
+        yield Send(client, store_id,
+                   content.byte_size() + host.REQUEST_OVERHEAD_BYTES,
+                   "write %s" % part.path)
+        if part.signed_query is not None:
+            host.verifier.verify(part.signed_query, now)
+            yield Compute(host.VERIFY_COMPUTE_MS, "verify")
+        yield StorePut(store_id, part.path.prefix(2), content)
+        yield Send(store_id, client, 32, "ack")
+
+    def provision(
+        self,
+        client: str,
+        path: Path,
+        fragment: PNode,
+        context: RequestContext,
+        now: float,
+    ) -> Program[None]:
+        """Enter-once write: resolve for update, then fan the fragment
+        out to every store holding the component (see
+        ``QueryExecutor.provision``)."""
+        host = self.host
+        server_node = host.server_node
+        yield SpanOpen("query.provision", {
+            "path": str(path), "scope": context.cache_scope(),
+            "client": client,
+        })
+        yield Send(client, server_node,
+                   self._request_bytes(path, context), "update resolve")
+        yield Compute(host.RESOLVE_COMPUTE_MS, "rewrite+policy+sign")
+        referral = host.server.resolve_for_update(path, context, now)
+        if host.provenance is not None:
+            stores = sorted(
+                {s for part in referral.parts for s in part.store_ids}
+            )
+            host.provenance.record(
+                now, context, path, stores, "update", granted=True
+            )
+        yield Send(server_node, client,
+                   referral.byte_size() + host.REQUEST_OVERHEAD_BYTES,
+                   "update referral")
+        # Wrap the new component state in a user document so each
+        # store can be handed exactly its slice (a store registered
+        # for item[@type='corporate'] must not receive — nor lose —
+        # the personal half).
+        if fragment.tag == "user":
+            document = fragment.copy()
+        else:
+            document = PNode("user", {"id": path.user_id() or ""})
+            document.append(fragment.copy())
+        yield Fork([
+            self._provision_part(client, part, document, now)
+            for part in referral.parts
+        ])
+        yield SpanClose()
+        return None
+
+
+def decision_of(outcome_or_error: object) -> Dict[str, object]:
+    """Canonical (value, shield-decision) record for the equivalence
+    gate: serializes a :class:`QueryOutcome` or an exception into a
+    driver-independent comparable dict."""
+    if isinstance(outcome_or_error, QueryOutcome):
+        fragment = outcome_or_error.fragment
+        return {
+            "ok": True,
+            "denied": False,
+            "value": (
+                fragment.serialize() if fragment is not None else None
+            ),
+            "hit": outcome_or_error.hit,
+            "stale": outcome_or_error.stale,
+            "degraded": [
+                str(s.path)
+                for s in outcome_or_error.statuses if not s.ok
+            ],
+        }
+    assert isinstance(outcome_or_error, BaseException)
+    return {
+        "ok": False,
+        "denied": isinstance(outcome_or_error, AccessDeniedError),
+        "error": type(outcome_or_error).__name__,
+        "value": None,
+    }

@@ -1,0 +1,20 @@
+"""``python -m repro.serve [host] [port]`` — boot the demo world."""
+
+import asyncio
+import sys
+
+from repro.serve.app import serve_forever
+
+
+def main() -> None:
+    """CLI entry point: ``python -m repro.serve [host [port]]``."""
+    host = sys.argv[1] if len(sys.argv) > 1 else "127.0.0.1"
+    port = int(sys.argv[2]) if len(sys.argv) > 2 else 8080
+    try:
+        asyncio.run(serve_forever(host, port))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

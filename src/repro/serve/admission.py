@@ -1,0 +1,109 @@
+"""Admission control: bounded concurrency + bounded wait queue.
+
+An open-loop load generator (``bench_e21_wire.py``) does not slow down
+when the server saturates — without admission control the process
+accumulates unbounded pending requests, latency explodes unbounded,
+and the p99 calibration against the E19 virtual-time model measures
+queue depth instead of the protocol. The gate keeps the measured
+system the one the model describes:
+
+* at most ``max_inflight`` requests are being served at once;
+* at most ``max_queued`` more may *wait* for a slot (bounded queue —
+  this is the backpressure buffer, not an unbounded mailbox);
+* everything beyond that is rejected immediately with 503 +
+  ``Retry-After``, which an open-loop client counts as a shed request
+  rather than a latency sample.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AdmissionGate", "AdmissionRejected"]
+
+
+class AdmissionRejected(Exception):
+    """Both the service slots and the wait queue are full. Not a
+    :class:`~repro.errors.ReproError`: admission is a property of this
+    process, not of the profile network, and the middleware maps it to
+    503 + Retry-After itself."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__("server at capacity")
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionGate:
+    """A counting semaphore with a bounded waiting room."""
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        max_queued: int = 128,
+        retry_after_s: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("need at least one service slot")
+        if max_queued < 0:
+            raise ValueError("queue depth must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queued = max_queued
+        self.retry_after_s = retry_after_s
+        self._slots = asyncio.Semaphore(max_inflight)
+        self._inflight = 0
+        self._queued = 0
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self.metrics.counter(
+            "serve.admitted", help="Requests that got a service slot."
+        )
+        self.metrics.counter(
+            "serve.rejected", help="Requests shed at the admission gate."
+        )
+        self.metrics.gauge(
+            "serve.inflight", help="Requests currently being served.",
+            fn=lambda: float(self._inflight),
+        ).bind(lambda: float(self._inflight))
+        self.metrics.gauge(
+            "serve.queued", help="Requests waiting for a slot.",
+            fn=lambda: float(self._queued),
+        ).bind(lambda: float(self._queued))
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    async def __aenter__(self) -> "AdmissionGate":
+        await self.acquire()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        self.release()
+
+    async def acquire(self) -> None:
+        if self._inflight >= self.max_inflight:
+            if self._queued >= self.max_queued:
+                self.metrics.counter("serve.rejected").inc()
+                raise AdmissionRejected(self.retry_after_s)
+            self._queued += 1
+            try:
+                await self._slots.acquire()
+            finally:
+                self._queued -= 1
+        else:
+            await self._slots.acquire()
+        self._inflight += 1
+        self.metrics.counter("serve.admitted").inc()
+
+    def release(self) -> None:
+        self._inflight -= 1
+        self._slots.release()

@@ -1,0 +1,283 @@
+"""A minimal HTTP/1.1 layer over ``asyncio`` streams.
+
+The container deliberately ships no web framework — the serving layer
+(ISSUE 9) is stdlib-only, and this module is the whole wire protocol:
+parse one request off a :class:`~asyncio.StreamReader`, hand the
+handler a :class:`Request`, write its :class:`Response` back, close.
+
+Scope is intentionally tiny (it serves the repo's own demo/benchmark
+traffic, not the open internet): ``Content-Length`` bodies only (no
+chunked uploads), one request per connection (``Connection: close``),
+bounded header/body sizes so a misbehaving client cannot balloon the
+process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ReproError
+
+__all__ = [
+    "HttpProtocolError",
+    "HttpServer",
+    "Request",
+    "Response",
+    "read_request",
+    "write_response",
+]
+
+#: Largest accepted request head (request line + headers, bytes).
+MAX_HEAD_BYTES = 16 * 1024
+#: Largest accepted request body (bytes).
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    410: "Gone", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 502: "Bad Gateway",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class HttpProtocolError(ReproError):
+    """The bytes on the wire are not a request this layer accepts.
+    Carries the status the connection should die with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "params", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+        body: bytes = b"",
+    ) -> None:
+        self.method = method
+        #: Decoded path, query string stripped.
+        self.path = path
+        #: Query parameters (last occurrence wins).
+        self.params: Dict[str, str] = dict(params or {})
+        #: Header names lower-cased.
+        self.headers: Dict[str, str] = dict(headers or {})
+        self.body = body
+
+    def json(self) -> object:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as err:
+            raise HttpProtocolError(
+                "request body is not valid JSON: %s" % err
+            ) from err
+
+    def __repr__(self) -> str:
+        return "<Request %s %s>" % (self.method, self.path)
+
+
+class Response:
+    """One HTTP response; :meth:`json` is the idiomatic constructor."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/octet-stream",
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers: Dict[str, str] = {"content-type": content_type}
+        if headers:
+            self.headers.update(
+                (k.lower(), v) for k, v in headers.items()
+            )
+
+    @classmethod
+    def json(
+        cls,
+        payload: object,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        body = (
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        return cls(
+            status, body, headers=headers,
+            content_type="application/json",
+        )
+
+    @classmethod
+    def text(
+        cls,
+        payload: str,
+        status: int = 200,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> "Response":
+        return cls(
+            status, payload.encode("utf-8"), content_type=content_type
+        )
+
+    def __repr__(self) -> str:
+        return "<Response %d %d byte(s)>" % (self.status, len(self.body))
+
+
+#: The handler signature the server dispatches to.
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` when the peer closed the socket
+    before sending anything."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise HttpProtocolError("truncated request head") from err
+    except asyncio.LimitOverrunError as err:
+        raise HttpProtocolError(
+            "request head too large", status=413
+        ) from err
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpProtocolError("request head too large", status=413)
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError("malformed request line: %r" % lines[0])
+    method, target = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpProtocolError("malformed header: %r" % line)
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    params = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as err:
+        raise HttpProtocolError(
+            "bad content-length: %r" % length_text
+        ) from err
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpProtocolError("body too large", status=413)
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as err:
+            raise HttpProtocolError(
+                "truncated request body"
+            ) from err
+
+    return Request(
+        method, unquote(split.path), params=params,
+        headers=headers, body=body,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    """Serialize ``response`` onto ``writer`` as HTTP/1.1 and drain."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head: List[str] = [
+        "HTTP/1.1 %d %s" % (response.status, reason)
+    ]
+    headers = dict(response.headers)
+    headers["content-length"] = str(len(response.body))
+    headers["connection"] = "close"
+    for name in sorted(headers):
+        head.append("%s: %s" % (name, headers[name]))
+    writer.write(
+        ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+    )
+    writer.write(response.body)
+    await writer.drain()
+
+
+class HttpServer:
+    """One handler behind ``asyncio.start_server``.
+
+    The handler is total — it must return a :class:`Response` for any
+    :class:`Request` (the app's middleware guarantees that); only
+    protocol-level garbage is answered here directly.
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port) — port 0
+        picks a free one, which is how tests avoid collisions."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port,
+            limit=MAX_HEAD_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpProtocolError as err:
+                await write_response(writer, Response.json(
+                    {"error": "protocol", "detail": str(err)},
+                    status=err.status,
+                ))
+                return
+            if request is None:
+                return
+            response = await self.handler(request)
+            await write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform noise
+                pass

@@ -1,0 +1,123 @@
+"""Background jobs: the serving process's housekeeping loops.
+
+Two periodic asyncio tasks, owned by the app's lifespan:
+
+* **bus drain** — the change bus schedules its delivery waves on the
+  world's *virtual* simulator; a wall-clock process has to pump that
+  simulator or appended changes sit in the log forever. Each tick
+  kicks the bus (re-arming a wave if any listener has backlog) and
+  drains the simulator, which delivers waves, invalidates caches and
+  feeds subscription listeners.
+* **cache sweep** — evicts expired component-cache corpses past their
+  stale-serve grace (the TTL-boundary satellite added
+  :meth:`~repro.core.cache.ComponentCache.sweep`); without it an
+  always-on server retains every dead entry until capacity pressure
+  happens to land on it.
+
+Both loops swallow *nothing*: an exception cancels the task loudly
+(visible in ``stats()``), because silent housekeeping death is how
+"the cache stopped invalidating a week ago" incidents happen.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.app import ServeWorld
+
+__all__ = ["BackgroundJobs"]
+
+
+class BackgroundJobs:
+    """Periodic asyncio tasks that keep a served world healthy.
+
+    Drains the change bus into subscription deliveries and sweeps
+    expired cache entries on fixed wall-clock intervals; ``start`` /
+    ``stop`` bracket the app lifespan.
+    """
+
+    def __init__(
+        self,
+        world: "ServeWorld",
+        bus_drain_interval_s: float = 0.05,
+        cache_sweep_interval_s: float = 1.0,
+    ) -> None:
+        if bus_drain_interval_s <= 0 or cache_sweep_interval_s <= 0:
+            raise ValueError("job intervals must be positive")
+        self.world = world
+        self.bus_drain_interval_s = bus_drain_interval_s
+        self.cache_sweep_interval_s = cache_sweep_interval_s
+        self._tasks: List["asyncio.Task[None]"] = []
+        self.bus_drains = 0
+        self.cache_sweeps = 0
+        self.swept_entries = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._tasks:
+            raise RuntimeError("jobs already started")
+        self._tasks.append(
+            asyncio.get_running_loop().create_task(
+                self._bus_drain_loop(), name="serve-bus-drain"
+            )
+        )
+        self._tasks.append(
+            asyncio.get_running_loop().create_task(
+                self._cache_sweep_loop(), name="serve-cache-sweep"
+            )
+        )
+
+    async def stop(self) -> None:
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    def stats(self) -> dict:
+        return {
+            "running": [t.get_name() for t in self._tasks if not t.done()],
+            "failed": [
+                t.get_name() for t in self._tasks
+                if t.done() and not t.cancelled() and t.exception()
+            ],
+            "bus_drains": self.bus_drains,
+            "cache_sweeps": self.cache_sweeps,
+            "swept_entries": self.swept_entries,
+        }
+
+    # -- the loops ----------------------------------------------------------
+
+    def drain_bus_once(self) -> None:
+        """One pump of the bus' virtual-time machinery (also called
+        directly by tests and the synchronous smoke path)."""
+        world = self.world
+        if world.bus is not None:
+            world.bus.kick()
+            world.sim.run()
+        self.bus_drains += 1
+
+    def sweep_cache_once(self) -> int:
+        world = self.world
+        swept = 0
+        if world.server.cache is not None:
+            swept = world.server.cache.sweep(world.now_ms())
+        self.cache_sweeps += 1
+        self.swept_entries += swept
+        return swept
+
+    async def _bus_drain_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.bus_drain_interval_s)
+            self.drain_bus_once()
+
+    async def _cache_sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.cache_sweep_interval_s)
+            self.sweep_cache_once()

@@ -1,0 +1,15 @@
+"""Route handlers for the serving layer, one module per concern:
+
+* :mod:`repro.serve.routers.query` — GET ``/v1/query`` (chaining and
+  cached patterns over the sans-io engine);
+* :mod:`repro.serve.routers.provisioning` — POST ``/v1/provision``
+  (the enter-once write fan-out);
+* :mod:`repro.serve.routers.subscription` — ``/v1/subscriptions``
+  (cursor-backed change-bus subscriptions).
+"""
+
+from repro.serve.routers.provisioning import ProvisioningRouter
+from repro.serve.routers.query import QueryRouter
+from repro.serve.routers.subscription import SubscriptionRouter
+
+__all__ = ["ProvisioningRouter", "QueryRouter", "SubscriptionRouter"]

@@ -1,0 +1,65 @@
+"""POST ``/v1/provision`` — the enter-once write over HTTP.
+
+Body: ``{"path": "<xpath>", "fragment": "<profile xml>"}``. The
+fragment is parsed, fanned out through the sans-io ``provision``
+program (resolve-for-update, per-store slicing, signed writes), and —
+when the world runs a change bus — published as a change so caches,
+mirrors and subscribers ride the same wave the simulated worlds do.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+from repro.pxml import parse, parse_path
+from repro.serve.http import Request, Response
+from repro.serve.middleware import context_from_headers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.app import ServeWorld
+
+__all__ = ["ProvisioningRouter"]
+
+
+class ProvisioningRouter:
+    """Routes ``POST /v1/provision`` to the provisioner.
+
+    Enter-once writes: the JSON body names a profile path and a pxml
+    fragment, which is parsed and written through the provisioner
+    under the caller's identity context.
+    """
+
+    def __init__(self, world: "ServeWorld") -> None:
+        self.world = world
+
+    async def handle(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ValidationError("provision body must be an object")
+        raw_path = payload.get("path")
+        raw_fragment = payload.get("fragment")
+        if not isinstance(raw_path, str) or not raw_path:
+            raise ValidationError("provision body needs a 'path'")
+        if not isinstance(raw_fragment, str) or not raw_fragment:
+            raise ValidationError(
+                "provision body needs a 'fragment' (profile XML)"
+            )
+        path = parse_path(raw_path)
+        fragment = parse(raw_fragment)
+        context = context_from_headers(request)
+        world = self.world
+        now = world.now_ms()
+        await world.transport.run(
+            world.engine.provision(
+                world.client_node, path, fragment, context, now
+            )
+        )
+        if world.bus is not None:
+            world.bus.append(
+                str(path), fragment.serialize(),
+                user_id=path.user_id(),
+            )
+        return Response.json(
+            {"ok": True, "path": str(path)}, status=201
+        )

@@ -1,0 +1,83 @@
+"""GET ``/v1/query`` — the server-mediated read patterns over HTTP.
+
+The handler is thin by design: parse the path, build the shield
+context from the identity headers, pick the Section 5.2 pattern
+(``chaining`` or ``cached``), and hand the *same* sans-io program the
+simulator runs to the :class:`~repro.serve.transport.WallTransport`.
+All protocol behaviour — retry sweeps, failover order, degradation,
+cache shield re-checks — lives in :mod:`repro.sansio.engine`; nothing
+here may duplicate it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import UnsupportedPathError
+from repro.pxml import parse_path
+from repro.sansio.engine import QueryOutcome
+from repro.serve.http import Request, Response
+from repro.serve.middleware import context_from_headers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.app import ServeWorld
+
+__all__ = ["QueryRouter"]
+
+_PATTERNS = ("chaining", "cached")
+
+
+class QueryRouter:
+    """Routes ``GET /v1/query`` to the sans-io query engine.
+
+    Maps the ``pattern`` query parameter to an engine program
+    (chaining or cached), runs it on the app's ``WallTransport``, and
+    shapes the outcome into the JSON response envelope.
+    """
+
+    def __init__(self, world: "ServeWorld") -> None:
+        self.world = world
+
+    async def handle(self, request: Request) -> Response:
+        raw_path = request.params.get("path")
+        if not raw_path:
+            raise UnsupportedPathError(
+                "query needs a ?path=<xpath> parameter"
+            )
+        pattern = request.params.get("pattern", "chaining")
+        if pattern not in _PATTERNS:
+            raise UnsupportedPathError(
+                "unknown query pattern %r (expected one of %s)"
+                % (pattern, ", ".join(_PATTERNS))
+            )
+        if (
+            pattern == "cached"
+            and self.world.server.cache is None
+        ):
+            raise UnsupportedPathError(
+                "server has no cache configured; use pattern=chaining"
+            )
+        path = parse_path(raw_path)
+        context = context_from_headers(request)
+        world = self.world
+        now = world.now_ms()
+        engine = world.engine
+        program = (
+            engine.cached(world.client_node, path, context, now)
+            if pattern == "cached"
+            else engine.chain(world.client_node, path, context, now)
+        )
+        outcome: QueryOutcome = await world.transport.run(program)
+        fragment = outcome.fragment
+        return Response.json({
+            "path": str(path),
+            "pattern": pattern,
+            "fragment": (
+                fragment.serialize() if fragment is not None else None
+            ),
+            "cache_hit": outcome.hit,
+            "stale": outcome.stale,
+            "degraded_parts": [
+                str(s.path) for s in outcome.statuses if not s.ok
+            ],
+        })

@@ -1,0 +1,181 @@
+"""``/v1/subscriptions`` — change-bus subscriptions over HTTP.
+
+HTTP is pull-shaped, the bus is push-shaped; the bridge is a
+server-side :class:`~repro.bus.RecordingListener` per subscription:
+
+* ``POST /v1/subscriptions`` body ``{"watch_path": "..."}`` attaches a
+  listener (cursor starts at the log head — changes from now on) and
+  returns its id;
+* ``GET /v1/subscriptions/<id>`` drains the records delivered since
+  the last poll;
+* ``DELETE /v1/subscriptions/<id>`` detaches it.
+
+The subscription count is bounded (``max_subscriptions``) — each one
+holds a bus cursor and a retention window, and an HTTP client that
+never comes back must not grow server state forever. 429 tells the
+caller the table is full.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict
+
+from repro.bus import RecordingListener
+from repro.errors import UnsupportedPathError, ValidationError
+from repro.serve.http import Request, Response
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.app import ServeWorld
+
+__all__ = ["SubscriptionRouter"]
+
+
+class _Subscription:
+    __slots__ = ("sub_id", "watch_path", "listener", "drained")
+
+    def __init__(
+        self, sub_id: int, watch_path: str, listener: RecordingListener
+    ) -> None:
+        self.sub_id = sub_id
+        self.watch_path = watch_path
+        self.listener = listener
+        #: How many of ``listener.received`` earlier polls consumed.
+        self.drained = 0
+
+
+class SubscriptionRouter:
+    """CRUD for change-bus subscriptions plus delivery polling.
+
+    Holds a bounded table of live subscriptions; each maps a
+    subscriber identity to a bus cursor whose deliveries are drained
+    by the background jobs and collected via ``GET .../deliveries``.
+    """
+
+    def __init__(
+        self, world: "ServeWorld", max_subscriptions: int = 256
+    ) -> None:
+        self.world = world
+        self.max_subscriptions = max_subscriptions
+        self._ids = itertools.count(1)
+        self._table: Dict[int, _Subscription] = {}
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        tail = request.path[len("/v1/subscriptions"):].strip("/")
+        if not tail:
+            if request.method == "POST":
+                return self._create(request)
+            return Response.json(
+                {"error": "method-not-allowed",
+                 "detail": "use POST to subscribe"},
+                status=405,
+            )
+        try:
+            sub_id = int(tail)
+        except ValueError as err:
+            raise ValidationError(
+                "subscription ids are integers, got %r" % tail
+            ) from err
+        sub = self._table.get(sub_id)
+        if sub is None:
+            return Response.json(
+                {"error": "unknown-subscription", "detail": tail},
+                status=404,
+            )
+        if request.method == "GET":
+            return self._poll(sub)
+        if request.method == "DELETE":
+            return self._cancel(sub)
+        return Response.json(
+            {"error": "method-not-allowed",
+             "detail": "use GET to poll or DELETE to cancel"},
+            status=405,
+        )
+
+    # -- operations ---------------------------------------------------------
+
+    def _create(self, request: Request) -> Response:
+        if self.world.bus is None:
+            raise UnsupportedPathError(
+                "this world runs no change bus; subscriptions are "
+                "unavailable"
+            )
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ValidationError("subscribe body must be an object")
+        watch_path = payload.get("watch_path", "")
+        if not isinstance(watch_path, str) or not watch_path:
+            raise ValidationError(
+                "subscribe body needs a 'watch_path'"
+            )
+        if len(self._table) >= self.max_subscriptions:
+            return Response.json(
+                {
+                    "error": "too-many-subscriptions",
+                    "detail": "subscription table is full (%d)"
+                              % self.max_subscriptions,
+                },
+                status=429,
+            )
+        sub_id = next(self._ids)
+        listener = _WatchingListener(
+            "http-sub-%d" % sub_id, watch_path
+        )
+        self.world.bus.attach(listener)
+        self._table[sub_id] = _Subscription(
+            sub_id, watch_path, listener
+        )
+        return Response.json(
+            {"id": sub_id, "watch_path": watch_path}, status=201
+        )
+
+    def _poll(self, sub: _Subscription) -> Response:
+        listener = sub.listener
+        # The retention window may have evicted records an earlier
+        # poll never saw; surface that as `missed`, not silence.
+        evicted = listener.dropped
+        start = max(0, sub.drained - evicted)
+        fresh = listener.received[start:]
+        missed = max(0, evicted - sub.drained)
+        sub.drained = evicted + len(listener.received)
+        return Response.json({
+            "id": sub.sub_id,
+            "watch_path": sub.watch_path,
+            "missed": missed,
+            "deliveries": [
+                {
+                    "seq": record.seq,
+                    "at": record.at,
+                    "path": record.path,
+                    "value": record.value,
+                    "user_id": record.user_id,
+                }
+                for record in fresh
+            ],
+        })
+
+    def _cancel(self, sub: _Subscription) -> Response:
+        assert self.world.bus is not None
+        self.world.bus.detach(sub.listener)
+        del self._table[sub.sub_id]
+        return Response.json({"id": sub.sub_id, "cancelled": True})
+
+    def active_count(self) -> int:
+        return len(self._table)
+
+
+class _WatchingListener(RecordingListener):
+    """A recording listener that only wants records under its watch
+    path (plain string-prefix containment — the bus's own subscriber
+    listeners do full shield enforcement; the HTTP bridge filters,
+    the poller's shield check happened at subscribe time)."""
+
+    def __init__(self, name: str, watch_path: str) -> None:
+        super().__init__(name, node=None)
+        self.watch_path = watch_path
+
+    def wants(self, record: object) -> bool:
+        path = getattr(record, "path", "")
+        return path.startswith(self.watch_path)

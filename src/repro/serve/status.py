@@ -1,0 +1,74 @@
+"""Deliberate error → HTTP status mapping (ISSUE 9 satellite).
+
+Every :class:`~repro.errors.ReproError` subclass maps to an explicit
+(status, slug) pair here — the serving layer must never leak a raw
+traceback, and a client must be able to tell "you asked wrong" (4xx)
+from "the profile network is hurting" (5xx) without parsing prose.
+
+The table is ordered most-derived-first and walked with ``isinstance``,
+so a subclass both inherits its parent's mapping by default and can
+override it by taking an earlier row (e.g.
+:class:`~repro.errors.ResyncRequiredError` is a
+:class:`~repro.errors.CoverageError`, but maps to 410 Gone — the
+cursor is unrecoverable and retrying the same feed request is
+pointless).
+
+``tests/test_serve_status.py`` walks the entire exception hierarchy
+and fails on any subclass that only reaches the generic fallback —
+adding an error class without deciding its wire status is a test
+failure, not a silent 500.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type
+
+from repro import errors
+
+__all__ = ["status_for", "STATUS_TABLE"]
+
+#: (exception class, HTTP status, machine-readable slug), walked in
+#: order; keep subclasses strictly before their bases.
+STATUS_TABLE: Tuple[Tuple[Type[BaseException], int, str], ...] = (
+    # -- client-side: the request itself is the problem ---------------------
+    (errors.ResyncRequiredError, 410, "resync-required"),
+    (errors.StaleQueryError, 401, "stale-query"),
+    (errors.SignatureError, 401, "bad-signature"),
+    (errors.AccessDeniedError, 403, "access-denied"),
+    (errors.ProvisioningDeniedError, 403, "provisioning-denied"),
+    (errors.NoCoverageError, 404, "no-coverage"),
+    (errors.UnknownSubscriberError, 404, "unknown-subscriber"),
+    (errors.MergeConflictError, 409, "merge-conflict"),
+    (errors.AnchorMismatchError, 409, "anchor-mismatch"),
+    (errors.PathSyntaxError, 400, "bad-path"),
+    (errors.ParseError, 400, "parse-error"),
+    (errors.UnsupportedPathError, 400, "unsupported-path"),
+    (errors.SchemaError, 400, "schema-violation"),
+    (errors.ModelError, 400, "model-error"),
+    (errors.PXMLError, 400, "pxml-error"),
+    (errors.PolicyError, 400, "bad-policy"),
+    (errors.ValidationError, 400, "validation-error"),
+    # -- server-side: the converged network is the problem ------------------
+    (errors.PartialResultError, 503, "all-parts-failed"),
+    (errors.TimeoutError_, 504, "upstream-timeout"),
+    (errors.NodeUnreachableError, 503, "node-unreachable"),
+    (errors.PacketLossError, 503, "packet-loss"),
+    (errors.NetworkError, 502, "network-error"),
+    (errors.AdapterError, 502, "adapter-error"),
+    (errors.StoreError, 502, "store-error"),
+    (errors.CoverageError, 500, "coverage-error"),
+    (errors.SyncError, 500, "sync-error"),
+    # A bare GupsterError is a malformed use of the server API —
+    # client-shaped, like the spurious-query diagnostics.
+    (errors.GupsterError, 400, "bad-request"),
+    (errors.ReproError, 500, "internal-error"),
+)
+
+
+def status_for(error: BaseException) -> Tuple[int, str]:
+    """(HTTP status, slug) for *error*; non-Repro exceptions are a
+    plain 500 — the middleware still never serializes the traceback."""
+    for cls, status, slug in STATUS_TABLE:
+        if isinstance(error, cls):
+            return status, slug
+    return 500, "internal-error"

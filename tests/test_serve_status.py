@@ -1,0 +1,159 @@
+"""The error → HTTP status mapping audit (ISSUE 9 satellite).
+
+Walks the *entire* :class:`~repro.errors.ReproError` hierarchy and
+fails on any subclass without a deliberate mapping — adding an error
+class without deciding its wire status is a test failure, not a
+silent 500. Also pins that no traceback text ever reaches a response
+body.
+"""
+
+import inspect
+import json
+
+import pytest
+
+from repro import errors
+from repro.errors import ReproError
+from repro.serve.http import HttpProtocolError
+from repro.serve.middleware import error_payload
+from repro.serve.status import STATUS_TABLE, status_for
+
+
+def _hierarchy_classes():
+    """Every ReproError subclass defined in repro.errors."""
+    return [
+        cls for _name, cls in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(cls, ReproError) and cls is not ReproError
+    ]
+
+
+def _all_subclasses(cls):
+    seen = set()
+    stack = [cls]
+    while stack:
+        current = stack.pop()
+        for sub in current.__subclasses__():
+            if sub not in seen:
+                seen.add(sub)
+                stack.append(sub)
+    return seen
+
+
+class TestTableShape:
+    def test_subclasses_listed_before_bases(self):
+        # isinstance dispatch means a base listed first would shadow
+        # every row after it — the table must be most-derived-first.
+        for index, (cls, _status, _slug) in enumerate(STATUS_TABLE):
+            for later_cls, _s, _g in STATUS_TABLE[index + 1:]:
+                assert not issubclass(later_cls, cls) or later_cls is cls, (
+                    "%s is unreachable: base %s is listed before it"
+                    % (later_cls.__name__, cls.__name__)
+                )
+
+    def test_slugs_unique_per_class(self):
+        assert len({cls for cls, _s, _g in STATUS_TABLE}) \
+            == len(STATUS_TABLE)
+
+
+class TestEveryErrorIsMappedDeliberately:
+    @pytest.mark.parametrize(
+        "cls", _hierarchy_classes(), ids=lambda c: c.__name__
+    )
+    def test_declared_errors_have_an_explicit_row(self, cls):
+        # Either the class itself appears in the table, or it inherits
+        # a mapping from a *specific* ancestor (not the ReproError
+        # catch-all) — a new direct child of ReproError must take a
+        # deliberate row.
+        explicit = any(row_cls is cls for row_cls, _s, _g in STATUS_TABLE)
+        inherited = any(
+            issubclass(cls, row_cls) and row_cls is not ReproError
+            for row_cls, _s, _g in STATUS_TABLE
+        )
+        assert explicit or inherited, (
+            "%s has no deliberate HTTP mapping — add it to "
+            "repro.serve.status.STATUS_TABLE" % cls.__name__
+        )
+
+    def test_runtime_subclasses_resolve_to_http_statuses(self):
+        # Import the serving layer first so its ReproError subclasses
+        # (e.g. HttpProtocolError) are part of the walk.
+        for cls in _all_subclasses(ReproError):
+            instance = cls.__new__(cls)
+            status, slug = status_for(instance)
+            assert 400 <= status <= 599, cls.__name__
+            assert slug and "-" in slug or slug.isalpha(), cls.__name__
+
+
+class TestSpecificMappings:
+    @pytest.mark.parametrize("cls,expected", [
+        (errors.ResyncRequiredError, 410),
+        (errors.StaleQueryError, 401),
+        (errors.SignatureError, 401),
+        (errors.AccessDeniedError, 403),
+        (errors.ProvisioningDeniedError, 403),
+        (errors.NoCoverageError, 404),
+        (errors.UnknownSubscriberError, 404),
+        (errors.MergeConflictError, 409),
+        (errors.AnchorMismatchError, 409),
+        (errors.ParseError, 400),
+        (errors.PolicyError, 400),
+        (errors.ValidationError, 400),
+        (errors.PartialResultError, 503),
+        (errors.TimeoutError_, 504),
+        (errors.NodeUnreachableError, 503),
+        (errors.PacketLossError, 503),
+        (errors.AdapterError, 502),
+        (errors.StoreError, 502),
+        (errors.CoverageError, 500),
+        (errors.SyncError, 500),
+        (errors.GupsterError, 400),
+    ], ids=lambda value: getattr(value, "__name__", value))
+    def test_status(self, cls, expected):
+        instance = cls.__new__(cls)
+        assert status_for(instance)[0] == expected
+
+    def test_client_vs_server_split(self):
+        # 4xx means "your request"; 5xx means "the profile network".
+        # The shield denial MUST be 4xx (it is an answer, not an
+        # outage) and total part failure MUST be 5xx (retryable).
+        assert 400 <= status_for(errors.AccessDeniedError("no"))[0] < 500
+        boom = errors.PartialResultError("all parts down")
+        assert status_for(boom)[0] >= 500
+
+
+class TestNoTracebackLeaks:
+    def test_repro_error_body_is_slug_and_message(self):
+        response = error_payload(
+            errors.NoCoverageError("no adapter registered for X")
+        )
+        payload = json.loads(response.body)
+        assert payload == {
+            "error": "no-coverage",
+            "detail": "no adapter registered for X",
+        }
+        assert response.status == 404
+
+    def test_internal_error_body_is_opaque(self):
+        try:
+            raise RuntimeError("secret internal state: 0xdeadbeef")
+        except RuntimeError as err:
+            response = error_payload(err)
+        payload = json.loads(response.body)
+        assert response.status == 500
+        assert payload["error"] == "internal-error"
+        assert "0xdeadbeef" not in json.dumps(payload)
+        assert "Traceback" not in response.body.decode()
+
+    def test_http_protocol_error_keeps_its_status(self):
+        response = error_payload(
+            HttpProtocolError("body too large", status=413)
+        )
+        assert response.status == 413
+
+    def test_every_mapped_error_serializes_without_traceback(self):
+        for cls, _status, _slug in STATUS_TABLE:
+            instance = cls.__new__(cls)
+            Exception.__init__(instance, "diagnostic text")
+            body = error_payload(instance).body.decode()
+            assert "Traceback" not in body
+            assert "File \"" not in body

@@ -33,7 +33,9 @@ SRC = os.path.join(HERE, os.pardir, "src")
 PKG = os.path.join(SRC, "repro")
 
 #: Directories included wholesale (recursively).
-TYPED_DIRS = ("bus", "core", "analysis", "obs", "sharding")
+TYPED_DIRS = (
+    "bus", "core", "analysis", "obs", "sansio", "serve", "sharding",
+)
 #: Individual modules included.
 TYPED_FILES = (
     "errors.py",
