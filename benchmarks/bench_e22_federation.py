@@ -1,0 +1,401 @@
+"""E22 — bidirectional federation: GUP <-> foreign directory.
+
+The reconciler (DESIGN.md §4.10) runs as a sync loop between the GUP
+store and a foreign directory with its own write API and USN-style
+change journal. This bench drives it to its acceptance gates:
+
+* **write storm** — a two-sided storm of (by default) **10^4 writes**
+  over a population of users and mapped attributes, run once per
+  conflict policy. Gate: every contested pair converges
+  **bit-identical** on both sides, the authoritative side wins for
+  directional mappings, lww lands on the globally last authored
+  write, and the fixpoint is write-free (zero oscillation: ten extra
+  sync rounds move nothing).
+* **echo accounting** — on the crash-free storm, every export is
+  re-imported exactly once as a *suppression* (origin tag) and every
+  import's bus shadow is absorbed (origin-tag table). Gate: **zero
+  echo re-imports** — ``echo_suppressed_in == synced_out`` and
+  ``echo_suppressed_gup == synced_in`` hold exactly.
+* **crash/resume** — the same storm with the reconciler crashing and
+  resuming mid-stream. Cursors and the last-agreed base survive (the
+  connector's persistent sync database), volatile state does not.
+  Gate: the post-resync fixpoint is the same last-writer fixpoint —
+  nothing lost, nothing applied twice.
+* **poison/replay** — a faulted object strikes out into the bounded
+  reject queue, survives a crash, stays held after the fault clears,
+  and one explicit replay applies exactly the newest value exactly
+  once (own-origin journal count == 1).
+
+These are the same invariants the Hypothesis battery in
+``tests/test_federation_properties.py`` explores on small random
+interleavings; the bench checks them at storm scale and publishes the
+numbers. All virtual-time numbers are seeded and deterministic.
+
+Run the full storm (10^4 writes per policy)::
+
+    python benchmarks/bench_e22_federation.py
+
+or the CI smoke gate (10^3 writes, same assertions)::
+
+    python benchmarks/bench_e22_federation.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if __name__ == "__main__":  # CLI use without an installed package
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.access import (  # noqa: E402
+    PolicyEnforcementPoint, PolicyRepository, PolicyRule,
+)
+from repro.bus import ChangeBus  # noqa: E402
+from repro.core.provenance import ProvenanceTracker  # noqa: E402
+from repro.federation import (  # noqa: E402
+    FederationListener, ForeignDirectory, GupAttributeStore,
+    MappingEntry, MappingTable, POLICIES, Reconciler, RejectQueue,
+    policy_named,
+)
+from repro.simnet import Network, Simulator  # noqa: E402
+
+#: (gup suffix, foreign attr, direction) — one mapping per direction.
+TABLE = (
+    ("self/email", "mail", "both"),
+    ("self/name", "displayName", "out"),
+    ("work/phone", "telephoneNumber", "in"),
+)
+ATTR_OF = {suffix: attr for suffix, attr, _d in TABLE}
+DIRECTION_OF = {suffix: d for suffix, _a, d in TABLE}
+INTERVAL_MS = 250.0
+
+
+def make_world(
+    policy: str, queue: Optional[RejectQueue] = None, users: int = 0
+) -> Tuple[Simulator, ChangeBus, GupAttributeStore, ForeignDirectory,
+           Reconciler]:
+    sim = Simulator()
+    network = Network()
+    network.add_node("gupster")
+    network.add_node("fed-conn")
+    network.add_node("corp-ad")
+    bus = ChangeBus(sim, network, "gupster")
+    gup = GupAttributeStore(sim, bus=bus)
+    foreign = ForeignDirectory("corp-ad", sim)
+    table = MappingTable(
+        [MappingEntry(s, a, d) for s, a, d in TABLE]
+    )
+    repo = PolicyRepository()
+    for index in range(users):
+        user = "u%04d" % index
+        repo.store(
+            PolicyRule(user, "/user[@id='%s']" % user, "permit")
+        )
+    rec = Reconciler(
+        "fed-conn", gup, foreign, table, network,
+        PolicyEnforcementPoint(repo),
+        policy=policy_named(policy),
+        provenance=ProvenanceTracker(),
+        interval_ms=INTERVAL_MS,
+        reject_queue=queue,
+    )
+    bus.attach(FederationListener("fed", rec))
+    rec.start()
+    return sim, bus, gup, foreign, rec
+
+
+def run_storm(
+    policy: str, writes: int, users: int, seed: int,
+    crashes: int = 0,
+) -> Tuple[Dict[str, object], List[str]]:
+    """One two-sided write storm under *policy*; optionally crash and
+    resume the reconciler *crashes* times mid-stream. Returns the
+    probe row and any gate failures."""
+    rng = random.Random(seed)
+    sim, bus, gup, foreign, rec = make_world(policy, users=users)
+    user_ids = ["u%04d" % index for index in range(users)]
+    suffixes = [suffix for suffix, _a, _d in TABLE]
+    crash_points = set(
+        rng.sample(range(writes // 4, writes * 3 // 4),
+                   crashes * 2 if crashes else 0)
+    )
+    last_gup: Dict[Tuple[str, str], str] = {}
+    last_foreign: Dict[Tuple[str, str], str] = {}
+    last_any: Dict[Tuple[str, str], str] = {}
+    started = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    for index in range(writes):
+        # Strictly positive advance: authored instants are distinct,
+        # so "globally last write" is well-defined for the lww gate.
+        sim.run(until=sim.now + rng.randint(1, 9))
+        if index in crash_points:
+            if rec._down:
+                rec.resume(bus=bus)
+            else:
+                rec.crash()
+        user = rng.choice(user_ids)
+        suffix = rng.choice(suffixes)
+        value = "v%06x" % rng.getrandbits(24)
+        if rng.random() < 0.5:
+            gup.write(user, suffix, value)
+            last_gup[(user, suffix)] = value
+        else:
+            foreign.write(user, ATTR_OF[suffix], value)
+            last_foreign[(user, suffix)] = value
+        last_any[(user, suffix)] = value
+    if rec._down:
+        rec.resume(bus=bus)
+    sim.run(until=sim.now + 8000)
+
+    failures: List[str] = []
+    diverged = 0
+    for (user, suffix), _value in sorted(last_any.items()):
+        direction = DIRECTION_OF[suffix]
+        g = gup.read(user, suffix)
+        f = foreign.read(user, ATTR_OF[suffix])
+        g = None if g is None else g[0]
+        f = None if f is None else f[0]
+        key = (user, suffix)
+        if direction == "both":
+            if g != f:
+                diverged += 1
+            elif policy == "lww" and g != last_any[key]:
+                failures.append(
+                    "storm[%s] pair %r: lww kept %r, last write "
+                    "was %r" % (policy, key, g, last_any[key])
+                )
+        elif direction == "out":
+            expected = last_gup.get(key)
+            if expected is not None and (g, f) != (expected, expected):
+                diverged += 1
+        else:  # "in"
+            expected = last_foreign.get(key)
+            if expected is not None and (g, f) != (expected, expected):
+                diverged += 1
+    if diverged:
+        failures.append(
+            "storm[%s]%s: %d pair(s) not bit-identical at the "
+            "fixpoint" % (
+                policy, " +crashes" if crashes else "", diverged,
+            )
+        )
+    # Zero oscillation: ten extra rounds move nothing on either side.
+    before = (gup.writes, foreign.writes)
+    sim.run(until=sim.now + 10 * INTERVAL_MS)
+    oscillated = (gup.writes, foreign.writes) != before
+    if oscillated:
+        failures.append(
+            "storm[%s]: fixpoint oscillated %r -> %r"
+            % (policy, before, (gup.writes, foreign.writes))
+        )
+    if len(rec.queue):
+        failures.append(
+            "storm[%s]: %d object(s) parked with no faults injected"
+            % (policy, len(rec.queue))
+        )
+    echo_in_ok = rec.echo_suppressed_in == rec.synced_out
+    echo_gup_ok = rec.echo_suppressed_gup == rec.synced_in
+    if not crashes:
+        # Crash-free storms must balance the echo books exactly:
+        # zero echo re-imports means every own-origin journal entry
+        # came back only as a suppression.
+        if not echo_in_ok:
+            failures.append(
+                "storm[%s]: %d exports but %d suppressed re-imports"
+                % (policy, rec.synced_out, rec.echo_suppressed_in)
+            )
+        if not echo_gup_ok:
+            failures.append(
+                "storm[%s]: %d imports but %d absorbed bus shadows"
+                % (policy, rec.synced_in, rec.echo_suppressed_gup)
+            )
+    row: Dict[str, object] = {
+        "policy": policy,
+        "writes": writes,
+        "users": users,
+        "crashes": crashes,
+        "pairs": len(last_any),
+        "rounds": rec.rounds,
+        "synced_in": rec.synced_in,
+        "synced_out": rec.synced_out,
+        "conflicts": rec.conflicts,
+        "echo_suppressed_in": rec.echo_suppressed_in,
+        "echo_suppressed_gup": rec.echo_suppressed_gup,
+        "echo_books_balance": bool(echo_in_ok and echo_gup_ok),
+        "resyncs": rec.resyncs,
+        "diverged_pairs": diverged,
+        "oscillated": bool(oscillated),
+        "virtual_ms": sim.now,
+        "wall_seconds": round(time.perf_counter() - started, 3),  # gupcheck: ignore[determinism] -- host-side harness timing
+    }
+    return row, failures
+
+
+def run_poison_replay(seed: int) -> Tuple[Dict[str, object], List[str]]:
+    """Fault one object into the poison state, crash, resume, replay;
+    the newest value must apply exactly once."""
+    queue = RejectQueue(
+        max_attempts=3, base_backoff_ms=100.0, max_backoff_ms=400.0
+    )
+    sim, bus, gup, foreign, rec = make_world(
+        "lww", queue=queue, users=4
+    )
+    rng = random.Random(seed)
+    foreign.reject_writes_for("u0000")
+    values = ["p%04x" % rng.getrandbits(16) for _ in range(4)]
+    for value in values:
+        sim.run(until=sim.now + 60)
+        gup.write("u0000", "self/email", value)
+    sim.run(until=sim.now + 4000)
+    failures: List[str] = []
+    parked = queue.get("u0000")
+    if parked is None or not parked.poisoned:
+        failures.append("poison: object did not strike out")
+    rec.crash()
+    sim.run(until=sim.now + 500)
+    rec.resume(bus=bus)
+    foreign.clear_rejects()
+    sim.run(until=sim.now + 2000)
+    held = foreign.read("u0000", "mail") is None
+    if not held:
+        failures.append(
+            "poison: poisoned object retried without an explicit "
+            "replay"
+        )
+    rec.replay("u0000")
+    sim.run(until=sim.now + 2000)
+    final = foreign.read("u0000", "mail")
+    if final is None or final[0] != values[-1]:
+        failures.append(
+            "replay: expected newest value %r, foreign holds %r"
+            % (values[-1], final)
+        )
+    applied = sum(
+        1 for change in foreign._journal
+        if change.origin == rec.tag
+        and (change.user_id, change.attr) == ("u0000", "mail")
+    )
+    if applied != 1:
+        failures.append(
+            "replay: value applied %d times (want exactly once)"
+            % applied
+        )
+    row = {
+        "pending_writes": len(values),
+        "held_while_poisoned": bool(held),
+        "applied_once": applied == 1,
+        "rejects": rec.rejects,
+        "retries": rec.retries,
+        "poisoned": rec.poisoned,
+        "replays": rec.replays,
+    }
+    return row, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: 10^3-write storms, same assertions",
+    )
+    parser.add_argument("--writes", type=int, default=None)
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=22)
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_e22.json")
+    )
+    options = parser.parse_args(argv)
+
+    if options.smoke:
+        writes = options.writes or 1_000
+        users = options.users or 20
+    else:
+        writes = options.writes or 10_000
+        users = options.users or 50
+
+    started = time.perf_counter()  # gupcheck: ignore[determinism] -- host-side harness timing
+    print(
+        "E22: %d-write two-sided storms over %d users x %d mappings, "
+        "policies %s" % (writes, users, len(TABLE), sorted(POLICIES))
+    )
+
+    failures: List[str] = []
+    storm_rows = []
+    for policy in sorted(POLICIES):
+        row, bad = run_storm(
+            policy, writes, users, options.seed
+        )
+        print(
+            "  storm %-12s %5d rounds, %6d out, %6d in, %5d "
+            "conflicts, %s" % (
+                policy, row["rounds"], row["synced_out"],
+                row["synced_in"], row["conflicts"],
+                "converged" if not bad else "FAILED",
+            )
+        )
+        storm_rows.append(row)
+        failures.extend(bad)
+
+    crash_row, bad = run_storm(
+        "lww", writes, users, options.seed + 1, crashes=3
+    )
+    print(
+        "  crash/resume: %d resyncs, %s"
+        % (
+            crash_row["resyncs"],
+            "converged" if not bad else "FAILED",
+        )
+    )
+    failures.extend(bad)
+
+    poison_row, bad = run_poison_replay(options.seed)
+    failures.extend(bad)
+    print(
+        "  poison/replay: held=%s applied_once=%s"
+        % (
+            poison_row["held_while_poisoned"],
+            poison_row["applied_once"],
+        )
+    )
+
+    report = {
+        "experiment": "E22",
+        "title": "Bidirectional federation: reconciler storms",
+        "mode": "smoke" if options.smoke else "full",
+        "seed": options.seed,
+        "write_storms": storm_rows,
+        "crash_resume": crash_row,
+        "poison_replay": poison_row,
+        "wall_seconds_total": round(
+            time.perf_counter() - started, 3  # gupcheck: ignore[determinism] -- host-side harness timing
+        ),
+        "determinism_note": (
+            "all virtual-time numbers are seeded and deterministic; "
+            "wall_seconds are host-side harness timings"
+        ),
+    }
+    with open(options.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % options.output)
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure)
+        return 1
+    print(
+        "ok: %d-write storms bit-identical under %d policies, echo "
+        "books balanced, crash/resume and poison/replay clean"
+        % (writes, len(POLICIES))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -116,6 +116,43 @@ class LdapAdapter(GupAdapter):
 
     # -- import ----------------------------------------------------------------
 
+    def write_attr(
+        self, user_id: str, attr: str, values: List[str]
+    ) -> None:
+        """Attribute-granular write to the person entry (the
+        federation write seam, DESIGN.md §4.10).
+
+        Error taxonomy matches the read path: every failure surfaces
+        as :class:`~repro.errors.AdapterError` — unknown user, missing
+        entry, schema violation — never a raw backing-store error. A
+        rejected write leaves the entry exactly as it was (the server
+        mutates before validating, so this rolls back)."""
+        dn = self._person_dns.get(user_id)
+        if dn is None:
+            raise AdapterError(
+                "no person entry mapped for %r at %s"
+                % (user_id, self.store_id)
+            )
+        try:
+            entry = self.server.entry(dn)
+        except StoreError as err:
+            raise AdapterError(
+                "person entry %r vanished from %s: %s"
+                % (dn, self.store_id, err)
+            ) from err
+        previous = entry.attrs.get(attr.lower())
+        try:
+            self.server.modify(dn, attr, values)
+        except StoreError as err:
+            if previous is None:
+                entry.attrs.pop(attr.lower(), None)
+            else:
+                entry.attrs[attr.lower()] = previous
+            raise AdapterError(
+                "%s rejected write of %r to %r: %s"
+                % (self.store_id, attr, dn, err)
+            ) from err
+
     def apply_component(
         self, user_id: str, component: str, fragment: PNode
     ) -> None:

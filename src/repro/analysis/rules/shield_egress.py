@@ -39,6 +39,14 @@ passes tainted data to a **delivery sink** (``deliver``,
 ``on_delivery``, ``_record_delivery``…) without the shield on the path
 is flagged exactly like a tainted return: forwarding to a subscriber
 IS returning profile data to a requester, just inverted.
+
+**Federation exports are egress to another administrative domain**
+(E22): in ``repro/federation/`` modules, an attribute payload
+parameter (``value``/``values``…) is profile data by construction,
+and a context-taking function that hands it to a **foreign write
+sink** (``write`` / ``write_attr``) must pass the shield first —
+an outbound sync write is a disclosure exactly like answering a
+query, except the requester is a whole directory.
 """
 
 from __future__ import annotations
@@ -75,6 +83,15 @@ _DELIVERY_SINKS = frozenset({
 })
 #: Rule-scope modules where the delivery-sink egress model applies.
 _BUS_PREFIX = "repro/bus/"
+#: In federation modules, these parameter names carry attribute values
+#: bound for (or from) the foreign directory — tainted at entry.
+_FED_PAYLOAD_PARAMS = frozenset({
+    "value", "values", "record", "records", "resolution",
+})
+#: Calls that push data into the foreign directory — outbound egress.
+_FED_SINKS = frozenset({"write", "write_attr"})
+#: Rule-scope modules where the foreign-write egress model applies.
+_FED_PREFIX = "repro/federation/"
 
 
 def _receiver_parts(expr: ast.expr) -> List[str]:
@@ -151,11 +168,11 @@ class _TaintWalk:
         self,
         tainted_peers: FrozenSet[str],
         pre_tainted: FrozenSet[str] = frozenset(),
-        track_sinks: bool = False,
+        sinks: FrozenSet[str] = frozenset(),
     ) -> None:
         self._tainted_peers = tainted_peers
         self._pre_tainted = pre_tainted
-        self._track_sinks = track_sinks
+        self._sinks = sinks
         self.tainted: Set[str] = set(pre_tainted)
         self.tainted_returns: List[ast.Return] = []
         self.tainted_sinks: List[ast.Call] = []
@@ -264,13 +281,13 @@ class _TaintWalk:
                 if any(self._is_tainted(argument)
                        for argument in arguments):
                     self._taint_target(func.value)
-            if self._track_sinks:
+            if self._sinks:
                 sink_name = None
                 if isinstance(func, ast.Attribute):
                     sink_name = func.attr
                 elif isinstance(func, ast.Name):
                     sink_name = func.id
-                if sink_name in _DELIVERY_SINKS and any(
+                if sink_name in self._sinks and any(
                     self._is_tainted(argument)
                     for argument in arguments
                 ):
@@ -294,19 +311,28 @@ def _has_sanitizer(fn: ast.FunctionDef) -> bool:
     return False
 
 
+#: Per-mode (payload params, sink names) for the push-egress models.
+_MODES: Dict[str, "tuple[FrozenSet[str], FrozenSet[str]]"] = {
+    "bus": (_BUS_PAYLOAD_PARAMS, _DELIVERY_SINKS),
+    "fed": (_FED_PAYLOAD_PARAMS, _FED_SINKS),
+}
+
+
 def _function_facts(fn: ast.FunctionDef,
                     tainted_peers: FrozenSet[str],
-                    bus_mode: bool = False) -> _FunctionFacts:
+                    mode: Optional[str] = None) -> _FunctionFacts:
     pre_tainted: FrozenSet[str] = frozenset()
-    if bus_mode:
+    sinks: FrozenSet[str] = frozenset()
+    if mode is not None:
+        payload_params, sinks = _MODES[mode]
         args = fn.args
         pre_tainted = frozenset(
             arg.arg
             for arg in args.posonlyargs + args.args + args.kwonlyargs
-            if arg.arg in _BUS_PAYLOAD_PARAMS
+            if arg.arg in payload_params
         )
     walk = _TaintWalk(
-        tainted_peers, pre_tainted=pre_tainted, track_sinks=bus_mode
+        tainted_peers, pre_tainted=pre_tainted, sinks=sinks
     )
     walk.run(fn)
     return _FunctionFacts(
@@ -327,32 +353,37 @@ class ShieldEgressRule(Rule):
         "repro/core/query.py",
         "repro/core/cache.py",
         "repro/bus/",
+        "repro/federation/",
     )
 
     def check(self, module: ModuleInfo) -> List[Violation]:
         found: List[Violation] = []
-        bus_mode = module.relpath.startswith(_BUS_PREFIX)
+        mode: Optional[str] = None
+        if module.relpath.startswith(_BUS_PREFIX):
+            mode = "bus"
+        elif module.relpath.startswith(_FED_PREFIX):
+            mode = "fed"
         module_functions = [
             node for node in module.tree.body
             if isinstance(node, ast.FunctionDef)
         ]
-        self._check_group(module, module_functions, found, bus_mode)
+        self._check_group(module, module_functions, found, mode)
         for node in module.tree.body:
             if isinstance(node, ast.ClassDef):
                 methods = [
                     item for item in node.body
                     if isinstance(item, ast.FunctionDef)
                 ]
-                self._check_group(module, methods, found, bus_mode)
+                self._check_group(module, methods, found, mode)
         return found
 
     def _check_group(self, module: ModuleInfo,
                      functions: List[ast.FunctionDef],
                      found: List[Violation],
-                     bus_mode: bool) -> None:
+                     mode: Optional[str]) -> None:
         if not functions:
             return
-        facts = self._fixpoint(functions, bus_mode)
+        facts = self._fixpoint(functions, mode)
         for fn in functions:
             fn_facts = facts[fn.name]
             if not _takes_request_context(fn):
@@ -371,15 +402,15 @@ class ShieldEgressRule(Rule):
                 found.append(self.violation(
                     module, tainted_sink,
                     "%s() forwards profile data to a delivery "
-                    "callback for a requester context without a "
-                    "privacy-shield check (bus deliveries are "
-                    "egress; enforce per delivery)" % fn.name,
+                    "or foreign-write sink for a requester context "
+                    "without a privacy-shield check (pushes are "
+                    "egress; enforce per item)" % fn.name,
                 ))
 
     @staticmethod
     def _fixpoint(
         functions: List[ast.FunctionDef],
-        bus_mode: bool,
+        mode: Optional[str],
     ) -> Dict[str, _FunctionFacts]:
         """Iterate until the set of tainted-returning, unsanitized
         helpers stabilizes, so taint flows through same-class (or
@@ -388,7 +419,7 @@ class ShieldEgressRule(Rule):
         facts: Dict[str, _FunctionFacts] = {}
         for _round in range(len(functions) + 1):
             facts = {
-                fn.name: _function_facts(fn, tainted_peers, bus_mode)
+                fn.name: _function_facts(fn, tainted_peers, mode)
                 for fn in functions
             }
             new_peers = frozenset(

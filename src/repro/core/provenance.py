@@ -39,7 +39,7 @@ class AccessRecord:
 
     __slots__ = (
         "at", "requester", "relationship", "purpose", "path",
-        "stores", "operation", "granted",
+        "stores", "operation", "granted", "note",
     )
 
     def __init__(
@@ -50,6 +50,7 @@ class AccessRecord:
         stores: Sequence[str],
         operation: str,
         granted: bool,
+        note: str = "",
     ) -> None:
         self.at = at
         self.requester = context.requester
@@ -57,8 +58,11 @@ class AccessRecord:
         self.purpose = context.purpose
         self.path = path
         self.stores = list(stores)
-        self.operation = operation  # 'resolve' | 'fetch' | 'update'
+        self.operation = operation  # 'resolve' | 'fetch' | 'update' | 'reconcile'
         self.granted = granted
+        #: Free-form audit detail — e.g. which conflict policy picked
+        #: which winner, and why (DESIGN.md §4.10).
+        self.note = note
 
     def __repr__(self) -> str:
         verdict = "granted" if self.granted else "denied"
@@ -98,9 +102,11 @@ class ProvenanceTracker:
         stores: Sequence[str],
         operation: str = "resolve",
         granted: bool = True,
+        note: str = "",
     ) -> AccessRecord:
         entry = AccessRecord(
-            at, context, parse_path(path), stores, operation, granted
+            at, context, parse_path(path), stores, operation, granted,
+            note=note,
         )
         self._records.append(entry)
         overflow = len(self._records) - self.max_records

@@ -157,6 +157,27 @@ class PolicyError(GupsterError):
 
 
 # --------------------------------------------------------------------------
+# Federation (E22)
+# --------------------------------------------------------------------------
+
+class FederationError(ReproError):
+    """Base class for GUP <-> foreign-directory federation errors."""
+
+
+class ForeignUnavailableError(StoreError):
+    """Raised when the foreign directory is offline (its own outage
+    switch — distinct from a simulated-network node failure, which
+    surfaces as :class:`NodeUnreachableError` on the wire)."""
+
+
+class ForeignResyncRequiredError(FederationError):
+    """Raised when a reconciler's change cursor has fallen behind the
+    foreign directory's retained USN window: the incremental journal
+    can no longer replay the gap and the reconciler must run a full
+    state resync instead of silently syncing an incomplete feed."""
+
+
+# --------------------------------------------------------------------------
 # Synchronization / provisioning
 # --------------------------------------------------------------------------
 

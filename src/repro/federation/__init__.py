@@ -1,0 +1,71 @@
+"""Bidirectional federation: GUP <-> foreign-directory reconciliation.
+
+ROADMAP item 3 / experiment E22. The paper's "enter once, share
+everywhere" promise assumed the GUP side was the only writer; a
+converged network's foreign directories (corp AD/LDAP, telco HLR)
+keep mutating on their own. This package makes the promise honest
+when the other side also writes:
+
+* :class:`ForeignDirectory` — a mutating stand-in with its own write
+  API, a USN-style change counter with a bounded journal window, and
+  fault hooks (outage, per-object write rejection, journal
+  truncation). :class:`LdapForeignDirectory` backs it with a real
+  :class:`~repro.stores.directory.DirectoryServer` through the
+  :meth:`~repro.adapters.ldap_adapter.LdapAdapter.write_attr` seam.
+* :class:`MappingTable` — GUP component paths <-> foreign attributes,
+  with a per-attribute sync direction (``in`` / ``out`` / ``both``).
+* Conflict policies (:mod:`repro.federation.conflicts`) —
+  last-writer-wins on virtual timestamps, per-attribute merge,
+  gup-wins, foreign-wins; every resolution lands in the provenance
+  ledger with who won and why.
+* :class:`GupAttributeStore` — the attribute-granular GUP-side facade
+  whose writes ride the E20 change bus.
+* :class:`FederationListener` — the bus listener feeding GUP-side
+  deltas to the reconciler (echo-suppressed via origin tags).
+* :class:`Reconciler` — the simnet-scheduled sync loop itself, with a
+  bounded per-object reject queue, retry/backoff and explicit replay.
+
+See DESIGN.md §4.10 and EXPERIMENTS.md E22.
+"""
+
+from repro.federation.conflicts import (
+    AttributeMerge,
+    ConflictPolicy,
+    ForeignWins,
+    GupWins,
+    LastWriterWins,
+    POLICIES,
+    Resolution,
+    merge_union,
+    policy_named,
+)
+from repro.federation.foreign import (
+    ForeignChange,
+    ForeignDirectory,
+    LdapForeignDirectory,
+)
+from repro.federation.gupview import GupAttributeStore
+from repro.federation.listener import FederationListener
+from repro.federation.mapping import MappingEntry, MappingTable
+from repro.federation.reconciler import Reconciler, RejectQueue
+
+__all__ = [
+    "AttributeMerge",
+    "ConflictPolicy",
+    "FederationListener",
+    "ForeignChange",
+    "ForeignDirectory",
+    "ForeignWins",
+    "GupAttributeStore",
+    "GupWins",
+    "LastWriterWins",
+    "LdapForeignDirectory",
+    "MappingEntry",
+    "MappingTable",
+    "POLICIES",
+    "Reconciler",
+    "RejectQueue",
+    "Resolution",
+    "merge_union",
+    "policy_named",
+]

@@ -1,0 +1,213 @@
+"""Conflict policies: who wins when both sides wrote.
+
+*The Identity Crisis* names the failure mode this module exists to
+prevent: **silent overwrites with unclear provenance**. A conflict —
+both sides changed the same attribute since the last successful sync
+— is never papered over; a policy produces an explicit
+:class:`Resolution` naming the winner, the surviving value, its
+virtual timestamp, and a human-readable reason, and the reconciler
+writes all of that into the provenance ledger before touching either
+store.
+
+Policies are deterministic functions of the two (value, authored-at)
+pairs, so arbitrary interleavings of writes reach the same fixpoint
+(the property tests state exactly that):
+
+* ``lww`` — last writer wins on **virtual timestamps** (the instants
+  the values were authored, carried across sync boundaries — not the
+  instants the sync loop copied them). MobileAtlas-style
+  geographically decoupled writers make this genuinely contested;
+  ties at equal instants go to GUP, the paper's authoritative master.
+* ``merge`` — per-attribute merge: both values survive, combined by
+  the mapping entry's merge function (default: comma-set union).
+* ``gup-wins`` / ``foreign-wins`` — fixed authority per deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import FederationError
+from repro.federation.mapping import MappingEntry
+
+__all__ = [
+    "AttributeMerge",
+    "ConflictPolicy",
+    "ForeignWins",
+    "GupWins",
+    "LastWriterWins",
+    "POLICIES",
+    "Resolution",
+    "merge_union",
+    "policy_named",
+]
+
+
+def merge_union(gup_value: str, foreign_value: str) -> str:
+    """Default per-attribute merge: treat both values as comma-sets,
+    keep the sorted union. Commutative and idempotent, so both sides
+    converge on the same merged value no matter the write order."""
+    tokens = {
+        token.strip()
+        for value in (gup_value, foreign_value)
+        for token in value.split(",")
+        if token.strip()
+    }
+    return ",".join(sorted(tokens))
+
+
+class Resolution:
+    """The explicit outcome of one conflict."""
+
+    __slots__ = ("winner", "value", "at", "reason")
+
+    def __init__(
+        self, winner: str, value: str, at: float, reason: str
+    ) -> None:
+        if winner not in ("gup", "foreign", "merge"):
+            raise FederationError("unknown winner %r" % winner)
+        self.winner = winner
+        self.value = value
+        self.at = at
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return "<Resolution %s %r (%s)>" % (
+            self.winner, self.value, self.reason,
+        )
+
+
+class ConflictPolicy:
+    """Base class: resolve one contested attribute."""
+
+    name = "abstract"
+
+    def resolve(
+        self,
+        entry: MappingEntry,
+        gup_value: str,
+        gup_at: float,
+        foreign_value: str,
+        foreign_at: float,
+    ) -> Resolution:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<ConflictPolicy %s>" % self.name
+
+
+class LastWriterWins(ConflictPolicy):
+    """Newest authored value wins; GUP wins the equal-instant tie."""
+
+    name = "lww"
+
+    def resolve(
+        self,
+        entry: MappingEntry,
+        gup_value: str,
+        gup_at: float,
+        foreign_value: str,
+        foreign_at: float,
+    ) -> Resolution:
+        if foreign_at > gup_at:
+            return Resolution(
+                "foreign", foreign_value, foreign_at,
+                "foreign write at %.3f newer than gup at %.3f"
+                % (foreign_at, gup_at),
+            )
+        if gup_at > foreign_at:
+            return Resolution(
+                "gup", gup_value, gup_at,
+                "gup write at %.3f newer than foreign at %.3f"
+                % (gup_at, foreign_at),
+            )
+        return Resolution(
+            "gup", gup_value, gup_at,
+            "tie at %.3f; GUP is the authoritative master" % gup_at,
+        )
+
+
+class GupWins(ConflictPolicy):
+    """GUP is authoritative for every contested attribute."""
+
+    name = "gup-wins"
+
+    def resolve(
+        self,
+        entry: MappingEntry,
+        gup_value: str,
+        gup_at: float,
+        foreign_value: str,
+        foreign_at: float,
+    ) -> Resolution:
+        return Resolution(
+            "gup", gup_value, gup_at,
+            "policy gup-wins: GUP authoritative for %s"
+            % entry.gup_suffix,
+        )
+
+
+class ForeignWins(ConflictPolicy):
+    """The foreign directory is authoritative."""
+
+    name = "foreign-wins"
+
+    def resolve(
+        self,
+        entry: MappingEntry,
+        gup_value: str,
+        gup_at: float,
+        foreign_value: str,
+        foreign_at: float,
+    ) -> Resolution:
+        return Resolution(
+            "foreign", foreign_value, foreign_at,
+            "policy foreign-wins: foreign authoritative for %s"
+            % entry.foreign_attr,
+        )
+
+
+class AttributeMerge(ConflictPolicy):
+    """Both values survive, combined per attribute.
+
+    The merged value is stamped at the *newer* of the two authored
+    instants, so a later lww-style comparison never resurrects a
+    pre-merge value."""
+
+    name = "merge"
+
+    def resolve(
+        self,
+        entry: MappingEntry,
+        gup_value: str,
+        gup_at: float,
+        foreign_value: str,
+        foreign_at: float,
+    ) -> Resolution:
+        merge = entry.merge if entry.merge is not None else merge_union
+        merged = merge(gup_value, foreign_value)
+        return Resolution(
+            "merge", merged, max(gup_at, foreign_at),
+            "per-attribute merge of gup %r and foreign %r"
+            % (gup_value, foreign_value),
+        )
+
+
+#: Registry of the shipped policies by name.
+POLICIES: Dict[str, ConflictPolicy] = {
+    policy.name: policy
+    for policy in (
+        LastWriterWins(), AttributeMerge(), GupWins(), ForeignWins(),
+    )
+}
+
+
+def policy_named(name: str) -> ConflictPolicy:
+    """Look up a registered conflict policy by its wire name."""
+    policy = POLICIES.get(name)
+    if policy is None:
+        raise FederationError(
+            "unknown conflict policy %r (have %s)"
+            % (name, ", ".join(sorted(POLICIES)))
+        )
+    return policy

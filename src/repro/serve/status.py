@@ -56,6 +56,8 @@ STATUS_TABLE: Tuple[Tuple[Type[BaseException], int, str], ...] = (
     (errors.NetworkError, 502, "network-error"),
     (errors.AdapterError, 502, "adapter-error"),
     (errors.StoreError, 502, "store-error"),
+    (errors.ForeignResyncRequiredError, 410, "foreign-resync-required"),
+    (errors.FederationError, 500, "federation-error"),
     (errors.CoverageError, 500, "coverage-error"),
     (errors.SyncError, 500, "sync-error"),
     # A bare GupsterError is a malformed use of the server API —

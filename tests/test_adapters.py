@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AdapterError
+from repro.errors import AdapterError, StoreError
 from repro.pxml import GUP_SCHEMA, evaluate_values, parse
 from repro.adapters import (
     DeviceAdapter,
@@ -391,3 +391,44 @@ class TestLdapAdapter:
             self.adapter.put(
                 "/user[@id='alice']/self", parse("<self/>")
             )
+
+    def test_write_attr_round_trip(self):
+        self.adapter.write_attr("alice", "mail", ["alice@corp.com"])
+        entry = self.server.entry("uid=alice,o=lucent")
+        assert entry.values("mail") == ["alice@corp.com"]
+
+    def test_write_attr_unknown_user(self):
+        with pytest.raises(AdapterError):
+            self.adapter.write_attr("mallory", "mail", ["x@y.z"])
+
+    def test_write_attr_on_outage(self):
+        # The person entry vanished (moved, outage): the write path
+        # surfaces the same taxonomy as reads — AdapterError, chained
+        # from the backing-store error, never a raw StoreError.
+        self.server.delete("uid=alice,o=lucent")
+        with pytest.raises(AdapterError) as excinfo:
+            self.adapter.write_attr("alice", "mail", ["x@y.z"])
+        assert isinstance(excinfo.value.__cause__, StoreError)
+
+    def test_write_attr_schema_violation_rolls_back(self):
+        # displayName is not in any of the entry's object classes.
+        # The server mutates before validating, so the adapter must
+        # roll back: the entry is left exactly as it was.
+        before = dict(self.server.entry("uid=alice,o=lucent").attrs)
+        with pytest.raises(AdapterError) as excinfo:
+            self.adapter.write_attr("alice", "displayName", ["A"])
+        assert isinstance(excinfo.value.__cause__, StoreError)
+        after = self.server.entry("uid=alice,o=lucent").attrs
+        assert after == before
+
+    def test_write_attr_rollback_restores_previous_values(self):
+        # Overwriting an existing attribute with an invalid value set
+        # (missing required attrs can't happen via modify of optional
+        # attrs, so violate the schema through an unknown class-less
+        # attribute after first seeding mail) must restore the old
+        # value, not delete the attribute.
+        with pytest.raises(AdapterError):
+            self.adapter.write_attr("alice", "roomNumber", ["42"])
+        entry = self.server.entry("uid=alice,o=lucent")
+        assert entry.values("mail") == ["alice@lucent.com"]
+        assert entry.values("roomNumber") == []

@@ -1,0 +1,190 @@
+"""The E22 conflict matrix: every (policy x direction x concurrent-
+write ordering) cell with its exact expected winner, the equal-
+virtual-timestamp tie included, and the provenance ledger checked for
+who won and why (DESIGN.md §4.10).
+
+Orderings are *virtual-timestamp* orderings — which side authored the
+newer value. Each cell is additionally run with both application
+orders (GUP write first / foreign write first) and must land on the
+same fixpoint: wall-clock application order must never matter, only
+the authored instants and the policy do.
+"""
+
+import pytest
+
+from repro.access import (
+    PolicyEnforcementPoint,
+    PolicyRepository,
+    PolicyRule,
+)
+from repro.bus import ChangeBus
+from repro.core.provenance import ProvenanceTracker
+from repro.federation import (
+    FederationListener,
+    ForeignDirectory,
+    GupAttributeStore,
+    MappingEntry,
+    MappingTable,
+    POLICIES,
+    Reconciler,
+    policy_named,
+)
+from repro.simnet import Network, Simulator
+
+USER = "u1"
+SUFFIX = "self/email"
+ATTR = "mail"
+GUP_VALUE = "alpha"
+FOREIGN_VALUE = "beta"
+MERGED = "alpha,beta"
+
+#: ordering -> (gup authored-at, foreign authored-at).
+ORDERINGS = {
+    "gup-newer": (20.0, 10.0),
+    "foreign-newer": (10.0, 20.0),
+    "tie": (15.0, 15.0),
+}
+
+#: The exact expected surviving value for direction="both", by
+#: (policy, ordering). Directional cells ignore the policy entirely.
+EXPECTED_BOTH = {
+    ("lww", "gup-newer"): ("gup", GUP_VALUE),
+    ("lww", "foreign-newer"): ("foreign", FOREIGN_VALUE),
+    ("lww", "tie"): ("gup", GUP_VALUE),  # GUP is the master
+    ("gup-wins", "gup-newer"): ("gup", GUP_VALUE),
+    ("gup-wins", "foreign-newer"): ("gup", GUP_VALUE),
+    ("gup-wins", "tie"): ("gup", GUP_VALUE),
+    ("foreign-wins", "gup-newer"): ("foreign", FOREIGN_VALUE),
+    ("foreign-wins", "foreign-newer"): ("foreign", FOREIGN_VALUE),
+    ("foreign-wins", "tie"): ("foreign", FOREIGN_VALUE),
+    ("merge", "gup-newer"): ("merge", MERGED),
+    ("merge", "foreign-newer"): ("merge", MERGED),
+    ("merge", "tie"): ("merge", MERGED),
+}
+
+
+def run_cell(policy, direction, ordering, foreign_first):
+    """One matrix cell: concurrent writes, then rounds to fixpoint.
+    Returns (gup value, foreign value, reconciler, ledger)."""
+    sim = Simulator()
+    network = Network()
+    network.add_node("gupster")
+    network.add_node("fed-conn")
+    network.add_node("corp-ad")
+    bus = ChangeBus(sim, network, "gupster")
+    gup = GupAttributeStore(sim, bus=bus)
+    foreign = ForeignDirectory("corp-ad", sim)
+    table = MappingTable([MappingEntry(SUFFIX, ATTR, direction)])
+    repo = PolicyRepository()
+    repo.store(PolicyRule(USER, "/user[@id='%s']" % USER, "permit"))
+    prov = ProvenanceTracker()
+    rec = Reconciler(
+        "fed-conn", gup, foreign, table, network,
+        PolicyEnforcementPoint(repo),
+        policy=policy_named(policy),
+        provenance=prov,
+        interval_ms=500.0,
+    )
+    bus.attach(FederationListener("fed", rec))
+    rec.start()
+    gup_at, foreign_at = ORDERINGS[ordering]
+    writes = [
+        lambda: gup.write(USER, SUFFIX, GUP_VALUE, at=gup_at),
+        lambda: foreign.write(
+            USER, ATTR, FOREIGN_VALUE, at=foreign_at
+        ),
+    ]
+    if foreign_first:
+        writes.reverse()
+    for write in writes:
+        write()
+    sim.run(until=6000)
+    g = gup.read(USER, SUFFIX)
+    f = foreign.read(USER, ATTR)
+    return (
+        None if g is None else g[0],
+        None if f is None else f[0],
+        rec,
+        prov,
+    )
+
+
+def reconcile_records(prov):
+    return [
+        record
+        for record in prov._records
+        if record.operation == "reconcile" and record.granted
+    ]
+
+
+@pytest.mark.parametrize("foreign_first", (False, True))
+@pytest.mark.parametrize("ordering", sorted(ORDERINGS))
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+class TestConflictMatrix:
+    def test_direction_both(self, policy, ordering, foreign_first):
+        g, f, rec, prov = run_cell(
+            policy, "both", ordering, foreign_first
+        )
+        winner, value = EXPECTED_BOTH[(policy, ordering)]
+        assert g == value and f == value, (
+            "cell (%s, both, %s): expected %r, got gup=%r foreign=%r"
+            % (policy, ordering, value, g, f)
+        )
+        assert rec.conflicts == 1
+        # Exactly one ledger entry names the winner and the reason.
+        records = reconcile_records(prov)
+        assert len(records) == 1
+        record = records[0]
+        assert record.requester == "corp-ad"
+        assert str(record.path) == (
+            "/user[@id='%s']/%s" % (USER, SUFFIX)
+        )
+        assert record.note.startswith(
+            "policy=%s winner=%s" % (policy, winner)
+        )
+        if policy == "lww" and ordering == "tie":
+            assert "tie" in record.note
+            assert "master" in record.note
+        # The per-winner counter moved, and only that one.
+        expected_counts = {
+            "gup": (1, 0, 0), "foreign": (0, 1, 0),
+            "merge": (0, 0, 1),
+        }[winner]
+        assert (
+            rec.conflict_gup_wins, rec.conflict_foreign_wins,
+            rec.conflict_merges,
+        ) == expected_counts
+
+    def test_direction_out(self, policy, ordering, foreign_first):
+        # GUP authoritative: the policy is never consulted, GUP's
+        # value overwrites the concurrent foreign write regardless of
+        # which side authored later.
+        g, f, rec, prov = run_cell(
+            policy, "out", ordering, foreign_first
+        )
+        assert g == GUP_VALUE and f == GUP_VALUE
+        assert rec.conflicts == 0
+        assert reconcile_records(prov) == []
+
+    def test_direction_in(self, policy, ordering, foreign_first):
+        # Foreign authoritative: its value reasserts over the
+        # concurrent GUP edit; again no policy, no conflict.
+        g, f, rec, prov = run_cell(
+            policy, "in", ordering, foreign_first
+        )
+        assert g == FOREIGN_VALUE and f == FOREIGN_VALUE
+        assert rec.conflicts == 0
+        assert reconcile_records(prov) == []
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_resolved_cell_is_a_quiet_fixpoint(policy):
+    """After the conflict resolves, further rounds write nothing —
+    merge included (both sides were rewritten to the merged value,
+    which then compares equal forever)."""
+    sim_probe = run_cell(policy, "both", "tie", False)
+    _g, _f, rec, _prov = sim_probe
+    writes_before = (rec.gup.writes, rec.foreign.writes)
+    rec.sim.run(until=rec.sim.now + 5000)
+    assert (rec.gup.writes, rec.foreign.writes) == writes_before
+    assert rec.conflicts == 1  # resolved once, never re-fought

@@ -820,6 +820,91 @@ class TestShieldEgressRule:
         )
         assert found == []
 
+    FED_RELPATH = "repro/federation/reconciler.py"
+
+    def test_flags_unshielded_federation_export(self):
+        # An outbound sync write is a disclosure to another
+        # administrative domain; skipping the shield on the export
+        # path is the E22 twin of an unshielded bus delivery.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Reconciler:
+                    def _push_out(self, user_id, entry, value, at, context):
+                        self.foreign.write(
+                            user_id, entry.foreign_attr, value,
+                            origin=self.tag, at=at,
+                        )
+            """),
+            self.FED_RELPATH,
+        )
+        assert len(found) == 1
+        assert "_push_out" in found[0].message
+
+    def test_shielded_federation_export_passes(self):
+        # The real export path: pep.enforce per attribute, withheld
+        # values never reach the foreign write.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Reconciler:
+                    def _push_out(self, user_id, entry, value, at, context):
+                        decision = self.pep.enforce(
+                            entry.gup_path(user_id), context
+                        )
+                        if not decision.permit:
+                            return False
+                        self.foreign.write(
+                            user_id, entry.foreign_attr, value,
+                            origin=self.tag, at=at,
+                        )
+                        return True
+            """),
+            self.FED_RELPATH,
+        )
+        assert found == []
+
+    def test_contextless_federation_import_exempt(self):
+        # The pull path writes GUPster's own store for no requester —
+        # the shield belongs where data leaves the system.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Reconciler:
+                    def _pull_in(self, user_id, entry, value, at):
+                        self._note_tag(user_id, entry.gup_suffix, value)
+                        self.gup.write(user_id, entry.gup_suffix, value, at=at)
+            """),
+            self.FED_RELPATH,
+        )
+        assert found == []
+
+    def test_fed_sink_model_scoped_to_federation_modules(self):
+        # Outside repro/federation/, a ``value`` parameter is not
+        # pre-tainted and ``write`` is not an egress sink.
+        found = check_source(
+            ShieldEgressRule(),
+            dedent("""
+                class Server:
+                    def apply(self, user_id, value, context):
+                        self.store.write(user_id, value)
+            """),
+            self.RELPATH,
+        )
+        assert found == []
+
+    def test_shipped_reconciler_export_is_shielded(self):
+        # The rule holds on the real module, not just fixtures.
+        path = os.path.join(
+            SRC_ROOT, "repro", "federation", "reconciler.py"
+        )
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        found = check_source(
+            ShieldEgressRule(), source, self.FED_RELPATH
+        )
+        assert found == []
+
 
 # ---------------------------------------------------------------------------
 # span-balance

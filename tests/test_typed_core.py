@@ -35,6 +35,7 @@ PKG = os.path.join(SRC, "repro")
 #: Directories included wholesale (recursively).
 TYPED_DIRS = (
     "bus", "core", "analysis", "obs", "sansio", "serve", "sharding",
+    "federation",
 )
 #: Individual modules included.
 TYPED_FILES = (
